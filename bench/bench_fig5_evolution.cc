@@ -1,0 +1,114 @@
+// Experiment F5: Fig. 5 — the schema evolution workflow. An evolution
+// chain of length n is handled two ways: migrating the database step by
+// step, and composing the chain first and migrating once. Expected shape:
+// script cost is dominated by Compose (which grows with chain length while
+// staying first-order for this lossless family), and migration cost is
+// linear in |D| and much cheaper through the pre-composed mapping.
+#include <benchmark/benchmark.h>
+
+#include "chase/chase.h"
+#include "compose/compose.h"
+#include "workload/generators.h"
+
+namespace {
+
+void BM_Fig5_ComposeChain(benchmark::State& state) {
+  std::size_t length = static_cast<std::size_t>(state.range(0));
+  mm2::workload::EvolutionChain chain =
+      mm2::workload::MakeEvolutionChain(length, 6);
+
+  std::size_t clauses = 0;
+  bool first_order = false;
+  for (auto _ : state) {
+    mm2::logic::Mapping composed = chain.steps[0];
+    for (std::size_t i = 1; i < chain.steps.size(); ++i) {
+      auto next = mm2::compose::Compose(composed, chain.steps[i]);
+      if (!next.ok()) {
+        state.SkipWithError(next.status().ToString().c_str());
+        return;
+      }
+      composed = *next;
+    }
+    clauses = composed.ClauseCount();
+    first_order = !composed.is_second_order();
+    benchmark::DoNotOptimize(composed);
+  }
+  state.counters["steps"] = static_cast<double>(length);
+  state.counters["clauses"] = static_cast<double>(clauses);
+  state.counters["first_order"] = first_order ? 1.0 : 0.0;
+}
+BENCHMARK(BM_Fig5_ComposeChain)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
+    ->Arg(32);
+
+void BM_Fig5_MigrateStepwise(benchmark::State& state) {
+  std::size_t length = static_cast<std::size_t>(state.range(0));
+  std::size_t rows = static_cast<std::size_t>(state.range(1));
+  mm2::workload::EvolutionChain chain =
+      mm2::workload::MakeEvolutionChain(length, 6);
+  mm2::workload::Rng rng(3);
+  mm2::instance::Instance db =
+      mm2::workload::MakeChainInstance(chain, rows, &rng);
+
+  for (auto _ : state) {
+    mm2::instance::Instance current = db;
+    for (const mm2::logic::Mapping& step : chain.steps) {
+      auto result = mm2::chase::RunChase(step, current);
+      if (!result.ok()) {
+        state.SkipWithError(result.status().ToString().c_str());
+        return;
+      }
+      current = std::move(result->target);
+    }
+    benchmark::DoNotOptimize(current);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * rows * length));
+}
+BENCHMARK(BM_Fig5_MigrateStepwise)
+    ->ArgNames({"steps", "rows"})
+    ->Args({4, 100})
+    ->Args({8, 100})
+    ->Args({16, 100})
+    ->Args({8, 400})
+    ->Args({8, 1600});
+
+void BM_Fig5_MigrateComposed(benchmark::State& state) {
+  std::size_t length = static_cast<std::size_t>(state.range(0));
+  std::size_t rows = static_cast<std::size_t>(state.range(1));
+  mm2::workload::EvolutionChain chain =
+      mm2::workload::MakeEvolutionChain(length, 6);
+  mm2::workload::Rng rng(3);
+  mm2::instance::Instance db =
+      mm2::workload::MakeChainInstance(chain, rows, &rng);
+  mm2::logic::Mapping composed = chain.steps[0];
+  for (std::size_t i = 1; i < chain.steps.size(); ++i) {
+    auto next = mm2::compose::Compose(composed, chain.steps[i]);
+    if (!next.ok()) {
+      state.SkipWithError(next.status().ToString().c_str());
+      return;
+    }
+    composed = *next;
+  }
+
+  for (auto _ : state) {
+    auto result = mm2::chase::RunChase(composed, db);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * rows));
+}
+BENCHMARK(BM_Fig5_MigrateComposed)
+    ->ArgNames({"steps", "rows"})
+    ->Args({4, 100})
+    ->Args({8, 100})
+    ->Args({16, 100})
+    ->Args({8, 400})
+    ->Args({8, 1600});
+
+}  // namespace
+
+BENCHMARK_MAIN();

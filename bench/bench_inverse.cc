@@ -1,0 +1,127 @@
+// Experiment C7: Section 6.4 — Inverse and quasi-inverse. Over three
+// mapping families (lossless vertical split, lossy projection, union
+// funnel), computes the (quasi-)inverse and checks the paper's claims: an
+// exact inverse exists and roundtrips iff the mapping is lossless; the
+// quasi-inverse recovers exactly the recoverable part.
+#include <benchmark/benchmark.h>
+
+#include "inverse/inverse.h"
+#include "logic/formula.h"
+#include "workload/generators.h"
+
+namespace {
+
+using mm2::logic::Atom;
+using mm2::logic::Mapping;
+using mm2::logic::Term;
+using mm2::logic::Tgd;
+
+// Lossless: every relation split vertically with the key in both halves.
+Mapping LosslessFamily(const mm2::model::Schema& source) {
+  mm2::model::Schema target("Split", mm2::model::Metamodel::kRelational);
+  std::vector<Tgd> tgds;
+  for (const mm2::model::Relation& r : source.relations()) {
+    std::size_t half = r.arity() / 2 + 1;
+    std::vector<mm2::model::Attribute> left(
+        r.attributes().begin(),
+        r.attributes().begin() + static_cast<std::ptrdiff_t>(half));
+    std::vector<mm2::model::Attribute> right;
+    right.push_back(r.attributes()[0]);  // key
+    right.insert(right.end(),
+                 r.attributes().begin() + static_cast<std::ptrdiff_t>(half),
+                 r.attributes().end());
+    target.AddRelation(mm2::model::Relation(r.name() + "_L", left, {0}));
+    target.AddRelation(mm2::model::Relation(r.name() + "_R", right, {0}));
+    Tgd tgd;
+    Atom body;
+    body.relation = r.name();
+    for (std::size_t i = 0; i < r.arity(); ++i) {
+      body.terms.push_back(Term::Var("x" + std::to_string(i)));
+    }
+    Atom hl;
+    hl.relation = r.name() + "_L";
+    for (std::size_t i = 0; i < half; ++i) {
+      hl.terms.push_back(Term::Var("x" + std::to_string(i)));
+    }
+    Atom hr;
+    hr.relation = r.name() + "_R";
+    hr.terms.push_back(Term::Var("x0"));
+    for (std::size_t i = half; i < r.arity(); ++i) {
+      hr.terms.push_back(Term::Var("x" + std::to_string(i)));
+    }
+    tgd.body = {std::move(body)};
+    tgd.head = {std::move(hl), std::move(hr)};
+    tgds.push_back(std::move(tgd));
+  }
+  return Mapping::FromTgds("lossless", source, target, std::move(tgds));
+}
+
+// Lossy: drop every relation's last attribute.
+Mapping LossyFamily(const mm2::model::Schema& source) {
+  mm2::model::Schema target("Proj", mm2::model::Metamodel::kRelational);
+  std::vector<Tgd> tgds;
+  for (const mm2::model::Relation& r : source.relations()) {
+    std::vector<mm2::model::Attribute> kept(
+        r.attributes().begin(), r.attributes().end() - 1);
+    target.AddRelation(mm2::model::Relation(r.name() + "_P", kept, {0}));
+    Tgd tgd;
+    Atom body;
+    body.relation = r.name();
+    for (std::size_t i = 0; i < r.arity(); ++i) {
+      body.terms.push_back(Term::Var("x" + std::to_string(i)));
+    }
+    Atom head;
+    head.relation = r.name() + "_P";
+    for (std::size_t i = 0; i + 1 < r.arity(); ++i) {
+      head.terms.push_back(Term::Var("x" + std::to_string(i)));
+    }
+    tgd.body = {std::move(body)};
+    tgd.head = {std::move(head)};
+    tgds.push_back(std::move(tgd));
+  }
+  return Mapping::FromTgds("lossy", source, target, std::move(tgds));
+}
+
+void InverseBench(benchmark::State& state, bool lossless) {
+  std::size_t relations = static_cast<std::size_t>(state.range(0));
+  mm2::workload::Rng rng(41);
+  mm2::model::Schema source = mm2::workload::RandomRelationalSchema(
+      "Src", relations, 5, &rng);
+  Mapping mapping =
+      lossless ? LosslessFamily(source) : LossyFamily(source);
+  mm2::instance::Instance db =
+      mm2::workload::RandomInstance(source, 20, &rng);
+
+  bool exact = false;
+  bool roundtrips = false;
+  std::size_t lost = 0;
+  for (auto _ : state) {
+    auto result = mm2::inverse::ComputeInverse(mapping);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    exact = result->exact;
+    lost = result->lost.size();
+    auto rt = mm2::inverse::VerifyRoundtrip(mapping, result->inverse, db);
+    roundtrips = rt.ok() && *rt;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["exact"] = exact ? 1.0 : 0.0;
+  state.counters["roundtrips"] = roundtrips ? 1.0 : 0.0;
+  state.counters["lost_elements"] = static_cast<double>(lost);
+}
+
+void BM_Inverse_Lossless(benchmark::State& state) {
+  InverseBench(state, /*lossless=*/true);
+}
+void BM_Inverse_Lossy(benchmark::State& state) {
+  InverseBench(state, /*lossless=*/false);
+}
+
+BENCHMARK(BM_Inverse_Lossless)->Arg(1)->Arg(4)->Arg(8)->Arg(16);
+BENCHMARK(BM_Inverse_Lossy)->Arg(1)->Arg(4)->Arg(8)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// Experiment C3: Section 3.1.1 — the matcher. (a) Wall time as element
+// count grows (quadratic in elements by construction; the claim under test
+// is that it stays interactive for realistic schema sizes). (b) The paper's
+// "return all viable candidates" position: candidate recall@k grows with k
+// while top-1 F1 stays flat — the matcher's value is the candidate list,
+// not the single best guess.
+#include <benchmark/benchmark.h>
+
+#include "match/matcher.h"
+#include "workload/generators.h"
+
+namespace {
+
+void BM_Match_Scaling(benchmark::State& state) {
+  std::size_t relations = static_cast<std::size_t>(state.range(0));
+  mm2::workload::Rng rng(11);
+  mm2::model::Schema original = mm2::workload::RandomRelationalSchema(
+      "Src", relations, 6, &rng);
+  mm2::workload::PerturbedSchema perturbed =
+      mm2::workload::PerturbNames(original, &rng);
+
+  mm2::match::SchemaMatcher matcher;
+  std::size_t proposals = 0;
+  for (auto _ : state) {
+    mm2::match::MatchResult result =
+        matcher.Match(original, perturbed.schema);
+    proposals = result.best.size();
+    benchmark::DoNotOptimize(result);
+  }
+  std::size_t elements = original.AllElements().size();
+  state.counters["elements"] = static_cast<double>(elements);
+  state.counters["proposals"] = static_cast<double>(proposals);
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * elements));
+}
+BENCHMARK(BM_Match_Scaling)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)
+    ->Arg(64);
+
+void BM_Match_RecallAtK(benchmark::State& state) {
+  std::size_t k = static_cast<std::size_t>(state.range(0));
+  mm2::workload::Rng rng(13);
+  mm2::model::Schema original =
+      mm2::workload::RandomRelationalSchema("Src", 10, 6, &rng);
+  mm2::workload::PerturbedSchema perturbed =
+      mm2::workload::PerturbNames(original, &rng);
+
+  mm2::match::MatchOptions options;
+  options.top_k = k;
+  options.threshold = 0.2;
+  mm2::match::SchemaMatcher matcher(options);
+
+  double recall = 0.0;
+  double f1 = 0.0;
+  for (auto _ : state) {
+    mm2::match::MatchResult result =
+        matcher.Match(original, perturbed.schema);
+    recall = mm2::match::CandidateRecall(result, perturbed.reference);
+    f1 = mm2::match::EvaluateMatch(result.best, perturbed.reference).f1;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["recall_at_k"] = recall;
+  state.counters["top1_f1"] = f1;
+}
+BENCHMARK(BM_Match_RecallAtK)->Arg(1)->Arg(2)->Arg(3)->Arg(5)->Arg(10);
+
+void BM_Match_StructuralRounds(benchmark::State& state) {
+  // Ablation: structural propagation rounds vs quality.
+  std::size_t rounds = static_cast<std::size_t>(state.range(0));
+  mm2::workload::Rng rng(17);
+  mm2::model::Schema original =
+      mm2::workload::RandomRelationalSchema("Src", 10, 6, &rng);
+  mm2::workload::PerturbedSchema perturbed =
+      mm2::workload::PerturbNames(original, &rng);
+
+  mm2::match::MatchOptions options;
+  options.structural_rounds = rounds;
+  options.top_k = 3;
+  options.threshold = 0.2;
+  mm2::match::SchemaMatcher matcher(options);
+  double recall = 0.0;
+  for (auto _ : state) {
+    mm2::match::MatchResult result =
+        matcher.Match(original, perturbed.schema);
+    recall = mm2::match::CandidateRecall(result, perturbed.reference);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["recall_at_3"] = recall;
+}
+BENCHMARK(BM_Match_StructuralRounds)->Arg(0)->Arg(1)->Arg(2)->Arg(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// Experiment C6: Section 6.3 — Merge. Sweeps correspondence density
+// between two copies of a schema: at 0% the merge is a disjoint union, at
+// 100% it collapses to one copy. Expected shape: merged attribute count
+// equals |A| + |B| - |overlap| exactly, and the projection mappings verify.
+#include <benchmark/benchmark.h>
+
+#include "merge/merge.h"
+#include "workload/generators.h"
+
+namespace {
+
+void BM_Merge_Density(benchmark::State& state) {
+  std::size_t percent = static_cast<std::size_t>(state.range(0));
+  mm2::workload::Rng rng(31);
+  mm2::model::Schema left =
+      mm2::workload::RandomRelationalSchema("Left", 8, 6, &rng);
+  mm2::workload::PerturbedSchema right = mm2::workload::PerturbNames(
+      left, &rng);
+
+  // Take the first `percent`% of the reference alignment as input
+  // correspondences.
+  std::vector<mm2::match::Correspondence> corrs;
+  std::size_t take = right.reference.size() * percent / 100;
+  corrs.assign(right.reference.begin(),
+               right.reference.begin() + static_cast<std::ptrdiff_t>(take));
+
+  std::size_t total_left = 0;
+  std::size_t total_right = 0;
+  for (const mm2::model::Relation& r : left.relations()) {
+    total_left += r.arity();
+  }
+  for (const mm2::model::Relation& r : right.schema.relations()) {
+    total_right += r.arity();
+  }
+
+  std::size_t merged_attrs = 0;
+  std::size_t overlap = 0;
+  for (auto _ : state) {
+    auto result = mm2::merge::Merge(left, right.schema, corrs);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    merged_attrs = 0;
+    for (const mm2::model::Relation& r : result->merged.relations()) {
+      merged_attrs += r.arity();
+    }
+    overlap = result->stats.attributes_merged;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["merged_attrs"] = static_cast<double>(merged_attrs);
+  state.counters["expected_attrs"] =
+      static_cast<double>(total_left + total_right - overlap);
+  state.counters["formula_holds"] =
+      merged_attrs == total_left + total_right - overlap ? 1.0 : 0.0;
+}
+BENCHMARK(BM_Merge_Density)->Arg(0)->Arg(25)->Arg(50)->Arg(75)->Arg(100);
+
+void BM_Merge_SchemaScaling(benchmark::State& state) {
+  std::size_t relations = static_cast<std::size_t>(state.range(0));
+  mm2::workload::Rng rng(37);
+  mm2::model::Schema left = mm2::workload::RandomRelationalSchema(
+      "Left", relations, 6, &rng);
+  mm2::workload::PerturbedSchema right =
+      mm2::workload::PerturbNames(left, &rng);
+  for (auto _ : state) {
+    auto result =
+        mm2::merge::Merge(left, right.schema, right.reference);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * relations));
+}
+BENCHMARK(BM_Merge_SchemaScaling)->Arg(4)->Arg(16)->Arg(64)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

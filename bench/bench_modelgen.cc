@@ -1,0 +1,84 @@
+// Experiment C9: Section 3.2 — ModelGen inheritance-strategy ablation.
+// For each strategy, reports the schema shape it produces (tables, widest
+// table, query-view joins/unions) across hierarchy shapes, reproducing the
+// classic trade-off: TPH = one wide nullable table; TPT = narrow tables
+// but joins grow with depth; TPC = no joins but unions grow with leaves.
+#include <benchmark/benchmark.h>
+
+#include "modelgen/modelgen.h"
+#include "transgen/transgen.h"
+#include "workload/generators.h"
+
+namespace {
+
+using mm2::modelgen::InheritanceStrategy;
+
+void StrategyBench(benchmark::State& state, InheritanceStrategy strategy) {
+  std::size_t depth = static_cast<std::size_t>(state.range(0));
+  std::size_t fanout = static_cast<std::size_t>(state.range(1));
+  mm2::model::Schema er = mm2::workload::MakeHierarchy(depth, fanout, 3);
+
+  std::size_t tables = 0;
+  std::size_t widest = 0;
+  mm2::transgen::TransGenStats stats;
+  for (auto _ : state) {
+    auto generated = mm2::modelgen::ErToRelational(er, strategy);
+    if (!generated.ok()) {
+      state.SkipWithError(generated.status().ToString().c_str());
+      return;
+    }
+    tables = generated->relational.relations().size();
+    widest = 0;
+    for (const mm2::model::Relation& r : generated->relational.relations()) {
+      widest = std::max(widest, r.arity());
+    }
+    auto views = mm2::transgen::CompileFragments(
+        er, "Objects", generated->relational, generated->fragments, &stats);
+    if (!views.ok()) {
+      state.SkipWithError(views.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(views);
+  }
+  state.counters["types"] = static_cast<double>(er.entity_types().size());
+  state.counters["tables"] = static_cast<double>(tables);
+  state.counters["widest_table"] = static_cast<double>(widest);
+  state.counters["outer_joins"] = static_cast<double>(stats.outer_joins);
+  state.counters["union_branches"] = static_cast<double>(stats.components);
+}
+
+void BM_ModelGen_TPH(benchmark::State& state) {
+  StrategyBench(state, InheritanceStrategy::kSingleTable);
+}
+void BM_ModelGen_TPT(benchmark::State& state) {
+  StrategyBench(state, InheritanceStrategy::kTablePerType);
+}
+void BM_ModelGen_TPC(benchmark::State& state) {
+  StrategyBench(state, InheritanceStrategy::kTablePerConcrete);
+}
+
+}  // namespace
+
+BENCHMARK(BM_ModelGen_TPH)
+    ->ArgNames({"depth", "fanout"})
+    ->Args({1, 2})
+    ->Args({2, 2})
+    ->Args({3, 2})
+    ->Args({4, 2})
+    ->Args({2, 4});
+BENCHMARK(BM_ModelGen_TPT)
+    ->ArgNames({"depth", "fanout"})
+    ->Args({1, 2})
+    ->Args({2, 2})
+    ->Args({3, 2})
+    ->Args({4, 2})
+    ->Args({2, 4});
+BENCHMARK(BM_ModelGen_TPC)
+    ->ArgNames({"depth", "fanout"})
+    ->Args({1, 2})
+    ->Args({2, 2})
+    ->Args({3, 2})
+    ->Args({4, 2})
+    ->Args({2, 4});
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// Experiment C4: Section 4 roundtripping (the ADO.NET losslessness
+// criterion). For each inheritance strategy and hierarchy size, compiles
+// the views and verifies updateView ; queryView == identity on entity
+// extents. Expected shape: roundtripping holds everywhere; verification
+// cost is linear in rows and higher for TPT (joins) than TPH/TPC.
+#include <benchmark/benchmark.h>
+
+#include "modelgen/modelgen.h"
+#include "transgen/transgen.h"
+#include "workload/generators.h"
+
+namespace {
+
+using mm2::modelgen::InheritanceStrategy;
+
+void RoundtripBench(benchmark::State& state, InheritanceStrategy strategy) {
+  std::size_t depth = static_cast<std::size_t>(state.range(0));
+  std::size_t rows = static_cast<std::size_t>(state.range(1));
+  mm2::model::Schema er = mm2::workload::MakeHierarchy(depth, 2, 3);
+  mm2::workload::Rng rng(19);
+  mm2::instance::Instance entities =
+      mm2::workload::MakeHierarchyInstance(er, rows, &rng);
+
+  auto generated = mm2::modelgen::ErToRelational(er, strategy);
+  if (!generated.ok()) {
+    state.SkipWithError(generated.status().ToString().c_str());
+    return;
+  }
+  auto views = mm2::transgen::CompileFragments(
+      er, "Objects", generated->relational, generated->fragments);
+  if (!views.ok()) {
+    state.SkipWithError(views.status().ToString().c_str());
+    return;
+  }
+
+  bool holds = false;
+  for (auto _ : state) {
+    auto ok = mm2::transgen::VerifyRoundtrip(*views, er,
+                                             generated->relational, entities);
+    if (!ok.ok()) {
+      state.SkipWithError(ok.status().ToString().c_str());
+      return;
+    }
+    holds = *ok;
+  }
+  state.counters["roundtrips"] = holds ? 1.0 : 0.0;
+  state.counters["entities"] =
+      static_cast<double>(entities.Find("Objects")->size());
+  state.counters["tables"] =
+      static_cast<double>(generated->relational.relations().size());
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      state.iterations() * entities.Find("Objects")->size()));
+}
+
+void BM_Roundtrip_TPH(benchmark::State& state) {
+  RoundtripBench(state, InheritanceStrategy::kSingleTable);
+}
+void BM_Roundtrip_TPT(benchmark::State& state) {
+  RoundtripBench(state, InheritanceStrategy::kTablePerType);
+}
+void BM_Roundtrip_TPC(benchmark::State& state) {
+  RoundtripBench(state, InheritanceStrategy::kTablePerConcrete);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Roundtrip_TPH)
+    ->ArgNames({"depth", "rows"})
+    ->Args({1, 50})
+    ->Args({2, 50})
+    ->Args({3, 50})
+    ->Args({2, 200})
+    ->Args({2, 800});
+BENCHMARK(BM_Roundtrip_TPT)
+    ->ArgNames({"depth", "rows"})
+    ->Args({1, 50})
+    ->Args({2, 50})
+    ->Args({3, 50})
+    ->Args({2, 200})
+    ->Args({2, 800});
+BENCHMARK(BM_Roundtrip_TPC)
+    ->ArgNames({"depth", "rows"})
+    ->Args({1, 50})
+    ->Args({2, 50})
+    ->Args({3, 50})
+    ->Args({2, 200})
+    ->Args({2, 800});
+
+BENCHMARK_MAIN();

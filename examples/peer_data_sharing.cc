@@ -1,0 +1,128 @@
+// Peer-to-peer data sharing: the paper's Section 5 "Peer-to-peer" runtime
+// requirement. Three peers hold the same student data under different
+// schemas, connected by a chain of engineered mappings
+//   Registrar => Department => WebPortal.
+// A query posed against the portal schema is (a) answered by propagating
+// it through the chain down to the registrar's data — no materialization —
+// and (b) the chain is collapsed by Compose into a direct mapping, as the
+// paper suggests a design tool would do, and both answers are compared.
+//
+// Build & run:  ./build/examples/peer_data_sharing
+#include <iostream>
+#include <set>
+
+#include "chase/chase.h"
+#include "compose/compose.h"
+#include "logic/formula.h"
+#include "model/schema.h"
+#include "rewrite/rewrite.h"
+
+using mm2::instance::Instance;
+using mm2::instance::Value;
+using mm2::logic::Atom;
+using mm2::logic::Mapping;
+using mm2::logic::Term;
+using mm2::logic::Tgd;
+using mm2::model::DataType;
+
+namespace {
+
+Term V(const char* name) { return Term::Var(name); }
+
+int Fail(const mm2::Status& status) {
+  std::cerr << "error: " << status << std::endl;
+  return 1;
+}
+
+}  // namespace
+
+int main() {
+  // Peer 1: the registrar's system of record.
+  mm2::model::Schema registrar =
+      mm2::model::SchemaBuilder("Registrar", mm2::model::Metamodel::kRelational)
+          .Relation("Enrolled", {{"StudentId", DataType::Int64()},
+                                 {"Name", DataType::String()},
+                                 {"Major", DataType::String()},
+                                 {"Year", DataType::Int64()}},
+                    {"StudentId"})
+          .Build();
+  // Peer 2: the department's view (splits identity from academics).
+  mm2::model::Schema department =
+      mm2::model::SchemaBuilder("Department",
+                                mm2::model::Metamodel::kRelational)
+          .Relation("Person", {{"Sid", DataType::Int64()},
+                               {"Name", DataType::String()}},
+                    {"Sid"})
+          .Relation("Study", {{"Sid", DataType::Int64()},
+                              {"Major", DataType::String()},
+                              {"Year", DataType::Int64()}},
+                    {"Sid"})
+          .Build();
+  // Peer 3: the web portal (flat listing, no year).
+  mm2::model::Schema portal =
+      mm2::model::SchemaBuilder("WebPortal", mm2::model::Metamodel::kRelational)
+          .Relation("Listing", {{"Sid", DataType::Int64()},
+                                {"Name", DataType::String()},
+                                {"Major", DataType::String()}},
+                    {"Sid"})
+          .Build();
+
+  // The two hops.
+  Tgd hop1;
+  hop1.body = {Atom{"Enrolled", {V("s"), V("n"), V("m"), V("y")}}};
+  hop1.head = {Atom{"Person", {V("s"), V("n")}},
+               Atom{"Study", {V("s"), V("m"), V("y")}}};
+  Mapping reg_to_dept =
+      Mapping::FromTgds("reg2dept", registrar, department, {hop1});
+  Tgd hop2;
+  hop2.body = {Atom{"Person", {V("s"), V("n")}},
+               Atom{"Study", {V("s"), V("m"), V("y")}}};
+  hop2.head = {Atom{"Listing", {V("s"), V("n"), V("m")}}};
+  Mapping dept_to_portal =
+      Mapping::FromTgds("dept2portal", department, portal, {hop2});
+  std::cout << reg_to_dept.ToString() << "\n\n"
+            << dept_to_portal.ToString() << "\n\n";
+
+  // Only the registrar holds data.
+  Instance db = Instance::EmptyFor(registrar);
+  (void)db.Insert("Enrolled", {Value::Int64(1), Value::String("Ada"),
+                               Value::String("CS"), Value::Int64(3)});
+  (void)db.Insert("Enrolled", {Value::Int64(2), Value::String("Bob"),
+                               Value::String("Math"), Value::Int64(1)});
+  (void)db.Insert("Enrolled", {Value::Int64(3), Value::String("Cyd"),
+                               Value::String("CS"), Value::Int64(2)});
+
+  // The portal query: who studies CS?
+  mm2::logic::ConjunctiveQuery q;
+  q.head = Atom{"Q", {V("n")}};
+  q.body = {Atom{"Listing",
+                 {V("s"), V("n"), Term::Const(Value::String("CS"))}}};
+  std::cout << "portal query: " << q.ToString() << "\n\n";
+
+  // (a) Propagate through the chain.
+  auto through_chain = mm2::rewrite::AnswerThroughChain(
+      {reg_to_dept, dept_to_portal}, q, db);
+  if (!through_chain.ok()) return Fail(through_chain.status());
+  std::cout << "answers via chain propagation:\n";
+  for (const auto& row : *through_chain) {
+    std::cout << "  " << mm2::instance::TupleToString(row) << "\n";
+  }
+
+  // (b) Collapse the chain first (the design-time optimization the paper
+  // describes), then exchange + query as a cross-check.
+  auto collapsed = mm2::compose::Compose(reg_to_dept, dept_to_portal);
+  if (!collapsed.ok()) return Fail(collapsed.status());
+  std::cout << "\ncollapsed mapping (Registrar => WebPortal):\n"
+            << collapsed->ToString() << "\n";
+  auto exchanged = mm2::chase::RunChase(*collapsed, db);
+  if (!exchanged.ok()) return Fail(exchanged.status());
+  auto direct = mm2::chase::CertainAnswers(q, exchanged->target);
+  if (!direct.ok()) return Fail(direct.status());
+
+  std::set<mm2::instance::Tuple> a(through_chain->begin(),
+                                   through_chain->end());
+  std::set<mm2::instance::Tuple> b(direct->begin(), direct->end());
+  std::cout << "\nchain propagation and collapsed-mapping answers agree: "
+            << (a == b ? "yes" : "NO") << "\n";
+  return 0;
+}

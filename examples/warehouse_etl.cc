@@ -1,0 +1,134 @@
+// Warehouse ETL: the paper's Fig. 4 scenario.
+//
+// A snowflake source (Empl -> Addr) must load a flat warehouse table
+// (Staff). The data architect only draws correspondences; because both
+// schemas are snowflakes with a root correspondence, each correspondence
+// has an unambiguous interpretation as the equality of two project-join
+// expressions (Fig. 4's constraints 1-3). The engine interprets them,
+// builds the mapping, loads the warehouse by data exchange with key
+// enforcement, and answers a provenance query about a loaded row.
+//
+// Build & run:  ./build/examples/warehouse_etl
+#include <iostream>
+
+#include "logic/formula.h"
+#include "match/correspondence.h"
+#include "model/schema.h"
+#include "runtime/runtime.h"
+
+using mm2::instance::Instance;
+using mm2::instance::Value;
+using mm2::model::DataType;
+
+namespace {
+
+int Fail(const mm2::Status& status) {
+  std::cerr << "error: " << status << std::endl;
+  return 1;
+}
+
+}  // namespace
+
+int main() {
+  // Fig. 4's schemas.
+  mm2::model::Schema source =
+      mm2::model::SchemaBuilder("OLTP", mm2::model::Metamodel::kRelational)
+          .Relation("Empl", {{"EID", DataType::Int64()},
+                             {"Name", DataType::String()},
+                             {"Tel", DataType::String()},
+                             {"AID", DataType::Int64()}},
+                    {"EID"})
+          .Relation("Addr", {{"AID", DataType::Int64()},
+                             {"City", DataType::String()},
+                             {"Zip", DataType::String()}},
+                    {"AID"})
+          .ForeignKey("Empl", {"AID"}, "Addr", {"AID"})
+          .Build();
+  mm2::model::Schema warehouse =
+      mm2::model::SchemaBuilder("DW", mm2::model::Metamodel::kRelational)
+          .Relation("Staff", {{"SID", DataType::Int64()},
+                              {"Name", DataType::String()},
+                              {"BirthDate", DataType::Date()},
+                              {"City", DataType::String()}},
+                    {"SID"})
+          .Build();
+
+  // The architect draws three correspondences (Fig. 4's arrows).
+  std::vector<mm2::match::Correspondence> correspondences = {
+      {{"Empl", "EID"}, {"Staff", "SID"}, 1.0},
+      {{"Empl", "Name"}, {"Staff", "Name"}, 1.0},
+      {{"Addr", "City"}, {"Staff", "City"}, 1.0},
+  };
+
+  auto constraints = mm2::match::InterpretCorrespondences(
+      source, "Empl", warehouse, "Staff", correspondences);
+  if (!constraints.ok()) return Fail(constraints.status());
+  std::cout << "interpreted constraints (Fig. 4):\n";
+  for (const auto& c : *constraints) {
+    std::cout << "  " << c.ToString() << "\n";
+  }
+
+  auto mapping = mm2::match::MappingFromConstraints("etl", source, warehouse,
+                                                    *constraints);
+  if (!mapping.ok()) return Fail(mapping.status());
+
+  // Key constraint on Staff so per-correspondence contributions merge into
+  // one row per employee.
+  using mm2::logic::Atom;
+  using mm2::logic::Egd;
+  using mm2::logic::Term;
+  for (const char* left : {"n1", "b1", "c1"}) {
+    Egd key;
+    key.body = {
+        Atom{"Staff", {Term::Var("s"), Term::Var("n1"), Term::Var("b1"),
+                       Term::Var("c1")}},
+        Atom{"Staff", {Term::Var("s"), Term::Var("n2"), Term::Var("b2"),
+                       Term::Var("c2")}}};
+    key.left = left;
+    key.right = std::string(1, left[0]) + "2";
+    mapping->AddTargetEgd(key);
+  }
+  std::cout << "\n" << mapping->ToString() << "\n\n";
+
+  // Source data.
+  Instance oltp = Instance::EmptyFor(source);
+  (void)oltp.Insert("Empl", {Value::Int64(1), Value::String("Ada"),
+                             Value::String("555-01"), Value::Int64(10)});
+  (void)oltp.Insert("Empl", {Value::Int64(2), Value::String("Bob"),
+                             Value::String("555-02"), Value::Int64(11)});
+  (void)oltp.Insert("Empl", {Value::Int64(3), Value::String("Cyd"),
+                             Value::String("555-03"), Value::Int64(10)});
+  (void)oltp.Insert("Addr", {Value::Int64(10), Value::String("Berlin"),
+                             Value::String("10115")});
+  (void)oltp.Insert("Addr", {Value::Int64(11), Value::String("Paris"),
+                             Value::String("75001")});
+
+  // Load with provenance tracking.
+  mm2::runtime::ExchangeOptions options;
+  options.track_provenance = true;
+  auto load = mm2::runtime::Exchange(*mapping, oltp, options);
+  if (!load.ok()) return Fail(load.status());
+  std::cout << "loaded warehouse (labeled nulls = unknown BirthDate):\n"
+            << load->target.ToString() << "\n";
+  std::cout << "chase stats: " << load->stats.tgd_firings << " rule firings, "
+            << load->stats.nulls_created << " nulls, "
+            << load->stats.egd_unifications << " key unifications\n\n";
+
+  // Provenance: which OLTP rows produced Ada's warehouse row?
+  mm2::chase::ChaseResult as_chase;
+  as_chase.provenance = load->provenance;
+  for (const mm2::instance::Tuple& row :
+       load->target.Find("Staff")->tuples()) {
+    if (row[1] == Value::String("Ada")) {
+      mm2::chase::Fact fact{"Staff", row};
+      std::cout << mm2::runtime::ExplainFact(as_chase, fact);
+      std::cout << "lineage:";
+      for (const mm2::chase::Fact& f :
+           mm2::runtime::Lineage(as_chase, fact)) {
+        std::cout << " " << f.ToString();
+      }
+      std::cout << "\n";
+    }
+  }
+  return 0;
+}

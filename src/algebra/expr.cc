@@ -1,0 +1,452 @@
+#include "algebra/expr.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace mm2::algebra {
+
+namespace {
+
+const char* CompareOpToString(Scalar::CompareOp op) {
+  switch (op) {
+    case Scalar::CompareOp::kEq:
+      return "=";
+    case Scalar::CompareOp::kNe:
+      return "<>";
+    case Scalar::CompareOp::kLt:
+      return "<";
+    case Scalar::CompareOp::kLe:
+      return "<=";
+    case Scalar::CompareOp::kGt:
+      return ">";
+    case Scalar::CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+}  // namespace
+
+ScalarRef Scalar::Column(std::string name) {
+  auto s = std::shared_ptr<Scalar>(new Scalar());
+  s->kind_ = Kind::kColumn;
+  s->column_ = std::move(name);
+  return s;
+}
+
+ScalarRef Scalar::Literal(instance::Value value) {
+  auto s = std::shared_ptr<Scalar>(new Scalar());
+  s->kind_ = Kind::kLiteral;
+  s->literal_ = std::move(value);
+  return s;
+}
+
+ScalarRef Scalar::Compare(CompareOp op, ScalarRef left, ScalarRef right) {
+  auto s = std::shared_ptr<Scalar>(new Scalar());
+  s->kind_ = Kind::kCompare;
+  s->compare_op_ = op;
+  s->children_ = {std::move(left), std::move(right)};
+  return s;
+}
+
+ScalarRef Scalar::Eq(ScalarRef left, ScalarRef right) {
+  return Compare(CompareOp::kEq, std::move(left), std::move(right));
+}
+
+ScalarRef Scalar::And(std::vector<ScalarRef> children) {
+  auto s = std::shared_ptr<Scalar>(new Scalar());
+  s->kind_ = Kind::kAnd;
+  s->children_ = std::move(children);
+  return s;
+}
+
+ScalarRef Scalar::Or(std::vector<ScalarRef> children) {
+  auto s = std::shared_ptr<Scalar>(new Scalar());
+  s->kind_ = Kind::kOr;
+  s->children_ = std::move(children);
+  return s;
+}
+
+ScalarRef Scalar::Not(ScalarRef child) {
+  auto s = std::shared_ptr<Scalar>(new Scalar());
+  s->kind_ = Kind::kNot;
+  s->children_ = {std::move(child)};
+  return s;
+}
+
+ScalarRef Scalar::IsNull(ScalarRef child) {
+  auto s = std::shared_ptr<Scalar>(new Scalar());
+  s->kind_ = Kind::kIsNull;
+  s->children_ = {std::move(child)};
+  return s;
+}
+
+ScalarRef Scalar::In(ScalarRef child, std::vector<instance::Value> values) {
+  auto s = std::shared_ptr<Scalar>(new Scalar());
+  s->kind_ = Kind::kIn;
+  s->children_ = {std::move(child)};
+  s->in_list_ = std::move(values);
+  return s;
+}
+
+ScalarRef Scalar::Case(std::vector<CaseBranch> branches, ScalarRef else_expr) {
+  auto s = std::shared_ptr<Scalar>(new Scalar());
+  s->kind_ = Kind::kCase;
+  s->case_branches_ = std::move(branches);
+  s->case_else_ = std::move(else_expr);
+  return s;
+}
+
+void Scalar::CollectColumns(std::vector<std::string>* out) const {
+  switch (kind_) {
+    case Kind::kColumn:
+      if (std::find(out->begin(), out->end(), column_) == out->end()) {
+        out->push_back(column_);
+      }
+      break;
+    case Kind::kLiteral:
+      break;
+    case Kind::kCase:
+      for (const CaseBranch& b : case_branches_) {
+        b.condition->CollectColumns(out);
+        b.result->CollectColumns(out);
+      }
+      if (case_else_ != nullptr) case_else_->CollectColumns(out);
+      break;
+    default:
+      for (const ScalarRef& c : children_) c->CollectColumns(out);
+      break;
+  }
+}
+
+std::string Scalar::ToString() const {
+  switch (kind_) {
+    case Kind::kColumn:
+      return column_;
+    case Kind::kLiteral:
+      return literal_.ToString();
+    case Kind::kCompare:
+      return children_[0]->ToString() + " " + CompareOpToString(compare_op_) +
+             " " + children_[1]->ToString();
+    case Kind::kAnd: {
+      std::vector<std::string> parts;
+      for (const ScalarRef& c : children_) {
+        parts.push_back("(" + c->ToString() + ")");
+      }
+      return mm2::Join(parts, " AND ");
+    }
+    case Kind::kOr: {
+      std::vector<std::string> parts;
+      for (const ScalarRef& c : children_) {
+        parts.push_back("(" + c->ToString() + ")");
+      }
+      return mm2::Join(parts, " OR ");
+    }
+    case Kind::kNot:
+      return "NOT (" + children_[0]->ToString() + ")";
+    case Kind::kIsNull:
+      return children_[0]->ToString() + " IS NULL";
+    case Kind::kIn: {
+      std::vector<std::string> parts;
+      for (const instance::Value& v : in_list_) parts.push_back(v.ToString());
+      return children_[0]->ToString() + " IN (" + mm2::Join(parts, ", ") + ")";
+    }
+    case Kind::kCase: {
+      std::string out = "CASE";
+      for (const CaseBranch& b : case_branches_) {
+        out += " WHEN " + b.condition->ToString() + " THEN " +
+               b.result->ToString();
+      }
+      if (case_else_ != nullptr) out += " ELSE " + case_else_->ToString();
+      out += " END";
+      return out;
+    }
+  }
+  return "?";
+}
+
+ScalarRef Col(std::string name) { return Scalar::Column(std::move(name)); }
+ScalarRef Lit(instance::Value value) {
+  return Scalar::Literal(std::move(value));
+}
+ScalarRef ColEqLit(std::string column, instance::Value value) {
+  return Scalar::Eq(Col(std::move(column)), Lit(std::move(value)));
+}
+ScalarRef ColEqCol(std::string left, std::string right) {
+  return Scalar::Eq(Col(std::move(left)), Col(std::move(right)));
+}
+
+ExprRef Expr::Scan(std::string relation) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kScan;
+  e->relation_ = std::move(relation);
+  return e;
+}
+
+ExprRef Expr::Const(std::vector<std::string> columns,
+                    std::vector<instance::Tuple> rows) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kConst;
+  e->const_columns_ = std::move(columns);
+  e->const_rows_ = std::move(rows);
+  return e;
+}
+
+ExprRef Expr::Select(ExprRef child, ScalarRef predicate) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kSelect;
+  e->children_ = {std::move(child)};
+  e->predicate_ = std::move(predicate);
+  return e;
+}
+
+ExprRef Expr::Project(ExprRef child, std::vector<NamedExpr> projections) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kProject;
+  e->children_ = {std::move(child)};
+  e->projections_ = std::move(projections);
+  return e;
+}
+
+ExprRef Expr::ProjectCols(ExprRef child, std::vector<std::string> columns) {
+  std::vector<NamedExpr> projections;
+  projections.reserve(columns.size());
+  for (std::string& c : columns) {
+    projections.push_back(NamedExpr{c, Scalar::Column(c)});
+  }
+  return Project(std::move(child), std::move(projections));
+}
+
+ExprRef Expr::Join(ExprRef left, ExprRef right, JoinKind kind,
+                   std::vector<std::pair<std::string, std::string>> keys) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kJoin;
+  e->children_ = {std::move(left), std::move(right)};
+  e->join_kind_ = kind;
+  e->join_keys_ = std::move(keys);
+  return e;
+}
+
+ExprRef Expr::Union(std::vector<ExprRef> children) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kUnion;
+  e->children_ = std::move(children);
+  return e;
+}
+
+ExprRef Expr::Difference(ExprRef left, ExprRef right) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kDifference;
+  e->children_ = {std::move(left), std::move(right)};
+  return e;
+}
+
+ExprRef Expr::Distinct(ExprRef child) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kDistinct;
+  e->children_ = {std::move(child)};
+  return e;
+}
+
+ExprRef Expr::Aggregate(ExprRef child, std::vector<std::string> group_by,
+                        std::vector<AggSpec> aggregates) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kAggregate;
+  e->children_ = {std::move(child)};
+  e->group_by_ = std::move(group_by);
+  e->aggregates_ = std::move(aggregates);
+  return e;
+}
+
+namespace {
+
+const char* AggOpName(Expr::AggOp op) {
+  switch (op) {
+    case Expr::AggOp::kCount:
+      return "COUNT";
+    case Expr::AggOp::kSum:
+      return "SUM";
+    case Expr::AggOp::kMin:
+      return "MIN";
+    case Expr::AggOp::kMax:
+      return "MAX";
+    case Expr::AggOp::kAvg:
+      return "AVG";
+  }
+  return "?";
+}
+
+std::string AggList(const std::vector<Expr::AggSpec>& aggs) {
+  std::vector<std::string> parts;
+  for (const Expr::AggSpec& a : aggs) {
+    std::string call = std::string(AggOpName(a.op)) + "(" +
+                       (a.op == Expr::AggOp::kCount && a.input.empty()
+                            ? "*"
+                            : a.input) +
+                       ")";
+    parts.push_back(call + " AS " + a.name);
+  }
+  return mm2::Join(parts, ", ");
+}
+
+}  // namespace
+
+std::size_t Expr::NodeCount() const {
+  std::size_t count = 1;
+  for (const ExprRef& c : children_) count += c->NodeCount();
+  return count;
+}
+
+std::string Expr::ToString() const {
+  switch (kind_) {
+    case Kind::kScan:
+      return relation_;
+    case Kind::kConst: {
+      std::vector<std::string> rows;
+      for (const instance::Tuple& t : const_rows_) {
+        rows.push_back(instance::TupleToString(t));
+      }
+      return "{" + mm2::Join(rows, ", ") + "}";
+    }
+    case Kind::kSelect:
+      return "σ[" + predicate_->ToString() + "](" +
+             children_[0]->ToString() + ")";
+    case Kind::kProject: {
+      std::vector<std::string> parts;
+      for (const NamedExpr& p : projections_) {
+        if (p.expr->kind() == Scalar::Kind::kColumn &&
+            p.expr->column() == p.name) {
+          parts.push_back(p.name);
+        } else {
+          parts.push_back(p.name + ":=" + p.expr->ToString());
+        }
+      }
+      return "π{" + mm2::Join(parts, ", ") + "}(" + children_[0]->ToString() + ")";
+    }
+    case Kind::kJoin: {
+      std::string op;
+      switch (join_kind_) {
+        case JoinKind::kInner:
+          op = " ⋈ ";
+          break;
+        case JoinKind::kLeftOuter:
+          op = " ⟕ ";
+          break;
+        case JoinKind::kCross:
+          op = " × ";
+          break;
+      }
+      std::string keys;
+      if (!join_keys_.empty()) {
+        std::vector<std::string> parts;
+        for (const auto& [l, r] : join_keys_) parts.push_back(l + "=" + r);
+        keys = "[" + mm2::Join(parts, ",") + "]";
+      }
+      return "(" + children_[0]->ToString() + op + keys +
+             children_[1]->ToString() + ")";
+    }
+    case Kind::kUnion: {
+      std::vector<std::string> parts;
+      for (const ExprRef& c : children_) parts.push_back(c->ToString());
+      return "(" + mm2::Join(parts, " ∪ ") + ")";
+    }
+    case Kind::kDifference:
+      return "(" + children_[0]->ToString() + " − " +
+             children_[1]->ToString() + ")";
+    case Kind::kDistinct:
+      return "δ(" + children_[0]->ToString() + ")";
+    case Kind::kAggregate:
+      return "γ{" + mm2::Join(group_by_, ",") + "; " + AggList(aggregates_) +
+             "}(" + children_[0]->ToString() + ")";
+  }
+  return "?";
+}
+
+std::string Expr::SqlIndented(int indent) const {
+  std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  switch (kind_) {
+    case Kind::kScan:
+      return pad + relation_;
+    case Kind::kConst: {
+      std::vector<std::string> rows;
+      for (const instance::Tuple& t : const_rows_) {
+        rows.push_back("ROW" + instance::TupleToString(t));
+      }
+      return pad + "(VALUES " + mm2::Join(rows, ", ") + ") AS v(" +
+             mm2::Join(const_columns_, ", ") + ")";
+    }
+    case Kind::kSelect:
+      return pad + "SELECT * FROM (\n" +
+             children_[0]->SqlIndented(indent + 1) + "\n" + pad +
+             ") WHERE " + predicate_->ToString();
+    case Kind::kProject: {
+      std::vector<std::string> parts;
+      for (const NamedExpr& p : projections_) {
+        if (p.expr->kind() == Scalar::Kind::kColumn &&
+            p.expr->column() == p.name) {
+          parts.push_back(p.name);
+        } else {
+          parts.push_back(p.expr->ToString() + " AS " + p.name);
+        }
+      }
+      return pad + "SELECT " + mm2::Join(parts, ", ") + " FROM (\n" +
+             children_[0]->SqlIndented(indent + 1) + "\n" + pad + ")";
+    }
+    case Kind::kJoin: {
+      std::string op;
+      switch (join_kind_) {
+        case JoinKind::kInner:
+          op = "INNER JOIN";
+          break;
+        case JoinKind::kLeftOuter:
+          op = "LEFT OUTER JOIN";
+          break;
+        case JoinKind::kCross:
+          op = "CROSS JOIN";
+          break;
+      }
+      std::string on;
+      if (!join_keys_.empty()) {
+        std::vector<std::string> parts;
+        for (const auto& [l, r] : join_keys_) parts.push_back(l + " = " + r);
+        on = "\n" + pad + "ON " + mm2::Join(parts, " AND ");
+      }
+      return pad + "(\n" + children_[0]->SqlIndented(indent + 1) + "\n" + pad +
+             ") " + op + " (\n" + children_[1]->SqlIndented(indent + 1) +
+             "\n" + pad + ")" + on;
+    }
+    case Kind::kUnion: {
+      std::vector<std::string> parts;
+      for (const ExprRef& c : children_) {
+        parts.push_back(c->SqlIndented(indent + 1));
+      }
+      return pad + "(\n" + mm2::Join(parts, "\n" + pad + ") UNION ALL (\n") + "\n" +
+             pad + ")";
+    }
+    case Kind::kDifference:
+      return pad + "(\n" + children_[0]->SqlIndented(indent + 1) + "\n" + pad +
+             ") EXCEPT (\n" + children_[1]->SqlIndented(indent + 1) + "\n" +
+             pad + ")";
+    case Kind::kDistinct:
+      return pad + "SELECT DISTINCT * FROM (\n" +
+             children_[0]->SqlIndented(indent + 1) + "\n" + pad + ")";
+    case Kind::kAggregate: {
+      std::string select = mm2::Join(group_by_, ", ");
+      if (!select.empty() && !aggregates_.empty()) select += ", ";
+      select += AggList(aggregates_);
+      std::string out = pad + "SELECT " + select + " FROM (\n" +
+                        children_[0]->SqlIndented(indent + 1) + "\n" + pad +
+                        ")";
+      if (!group_by_.empty()) {
+        out += "\n" + pad + "GROUP BY " + mm2::Join(group_by_, ", ");
+      }
+      return out;
+    }
+  }
+  return pad + "?";
+}
+
+std::string Expr::ToSql() const { return SqlIndented(0); }
+
+}  // namespace mm2::algebra

@@ -1,0 +1,204 @@
+#ifndef MM2_ALGEBRA_EXPR_H_
+#define MM2_ALGEBRA_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "instance/value.h"
+
+namespace mm2::algebra {
+
+// ---------------------------------------------------------------------------
+// Scalar expressions
+// ---------------------------------------------------------------------------
+
+// A scalar expression evaluated against one row: column references,
+// literals, comparisons, boolean connectives, NULL tests, IN-lists, and
+// CASE. CASE and IN are what the compiled query view of Fig. 3 needs
+// (CASE WHEN _from flags ... THEN construct Employee ...; e IS OF Employee
+// desugars to $type IN {subtype closure}).
+//
+// Null semantics: comparisons involving a plain NULL are false (two-valued
+// logic, documented simplification); labeled nulls compare by label.
+class Scalar;
+using ScalarRef = std::shared_ptr<const Scalar>;
+
+class Scalar {
+ public:
+  enum class Kind {
+    kColumn,
+    kLiteral,
+    kCompare,
+    kAnd,
+    kOr,
+    kNot,
+    kIsNull,
+    kIn,
+    kCase,
+  };
+
+  enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+  struct CaseBranch {
+    ScalarRef condition;
+    ScalarRef result;
+  };
+
+  Kind kind() const { return kind_; }
+  const std::string& column() const { return column_; }
+  const instance::Value& literal() const { return literal_; }
+  CompareOp compare_op() const { return compare_op_; }
+  const std::vector<ScalarRef>& children() const { return children_; }
+  const std::vector<instance::Value>& in_list() const { return in_list_; }
+  const std::vector<CaseBranch>& case_branches() const {
+    return case_branches_;
+  }
+  const ScalarRef& case_else() const { return case_else_; }
+
+  // Column names referenced anywhere in this expression.
+  void CollectColumns(std::vector<std::string>* out) const;
+
+  std::string ToString() const;
+
+  // Factories.
+  static ScalarRef Column(std::string name);
+  static ScalarRef Literal(instance::Value value);
+  static ScalarRef Compare(CompareOp op, ScalarRef left, ScalarRef right);
+  static ScalarRef Eq(ScalarRef left, ScalarRef right);
+  static ScalarRef And(std::vector<ScalarRef> children);
+  static ScalarRef Or(std::vector<ScalarRef> children);
+  static ScalarRef Not(ScalarRef child);
+  static ScalarRef IsNull(ScalarRef child);
+  static ScalarRef In(ScalarRef child, std::vector<instance::Value> values);
+  static ScalarRef Case(std::vector<CaseBranch> branches, ScalarRef else_expr);
+
+ private:
+  Scalar() = default;
+
+  Kind kind_ = Kind::kLiteral;
+  std::string column_;
+  instance::Value literal_;
+  CompareOp compare_op_ = CompareOp::kEq;
+  std::vector<ScalarRef> children_;
+  std::vector<instance::Value> in_list_;
+  std::vector<CaseBranch> case_branches_;
+  ScalarRef case_else_;
+};
+
+// Convenience shorthands used throughout the operator implementations.
+ScalarRef Col(std::string name);
+ScalarRef Lit(instance::Value value);
+ScalarRef ColEqLit(std::string column, instance::Value value);
+ScalarRef ColEqCol(std::string left, std::string right);
+
+// ---------------------------------------------------------------------------
+// Relational expressions
+// ---------------------------------------------------------------------------
+
+// An output column: name plus the scalar that computes it. Extended
+// projection subsumes rename and computed columns.
+struct NamedExpr {
+  std::string name;
+  ScalarRef expr;
+};
+
+// A relational algebra expression tree. Output columns are named and the
+// names within one operator's output must be unique; Join concatenates the
+// operand columns (collisions are an evaluation error, callers rename via
+// Project). Set semantics come from Distinct; other operators preserve
+// bags, matching SQL.
+class Expr;
+using ExprRef = std::shared_ptr<const Expr>;
+
+class Expr {
+ public:
+  enum class Kind {
+    kScan,      // base relation by name
+    kConst,     // literal relation (rows baked in), e.g. {("US")}
+    kSelect,    // sigma
+    kProject,   // extended projection / rename / computed columns
+    kJoin,      // equijoin (inner or left outer) or cross product
+    kUnion,     // UNION ALL (same arity; column names from first child)
+    kDifference,// set difference (left rows not in right)
+    kDistinct,  // duplicate elimination
+    kAggregate, // group-by with COUNT/SUM/MIN/MAX/AVG
+  };
+
+  enum class JoinKind { kInner, kLeftOuter, kCross };
+
+  enum class AggOp { kCount, kSum, kMin, kMax, kAvg };
+
+  // One aggregate output: op over `input` (column name; ignored for
+  // kCount), emitted as `name`.
+  struct AggSpec {
+    AggOp op = AggOp::kCount;
+    std::string input;
+    std::string name;
+  };
+
+  Kind kind() const { return kind_; }
+  const std::string& relation() const { return relation_; }
+  const std::vector<std::string>& const_columns() const {
+    return const_columns_;
+  }
+  const std::vector<instance::Tuple>& const_rows() const { return const_rows_; }
+  const std::vector<ExprRef>& children() const { return children_; }
+  const ScalarRef& predicate() const { return predicate_; }
+  const std::vector<NamedExpr>& projections() const { return projections_; }
+  JoinKind join_kind() const { return join_kind_; }
+  const std::vector<std::pair<std::string, std::string>>& join_keys() const {
+    return join_keys_;
+  }
+  const std::vector<std::string>& group_by() const { return group_by_; }
+  const std::vector<AggSpec>& aggregates() const { return aggregates_; }
+
+  // Number of relational operators in this tree (for size metrics).
+  std::size_t NodeCount() const;
+
+  // Compact algebra notation, e.g. "π{a,b}(σ[x = 1](R))".
+  std::string ToString() const;
+  // SQL-flavored rendering (multi-line), used to reproduce Fig. 3's listing.
+  std::string ToSql() const;
+
+  // Factories.
+  static ExprRef Scan(std::string relation);
+  static ExprRef Const(std::vector<std::string> columns,
+                       std::vector<instance::Tuple> rows);
+  static ExprRef Select(ExprRef child, ScalarRef predicate);
+  static ExprRef Project(ExprRef child, std::vector<NamedExpr> projections);
+  // Projection onto existing columns by name (no renaming).
+  static ExprRef ProjectCols(ExprRef child, std::vector<std::string> columns);
+  static ExprRef Join(ExprRef left, ExprRef right, JoinKind kind,
+                      std::vector<std::pair<std::string, std::string>> keys);
+  static ExprRef Union(std::vector<ExprRef> children);
+  static ExprRef Difference(ExprRef left, ExprRef right);
+  static ExprRef Distinct(ExprRef child);
+  // Grouped aggregation: output columns are the group-by columns followed
+  // by one column per AggSpec. With an empty group_by, a single global
+  // group (one output row even for empty input, SQL-style for COUNT).
+  static ExprRef Aggregate(ExprRef child, std::vector<std::string> group_by,
+                           std::vector<AggSpec> aggregates);
+
+ private:
+  Expr() = default;
+
+  std::string SqlIndented(int indent) const;
+
+  Kind kind_ = Kind::kScan;
+  std::string relation_;
+  std::vector<std::string> const_columns_;
+  std::vector<instance::Tuple> const_rows_;
+  std::vector<ExprRef> children_;
+  ScalarRef predicate_;
+  std::vector<NamedExpr> projections_;
+  JoinKind join_kind_ = JoinKind::kInner;
+  std::vector<std::pair<std::string, std::string>> join_keys_;
+  std::vector<std::string> group_by_;
+  std::vector<AggSpec> aggregates_;
+};
+
+}  // namespace mm2::algebra
+
+#endif  // MM2_ALGEBRA_EXPR_H_

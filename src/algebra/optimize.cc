@@ -1,0 +1,232 @@
+#include "algebra/optimize.h"
+
+#include "algebra/eval.h"
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace mm2::algebra {
+
+namespace {
+
+using instance::Value;
+
+std::optional<bool> LiteralTruth(const ScalarRef& s) {
+  if (s->kind() != Scalar::Kind::kLiteral) return std::nullopt;
+  const Value& v = s->literal();
+  if (v.kind() != Value::Kind::kBool) return std::nullopt;
+  return v.boolean();
+}
+
+}  // namespace
+
+ScalarRef SubstituteColumns(const ScalarRef& scalar,
+                            const std::map<std::string, ScalarRef>& bindings) {
+  switch (scalar->kind()) {
+    case Scalar::Kind::kColumn: {
+      auto it = bindings.find(scalar->column());
+      return it == bindings.end() ? scalar : it->second;
+    }
+    case Scalar::Kind::kLiteral:
+      return scalar;
+    case Scalar::Kind::kCompare:
+      return Scalar::Compare(
+          scalar->compare_op(),
+          SubstituteColumns(scalar->children()[0], bindings),
+          SubstituteColumns(scalar->children()[1], bindings));
+    case Scalar::Kind::kAnd:
+    case Scalar::Kind::kOr: {
+      std::vector<ScalarRef> children;
+      for (const ScalarRef& c : scalar->children()) {
+        children.push_back(SubstituteColumns(c, bindings));
+      }
+      return scalar->kind() == Scalar::Kind::kAnd
+                 ? Scalar::And(std::move(children))
+                 : Scalar::Or(std::move(children));
+    }
+    case Scalar::Kind::kNot:
+      return Scalar::Not(SubstituteColumns(scalar->children()[0], bindings));
+    case Scalar::Kind::kIsNull:
+      return Scalar::IsNull(
+          SubstituteColumns(scalar->children()[0], bindings));
+    case Scalar::Kind::kIn:
+      return Scalar::In(SubstituteColumns(scalar->children()[0], bindings),
+                        scalar->in_list());
+    case Scalar::Kind::kCase: {
+      std::vector<Scalar::CaseBranch> branches;
+      for (const Scalar::CaseBranch& b : scalar->case_branches()) {
+        branches.push_back({SubstituteColumns(b.condition, bindings),
+                            SubstituteColumns(b.result, bindings)});
+      }
+      ScalarRef else_expr =
+          scalar->case_else() == nullptr
+              ? nullptr
+              : SubstituteColumns(scalar->case_else(), bindings);
+      return Scalar::Case(std::move(branches), std::move(else_expr));
+    }
+  }
+  return scalar;
+}
+
+ScalarRef FoldScalar(const ScalarRef& scalar) {
+  switch (scalar->kind()) {
+    case Scalar::Kind::kColumn:
+    case Scalar::Kind::kLiteral:
+      return scalar;
+    case Scalar::Kind::kCompare: {
+      ScalarRef left = FoldScalar(scalar->children()[0]);
+      ScalarRef right = FoldScalar(scalar->children()[1]);
+      if (left->kind() == Scalar::Kind::kLiteral &&
+          right->kind() == Scalar::Kind::kLiteral) {
+        // Evaluate against an empty row: literals need no columns.
+        auto v = EvaluateScalar(*Scalar::Compare(scalar->compare_op(), left,
+                                                 right),
+                                {}, {});
+        if (v.ok()) return Lit(*v);
+      }
+      return Scalar::Compare(scalar->compare_op(), std::move(left),
+                             std::move(right));
+    }
+    case Scalar::Kind::kAnd: {
+      std::vector<ScalarRef> kept;
+      for (const ScalarRef& c : scalar->children()) {
+        ScalarRef folded = FoldScalar(c);
+        std::optional<bool> truth = LiteralTruth(folded);
+        if (truth.has_value()) {
+          if (!*truth) return Lit(Value::Bool(false));
+          continue;  // TRUE conjunct drops out
+        }
+        kept.push_back(std::move(folded));
+      }
+      if (kept.empty()) return Lit(Value::Bool(true));
+      if (kept.size() == 1) return kept.front();
+      return Scalar::And(std::move(kept));
+    }
+    case Scalar::Kind::kOr: {
+      std::vector<ScalarRef> kept;
+      for (const ScalarRef& c : scalar->children()) {
+        ScalarRef folded = FoldScalar(c);
+        std::optional<bool> truth = LiteralTruth(folded);
+        if (truth.has_value()) {
+          if (*truth) return Lit(Value::Bool(true));
+          continue;
+        }
+        kept.push_back(std::move(folded));
+      }
+      if (kept.empty()) return Lit(Value::Bool(false));
+      if (kept.size() == 1) return kept.front();
+      return Scalar::Or(std::move(kept));
+    }
+    case Scalar::Kind::kNot: {
+      ScalarRef child = FoldScalar(scalar->children()[0]);
+      std::optional<bool> truth = LiteralTruth(child);
+      if (truth.has_value()) return Lit(Value::Bool(!*truth));
+      return Scalar::Not(std::move(child));
+    }
+    case Scalar::Kind::kIsNull: {
+      ScalarRef child = FoldScalar(scalar->children()[0]);
+      if (child->kind() == Scalar::Kind::kLiteral) {
+        return Lit(Value::Bool(child->literal().is_null()));
+      }
+      return Scalar::IsNull(std::move(child));
+    }
+    case Scalar::Kind::kIn: {
+      ScalarRef child = FoldScalar(scalar->children()[0]);
+      if (child->kind() == Scalar::Kind::kLiteral) {
+        auto v = EvaluateScalar(*Scalar::In(child, scalar->in_list()), {}, {});
+        if (v.ok()) return Lit(*v);
+      }
+      return Scalar::In(std::move(child), scalar->in_list());
+    }
+    case Scalar::Kind::kCase: {
+      std::vector<Scalar::CaseBranch> branches;
+      for (const Scalar::CaseBranch& b : scalar->case_branches()) {
+        ScalarRef condition = FoldScalar(b.condition);
+        std::optional<bool> truth = LiteralTruth(condition);
+        if (truth.has_value()) {
+          if (!*truth) continue;  // dead branch
+          // First statically-true branch: the CASE collapses to it if no
+          // earlier dynamic branch exists, else it becomes the ELSE.
+          ScalarRef result = FoldScalar(b.result);
+          if (branches.empty()) return result;
+          return Scalar::Case(std::move(branches), std::move(result));
+        }
+        branches.push_back({std::move(condition), FoldScalar(b.result)});
+      }
+      ScalarRef else_expr = scalar->case_else() == nullptr
+                                ? nullptr
+                                : FoldScalar(scalar->case_else());
+      if (branches.empty()) {
+        return else_expr == nullptr ? Lit(Value::Null()) : else_expr;
+      }
+      return Scalar::Case(std::move(branches), std::move(else_expr));
+    }
+  }
+  return scalar;
+}
+
+ExprRef Simplify(const ExprRef& expr) {
+  // Bottom-up.
+  std::vector<ExprRef> children;
+  children.reserve(expr->children().size());
+  for (const ExprRef& c : expr->children()) {
+    children.push_back(Simplify(c));
+  }
+
+  switch (expr->kind()) {
+    case Expr::Kind::kScan:
+    case Expr::Kind::kConst:
+      return expr;
+    case Expr::Kind::kSelect: {
+      ScalarRef predicate = FoldScalar(expr->predicate());
+      std::optional<bool> truth = LiteralTruth(predicate);
+      if (truth.has_value() && *truth) return children[0];
+      // Select over Select: conjoin.
+      if (children[0]->kind() == Expr::Kind::kSelect) {
+        return Expr::Select(
+            children[0]->children()[0],
+            FoldScalar(Scalar::And(
+                {children[0]->predicate(), std::move(predicate)})));
+      }
+      return Expr::Select(std::move(children[0]), std::move(predicate));
+    }
+    case Expr::Kind::kProject: {
+      std::vector<NamedExpr> projections;
+      for (const NamedExpr& p : expr->projections()) {
+        projections.push_back({p.name, FoldScalar(p.expr)});
+      }
+      // Project over Project: substitute inner definitions.
+      if (children[0]->kind() == Expr::Kind::kProject) {
+        std::map<std::string, ScalarRef> inner;
+        for (const NamedExpr& p : children[0]->projections()) {
+          inner[p.name] = p.expr;
+        }
+        std::vector<NamedExpr> merged;
+        for (const NamedExpr& p : projections) {
+          merged.push_back(
+              {p.name, FoldScalar(SubstituteColumns(p.expr, inner))});
+        }
+        return Expr::Project(children[0]->children()[0], std::move(merged));
+      }
+      return Expr::Project(std::move(children[0]), std::move(projections));
+    }
+    case Expr::Kind::kJoin:
+      return Expr::Join(std::move(children[0]), std::move(children[1]),
+                        expr->join_kind(), expr->join_keys());
+    case Expr::Kind::kUnion:
+      if (children.size() == 1) return children[0];
+      return Expr::Union(std::move(children));
+    case Expr::Kind::kDifference:
+      return Expr::Difference(std::move(children[0]), std::move(children[1]));
+    case Expr::Kind::kDistinct:
+      if (children[0]->kind() == Expr::Kind::kDistinct) return children[0];
+      return Expr::Distinct(std::move(children[0]));
+    case Expr::Kind::kAggregate:
+      return Expr::Aggregate(std::move(children[0]), expr->group_by(),
+                             expr->aggregates());
+  }
+  return expr;
+}
+
+}  // namespace mm2::algebra

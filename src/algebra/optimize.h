@@ -1,0 +1,33 @@
+#ifndef MM2_ALGEBRA_OPTIMIZE_H_
+#define MM2_ALGEBRA_OPTIMIZE_H_
+
+#include <map>
+#include <string>
+
+#include "algebra/expr.h"
+
+namespace mm2::algebra {
+
+// A small rewriting pass over algebra expressions, applied to the plans
+// TransGen emits (which are deliberately naive, mirroring the declarative
+// constraints). Rewrites, to fixpoint:
+//   - Project(Project(x))        -> one Project (scalar composition)
+//   - Select(Select(x, p), q)    -> Select(x, p AND q)
+//   - Distinct(Distinct(x))      -> Distinct(x)
+//   - Union(single child)        -> child
+//   - Select(x, TRUE)            -> x
+//   - constant folding inside scalars (comparisons of literals, AND/OR
+//     with literal operands, NOT of literals, CASE on literal conditions)
+// Semantics are preserved exactly (tests evaluate both forms).
+ExprRef Simplify(const ExprRef& expr);
+
+// Scalar-level helpers, exposed for tests.
+ScalarRef FoldScalar(const ScalarRef& scalar);
+// Replaces column references per `bindings` (used to merge projections);
+// columns absent from the map are kept.
+ScalarRef SubstituteColumns(const ScalarRef& scalar,
+                            const std::map<std::string, ScalarRef>& bindings);
+
+}  // namespace mm2::algebra
+
+#endif  // MM2_ALGEBRA_OPTIMIZE_H_

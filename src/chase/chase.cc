@@ -1,0 +1,614 @@
+#include "chase/chase.h"
+
+#include "logic/acyclicity.h"
+
+#include <algorithm>
+#include <cassert>
+#include <optional>
+
+namespace mm2::chase {
+
+using instance::Instance;
+using instance::Tuple;
+using instance::Value;
+using logic::Atom;
+using logic::Term;
+
+std::string Fact::ToString() const {
+  return relation + instance::TupleToString(tuple);
+}
+
+void Provenance::Record(const Fact& target, Witness witness) {
+  map_[target].push_back(std::move(witness));
+}
+
+const std::vector<Witness>* Provenance::WitnessesOf(const Fact& target) const {
+  auto it = map_.find(target);
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+void Provenance::RewriteValue(const Value& from, const Value& to) {
+  auto rewrite_fact = [&](Fact fact) {
+    for (Value& v : fact.tuple) {
+      if (v == from) v = to;
+    }
+    return fact;
+  };
+  std::map<Fact, std::vector<Witness>> rewritten;
+  for (auto& [fact, witnesses] : map_) {
+    Fact new_fact = rewrite_fact(fact);
+    for (Witness& w : witnesses) {
+      for (Fact& f : w) f = rewrite_fact(f);
+    }
+    auto& slot = rewritten[new_fact];
+    slot.insert(slot.end(), witnesses.begin(), witnesses.end());
+  }
+  map_ = std::move(rewritten);
+}
+
+namespace {
+
+// Tries to extend `assignment` so that `atom` maps onto `tuple`.
+bool MatchTuple(const Atom& atom, const Tuple& tuple, Assignment* assignment,
+                std::vector<std::string>* newly_bound) {
+  if (atom.terms.size() != tuple.size()) return false;
+  for (std::size_t i = 0; i < atom.terms.size(); ++i) {
+    const Term& term = atom.terms[i];
+    switch (term.kind()) {
+      case Term::Kind::kConstant:
+        if (!(term.value() == tuple[i])) return false;
+        break;
+      case Term::Kind::kVariable: {
+        auto it = assignment->find(term.name());
+        if (it != assignment->end()) {
+          if (!(it->second == tuple[i])) return false;
+        } else {
+          assignment->emplace(term.name(), tuple[i]);
+          newly_bound->push_back(term.name());
+        }
+        break;
+      }
+      case Term::Kind::kFunction:
+        return false;  // function terms never occur in matchable bodies
+    }
+  }
+  return true;
+}
+
+void MatchAtomsRec(const std::vector<Atom>& atoms, std::size_t index,
+                   const Instance& database, Assignment* assignment,
+                   std::vector<Assignment>* out, std::size_t limit) {
+  if (limit != 0 && out->size() >= limit) return;
+  if (index == atoms.size()) {
+    out->push_back(*assignment);
+    return;
+  }
+  const Atom& atom = atoms[index];
+  const instance::RelationInstance* rel = database.Find(atom.relation);
+  if (rel == nullptr) return;
+  for (const Tuple& tuple : rel->tuples()) {
+    std::vector<std::string> newly_bound;
+    if (MatchTuple(atom, tuple, assignment, &newly_bound)) {
+      MatchAtomsRec(atoms, index + 1, database, assignment, out, limit);
+    }
+    for (const std::string& v : newly_bound) assignment->erase(v);
+    if (limit != 0 && out->size() >= limit) return;
+  }
+}
+
+}  // namespace
+
+std::vector<Assignment> MatchAtoms(const std::vector<Atom>& atoms,
+                                   const Instance& database,
+                                   std::size_t limit) {
+  std::vector<Assignment> out;
+  Assignment assignment;
+  MatchAtomsRec(atoms, 0, database, &assignment, &out, limit);
+  return out;
+}
+
+namespace {
+
+// Shared machinery for first- and second-order chases over a combined
+// (source + target) instance.
+// Data-exchange mode: tgd/clause bodies match against `source` (read-only)
+// and heads materialize into `target` — the two vocabularies never collide
+// even when schemas share relation names. Closure mode (ChaseInstance)
+// passes source == nullptr, making the target serve both roles.
+class ChaseRun {
+ public:
+  ChaseRun(const Instance* source, Instance target,
+           const ChaseOptions& options)
+      : source_(source), target_(std::move(target)), options_(options) {
+    std::int64_t source_max =
+        source_ == nullptr ? -1 : source_->MaxNullLabel();
+    next_label_ = std::max(options.first_null_label,
+                           std::max(source_max, target_.MaxNullLabel()) + 1);
+  }
+
+  const Instance& read_db() const {
+    return source_ == nullptr ? target_ : *source_;
+  }
+  Instance& target() { return target_; }
+  ChaseStats& stats() { return stats_; }
+  Provenance& provenance() { return provenance_; }
+
+  // Runs tgd clauses and egds to fixpoint. The clause list is in SO-clause
+  // form; plain tgds are represented with existentials pre-skolemized by
+  // the caller or passed via `existentials` handling below.
+  Status Run(const std::vector<logic::SoTgdClause>& clauses,
+             const std::vector<logic::Tgd>& fo_tgds,
+             const std::vector<logic::Egd>& egds) {
+    bool changed = true;
+    std::size_t rounds = 0;
+    while (changed) {
+      if (++rounds > options_.max_rounds) {
+        return Status::Internal("chase exceeded max_rounds (" +
+                                std::to_string(options_.max_rounds) + ")");
+      }
+      changed = false;
+      for (const logic::SoTgdClause& clause : clauses) {
+        MM2_ASSIGN_OR_RETURN(bool fired, FireSoClause(clause));
+        changed |= fired;
+      }
+      for (const logic::Tgd& tgd : fo_tgds) {
+        MM2_ASSIGN_OR_RETURN(bool fired, FireTgd(tgd));
+        changed |= fired;
+      }
+      for (const logic::Egd& egd : egds) {
+        MM2_ASSIGN_OR_RETURN(bool fired, FireEgd(egd));
+        changed |= fired;
+      }
+      ++stats_.rounds;
+    }
+    return Status::OK();
+  }
+
+ private:
+  Value FreshNull() {
+    ++stats_.nulls_created;
+    return Value::LabeledNull(next_label_++);
+  }
+
+  // Evaluates a head term under `assignment`, interpreting function terms
+  // through the Skolem table. When `invent` is false, a missing Skolem
+  // entry returns nullopt instead of creating a null.
+  std::optional<Value> EvalTerm(const Term& term, const Assignment& assignment,
+                                bool invent) {
+    switch (term.kind()) {
+      case Term::Kind::kConstant:
+        return term.value();
+      case Term::Kind::kVariable: {
+        auto it = assignment.find(term.name());
+        if (it != assignment.end()) return it->second;
+        // A head-only variable in a non-skolemized tgd: caller handles it.
+        return std::nullopt;
+      }
+      case Term::Kind::kFunction: {
+        std::vector<Value> args;
+        args.reserve(term.args().size());
+        for (const Term& arg : term.args()) {
+          std::optional<Value> v = EvalTerm(arg, assignment, invent);
+          if (!v.has_value()) return std::nullopt;
+          args.push_back(std::move(*v));
+        }
+        auto key = std::make_pair(term.name(), std::move(args));
+        auto it = skolem_.find(key);
+        if (it != skolem_.end()) return it->second;
+        if (!invent) return std::nullopt;
+        Value null = FreshNull();
+        skolem_.emplace(std::move(key), null);
+        return null;
+      }
+    }
+    return std::nullopt;
+  }
+
+  // Evaluates all head atoms of a clause; returns nullopt when some Skolem
+  // value does not exist yet and `invent` is false.
+  std::optional<std::vector<Fact>> EvalHead(const std::vector<Atom>& head,
+                                            const Assignment& assignment,
+                                            bool invent) {
+    std::vector<Fact> facts;
+    facts.reserve(head.size());
+    for (const Atom& atom : head) {
+      Fact fact;
+      fact.relation = atom.relation;
+      fact.tuple.reserve(atom.terms.size());
+      for (const Term& t : atom.terms) {
+        std::optional<Value> v = EvalTerm(t, assignment, invent);
+        if (!v.has_value()) return std::nullopt;
+        fact.tuple.push_back(std::move(*v));
+      }
+      facts.push_back(std::move(fact));
+    }
+    return facts;
+  }
+
+  bool AllPresent(const std::vector<Fact>& facts) const {
+    for (const Fact& f : facts) {
+      const instance::RelationInstance* rel = target_.Find(f.relation);
+      if (rel == nullptr || !rel->Contains(f.tuple)) return false;
+    }
+    return true;
+  }
+
+  Witness WitnessOf(const std::vector<Atom>& body,
+                    const Assignment& assignment) {
+    Witness witness;
+    for (const Atom& atom : body) {
+      Fact fact;
+      fact.relation = atom.relation;
+      for (const Term& t : atom.terms) {
+        std::optional<Value> v = EvalTerm(t, assignment, /*invent=*/false);
+        fact.tuple.push_back(v.value_or(Value::Null()));
+      }
+      witness.push_back(std::move(fact));
+    }
+    return witness;
+  }
+
+  Result<bool> InsertFacts(const std::vector<Fact>& facts,
+                           const std::vector<Atom>& body,
+                           const Assignment& assignment) {
+    bool inserted_any = false;
+    for (const Fact& f : facts) {
+      if (!target_.HasRelation(f.relation)) {
+        target_.DeclareRelation(f.relation, f.tuple.size());
+      }
+      instance::RelationInstance* rel = target_.FindMutable(f.relation);
+      if (rel->arity() != f.tuple.size()) {
+        return Status::InvalidArgument("arity mismatch on '" + f.relation +
+                                       "' during chase");
+      }
+      bool inserted = rel->Insert(f.tuple);
+      inserted_any |= inserted;
+      if (options_.track_provenance && inserted) {
+        provenance_.Record(f, WitnessOf(body, assignment));
+      }
+    }
+    if (inserted_any) ++stats_.tgd_firings;
+    return inserted_any;
+  }
+
+  Result<bool> FireSoClause(const logic::SoTgdClause& clause) {
+    bool changed = false;
+    std::vector<Assignment> matches = MatchAtoms(clause.body, read_db());
+    for (const Assignment& assignment : matches) {
+      // Premise equalities under Skolem semantics: two distinct constants
+      // act as a filter (the match simply does not fire); when a labeled
+      // null is involved we unify — the canonical interpretation where the
+      // constrained Skolem functions agree.
+      bool filtered_out = false;
+      for (const auto& [l, r] : clause.equalities) {
+        std::optional<Value> lv = EvalTerm(l, assignment, /*invent=*/true);
+        std::optional<Value> rv = EvalTerm(r, assignment, /*invent=*/true);
+        if (!lv.has_value() || !rv.has_value()) {
+          return Status::Internal("unbound term in SO-tgd equality");
+        }
+        if (*lv == *rv) continue;
+        if (!lv->is_labeled_null() && !rv->is_labeled_null()) {
+          filtered_out = true;
+          break;
+        }
+        MM2_RETURN_IF_ERROR(UnifyValues(*lv, *rv));
+        changed = true;
+      }
+      if (filtered_out) continue;
+      if (options_.restricted) {
+        std::optional<std::vector<Fact>> existing =
+            EvalHead(clause.head, assignment, /*invent=*/false);
+        if (existing.has_value() && AllPresent(*existing)) continue;
+      }
+      std::optional<std::vector<Fact>> facts =
+          EvalHead(clause.head, assignment, /*invent=*/true);
+      if (!facts.has_value()) {
+        return Status::Internal("unbound head variable in SO-tgd clause: " +
+                                clause.ToString());
+      }
+      MM2_ASSIGN_OR_RETURN(bool inserted,
+                           InsertFacts(*facts, clause.body, assignment));
+      changed |= inserted;
+    }
+    return changed;
+  }
+
+  Result<bool> FireTgd(const logic::Tgd& tgd) {
+    bool changed = false;
+    std::set<std::string> existentials = tgd.ExistentialVariables();
+    std::vector<Assignment> matches = MatchAtoms(tgd.body, read_db());
+    for (Assignment assignment : matches) {
+      if (options_.restricted) {
+        // Satisfied already? Look for an extension of the assignment that
+        // covers the head atoms in the target.
+        std::vector<Assignment> extension;
+        Assignment probe = assignment;
+        MatchAtomsRec(tgd.head, 0, target_, &probe, &extension, 1);
+        if (!extension.empty()) continue;
+      }
+      for (const std::string& e : existentials) {
+        assignment[e] = FreshNull();
+      }
+      std::optional<std::vector<Fact>> facts =
+          EvalHead(tgd.head, assignment, /*invent=*/false);
+      if (!facts.has_value()) {
+        return Status::Internal("unbound head variable in tgd: " +
+                                tgd.ToString());
+      }
+      MM2_ASSIGN_OR_RETURN(bool inserted,
+                           InsertFacts(*facts, tgd.body, assignment));
+      changed |= inserted;
+    }
+    return changed;
+  }
+
+  Result<bool> FireEgd(const logic::Egd& egd) {
+    bool changed = false;
+    while (true) {
+      bool fired = false;
+      std::vector<Assignment> matches = MatchAtoms(egd.body, target_);
+      for (const Assignment& assignment : matches) {
+        auto li = assignment.find(egd.left);
+        auto ri = assignment.find(egd.right);
+        if (li == assignment.end() || ri == assignment.end()) {
+          return Status::InvalidArgument("egd equality over unbound var: " +
+                                         egd.ToString());
+        }
+        if (li->second == ri->second) continue;
+        MM2_RETURN_IF_ERROR(UnifyValues(li->second, ri->second));
+        fired = true;
+        changed = true;
+        break;  // instance changed; recompute matches
+      }
+      if (!fired) break;
+    }
+    return changed;
+  }
+
+  // Equates two values: a labeled null is rewritten to the other value
+  // everywhere (preferring to keep constants); two distinct constants are
+  // an inconsistency.
+  Status UnifyValues(const Value& a, const Value& b) {
+    Value from;
+    Value to;
+    if (a.is_labeled_null()) {
+      from = a;
+      to = b;
+    } else if (b.is_labeled_null()) {
+      from = b;
+      to = a;
+    } else {
+      return Status::Inconsistent("egd forces distinct constants equal: " +
+                                  a.ToString() + " = " + b.ToString());
+    }
+    ++stats_.egd_unifications;
+    // Rewrite every relation extension of the target (nulls only ever
+    // live there).
+    for (auto& [name, rel] : target_.relations_mutable()) {
+      std::vector<Tuple> rewritten;
+      std::vector<Tuple> removed;
+      for (const Tuple& t : rel.tuples()) {
+        bool hit = false;
+        Tuple nt = t;
+        for (Value& v : nt) {
+          if (v == from) {
+            v = to;
+            hit = true;
+          }
+        }
+        if (hit) {
+          removed.push_back(t);
+          rewritten.push_back(std::move(nt));
+        }
+      }
+      for (const Tuple& t : removed) rel.Erase(t);
+      for (Tuple& t : rewritten) rel.Insert(std::move(t));
+    }
+    // Rewrite Skolem table images (and arguments).
+    std::map<std::pair<std::string, std::vector<Value>>, Value> new_skolem;
+    for (auto& [key, value] : skolem_) {
+      auto new_key = key;
+      for (Value& v : new_key.second) {
+        if (v == from) v = to;
+      }
+      Value new_value = (value == from) ? to : value;
+      auto it = new_skolem.find(new_key);
+      if (it != new_skolem.end() && !(it->second == new_value)) {
+        // Two entries collapse to the same key with different values:
+        // unify those too (recursion depth bounded by #nulls).
+        MM2_RETURN_IF_ERROR(UnifyValues(it->second, new_value));
+        return Status::OK();
+      }
+      new_skolem.emplace(std::move(new_key), std::move(new_value));
+    }
+    skolem_ = std::move(new_skolem);
+    if (options_.track_provenance) provenance_.RewriteValue(from, to);
+    return Status::OK();
+  }
+
+  const Instance* source_;  // nullptr => closure mode (read the target)
+  Instance target_;
+  const ChaseOptions& options_;
+  ChaseStats stats_;
+  Provenance provenance_;
+  std::int64_t next_label_ = 0;
+  std::map<std::pair<std::string, std::vector<Value>>, Value> skolem_;
+};
+
+}  // namespace
+
+Result<ChaseResult> RunChase(const logic::Mapping& mapping,
+                             const instance::Instance& source,
+                             const ChaseOptions& options) {
+  ChaseRun run(&source, Instance::EmptyFor(mapping.target()), options);
+  std::vector<logic::SoTgdClause> clauses;
+  std::vector<logic::Tgd> fo_tgds;
+  if (mapping.is_second_order()) {
+    clauses = mapping.so_tgd().clauses;
+  } else {
+    fo_tgds = mapping.tgds();
+    if (options.require_weak_acyclicity) {
+      logic::AcyclicityReport report = logic::CheckWeakAcyclicity(fo_tgds);
+      if (!report.weakly_acyclic) {
+        return Status::Unsupported("chase may not terminate: " +
+                                   report.ToString());
+      }
+    }
+  }
+  MM2_RETURN_IF_ERROR(run.Run(clauses, fo_tgds, mapping.target_egds()));
+
+  ChaseResult result;
+  result.stats = run.stats();
+  result.provenance = std::move(run.provenance());
+  result.target = std::move(run.target());
+  return result;
+}
+
+Result<ChaseResult> ChaseInstance(const std::vector<logic::Tgd>& tgds,
+                                  const std::vector<logic::Egd>& egds,
+                                  const instance::Instance& database,
+                                  const ChaseOptions& options) {
+  if (options.require_weak_acyclicity) {
+    logic::AcyclicityReport report = logic::CheckWeakAcyclicity(tgds);
+    if (!report.weakly_acyclic) {
+      return Status::Unsupported("chase may not terminate: " +
+                                 report.ToString());
+    }
+  }
+  ChaseRun run(nullptr, database, options);
+  MM2_RETURN_IF_ERROR(run.Run({}, tgds, egds));
+  ChaseResult result;
+  result.stats = run.stats();
+  result.provenance = std::move(run.provenance());
+  result.target = std::move(run.target());
+  return result;
+}
+
+Result<std::vector<Tuple>> CertainAnswers(const logic::ConjunctiveQuery& query,
+                                          const Instance& database) {
+  MM2_RETURN_IF_ERROR(query.Validate());
+  std::set<Tuple> answers;
+  for (const Assignment& assignment : MatchAtoms(query.body, database)) {
+    Tuple row;
+    row.reserve(query.head.terms.size());
+    bool has_null = false;
+    for (const Term& t : query.head.terms) {
+      Value v = t.is_constant() ? t.value() : assignment.at(t.name());
+      if (v.is_labeled_null()) has_null = true;
+      row.push_back(std::move(v));
+    }
+    if (!has_null) answers.insert(std::move(row));
+  }
+  return std::vector<Tuple>(answers.begin(), answers.end());
+}
+
+Result<std::vector<Tuple>> AllAnswers(const logic::ConjunctiveQuery& query,
+                                      const Instance& database) {
+  MM2_RETURN_IF_ERROR(query.Validate());
+  std::set<Tuple> answers;
+  for (const Assignment& assignment : MatchAtoms(query.body, database)) {
+    Tuple row;
+    row.reserve(query.head.terms.size());
+    for (const Term& t : query.head.terms) {
+      row.push_back(t.is_constant() ? t.value() : assignment.at(t.name()));
+    }
+    answers.insert(std::move(row));
+  }
+  return std::vector<Tuple>(answers.begin(), answers.end());
+}
+
+namespace {
+
+// Renders an instance as a list of atoms whose labeled nulls become
+// variables, so homomorphism search reduces to MatchAtoms.
+std::vector<Atom> InstanceAsAtoms(const Instance& database) {
+  std::vector<Atom> atoms;
+  for (const auto& [name, rel] : database.relations()) {
+    for (const Tuple& t : rel.tuples()) {
+      Atom atom;
+      atom.relation = name;
+      for (const Value& v : t) {
+        if (v.is_labeled_null()) {
+          atom.terms.push_back(
+              Term::Var("_n" + std::to_string(v.label())));
+        } else {
+          atom.terms.push_back(Term::Const(v));
+        }
+      }
+      atoms.push_back(std::move(atom));
+    }
+  }
+  return atoms;
+}
+
+}  // namespace
+
+bool ExistsHomomorphism(const Instance& from, const Instance& to) {
+  std::vector<Atom> atoms = InstanceAsAtoms(from);
+  return !MatchAtoms(atoms, to, /*limit=*/1).empty();
+}
+
+instance::Instance ComputeCore(const Instance& database) {
+  Instance core = database;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Collect nulls and candidate replacement values.
+    std::set<Value> nulls;
+    std::set<Value> values;
+    for (const auto& [name, rel] : core.relations()) {
+      for (const Tuple& t : rel.tuples()) {
+        for (const Value& v : t) {
+          values.insert(v);
+          if (v.is_labeled_null()) nulls.insert(v);
+        }
+      }
+    }
+    for (const Value& null : nulls) {
+      for (const Value& candidate : values) {
+        if (candidate == null) continue;
+        // Retraction h: null -> candidate, identity elsewhere. Valid if
+        // h(core) is contained in core.
+        bool valid = true;
+        for (const auto& [name, rel] : core.relations()) {
+          for (const Tuple& t : rel.tuples()) {
+            Tuple image = t;
+            bool hit = false;
+            for (Value& v : image) {
+              if (v == null) {
+                v = candidate;
+                hit = true;
+              }
+            }
+            if (hit && !rel.Contains(image)) {
+              valid = false;
+              break;
+            }
+          }
+          if (!valid) break;
+        }
+        if (valid) {
+          // Apply the retraction: rewrite and drop collapsed duplicates.
+          Instance retracted;
+          for (const auto& [name, rel] : core.relations()) {
+            retracted.DeclareRelation(name, rel.arity());
+            for (const Tuple& t : rel.tuples()) {
+              Tuple image = t;
+              for (Value& v : image) {
+                if (v == null) v = candidate;
+              }
+              retracted.InsertUnchecked(name, std::move(image));
+            }
+          }
+          core = std::move(retracted);
+          changed = true;
+          break;
+        }
+      }
+      if (changed) break;
+    }
+  }
+  return core;
+}
+
+}  // namespace mm2::chase

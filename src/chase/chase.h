@@ -1,0 +1,137 @@
+#ifndef MM2_CHASE_CHASE_H_
+#define MM2_CHASE_CHASE_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "instance/instance.h"
+#include "logic/formula.h"
+#include "logic/mapping.h"
+
+namespace mm2::chase {
+
+// A variable assignment produced by matching atoms against an instance.
+using Assignment = std::map<std::string, instance::Value>;
+
+// Finds every assignment of the variables in `atoms` such that each atom's
+// image is a tuple of `database`. Constants in atoms must match exactly;
+// repeated variables enforce equality. This is the workhorse behind tgd
+// application and conjunctive-query evaluation. `limit` bounds the number
+// of results (0 = unlimited).
+std::vector<Assignment> MatchAtoms(const std::vector<logic::Atom>& atoms,
+                                   const instance::Instance& database,
+                                   std::size_t limit = 0);
+
+// A fact is a (relation, tuple) pair; a witness is the list of source facts
+// that fired the rule deriving a target fact (why-provenance, Section 5).
+struct Fact {
+  std::string relation;
+  instance::Tuple tuple;
+
+  bool operator==(const Fact&) const = default;
+  bool operator<(const Fact& other) const {
+    if (relation != other.relation) return relation < other.relation;
+    return tuple < other.tuple;
+  }
+  std::string ToString() const;
+};
+
+using Witness = std::vector<Fact>;
+
+// Why-provenance: every target fact maps to the witnesses that derived it.
+class Provenance {
+ public:
+  void Record(const Fact& target, Witness witness);
+  const std::vector<Witness>* WitnessesOf(const Fact& target) const;
+  // Applies a value rewrite (null unification from an egd step) to both
+  // sides of the provenance map.
+  void RewriteValue(const instance::Value& from, const instance::Value& to);
+  std::size_t size() const { return map_.size(); }
+
+ private:
+  std::map<Fact, std::vector<Witness>> map_;
+};
+
+struct ChaseOptions {
+  // Upper bound on chase rounds; exceeding it is an error (the tgd sets the
+  // engine generates are weakly acyclic, so this is a safety net).
+  std::size_t max_rounds = 10000;
+  // Restricted (standard) chase: fire a tgd only when its head is not
+  // already satisfied. The unrestricted variant is exposed for tests.
+  bool restricted = true;
+  // First label to use for invented nulls.
+  std::int64_t first_null_label = 0;
+  // Record why-provenance for every derived fact.
+  bool track_provenance = false;
+  // Refuse (Unsupported) first-order rule sets that are not weakly
+  // acyclic, instead of running into max_rounds. s-t tgd mappings are
+  // always weakly acyclic; this matters for intra-schema closures.
+  bool require_weak_acyclicity = false;
+};
+
+struct ChaseStats {
+  std::size_t rounds = 0;
+  std::size_t tgd_firings = 0;
+  std::size_t nulls_created = 0;
+  std::size_t egd_unifications = 0;
+};
+
+struct ChaseResult {
+  instance::Instance target;
+  ChaseStats stats;
+  Provenance provenance;
+};
+
+// Runs the data-exchange chase: starting from `source`, fires the mapping's
+// constraints to build a target instance that is a *universal solution* —
+// labeled nulls stand for unknown existential values (Section 4). Works for
+// both first-order mappings (s-t tgds) and second-order ones: function
+// terms are interpreted by inventing one labeled null per distinct
+// (function, arguments) combination, which is exactly the Skolem semantics.
+// Target egds are then chased to enforce keys; two constants forced equal
+// yields an Inconsistent error.
+Result<ChaseResult> RunChase(const logic::Mapping& mapping,
+                             const instance::Instance& source,
+                             const ChaseOptions& options = {});
+
+// Chases a set of (same-schema) tgds/egds over `database` in place-style:
+// used for closing an instance under its own constraints.
+Result<ChaseResult> ChaseInstance(const std::vector<logic::Tgd>& tgds,
+                                  const std::vector<logic::Egd>& egds,
+                                  const instance::Instance& database,
+                                  const ChaseOptions& options = {});
+
+// Evaluates a conjunctive query over a (possibly null-carrying) instance
+// with naive-table semantics and returns the *certain answers*: result rows
+// containing a labeled null are dropped (Section 4's "not allowed to be
+// returned as part of the answer").
+Result<std::vector<instance::Tuple>> CertainAnswers(
+    const logic::ConjunctiveQuery& query, const instance::Instance& database);
+
+// All answers including null-carrying rows (the "possible" answers).
+Result<std::vector<instance::Tuple>> AllAnswers(
+    const logic::ConjunctiveQuery& query, const instance::Instance& database);
+
+// True if there is a homomorphism from `from` to `to`: constants map to
+// themselves, labeled nulls may map to anything, tuples map into `to`.
+// Universality of a chase result is exactly "it has a homomorphism into
+// every solution"; tests use this directly.
+bool ExistsHomomorphism(const instance::Instance& from,
+                        const instance::Instance& to);
+
+// Greedy core computation: repeatedly looks for a proper retraction that
+// maps some labeled null onto another value while keeping the instance
+// within itself, and applies it. For chase results of s-t tgd mappings this
+// reaches the core (the smallest universal solution, "getting to the
+// core"). Returns the retracted instance.
+instance::Instance ComputeCore(const instance::Instance& database);
+
+}  // namespace mm2::chase
+
+#endif  // MM2_CHASE_CHASE_H_

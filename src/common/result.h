@@ -1,0 +1,69 @@
+#ifndef MM2_COMMON_RESULT_H_
+#define MM2_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace mm2 {
+
+// Holds either a value of type T or an error Status, in the style of
+// arrow::Result. A default-constructed Result is an Internal error; the
+// usual way to produce one is `return value;` or `return Status::...;`.
+template <typename T>
+class Result {
+ public:
+  Result() : status_(Status::Internal("uninitialized Result")) {}
+
+  // Implicit conversions mirror arrow::Result: both `return value;` and
+  // `return status;` work at call sites.
+  Result(T value) : value_(std::move(value)) {}                // NOLINT
+  Result(Status status) : status_(std::move(status)) {         // NOLINT
+    assert(!status_.ok() && "OK status requires a value");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : status_;
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the value or `fallback` when this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace mm2
+
+#endif  // MM2_COMMON_RESULT_H_

@@ -1,0 +1,101 @@
+#ifndef MM2_COMMON_STATUS_H_
+#define MM2_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace mm2 {
+
+// Error taxonomy for the model management engine. Operator failures are
+// ordinary outcomes here (e.g., a mapping with no first-order inverse), so
+// they are reported through Status rather than by aborting.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // malformed schema, mapping, or expression
+  kNotFound,          // named schema/relation/attribute/mapping missing
+  kAlreadyExists,     // duplicate registration
+  kUnsupported,       // input outside the fragment an operator handles
+  kInconsistent,      // constraints unsatisfiable (e.g., failing egd chase)
+  kNotExpressible,    // result exists but not in the requested language
+  kInternal,          // invariant violation inside the engine
+};
+
+// String form of a StatusCode, e.g. "InvalidArgument".
+const char* StatusCodeToString(StatusCode code);
+
+// A success-or-error result, in the style of arrow::Status / rocksdb::Status.
+// The library does not throw; every fallible public entry point returns a
+// Status or a Result<T>.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Inconsistent(std::string msg) {
+    return Status(StatusCode::kInconsistent, std::move(msg));
+  }
+  static Status NotExpressible(std::string msg) {
+    return Status(StatusCode::kNotExpressible, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace mm2
+
+// Propagates a non-OK Status from an expression to the caller.
+#define MM2_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::mm2::Status _mm2_status = (expr);          \
+    if (!_mm2_status.ok()) return _mm2_status;   \
+  } while (false)
+
+// Evaluates an expression returning Result<T>; on success binds the value
+// to `lhs`, otherwise returns the error to the caller.
+#define MM2_ASSIGN_OR_RETURN(lhs, expr)                      \
+  MM2_ASSIGN_OR_RETURN_IMPL_(                                \
+      MM2_STATUS_CONCAT_(_mm2_result, __LINE__), lhs, expr)
+
+#define MM2_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value();
+
+#define MM2_STATUS_CONCAT_(a, b) MM2_STATUS_CONCAT_IMPL_(a, b)
+#define MM2_STATUS_CONCAT_IMPL_(a, b) a##b
+
+#endif  // MM2_COMMON_STATUS_H_

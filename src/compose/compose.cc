@@ -1,0 +1,265 @@
+#include "compose/compose.h"
+
+#include <map>
+#include <optional>
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace mm2::compose {
+
+using logic::Atom;
+using logic::Mapping;
+using logic::NameGenerator;
+using logic::SoTgd;
+using logic::SoTgdClause;
+using logic::Substitution;
+using logic::Term;
+
+namespace {
+
+// A normalized sigma12 rule: one body, one head atom (heads with k atoms
+// are split into k rules sharing the body), plus any premise equalities.
+struct ProducerRule {
+  std::vector<Atom> body;
+  std::vector<std::pair<Term, Term>> equalities;
+  Atom head;
+};
+
+std::vector<ProducerRule> NormalizeProducers(const SoTgd& so) {
+  std::vector<ProducerRule> rules;
+  for (const SoTgdClause& clause : so.clauses) {
+    for (const Atom& head : clause.head) {
+      rules.push_back(ProducerRule{clause.body, clause.equalities, head});
+    }
+  }
+  return rules;
+}
+
+ProducerRule RenameRule(const ProducerRule& rule, NameGenerator* gen) {
+  std::set<std::string> vars;
+  for (const Atom& a : rule.body) a.CollectVariables(&vars);
+  rule.head.CollectVariables(&vars);
+  for (const auto& [l, r] : rule.equalities) {
+    l.CollectVariables(&vars);
+    r.CollectVariables(&vars);
+  }
+  logic::VariableRenaming renaming;
+  for (const std::string& v : vars) renaming[v] = gen->Next();
+  ProducerRule out;
+  for (const Atom& a : rule.body) out.body.push_back(a.Rename(renaming));
+  for (const auto& [l, r] : rule.equalities) {
+    out.equalities.emplace_back(logic::ApplyRenaming(renaming, l),
+                                logic::ApplyRenaming(renaming, r));
+  }
+  out.head = rule.head.Rename(renaming);
+  return out;
+}
+
+SoTgdClause RenameClause(const SoTgdClause& clause, NameGenerator* gen) {
+  std::set<std::string> vars;
+  for (const Atom& a : clause.body) a.CollectVariables(&vars);
+  for (const Atom& a : clause.head) a.CollectVariables(&vars);
+  for (const auto& [l, r] : clause.equalities) {
+    l.CollectVariables(&vars);
+    r.CollectVariables(&vars);
+  }
+  logic::VariableRenaming renaming;
+  for (const std::string& v : vars) renaming[v] = gen->Next();
+  return clause.Rename(renaming);
+}
+
+// State of one resolution attempt: bindings for the consumer clause's
+// variables plus equalities forced along the way.
+struct Resolution {
+  Substitution theta;
+  std::vector<std::pair<Term, Term>> equalities;
+  std::vector<Atom> s1_body;
+  bool inconsistent = false;
+};
+
+// Resolves consumer atom `atom` against producer head `head`, extending
+// `res`. Consumer terms are first-order (variables/constants); producer
+// head terms may contain Skolem functions over producer (S1) variables.
+void ResolveAtom(const Atom& atom, const Atom& head, Resolution* res) {
+  for (std::size_t i = 0; i < atom.terms.size(); ++i) {
+    const Term& consumer = atom.terms[i];
+    Term produced = head.terms[i];  // already over S1 vocabulary
+    if (consumer.is_constant()) {
+      if (produced.is_constant()) {
+        if (!(consumer.value() == produced.value())) {
+          res->inconsistent = true;
+          return;
+        }
+      } else {
+        // Constant must equal a Skolem term or S1 variable: premise
+        // equality (a selection on S1 data / function constraint).
+        res->equalities.emplace_back(consumer, produced);
+      }
+      continue;
+    }
+    // Consumer variable.
+    const Term* bound = res->theta.Lookup(consumer.name());
+    if (bound == nullptr) {
+      res->theta.Bind(consumer.name(), produced);
+    } else {
+      Term existing = res->theta.Apply(*bound);
+      if (!(existing == produced)) {
+        // Try syntactic unification first (may bind S1-side variables);
+        // fall back to a premise equality for clashing function terms.
+        Substitution trial = res->theta;
+        if (logic::UnifyTerms(existing, produced, &trial)) {
+          res->theta = std::move(trial);
+        } else if (existing.is_constant() && produced.is_constant()) {
+          res->inconsistent = true;
+          return;
+        } else {
+          res->equalities.emplace_back(existing, produced);
+        }
+      }
+    }
+  }
+}
+
+void CollectFunctions(const Term& term, std::set<std::string>* out) {
+  if (term.is_function()) {
+    out->insert(term.name());
+    for (const Term& arg : term.args()) CollectFunctions(arg, out);
+  }
+}
+
+void CollectClauseFunctions(const SoTgdClause& clause,
+                            std::set<std::string>* out) {
+  for (const Atom& a : clause.head) {
+    for (const Term& t : a.terms) CollectFunctions(t, out);
+  }
+  for (const auto& [l, r] : clause.equalities) {
+    CollectFunctions(l, out);
+    CollectFunctions(r, out);
+  }
+}
+
+}  // namespace
+
+Result<Mapping> Compose(const Mapping& m12, const Mapping& m23,
+                        const ComposeOptions& options, ComposeStats* stats) {
+  ComposeStats local_stats;
+  ComposeStats* s = stats != nullptr ? stats : &local_stats;
+  *s = ComposeStats();
+
+  // Sanity: the mid schema vocabularies must line up. We check that every
+  // relation m23 reads in its bodies exists in m12's target schema or is
+  // never producible (in which case the clause is dropped later).
+  SoTgd sigma12 = m12.Skolemized();
+  SoTgd sigma23 = m23.Skolemized();
+
+  std::vector<ProducerRule> producers = NormalizeProducers(sigma12);
+  std::map<std::string, std::vector<const ProducerRule*>> producers_of;
+  for (const ProducerRule& rule : producers) {
+    producers_of[rule.head.relation].push_back(&rule);
+  }
+
+  NameGenerator fresh("_c");
+  SoTgd out;
+
+  for (const SoTgdClause& raw_clause : sigma23.clauses) {
+    SoTgdClause clause = RenameClause(raw_clause, &fresh);
+    // Every body atom needs at least one producer, else the clause can
+    // never be triggered through m12 and imposes no S1=>S3 constraint.
+    bool resolvable = true;
+    for (const Atom& atom : clause.body) {
+      auto it = producers_of.find(atom.relation);
+      if (it == producers_of.end()) {
+        resolvable = false;
+        break;
+      }
+      bool arity_ok = false;
+      for (const ProducerRule* rule : it->second) {
+        if (rule->head.terms.size() == atom.terms.size()) arity_ok = true;
+      }
+      if (!arity_ok) resolvable = false;
+    }
+    if (!resolvable) {
+      ++s->clauses_unresolvable;
+      continue;
+    }
+
+    // Enumerate all producer combinations (the exponential step).
+    std::vector<Resolution> partial = {Resolution{}};
+    for (const Atom& atom : clause.body) {
+      std::vector<Resolution> next;
+      for (const Resolution& res : partial) {
+        for (const ProducerRule* rule : producers_of[atom.relation]) {
+          if (rule->head.terms.size() != atom.terms.size()) continue;
+          ++s->combinations_examined;
+          ProducerRule renamed = RenameRule(*rule, &fresh);
+          Resolution extended = res;
+          ResolveAtom(atom, renamed.head, &extended);
+          if (extended.inconsistent) {
+            ++s->combinations_inconsistent;
+            continue;
+          }
+          for (const Atom& b : renamed.body) extended.s1_body.push_back(b);
+          for (const auto& eq : renamed.equalities) {
+            extended.equalities.push_back(eq);
+          }
+          next.push_back(std::move(extended));
+          if (next.size() > options.max_clauses) {
+            return Status::Unsupported(
+                "composition exceeds max_clauses=" +
+                std::to_string(options.max_clauses) +
+                " (SO-tgd composition is exponential in the worst case)");
+          }
+        }
+      }
+      partial = std::move(next);
+    }
+
+    for (Resolution& res : partial) {
+      SoTgdClause composed;
+      composed.body = std::move(res.s1_body);
+      for (Atom& atom : composed.body) {
+        atom = atom.ApplySubstitution(res.theta);
+      }
+      for (auto& [l, r] : res.equalities) {
+        Term lt = res.theta.Apply(l);
+        Term rt = res.theta.Apply(r);
+        if (lt == rt) continue;
+        composed.equalities.emplace_back(std::move(lt), std::move(rt));
+      }
+      for (auto& [l, r] : clause.equalities) {
+        composed.equalities.emplace_back(res.theta.Apply(l),
+                                         res.theta.Apply(r));
+      }
+      for (const Atom& h : clause.head) {
+        composed.head.push_back(h.ApplySubstitution(res.theta));
+      }
+      s->output_equalities += composed.equalities.size();
+      out.clauses.push_back(std::move(composed));
+      if (out.clauses.size() > options.max_clauses) {
+        return Status::Unsupported(
+            "composition exceeds max_clauses=" +
+            std::to_string(options.max_clauses));
+      }
+    }
+  }
+
+  for (const SoTgdClause& clause : out.clauses) {
+    CollectClauseFunctions(clause, &out.functions);
+  }
+  s->output_clauses = out.clauses.size();
+
+  std::string name = m12.name() + ";" + m23.name();
+  if (options.try_deskolemize) {
+    std::optional<std::vector<logic::Tgd>> fo = logic::Deskolemize(out);
+    if (fo.has_value()) {
+      s->first_order = true;
+      return Mapping::FromTgds(std::move(name), m12.source(), m23.target(),
+                               std::move(*fo));
+    }
+  }
+  return Mapping::FromSoTgd(std::move(name), m12.source(), m23.target(),
+                            std::move(out));
+}
+
+}  // namespace mm2::compose

@@ -1,0 +1,59 @@
+#ifndef MM2_COMPOSE_COMPOSE_H_
+#define MM2_COMPOSE_COMPOSE_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/result.h"
+#include "logic/mapping.h"
+
+namespace mm2::compose {
+
+struct ComposeOptions {
+  // When the composed SO-tgd admits a first-order reading, return it as
+  // plain s-t tgds. SO-tgds are closed under composition; s-t tgds are not
+  // (paper Section 6.1), so this can legitimately fail, in which case the
+  // result mapping stays second-order.
+  bool try_deskolemize = true;
+  // Abort when the output would exceed this many clauses. The composition
+  // algorithm has an exponential lower bound (Fagin et al.), so a guard is
+  // part of the contract; hitting it returns Unsupported.
+  std::size_t max_clauses = 1 << 20;
+};
+
+struct ComposeStats {
+  // Clause-combination candidates examined (the exponential quantity).
+  std::size_t combinations_examined = 0;
+  // Combinations dropped because constants clashed.
+  std::size_t combinations_inconsistent = 0;
+  // Clauses of sigma23 dropped because some mid-schema atom has no
+  // producing rule in sigma12 (the premise can never be forced).
+  std::size_t clauses_unresolvable = 0;
+  // Clauses in the output.
+  std::size_t output_clauses = 0;
+  // Premise equalities in the output (second-order residue).
+  std::size_t output_equalities = 0;
+  // Whether deskolemization succeeded.
+  bool first_order = false;
+};
+
+// The Compose operator: given mappings m12 (S1 => S2) and m23 (S2 => S3),
+// returns a mapping S1 => S3 whose instance-level semantics is relational
+// composition: { <D1,D3> : exists D2. <D1,D2> in m12 and <D2,D3> in m23 }.
+//
+// Implements the second-order tgd composition of Fagin, Kolaitis, Popa and
+// Tan: both inputs are skolemized, each mid-schema premise atom of an m23
+// clause is resolved against every head atom of m12 clauses that can
+// produce it, and clashes between Skolem terms become premise equalities.
+// The result is deskolemized back to s-t tgds when possible.
+//
+// Requires m12.target() and m23.source() to agree on the relations the
+// constraints mention (checked by name/arity).
+Result<logic::Mapping> Compose(const logic::Mapping& m12,
+                               const logic::Mapping& m23,
+                               const ComposeOptions& options = {},
+                               ComposeStats* stats = nullptr);
+
+}  // namespace mm2::compose
+
+#endif  // MM2_COMPOSE_COMPOSE_H_

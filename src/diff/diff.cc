@@ -1,0 +1,236 @@
+#include "diff/diff.h"
+
+#include <map>
+#include <set>
+#include <utility>
+
+#include "chase/chase.h"
+#include "logic/formula.h"
+
+namespace mm2::diff {
+
+using instance::Instance;
+using instance::Tuple;
+using instance::Value;
+using logic::Atom;
+using logic::Mapping;
+using logic::Term;
+using logic::Tgd;
+
+namespace {
+
+// Computes, for each relation of mapping.source(), the set of attribute
+// indices whose data the mapping carries: positions in body atoms holding a
+// variable that reaches the head (or a constant filter, which pins the
+// attribute's value and thus participates).
+std::map<std::string, std::set<std::size_t>> ParticipatingAttributes(
+    const Mapping& mapping) {
+  std::map<std::string, std::set<std::size_t>> participating;
+  for (const Tgd& tgd : mapping.tgds()) {
+    std::set<std::string> head_vars = tgd.HeadVariables();
+    for (const Atom& atom : tgd.body) {
+      for (std::size_t i = 0; i < atom.terms.size(); ++i) {
+        const Term& t = atom.terms[i];
+        bool carries = t.is_constant() ||
+                       (t.is_variable() && head_vars.count(t.name()) > 0);
+        if (carries) participating[atom.relation].insert(i);
+      }
+    }
+  }
+  return participating;
+}
+
+// Builds a sub-schema keeping `kept[r]` attribute indices per relation,
+// plus the projection tgds source-relation -> sub-relation.
+SubSchemaResult BuildSubSchema(
+    const Mapping& mapping, const std::string& name_suffix,
+    const std::map<std::string, std::set<std::size_t>>& kept) {
+  SubSchemaResult result;
+  result.schema =
+      model::Schema(mapping.source().name() + name_suffix,
+                    mapping.source().metamodel());
+  std::vector<Tgd> tgds;
+  for (const model::Relation& r : mapping.source().relations()) {
+    auto it = kept.find(r.name());
+    if (it == kept.end() || it->second.empty()) continue;
+    std::vector<model::Attribute> attrs;
+    std::vector<std::size_t> pk;
+    for (std::size_t i : it->second) {
+      if (r.IsKeyAttribute(i)) pk.push_back(attrs.size());
+      attrs.push_back(r.attribute(i));
+      result.kept_elements.push_back(r.name() + "." + r.attribute(i).name);
+    }
+    result.schema.AddRelation(model::Relation(r.name(), attrs, pk));
+
+    Tgd projection;
+    Atom body;
+    body.relation = r.name();
+    for (std::size_t i = 0; i < r.arity(); ++i) {
+      body.terms.push_back(Term::Var("x" + std::to_string(i)));
+    }
+    Atom head;
+    head.relation = r.name();
+    for (std::size_t i : it->second) {
+      head.terms.push_back(Term::Var("x" + std::to_string(i)));
+    }
+    projection.body = {std::move(body)};
+    projection.head = {std::move(head)};
+    tgds.push_back(std::move(projection));
+  }
+  result.mapping = Mapping::FromTgds(
+      mapping.source().name() + name_suffix + "_proj", mapping.source(),
+      result.schema, std::move(tgds));
+  return result;
+}
+
+}  // namespace
+
+Result<SubSchemaResult> Extract(const Mapping& mapping) {
+  if (mapping.is_second_order()) {
+    return Status::Unsupported("Extract expects a first-order mapping");
+  }
+  std::map<std::string, std::set<std::size_t>> participating =
+      ParticipatingAttributes(mapping);
+  return BuildSubSchema(mapping, "_extract", participating);
+}
+
+Result<SubSchemaResult> Diff(const Mapping& mapping) {
+  if (mapping.is_second_order()) {
+    return Status::Unsupported("Diff expects a first-order mapping");
+  }
+  std::map<std::string, std::set<std::size_t>> participating =
+      ParticipatingAttributes(mapping);
+  std::map<std::string, std::set<std::size_t>> complement;
+  for (const model::Relation& r : mapping.source().relations()) {
+    auto it = participating.find(r.name());
+    std::set<std::size_t> missing;
+    for (std::size_t i = 0; i < r.arity(); ++i) {
+      if (it == participating.end() || it->second.count(i) == 0) {
+        missing.insert(i);
+      }
+    }
+    if (missing.empty()) continue;  // fully covered: nothing new here
+    // Keep the key context so the complement can be rejoined with the
+    // extract (the view-complement construction).
+    for (std::size_t k : r.primary_key()) missing.insert(k);
+    complement[r.name()] = std::move(missing);
+  }
+  return BuildSubSchema(mapping, "_diff", complement);
+}
+
+Result<Instance> Apply(const SubSchemaResult& sub, const Instance& source) {
+  // The sub-schema reuses the original relation names (it is a sub-schema,
+  // not a new vocabulary), so this is a direct projection rather than a
+  // chase over a combined instance.
+  Instance out;
+  for (const model::Relation& r : sub.schema.relations()) {
+    const model::Relation* orig =
+        sub.mapping.source().FindRelation(r.name());
+    if (orig == nullptr) {
+      return Status::Internal("sub-schema relation '" + r.name() +
+                              "' missing from original schema");
+    }
+    std::vector<std::size_t> positions;
+    for (const model::Attribute& a : r.attributes()) {
+      auto idx = orig->AttributeIndex(a.name);
+      if (!idx.has_value()) {
+        return Status::Internal("sub-schema attribute '" + r.name() + "." +
+                                a.name + "' missing from original relation");
+      }
+      positions.push_back(*idx);
+    }
+    out.DeclareRelation(r.name(), r.arity());
+    const instance::RelationInstance* rel = source.Find(r.name());
+    if (rel == nullptr) continue;
+    for (const Tuple& t : rel->tuples()) {
+      Tuple projected;
+      projected.reserve(positions.size());
+      for (std::size_t p : positions) projected.push_back(t[p]);
+      out.InsertUnchecked(r.name(), std::move(projected));
+    }
+  }
+  return out;
+}
+
+Result<Instance> Reconstruct(const model::Schema& original,
+                             const SubSchemaResult& extract,
+                             const Instance& extract_data,
+                             const SubSchemaResult& complement,
+                             const Instance& diff_data) {
+  Instance out;
+  for (const model::Relation& orig : original.relations()) {
+    const model::Relation* er = extract.schema.FindRelation(orig.name());
+    const model::Relation* dr = complement.schema.FindRelation(orig.name());
+    if (er == nullptr && dr == nullptr) continue;
+    out.DeclareRelation(orig.name(), orig.arity());
+
+    // Pass-through cases: the relation lives entirely on one side. The
+    // side's attributes must cover the original relation for the
+    // reconstruction to be faithful; otherwise missing columns are NULL.
+    auto passthrough = [&](const model::Relation& side,
+                           const Instance& data) {
+      const instance::RelationInstance* rel = data.Find(orig.name());
+      if (rel == nullptr) return;
+      for (const Tuple& t : rel->tuples()) {
+        Tuple row(orig.arity(), Value::Null());
+        for (std::size_t j = 0; j < side.arity(); ++j) {
+          auto idx = orig.AttributeIndex(side.attribute(j).name);
+          if (idx.has_value()) row[*idx] = t[j];
+        }
+        out.InsertUnchecked(orig.name(), std::move(row));
+      }
+    };
+    if (dr == nullptr) {
+      passthrough(*er, extract_data);
+      continue;
+    }
+    if (er == nullptr) {
+      passthrough(*dr, diff_data);
+      continue;
+    }
+
+    // Natural join on shared attribute names, then reorder into the
+    // original attribute positions.
+    std::vector<std::pair<std::size_t, std::size_t>> shared;  // (ei, dj)
+    for (std::size_t j = 0; j < dr->arity(); ++j) {
+      auto idx = er->AttributeIndex(dr->attribute(j).name);
+      if (idx.has_value()) shared.push_back({*idx, j});
+    }
+    if (shared.empty()) {
+      return Status::InvalidArgument(
+          "cannot reconstruct '" + orig.name() +
+          "': extract and diff share no attributes (key did not "
+          "participate in the mapping)");
+    }
+    const instance::RelationInstance* left = extract_data.Find(orig.name());
+    const instance::RelationInstance* right = diff_data.Find(orig.name());
+    if (left == nullptr || right == nullptr) continue;
+    std::map<Tuple, std::vector<const Tuple*>> index;
+    for (const Tuple& t : right->tuples()) {
+      Tuple key;
+      for (const auto& [ei, dj] : shared) key.push_back(t[dj]);
+      index[std::move(key)].push_back(&t);
+    }
+    for (const Tuple& t : left->tuples()) {
+      Tuple key;
+      for (const auto& [ei, dj] : shared) key.push_back(t[ei]);
+      auto it = index.find(key);
+      if (it == index.end()) continue;
+      for (const Tuple* rt : it->second) {
+        Tuple row(orig.arity(), Value::Null());
+        for (std::size_t j = 0; j < er->arity(); ++j) {
+          auto idx = orig.AttributeIndex(er->attribute(j).name);
+          if (idx.has_value()) row[*idx] = t[j];
+        }
+        for (std::size_t j = 0; j < dr->arity(); ++j) {
+          auto idx = orig.AttributeIndex(dr->attribute(j).name);
+          if (idx.has_value()) row[*idx] = (*rt)[j];
+        }
+        out.InsertUnchecked(orig.name(), std::move(row));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace mm2::diff

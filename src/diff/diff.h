@@ -1,0 +1,54 @@
+#ifndef MM2_DIFF_DIFF_H_
+#define MM2_DIFF_DIFF_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "instance/instance.h"
+#include "logic/mapping.h"
+
+namespace mm2::diff {
+
+// Result of Extract or Diff: a sub-schema of the input mapping's *source*
+// schema plus the projection mapping from the source onto it.
+struct SubSchemaResult {
+  model::Schema schema;
+  logic::Mapping mapping;  // m.source() => schema (projection tgds)
+  // Which elements of the input schema were kept, e.g. "R.a".
+  std::vector<std::string> kept_elements;
+};
+
+// Extract(S, map): the maximal sub-schema of S = map.source() that
+// participates in the mapping — every relation/attribute whose data flows
+// into the mapping's head — along with the projection mapping onto it
+// (paper Section 6.2). To diff a *target* schema S' against mapS-S', pass
+// Invert(mapS-S') as the paper prescribes.
+Result<SubSchemaResult> Extract(const logic::Mapping& mapping);
+
+// Diff(S, map): the complement of Extract — the sub-schema covering the
+// parts of S the mapping does not carry. Following the view-complement
+// construction (Lechtenbörger–Vossen), each kept relation also retains its
+// primary-key attributes so the complement can be rejoined with the
+// extract; a relation the mapping covers completely is omitted.
+Result<SubSchemaResult> Diff(const logic::Mapping& mapping);
+
+// Applies the projection mapping of a SubSchemaResult to an instance of
+// the original schema, producing the sub-schema's instance.
+Result<instance::Instance> Apply(const SubSchemaResult& sub,
+                                 const instance::Instance& source);
+
+// Rejoins extract and diff instances (natural join per relation on shared
+// attributes; relations present on only one side pass through), arranging
+// columns back into `original`'s attribute order. When the primary key
+// participates in the mapping, Reconstruct(Apply(extract), Apply(diff))
+// equals the original instance — the complement property the tests verify.
+Result<instance::Instance> Reconstruct(const model::Schema& original,
+                                       const SubSchemaResult& extract,
+                                       const instance::Instance& extract_data,
+                                       const SubSchemaResult& complement,
+                                       const instance::Instance& diff_data);
+
+}  // namespace mm2::diff
+
+#endif  // MM2_DIFF_DIFF_H_

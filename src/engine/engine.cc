@@ -1,0 +1,374 @@
+#include "engine/engine.h"
+
+#include <sstream>
+#include <utility>
+
+#include "common/strings.h"
+#include "transgen/relational.h"
+
+namespace mm2::engine {
+
+Status Repository::PutSchema(model::Schema schema) {
+  MM2_RETURN_IF_ERROR(schema.Validate());
+  if (schema.name().empty()) {
+    return Status::InvalidArgument("schema needs a name");
+  }
+  ++schema_versions_[schema.name()];
+  schemas_.insert_or_assign(schema.name(), std::move(schema));
+  return Status::OK();
+}
+
+Status Repository::PutMapping(logic::Mapping mapping) {
+  MM2_RETURN_IF_ERROR(mapping.Validate());
+  if (mapping.name().empty()) {
+    return Status::InvalidArgument("mapping needs a name");
+  }
+  ++mapping_versions_[mapping.name()];
+  mappings_.insert_or_assign(mapping.name(), std::move(mapping));
+  return Status::OK();
+}
+
+Status Repository::PutInstance(std::string name, instance::Instance db) {
+  if (name.empty()) return Status::InvalidArgument("instance needs a name");
+  instances_.insert_or_assign(std::move(name), std::move(db));
+  return Status::OK();
+}
+
+Result<model::Schema> Repository::GetSchema(const std::string& name) const {
+  auto it = schemas_.find(name);
+  if (it == schemas_.end()) {
+    return Status::NotFound("no schema '" + name + "' in repository");
+  }
+  return it->second;
+}
+
+Result<logic::Mapping> Repository::GetMapping(const std::string& name) const {
+  auto it = mappings_.find(name);
+  if (it == mappings_.end()) {
+    return Status::NotFound("no mapping '" + name + "' in repository");
+  }
+  return it->second;
+}
+
+Result<instance::Instance> Repository::GetInstance(
+    const std::string& name) const {
+  auto it = instances_.find(name);
+  if (it == instances_.end()) {
+    return Status::NotFound("no instance '" + name + "' in repository");
+  }
+  return it->second;
+}
+
+bool Repository::HasSchema(const std::string& name) const {
+  return schemas_.count(name) > 0;
+}
+bool Repository::HasMapping(const std::string& name) const {
+  return mappings_.count(name) > 0;
+}
+bool Repository::HasInstance(const std::string& name) const {
+  return instances_.count(name) > 0;
+}
+
+std::size_t Repository::SchemaVersion(const std::string& name) const {
+  auto it = schema_versions_.find(name);
+  return it == schema_versions_.end() ? 0 : it->second;
+}
+std::size_t Repository::MappingVersion(const std::string& name) const {
+  auto it = mapping_versions_.find(name);
+  return it == mapping_versions_.end() ? 0 : it->second;
+}
+
+std::vector<std::string> Repository::SchemaNames() const {
+  std::vector<std::string> out;
+  for (const auto& [name, schema] : schemas_) out.push_back(name);
+  return out;
+}
+std::vector<std::string> Repository::MappingNames() const {
+  std::vector<std::string> out;
+  for (const auto& [name, mapping] : mappings_) out.push_back(name);
+  return out;
+}
+std::vector<std::string> Repository::InstanceNames() const {
+  std::vector<std::string> out;
+  for (const auto& [name, db] : instances_) out.push_back(name);
+  return out;
+}
+
+Result<match::MatchResult> Engine::Match(const std::string& source_schema,
+                                         const std::string& target_schema,
+                                         const match::MatchOptions& options) {
+  MM2_ASSIGN_OR_RETURN(model::Schema source, repo_.GetSchema(source_schema));
+  MM2_ASSIGN_OR_RETURN(model::Schema target, repo_.GetSchema(target_schema));
+  match::SchemaMatcher matcher(options);
+  return matcher.Match(source, target);
+}
+
+Status Engine::Compose(const std::string& out, const std::string& m12,
+                       const std::string& m23) {
+  MM2_ASSIGN_OR_RETURN(logic::Mapping first, repo_.GetMapping(m12));
+  MM2_ASSIGN_OR_RETURN(logic::Mapping second, repo_.GetMapping(m23));
+  if (first.target().name() != second.source().name()) {
+    return Status::InvalidArgument(
+        "compose: mid schemas disagree ('" + first.target().name() +
+        "' vs '" + second.source().name() + "')");
+  }
+  MM2_ASSIGN_OR_RETURN(logic::Mapping composed,
+                       compose::Compose(first, second));
+  composed.set_name(out);
+  return repo_.PutMapping(std::move(composed));
+}
+
+Status Engine::Invert(const std::string& out, const std::string& mapping) {
+  MM2_ASSIGN_OR_RETURN(logic::Mapping m, repo_.GetMapping(mapping));
+  MM2_ASSIGN_OR_RETURN(logic::Mapping inverted, inverse::Invert(m));
+  inverted.set_name(out);
+  return repo_.PutMapping(std::move(inverted));
+}
+
+Status Engine::ComputeInverse(const std::string& out,
+                              const std::string& mapping) {
+  MM2_ASSIGN_OR_RETURN(logic::Mapping m, repo_.GetMapping(mapping));
+  MM2_ASSIGN_OR_RETURN(inverse::InverseResult result,
+                       inverse::ComputeInverse(m));
+  result.inverse.set_name(out);
+  return repo_.PutMapping(std::move(result.inverse));
+}
+
+Status Engine::Extract(const std::string& out_schema,
+                       const std::string& out_mapping,
+                       const std::string& mapping) {
+  MM2_ASSIGN_OR_RETURN(logic::Mapping m, repo_.GetMapping(mapping));
+  MM2_ASSIGN_OR_RETURN(diff::SubSchemaResult result, diff::Extract(m));
+  result.schema.set_name(out_schema);
+  // Re-point the projection mapping's target at the renamed schema.
+  logic::Mapping renamed = logic::Mapping::FromTgds(
+      out_mapping, result.mapping.source(), result.schema,
+      result.mapping.tgds());
+  MM2_RETURN_IF_ERROR(repo_.PutSchema(std::move(result.schema)));
+  return repo_.PutMapping(std::move(renamed));
+}
+
+Status Engine::Diff(const std::string& out_schema,
+                    const std::string& out_mapping,
+                    const std::string& mapping) {
+  MM2_ASSIGN_OR_RETURN(logic::Mapping m, repo_.GetMapping(mapping));
+  MM2_ASSIGN_OR_RETURN(diff::SubSchemaResult result, diff::Diff(m));
+  result.schema.set_name(out_schema);
+  logic::Mapping renamed = logic::Mapping::FromTgds(
+      out_mapping, result.mapping.source(), result.schema,
+      result.mapping.tgds());
+  MM2_RETURN_IF_ERROR(repo_.PutSchema(std::move(result.schema)));
+  return repo_.PutMapping(std::move(renamed));
+}
+
+Status Engine::Merge(const std::string& out_schema,
+                     const std::string& out_to_left,
+                     const std::string& out_to_right, const std::string& left,
+                     const std::string& right,
+                     const std::vector<match::Correspondence>& corrs) {
+  MM2_ASSIGN_OR_RETURN(model::Schema left_schema, repo_.GetSchema(left));
+  MM2_ASSIGN_OR_RETURN(model::Schema right_schema, repo_.GetSchema(right));
+  merge::MergeOptions options;
+  options.merged_name = out_schema;
+  MM2_ASSIGN_OR_RETURN(merge::MergeResult result,
+                       merge::Merge(left_schema, right_schema, corrs,
+                                    options));
+  result.to_left.set_name(out_to_left);
+  result.to_right.set_name(out_to_right);
+  MM2_RETURN_IF_ERROR(repo_.PutSchema(std::move(result.merged)));
+  MM2_RETURN_IF_ERROR(repo_.PutMapping(std::move(result.to_left)));
+  return repo_.PutMapping(std::move(result.to_right));
+}
+
+Status Engine::ModelGen(const std::string& out_schema,
+                        const std::string& out_mapping,
+                        const std::string& er_schema,
+                        modelgen::InheritanceStrategy strategy) {
+  MM2_ASSIGN_OR_RETURN(model::Schema er, repo_.GetSchema(er_schema));
+  MM2_ASSIGN_OR_RETURN(modelgen::ModelGenResult result,
+                       modelgen::ErToRelational(er, strategy));
+  result.relational.set_name(out_schema);
+  logic::Mapping renamed = logic::Mapping::FromTgds(
+      out_mapping, result.mapping.source(), result.relational,
+      result.mapping.tgds());
+  MM2_RETURN_IF_ERROR(repo_.PutSchema(std::move(result.relational)));
+  return repo_.PutMapping(std::move(renamed));
+}
+
+Status Engine::Exchange(const std::string& out_instance,
+                        const std::string& mapping,
+                        const std::string& source_instance) {
+  MM2_ASSIGN_OR_RETURN(logic::Mapping m, repo_.GetMapping(mapping));
+  MM2_ASSIGN_OR_RETURN(instance::Instance source,
+                       repo_.GetInstance(source_instance));
+  MM2_ASSIGN_OR_RETURN(runtime::ExchangeResult result,
+                       runtime::Exchange(m, source));
+  return repo_.PutInstance(out_instance, std::move(result.target));
+}
+
+Status Engine::BatchLoad(const std::string& out_instance,
+                         const std::string& mapping,
+                         const std::string& source_instance) {
+  MM2_ASSIGN_OR_RETURN(logic::Mapping m, repo_.GetMapping(mapping));
+  MM2_ASSIGN_OR_RETURN(instance::Instance source,
+                       repo_.GetInstance(source_instance));
+  MM2_ASSIGN_OR_RETURN(transgen::CompiledRelationalMapping compiled,
+                       transgen::CompileRelationalMapping(m));
+  MM2_ASSIGN_OR_RETURN(instance::Instance target,
+                       transgen::ExecuteCompiledMapping(compiled, m, source));
+  return repo_.PutInstance(out_instance, std::move(target));
+}
+
+Status Engine::OoGen(const std::string& out_schema,
+                     const std::string& out_mapping,
+                     const std::string& relational_schema) {
+  MM2_ASSIGN_OR_RETURN(model::Schema relational,
+                       repo_.GetSchema(relational_schema));
+  MM2_ASSIGN_OR_RETURN(modelgen::OoGenResult result,
+                       modelgen::RelationalToOo(relational));
+  result.oo.set_name(out_schema);
+  logic::Mapping renamed = logic::Mapping::FromTgds(
+      out_mapping, result.oo, result.mapping.target(),
+      result.mapping.tgds());
+  MM2_RETURN_IF_ERROR(repo_.PutSchema(std::move(result.oo)));
+  return repo_.PutMapping(std::move(renamed));
+}
+
+Status Engine::NestedGen(const std::string& out_schema,
+                         const std::string& out_mapping,
+                         const std::string& relational_schema) {
+  MM2_ASSIGN_OR_RETURN(model::Schema relational,
+                       repo_.GetSchema(relational_schema));
+  MM2_ASSIGN_OR_RETURN(modelgen::NestedGenResult result,
+                       modelgen::RelationalToNested(relational));
+  result.nested.set_name(out_schema);
+  logic::Mapping renamed = logic::Mapping::FromTgds(
+      out_mapping, result.mapping.source(), result.nested,
+      result.mapping.tgds());
+  MM2_RETURN_IF_ERROR(repo_.PutSchema(std::move(result.nested)));
+  return repo_.PutMapping(std::move(renamed));
+}
+
+namespace {
+
+Result<std::vector<match::Correspondence>> ParseCorrespondences(
+    const std::vector<std::string>& tokens, std::size_t first) {
+  std::vector<match::Correspondence> corrs;
+  for (std::size_t i = first; i < tokens.size(); ++i) {
+    std::size_t eq = tokens[i].find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("expected L.a=R.b, got '" + tokens[i] +
+                                     "'");
+    }
+    corrs.push_back(
+        {model::ElementRef::Parse(tokens[i].substr(0, eq)),
+         model::ElementRef::Parse(tokens[i].substr(eq + 1)), 1.0});
+  }
+  return corrs;
+}
+
+Result<modelgen::InheritanceStrategy> ParseStrategy(const std::string& word) {
+  if (word == "tph") return modelgen::InheritanceStrategy::kSingleTable;
+  if (word == "tpt") return modelgen::InheritanceStrategy::kTablePerType;
+  if (word == "tpc") return modelgen::InheritanceStrategy::kTablePerConcrete;
+  return Status::InvalidArgument("unknown inheritance strategy '" + word +
+                                 "' (want tph|tpt|tpc)");
+}
+
+}  // namespace
+
+Result<std::vector<std::string>> Engine::RunScript(const std::string& script) {
+  std::vector<std::string> log;
+  std::istringstream stream(script);
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    // Tokenize on whitespace.
+    std::istringstream words(line);
+    std::vector<std::string> tokens;
+    std::string word;
+    while (words >> word) tokens.push_back(word);
+    if (tokens.empty() || tokens[0][0] == '#') continue;
+
+    auto fail = [&](const std::string& message) {
+      return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                     ": " + message);
+    };
+    auto need = [&](std::size_t count) -> Status {
+      if (tokens.size() < count + 1) {
+        return fail(tokens[0] + " needs " + std::to_string(count) +
+                    " arguments");
+      }
+      return Status::OK();
+    };
+
+    const std::string& op = tokens[0];
+    if (op == "compose") {
+      MM2_RETURN_IF_ERROR(need(3));
+      MM2_RETURN_IF_ERROR(Compose(tokens[1], tokens[2], tokens[3]));
+      log.push_back("composed " + tokens[2] + " ; " + tokens[3] + " -> " +
+                    tokens[1]);
+    } else if (op == "invert") {
+      MM2_RETURN_IF_ERROR(need(2));
+      MM2_RETURN_IF_ERROR(Invert(tokens[1], tokens[2]));
+      log.push_back("inverted " + tokens[2] + " -> " + tokens[1]);
+    } else if (op == "inverse") {
+      MM2_RETURN_IF_ERROR(need(2));
+      MM2_RETURN_IF_ERROR(ComputeInverse(tokens[1], tokens[2]));
+      log.push_back("inverse of " + tokens[2] + " -> " + tokens[1]);
+    } else if (op == "extract") {
+      MM2_RETURN_IF_ERROR(need(3));
+      MM2_RETURN_IF_ERROR(Extract(tokens[1], tokens[2], tokens[3]));
+      log.push_back("extracted " + tokens[3] + " -> " + tokens[1]);
+    } else if (op == "diff") {
+      MM2_RETURN_IF_ERROR(need(3));
+      MM2_RETURN_IF_ERROR(Diff(tokens[1], tokens[2], tokens[3]));
+      log.push_back("diffed " + tokens[3] + " -> " + tokens[1]);
+    } else if (op == "merge") {
+      MM2_RETURN_IF_ERROR(need(5));
+      MM2_ASSIGN_OR_RETURN(std::vector<match::Correspondence> corrs,
+                           ParseCorrespondences(tokens, 6));
+      MM2_RETURN_IF_ERROR(Merge(tokens[1], tokens[2], tokens[3], tokens[4],
+                                tokens[5], corrs));
+      log.push_back("merged " + tokens[4] + " + " + tokens[5] + " -> " +
+                    tokens[1]);
+    } else if (op == "modelgen") {
+      MM2_RETURN_IF_ERROR(need(4));
+      MM2_ASSIGN_OR_RETURN(modelgen::InheritanceStrategy strategy,
+                           ParseStrategy(tokens[4]));
+      MM2_RETURN_IF_ERROR(
+          ModelGen(tokens[1], tokens[2], tokens[3], strategy));
+      log.push_back("modelgen " + tokens[3] + " -> " + tokens[1]);
+    } else if (op == "exchange") {
+      MM2_RETURN_IF_ERROR(need(3));
+      MM2_RETURN_IF_ERROR(Exchange(tokens[1], tokens[2], tokens[3]));
+      log.push_back("exchanged " + tokens[3] + " via " + tokens[2] + " -> " +
+                    tokens[1]);
+    } else if (op == "batchload") {
+      MM2_RETURN_IF_ERROR(need(3));
+      MM2_RETURN_IF_ERROR(BatchLoad(tokens[1], tokens[2], tokens[3]));
+      log.push_back("batch-loaded " + tokens[3] + " via " + tokens[2] +
+                    " -> " + tokens[1]);
+    } else if (op == "oogen") {
+      MM2_RETURN_IF_ERROR(need(3));
+      MM2_RETURN_IF_ERROR(OoGen(tokens[1], tokens[2], tokens[3]));
+      log.push_back("oo wrapper for " + tokens[3] + " -> " + tokens[1]);
+    } else if (op == "nestedgen") {
+      MM2_RETURN_IF_ERROR(need(3));
+      MM2_RETURN_IF_ERROR(NestedGen(tokens[1], tokens[2], tokens[3]));
+      log.push_back("nested schema for " + tokens[3] + " -> " + tokens[1]);
+    } else if (op == "match") {
+      MM2_RETURN_IF_ERROR(need(2));
+      MM2_ASSIGN_OR_RETURN(match::MatchResult result,
+                           Match(tokens[1], tokens[2]));
+      log.push_back("matched " + tokens[1] + " ~ " + tokens[2] + ": " +
+                    std::to_string(result.best.size()) + " correspondences");
+    } else {
+      return fail("unknown command '" + op + "'");
+    }
+  }
+  return log;
+}
+
+}  // namespace mm2::engine

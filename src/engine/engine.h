@@ -1,0 +1,132 @@
+#ifndef MM2_ENGINE_ENGINE_H_
+#define MM2_ENGINE_ENGINE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "compose/compose.h"
+#include "diff/diff.h"
+#include "instance/instance.h"
+#include "inverse/inverse.h"
+#include "logic/mapping.h"
+#include "match/matcher.h"
+#include "merge/merge.h"
+#include "model/schema.h"
+#include "modelgen/modelgen.h"
+#include "runtime/runtime.h"
+
+namespace mm2::engine {
+
+// The metadata repository behind the engine (Fig. 1's "Metadata
+// Repository"): named, versioned schemas, mappings and instances.
+class Repository {
+ public:
+  Status PutSchema(model::Schema schema);
+  Status PutMapping(logic::Mapping mapping);
+  Status PutInstance(std::string name, instance::Instance db);
+
+  Result<model::Schema> GetSchema(const std::string& name) const;
+  Result<logic::Mapping> GetMapping(const std::string& name) const;
+  Result<instance::Instance> GetInstance(const std::string& name) const;
+
+  bool HasSchema(const std::string& name) const;
+  bool HasMapping(const std::string& name) const;
+  bool HasInstance(const std::string& name) const;
+
+  // Monotonically increasing per-name version (1 on first Put).
+  std::size_t SchemaVersion(const std::string& name) const;
+  std::size_t MappingVersion(const std::string& name) const;
+
+  std::vector<std::string> SchemaNames() const;
+  std::vector<std::string> MappingNames() const;
+  std::vector<std::string> InstanceNames() const;
+
+ private:
+  std::map<std::string, model::Schema> schemas_;
+  std::map<std::string, logic::Mapping> mappings_;
+  std::map<std::string, instance::Instance> instances_;
+  std::map<std::string, std::size_t> schema_versions_;
+  std::map<std::string, std::size_t> mapping_versions_;
+};
+
+// The model management engine: the operators of Sections 3-6 lifted onto
+// repository names, plus a small line-oriented script language in the
+// spirit of Rondo so evolution scenarios (Section 6) are runnable
+// programs. Operator outputs are registered back into the repository.
+class Engine {
+ public:
+  Engine() = default;
+
+  Repository& repo() { return repo_; }
+  const Repository& repo() const { return repo_; }
+
+  // --- Operators over repository names -----------------------------------
+  Result<match::MatchResult> Match(const std::string& source_schema,
+                                   const std::string& target_schema,
+                                   const match::MatchOptions& options = {});
+
+  // compose(out, m12, m23): registers the composed mapping as `out`.
+  Status Compose(const std::string& out, const std::string& m12,
+                 const std::string& m23);
+  Status Invert(const std::string& out, const std::string& mapping);
+  // Fagin (quasi-)inverse; fails when nothing is recoverable.
+  Status ComputeInverse(const std::string& out, const std::string& mapping);
+  // extract/diff(out_schema, out_mapping, mapping).
+  Status Extract(const std::string& out_schema, const std::string& out_mapping,
+                 const std::string& mapping);
+  Status Diff(const std::string& out_schema, const std::string& out_mapping,
+              const std::string& mapping);
+  // merge(out_schema, left, right, correspondences).
+  Status Merge(const std::string& out_schema, const std::string& out_to_left,
+               const std::string& out_to_right, const std::string& left,
+               const std::string& right,
+               const std::vector<match::Correspondence>& correspondences);
+  // modelgen(out_schema, out_mapping, er_schema, strategy).
+  Status ModelGen(const std::string& out_schema,
+                  const std::string& out_mapping, const std::string& er_schema,
+                  modelgen::InheritanceStrategy strategy);
+  // exchange(out_instance, mapping, source_instance).
+  Status Exchange(const std::string& out_instance, const std::string& mapping,
+                  const std::string& source_instance);
+  // batchload: like Exchange but through the compiled set-oriented loader
+  // (Section 5 batch loading); fails for mappings outside the compilable
+  // fragment (target egds, second order).
+  Status BatchLoad(const std::string& out_instance,
+                   const std::string& mapping,
+                   const std::string& source_instance);
+  // oogen(out_schema, out_mapping, relational_schema): wrapper generation.
+  Status OoGen(const std::string& out_schema, const std::string& out_mapping,
+               const std::string& relational_schema);
+  // nestedgen(out_schema, out_mapping, relational_schema).
+  Status NestedGen(const std::string& out_schema,
+                   const std::string& out_mapping,
+                   const std::string& relational_schema);
+
+  // --- Script interface ----------------------------------------------------
+  // Runs a newline-separated script; each line is one command:
+  //   schema <name> ...              (must already be registered; checks)
+  //   compose <out> <m12> <m23>
+  //   invert <out> <m>
+  //   inverse <out> <m>
+  //   extract <outSchema> <outMap> <m>
+  //   diff <outSchema> <outMap> <m>
+  //   merge <outSchema> <outToLeft> <outToRight> <left> <right> [L.a=R.b ...]
+  //   modelgen <outSchema> <outMap> <er> tph|tpt|tpc
+  //   exchange <outInstance> <m> <sourceInstance>
+  //   batchload <outInstance> <m> <sourceInstance>
+  //   oogen <outSchema> <outMap> <relationalSchema>
+  //   nestedgen <outSchema> <outMap> <relationalSchema>
+  //   match <left> <right>
+  // Blank lines and lines starting with '#' are skipped. Returns one log
+  // line per executed command.
+  Result<std::vector<std::string>> RunScript(const std::string& script);
+
+ private:
+  Repository repo_;
+};
+
+}  // namespace mm2::engine
+
+#endif  // MM2_ENGINE_ENGINE_H_

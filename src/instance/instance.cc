@@ -1,0 +1,229 @@
+#include "instance/instance.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace mm2::instance {
+
+bool RelationInstance::Insert(Tuple tuple) {
+  assert(tuple.size() == arity_ && "arity mismatch");
+  return tuples_.insert(std::move(tuple)).second;
+}
+
+Instance Instance::EmptyFor(const model::Schema& schema) {
+  Instance instance;
+  for (const model::Relation& r : schema.relations()) {
+    instance.DeclareRelation(r.name(), r.arity());
+  }
+  for (const model::EntitySet& s : schema.entity_sets()) {
+    Result<EntitySetLayout> layout = ComputeEntitySetLayout(schema, s);
+    if (layout.ok()) {
+      instance.DeclareRelation(s.name, layout->arity());
+    }
+  }
+  return instance;
+}
+
+void Instance::DeclareRelation(std::string name, std::size_t arity) {
+  relations_.insert_or_assign(std::move(name), RelationInstance(arity));
+}
+
+bool Instance::HasRelation(std::string_view name) const {
+  return relations_.find(name) != relations_.end();
+}
+
+Status Instance::Insert(std::string_view relation, Tuple tuple) {
+  auto it = relations_.find(relation);
+  if (it == relations_.end()) {
+    return Status::NotFound("relation '" + std::string(relation) +
+                            "' not in instance");
+  }
+  if (tuple.size() != it->second.arity()) {
+    return Status::InvalidArgument(
+        "arity mismatch inserting into '" + std::string(relation) + "': got " +
+        std::to_string(tuple.size()) + ", want " +
+        std::to_string(it->second.arity()));
+  }
+  it->second.Insert(std::move(tuple));
+  return Status::OK();
+}
+
+void Instance::InsertUnchecked(std::string_view relation, Tuple tuple) {
+  auto it = relations_.find(relation);
+  assert(it != relations_.end());
+  it->second.Insert(std::move(tuple));
+}
+
+Status Instance::Erase(std::string_view relation, const Tuple& tuple) {
+  auto it = relations_.find(relation);
+  if (it == relations_.end()) {
+    return Status::NotFound("relation '" + std::string(relation) +
+                            "' not in instance");
+  }
+  if (!it->second.Erase(tuple)) {
+    return Status::NotFound("tuple " + TupleToString(tuple) + " not in '" +
+                            std::string(relation) + "'");
+  }
+  return Status::OK();
+}
+
+const RelationInstance* Instance::Find(std::string_view relation) const {
+  auto it = relations_.find(relation);
+  return it == relations_.end() ? nullptr : &it->second;
+}
+
+RelationInstance* Instance::FindMutable(std::string_view relation) {
+  auto it = relations_.find(relation);
+  return it == relations_.end() ? nullptr : &it->second;
+}
+
+std::size_t Instance::TotalTuples() const {
+  std::size_t total = 0;
+  for (const auto& [name, rel] : relations_) total += rel.size();
+  return total;
+}
+
+bool Instance::HasLabeledNulls() const {
+  for (const auto& [name, rel] : relations_) {
+    for (const Tuple& t : rel.tuples()) {
+      for (const Value& v : t) {
+        if (v.is_labeled_null()) return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::int64_t Instance::MaxNullLabel() const {
+  std::int64_t max_label = -1;
+  for (const auto& [name, rel] : relations_) {
+    for (const Tuple& t : rel.tuples()) {
+      for (const Value& v : t) {
+        if (v.is_labeled_null()) max_label = std::max(max_label, v.label());
+      }
+    }
+  }
+  return max_label;
+}
+
+bool Instance::Equals(const Instance& other) const {
+  // Compare nonempty extensions only; a declared-but-empty relation is
+  // indistinguishable from an undeclared one at the instance level.
+  auto nonempty = [](const Instance& instance) {
+    std::map<std::string, const RelationInstance*> out;
+    for (const auto& [name, rel] : instance.relations_) {
+      if (!rel.empty()) out[name] = &rel;
+    }
+    return out;
+  };
+  auto a = nonempty(*this);
+  auto b = nonempty(other);
+  if (a.size() != b.size()) return false;
+  for (const auto& [name, rel] : a) {
+    auto it = b.find(name);
+    if (it == b.end()) return false;
+    if (rel->tuples() != it->second->tuples()) return false;
+  }
+  return true;
+}
+
+Instance Instance::Minus(const Instance& other) const {
+  Instance diff;
+  for (const auto& [name, rel] : relations_) {
+    diff.DeclareRelation(name, rel.arity());
+    const RelationInstance* other_rel = other.Find(name);
+    for (const Tuple& t : rel.tuples()) {
+      if (other_rel == nullptr || !other_rel->Contains(t)) {
+        diff.InsertUnchecked(name, t);
+      }
+    }
+  }
+  return diff;
+}
+
+void Instance::UnionWith(const Instance& other) {
+  for (const auto& [name, rel] : other.relations_) {
+    if (!HasRelation(name)) DeclareRelation(name, rel.arity());
+    for (const Tuple& t : rel.tuples()) InsertUnchecked(name, t);
+  }
+}
+
+std::string Instance::ToString() const {
+  std::string out;
+  for (const auto& [name, rel] : relations_) {
+    out += name + " [" + std::to_string(rel.size()) + "]:\n";
+    for (const Tuple& t : rel.tuples()) {
+      out += "  " + TupleToString(t) + "\n";
+    }
+  }
+  return out;
+}
+
+std::size_t EntitySetLayout::ColumnIndex(std::string_view attribute) const {
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i] == attribute) return i;
+  }
+  return kNpos;
+}
+
+Result<EntitySetLayout> ComputeEntitySetLayout(const model::Schema& schema,
+                                               const model::EntitySet& set) {
+  EntitySetLayout layout;
+  layout.set_name = set.name;
+  layout.root_type = set.root_type;
+
+  std::vector<std::string> hierarchy = schema.SubtypeClosure(set.root_type);
+  if (hierarchy.empty()) {
+    return Status::NotFound("entity set '" + set.name +
+                            "' has unknown root type '" + set.root_type + "'");
+  }
+  // Deterministic column order: walk types in schema declaration order
+  // (SubtypeClosure preserves it), appending unseen attribute names.
+  for (const std::string& type_name : hierarchy) {
+    MM2_ASSIGN_OR_RETURN(std::vector<model::Attribute> attrs,
+                         schema.AllAttributesOf(type_name));
+    std::vector<std::size_t> cols;
+    for (const model::Attribute& a : attrs) {
+      std::size_t idx = layout.ColumnIndex(a.name);
+      if (idx == EntitySetLayout::kNpos) {
+        idx = layout.columns.size();
+        layout.columns.push_back(a.name);
+      }
+      cols.push_back(idx);
+    }
+    layout.columns_of_type[type_name] = std::move(cols);
+  }
+  return layout;
+}
+
+Result<Tuple> MakeEntityTuple(const EntitySetLayout& layout,
+                              const model::Schema& schema,
+                              std::string_view type_name,
+                              const std::vector<Value>& attribute_values) {
+  auto it = layout.columns_of_type.find(std::string(type_name));
+  if (it == layout.columns_of_type.end()) {
+    return Status::InvalidArgument("type '" + std::string(type_name) +
+                                   "' not in entity set '" + layout.set_name +
+                                   "'");
+  }
+  const model::EntityType* type = schema.FindEntityType(type_name);
+  if (type != nullptr && type->abstract) {
+    return Status::InvalidArgument("cannot instantiate abstract type '" +
+                                   std::string(type_name) + "'");
+  }
+  if (attribute_values.size() != it->second.size()) {
+    return Status::InvalidArgument(
+        "type '" + std::string(type_name) + "' takes " +
+        std::to_string(it->second.size()) + " attributes, got " +
+        std::to_string(attribute_values.size()));
+  }
+  Tuple tuple(layout.arity(), Value::Null());
+  tuple[0] = Value::String(std::string(type_name));
+  for (std::size_t i = 0; i < it->second.size(); ++i) {
+    tuple[1 + it->second[i]] = attribute_values[i];
+  }
+  return tuple;
+}
+
+}  // namespace mm2::instance

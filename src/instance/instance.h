@@ -1,0 +1,134 @@
+#ifndef MM2_INSTANCE_INSTANCE_H_
+#define MM2_INSTANCE_INSTANCE_H_
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "instance/value.h"
+#include "model/schema.h"
+
+namespace mm2::instance {
+
+// The extension of one relation: a set of same-arity tuples. Set semantics
+// with deterministic (ordered) iteration, which the chase and the tests
+// rely on.
+class RelationInstance {
+ public:
+  RelationInstance() = default;
+  explicit RelationInstance(std::size_t arity) : arity_(arity) {}
+
+  std::size_t arity() const { return arity_; }
+  std::size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  const std::set<Tuple>& tuples() const { return tuples_; }
+
+  // Inserts; returns true if the tuple was new. Dies on arity mismatch in
+  // debug builds; callers go through Instance::Insert for checked inserts.
+  bool Insert(Tuple tuple);
+  bool Contains(const Tuple& tuple) const { return tuples_.count(tuple) > 0; }
+  bool Erase(const Tuple& tuple) { return tuples_.erase(tuple) > 0; }
+  void Clear() { tuples_.clear(); }
+
+ private:
+  std::size_t arity_ = 0;
+  std::set<Tuple> tuples_;
+};
+
+// A database instance: relation name -> extension. An Instance is a member
+// of the set of possible instances its Schema denotes; mappings relate
+// pairs of Instances (paper Section 2).
+class Instance {
+ public:
+  Instance() = default;
+
+  // Creates empty extensions for every relation of `schema`. ER schemas are
+  // materialized via their entity-set layouts (see EntitySetLayout below).
+  static Instance EmptyFor(const model::Schema& schema);
+
+  // Declares a relation extension of the given arity (replaces empty).
+  void DeclareRelation(std::string name, std::size_t arity);
+  bool HasRelation(std::string_view name) const;
+
+  // Checked insert: relation must exist and the arity must match.
+  Status Insert(std::string_view relation, Tuple tuple);
+  // Unchecked variant used by inner loops that already validated shape.
+  void InsertUnchecked(std::string_view relation, Tuple tuple);
+  Status Erase(std::string_view relation, const Tuple& tuple);
+
+  const RelationInstance* Find(std::string_view relation) const;
+  RelationInstance* FindMutable(std::string_view relation);
+
+  const std::map<std::string, RelationInstance, std::less<>>& relations()
+      const {
+    return relations_;
+  }
+  std::map<std::string, RelationInstance, std::less<>>& relations_mutable() {
+    return relations_;
+  }
+
+  std::size_t TotalTuples() const;
+  // True if any tuple anywhere contains a labeled null.
+  bool HasLabeledNulls() const;
+  // Largest labeled-null label present, or -1.
+  std::int64_t MaxNullLabel() const;
+
+  // Exact equality: same relation names, same tuple sets.
+  bool Equals(const Instance& other) const;
+
+  // Tuples present in `this` but absent in `other` (per relation), the
+  // positive half of a symmetric difference. Used by view maintenance tests.
+  Instance Minus(const Instance& other) const;
+
+  // Merges all tuples of `other` into this instance, declaring missing
+  // relations as needed.
+  void UnionWith(const Instance& other);
+
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, RelationInstance, std::less<>> relations_;
+};
+
+// How an entity set is laid out as a relation extension at runtime: a
+// leading hidden "$type" column holding the concrete entity type name,
+// followed by the union of attributes over the whole hierarchy (base-first,
+// then per-subtype extras in declaration order). Absent attributes are
+// plain NULL. This is the runtime shape behind Fig. 2/3's "Persons".
+struct EntitySetLayout {
+  std::string set_name;
+  std::string root_type;
+  // Column names, excluding the leading $type column.
+  std::vector<std::string> columns;
+  // For each entity type in the hierarchy, which columns it populates
+  // (indices into `columns`).
+  std::map<std::string, std::vector<std::size_t>> columns_of_type;
+
+  // Column position of `attribute` within `columns`, or npos.
+  static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+  std::size_t ColumnIndex(std::string_view attribute) const;
+
+  // Total tuple arity including the leading $type column.
+  std::size_t arity() const { return columns.size() + 1; }
+};
+
+// Computes the layout for `set` within `schema`.
+Result<EntitySetLayout> ComputeEntitySetLayout(const model::Schema& schema,
+                                               const model::EntitySet& set);
+
+// Builds an entity tuple for `type_name` given values for its (flattened)
+// attributes in hierarchy order; pads other columns with NULL.
+Result<Tuple> MakeEntityTuple(const EntitySetLayout& layout,
+                              const model::Schema& schema,
+                              std::string_view type_name,
+                              const std::vector<Value>& attribute_values);
+
+}  // namespace mm2::instance
+
+#endif  // MM2_INSTANCE_INSTANCE_H_

@@ -1,0 +1,149 @@
+#include "instance/value.h"
+
+#include <functional>
+#include <utility>
+
+namespace mm2::instance {
+
+Value Value::Null() { return Value(); }
+
+Value Value::Int64(std::int64_t v) {
+  Value value;
+  value.kind_ = Kind::kInt64;
+  value.int_ = v;
+  return value;
+}
+
+Value Value::Double(double v) {
+  Value value;
+  value.kind_ = Kind::kDouble;
+  value.double_ = v;
+  return value;
+}
+
+Value Value::String(std::string v) {
+  Value value;
+  value.kind_ = Kind::kString;
+  value.string_ = std::move(v);
+  return value;
+}
+
+Value Value::Bool(bool v) {
+  Value value;
+  value.kind_ = Kind::kBool;
+  value.int_ = v ? 1 : 0;
+  return value;
+}
+
+Value Value::Date(std::int64_t days) {
+  Value value;
+  value.kind_ = Kind::kDate;
+  value.int_ = days;
+  return value;
+}
+
+Value Value::LabeledNull(std::int64_t label) {
+  Value value;
+  value.kind_ = Kind::kLabeledNull;
+  value.int_ = label;
+  return value;
+}
+
+bool Value::operator==(const Value& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case Kind::kNull:
+      return true;
+    case Kind::kInt64:
+    case Kind::kBool:
+    case Kind::kDate:
+    case Kind::kLabeledNull:
+      return int_ == other.int_;
+    case Kind::kDouble:
+      return double_ == other.double_;
+    case Kind::kString:
+      return string_ == other.string_;
+  }
+  return false;
+}
+
+bool Value::operator<(const Value& other) const {
+  if (kind_ != other.kind_) return kind_ < other.kind_;
+  switch (kind_) {
+    case Kind::kNull:
+      return false;
+    case Kind::kInt64:
+    case Kind::kBool:
+    case Kind::kDate:
+    case Kind::kLabeledNull:
+      return int_ < other.int_;
+    case Kind::kDouble:
+      return double_ < other.double_;
+    case Kind::kString:
+      return string_ < other.string_;
+  }
+  return false;
+}
+
+std::size_t Value::Hash() const {
+  std::size_t seed = static_cast<std::size_t>(kind_) * 0x9e3779b97f4a7c15ULL;
+  switch (kind_) {
+    case Kind::kNull:
+      break;
+    case Kind::kInt64:
+    case Kind::kBool:
+    case Kind::kDate:
+    case Kind::kLabeledNull:
+      seed ^= std::hash<std::int64_t>()(int_) + 0x9e3779b9 + (seed << 6);
+      break;
+    case Kind::kDouble:
+      seed ^= std::hash<double>()(double_) + 0x9e3779b9 + (seed << 6);
+      break;
+    case Kind::kString:
+      seed ^= std::hash<std::string>()(string_) + 0x9e3779b9 + (seed << 6);
+      break;
+  }
+  return seed;
+}
+
+std::string Value::ToString() const {
+  switch (kind_) {
+    case Kind::kNull:
+      return "NULL";
+    case Kind::kInt64:
+      return std::to_string(int_);
+    case Kind::kDouble: {
+      std::string s = std::to_string(double_);
+      return s;
+    }
+    case Kind::kString:
+      return "\"" + string_ + "\"";
+    case Kind::kBool:
+      return int_ != 0 ? "true" : "false";
+    case Kind::kDate:
+      return "date:" + std::to_string(int_);
+    case Kind::kLabeledNull:
+      return "N" + std::to_string(int_);
+  }
+  return "?";
+}
+
+std::string TupleToString(const Tuple& tuple) {
+  std::string out = "(";
+  for (std::size_t i = 0; i < tuple.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += tuple[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+std::size_t TupleHash::operator()(const Tuple& tuple) const {
+  std::size_t seed = tuple.size();
+  for (const Value& v : tuple) {
+    seed ^= v.Hash() + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+  }
+  return seed;
+}
+
+}  // namespace mm2::instance

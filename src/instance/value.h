@@ -1,0 +1,84 @@
+#ifndef MM2_INSTANCE_VALUE_H_
+#define MM2_INSTANCE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/type.h"
+
+namespace mm2::instance {
+
+// A runtime value in a database instance. Besides ordinary constants and
+// SQL NULL, a value may be a *labeled null* — the marked placeholder that
+// data exchange introduces for existentially quantified target values
+// (paper Section 4: "labeled null values that are needed to compute the
+// answers to queries but are not allowed to be returned as part of the
+// answer"). Labeled nulls are identified by a numeric label; two labeled
+// nulls are equal iff their labels are equal.
+class Value {
+ public:
+  enum class Kind {
+    kNull,         // plain SQL NULL (no identity)
+    kInt64,
+    kDouble,
+    kString,
+    kBool,
+    kDate,         // days since epoch
+    kLabeledNull,  // existential placeholder N<label>
+  };
+
+  Value() : kind_(Kind::kNull) {}
+
+  static Value Null();
+  static Value Int64(std::int64_t v);
+  static Value Double(double v);
+  static Value String(std::string v);
+  static Value Bool(bool v);
+  static Value Date(std::int64_t days);
+  static Value LabeledNull(std::int64_t label);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_labeled_null() const { return kind_ == Kind::kLabeledNull; }
+  // Either kind of null: plain or labeled.
+  bool is_any_null() const { return is_null() || is_labeled_null(); }
+  bool is_constant() const { return !is_any_null(); }
+
+  std::int64_t int64() const { return int_; }
+  double dbl() const { return double_; }
+  const std::string& str() const { return string_; }
+  bool boolean() const { return int_ != 0; }
+  std::int64_t date() const { return int_; }
+  std::int64_t label() const { return int_; }
+
+  // Total order across kinds (kind first, then payload); gives instances a
+  // deterministic iteration order.
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+  bool operator<(const Value& other) const;
+
+  std::size_t Hash() const;
+
+  // Display form: 42, 3.5, "abc", true, date:19000, N17, NULL.
+  std::string ToString() const;
+
+ private:
+  Kind kind_;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+};
+
+// A tuple is a fixed-arity row of values.
+using Tuple = std::vector<Value>;
+
+std::string TupleToString(const Tuple& tuple);
+
+struct TupleHash {
+  std::size_t operator()(const Tuple& tuple) const;
+};
+
+}  // namespace mm2::instance
+
+#endif  // MM2_INSTANCE_VALUE_H_

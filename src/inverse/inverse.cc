@@ -1,0 +1,182 @@
+#include "inverse/inverse.h"
+
+#include <map>
+#include <set>
+#include <utility>
+
+#include "chase/chase.h"
+#include "logic/formula.h"
+
+namespace mm2::inverse {
+
+using instance::Instance;
+using instance::Tuple;
+using instance::Value;
+using logic::Atom;
+using logic::Mapping;
+using logic::Term;
+using logic::Tgd;
+
+Result<Mapping> Invert(const Mapping& mapping) {
+  if (mapping.is_second_order()) {
+    return Status::Unsupported(
+        "Invert of a second-order mapping is not supported; deskolemize or "
+        "compose further first");
+  }
+  std::vector<Tgd> swapped;
+  swapped.reserve(mapping.tgds().size());
+  for (const Tgd& tgd : mapping.tgds()) {
+    Tgd inv;
+    inv.body = tgd.head;
+    inv.head = tgd.body;
+    swapped.push_back(std::move(inv));
+  }
+  return Mapping::FromTgds(mapping.name() + "^", mapping.target(),
+                           mapping.source(), std::move(swapped));
+}
+
+namespace {
+
+// Marker constant for position `index` of relation `relation` in the
+// frozen canonical instance.
+Value Marker(const std::string& relation, std::size_t index) {
+  return Value::String("$" + relation + "#" + std::to_string(index) + "$");
+}
+
+// Builds the canonical one-tuple instance for a single relation.
+Instance CanonicalInstanceFor(const model::Relation& relation) {
+  Instance db;
+  db.DeclareRelation(relation.name(), relation.arity());
+  Tuple tuple;
+  for (std::size_t i = 0; i < relation.arity(); ++i) {
+    tuple.push_back(Marker(relation.name(), i));
+  }
+  db.InsertUnchecked(relation.name(), std::move(tuple));
+  return db;
+}
+
+// Builds the joint canonical instance: one marked tuple per relation.
+Instance JointCanonicalInstance(const model::Schema& schema) {
+  Instance db;
+  for (const model::Relation& r : schema.relations()) {
+    db.DeclareRelation(r.name(), r.arity());
+    Tuple tuple;
+    for (std::size_t i = 0; i < r.arity(); ++i) {
+      tuple.push_back(Marker(r.name(), i));
+    }
+    db.InsertUnchecked(r.name(), std::move(tuple));
+  }
+  return db;
+}
+
+}  // namespace
+
+Result<InverseResult> ComputeInverse(const Mapping& mapping) {
+  if (mapping.is_second_order()) {
+    return Status::Unsupported(
+        "ComputeInverse handles first-order (s-t tgd) mappings only");
+  }
+  InverseResult result;
+  std::vector<Tgd> inverse_tgds;
+  logic::NameGenerator existential_gen("_inv_e");
+
+  for (const model::Relation& relation : mapping.source().relations()) {
+    Instance canonical = CanonicalInstanceFor(relation);
+    MM2_ASSIGN_OR_RETURN(chase::ChaseResult chased,
+                         chase::RunChase(mapping, canonical));
+
+    // Read the derived target facts back as a reconstruction query.
+    std::map<Value, std::string> var_of_value;
+    for (std::size_t i = 0; i < relation.arity(); ++i) {
+      var_of_value[Marker(relation.name(), i)] =
+          "x" + std::to_string(i);
+    }
+    std::vector<Atom> body;
+    std::set<std::string> seen_markers;
+    for (const auto& [name, rel] : chased.target.relations()) {
+      for (const Tuple& t : rel.tuples()) {
+        bool has_marker = false;
+        Atom atom;
+        atom.relation = name;
+        for (const Value& v : t) {
+          auto it = var_of_value.find(v);
+          if (it != var_of_value.end()) {
+            atom.terms.push_back(Term::Var(it->second));
+            has_marker = true;
+            seen_markers.insert(it->second);
+          } else if (v.is_labeled_null()) {
+            atom.terms.push_back(
+                Term::Var("_n" + std::to_string(v.label())));
+          } else {
+            atom.terms.push_back(Term::Const(v));
+          }
+        }
+        if (has_marker) body.push_back(std::move(atom));
+      }
+    }
+
+    if (body.empty()) {
+      result.lost.push_back(relation.name());
+      continue;
+    }
+    Tgd inv;
+    inv.body = std::move(body);
+    Atom head;
+    head.relation = relation.name();
+    for (std::size_t i = 0; i < relation.arity(); ++i) {
+      std::string var = "x" + std::to_string(i);
+      if (seen_markers.count(var) > 0) {
+        head.terms.push_back(Term::Var(var));
+      } else {
+        // Attribute not recoverable: existential placeholder
+        // (quasi-inverse behavior).
+        head.terms.push_back(existential_gen.NextVar());
+        result.lost.push_back(relation.name() + "." +
+                              relation.attribute(i).name);
+      }
+    }
+    inv.head = {std::move(head)};
+    inverse_tgds.push_back(std::move(inv));
+  }
+
+  if (inverse_tgds.empty()) {
+    return Status::NotExpressible("mapping '" + mapping.name() +
+                                  "' loses every source relation; no "
+                                  "(quasi-)inverse exists");
+  }
+  result.inverse = Mapping::FromTgds(mapping.name() + "^-1", mapping.target(),
+                                     mapping.source(),
+                                     std::move(inverse_tgds));
+  if (result.lost.empty()) {
+    // Necessary condition met; confirm on the joint canonical instance
+    // that reconstruction does not overproduce (e.g. two source relations
+    // funneled into one target relation would bleed into each other).
+    MM2_ASSIGN_OR_RETURN(
+        bool roundtrips,
+        VerifyRoundtrip(mapping, result.inverse,
+                        JointCanonicalInstance(mapping.source())));
+    result.exact = roundtrips;
+  }
+  return result;
+}
+
+Result<bool> VerifyRoundtrip(const Mapping& mapping, const Mapping& candidate,
+                             const Instance& source) {
+  MM2_ASSIGN_OR_RETURN(chase::ChaseResult forward,
+                       chase::RunChase(mapping, source));
+  MM2_ASSIGN_OR_RETURN(chase::ChaseResult back,
+                       chase::RunChase(candidate, forward.target));
+  // Compare only the relations of the source schema.
+  for (const model::Relation& r : mapping.source().relations()) {
+    const instance::RelationInstance* original = source.Find(r.name());
+    const instance::RelationInstance* recovered = back.target.Find(r.name());
+    std::size_t original_size = original == nullptr ? 0 : original->size();
+    std::size_t recovered_size = recovered == nullptr ? 0 : recovered->size();
+    if (original_size != recovered_size) return false;
+    if (original == nullptr || recovered == nullptr) continue;
+    if (original->tuples() != recovered->tuples()) return false;
+  }
+  return true;
+}
+
+}  // namespace mm2::inverse

@@ -1,0 +1,56 @@
+#ifndef MM2_INVERSE_INVERSE_H_
+#define MM2_INVERSE_INVERSE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "instance/instance.h"
+#include "logic/mapping.h"
+
+namespace mm2::inverse {
+
+// The syntactic Invert operator of Section 6.2: swaps the roles of source
+// and target. A mapping denotes a set of instance pairs; Invert flips each
+// pair. For constraint sets given as *equalities* of queries (both
+// inclusion directions present, as the snowflake interpretation produces)
+// the swap is exact; for a bare inclusion tgd the swapped tgd expresses the
+// reversed containment, which is the conventional reading ("just a minor
+// syntactic issue" in the paper's words).
+Result<logic::Mapping> Invert(const logic::Mapping& mapping);
+
+// Result of attempting a Fagin-style inverse (Section 6.4): a mapping from
+// target back to source that roundtrips data. `exact` says whether the
+// recovered mapping reproduces every source relation; otherwise it is a
+// quasi-inverse for the recoverable part and `lost` lists what cannot be
+// recovered (information-capacity loss, Section 6.2's Diff motivation).
+struct InverseResult {
+  logic::Mapping inverse;
+  bool exact = false;
+  // "R" (whole relation unrecoverable) or "R.attr" (attribute lost).
+  std::vector<std::string> lost;
+};
+
+// Computes an inverse of a first-order (s-t tgd) mapping by the canonical
+// instance method: for each source relation R, chase a frozen one-tuple
+// R-instance through the mapping and read the resulting target facts back
+// as the body of a reconstruction query for R. A source attribute whose
+// frozen marker does not survive into the target is lost; a relation with
+// no surviving facts is entirely lost.
+//
+// The returned tgds form a quasi-inverse in general; when `exact` is true,
+// RunChase(mapping) followed by RunChase(inverse) reproduces the source
+// exactly on null-free instances (the roundtripping condition of Section
+// 4), which VerifyRoundtrip checks empirically.
+Result<InverseResult> ComputeInverse(const logic::Mapping& mapping);
+
+// Chases `source` forward through `mapping` and back through `candidate`;
+// returns true when the roundtrip reproduces exactly the source relations
+// (ignoring relations absent from the source schema).
+Result<bool> VerifyRoundtrip(const logic::Mapping& mapping,
+                             const logic::Mapping& candidate,
+                             const instance::Instance& source);
+
+}  // namespace mm2::inverse
+
+#endif  // MM2_INVERSE_INVERSE_H_

@@ -1,0 +1,134 @@
+#include "logic/acyclicity.h"
+
+#include <map>
+#include <set>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace mm2::logic {
+
+namespace {
+
+// A position in the dependency graph.
+using Position = std::pair<std::string, std::size_t>;  // (relation, column)
+
+std::string PositionName(const Position& p) {
+  return p.first + "." + std::to_string(p.second);
+}
+
+struct Edge {
+  Position to;
+  bool special = false;
+};
+
+using Graph = std::map<Position, std::vector<Edge>>;
+
+// Depth-first search for a cycle containing >= 1 special edge. Standard
+// approach: for each special edge u -s-> v, check whether v reaches u.
+bool Reaches(const Graph& graph, const Position& from, const Position& to,
+             std::vector<Position>* path) {
+  std::set<Position> visited;
+  std::vector<Position> stack_path;
+  bool found = false;
+  auto dfs = [&](const Position& node, auto&& self) -> void {
+    if (found || !visited.insert(node).second) return;
+    stack_path.push_back(node);
+    if (node == to) {
+      *path = stack_path;
+      found = true;
+      return;
+    }
+    auto it = graph.find(node);
+    if (it != graph.end()) {
+      for (const Edge& e : it->second) {
+        self(e.to, self);
+        if (found) return;
+      }
+    }
+    stack_path.pop_back();
+  };
+  dfs(from, dfs);
+  return found;
+}
+
+}  // namespace
+
+std::string AcyclicityReport::ToString() const {
+  if (weakly_acyclic) return "weakly acyclic";
+  return "NOT weakly acyclic; cycle: " + Join(cycle, " -> ");
+}
+
+AcyclicityReport CheckWeakAcyclicity(const std::vector<Tgd>& tgds) {
+  Graph graph;
+  std::vector<std::pair<Position, Position>> special_edges;
+
+  for (const Tgd& tgd : tgds) {
+    std::set<std::string> existentials = tgd.ExistentialVariables();
+    // Body occurrences of each universal variable.
+    std::map<std::string, std::vector<Position>> body_positions;
+    for (const Atom& atom : tgd.body) {
+      for (std::size_t i = 0; i < atom.terms.size(); ++i) {
+        if (atom.terms[i].is_variable()) {
+          body_positions[atom.terms[i].name()].push_back(
+              {atom.relation, i});
+        }
+      }
+    }
+    for (const Atom& atom : tgd.head) {
+      // Head positions of existential variables in this atom set.
+      for (std::size_t i = 0; i < atom.terms.size(); ++i) {
+        const Term& t = atom.terms[i];
+        if (!t.is_variable()) continue;
+        Position head_pos{atom.relation, i};
+        if (existentials.count(t.name()) > 0) continue;
+        // Regular edges: every body occurrence of this universal variable
+        // points at its head position.
+        auto it = body_positions.find(t.name());
+        if (it == body_positions.end()) continue;
+        for (const Position& from : it->second) {
+          graph[from].push_back({head_pos, false});
+        }
+      }
+    }
+    // Special edges: from every body position of every universal variable
+    // *used in the head* to every existential head position of the tgd.
+    std::set<std::string> head_vars = tgd.HeadVariables();
+    std::vector<Position> existential_positions;
+    for (const Atom& atom : tgd.head) {
+      for (std::size_t i = 0; i < atom.terms.size(); ++i) {
+        const Term& t = atom.terms[i];
+        if (t.is_variable() && existentials.count(t.name()) > 0) {
+          existential_positions.push_back({atom.relation, i});
+        }
+      }
+    }
+    if (existential_positions.empty()) continue;
+    for (const auto& [var, positions] : body_positions) {
+      if (head_vars.count(var) == 0) continue;
+      for (const Position& from : positions) {
+        for (const Position& to : existential_positions) {
+          graph[from].push_back({to, true});
+          special_edges.push_back({from, to});
+        }
+      }
+    }
+  }
+
+  // A cycle through a special edge u -s-> v exists iff v reaches u.
+  for (const auto& [from, to] : special_edges) {
+    std::vector<Position> path;
+    if (Reaches(graph, to, from, &path)) {
+      AcyclicityReport report;
+      report.weakly_acyclic = false;
+      report.cycle.push_back(PositionName(from) + " (special)");
+      for (const Position& p : path) {
+        report.cycle.push_back(PositionName(p));
+      }
+      return report;
+    }
+  }
+  return AcyclicityReport{};
+}
+
+}  // namespace mm2::logic

@@ -1,0 +1,40 @@
+#ifndef MM2_LOGIC_ACYCLICITY_H_
+#define MM2_LOGIC_ACYCLICITY_H_
+
+#include <string>
+#include <vector>
+
+#include "logic/formula.h"
+
+namespace mm2::logic {
+
+// Weak acyclicity of a tgd set (Fagin–Kolaitis–Miller–Popa): the classical
+// sufficient condition for chase termination that underpins Section 4's
+// data-exchange story. Build the dependency graph over positions
+// (relation, column):
+//   - a *regular* edge (R,i) -> (S,j) when some tgd copies the variable at
+//     body position (R,i) to head position (S,j);
+//   - a *special* edge (R,i) -> (S,j) when the variable at body position
+//     (R,i) occurs in a head atom that also has an existential variable at
+//     position (S,j) — firing invents a value "downstream" of (R,i).
+// The set is weakly acyclic iff no cycle passes through a special edge;
+// then every chase sequence terminates in polynomially many steps.
+
+struct AcyclicityReport {
+  bool weakly_acyclic = true;
+  // When not acyclic: one position cycle through a special edge, as
+  // "R.2 -> S.1 ->* R.2" strings for diagnostics.
+  std::vector<std::string> cycle;
+
+  std::string ToString() const;
+};
+
+// Analyzes the tgd set. Egds never affect weak acyclicity and are not
+// needed. Works on both s-t tgds (always acyclic: source and target
+// vocabularies are disjoint, so no cycles at all) and intra-schema rule
+// sets (where the check is substantive, e.g. ChaseInstance closures).
+AcyclicityReport CheckWeakAcyclicity(const std::vector<Tgd>& tgds);
+
+}  // namespace mm2::logic
+
+#endif  // MM2_LOGIC_ACYCLICITY_H_

@@ -1,0 +1,32 @@
+#ifndef MM2_LOGIC_IMPLICATION_H_
+#define MM2_LOGIC_IMPLICATION_H_
+
+#include "common/result.h"
+#include "logic/formula.h"
+#include "logic/mapping.h"
+
+namespace mm2::logic {
+
+// Logical implication and equivalence of first-order mappings, by the
+// classical chase test: Sigma implies a tgd  body -> head  iff chasing the
+// frozen body (its variables as fresh labeled nulls, the canonical
+// database) with Sigma yields an instance satisfying the head under the
+// freezing assignment. This is what statements like "the composition of
+// the update view with the query view must equal the identity" (Section 4)
+// and "composed mapping equals the direct mapping" need to be checked
+// mechanically.
+//
+// Sound and complete for weakly acyclic s-t tgd sets (where the chase
+// terminates); callers get Unsupported for second-order mappings.
+
+// Does `mapping`'s constraint set imply `tgd`?
+Result<bool> Implies(const Mapping& mapping, const Tgd& tgd);
+
+// Do the two mappings have the same instance-level semantics? Checked by
+// mutual implication of their tgd sets. Schema names are not compared —
+// only the constraint semantics.
+Result<bool> AreEquivalent(const Mapping& a, const Mapping& b);
+
+}  // namespace mm2::logic
+
+#endif  // MM2_LOGIC_IMPLICATION_H_

@@ -1,0 +1,80 @@
+#include "logic/mapping.h"
+
+#include <utility>
+
+namespace mm2::logic {
+
+Mapping Mapping::FromTgds(std::string name, model::Schema source,
+                          model::Schema target, std::vector<Tgd> tgds,
+                          std::vector<Egd> target_egds) {
+  Mapping m;
+  m.name_ = std::move(name);
+  m.source_ = std::move(source);
+  m.target_ = std::move(target);
+  m.tgds_ = std::move(tgds);
+  m.target_egds_ = std::move(target_egds);
+  return m;
+}
+
+Mapping Mapping::FromSoTgd(std::string name, model::Schema source,
+                           model::Schema target, SoTgd so_tgd,
+                           std::vector<Egd> target_egds) {
+  Mapping m;
+  m.name_ = std::move(name);
+  m.source_ = std::move(source);
+  m.target_ = std::move(target);
+  m.so_tgd_ = std::move(so_tgd);
+  m.target_egds_ = std::move(target_egds);
+  return m;
+}
+
+SoTgd Mapping::Skolemized() const {
+  if (so_tgd_.has_value()) return *so_tgd_;
+  SoTgd so;
+  NameGenerator fgen("_f_" + name_ + "_");
+  for (const Tgd& tgd : tgds_) {
+    so.clauses.push_back(Skolemize(tgd, &fgen, &so.functions));
+  }
+  return so;
+}
+
+std::size_t Mapping::ClauseCount() const {
+  return so_tgd_.has_value() ? so_tgd_->clauses.size() : tgds_.size();
+}
+
+Status Mapping::Validate() const {
+  MM2_RETURN_IF_ERROR(source_.Validate());
+  MM2_RETURN_IF_ERROR(target_.Validate());
+  for (const Tgd& tgd : tgds_) {
+    // Atoms over entity sets (ER schemas) are not plain relations; validate
+    // vocabularies only for relational/nested schemas.
+    const model::Schema* src =
+        source_.entity_sets().empty() ? &source_ : nullptr;
+    const model::Schema* tgt =
+        target_.entity_sets().empty() ? &target_ : nullptr;
+    MM2_RETURN_IF_ERROR(tgd.Validate(src, tgt));
+  }
+  for (const Egd& egd : target_egds_) {
+    const model::Schema* tgt =
+        target_.entity_sets().empty() ? &target_ : nullptr;
+    MM2_RETURN_IF_ERROR(egd.Validate(tgt));
+  }
+  return Status::OK();
+}
+
+std::string Mapping::ToString() const {
+  std::string out = "mapping " + name_ + ": " + source_.name() + " => " +
+                    target_.name() + " {\n";
+  if (so_tgd_.has_value()) {
+    out += "  " + so_tgd_->ToString() + "\n";
+  } else {
+    for (const Tgd& tgd : tgds_) out += "  " + tgd.ToString() + "\n";
+  }
+  for (const Egd& egd : target_egds_) {
+    out += "  egd: " + egd.ToString() + "\n";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace mm2::logic

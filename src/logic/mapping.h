@@ -1,0 +1,69 @@
+#ifndef MM2_LOGIC_MAPPING_H_
+#define MM2_LOGIC_MAPPING_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "logic/formula.h"
+#include "model/schema.h"
+
+namespace mm2::logic {
+
+// A mapping between two schemas: a set of mapping constraints defining a
+// subset of D_source x D_target (paper Section 2). The constraint language
+// is s-t tgds (GLAV) when first-order expressible, escalating to one
+// second-order tgd when not — exactly the closure story of Section 6.1.
+//
+// Target egds carry key constraints that data exchange must respect.
+class Mapping {
+ public:
+  Mapping() = default;
+
+  static Mapping FromTgds(std::string name, model::Schema source,
+                          model::Schema target, std::vector<Tgd> tgds,
+                          std::vector<Egd> target_egds = {});
+  static Mapping FromSoTgd(std::string name, model::Schema source,
+                           model::Schema target, SoTgd so_tgd,
+                           std::vector<Egd> target_egds = {});
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+  const model::Schema& source() const { return source_; }
+  const model::Schema& target() const { return target_; }
+
+  bool is_second_order() const { return so_tgd_.has_value(); }
+  // First-order constraints; empty when is_second_order().
+  const std::vector<Tgd>& tgds() const { return tgds_; }
+  const SoTgd& so_tgd() const { return *so_tgd_; }
+  const std::vector<Egd>& target_egds() const { return target_egds_; }
+
+  void AddTgd(Tgd tgd) { tgds_.push_back(std::move(tgd)); }
+  void AddTargetEgd(Egd egd) { target_egds_.push_back(std::move(egd)); }
+
+  // The second-order form: the SO-tgd itself, or the skolemization of the
+  // tgds. Always available; used as composition input.
+  SoTgd Skolemized() const;
+
+  // Total number of constraint clauses (tgds or SO-clauses).
+  std::size_t ClauseCount() const;
+
+  // Structural checks: schemas valid, every constraint well-formed over
+  // source/target vocabularies.
+  Status Validate() const;
+
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  model::Schema source_;
+  model::Schema target_;
+  std::vector<Tgd> tgds_;
+  std::optional<SoTgd> so_tgd_;
+  std::vector<Egd> target_egds_;
+};
+
+}  // namespace mm2::logic
+
+#endif  // MM2_LOGIC_MAPPING_H_

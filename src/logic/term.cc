@@ -1,0 +1,193 @@
+#include "logic/term.h"
+
+#include <utility>
+
+namespace mm2::logic {
+
+Term Term::Var(std::string name) {
+  Term t;
+  t.kind_ = Kind::kVariable;
+  t.name_ = std::move(name);
+  return t;
+}
+
+Term Term::Const(instance::Value value) {
+  Term t;
+  t.kind_ = Kind::kConstant;
+  t.name_.clear();
+  t.value_ = std::move(value);
+  return t;
+}
+
+Term Term::Func(std::string name, std::vector<Term> args) {
+  Term t;
+  t.kind_ = Kind::kFunction;
+  t.name_ = std::move(name);
+  t.args_ = std::move(args);
+  return t;
+}
+
+bool Term::operator==(const Term& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case Kind::kVariable:
+      return name_ == other.name_;
+    case Kind::kConstant:
+      return value_ == other.value_;
+    case Kind::kFunction:
+      return name_ == other.name_ && args_ == other.args_;
+  }
+  return false;
+}
+
+bool Term::operator<(const Term& other) const {
+  if (kind_ != other.kind_) return kind_ < other.kind_;
+  switch (kind_) {
+    case Kind::kVariable:
+      return name_ < other.name_;
+    case Kind::kConstant:
+      return value_ < other.value_;
+    case Kind::kFunction:
+      if (name_ != other.name_) return name_ < other.name_;
+      return args_ < other.args_;
+  }
+  return false;
+}
+
+void Term::CollectVariables(std::set<std::string>* out) const {
+  switch (kind_) {
+    case Kind::kVariable:
+      out->insert(name_);
+      break;
+    case Kind::kConstant:
+      break;
+    case Kind::kFunction:
+      for (const Term& arg : args_) arg.CollectVariables(out);
+      break;
+  }
+}
+
+bool Term::ContainsVariable(std::string_view name) const {
+  switch (kind_) {
+    case Kind::kVariable:
+      return name_ == name;
+    case Kind::kConstant:
+      return false;
+    case Kind::kFunction:
+      for (const Term& arg : args_) {
+        if (arg.ContainsVariable(name)) return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+std::string Term::ToString() const {
+  switch (kind_) {
+    case Kind::kVariable:
+      return name_;
+    case Kind::kConstant:
+      return value_.ToString();
+    case Kind::kFunction: {
+      std::string out = name_ + "(";
+      for (std::size_t i = 0; i < args_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += args_[i].ToString();
+      }
+      out += ")";
+      return out;
+    }
+  }
+  return "?";
+}
+
+void Substitution::Bind(std::string var, Term term) {
+  map_.insert_or_assign(std::move(var), std::move(term));
+}
+
+const Term* Substitution::Lookup(std::string_view var) const {
+  auto it = map_.find(var);
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+Term Substitution::Apply(const Term& term) const {
+  switch (term.kind()) {
+    case Term::Kind::kVariable: {
+      const Term* bound = Lookup(term.name());
+      if (bound == nullptr) return term;
+      // Chase through chained bindings (x -> y, y -> 3). Bindings produced
+      // by UnifyTerms are acyclic thanks to the occurs check.
+      return Apply(*bound);
+    }
+    case Term::Kind::kConstant:
+      return term;
+    case Term::Kind::kFunction: {
+      std::vector<Term> args;
+      args.reserve(term.args().size());
+      for (const Term& arg : term.args()) args.push_back(Apply(arg));
+      return Term::Func(term.name(), std::move(args));
+    }
+  }
+  return term;
+}
+
+std::string Substitution::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [var, term] : map_) {
+    if (!first) out += ", ";
+    first = false;
+    out += var + " -> " + term.ToString();
+  }
+  out += "}";
+  return out;
+}
+
+Term ApplyRenaming(const VariableRenaming& renaming, const Term& term) {
+  switch (term.kind()) {
+    case Term::Kind::kVariable: {
+      auto it = renaming.find(term.name());
+      return it == renaming.end() ? term : Term::Var(it->second);
+    }
+    case Term::Kind::kConstant:
+      return term;
+    case Term::Kind::kFunction: {
+      std::vector<Term> args;
+      args.reserve(term.args().size());
+      for (const Term& arg : term.args()) {
+        args.push_back(ApplyRenaming(renaming, arg));
+      }
+      return Term::Func(term.name(), std::move(args));
+    }
+  }
+  return term;
+}
+
+bool UnifyTerms(const Term& a, const Term& b, Substitution* subst) {
+  Term ra = subst->Apply(a);
+  Term rb = subst->Apply(b);
+  if (ra == rb) return true;
+  if (ra.is_variable()) {
+    if (rb.ContainsVariable(ra.name())) return false;  // occurs check
+    subst->Bind(ra.name(), rb);
+    return true;
+  }
+  if (rb.is_variable()) {
+    if (ra.ContainsVariable(rb.name())) return false;
+    subst->Bind(rb.name(), ra);
+    return true;
+  }
+  if (ra.is_constant() || rb.is_constant()) {
+    return false;  // distinct constants, or constant vs function
+  }
+  // Both functions.
+  if (ra.name() != rb.name() || ra.args().size() != rb.args().size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < ra.args().size(); ++i) {
+    if (!UnifyTerms(ra.args()[i], rb.args()[i], subst)) return false;
+  }
+  return true;
+}
+
+}  // namespace mm2::logic

@@ -1,0 +1,114 @@
+#ifndef MM2_LOGIC_TERM_H_
+#define MM2_LOGIC_TERM_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "instance/value.h"
+
+namespace mm2::logic {
+
+// A first- or second-order term: a variable, a constant, or a function
+// application f(t1,...,tn). Function terms are Skolem terms; they appear
+// only in second-order tgds (paper Section 6.1, Fagin et al.'s
+// "second-order dependencies to the rescue").
+class Term {
+ public:
+  enum class Kind { kVariable, kConstant, kFunction };
+
+  Term() : kind_(Kind::kVariable), name_("_") {}
+
+  static Term Var(std::string name);
+  static Term Const(instance::Value value);
+  static Term Func(std::string name, std::vector<Term> args);
+
+  Kind kind() const { return kind_; }
+  bool is_variable() const { return kind_ == Kind::kVariable; }
+  bool is_constant() const { return kind_ == Kind::kConstant; }
+  bool is_function() const { return kind_ == Kind::kFunction; }
+
+  const std::string& name() const { return name_; }  // variable or function
+  const instance::Value& value() const { return value_; }
+  const std::vector<Term>& args() const { return args_; }
+
+  bool operator==(const Term& other) const;
+  bool operator!=(const Term& other) const { return !(*this == other); }
+  bool operator<(const Term& other) const;
+
+  // Collects variable names appearing in this term (depth-first).
+  void CollectVariables(std::set<std::string>* out) const;
+  // True if variable `name` occurs anywhere in this term.
+  bool ContainsVariable(std::string_view name) const;
+
+  // x, "abc", f(x, g(y)).
+  std::string ToString() const;
+
+ private:
+  Kind kind_;
+  std::string name_;        // variable or function name
+  instance::Value value_;   // kConstant
+  std::vector<Term> args_;  // kFunction
+};
+
+// A variable-to-term substitution with composition and application.
+class Substitution {
+ public:
+  Substitution() = default;
+
+  bool empty() const { return map_.empty(); }
+  std::size_t size() const { return map_.size(); }
+
+  // Binds `var` to `term` (overwrites an existing binding).
+  void Bind(std::string var, Term term);
+  const Term* Lookup(std::string_view var) const;
+  bool IsBound(std::string_view var) const { return Lookup(var) != nullptr; }
+
+  // Applies this substitution to a term, recursing through function args.
+  // Application is idempotent-chased: if x -> y and y -> 3, Apply(x) = 3.
+  Term Apply(const Term& term) const;
+
+  const std::map<std::string, Term, std::less<>>& bindings() const {
+    return map_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, Term, std::less<>> map_;
+};
+
+// A simultaneous variable renaming (old name -> new name). Unlike
+// Substitution::Apply, applying a renaming never chases through bindings,
+// so it stays correct when an old name collides with a new one — the alpha-
+// renaming case.
+using VariableRenaming = std::map<std::string, std::string>;
+
+// Applies `renaming` to every variable occurrence in `term`.
+Term ApplyRenaming(const VariableRenaming& renaming, const Term& term);
+
+// Syntactic unification with occurs check. On success extends `subst` to a
+// most general unifier of the two terms (interpreted under the bindings
+// already in `subst`). Returns false and may leave partial bindings on
+// failure — pass a copy if rollback matters.
+bool UnifyTerms(const Term& a, const Term& b, Substitution* subst);
+
+// Generates fresh variable (or function) names: prefix0, prefix1, ...
+class NameGenerator {
+ public:
+  explicit NameGenerator(std::string prefix) : prefix_(std::move(prefix)) {}
+
+  std::string Next() { return prefix_ + std::to_string(counter_++); }
+  // Fresh variable term.
+  Term NextVar() { return Term::Var(Next()); }
+
+ private:
+  std::string prefix_;
+  std::size_t counter_ = 0;
+};
+
+}  // namespace mm2::logic
+
+#endif  // MM2_LOGIC_TERM_H_

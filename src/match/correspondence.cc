@@ -1,0 +1,287 @@
+#include "match/correspondence.h"
+
+#include <map>
+#include <set>
+
+namespace mm2::match {
+
+using algebra::Expr;
+using algebra::ExprRef;
+using logic::Atom;
+using logic::Term;
+using logic::Tgd;
+
+std::string InterpretedConstraint::ToString() const {
+  return source_expr->ToString() + " = " + target_expr->ToString();
+}
+
+namespace {
+
+// A join path from the snowflake root to some relation: the FK edges, in
+// order.
+using FkPath = std::vector<const model::ForeignKey*>;
+
+// BFS over foreign keys (from child to referenced parent, starting at the
+// root and following edges outward) computing a path to every reachable
+// relation.
+std::map<std::string, FkPath> PathsFromRoot(const model::Schema& schema,
+                                            const std::string& root) {
+  std::map<std::string, FkPath> paths;
+  paths[root] = {};
+  std::vector<std::string> frontier = {root};
+  while (!frontier.empty()) {
+    std::vector<std::string> next;
+    for (const std::string& rel : frontier) {
+      for (const model::ForeignKey* fk : schema.ForeignKeysFrom(rel)) {
+        if (paths.count(fk->to_relation) > 0) continue;
+        FkPath path = paths[rel];
+        path.push_back(fk);
+        paths[fk->to_relation] = std::move(path);
+        next.push_back(fk->to_relation);
+      }
+    }
+    frontier = std::move(next);
+  }
+  return paths;
+}
+
+// Variable names for the attributes of the relations along a path; FK
+// columns share variables, implementing the join.
+class PathVars {
+ public:
+  PathVars(const model::Schema& schema, const std::string& root,
+           const FkPath& path, const std::string& prefix) {
+    AddRelation(schema, root, prefix);
+    for (const model::ForeignKey* fk : path) {
+      AddRelation(schema, fk->to_relation, prefix);
+      // Unify referencing and referenced columns.
+      for (std::size_t i = 0; i < fk->from_attributes.size(); ++i) {
+        vars_[{fk->to_relation, fk->to_attributes[i]}] =
+            vars_[{fk->from_relation, fk->from_attributes[i]}];
+      }
+    }
+  }
+
+  const std::string& VarOf(const std::string& relation,
+                           const std::string& attribute) const {
+    return vars_.at({relation, attribute});
+  }
+
+  // Atoms for the root and each relation on the path, in order.
+  std::vector<Atom> Atoms(const model::Schema& schema, const std::string& root,
+                          const FkPath& path) const {
+    std::vector<Atom> atoms;
+    atoms.push_back(AtomFor(schema, root));
+    for (const model::ForeignKey* fk : path) {
+      atoms.push_back(AtomFor(schema, fk->to_relation));
+    }
+    return atoms;
+  }
+
+ private:
+  void AddRelation(const model::Schema& schema, const std::string& relation,
+                   const std::string& prefix) {
+    if (added_.count(relation) > 0) return;
+    added_.insert(relation);
+    const model::Relation* rel = schema.FindRelation(relation);
+    for (const model::Attribute& a : rel->attributes()) {
+      vars_[{relation, a.name}] = prefix + relation + "_" + a.name;
+    }
+  }
+
+  Atom AtomFor(const model::Schema& schema, const std::string& relation) const {
+    Atom atom;
+    atom.relation = relation;
+    const model::Relation* rel = schema.FindRelation(relation);
+    for (const model::Attribute& a : rel->attributes()) {
+      atom.terms.push_back(Term::Var(VarOf(relation, a.name)));
+    }
+    return atom;
+  }
+
+  std::map<std::pair<std::string, std::string>, std::string> vars_;
+  std::set<std::string> added_;
+};
+
+// Builds pi_{key[, attr]}(root JOIN path...) as algebra, renaming columns to
+// "<rel>_<attr>" to keep join outputs collision-free. Output columns are
+// "key" and (when attr given) "val".
+ExprRef BuildPathExpr(const model::Schema& schema, const std::string& root,
+                      const std::string& root_key, const FkPath& path,
+                      const std::string& attr_relation,
+                      const std::string& attribute) {
+  auto scan_renamed = [&](const std::string& relation) {
+    const model::Relation* rel = schema.FindRelation(relation);
+    std::vector<algebra::NamedExpr> projections;
+    for (const model::Attribute& a : rel->attributes()) {
+      projections.push_back(
+          {relation + "_" + a.name, algebra::Col(a.name)});
+    }
+    return Expr::Project(Expr::Scan(relation), std::move(projections));
+  };
+  ExprRef expr = scan_renamed(root);
+  for (const model::ForeignKey* fk : path) {
+    std::vector<std::pair<std::string, std::string>> keys;
+    for (std::size_t i = 0; i < fk->from_attributes.size(); ++i) {
+      keys.push_back({fk->from_relation + "_" + fk->from_attributes[i],
+                      fk->to_relation + "_" + fk->to_attributes[i]});
+    }
+    expr = Expr::Join(expr, scan_renamed(fk->to_relation),
+                      Expr::JoinKind::kInner, std::move(keys));
+  }
+  std::vector<algebra::NamedExpr> out;
+  out.push_back({"key", algebra::Col(root + "_" + root_key)});
+  if (!attribute.empty()) {
+    out.push_back({"val", algebra::Col(attr_relation + "_" + attribute)});
+  }
+  return Expr::Distinct(Expr::Project(expr, std::move(out)));
+}
+
+// A tgd whose body is the source join path and whose head is the target
+// join path, sharing the key variable and (optionally) the value variable.
+Tgd BuildInclusionTgd(const model::Schema& from_schema,
+                      const std::string& from_root,
+                      const std::string& from_key, const FkPath& from_path,
+                      const std::string& from_rel, const std::string& from_attr,
+                      const model::Schema& to_schema,
+                      const std::string& to_root, const std::string& to_key,
+                      const FkPath& to_path, const std::string& to_rel,
+                      const std::string& to_attr) {
+  PathVars from_vars(from_schema, from_root, from_path, "s_");
+  PathVars to_vars(to_schema, to_root, to_path, "t_");
+  Tgd tgd;
+  tgd.body = from_vars.Atoms(from_schema, from_root, from_path);
+  tgd.head = to_vars.Atoms(to_schema, to_root, to_path);
+
+  // Substitute the shared key/value variables into the head.
+  logic::Substitution share;
+  share.Bind(to_vars.VarOf(to_root, to_key),
+             Term::Var(from_vars.VarOf(from_root, from_key)));
+  if (!from_attr.empty()) {
+    share.Bind(to_vars.VarOf(to_rel, to_attr),
+               Term::Var(from_vars.VarOf(from_rel, from_attr)));
+  }
+  for (Atom& atom : tgd.head) {
+    atom = atom.ApplySubstitution(share);
+  }
+  return tgd;
+}
+
+Status CheckSnowflakeRoot(const model::Schema& schema,
+                          const std::string& root) {
+  const model::Relation* rel = schema.FindRelation(root);
+  if (rel == nullptr) {
+    return Status::NotFound("root relation '" + root + "' not in schema '" +
+                            schema.name() + "'");
+  }
+  if (rel->primary_key().size() != 1) {
+    return Status::InvalidArgument(
+        "snowflake root '" + root +
+        "' must have a single-attribute primary key");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<InterpretedConstraint>> InterpretCorrespondences(
+    const model::Schema& source, const std::string& source_root,
+    const model::Schema& target, const std::string& target_root,
+    const std::vector<Correspondence>& correspondences) {
+  MM2_RETURN_IF_ERROR(CheckSnowflakeRoot(source, source_root));
+  MM2_RETURN_IF_ERROR(CheckSnowflakeRoot(target, target_root));
+  const model::Relation* src_root_rel = source.FindRelation(source_root);
+  const model::Relation* tgt_root_rel = target.FindRelation(target_root);
+  const std::string src_key =
+      src_root_rel->attribute(src_root_rel->primary_key()[0]).name;
+  const std::string tgt_key =
+      tgt_root_rel->attribute(tgt_root_rel->primary_key()[0]).name;
+
+  std::map<std::string, FkPath> src_paths = PathsFromRoot(source, source_root);
+  std::map<std::string, FkPath> tgt_paths = PathsFromRoot(target, target_root);
+
+  // Locate the root correspondence (Fig. 4's constraint 1).
+  bool has_root_correspondence = false;
+  for (const Correspondence& c : correspondences) {
+    if (c.source == model::ElementRef{source_root, src_key} &&
+        c.target == model::ElementRef{target_root, tgt_key}) {
+      has_root_correspondence = true;
+    }
+  }
+  if (!has_root_correspondence) {
+    return Status::InvalidArgument(
+        "correspondences must include the root-key correspondence " +
+        source_root + "." + src_key + " ~ " + target_root + "." + tgt_key);
+  }
+
+  std::vector<InterpretedConstraint> constraints;
+  for (const Correspondence& c : correspondences) {
+    if (c.source.attribute.empty() || c.target.attribute.empty()) {
+      return Status::InvalidArgument(
+          "snowflake interpretation needs attribute-level correspondences, "
+          "got " +
+          c.ToString());
+    }
+    auto sp = src_paths.find(c.source.container);
+    auto tp = tgt_paths.find(c.target.container);
+    if (sp == src_paths.end()) {
+      return Status::InvalidArgument("relation '" + c.source.container +
+                                     "' is not reachable from root '" +
+                                     source_root + "'");
+    }
+    if (tp == tgt_paths.end()) {
+      return Status::InvalidArgument("relation '" + c.target.container +
+                                     "' is not reachable from root '" +
+                                     target_root + "'");
+    }
+    if (source.FindAttribute(c.source) == nullptr) {
+      return Status::NotFound("no attribute " + c.source.ToString());
+    }
+    if (target.FindAttribute(c.target) == nullptr) {
+      return Status::NotFound("no attribute " + c.target.ToString());
+    }
+
+    bool is_root_corr = c.source == model::ElementRef{source_root, src_key} &&
+                        c.target == model::ElementRef{target_root, tgt_key};
+    // The root correspondence yields the key-only constraint
+    // pi_key(source) = pi_key(target); others add the value column.
+    std::string src_attr = is_root_corr ? "" : c.source.attribute;
+    std::string tgt_attr = is_root_corr ? "" : c.target.attribute;
+
+    InterpretedConstraint constraint;
+    constraint.correspondence = c;
+    constraint.source_expr =
+        BuildPathExpr(source, source_root, src_key, sp->second,
+                      c.source.container, src_attr);
+    constraint.target_expr =
+        BuildPathExpr(target, target_root, tgt_key, tp->second,
+                      c.target.container, tgt_attr);
+    constraint.forward = BuildInclusionTgd(
+        source, source_root, src_key, sp->second, c.source.container, src_attr,
+        target, target_root, tgt_key, tp->second, c.target.container,
+        tgt_attr);
+    constraint.backward = BuildInclusionTgd(
+        target, target_root, tgt_key, tp->second, c.target.container, tgt_attr,
+        source, source_root, src_key, sp->second, c.source.container,
+        src_attr);
+    constraints.push_back(std::move(constraint));
+  }
+  return constraints;
+}
+
+Result<logic::Mapping> MappingFromConstraints(
+    std::string name, const model::Schema& source,
+    const model::Schema& target,
+    const std::vector<InterpretedConstraint>& constraints) {
+  std::vector<Tgd> tgds;
+  tgds.reserve(constraints.size());
+  for (const InterpretedConstraint& c : constraints) {
+    tgds.push_back(c.forward);
+  }
+  logic::Mapping mapping = logic::Mapping::FromTgds(std::move(name), source,
+                                                    target, std::move(tgds));
+  MM2_RETURN_IF_ERROR(mapping.Validate());
+  return mapping;
+}
+
+}  // namespace mm2::match

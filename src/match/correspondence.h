@@ -1,0 +1,57 @@
+#ifndef MM2_MATCH_CORRESPONDENCE_H_
+#define MM2_MATCH_CORRESPONDENCE_H_
+
+#include <string>
+#include <vector>
+
+#include "algebra/expr.h"
+#include "common/result.h"
+#include "logic/formula.h"
+#include "logic/mapping.h"
+#include "match/matcher.h"
+#include "model/schema.h"
+
+namespace mm2::match {
+
+// One correspondence interpreted as a mapping constraint: the equality of
+// two project-join expressions, one over the source and one over the target
+// (Fig. 4; Melnik et al.'s unambiguous interpretation for snowflake
+// schemas). The equality is also rendered as a pair of inclusion tgds so
+// the chase and Compose can consume it.
+struct InterpretedConstraint {
+  Correspondence correspondence;
+  algebra::ExprRef source_expr;  // pi_{key,attr}(join path from source root)
+  algebra::ExprRef target_expr;  // pi_{key,attr}(join path from target root)
+  logic::Tgd forward;            // source expr subset-of target expr
+  logic::Tgd backward;           // target expr subset-of source expr
+  std::string ToString() const;
+};
+
+// Interprets attribute correspondences between two *snowflake* schemas as
+// join-equality constraints. Preconditions (checked):
+//  - `source_root` / `target_root` name relations with single-attribute
+//    primary keys, and every other relation is reachable from the root via
+//    foreign keys (child -> parent direction, i.e. root points outward);
+//  - `correspondences` contains exactly one pair relating the two root
+//    keys (the "root correspondence" of Fig. 4's constraint 1);
+//  - every other correspondence relates one source attribute to one target
+//    attribute.
+// Each non-root correspondence (a_s in R_s, a_t in R_t) yields
+//   pi_{rootkey, a_s}(root JOIN ... JOIN R_s)
+//     = pi_{rootkey', a_t}(root' JOIN ... JOIN R_t).
+Result<std::vector<InterpretedConstraint>> InterpretCorrespondences(
+    const model::Schema& source, const std::string& source_root,
+    const model::Schema& target, const std::string& target_root,
+    const std::vector<Correspondence>& correspondences);
+
+// Packages interpreted constraints as a tgd mapping source => target (the
+// forward inclusions; the backward ones witness equality and are returned
+// for completeness by InterpretCorrespondences).
+Result<logic::Mapping> MappingFromConstraints(
+    std::string name, const model::Schema& source,
+    const model::Schema& target,
+    const std::vector<InterpretedConstraint>& constraints);
+
+}  // namespace mm2::match
+
+#endif  // MM2_MATCH_CORRESPONDENCE_H_

@@ -1,0 +1,335 @@
+#include "match/matcher.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+
+namespace mm2::match {
+
+std::string Correspondence::ToString() const {
+  return source.ToString() + " ~ " + target.ToString() + " (" +
+         std::to_string(score) + ")";
+}
+
+std::string MatchResult::ToString() const {
+  std::string out;
+  for (const Correspondence& c : best) out += c.ToString() + "\n";
+  return out;
+}
+
+SchemaMatcher::SchemaMatcher(MatchOptions options)
+    : options_(std::move(options)) {
+  for (const std::vector<std::string>& group : options_.thesaurus) {
+    if (group.empty()) continue;
+    for (const std::string& word : group) {
+      synonym_canon_[ToLower(word)] = ToLower(group.front());
+    }
+  }
+}
+
+std::string SchemaMatcher::CanonicalToken(const std::string& token) const {
+  auto it = synonym_canon_.find(token);
+  return it == synonym_canon_.end() ? token : it->second;
+}
+
+double SchemaMatcher::NameSimilarity(const std::string& a,
+                                     const std::string& b) const {
+  std::string la = ToLower(a);
+  std::string lb = ToLower(b);
+  if (la == lb) return 1.0;
+  return std::max(EditSimilarity(la, lb), TrigramSimilarity(la, lb));
+}
+
+double SchemaMatcher::TokenSimilarity(const std::string& a,
+                                      const std::string& b) const {
+  std::vector<std::string> ta = TokenizeIdentifier(a);
+  std::vector<std::string> tb = TokenizeIdentifier(b);
+  if (ta.empty() || tb.empty()) return 0.0;
+  std::set<std::string> sa;
+  std::set<std::string> sb;
+  for (const std::string& t : ta) sa.insert(CanonicalToken(t));
+  for (const std::string& t : tb) sb.insert(CanonicalToken(t));
+  // Soft Jaccard: exact token matches count 1, near matches (high edit
+  // similarity, catching abbreviations like "empl" ~ "employee") count by
+  // their similarity.
+  double overlap = 0.0;
+  for (const std::string& t : sa) {
+    double best = 0.0;
+    for (const std::string& u : sb) {
+      double sim = (t == u) ? 1.0 : EditSimilarity(t, u);
+      // Abbreviation bonus: "empl" ~ "employee", "dept" ~ "department".
+      if (sim < 0.9 && (IsAbbreviation(u, t) || IsAbbreviation(t, u))) {
+        double shorter = static_cast<double>(std::min(t.size(), u.size()));
+        double longer = static_cast<double>(std::max(t.size(), u.size()));
+        sim = std::max(sim, 0.5 + 0.5 * shorter / longer);
+      }
+      best = std::max(best, sim);
+    }
+    if (best >= 0.5) overlap += best;
+  }
+  double denom = static_cast<double>(std::max(sa.size(), sb.size()));
+  return overlap / denom;
+}
+
+double SchemaMatcher::TypeSimilarity(const model::Attribute* a,
+                                     const model::Attribute* b) const {
+  if (a == nullptr || b == nullptr) {
+    // Container-level elements: neutral.
+    return 0.5;
+  }
+  if (a->type->Equals(*b->type)) return 1.0;
+  if (a->type->is_primitive() && b->type->is_primitive()) {
+    auto numeric = [](model::PrimitiveType t) {
+      return t == model::PrimitiveType::kInt64 ||
+             t == model::PrimitiveType::kDouble;
+    };
+    if (numeric(a->type->primitive()) && numeric(b->type->primitive())) {
+      return 0.8;
+    }
+    return 0.2;
+  }
+  return 0.3;
+}
+
+double SchemaMatcher::LexicalSimilarity(const model::Schema& source_schema,
+                                        const model::ElementRef& source,
+                                        const model::Schema& target_schema,
+                                        const model::ElementRef& target) const {
+  // Attribute elements only compare against attribute elements, containers
+  // against containers.
+  if (source.attribute.empty() != target.attribute.empty()) return 0.0;
+  const std::string& sname =
+      source.attribute.empty() ? source.container : source.attribute;
+  const std::string& tname =
+      target.attribute.empty() ? target.container : target.attribute;
+  double name = NameSimilarity(sname, tname);
+  double token = TokenSimilarity(sname, tname);
+  double type = TypeSimilarity(source_schema.FindAttribute(source),
+                               target_schema.FindAttribute(target));
+  return options_.name_weight * name + options_.token_weight * token +
+         options_.type_weight * type;
+}
+
+MatchResult SchemaMatcher::Match(const model::Schema& source,
+                                 const model::Schema& target) const {
+  return MatchImpl(source, nullptr, target, nullptr);
+}
+
+MatchResult SchemaMatcher::Match(const model::Schema& source,
+                                 const instance::Instance& source_data,
+                                 const model::Schema& target,
+                                 const instance::Instance& target_data) const {
+  return MatchImpl(source, &source_data, target, &target_data);
+}
+
+double SchemaMatcher::InstanceSimilarity(
+    const model::Schema& source_schema, const instance::Instance& source_data,
+    const model::ElementRef& source, const model::Schema& target_schema,
+    const instance::Instance& target_data,
+    const model::ElementRef& target) const {
+  auto sample = [&](const model::Schema& schema,
+                    const instance::Instance& data,
+                    const model::ElementRef& ref,
+                    std::set<instance::Value>* out) {
+    const model::Relation* rel = schema.FindRelation(ref.container);
+    if (rel == nullptr) return false;
+    auto idx = rel->AttributeIndex(ref.attribute);
+    if (!idx.has_value()) return false;
+    const instance::RelationInstance* extension = data.Find(ref.container);
+    if (extension == nullptr) return false;
+    for (const instance::Tuple& t : extension->tuples()) {
+      if (out->size() >= options_.instance_sample) break;
+      if (t[*idx].is_constant()) out->insert(t[*idx]);
+    }
+    return true;
+  };
+  std::set<instance::Value> a;
+  std::set<instance::Value> b;
+  if (!sample(source_schema, source_data, source, &a) ||
+      !sample(target_schema, target_data, target, &b) || a.empty() ||
+      b.empty()) {
+    return 0.0;
+  }
+  std::size_t both = 0;
+  for (const instance::Value& v : a) both += b.count(v);
+  return static_cast<double>(both) /
+         static_cast<double>(a.size() + b.size() - both);
+}
+
+MatchResult SchemaMatcher::MatchImpl(
+    const model::Schema& source, const instance::Instance* source_data,
+    const model::Schema& target,
+    const instance::Instance* target_data) const {
+  std::vector<model::ElementRef> source_elems = source.AllElements();
+  std::vector<model::ElementRef> target_elems = target.AllElements();
+
+  // Similarity matrix: lexical seed, blended with instance evidence when
+  // value samples are available on both sides.
+  bool use_instances = source_data != nullptr && target_data != nullptr &&
+                       options_.instance_weight > 0.0;
+  std::vector<std::vector<double>> sim(
+      source_elems.size(), std::vector<double>(target_elems.size(), 0.0));
+  for (std::size_t i = 0; i < source_elems.size(); ++i) {
+    for (std::size_t j = 0; j < target_elems.size(); ++j) {
+      double lexical =
+          LexicalSimilarity(source, source_elems[i], target, target_elems[j]);
+      if (use_instances && !source_elems[i].attribute.empty() &&
+          !target_elems[j].attribute.empty()) {
+        double overlap = InstanceSimilarity(source, *source_data,
+                                            source_elems[i], target,
+                                            *target_data, target_elems[j]);
+        lexical = (1.0 - options_.instance_weight) * lexical +
+                  options_.instance_weight * overlap;
+      }
+      sim[i][j] = lexical;
+    }
+  }
+
+  // Structural propagation (similarity-flooding flavor): an attribute
+  // pair's score is boosted by its containers' score, and a container
+  // pair's score by the average of its best-matching attribute pairs.
+  auto index_of = [](const std::vector<model::ElementRef>& elems,
+                     const model::ElementRef& ref) -> std::size_t {
+    for (std::size_t i = 0; i < elems.size(); ++i) {
+      if (elems[i] == ref) return i;
+    }
+    return static_cast<std::size_t>(-1);
+  };
+  for (std::size_t round = 0; round < options_.structural_rounds; ++round) {
+    std::vector<std::vector<double>> next = sim;
+    for (std::size_t i = 0; i < source_elems.size(); ++i) {
+      for (std::size_t j = 0; j < target_elems.size(); ++j) {
+        const model::ElementRef& s = source_elems[i];
+        const model::ElementRef& t = target_elems[j];
+        double neighbor = 0.0;
+        if (!s.attribute.empty() && !t.attribute.empty()) {
+          // Boost by container similarity.
+          std::size_t ci = index_of(source_elems, {s.container, ""});
+          std::size_t cj = index_of(target_elems, {t.container, ""});
+          if (ci != static_cast<std::size_t>(-1) &&
+              cj != static_cast<std::size_t>(-1)) {
+            neighbor = sim[ci][cj];
+          }
+        } else if (s.attribute.empty() && t.attribute.empty()) {
+          // Boost by average best attribute similarity.
+          double total = 0.0;
+          std::size_t count = 0;
+          for (std::size_t i2 = 0; i2 < source_elems.size(); ++i2) {
+            if (source_elems[i2].container != s.container ||
+                source_elems[i2].attribute.empty()) {
+              continue;
+            }
+            double best = 0.0;
+            for (std::size_t j2 = 0; j2 < target_elems.size(); ++j2) {
+              if (target_elems[j2].container != t.container ||
+                  target_elems[j2].attribute.empty()) {
+                continue;
+              }
+              best = std::max(best, sim[i2][j2]);
+            }
+            total += best;
+            ++count;
+          }
+          if (count > 0) neighbor = total / static_cast<double>(count);
+        }
+        next[i][j] = (1.0 - options_.structural_alpha) * sim[i][j] +
+                     options_.structural_alpha * neighbor;
+      }
+    }
+    sim = std::move(next);
+  }
+
+  MatchResult result;
+  for (std::size_t i = 0; i < source_elems.size(); ++i) {
+    std::vector<Correspondence> row;
+    for (std::size_t j = 0; j < target_elems.size(); ++j) {
+      if (sim[i][j] >= options_.threshold) {
+        row.push_back({source_elems[i], target_elems[j], sim[i][j]});
+      }
+    }
+    std::stable_sort(row.begin(), row.end(),
+                     [](const Correspondence& a, const Correspondence& b) {
+                       return a.score > b.score;
+                     });
+    if (row.size() > options_.top_k) row.resize(options_.top_k);
+    if (!row.empty()) {
+      if (!options_.one_to_one) result.best.push_back(row.front());
+      result.candidates[source_elems[i]] = std::move(row);
+    }
+  }
+  if (options_.one_to_one) {
+    // Greedy global assignment: best scores first, each side used once.
+    std::vector<Correspondence> all;
+    for (std::size_t i = 0; i < source_elems.size(); ++i) {
+      for (std::size_t j = 0; j < target_elems.size(); ++j) {
+        if (sim[i][j] >= options_.threshold) {
+          all.push_back({source_elems[i], target_elems[j], sim[i][j]});
+        }
+      }
+    }
+    std::stable_sort(all.begin(), all.end(),
+                     [](const Correspondence& a, const Correspondence& b) {
+                       return a.score > b.score;
+                     });
+    std::set<model::ElementRef> used_source;
+    std::set<model::ElementRef> used_target;
+    for (Correspondence& c : all) {
+      if (used_source.count(c.source) > 0 || used_target.count(c.target) > 0) {
+        continue;
+      }
+      used_source.insert(c.source);
+      used_target.insert(c.target);
+      result.best.push_back(std::move(c));
+    }
+    // Keep `best` ordered by source element for deterministic output.
+    std::stable_sort(result.best.begin(), result.best.end(),
+                     [](const Correspondence& a, const Correspondence& b) {
+                       return a.source < b.source;
+                     });
+  }
+  return result;
+}
+
+MatchQuality EvaluateMatch(const std::vector<Correspondence>& proposed,
+                           const std::vector<Correspondence>& reference) {
+  auto key = [](const Correspondence& c) {
+    return std::make_pair(c.source, c.target);
+  };
+  std::set<std::pair<model::ElementRef, model::ElementRef>> ref;
+  for (const Correspondence& c : reference) ref.insert(key(c));
+  std::size_t hits = 0;
+  for (const Correspondence& c : proposed) hits += ref.count(key(c));
+  MatchQuality q;
+  if (!proposed.empty()) {
+    q.precision = static_cast<double>(hits) /
+                  static_cast<double>(proposed.size());
+  }
+  if (!reference.empty()) {
+    q.recall =
+        static_cast<double>(hits) / static_cast<double>(reference.size());
+  }
+  if (q.precision + q.recall > 0.0) {
+    q.f1 = 2.0 * q.precision * q.recall / (q.precision + q.recall);
+  }
+  return q;
+}
+
+double CandidateRecall(const MatchResult& result,
+                       const std::vector<Correspondence>& reference) {
+  if (reference.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (const Correspondence& ref : reference) {
+    auto it = result.candidates.find(ref.source);
+    if (it == result.candidates.end()) continue;
+    for (const Correspondence& c : it->second) {
+      if (c.target == ref.target) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(reference.size());
+}
+
+}  // namespace mm2::match

@@ -1,0 +1,133 @@
+#ifndef MM2_MATCH_MATCHER_H_
+#define MM2_MATCH_MATCHER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "instance/instance.h"
+#include "model/schema.h"
+
+namespace mm2::match {
+
+// A correspondence: a pair of schema elements "believed to be related in
+// some unspecified way" (paper Section 3.1) with a confidence score.
+struct Correspondence {
+  model::ElementRef source;
+  model::ElementRef target;
+  double score = 0.0;
+
+  std::string ToString() const;
+};
+
+struct MatchOptions {
+  // Minimum score for a correspondence to be reported at all.
+  double threshold = 0.35;
+  // How many candidates to keep per source element. The paper argues the
+  // matcher's job for engineered mappings is to return *all viable
+  // candidates*, not only the best one (Section 3.1.1), so this is the
+  // primary knob.
+  std::size_t top_k = 3;
+  // Component weights for the lexical score.
+  double name_weight = 0.45;
+  double token_weight = 0.35;
+  double type_weight = 0.20;
+  // Rounds of structural propagation (similarity-flooding flavor): element
+  // scores flow between attributes and their containers.
+  std::size_t structural_rounds = 2;
+  // Blend factor for propagated similarity per round.
+  double structural_alpha = 0.3;
+  // Synonym groups; identifiers tokenizing into the same group count as
+  // equal tokens ("dept" ~ "department").
+  std::vector<std::vector<std::string>> thesaurus;
+  // Weight of instance evidence (attribute value overlap) when instances
+  // are supplied to Match; the lexical score is scaled by (1 - this).
+  // "Value distributions" are one of the classic matcher inputs the paper
+  // lists in Section 3.1.1.
+  double instance_weight = 0.35;
+  // Cap on sampled values per attribute when computing overlap.
+  std::size_t instance_sample = 256;
+  // When true, `best` is a one-to-one assignment (greedy on global score
+  // order) instead of best-per-source-element: no two source elements map
+  // to the same target. Candidate lists are unaffected.
+  bool one_to_one = false;
+};
+
+struct MatchResult {
+  // Top-k candidates per source element, best first.
+  std::map<model::ElementRef, std::vector<Correspondence>> candidates;
+  // The best candidate per source element (score >= threshold), a
+  // convenient starting point for the data architect.
+  std::vector<Correspondence> best;
+
+  std::string ToString() const;
+};
+
+// The Match operator: proposes correspondences between two schemas using
+// lexical similarity (edit distance, trigrams, token overlap with thesaurus,
+// type compatibility) refined by structural propagation between containers
+// and their attributes.
+class SchemaMatcher {
+ public:
+  explicit SchemaMatcher(MatchOptions options = {});
+
+  MatchResult Match(const model::Schema& source,
+                    const model::Schema& target) const;
+
+  // Match with instance evidence: attribute pairs whose value sets overlap
+  // (Jaccard over samples) score higher. Relational attributes only;
+  // container elements and ER attributes fall back to lexical evidence.
+  MatchResult Match(const model::Schema& source,
+                    const instance::Instance& source_data,
+                    const model::Schema& target,
+                    const instance::Instance& target_data) const;
+
+  // Value-overlap similarity of two relational attributes (exposed for
+  // tests): Jaccard of up-to-`instance_sample` sampled values.
+  double InstanceSimilarity(const model::Schema& source_schema,
+                            const instance::Instance& source_data,
+                            const model::ElementRef& source,
+                            const model::Schema& target_schema,
+                            const instance::Instance& target_data,
+                            const model::ElementRef& target) const;
+
+  // The lexical (pre-propagation) similarity of two elements; exposed for
+  // tests and benchmarks.
+  double LexicalSimilarity(const model::Schema& source_schema,
+                           const model::ElementRef& source,
+                           const model::Schema& target_schema,
+                           const model::ElementRef& target) const;
+
+ private:
+  MatchResult MatchImpl(const model::Schema& source,
+                        const instance::Instance* source_data,
+                        const model::Schema& target,
+                        const instance::Instance* target_data) const;
+  double NameSimilarity(const std::string& a, const std::string& b) const;
+  double TokenSimilarity(const std::string& a, const std::string& b) const;
+  double TypeSimilarity(const model::Attribute* a,
+                        const model::Attribute* b) const;
+  std::string CanonicalToken(const std::string& token) const;
+
+  MatchOptions options_;
+  std::map<std::string, std::string> synonym_canon_;
+};
+
+// Scores `result.best` against a reference alignment: returns
+// {precision, recall, f1}. Used by the matcher benchmarks.
+struct MatchQuality {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+MatchQuality EvaluateMatch(const std::vector<Correspondence>& proposed,
+                           const std::vector<Correspondence>& reference);
+
+// Recall of the reference pairs within the top-k candidate lists — the
+// "all viable candidates" metric the paper advocates.
+double CandidateRecall(const MatchResult& result,
+                       const std::vector<Correspondence>& reference);
+
+}  // namespace mm2::match
+
+#endif  // MM2_MATCH_MATCHER_H_

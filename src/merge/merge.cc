@@ -1,0 +1,298 @@
+#include "merge/merge.h"
+
+#include <map>
+#include <set>
+#include <utility>
+
+namespace mm2::merge {
+
+using logic::Atom;
+using logic::Mapping;
+using logic::Term;
+using logic::Tgd;
+using match::Correspondence;
+using model::Attribute;
+using model::ElementRef;
+using model::Schema;
+
+namespace {
+
+// Where each original attribute landed in the merged schema.
+struct Placement {
+  std::string merged_container;
+  std::map<std::string, std::size_t> left_attr_index;   // original name -> idx
+  std::map<std::string, std::size_t> right_attr_index;  // original name -> idx
+  std::size_t arity = 0;
+};
+
+// One merged container under construction.
+struct Builder {
+  std::string name;
+  std::vector<Attribute> attributes;
+  std::vector<std::size_t> primary_key;
+  Placement placement;
+};
+
+std::string FreshName(const std::string& base, const std::string& suffix,
+                      const std::set<std::string>& taken,
+                      MergeStats* stats) {
+  if (taken.count(base) == 0) return base;
+  ++stats->name_collisions;
+  std::string candidate = base + suffix;
+  while (taken.count(candidate) > 0) candidate += suffix;
+  return candidate;
+}
+
+// Projection tgd: merged(all) -> original(selected positions).
+Tgd ProjectionTgd(const std::string& merged_name, std::size_t merged_arity,
+                  const std::string& original_name,
+                  const std::vector<std::size_t>& positions) {
+  Tgd tgd;
+  Atom body;
+  body.relation = merged_name;
+  for (std::size_t i = 0; i < merged_arity; ++i) {
+    body.terms.push_back(Term::Var("x" + std::to_string(i)));
+  }
+  Atom head;
+  head.relation = original_name;
+  for (std::size_t p : positions) {
+    head.terms.push_back(Term::Var("x" + std::to_string(p)));
+  }
+  tgd.body = {std::move(body)};
+  tgd.head = {std::move(head)};
+  return tgd;
+}
+
+}  // namespace
+
+Result<MergeResult> Merge(const Schema& left, const Schema& right,
+                          const std::vector<Correspondence>& corrs,
+                          const MergeOptions& options) {
+  MM2_RETURN_IF_ERROR(left.Validate());
+  MM2_RETURN_IF_ERROR(right.Validate());
+
+  MergeResult result;
+  MergeStats& stats = result.stats;
+
+  // 1. Container correspondences: explicit, plus those implied by
+  // attribute-level correspondences. Must be one-to-one.
+  std::map<std::string, std::string> right_to_left;
+  std::map<std::string, std::string> left_to_right;
+  auto relate = [&](const std::string& l, const std::string& r) -> Status {
+    auto it = right_to_left.find(r);
+    if (it != right_to_left.end() && it->second != l) {
+      return Status::InvalidArgument("container '" + r +
+                                     "' corresponds to both '" + it->second +
+                                     "' and '" + l + "'");
+    }
+    auto jt = left_to_right.find(l);
+    if (jt != left_to_right.end() && jt->second != r) {
+      return Status::InvalidArgument("container '" + l +
+                                     "' corresponds to both '" + jt->second +
+                                     "' and '" + r + "'");
+    }
+    right_to_left[r] = l;
+    left_to_right[l] = r;
+    return Status::OK();
+  };
+  // Attribute correspondences per (left container, right container).
+  std::map<std::pair<std::string, std::string>,
+           std::map<std::string, std::string>>
+      attr_corrs;  // right attr -> left attr
+  for (const Correspondence& c : corrs) {
+    MM2_RETURN_IF_ERROR(relate(c.source.container, c.target.container));
+    if (!c.source.attribute.empty() && !c.target.attribute.empty()) {
+      attr_corrs[{c.source.container, c.target.container}]
+                [c.target.attribute] = c.source.attribute;
+    } else if (c.source.attribute.empty() != c.target.attribute.empty()) {
+      return Status::InvalidArgument(
+          "correspondence mixes container and attribute: " + c.ToString());
+    }
+  }
+
+  // 2. Build merged containers.
+  std::set<std::string> taken;
+  std::vector<Builder> builders;
+  std::map<std::string, std::size_t> builder_of_left;
+  std::map<std::string, std::size_t> builder_of_right;
+
+  auto containers_of = [](const Schema& s) {
+    std::vector<std::pair<std::string, const std::vector<Attribute>*>> out;
+    for (const model::Relation& r : s.relations()) {
+      out.push_back({r.name(), &r.attributes()});
+    }
+    for (const model::EntityType& t : s.entity_types()) {
+      out.push_back({t.name, &t.attributes});
+    }
+    return out;
+  };
+
+  for (const auto& [lname, lattrs] : containers_of(left)) {
+    Builder b;
+    b.name = FreshName(lname, options.collision_suffix, taken, &stats);
+    taken.insert(b.name);
+    b.placement.merged_container = b.name;
+    for (const Attribute& a : *lattrs) {
+      b.placement.left_attr_index[a.name] = b.attributes.size();
+      b.attributes.push_back(a);
+    }
+    if (const model::Relation* lr = left.FindRelation(lname)) {
+      b.primary_key = lr->primary_key();
+    }
+    builder_of_left[lname] = builders.size();
+    builders.push_back(std::move(b));
+  }
+
+  for (const auto& [rname, rattrs] : containers_of(right)) {
+    auto corr = right_to_left.find(rname);
+    if (corr != right_to_left.end()) {
+      auto bit = builder_of_left.find(corr->second);
+      if (bit == builder_of_left.end()) {
+        return Status::NotFound("correspondence names unknown container '" +
+                                corr->second + "'");
+      }
+      Builder& b = builders[bit->second];
+      ++stats.containers_merged;
+      const auto& amap = attr_corrs[{corr->second, rname}];
+      std::set<std::string> attr_names;
+      for (const Attribute& a : b.attributes) attr_names.insert(a.name);
+      for (const Attribute& ra : *rattrs) {
+        auto am = amap.find(ra.name);
+        if (am != amap.end()) {
+          auto li = b.placement.left_attr_index.find(am->second);
+          if (li == b.placement.left_attr_index.end()) {
+            return Status::NotFound("correspondence names unknown attribute '" +
+                                    corr->second + "." + am->second + "'");
+          }
+          Attribute& merged_attr = b.attributes[li->second];
+          if (!merged_attr.type->Equals(*ra.type)) {
+            ++stats.type_conflicts;
+            merged_attr.type = model::UnifyTypes(merged_attr.type, ra.type);
+          }
+          merged_attr.nullable = merged_attr.nullable || ra.nullable;
+          b.placement.right_attr_index[ra.name] = li->second;
+          ++stats.attributes_merged;
+        } else {
+          std::string name = ra.name;
+          if (attr_names.count(name) > 0) {
+            ++stats.name_collisions;
+            name += options.collision_suffix;
+          }
+          attr_names.insert(name);
+          b.placement.right_attr_index[ra.name] = b.attributes.size();
+          Attribute copy = ra;
+          copy.name = name;
+          // Right-only attributes of a merged container are nullable in
+          // the merged world: left-sourced instances lack them.
+          copy.nullable = true;
+          b.attributes.push_back(std::move(copy));
+        }
+      }
+      builder_of_right[rname] = bit->second;
+    } else {
+      Builder b;
+      b.name = FreshName(rname, options.collision_suffix, taken, &stats);
+      taken.insert(b.name);
+      b.placement.merged_container = b.name;
+      for (const Attribute& a : *rattrs) {
+        b.placement.right_attr_index[a.name] = b.attributes.size();
+        b.attributes.push_back(a);
+      }
+      if (const model::Relation* rr = right.FindRelation(rname)) {
+        b.primary_key = rr->primary_key();
+      }
+      builder_of_right[rname] = builders.size();
+      builders.push_back(std::move(b));
+    }
+  }
+
+  // 3. Emit the merged schema. Containers that were relations stay
+  // relations; entity types stay entity types (parents carried from their
+  // originating side, mapped through the merge).
+  result.merged = Schema(options.merged_name, left.metamodel());
+  auto merged_name_of = [&](const std::string& container,
+                            bool is_left) -> std::string {
+    const auto& index = is_left ? builder_of_left : builder_of_right;
+    auto it = index.find(container);
+    return it == index.end() ? container : builders[it->second].name;
+  };
+  std::set<std::size_t> emitted;
+  for (const auto& [lname, lattrs] : containers_of(left)) {
+    std::size_t bi = builder_of_left[lname];
+    Builder& b = builders[bi];
+    emitted.insert(bi);
+    if (left.FindRelation(lname) != nullptr) {
+      result.merged.AddRelation(
+          model::Relation(b.name, b.attributes, b.primary_key));
+    } else {
+      const model::EntityType* lt = left.FindEntityType(lname);
+      model::EntityType merged_type;
+      merged_type.name = b.name;
+      merged_type.parent =
+          lt->parent.empty() ? "" : merged_name_of(lt->parent, true);
+      merged_type.attributes = b.attributes;
+      merged_type.abstract = lt->abstract;
+      result.merged.AddEntityType(std::move(merged_type));
+    }
+  }
+  for (const auto& [rname, rattrs] : containers_of(right)) {
+    std::size_t bi = builder_of_right[rname];
+    if (emitted.count(bi) > 0) continue;  // merged into a left container
+    emitted.insert(bi);
+    Builder& b = builders[bi];
+    if (right.FindRelation(rname) != nullptr) {
+      result.merged.AddRelation(
+          model::Relation(b.name, b.attributes, b.primary_key));
+    } else {
+      const model::EntityType* rt = right.FindEntityType(rname);
+      model::EntityType merged_type;
+      merged_type.name = b.name;
+      merged_type.parent =
+          rt->parent.empty() ? "" : merged_name_of(rt->parent, false);
+      merged_type.attributes = b.attributes;
+      merged_type.abstract = rt->abstract;
+      result.merged.AddEntityType(std::move(merged_type));
+    }
+  }
+  for (const model::EntitySet& s : left.entity_sets()) {
+    result.merged.AddEntitySet(
+        model::EntitySet{s.name, merged_name_of(s.root_type, true)});
+  }
+  for (const model::EntitySet& s : right.entity_sets()) {
+    if (result.merged.FindEntitySet(s.name) != nullptr) continue;
+    result.merged.AddEntitySet(
+        model::EntitySet{s.name, merged_name_of(s.root_type, false)});
+  }
+  MM2_RETURN_IF_ERROR(result.merged.Validate());
+
+  // 4. Projection mappings merged => left and merged => right.
+  std::vector<Tgd> to_left_tgds;
+  std::vector<Tgd> to_right_tgds;
+  for (const auto& [lname, lattrs] : containers_of(left)) {
+    const Builder& b = builders[builder_of_left[lname]];
+    std::vector<std::size_t> positions;
+    for (const Attribute& a : *lattrs) {
+      positions.push_back(b.placement.left_attr_index.at(a.name));
+    }
+    to_left_tgds.push_back(
+        ProjectionTgd(b.name, b.attributes.size(), lname, positions));
+  }
+  for (const auto& [rname, rattrs] : containers_of(right)) {
+    const Builder& b = builders[builder_of_right[rname]];
+    std::vector<std::size_t> positions;
+    for (const Attribute& a : *rattrs) {
+      positions.push_back(b.placement.right_attr_index.at(a.name));
+    }
+    to_right_tgds.push_back(
+        ProjectionTgd(b.name, b.attributes.size(), rname, positions));
+  }
+  result.to_left = Mapping::FromTgds(options.merged_name + "_to_" + left.name(),
+                                     result.merged, left,
+                                     std::move(to_left_tgds));
+  result.to_right = Mapping::FromTgds(
+      options.merged_name + "_to_" + right.name(), result.merged, right,
+      std::move(to_right_tgds));
+  return result;
+}
+
+}  // namespace mm2::merge

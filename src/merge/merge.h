@@ -1,0 +1,57 @@
+#ifndef MM2_MERGE_MERGE_H_
+#define MM2_MERGE_MERGE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "logic/mapping.h"
+#include "match/matcher.h"
+#include "model/schema.h"
+
+namespace mm2::merge {
+
+struct MergeOptions {
+  // Name of the merged schema.
+  std::string merged_name = "merged";
+  // Suffix appended to right-side containers whose names collide with an
+  // unrelated left-side container.
+  std::string collision_suffix = "_2";
+};
+
+struct MergeStats {
+  std::size_t containers_merged = 0;     // correspondence-driven unifications
+  std::size_t attributes_merged = 0;
+  std::size_t type_conflicts = 0;        // resolved via UnifyTypes
+  std::size_t name_collisions = 0;       // renamed with collision_suffix
+};
+
+// Result of Merge: the merged schema G and the two projection mappings
+// G => A and G => B the paper's signature requires (Section 6.3).
+struct MergeResult {
+  model::Schema merged;
+  logic::Mapping to_left;
+  logic::Mapping to_right;
+  MergeStats stats;
+};
+
+// The Merge operator, following Pottinger–Bernstein "Merging Models Based
+// on Given Correspondences": containers related by a (container-level or
+// implied attribute-level) correspondence collapse into one merged
+// container carrying the union of their attributes; corresponding
+// attributes merge with type conflicts resolved by UnifyTypes (numeric
+// promotion, else string); everything else is copied, with name collisions
+// between unrelated containers resolved by suffixing. The left schema is
+// the "preferred model": merged elements keep its names.
+//
+// Supports relational and nested schemas (relations); ER merging reuses
+// the same machinery over entity types with parent pointers preserved from
+// the preferred side.
+Result<MergeResult> Merge(const model::Schema& left,
+                          const model::Schema& right,
+                          const std::vector<match::Correspondence>& corrs,
+                          const MergeOptions& options = {});
+
+}  // namespace mm2::merge
+
+#endif  // MM2_MERGE_MERGE_H_

@@ -1,0 +1,450 @@
+#include "model/schema.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <set>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace mm2::model {
+
+const char* MetamodelToString(Metamodel metamodel) {
+  switch (metamodel) {
+    case Metamodel::kRelational:
+      return "relational";
+    case Metamodel::kEntityRelationship:
+      return "entity-relationship";
+    case Metamodel::kNested:
+      return "nested";
+    case Metamodel::kObjectOriented:
+      return "object-oriented";
+  }
+  return "unknown";
+}
+
+std::string Attribute::ToString() const {
+  std::string out = name + ": " + type->ToString();
+  if (nullable) out += "?";
+  return out;
+}
+
+Relation::Relation(std::string name, std::vector<Attribute> attributes,
+                   std::vector<std::size_t> primary_key)
+    : name_(std::move(name)),
+      attributes_(std::move(attributes)),
+      primary_key_(std::move(primary_key)) {}
+
+std::optional<std::size_t> Relation::AttributeIndex(
+    std::string_view name) const {
+  for (std::size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> Relation::AttributeNames() const {
+  std::vector<std::string> names;
+  names.reserve(attributes_.size());
+  for (const Attribute& a : attributes_) names.push_back(a.name);
+  return names;
+}
+
+bool Relation::IsKeyAttribute(std::size_t index) const {
+  return std::find(primary_key_.begin(), primary_key_.end(), index) !=
+         primary_key_.end();
+}
+
+std::string Relation::ToString() const {
+  std::string out = name_ + "(";
+  for (std::size_t i = 0; i < attributes_.size(); ++i) {
+    if (i > 0) out += ", ";
+    if (IsKeyAttribute(i)) out += "*";
+    out += attributes_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+std::string ForeignKey::ToString() const {
+  return from_relation + "(" + Join(from_attributes, ", ") + ") -> " +
+         to_relation + "(" + Join(to_attributes, ", ") + ")";
+}
+
+std::string EntityType::ToString() const {
+  std::string out = "entity " + name;
+  if (!parent.empty()) out += " : " + parent;
+  if (abstract) out += " [abstract]";
+  out += " {";
+  for (std::size_t i = 0; i < attributes.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += attributes[i].ToString();
+  }
+  out += "}";
+  return out;
+}
+
+std::string ElementRef::ToString() const {
+  if (attribute.empty()) return container;
+  return container + "." + attribute;
+}
+
+ElementRef ElementRef::Parse(std::string_view path) {
+  std::size_t dot = path.find('.');
+  if (dot == std::string_view::npos) {
+    return ElementRef{std::string(path), ""};
+  }
+  return ElementRef{std::string(path.substr(0, dot)),
+                    std::string(path.substr(dot + 1))};
+}
+
+void Schema::AddRelation(Relation relation) {
+  relations_.push_back(std::move(relation));
+}
+
+void Schema::AddForeignKey(ForeignKey fk) {
+  foreign_keys_.push_back(std::move(fk));
+}
+
+void Schema::AddEntityType(EntityType type) {
+  entity_types_.push_back(std::move(type));
+}
+
+void Schema::AddEntitySet(EntitySet set) {
+  entity_sets_.push_back(std::move(set));
+}
+
+const Relation* Schema::FindRelation(std::string_view name) const {
+  for (const Relation& r : relations_) {
+    if (r.name() == name) return &r;
+  }
+  return nullptr;
+}
+
+const EntityType* Schema::FindEntityType(std::string_view name) const {
+  for (const EntityType& t : entity_types_) {
+    if (t.name == name) return &t;
+  }
+  return nullptr;
+}
+
+const EntitySet* Schema::FindEntitySet(std::string_view name) const {
+  for (const EntitySet& s : entity_sets_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+Result<std::vector<Attribute>> Schema::AllAttributesOf(
+    std::string_view type_name) const {
+  std::vector<const EntityType*> chain;
+  std::string_view current = type_name;
+  while (!current.empty()) {
+    const EntityType* type = FindEntityType(current);
+    if (type == nullptr) {
+      return Status::NotFound("entity type '" + std::string(current) +
+                              "' not in schema '" + name_ + "'");
+    }
+    chain.push_back(type);
+    if (chain.size() > entity_types_.size()) {
+      return Status::InvalidArgument("inheritance cycle at '" +
+                                     std::string(type_name) + "'");
+    }
+    current = type->parent;
+  }
+  std::vector<Attribute> all;
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    for (const Attribute& a : (*it)->attributes) all.push_back(a);
+  }
+  return all;
+}
+
+bool Schema::IsSubtypeOf(std::string_view sub, std::string_view ancestor) const {
+  std::string_view current = sub;
+  std::size_t hops = 0;
+  while (!current.empty() && hops <= entity_types_.size()) {
+    if (current == ancestor) return true;
+    const EntityType* type = FindEntityType(current);
+    if (type == nullptr) return false;
+    current = type->parent;
+    ++hops;
+  }
+  return false;
+}
+
+std::vector<std::string> Schema::SubtypeClosure(
+    std::string_view type_name) const {
+  std::vector<std::string> closure;
+  for (const EntityType& t : entity_types_) {
+    if (IsSubtypeOf(t.name, type_name)) closure.push_back(t.name);
+  }
+  return closure;
+}
+
+std::vector<std::string> Schema::DirectSubtypes(
+    std::string_view type_name) const {
+  std::vector<std::string> out;
+  for (const EntityType& t : entity_types_) {
+    if (t.parent == type_name) out.push_back(t.name);
+  }
+  return out;
+}
+
+std::vector<const ForeignKey*> Schema::ForeignKeysFrom(
+    std::string_view relation) const {
+  std::vector<const ForeignKey*> out;
+  for (const ForeignKey& fk : foreign_keys_) {
+    if (fk.from_relation == relation) out.push_back(&fk);
+  }
+  return out;
+}
+
+std::vector<ElementRef> Schema::AllElements() const {
+  std::vector<ElementRef> out;
+  for (const Relation& r : relations_) {
+    out.push_back({r.name(), ""});
+    for (const Attribute& a : r.attributes()) out.push_back({r.name(), a.name});
+  }
+  for (const EntityType& t : entity_types_) {
+    out.push_back({t.name, ""});
+    for (const Attribute& a : t.attributes) out.push_back({t.name, a.name});
+  }
+  for (const EntitySet& s : entity_sets_) out.push_back({s.name, ""});
+  return out;
+}
+
+const Attribute* Schema::FindAttribute(const ElementRef& ref) const {
+  if (ref.attribute.empty()) return nullptr;
+  if (const Relation* r = FindRelation(ref.container)) {
+    if (auto idx = r->AttributeIndex(ref.attribute)) {
+      return &r->attribute(*idx);
+    }
+  }
+  if (const EntityType* t = FindEntityType(ref.container)) {
+    for (const Attribute& a : t->attributes) {
+      if (a.name == ref.attribute) return &a;
+    }
+  }
+  return nullptr;
+}
+
+namespace {
+
+Status CheckUniqueAttributeNames(const std::string& container,
+                                 const std::vector<Attribute>& attrs) {
+  std::set<std::string> seen;
+  for (const Attribute& a : attrs) {
+    if (a.name.empty()) {
+      return Status::InvalidArgument("empty attribute name in '" + container +
+                                     "'");
+    }
+    if (!seen.insert(a.name).second) {
+      return Status::InvalidArgument("duplicate attribute '" + a.name +
+                                     "' in '" + container + "'");
+    }
+    if (a.type == nullptr) {
+      return Status::InvalidArgument("attribute '" + container + "." + a.name +
+                                     "' has no type");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Schema::Validate() const {
+  std::set<std::string> container_names;
+  for (const Relation& r : relations_) {
+    if (r.name().empty()) {
+      return Status::InvalidArgument("relation with empty name");
+    }
+    if (!container_names.insert(r.name()).second) {
+      return Status::InvalidArgument("duplicate container name '" + r.name() +
+                                     "'");
+    }
+    MM2_RETURN_IF_ERROR(CheckUniqueAttributeNames(r.name(), r.attributes()));
+    for (std::size_t key_index : r.primary_key()) {
+      if (key_index >= r.arity()) {
+        return Status::InvalidArgument("primary key index out of range in '" +
+                                       r.name() + "'");
+      }
+    }
+  }
+  for (const EntityType& t : entity_types_) {
+    if (t.name.empty()) {
+      return Status::InvalidArgument("entity type with empty name");
+    }
+    if (!container_names.insert(t.name).second) {
+      return Status::InvalidArgument("duplicate container name '" + t.name +
+                                     "'");
+    }
+    MM2_RETURN_IF_ERROR(CheckUniqueAttributeNames(t.name, t.attributes));
+  }
+  for (const EntitySet& s : entity_sets_) {
+    if (!container_names.insert(s.name).second) {
+      return Status::InvalidArgument("duplicate container name '" + s.name +
+                                     "'");
+    }
+  }
+
+  for (const EntityType& t : entity_types_) {
+    if (!t.parent.empty() && FindEntityType(t.parent) == nullptr) {
+      return Status::NotFound("parent '" + t.parent + "' of '" + t.name +
+                              "' not in schema");
+    }
+    // AllAttributesOf walks the parent chain and reports cycles, and also
+    // catches attribute shadowing via duplicate names in the flattening.
+    MM2_ASSIGN_OR_RETURN(std::vector<Attribute> all, AllAttributesOf(t.name));
+    std::set<std::string> seen;
+    for (const Attribute& a : all) {
+      if (!seen.insert(a.name).second) {
+        return Status::InvalidArgument("attribute '" + a.name +
+                                       "' shadowed in hierarchy of '" +
+                                       t.name + "'");
+      }
+    }
+  }
+
+  for (const EntitySet& s : entity_sets_) {
+    if (FindEntityType(s.root_type) == nullptr) {
+      return Status::NotFound("root type '" + s.root_type +
+                              "' of entity set '" + s.name +
+                              "' not in schema");
+    }
+  }
+
+  for (const ForeignKey& fk : foreign_keys_) {
+    const Relation* from = FindRelation(fk.from_relation);
+    const Relation* to = FindRelation(fk.to_relation);
+    if (from == nullptr || to == nullptr) {
+      return Status::NotFound("foreign key references missing relation: " +
+                              fk.ToString());
+    }
+    if (fk.from_attributes.size() != fk.to_attributes.size() ||
+        fk.from_attributes.empty()) {
+      return Status::InvalidArgument("malformed foreign key: " +
+                                     fk.ToString());
+    }
+    for (const std::string& a : fk.from_attributes) {
+      if (!from->AttributeIndex(a)) {
+        return Status::NotFound("foreign key attribute '" + a +
+                                "' missing in '" + fk.from_relation + "'");
+      }
+    }
+    for (const std::string& a : fk.to_attributes) {
+      if (!to->AttributeIndex(a)) {
+        return Status::NotFound("foreign key attribute '" + a +
+                                "' missing in '" + fk.to_relation + "'");
+      }
+    }
+  }
+
+  if (metamodel_ == Metamodel::kRelational) {
+    if (!entity_types_.empty() || !entity_sets_.empty()) {
+      return Status::InvalidArgument(
+          "relational schema '" + name_ + "' contains entity constructs");
+    }
+    for (const Relation& r : relations_) {
+      for (const Attribute& a : r.attributes()) {
+        if (!a.type->is_primitive()) {
+          return Status::InvalidArgument(
+              "relational attribute '" + r.name() + "." + a.name +
+              "' has non-primitive type " + a.type->ToString());
+        }
+      }
+    }
+  }
+  if (metamodel_ == Metamodel::kEntityRelationship ||
+      metamodel_ == Metamodel::kObjectOriented) {
+    if (entity_types_.empty()) {
+      return Status::InvalidArgument("ER/OO schema '" + name_ +
+                                     "' has no entity types");
+    }
+  }
+  return Status::OK();
+}
+
+std::string Schema::ToString() const {
+  std::string out = "schema " + name_ + " [" + MetamodelToString(metamodel_) +
+                    "] {\n";
+  for (const Relation& r : relations_) out += "  " + r.ToString() + "\n";
+  for (const EntityType& t : entity_types_) out += "  " + t.ToString() + "\n";
+  for (const EntitySet& s : entity_sets_) {
+    out += "  entityset " + s.name + " of " + s.root_type + "\n";
+  }
+  for (const ForeignKey& fk : foreign_keys_) {
+    out += "  fk " + fk.ToString() + "\n";
+  }
+  out += "}";
+  return out;
+}
+
+SchemaBuilder& SchemaBuilder::Relation(std::string name,
+                                       std::vector<AttributeSpec> attrs,
+                                       std::vector<std::string> primary_key) {
+  std::vector<Attribute> attributes;
+  attributes.reserve(attrs.size());
+  for (AttributeSpec& spec : attrs) {
+    attributes.push_back(
+        Attribute{std::move(spec.name), std::move(spec.type), spec.nullable});
+  }
+  std::vector<std::size_t> key_indices;
+  for (const std::string& key_name : primary_key) {
+    for (std::size_t i = 0; i < attributes.size(); ++i) {
+      if (attributes[i].name == key_name) {
+        key_indices.push_back(i);
+        break;
+      }
+    }
+  }
+  schema_.AddRelation(
+      model::Relation(std::move(name), std::move(attributes), key_indices));
+  return *this;
+}
+
+SchemaBuilder& SchemaBuilder::ForeignKey(
+    std::string from_relation, std::vector<std::string> from_attributes,
+    std::string to_relation, std::vector<std::string> to_attributes) {
+  schema_.AddForeignKey(model::ForeignKey{
+      std::move(from_relation), std::move(from_attributes),
+      std::move(to_relation), std::move(to_attributes)});
+  return *this;
+}
+
+SchemaBuilder& SchemaBuilder::EntityType(std::string name, std::string parent,
+                                         std::vector<AttributeSpec> attrs,
+                                         bool abstract) {
+  std::vector<Attribute> attributes;
+  attributes.reserve(attrs.size());
+  for (AttributeSpec& spec : attrs) {
+    attributes.push_back(
+        Attribute{std::move(spec.name), std::move(spec.type), spec.nullable});
+  }
+  schema_.AddEntityType(model::EntityType{std::move(name), std::move(parent),
+                                          std::move(attributes), abstract});
+  return *this;
+}
+
+SchemaBuilder& SchemaBuilder::EntitySet(std::string name,
+                                        std::string root_type) {
+  schema_.AddEntitySet(model::EntitySet{std::move(name), std::move(root_type)});
+  return *this;
+}
+
+Schema SchemaBuilder::Build() {
+  Status status = schema_.Validate();
+  if (!status.ok()) {
+    std::cerr << "SchemaBuilder::Build on invalid schema: " << status
+              << std::endl;
+    std::abort();
+  }
+  return std::move(schema_);
+}
+
+Result<Schema> SchemaBuilder::BuildChecked() {
+  MM2_RETURN_IF_ERROR(schema_.Validate());
+  return std::move(schema_);
+}
+
+}  // namespace mm2::model

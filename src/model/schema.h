@@ -1,0 +1,222 @@
+#ifndef MM2_MODEL_SCHEMA_H_
+#define MM2_MODEL_SCHEMA_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "model/type.h"
+
+namespace mm2::model {
+
+// The metamodel a schema is expressed in. A model management system must be
+// generic across metamodels (paper Section 2); the same Schema class hosts
+// all of them, with per-metamodel constructs populated as appropriate.
+enum class Metamodel {
+  kRelational,          // relations, keys, foreign keys
+  kEntityRelationship,  // entity types with inheritance + entity sets
+  kNested,              // relations whose attributes may be struct/collection
+  kObjectOriented,      // classes (entity types) + references
+};
+
+const char* MetamodelToString(Metamodel metamodel);
+
+// A named, typed attribute of a relation or entity type.
+struct Attribute {
+  std::string name;
+  DataTypeRef type;
+  bool nullable = false;
+
+  std::string ToString() const;
+};
+
+// A relation (table). `primary_key` holds indices into `attributes`.
+class Relation {
+ public:
+  Relation() = default;
+  Relation(std::string name, std::vector<Attribute> attributes,
+           std::vector<std::size_t> primary_key = {});
+
+  const std::string& name() const { return name_; }
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+  const std::vector<std::size_t>& primary_key() const { return primary_key_; }
+  std::size_t arity() const { return attributes_.size(); }
+
+  // Index of the attribute named `name`, or nullopt.
+  std::optional<std::size_t> AttributeIndex(std::string_view name) const;
+  const Attribute& attribute(std::size_t i) const { return attributes_[i]; }
+  std::vector<std::string> AttributeNames() const;
+
+  bool IsKeyAttribute(std::size_t index) const;
+
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  std::vector<Attribute> attributes_;
+  std::vector<std::size_t> primary_key_;
+};
+
+// A foreign key: `from_relation.from_attributes` references
+// `to_relation.to_attributes` (attribute names, pairwise).
+struct ForeignKey {
+  std::string from_relation;
+  std::vector<std::string> from_attributes;
+  std::string to_relation;
+  std::vector<std::string> to_attributes;
+
+  std::string ToString() const;
+};
+
+// An entity type in an ER or OO schema. Inherits the attributes of
+// `parent` (empty for a root type). Fig. 2's Person/Employee/Customer
+// hierarchy is three EntityTypes.
+struct EntityType {
+  std::string name;
+  std::string parent;  // empty => root
+  std::vector<Attribute> attributes;  // declared here, excluding inherited
+  bool abstract = false;
+
+  std::string ToString() const;
+};
+
+// A polymorphic extent holding instances of `root_type` and its subtypes,
+// e.g. "Persons" in Fig. 2.
+struct EntitySet {
+  std::string name;
+  std::string root_type;
+};
+
+// A stable reference to a schema element, used by Match correspondences and
+// Merge. `attribute` empty => the container itself.
+struct ElementRef {
+  std::string container;  // relation, entity type, or entity set name
+  std::string attribute;  // optional
+
+  bool operator==(const ElementRef&) const = default;
+  bool operator<(const ElementRef& other) const {
+    return container != other.container ? container < other.container
+                                        : attribute < other.attribute;
+  }
+  // "Container" or "Container.attribute".
+  std::string ToString() const;
+  static ElementRef Parse(std::string_view path);
+};
+
+// A schema: an expression that defines a set of possible instances
+// (paper Section 2). Construct via SchemaBuilder, then Validate().
+class Schema {
+ public:
+  Schema() = default;
+  Schema(std::string name, Metamodel metamodel)
+      : name_(std::move(name)), metamodel_(metamodel) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+  Metamodel metamodel() const { return metamodel_; }
+
+  const std::vector<Relation>& relations() const { return relations_; }
+  const std::vector<ForeignKey>& foreign_keys() const { return foreign_keys_; }
+  const std::vector<EntityType>& entity_types() const { return entity_types_; }
+  const std::vector<EntitySet>& entity_sets() const { return entity_sets_; }
+
+  void AddRelation(Relation relation);
+  void AddForeignKey(ForeignKey fk);
+  void AddEntityType(EntityType type);
+  void AddEntitySet(EntitySet set);
+
+  const Relation* FindRelation(std::string_view name) const;
+  const EntityType* FindEntityType(std::string_view name) const;
+  const EntitySet* FindEntitySet(std::string_view name) const;
+
+  bool HasRelation(std::string_view name) const {
+    return FindRelation(name) != nullptr;
+  }
+
+  // All attributes of `type_name` including inherited ones, base-first.
+  Result<std::vector<Attribute>> AllAttributesOf(
+      std::string_view type_name) const;
+
+  // True if `sub` equals `ancestor` or derives from it (transitively).
+  bool IsSubtypeOf(std::string_view sub, std::string_view ancestor) const;
+
+  // Names of `type_name` and all its (transitive) subtypes.
+  std::vector<std::string> SubtypeClosure(std::string_view type_name) const;
+
+  // Direct children of `type_name`.
+  std::vector<std::string> DirectSubtypes(std::string_view type_name) const;
+
+  // Foreign keys leaving `relation`.
+  std::vector<const ForeignKey*> ForeignKeysFrom(
+      std::string_view relation) const;
+
+  // Every addressable element: each relation/entity type/entity set and
+  // each of their attributes. This is the element universe for Match.
+  std::vector<ElementRef> AllElements() const;
+
+  // Resolves an element to its attribute (nullptr for container refs).
+  const Attribute* FindAttribute(const ElementRef& ref) const;
+
+  // Structural well-formedness: unique names, resolvable foreign keys and
+  // parents, acyclic inheritance, keys referencing existing attributes,
+  // metamodel-specific rules (relational schemas have no entity types and
+  // only primitive attribute types, ER schemas have resolvable roots).
+  Status Validate() const;
+
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  Metamodel metamodel_ = Metamodel::kRelational;
+  std::vector<Relation> relations_;
+  std::vector<ForeignKey> foreign_keys_;
+  std::vector<EntityType> entity_types_;
+  std::vector<EntitySet> entity_sets_;
+};
+
+// Fluent construction helper:
+//   Schema s = SchemaBuilder("S", Metamodel::kRelational)
+//                  .Relation("Names", {{"SID", Int64()}, {"Name", String()}},
+//                            /*primary_key=*/{"SID"})
+//                  .ForeignKey("Addr", {"SID"}, "Names", {"SID"})
+//                  .Build();
+class SchemaBuilder {
+ public:
+  struct AttributeSpec {
+    AttributeSpec(std::string name, DataTypeRef type, bool nullable = false)
+        : name(std::move(name)), type(std::move(type)), nullable(nullable) {}
+    std::string name;
+    DataTypeRef type;
+    bool nullable;
+  };
+
+  SchemaBuilder(std::string name, Metamodel metamodel)
+      : schema_(std::move(name), metamodel) {}
+
+  SchemaBuilder& Relation(std::string name, std::vector<AttributeSpec> attrs,
+                          std::vector<std::string> primary_key = {});
+  SchemaBuilder& ForeignKey(std::string from_relation,
+                            std::vector<std::string> from_attributes,
+                            std::string to_relation,
+                            std::vector<std::string> to_attributes);
+  SchemaBuilder& EntityType(std::string name, std::string parent,
+                            std::vector<AttributeSpec> attrs,
+                            bool abstract = false);
+  SchemaBuilder& EntitySet(std::string name, std::string root_type);
+
+  // Validates and returns the schema; dies on invalid input in tests, so
+  // prefer BuildChecked in library code.
+  class Schema Build();
+  Result<class Schema> BuildChecked();
+
+ private:
+  class Schema schema_;
+};
+
+}  // namespace mm2::model
+
+#endif  // MM2_MODEL_SCHEMA_H_

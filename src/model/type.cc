@@ -1,0 +1,122 @@
+#include "model/type.h"
+
+#include <utility>
+
+namespace mm2::model {
+
+const char* PrimitiveTypeToString(PrimitiveType type) {
+  switch (type) {
+    case PrimitiveType::kInt64:
+      return "int64";
+    case PrimitiveType::kDouble:
+      return "double";
+    case PrimitiveType::kString:
+      return "string";
+    case PrimitiveType::kBool:
+      return "bool";
+    case PrimitiveType::kDate:
+      return "date";
+  }
+  return "unknown";
+}
+
+DataTypeRef DataType::Primitive(PrimitiveType type) {
+  auto t = std::shared_ptr<DataType>(new DataType());
+  t->kind_ = Kind::kPrimitive;
+  t->primitive_ = type;
+  return t;
+}
+
+DataTypeRef DataType::Int64() { return Primitive(PrimitiveType::kInt64); }
+DataTypeRef DataType::Double() { return Primitive(PrimitiveType::kDouble); }
+DataTypeRef DataType::String() { return Primitive(PrimitiveType::kString); }
+DataTypeRef DataType::Bool() { return Primitive(PrimitiveType::kBool); }
+DataTypeRef DataType::Date() { return Primitive(PrimitiveType::kDate); }
+
+DataTypeRef DataType::Struct(std::vector<Field> fields) {
+  auto t = std::shared_ptr<DataType>(new DataType());
+  t->kind_ = Kind::kStruct;
+  t->fields_ = std::move(fields);
+  return t;
+}
+
+DataTypeRef DataType::Collection(DataTypeRef element) {
+  auto t = std::shared_ptr<DataType>(new DataType());
+  t->kind_ = Kind::kCollection;
+  t->element_ = std::move(element);
+  return t;
+}
+
+bool DataType::Equals(const DataType& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case Kind::kPrimitive:
+      return primitive_ == other.primitive_;
+    case Kind::kStruct: {
+      if (fields_.size() != other.fields_.size()) return false;
+      for (std::size_t i = 0; i < fields_.size(); ++i) {
+        if (fields_[i].name != other.fields_[i].name) return false;
+        if (!fields_[i].type->Equals(*other.fields_[i].type)) return false;
+      }
+      return true;
+    }
+    case Kind::kCollection:
+      return element_->Equals(*other.element_);
+  }
+  return false;
+}
+
+std::string DataType::ToString() const {
+  switch (kind_) {
+    case Kind::kPrimitive:
+      return PrimitiveTypeToString(primitive_);
+    case Kind::kStruct: {
+      std::string out = "struct<";
+      for (std::size_t i = 0; i < fields_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += fields_[i].name + ": " + fields_[i].type->ToString();
+      }
+      out += ">";
+      return out;
+    }
+    case Kind::kCollection:
+      return "collection<" + element_->ToString() + ">";
+  }
+  return "unknown";
+}
+
+bool operator==(const DataType& a, const DataType& b) { return a.Equals(b); }
+
+DataTypeRef UnifyTypes(const DataTypeRef& a, const DataTypeRef& b) {
+  if (a->Equals(*b)) return a;
+  if (a->is_primitive() && b->is_primitive()) {
+    PrimitiveType pa = a->primitive();
+    PrimitiveType pb = b->primitive();
+    bool numeric_a =
+        pa == PrimitiveType::kInt64 || pa == PrimitiveType::kDouble;
+    bool numeric_b =
+        pb == PrimitiveType::kInt64 || pb == PrimitiveType::kDouble;
+    if (numeric_a && numeric_b) return DataType::Double();
+    return DataType::String();
+  }
+  if (a->kind() == DataType::Kind::kStruct &&
+      b->kind() == DataType::Kind::kStruct &&
+      a->fields().size() == b->fields().size()) {
+    std::vector<DataType::Field> fields;
+    for (std::size_t i = 0; i < a->fields().size(); ++i) {
+      if (a->fields()[i].name != b->fields()[i].name) {
+        return DataType::String();
+      }
+      fields.push_back({a->fields()[i].name,
+                        UnifyTypes(a->fields()[i].type, b->fields()[i].type)});
+    }
+    return DataType::Struct(std::move(fields));
+  }
+  if (a->kind() == DataType::Kind::kCollection &&
+      b->kind() == DataType::Kind::kCollection) {
+    return DataType::Collection(UnifyTypes(a->element(), b->element()));
+  }
+  return DataType::String();
+}
+
+}  // namespace mm2::model

@@ -1,0 +1,79 @@
+#ifndef MM2_MODEL_TYPE_H_
+#define MM2_MODEL_TYPE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mm2::model {
+
+// Scalar types shared by all metamodels. This is the "basis set of data
+// type constructs" the paper's universal metamodel calls for (Section 2).
+enum class PrimitiveType {
+  kInt64,
+  kDouble,
+  kString,
+  kBool,
+  kDate,  // days since epoch, kept distinct from kInt64 for matching
+};
+
+const char* PrimitiveTypeToString(PrimitiveType type);
+
+// A type term in the universal metamodel: a primitive, a struct of named
+// fields, or a collection of an element type. Relational schemas use only
+// primitives; nested (XML-like) schemas compose structs and collections.
+// DataType values are immutable and shared via DataTypeRef.
+class DataType;
+using DataTypeRef = std::shared_ptr<const DataType>;
+
+class DataType {
+ public:
+  enum class Kind { kPrimitive, kStruct, kCollection };
+
+  struct Field {
+    std::string name;
+    DataTypeRef type;
+  };
+
+  // Factories; the only way to construct a DataType.
+  static DataTypeRef Primitive(PrimitiveType type);
+  static DataTypeRef Int64();
+  static DataTypeRef Double();
+  static DataTypeRef String();
+  static DataTypeRef Bool();
+  static DataTypeRef Date();
+  static DataTypeRef Struct(std::vector<Field> fields);
+  static DataTypeRef Collection(DataTypeRef element);
+
+  Kind kind() const { return kind_; }
+  bool is_primitive() const { return kind_ == Kind::kPrimitive; }
+  PrimitiveType primitive() const { return primitive_; }
+  const std::vector<Field>& fields() const { return fields_; }
+  const DataTypeRef& element() const { return element_; }
+
+  // Structural equality.
+  bool Equals(const DataType& other) const;
+
+  // e.g. "int64", "struct<name: string, tags: collection<string>>".
+  std::string ToString() const;
+
+ private:
+  DataType() = default;
+
+  Kind kind_ = Kind::kPrimitive;
+  PrimitiveType primitive_ = PrimitiveType::kString;
+  std::vector<Field> fields_;  // kStruct
+  DataTypeRef element_;        // kCollection
+};
+
+bool operator==(const DataType& a, const DataType& b);
+
+// Least common supertype used by Merge for type conflict resolution:
+// equal types unify to themselves; {int64, double} -> double; any other
+// primitive conflict -> string; struct/collection unify field-wise when
+// shapes agree, otherwise string. Never fails.
+DataTypeRef UnifyTypes(const DataTypeRef& a, const DataTypeRef& b);
+
+}  // namespace mm2::model
+
+#endif  // MM2_MODEL_TYPE_H_

@@ -1,0 +1,402 @@
+#include "modelgen/modelgen.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "common/strings.h"
+#include "instance/instance.h"
+
+namespace mm2::modelgen {
+
+using instance::Value;
+using logic::Atom;
+using logic::Mapping;
+using logic::Term;
+using logic::Tgd;
+using model::Attribute;
+using model::DataType;
+using model::Schema;
+
+const char* InheritanceStrategyToString(InheritanceStrategy strategy) {
+  switch (strategy) {
+    case InheritanceStrategy::kSingleTable:
+      return "single-table (TPH)";
+    case InheritanceStrategy::kTablePerType:
+      return "table-per-type (TPT)";
+    case InheritanceStrategy::kTablePerConcrete:
+      return "table-per-concrete (TPC)";
+  }
+  return "unknown";
+}
+
+std::string MappingFragment::ToString() const {
+  std::vector<std::string> attrs;
+  for (const auto& [a, c] : attribute_map) attrs.push_back(a + "->" + c);
+  return "fragment " + table + " for {" + Join(types, ", ") + "} of " +
+         entity_set + " [" + Join(attrs, ", ") + "]" +
+         (discriminator_column.empty() ? ""
+                                       : " disc=" + discriminator_column);
+}
+
+// The discriminator column name used by the single-table strategy.
+static constexpr char kDiscriminator[] = "Discriminator";
+
+namespace {
+
+// Concrete (non-abstract) types of the hierarchy rooted at `root`.
+std::vector<std::string> ConcreteTypes(const Schema& er,
+                                       const std::string& root) {
+  std::vector<std::string> out;
+  for (const std::string& t : er.SubtypeClosure(root)) {
+    if (!er.FindEntityType(t)->abstract) out.push_back(t);
+  }
+  return out;
+}
+
+// Builds the tgds realizing the fragments over the entity-set layout
+// relation: for each concrete type T and each fragment covering T,
+//   Set("T", <layout vars>) -> Table(...).
+Result<std::vector<Tgd>> FragmentTgds(
+    const Schema& er, const instance::EntitySetLayout& layout,
+    const Schema& relational, const std::vector<MappingFragment>& fragments) {
+  std::vector<Tgd> tgds;
+  for (const MappingFragment& fragment : fragments) {
+    const model::Relation* table = relational.FindRelation(fragment.table);
+    if (table == nullptr) {
+      return Status::Internal("fragment names unknown table '" +
+                              fragment.table + "'");
+    }
+    for (const std::string& type : fragment.types) {
+      Tgd tgd;
+      Atom body;
+      body.relation = layout.set_name;
+      body.terms.push_back(Term::Const(Value::String(type)));
+      for (const std::string& col : layout.columns) {
+        body.terms.push_back(Term::Var("v_" + col));
+      }
+      Atom head;
+      head.relation = fragment.table;
+      for (const Attribute& col : table->attributes()) {
+        if (col.name == fragment.discriminator_column) {
+          head.terms.push_back(Term::Const(Value::String(type)));
+          continue;
+        }
+        // Which entity attribute maps onto this column?
+        const std::string* entity_attr = nullptr;
+        for (const auto& [a, c] : fragment.attribute_map) {
+          if (c == col.name) entity_attr = &a;
+        }
+        if (entity_attr == nullptr) {
+          // Column not covered by this fragment (wide TPH table): NULL.
+          head.terms.push_back(Term::Const(Value::Null()));
+          continue;
+        }
+        if (layout.ColumnIndex(*entity_attr) ==
+            instance::EntitySetLayout::kNpos) {
+          return Status::Internal("fragment maps unknown attribute '" +
+                                  *entity_attr + "'");
+        }
+        head.terms.push_back(Term::Var("v_" + *entity_attr));
+      }
+      tgd.body = {std::move(body)};
+      tgd.head = {std::move(head)};
+      tgds.push_back(std::move(tgd));
+    }
+  }
+  (void)er;
+  return tgds;
+}
+
+// Checks that the fragments cover every attribute of every concrete type.
+Status CheckCoverage(const Schema& er, const std::string& set_name,
+                     const std::vector<std::string>& concrete,
+                     const std::vector<MappingFragment>& fragments) {
+  for (const std::string& type : concrete) {
+    MM2_ASSIGN_OR_RETURN(std::vector<Attribute> attrs,
+                         er.AllAttributesOf(type));
+    for (const Attribute& a : attrs) {
+      bool covered = false;
+      for (const MappingFragment& f : fragments) {
+        if (std::find(f.types.begin(), f.types.end(), type) ==
+            f.types.end()) {
+          continue;
+        }
+        for (const auto& [ea, col] : f.attribute_map) {
+          if (ea == a.name) covered = true;
+        }
+      }
+      if (!covered) {
+        return Status::Internal("attribute '" + type + "." + a.name +
+                                "' of set '" + set_name +
+                                "' not covered by any fragment");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ModelGenResult> ErToRelational(const Schema& er,
+                                      InheritanceStrategy strategy) {
+  MM2_RETURN_IF_ERROR(er.Validate());
+  if (er.entity_sets().empty()) {
+    return Status::InvalidArgument("ER schema '" + er.name() +
+                                   "' has no entity sets to translate");
+  }
+
+  ModelGenResult result;
+  result.relational =
+      Schema(er.name() + "_rel", model::Metamodel::kRelational);
+  std::vector<Tgd> all_tgds;
+
+  for (const model::EntitySet& set : er.entity_sets()) {
+    MM2_ASSIGN_OR_RETURN(instance::EntitySetLayout layout,
+                         instance::ComputeEntitySetLayout(er, set));
+    const model::EntityType* root = er.FindEntityType(set.root_type);
+    if (root->attributes.empty()) {
+      return Status::InvalidArgument(
+          "root type '" + root->name +
+          "' needs at least one attribute (the entity key)");
+    }
+    const std::string key = root->attributes.front().name;
+    const model::DataTypeRef key_type = root->attributes.front().type;
+    std::vector<std::string> concrete = ConcreteTypes(er, set.root_type);
+    if (concrete.empty()) {
+      return Status::InvalidArgument("entity set '" + set.name +
+                                     "' has no concrete types");
+    }
+
+    std::vector<MappingFragment> fragments;
+    switch (strategy) {
+      case InheritanceStrategy::kSingleTable: {
+        // One wide table named after the root type; per-type fragments
+        // keyed by the discriminator.
+        std::vector<model::Attribute> columns;
+        columns.push_back({kDiscriminator, DataType::String(), false});
+        MM2_ASSIGN_OR_RETURN(std::vector<Attribute> root_attrs,
+                             er.AllAttributesOf(set.root_type));
+        std::set<std::string> root_attr_names;
+        for (const Attribute& a : root_attrs) root_attr_names.insert(a.name);
+        for (const std::string& col : layout.columns) {
+          const Attribute* src = nullptr;
+          for (const std::string& t : er.SubtypeClosure(set.root_type)) {
+            src = er.FindAttribute({t, col});
+            if (src != nullptr) break;
+          }
+          model::Attribute attr = *src;
+          // Subtype columns are nullable in the wide table.
+          attr.nullable = attr.nullable || root_attr_names.count(col) == 0;
+          columns.push_back(std::move(attr));
+        }
+        model::Relation table(root->name, columns,
+                              {1});  // key is right after discriminator
+        result.relational.AddRelation(std::move(table));
+        for (const std::string& type : concrete) {
+          MappingFragment f;
+          f.entity_set = set.name;
+          f.types = {type};
+          f.table = root->name;
+          f.discriminator_column = kDiscriminator;
+          MM2_ASSIGN_OR_RETURN(std::vector<Attribute> attrs,
+                               er.AllAttributesOf(type));
+          for (const Attribute& a : attrs) {
+            f.attribute_map.push_back({a.name, a.name});
+          }
+          fragments.push_back(std::move(f));
+        }
+        break;
+      }
+      case InheritanceStrategy::kTablePerType: {
+        for (const std::string& type_name :
+             er.SubtypeClosure(set.root_type)) {
+          const model::EntityType* type = er.FindEntityType(type_name);
+          std::vector<model::Attribute> columns;
+          if (type->parent.empty()) {
+            columns = type->attributes;
+          } else {
+            columns.push_back({key, key_type, false});
+            for (const Attribute& a : type->attributes) columns.push_back(a);
+          }
+          result.relational.AddRelation(
+              model::Relation(type_name, columns, {0}));
+          if (!type->parent.empty()) {
+            result.relational.AddForeignKey(
+                model::ForeignKey{type_name, {key}, type->parent, {key}});
+          }
+          MappingFragment f;
+          f.entity_set = set.name;
+          f.types = ConcreteTypes(er, type_name);
+          if (f.types.empty()) continue;  // abstract leaf: no rows ever
+          f.table = type_name;
+          f.attribute_map.push_back({key, key});
+          for (const Attribute& a : type->attributes) {
+            if (a.name != key) f.attribute_map.push_back({a.name, a.name});
+          }
+          fragments.push_back(std::move(f));
+        }
+        break;
+      }
+      case InheritanceStrategy::kTablePerConcrete: {
+        for (const std::string& type : concrete) {
+          MM2_ASSIGN_OR_RETURN(std::vector<Attribute> attrs,
+                               er.AllAttributesOf(type));
+          result.relational.AddRelation(model::Relation(type, attrs, {0}));
+          MappingFragment f;
+          f.entity_set = set.name;
+          f.types = {type};
+          f.table = type;
+          for (const Attribute& a : attrs) {
+            f.attribute_map.push_back({a.name, a.name});
+          }
+          fragments.push_back(std::move(f));
+        }
+        break;
+      }
+    }
+
+    MM2_RETURN_IF_ERROR(CheckCoverage(er, set.name, concrete, fragments));
+    MM2_ASSIGN_OR_RETURN(
+        std::vector<Tgd> tgds,
+        FragmentTgds(er, layout, result.relational, fragments));
+    for (Tgd& tgd : tgds) all_tgds.push_back(std::move(tgd));
+    for (MappingFragment& f : fragments) {
+      result.fragments.push_back(std::move(f));
+    }
+  }
+
+  MM2_RETURN_IF_ERROR(result.relational.Validate());
+  result.mapping =
+      Mapping::FromTgds(er.name() + "_to_rel_" +
+                            InheritanceStrategyToString(strategy),
+                        er, result.relational, std::move(all_tgds));
+  MM2_RETURN_IF_ERROR(result.mapping.Validate());
+  return result;
+}
+
+Result<NestedGenResult> RelationalToNested(const Schema& relational) {
+  MM2_RETURN_IF_ERROR(relational.Validate());
+  NestedGenResult result;
+  result.nested = Schema(relational.name() + "_nested",
+                         model::Metamodel::kNested);
+
+  // A relation folds into its parent when it has a foreign key to it.
+  std::map<std::string, std::vector<const model::Relation*>> children_of;
+  std::set<std::string> folded;
+  for (const model::ForeignKey& fk : relational.foreign_keys()) {
+    if (fk.from_relation == fk.to_relation) continue;  // self-reference
+    if (folded.count(fk.from_relation) > 0) continue;  // fold once
+    children_of[fk.to_relation].push_back(
+        relational.FindRelation(fk.from_relation));
+    folded.insert(fk.from_relation);
+  }
+
+  std::vector<Tgd> tgds;
+  for (const model::Relation& r : relational.relations()) {
+    if (folded.count(r.name()) > 0) continue;
+    std::vector<model::Attribute> attrs = r.attributes();
+    std::size_t flat_arity = attrs.size();
+    for (const model::Relation* child : children_of[r.name()]) {
+      // The child's attributes (minus the FK columns) become a nested
+      // collection of structs.
+      std::set<std::string> fk_cols;
+      for (const model::ForeignKey* fk :
+           relational.ForeignKeysFrom(child->name())) {
+        if (fk->to_relation == r.name()) {
+          fk_cols.insert(fk->from_attributes.begin(),
+                         fk->from_attributes.end());
+        }
+      }
+      std::vector<DataType::Field> fields;
+      for (const model::Attribute& a : child->attributes()) {
+        if (fk_cols.count(a.name) == 0) fields.push_back({a.name, a.type});
+      }
+      attrs.push_back({child->name(),
+                       DataType::Collection(DataType::Struct(fields)), true});
+    }
+    result.nested.AddRelation(
+        model::Relation(r.name() + "_doc", attrs, r.primary_key()));
+
+    // Constraint for the flat part: Root(x...) -> Root_doc(x..., NULL...).
+    Tgd tgd;
+    Atom body;
+    body.relation = r.name();
+    for (std::size_t i = 0; i < flat_arity; ++i) {
+      body.terms.push_back(Term::Var("x" + std::to_string(i)));
+    }
+    Atom head;
+    head.relation = r.name() + "_doc";
+    for (std::size_t i = 0; i < flat_arity; ++i) {
+      head.terms.push_back(Term::Var("x" + std::to_string(i)));
+    }
+    for (std::size_t i = flat_arity; i < attrs.size(); ++i) {
+      head.terms.push_back(Term::Const(Value::Null()));
+    }
+    tgd.body = {std::move(body)};
+    tgd.head = {std::move(head)};
+    tgds.push_back(std::move(tgd));
+  }
+
+  MM2_RETURN_IF_ERROR(result.nested.Validate());
+  result.mapping = Mapping::FromTgds(relational.name() + "_to_nested",
+                                     relational, result.nested,
+                                     std::move(tgds));
+  MM2_RETURN_IF_ERROR(result.mapping.Validate());
+  return result;
+}
+
+Result<OoGenResult> RelationalToOo(const Schema& relational) {
+  MM2_RETURN_IF_ERROR(relational.Validate());
+  if (relational.relations().empty()) {
+    return Status::InvalidArgument("schema '" + relational.name() +
+                                   "' has no relations to wrap");
+  }
+  OoGenResult result;
+  result.oo = Schema(relational.name() + "_oo",
+                     model::Metamodel::kObjectOriented);
+  std::vector<Tgd> tgds;
+  for (const model::Relation& r : relational.relations()) {
+    if (r.arity() == 0) {
+      return Status::InvalidArgument("relation '" + r.name() +
+                                     "' has no attributes");
+    }
+    model::EntityType type;
+    type.name = r.name();
+    type.attributes = r.attributes();
+    result.oo.AddEntityType(std::move(type));
+    result.oo.AddEntitySet(model::EntitySet{r.name() + "Set", r.name()});
+
+    MappingFragment fragment;
+    fragment.entity_set = r.name() + "Set";
+    fragment.types = {r.name()};
+    fragment.table = r.name();
+    for (const Attribute& a : r.attributes()) {
+      fragment.attribute_map.push_back({a.name, a.name});
+    }
+    result.fragments.push_back(fragment);
+
+    // Set("R", x...) -> R(x...).
+    Tgd tgd;
+    Atom body;
+    body.relation = fragment.entity_set;
+    body.terms.push_back(Term::Const(Value::String(r.name())));
+    Atom head;
+    head.relation = r.name();
+    for (const Attribute& a : r.attributes()) {
+      body.terms.push_back(Term::Var("v_" + a.name));
+      head.terms.push_back(Term::Var("v_" + a.name));
+    }
+    tgd.body = {std::move(body)};
+    tgd.head = {std::move(head)};
+    tgds.push_back(std::move(tgd));
+  }
+  MM2_RETURN_IF_ERROR(result.oo.Validate());
+  result.mapping = Mapping::FromTgds(relational.name() + "_oo_wrapper",
+                                     result.oo, relational, std::move(tgds));
+  MM2_RETURN_IF_ERROR(result.mapping.Validate());
+  return result;
+}
+
+}  // namespace mm2::modelgen

@@ -1,0 +1,95 @@
+#ifndef MM2_MODELGEN_MODELGEN_H_
+#define MM2_MODELGEN_MODELGEN_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "logic/mapping.h"
+#include "model/schema.h"
+
+namespace mm2::modelgen {
+
+// How an inheritance hierarchy maps to tables (paper Section 3.2's
+// "flexible mapping of inheritance hierarchies to tables"; the classic
+// strategies of object-relational mapping):
+enum class InheritanceStrategy {
+  kSingleTable,      // TPH: one wide table + discriminator column
+  kTablePerType,     // TPT: one table per type, subtype rows split vertically
+  kTablePerConcrete, // TPC: one table per concrete type, full row each
+};
+
+const char* InheritanceStrategyToString(InheritanceStrategy strategy);
+
+// A mapping fragment in the ADO.NET Entity Framework style: `table` holds
+// one row per entity of `entity_set` whose concrete type is in `types`,
+// storing the listed entity attributes in the listed columns. Fig. 2's
+// three constraints are exactly three fragments:
+//   {HR,    {Person, Employee}, Id->Id, Name->Name}
+//   {Empl,  {Employee},         Id->Id, Dept->Dept}
+//   {Client,{Customer},         Id->Id, Name->Name, ...}
+struct MappingFragment {
+  std::string entity_set;
+  std::vector<std::string> types;  // concrete entity types covered
+  std::string table;
+  // entity attribute -> table column.
+  std::vector<std::pair<std::string, std::string>> attribute_map;
+  // TPH only: the discriminator column receiving the concrete type name.
+  std::string discriminator_column;
+
+  std::string ToString() const;
+};
+
+struct ModelGenResult {
+  // The generated relational schema.
+  model::Schema relational;
+  // Declarative fragments describing the instance-level mapping; TransGen
+  // compiles these into query/update views.
+  std::vector<MappingFragment> fragments;
+  // The same mapping as s-t tgds over the entity-set layout relations
+  // (with $type discriminator constants), consumable by the chase for
+  // ER-to-relational data exchange.
+  logic::Mapping mapping;
+};
+
+// The ModelGen operator for ER => relational: translates `er` (entity
+// types with inheritance + entity sets) into a relational schema under the
+// chosen inheritance strategy, returning the schema *and* instance-level
+// mapping constraints — the piece the paper notes earlier ModelGen work
+// lacked (Section 3.2). The entity key is the first attribute of each
+// entity set's root type; it becomes the primary key of every generated
+// table.
+Result<ModelGenResult> ErToRelational(const model::Schema& er,
+                                      InheritanceStrategy strategy);
+
+// ModelGen for relational => nested (XML-like): each relation that is not
+// referenced by a foreign key becomes a root; relations with a foreign key
+// into a root are folded in as a collection<struct<...>> attribute.
+// Returns the nested schema plus a mapping carrying the flat (root)
+// attributes; nested collections are schema-level only (instances stay
+// first normal form in this engine — see DESIGN.md).
+struct NestedGenResult {
+  model::Schema nested;
+  logic::Mapping mapping;
+};
+Result<NestedGenResult> RelationalToNested(const model::Schema& relational);
+
+// ModelGen for relational => OO — the wrapper-generation usage scenario
+// ("produce an object-oriented wrapper for a relational database"). Each
+// relation becomes an entity type plus an entity set named "<R>Set"; the
+// returned fragments map each set identically onto its table, so TransGen
+// compiles them into the wrapper's query/update views and the runtime's
+// UpdatePropagator pushes object updates back to the tables. Foreign keys
+// stay value-based columns (no object references), matching how wrappers
+// expose keys for lazy navigation.
+struct OoGenResult {
+  model::Schema oo;
+  std::vector<MappingFragment> fragments;
+  logic::Mapping mapping;  // entity sets => tables
+};
+Result<OoGenResult> RelationalToOo(const model::Schema& relational);
+
+}  // namespace mm2::modelgen
+
+#endif  // MM2_MODELGEN_MODELGEN_H_

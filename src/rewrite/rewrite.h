@@ -1,0 +1,59 @@
+#ifndef MM2_REWRITE_REWRITE_H_
+#define MM2_REWRITE_REWRITE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "instance/instance.h"
+#include "logic/formula.h"
+#include "logic/mapping.h"
+
+namespace mm2::rewrite {
+
+// Query answering *through* a mapping (the query-mediator face of the
+// runtime, Section 5): given a conjunctive query over the target schema,
+// compute its certain answers using only the source database — no target
+// materialization. The query is resolved against the mapping's (skolemized)
+// rules exactly the way Compose resolves mid-schema atoms, yielding
+// source-level rule bodies whose matches produce answer rows; rows whose
+// head would contain a Skolem value (an unknown existential) are not
+// certain and are dropped, mirroring the labeled-null rule of Section 4.
+//
+// For s-t tgd mappings this agrees with chase-then-CertainAnswers (the
+// tests check the equivalence), while touching only the parts of the
+// source the query needs.
+struct RewriteResult {
+  // One source-level rule per successful resolution; exposed for
+  // inspection and for the peer-to-peer chain API below.
+  logic::SoTgd rules;
+  std::size_t resolutions = 0;
+  std::size_t dropped_unresolvable = 0;
+};
+
+// Rewrites `query` (over mapping.target()) into source-level rules.
+Result<RewriteResult> RewriteQuery(const logic::Mapping& mapping,
+                                   const logic::ConjunctiveQuery& query);
+
+// Evaluates a rewriting against the source database: matches each rule
+// body, instantiates the head, and keeps fully-constant rows (certain
+// answers).
+Result<std::vector<instance::Tuple>> EvaluateRewriting(
+    const RewriteResult& rewriting, const instance::Instance& source);
+
+// One-call form.
+Result<std::vector<instance::Tuple>> AnswerOnSource(
+    const logic::Mapping& mapping, const logic::ConjunctiveQuery& query,
+    const instance::Instance& source);
+
+// Peer-to-peer query propagation (Section 5, "Peer-to-peer"): a query over
+// the last schema of a mapping chain T <= S1 <= ... <= Sn is pushed through
+// every hop down to the first source and answered there. `chain` is ordered
+// source-to-target: chain[0]: S0 => S1, ..., chain[n-1]: S(n-1) => Sn; the
+// query ranges over Sn and the data lives in S0.
+Result<std::vector<instance::Tuple>> AnswerThroughChain(
+    const std::vector<logic::Mapping>& chain,
+    const logic::ConjunctiveQuery& query, const instance::Instance& source);
+
+}  // namespace mm2::rewrite
+
+#endif  // MM2_REWRITE_REWRITE_H_

@@ -1,0 +1,56 @@
+#ifndef MM2_RUNTIME_CONSTRAINTS_H_
+#define MM2_RUNTIME_CONSTRAINTS_H_
+
+#include <string>
+#include <vector>
+
+#include "chase/chase.h"
+#include "common/result.h"
+#include "instance/instance.h"
+#include "logic/formula.h"
+#include "logic/mapping.h"
+
+namespace mm2::runtime {
+
+// The integrity-constraint service of Section 5: constraints stated on the
+// target of a mapping must be checked somewhere — enforced during exchange
+// (the chase does that), validated on materialized data, or shown to be
+// implied so no runtime check is needed at all.
+
+// One violation of an egd: two facts matched the body but disagreed on the
+// equated values.
+struct EgdViolation {
+  logic::Egd egd;
+  chase::Fact left_fact;
+  chase::Fact right_fact;
+  instance::Value left_value;
+  instance::Value right_value;
+
+  std::string ToString() const;
+};
+
+// Validates egds against a materialized instance; returns every violation
+// (up to `limit` per egd, 0 = unlimited).
+std::vector<EgdViolation> CheckEgds(const instance::Instance& database,
+                                    const std::vector<logic::Egd>& egds,
+                                    std::size_t limit = 0);
+
+// Static implication test: does the mapping *guarantee* the target egd for
+// every source instance satisfying `source_egds`? Uses the critical-
+// instance chase: freeze the egd's body over the target, pull it back
+// through an inverted canonical run... in full generality this is
+// undecidable (tgds + egds), so this implements the standard sufficient
+// test for s-t tgd mappings: chase the frozen source instance pair that
+// could violate the egd and see whether the source constraints collapse
+// it. Returns:
+//   true  -> the egd provably holds on every exchanged target;
+//   false -> a counterexample source instance exists (returned via
+//            `counterexample` when non-null).
+Result<bool> ImpliesTargetEgd(const logic::Mapping& mapping,
+                              const std::vector<logic::Egd>& source_egds,
+                              const logic::Egd& target_egd,
+                              instance::Instance* counterexample = nullptr);
+
+}  // namespace mm2::runtime
+
+#endif  // MM2_RUNTIME_CONSTRAINTS_H_

@@ -1,0 +1,411 @@
+#include "runtime/runtime.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+namespace mm2::runtime {
+
+using instance::Instance;
+using instance::Tuple;
+using instance::Value;
+
+bool Delta::Empty() const {
+  return inserts.TotalTuples() == 0 && deletes.TotalTuples() == 0;
+}
+
+std::size_t Delta::Size() const {
+  return inserts.TotalTuples() + deletes.TotalTuples();
+}
+
+std::string Delta::ToString() const {
+  std::string out;
+  for (const auto& [name, rel] : inserts.relations()) {
+    for (const Tuple& t : rel.tuples()) {
+      out += "+" + name + instance::TupleToString(t) + "\n";
+    }
+  }
+  for (const auto& [name, rel] : deletes.relations()) {
+    for (const Tuple& t : rel.tuples()) {
+      out += "-" + name + instance::TupleToString(t) + "\n";
+    }
+  }
+  return out;
+}
+
+Delta DiffInstances(const Instance& before, const Instance& after) {
+  Delta delta;
+  delta.inserts = after.Minus(before);
+  delta.deletes = before.Minus(after);
+  return delta;
+}
+
+Status ApplyDelta(const Delta& delta, Instance* db) {
+  for (const auto& [name, rel] : delta.deletes.relations()) {
+    for (const Tuple& t : rel.tuples()) {
+      MM2_RETURN_IF_ERROR(db->Erase(name, t));
+    }
+  }
+  for (const auto& [name, rel] : delta.inserts.relations()) {
+    if (!db->HasRelation(name)) db->DeclareRelation(name, rel.arity());
+    for (const Tuple& t : rel.tuples()) {
+      MM2_RETURN_IF_ERROR(db->Insert(name, t));
+    }
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// MaterializedView
+// ---------------------------------------------------------------------------
+
+MaterializedView::MaterializedView(std::string name, algebra::ExprRef view,
+                                   algebra::Catalog catalog)
+    : name_(std::move(name)),
+      view_(std::move(view)),
+      catalog_(std::move(catalog)) {}
+
+Result<algebra::Table> MaterializedView::EvalOver(const Instance& db) const {
+  return algebra::Evaluate(*view_, catalog_, db);
+}
+
+Status MaterializedView::Initialize(const Instance& base) {
+  MM2_ASSIGN_OR_RETURN(current_, EvalOver(base));
+  return Status::OK();
+}
+
+namespace {
+
+bool TreeIsMonotonePipeline(const algebra::Expr& expr) {
+  switch (expr.kind()) {
+    case algebra::Expr::Kind::kScan:
+      return true;
+    case algebra::Expr::Kind::kSelect:
+    case algebra::Expr::Kind::kProject:
+    case algebra::Expr::Kind::kUnion: {
+      for (const algebra::ExprRef& c : expr.children()) {
+        if (!TreeIsMonotonePipeline(*c)) return false;
+      }
+      return true;
+    }
+    // Joins and difference are not per-row maintainable; Distinct loses
+    // multiplicities; aggregates need group re-evaluation; Const would
+    // leak its rows into delta evaluation.
+    case algebra::Expr::Kind::kConst:
+    case algebra::Expr::Kind::kJoin:
+    case algebra::Expr::Kind::kDifference:
+    case algebra::Expr::Kind::kDistinct:
+    case algebra::Expr::Kind::kAggregate:
+      return false;
+  }
+  return false;
+}
+
+// Removes one occurrence of each row of `rows` from `table`.
+void RemoveRows(const std::vector<Tuple>& rows, algebra::Table* table) {
+  for (const Tuple& row : rows) {
+    for (auto it = table->rows.begin(); it != table->rows.end(); ++it) {
+      if (*it == row) {
+        table->rows.erase(it);
+        break;
+      }
+    }
+  }
+}
+
+Delta TableDelta(const std::string& name, const algebra::Table& before,
+                 const algebra::Table& after) {
+  // Set-semantics diff for notification purposes.
+  std::set<Tuple> b(before.rows.begin(), before.rows.end());
+  std::set<Tuple> a(after.rows.begin(), after.rows.end());
+  Delta delta;
+  delta.inserts.DeclareRelation(name, after.columns.size());
+  delta.deletes.DeclareRelation(name, before.columns.size());
+  for (const Tuple& t : a) {
+    if (b.count(t) == 0) delta.inserts.InsertUnchecked(name, t);
+  }
+  for (const Tuple& t : b) {
+    if (a.count(t) == 0) delta.deletes.InsertUnchecked(name, t);
+  }
+  return delta;
+}
+
+}  // namespace
+
+bool MaterializedView::IsIncrementallyMaintainable() const {
+  return TreeIsMonotonePipeline(*view_);
+}
+
+Result<Delta> MaterializedView::Update(const Instance& new_base,
+                                       const Delta& base_delta) {
+  if (IsIncrementallyMaintainable()) {
+    // Monotone pipeline over set-semantics bases: the view image of the
+    // base inserts/deletes IS the view delta, row for row — O(|delta|),
+    // never touching the rest of the view.
+    MM2_ASSIGN_OR_RETURN(algebra::Table plus,
+                         EvalOver(base_delta.inserts));
+    MM2_ASSIGN_OR_RETURN(algebra::Table minus,
+                         EvalOver(base_delta.deletes));
+    RemoveRows(minus.rows, &current_);
+    Delta delta;
+    delta.inserts.DeclareRelation(name_, current_.columns.size());
+    delta.deletes.DeclareRelation(name_, current_.columns.size());
+    for (Tuple& row : plus.rows) {
+      delta.inserts.InsertUnchecked(name_, row);
+      current_.rows.push_back(std::move(row));
+    }
+    for (Tuple& row : minus.rows) {
+      delta.deletes.InsertUnchecked(name_, std::move(row));
+    }
+    return delta;
+  }
+  algebra::Table before = std::move(current_);
+  MM2_ASSIGN_OR_RETURN(current_, EvalOver(new_base));
+  return TableDelta(name_, before, current_);
+}
+
+// ---------------------------------------------------------------------------
+// UpdatePropagator
+// ---------------------------------------------------------------------------
+
+UpdatePropagator::UpdatePropagator(
+    transgen::CompiledViews views,
+    std::vector<modelgen::MappingFragment> fragments, model::Schema er,
+    model::Schema relational)
+    : views_(std::move(views)),
+      fragments_(std::move(fragments)),
+      er_(std::move(er)),
+      relational_(std::move(relational)) {}
+
+Result<std::optional<std::pair<std::string, Tuple>>> UpdatePropagator::RowFor(
+    const modelgen::MappingFragment& fragment, const Tuple& entity) const {
+  using RowOpt = std::optional<std::pair<std::string, Tuple>>;
+  if (fragment.entity_set != views_.entity_set) return RowOpt{};
+  const std::string& type = entity[0].str();
+  if (std::find(fragment.types.begin(), fragment.types.end(), type) ==
+      fragment.types.end()) {
+    return RowOpt{};
+  }
+  const model::Relation* table = relational_.FindRelation(fragment.table);
+  if (table == nullptr) {
+    return Status::Internal("fragment table '" + fragment.table +
+                            "' missing");
+  }
+  Tuple row;
+  row.reserve(table->arity());
+  for (const model::Attribute& column : table->attributes()) {
+    if (column.name == fragment.discriminator_column) {
+      row.push_back(entity[0]);
+      continue;
+    }
+    const std::string* attr = nullptr;
+    for (const auto& [a, c] : fragment.attribute_map) {
+      if (c == column.name) attr = &a;
+    }
+    if (attr == nullptr) {
+      row.push_back(Value::Null());
+      continue;
+    }
+    std::size_t idx = layout_.ColumnIndex(*attr);
+    if (idx == instance::EntitySetLayout::kNpos) {
+      return Status::Internal("fragment attribute '" + *attr +
+                              "' missing from layout");
+    }
+    row.push_back(entity[1 + idx]);
+  }
+  return std::make_optional(std::make_pair(fragment.table, std::move(row)));
+}
+
+Status UpdatePropagator::Initialize(const Instance& entities) {
+  const model::EntitySet* set = er_.FindEntitySet(views_.entity_set);
+  if (set == nullptr) {
+    return Status::NotFound("entity set '" + views_.entity_set +
+                            "' not in ER schema");
+  }
+  MM2_ASSIGN_OR_RETURN(layout_,
+                       instance::ComputeEntitySetLayout(er_, *set));
+  entities_ = entities;
+  tables_ = Instance();
+  MM2_RETURN_IF_ERROR(transgen::ApplyUpdateViews(views_, er_, relational_,
+                                                 entities_, &tables_));
+  // Build per-table row reference counts: how many entities produce each
+  // materialized row (DISTINCT semantics need the count to know when a
+  // row truly disappears).
+  row_counts_.clear();
+  const instance::RelationInstance* extent =
+      entities_.Find(views_.entity_set);
+  if (extent != nullptr) {
+    for (const Tuple& entity : extent->tuples()) {
+      for (const modelgen::MappingFragment& fragment : fragments_) {
+        MM2_ASSIGN_OR_RETURN(auto row, RowFor(fragment, entity));
+        if (row.has_value()) ++row_counts_[row->first][row->second];
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::map<std::string, Delta>> UpdatePropagator::Apply(
+    const EntityOp& op) {
+  // 1. Apply the entity operation to the extent.
+  switch (op.kind) {
+    case EntityOp::Kind::kInsert:
+      MM2_RETURN_IF_ERROR(entities_.Insert(views_.entity_set, op.entity));
+      break;
+    case EntityOp::Kind::kDelete:
+      MM2_RETURN_IF_ERROR(entities_.Erase(views_.entity_set, op.entity));
+      break;
+  }
+  // 2. Incremental propagation: only the fragments covering this entity's
+  // type contribute rows; reference counts decide visibility transitions.
+  std::map<std::string, Delta> deltas;
+  for (const modelgen::MappingFragment& fragment : fragments_) {
+    MM2_ASSIGN_OR_RETURN(auto row, RowFor(fragment, op.entity));
+    if (!row.has_value()) continue;
+    const std::string& table = row->first;
+    std::map<Tuple, std::size_t>& counts = row_counts_[table];
+    Delta& delta = deltas[table];
+    if (op.kind == EntityOp::Kind::kInsert) {
+      if (++counts[row->second] == 1) {
+        if (!tables_.HasRelation(table)) {
+          tables_.DeclareRelation(table, row->second.size());
+        }
+        tables_.InsertUnchecked(table, row->second);
+        if (!delta.inserts.HasRelation(table)) {
+          delta.inserts.DeclareRelation(table, row->second.size());
+        }
+        delta.inserts.InsertUnchecked(table, row->second);
+      }
+    } else {
+      auto it = counts.find(row->second);
+      if (it == counts.end() || it->second == 0) {
+        return Status::Internal("row count underflow on table '" + table +
+                                "'");
+      }
+      if (--it->second == 0) {
+        counts.erase(it);
+        MM2_RETURN_IF_ERROR(tables_.Erase(table, row->second));
+        if (!delta.deletes.HasRelation(table)) {
+          delta.deletes.DeclareRelation(table, row->second.size());
+        }
+        delta.deletes.InsertUnchecked(table, row->second);
+      }
+    }
+  }
+  // Drop empty deltas, notify the rest.
+  for (auto it = deltas.begin(); it != deltas.end();) {
+    if (it->second.Empty()) {
+      it = deltas.erase(it);
+    } else {
+      for (const TableListener& listener : listeners_) {
+        listener(it->first, it->second);
+      }
+      ++it;
+    }
+  }
+  return deltas;
+}
+
+void UpdatePropagator::Subscribe(TableListener listener) {
+  listeners_.push_back(std::move(listener));
+}
+
+// ---------------------------------------------------------------------------
+// ErrorTranslator
+// ---------------------------------------------------------------------------
+
+ErrorTranslator::ErrorTranslator(
+    std::vector<modelgen::MappingFragment> fragments)
+    : fragments_(std::move(fragments)) {}
+
+std::string ErrorTranslator::EntityAttributeFor(
+    const std::string& table, const std::string& column) const {
+  for (const modelgen::MappingFragment& f : fragments_) {
+    if (f.table != table) continue;
+    for (const auto& [attr, col] : f.attribute_map) {
+      if (col == column) return attr;
+    }
+  }
+  return "";
+}
+
+std::string ErrorTranslator::Translate(const std::string& table,
+                                       const std::string& column,
+                                       const std::string& message) const {
+  std::string attr = EntityAttributeFor(table, column);
+  if (attr.empty()) {
+    return "error on table " + table + "." + column + ": " + message +
+           " (no entity-level mapping)";
+  }
+  // Which entity types does this touch?
+  std::string types;
+  for (const modelgen::MappingFragment& f : fragments_) {
+    if (f.table != table) continue;
+    for (const std::string& t : f.types) {
+      if (!types.empty()) types += ", ";
+      types += t;
+    }
+  }
+  return "error on attribute " + attr + " of {" + types + "} (stored in " +
+         table + "." + column + "): " + message;
+}
+
+// ---------------------------------------------------------------------------
+// Provenance
+// ---------------------------------------------------------------------------
+
+std::string ExplainFact(const chase::ChaseResult& result,
+                        const chase::Fact& fact) {
+  const std::vector<chase::Witness>* witnesses =
+      result.provenance.WitnessesOf(fact);
+  if (witnesses == nullptr || witnesses->empty()) {
+    return fact.ToString() + " has no recorded derivation";
+  }
+  std::string out = fact.ToString() + " because:\n";
+  for (const chase::Witness& w : *witnesses) {
+    out += "  <-";
+    for (const chase::Fact& f : w) out += " " + f.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+std::vector<chase::Fact> Lineage(const chase::ChaseResult& result,
+                                 const chase::Fact& fact) {
+  std::vector<chase::Fact> lineage;
+  const std::vector<chase::Witness>* witnesses =
+      result.provenance.WitnessesOf(fact);
+  if (witnesses == nullptr) return lineage;
+  std::set<chase::Fact> seen;
+  for (const chase::Witness& w : *witnesses) {
+    for (const chase::Fact& f : w) {
+      if (seen.insert(f).second) lineage.push_back(f);
+    }
+  }
+  return lineage;
+}
+
+// ---------------------------------------------------------------------------
+// Exchange
+// ---------------------------------------------------------------------------
+
+Result<ExchangeResult> Exchange(const logic::Mapping& mapping,
+                                const Instance& source,
+                                const ExchangeOptions& options) {
+  chase::ChaseOptions chase_options;
+  chase_options.track_provenance = options.track_provenance;
+  MM2_ASSIGN_OR_RETURN(chase::ChaseResult chased,
+                       chase::RunChase(mapping, source, chase_options));
+  ExchangeResult result;
+  result.stats = chased.stats;
+  result.provenance = std::move(chased.provenance);
+  if (options.compute_core) {
+    result.pre_core_tuples = chased.target.TotalTuples();
+    result.target = chase::ComputeCore(chased.target);
+  } else {
+    result.target = std::move(chased.target);
+  }
+  return result;
+}
+
+}  // namespace mm2::runtime

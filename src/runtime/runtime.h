@@ -1,0 +1,207 @@
+#ifndef MM2_RUNTIME_RUNTIME_H_
+#define MM2_RUNTIME_RUNTIME_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <optional>
+
+#include "algebra/eval.h"
+#include "chase/chase.h"
+#include "common/result.h"
+#include "instance/instance.h"
+#include "logic/mapping.h"
+#include "modelgen/modelgen.h"
+#include "transgen/transgen.h"
+
+namespace mm2::runtime {
+
+// ---------------------------------------------------------------------------
+// Deltas
+// ---------------------------------------------------------------------------
+
+// A set-semantics change: tuples to insert and tuples to delete, per
+// relation. The runtime services of Section 5 (update propagation,
+// notifications, view maintenance) all speak deltas.
+struct Delta {
+  instance::Instance inserts;
+  instance::Instance deletes;
+
+  bool Empty() const;
+  std::size_t Size() const;
+  std::string ToString() const;
+};
+
+// after - before, per relation (relations present in either side).
+Delta DiffInstances(const instance::Instance& before,
+                    const instance::Instance& after);
+
+// Applies a delta in place (deletes first, then inserts).
+Status ApplyDelta(const Delta& delta, instance::Instance* db);
+
+// ---------------------------------------------------------------------------
+// Materialized views and notifications (Section 5: "Notifications" /
+// "Data exchange")
+// ---------------------------------------------------------------------------
+
+// A materialized algebra view over a base database. Update() recomputes
+// against a new base state and reports the view delta — the notification a
+// target-side cache would receive. Selections, projections and unions are
+// maintained incrementally from the base delta; other operators fall back
+// to recompute-and-diff.
+class MaterializedView {
+ public:
+  MaterializedView(std::string name, algebra::ExprRef view,
+                   algebra::Catalog catalog);
+
+  const std::string& name() const { return name_; }
+  const algebra::Table& current() const { return current_; }
+
+  // Full evaluation against `base`.
+  Status Initialize(const instance::Instance& base);
+
+  // Brings the view in line with `new_base`, given the delta from the
+  // previously seen base state; returns the view-side delta.
+  Result<Delta> Update(const instance::Instance& new_base,
+                       const Delta& base_delta);
+
+  // True if the view tree supports incremental maintenance (select /
+  // project / union-all / distinct over a single scan pipeline).
+  bool IsIncrementallyMaintainable() const;
+
+ private:
+  Result<algebra::Table> EvalOver(const instance::Instance& db) const;
+
+  std::string name_;
+  algebra::ExprRef view_;
+  algebra::Catalog catalog_;
+  algebra::Table current_;
+};
+
+// ---------------------------------------------------------------------------
+// Update propagation through compiled views (Section 5: "Update
+// propagation"; the ADO.NET client-view runtime)
+// ---------------------------------------------------------------------------
+
+// An object-at-a-time update on an entity set.
+struct EntityOp {
+  enum class Kind { kInsert, kDelete };
+  Kind kind = Kind::kInsert;
+  // Full entity tuple in layout order ($type first).
+  instance::Tuple entity;
+};
+
+// Listener invoked with per-table deltas after each propagated update.
+using TableListener =
+    std::function<void(const std::string& table, const Delta& delta)>;
+
+// Maintains an entity extent and its table images in lock-step: entity
+// operations are translated through the mapping fragments into table
+// deltas (which subscribers observe), keeping roundtripping intact
+// throughout. Propagation is incremental — O(#fragments covering the
+// entity's type) per operation, not O(|D|): a per-table row reference
+// count (built once at Initialize) decides exactly when a DISTINCT view
+// row appears or disappears.
+class UpdatePropagator {
+ public:
+  UpdatePropagator(transgen::CompiledViews views,
+                   std::vector<modelgen::MappingFragment> fragments,
+                   model::Schema er, model::Schema relational);
+
+  // Materializes the initial table state from `entities` and builds the
+  // row reference counts.
+  Status Initialize(const instance::Instance& entities);
+
+  // Applies one entity operation; returns the per-table deltas.
+  Result<std::map<std::string, Delta>> Apply(const EntityOp& op);
+
+  void Subscribe(TableListener listener);
+
+  const instance::Instance& entities() const { return entities_; }
+  const instance::Instance& tables() const { return tables_; }
+
+ private:
+  // The table row fragment `f` stores for `entity`, or nullopt when the
+  // fragment does not cover the entity's type.
+  Result<std::optional<std::pair<std::string, instance::Tuple>>> RowFor(
+      const modelgen::MappingFragment& fragment,
+      const instance::Tuple& entity) const;
+
+  transgen::CompiledViews views_;
+  std::vector<modelgen::MappingFragment> fragments_;
+  model::Schema er_;
+  model::Schema relational_;
+  instance::EntitySetLayout layout_;
+  instance::Instance entities_;
+  instance::Instance tables_;
+  // table -> row -> number of entities producing it.
+  std::map<std::string, std::map<instance::Tuple, std::size_t>> row_counts_;
+  std::vector<TableListener> listeners_;
+};
+
+// ---------------------------------------------------------------------------
+// Error translation (Section 5: "Errors")
+// ---------------------------------------------------------------------------
+
+// Rewrites a table-context error into entity-context terms using the
+// mapping fragments: "Empl.Dept violates X" becomes "Employee.Dept (stored
+// in table Empl, column Dept) violates X".
+class ErrorTranslator {
+ public:
+  explicit ErrorTranslator(std::vector<modelgen::MappingFragment> fragments);
+
+  // The entity-side name for a table column, or empty when unmapped.
+  std::string EntityAttributeFor(const std::string& table,
+                                 const std::string& column) const;
+
+  // Full error translation with context.
+  std::string Translate(const std::string& table, const std::string& column,
+                        const std::string& message) const;
+
+ private:
+  std::vector<modelgen::MappingFragment> fragments_;
+};
+
+// ---------------------------------------------------------------------------
+// Provenance (Section 5: "Provenance" / "Debugging")
+// ---------------------------------------------------------------------------
+
+// Renders the why-provenance of a target fact from a chase result: each
+// witness is the list of source facts that fired the deriving rule.
+std::string ExplainFact(const chase::ChaseResult& result,
+                        const chase::Fact& fact);
+
+// All source facts contributing to any derivation of `fact` (flattened
+// witness union) — the "source data that contributed to a particular
+// target data item".
+std::vector<chase::Fact> Lineage(const chase::ChaseResult& result,
+                                 const chase::Fact& fact);
+
+// ---------------------------------------------------------------------------
+// Data exchange convenience (the runtime's executor face)
+// ---------------------------------------------------------------------------
+
+struct ExchangeOptions {
+  bool compute_core = false;   // minimize the universal solution
+  bool track_provenance = false;
+};
+
+struct ExchangeResult {
+  instance::Instance target;
+  chase::ChaseStats stats;
+  chase::Provenance provenance;
+  std::size_t pre_core_tuples = 0;  // when compute_core
+};
+
+// Runs the mapping end to end: chase, optional core minimization,
+// provenance. This is the "runtime that executes mappings" the revised
+// vision adds as a first-class component.
+Result<ExchangeResult> Exchange(const logic::Mapping& mapping,
+                                const instance::Instance& source,
+                                const ExchangeOptions& options = {});
+
+}  // namespace mm2::runtime
+
+#endif  // MM2_RUNTIME_RUNTIME_H_

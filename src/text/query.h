@@ -1,0 +1,25 @@
+#ifndef MM2_TEXT_QUERY_H_
+#define MM2_TEXT_QUERY_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "logic/formula.h"
+
+namespace mm2::text {
+
+// Parses a conjunctive query in Datalog syntax:
+//
+//   Q(x, y) :- Listing(s, x, "CS"), Person(s, y)
+//
+// Terms: bare identifiers are variables; quoted strings, integers,
+// doubles, #t/#f and null are constants. The head relation name is
+// arbitrary (it names the answer).
+Result<logic::ConjunctiveQuery> ParseQuery(std::string_view text);
+
+// Renders a query back to the same syntax (modulo whitespace).
+std::string QueryToText(const logic::ConjunctiveQuery& query);
+
+}  // namespace mm2::text
+
+#endif  // MM2_TEXT_QUERY_H_

@@ -1,0 +1,636 @@
+#include "text/sexpr.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/strings.h" 
+
+namespace mm2::text {
+
+using instance::Instance;
+using instance::Tuple;
+using instance::Value;
+using model::DataType;
+using model::DataTypeRef;
+using model::Metamodel;
+using model::Schema;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------------
+
+std::string TypeName(const DataTypeRef& type) {
+  if (!type->is_primitive()) return "string";  // nested types degrade
+  return model::PrimitiveTypeToString(type->primitive());
+}
+
+const char* MetamodelToken(Metamodel m) {
+  switch (m) {
+    case Metamodel::kRelational:
+      return "relational";
+    case Metamodel::kEntityRelationship:
+      return "er";
+    case Metamodel::kNested:
+      return "nested";
+    case Metamodel::kObjectOriented:
+      return "oo";
+  }
+  return "relational";
+}
+
+std::string QuoteString(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string ValueToken(const Value& v) {
+  switch (v.kind()) {
+    case Value::Kind::kNull:
+      return "null";
+    case Value::Kind::kInt64:
+      return std::to_string(v.int64());
+    case Value::Kind::kDouble: {
+      // %.17g round-trips every IEEE double exactly.
+      char buffer[64];
+      std::snprintf(buffer, sizeof(buffer), "%.17g", v.dbl());
+      std::string s = buffer;
+      // Ensure the token re-parses as a double, not an int64.
+      if (s.find('.') == std::string::npos &&
+          s.find('e') == std::string::npos &&
+          s.find('E') == std::string::npos) {
+        s += ".0";
+      }
+      return s;
+    }
+    case Value::Kind::kString:
+      return QuoteString(v.str());
+    case Value::Kind::kBool:
+      return v.boolean() ? "#t" : "#f";
+    case Value::Kind::kDate:
+      return "d:" + std::to_string(v.date());
+    case Value::Kind::kLabeledNull:
+      return "N" + std::to_string(v.label());
+  }
+  return "null";
+}
+
+}  // namespace
+
+std::string SchemaToText(const Schema& schema) {
+  std::string out = "(schema " + schema.name() + " " +
+                    MetamodelToken(schema.metamodel()) + "\n";
+  for (const model::Relation& r : schema.relations()) {
+    out += "  (relation " + r.name();
+    for (std::size_t i = 0; i < r.arity(); ++i) {
+      const model::Attribute& a = r.attribute(i);
+      out += " (attr " + a.name + " " + TypeName(a.type);
+      if (r.IsKeyAttribute(i)) out += " key";
+      if (a.nullable) out += " nullable";
+      out += ")";
+    }
+    out += ")\n";
+  }
+  for (const model::ForeignKey& fk : schema.foreign_keys()) {
+    out += "  (fk " + fk.from_relation + " (";
+    out += Join(fk.from_attributes, " ");
+    out += ") " + fk.to_relation + " (";
+    out += Join(fk.to_attributes, " ");
+    out += "))\n";
+  }
+  for (const model::EntityType& t : schema.entity_types()) {
+    out += "  (entity " + t.name;
+    if (!t.parent.empty()) out += " (parent " + t.parent + ")";
+    if (t.abstract) out += " abstract";
+    for (const model::Attribute& a : t.attributes) {
+      out += " (attr " + a.name + " " + TypeName(a.type) + ")";
+    }
+    out += ")\n";
+  }
+  for (const model::EntitySet& s : schema.entity_sets()) {
+    out += "  (entityset " + s.name + " " + s.root_type + ")\n";
+  }
+  out += ")\n";
+  return out;
+}
+
+std::string InstanceToText(const Instance& database) {
+  std::string out = "(instance\n";
+  for (const auto& [name, rel] : database.relations()) {
+    out += "  (" + name;
+    for (const Tuple& t : rel.tuples()) {
+      out += " (";
+      for (std::size_t i = 0; i < t.size(); ++i) {
+        if (i > 0) out += " ";
+        out += ValueToken(t[i]);
+      }
+      out += ")";
+    }
+    out += ")\n";
+  }
+  out += ")\n";
+  return out;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+// A parsed S-expression node: an atom token or a list.
+struct Node {
+  bool is_atom = false;
+  std::string atom;
+  std::vector<Node> items;
+  std::size_t offset = 0;  // for error messages
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Node> ParseOne() {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return Error("unexpected end of input");
+    }
+    if (text_[pos_] == '(') {
+      Node list;
+      list.offset = pos_;
+      ++pos_;
+      while (true) {
+        SkipSpace();
+        if (pos_ >= text_.size()) return Error("missing ')'");
+        if (text_[pos_] == ')') {
+          ++pos_;
+          return list;
+        }
+        MM2_ASSIGN_OR_RETURN(Node child, ParseOne());
+        list.items.push_back(std::move(child));
+      }
+    }
+    if (text_[pos_] == ')') return Error("unexpected ')'");
+    Node atom;
+    atom.is_atom = true;
+    atom.offset = pos_;
+    if (text_[pos_] == '"') {
+      ++pos_;
+      std::string s;
+      while (pos_ < text_.size() && text_[pos_] != '"') {
+        if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) ++pos_;
+        s += text_[pos_++];
+      }
+      if (pos_ >= text_.size()) return Error("unterminated string");
+      ++pos_;
+      atom.atom = "\"" + s;  // leading quote marks string atoms
+      return atom;
+    }
+    while (pos_ < text_.size() && !std::isspace(static_cast<unsigned char>(
+                                      text_[pos_])) &&
+           text_[pos_] != '(' && text_[pos_] != ')') {
+      atom.atom += text_[pos_++];
+    }
+    return atom;
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(message + " at offset " +
+                                   std::to_string(pos_));
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == ';') {  // comment to end of line
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+Status NodeError(const Node& node, const std::string& message) {
+  return Status::InvalidArgument(message + " at offset " +
+                                 std::to_string(node.offset));
+}
+
+bool IsList(const Node& n, const char* head) {
+  return !n.is_atom && !n.items.empty() && n.items[0].is_atom &&
+         n.items[0].atom == head;
+}
+
+Result<DataTypeRef> ParseType(const Node& node) {
+  if (!node.is_atom) return NodeError(node, "expected a type name");
+  const std::string& t = node.atom;
+  if (t == "int64") return DataType::Int64();
+  if (t == "double") return DataType::Double();
+  if (t == "string") return DataType::String();
+  if (t == "bool") return DataType::Bool();
+  if (t == "date") return DataType::Date();
+  return NodeError(node, "unknown type '" + t + "'");
+}
+
+Result<model::Attribute> ParseAttr(const Node& node, bool* is_key) {
+  // (attr NAME TYPE [key] [nullable])
+  if (node.items.size() < 3 || !node.items[1].is_atom) {
+    return NodeError(node, "malformed (attr ...)");
+  }
+  model::Attribute attr;
+  attr.name = node.items[1].atom;
+  MM2_ASSIGN_OR_RETURN(attr.type, ParseType(node.items[2]));
+  *is_key = false;
+  for (std::size_t i = 3; i < node.items.size(); ++i) {
+    if (!node.items[i].is_atom) return NodeError(node, "malformed attr flag");
+    if (node.items[i].atom == "key") {
+      *is_key = true;
+    } else if (node.items[i].atom == "nullable") {
+      attr.nullable = true;
+    } else {
+      return NodeError(node, "unknown attr flag '" + node.items[i].atom + "'");
+    }
+  }
+  return attr;
+}
+
+Result<std::vector<std::string>> ParseNameList(const Node& node) {
+  std::vector<std::string> names;
+  if (node.is_atom) return NodeError(node, "expected a name list");
+  for (const Node& item : node.items) {
+    if (!item.is_atom) return NodeError(item, "expected a name");
+    names.push_back(item.atom);
+  }
+  return names;
+}
+
+Result<Value> ParseValue(const Node& node) {
+  if (!node.is_atom) return NodeError(node, "expected a value");
+  const std::string& t = node.atom;
+  if (t.empty()) return NodeError(node, "empty value");
+  if (t[0] == '"') return Value::String(t.substr(1));
+  if (t == "null") return Value::Null();
+  if (t == "#t") return Value::Bool(true);
+  if (t == "#f") return Value::Bool(false);
+  auto parse_int = [&](std::string_view digits,
+                       std::int64_t* out) -> bool {
+    auto [ptr, ec] = std::from_chars(digits.data(),
+                                     digits.data() + digits.size(), *out);
+    return ec == std::errc() && ptr == digits.data() + digits.size();
+  };
+  if (t.size() > 1 && t[0] == 'N' &&
+      std::isdigit(static_cast<unsigned char>(t[1]))) {
+    std::int64_t label = 0;
+    if (parse_int(std::string_view(t).substr(1), &label)) {
+      return Value::LabeledNull(label);
+    }
+  }
+  if (t.size() > 2 && t[0] == 'd' && t[1] == ':') {
+    std::int64_t days = 0;
+    if (parse_int(std::string_view(t).substr(2), &days)) {
+      return Value::Date(days);
+    }
+  }
+  // Numeric: int64 unless it contains '.' or 'e'.
+  bool numeric = true;
+  bool floating = false;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    char c = t[i];
+    if (c == '.' || c == 'e' || c == 'E') {
+      floating = true;
+    } else if (!std::isdigit(static_cast<unsigned char>(c)) &&
+               !(i == 0 && (c == '-' || c == '+'))) {
+      numeric = false;
+      break;
+    }
+  }
+  if (!numeric) return NodeError(node, "unparsable value '" + t + "'");
+  if (floating) {
+    char* end = nullptr;
+    double d = std::strtod(t.c_str(), &end);
+    if (end != t.c_str() + t.size()) {
+      return NodeError(node, "unparsable double '" + t + "'");
+    }
+    return Value::Double(d);
+  }
+  // std::from_chars rejects an explicit '+' sign; strip it.
+  std::string_view digits = t;
+  if (!digits.empty() && digits[0] == '+') digits.remove_prefix(1);
+  std::int64_t i = 0;
+  auto [ptr, ec] =
+      std::from_chars(digits.data(), digits.data() + digits.size(), i);
+  if (ec != std::errc() || ptr != digits.data() + digits.size()) {
+    return NodeError(node, "unparsable integer '" + t + "'");
+  }
+  return Value::Int64(i);
+}
+
+}  // namespace
+
+namespace {
+Result<Schema> SchemaFromNode(const Node& root);
+}  // namespace
+
+Result<Schema> ParseSchema(std::string_view text) {
+  Parser parser(text);
+  MM2_ASSIGN_OR_RETURN(Node root, parser.ParseOne());
+  return SchemaFromNode(root);
+}
+
+namespace {
+Result<Schema> SchemaFromNode(const Node& root) {
+  if (!IsList(root, "schema") || root.items.size() < 3 ||
+      !root.items[1].is_atom || !root.items[2].is_atom) {
+    return NodeError(root, "expected (schema NAME METAMODEL ...)");
+  }
+  Metamodel metamodel;
+  const std::string& mm = root.items[2].atom;
+  if (mm == "relational") {
+    metamodel = Metamodel::kRelational;
+  } else if (mm == "er") {
+    metamodel = Metamodel::kEntityRelationship;
+  } else if (mm == "nested") {
+    metamodel = Metamodel::kNested;
+  } else if (mm == "oo") {
+    metamodel = Metamodel::kObjectOriented;
+  } else {
+    return NodeError(root.items[2], "unknown metamodel '" + mm + "'");
+  }
+  Schema schema(root.items[1].atom, metamodel);
+
+  for (std::size_t i = 3; i < root.items.size(); ++i) {
+    const Node& item = root.items[i];
+    if (IsList(item, "relation")) {
+      if (item.items.size() < 2 || !item.items[1].is_atom) {
+        return NodeError(item, "malformed (relation ...)");
+      }
+      std::vector<model::Attribute> attrs;
+      std::vector<std::size_t> pk;
+      for (std::size_t j = 2; j < item.items.size(); ++j) {
+        if (!IsList(item.items[j], "attr")) {
+          return NodeError(item.items[j], "expected (attr ...)");
+        }
+        bool is_key = false;
+        MM2_ASSIGN_OR_RETURN(model::Attribute attr,
+                             ParseAttr(item.items[j], &is_key));
+        if (is_key) pk.push_back(attrs.size());
+        attrs.push_back(std::move(attr));
+      }
+      schema.AddRelation(
+          model::Relation(item.items[1].atom, std::move(attrs), pk));
+    } else if (IsList(item, "fk")) {
+      if (item.items.size() != 5 || !item.items[1].is_atom ||
+          !item.items[3].is_atom) {
+        return NodeError(item, "expected (fk FROM (A...) TO (B...))");
+      }
+      MM2_ASSIGN_OR_RETURN(std::vector<std::string> from,
+                           ParseNameList(item.items[2]));
+      MM2_ASSIGN_OR_RETURN(std::vector<std::string> to,
+                           ParseNameList(item.items[4]));
+      schema.AddForeignKey(model::ForeignKey{item.items[1].atom, from,
+                                             item.items[3].atom, to});
+    } else if (IsList(item, "entity")) {
+      if (item.items.size() < 2 || !item.items[1].is_atom) {
+        return NodeError(item, "malformed (entity ...)");
+      }
+      model::EntityType type;
+      type.name = item.items[1].atom;
+      for (std::size_t j = 2; j < item.items.size(); ++j) {
+        const Node& part = item.items[j];
+        if (IsList(part, "parent")) {
+          if (part.items.size() != 2 || !part.items[1].is_atom) {
+            return NodeError(part, "malformed (parent ...)");
+          }
+          type.parent = part.items[1].atom;
+        } else if (part.is_atom && part.atom == "abstract") {
+          type.abstract = true;
+        } else if (IsList(part, "attr")) {
+          bool is_key = false;
+          MM2_ASSIGN_OR_RETURN(model::Attribute attr,
+                               ParseAttr(part, &is_key));
+          type.attributes.push_back(std::move(attr));
+        } else {
+          return NodeError(part, "unexpected entity clause");
+        }
+      }
+      schema.AddEntityType(std::move(type));
+    } else if (IsList(item, "entityset")) {
+      if (item.items.size() != 3 || !item.items[1].is_atom ||
+          !item.items[2].is_atom) {
+        return NodeError(item, "expected (entityset NAME ROOT)");
+      }
+      schema.AddEntitySet(
+          model::EntitySet{item.items[1].atom, item.items[2].atom});
+    } else {
+      return NodeError(item, "unexpected schema clause");
+    }
+  }
+  MM2_RETURN_IF_ERROR(schema.Validate());
+  return schema;
+}
+}  // namespace
+
+Result<Instance> ParseInstance(std::string_view text) {
+  Parser parser(text);
+  MM2_ASSIGN_OR_RETURN(Node root, parser.ParseOne());
+  if (!IsList(root, "instance")) {
+    return NodeError(root, "expected (instance ...)");
+  }
+  Instance db;
+  for (std::size_t i = 1; i < root.items.size(); ++i) {
+    const Node& rel = root.items[i];
+    if (rel.is_atom || rel.items.empty() || !rel.items[0].is_atom) {
+      return NodeError(rel, "expected (RELATION (row) ...)");
+    }
+    const std::string& name = rel.items[0].atom;
+    for (std::size_t j = 1; j < rel.items.size(); ++j) {
+      const Node& row = rel.items[j];
+      if (row.is_atom) return NodeError(row, "expected a row list");
+      Tuple tuple;
+      for (const Node& v : row.items) {
+        MM2_ASSIGN_OR_RETURN(Value value, ParseValue(v));
+        tuple.push_back(std::move(value));
+      }
+      if (!db.HasRelation(name)) db.DeclareRelation(name, tuple.size());
+      MM2_RETURN_IF_ERROR(db.Insert(name, std::move(tuple)));
+    }
+    if (!db.HasRelation(name)) db.DeclareRelation(name, 0);
+  }
+  return db;
+}
+
+namespace {
+
+std::string TermToken(const logic::Term& term) {
+  switch (term.kind()) {
+    case logic::Term::Kind::kVariable:
+      return term.name();
+    case logic::Term::Kind::kConstant:
+      return ValueToken(term.value());
+    case logic::Term::Kind::kFunction:
+      return term.ToString();  // not parseable back; FO mappings only
+  }
+  return "?";
+}
+
+std::string AtomToText(const logic::Atom& atom) {
+  std::string out = "(" + atom.relation;
+  for (const logic::Term& t : atom.terms) out += " " + TermToken(t);
+  out += ")";
+  return out;
+}
+
+// A term from an s-expression atom: literals become constants, identifier
+// tokens become variables.
+Result<logic::Term> TermFromNode(const Node& node) {
+  if (!node.is_atom) return NodeError(node, "expected a term");
+  const std::string& t = node.atom;
+  if (t.empty()) return NodeError(node, "empty term");
+  bool identifier = true;
+  for (char c : t) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' &&
+        c != '$') {
+      identifier = false;
+      break;
+    }
+  }
+  // Literal forms win; "null", "N7", numbers etc. parse as constants even
+  // though they are identifier-shaped, so variables should avoid those
+  // spellings.
+  Result<Value> value = ParseValue(node);
+  if (value.ok()) return logic::Term::Const(std::move(*value));
+  if (identifier && !std::isdigit(static_cast<unsigned char>(t[0]))) {
+    return logic::Term::Var(t);
+  }
+  return value.status();
+}
+
+Result<logic::Atom> AtomFromNode(const Node& node) {
+  if (node.is_atom || node.items.empty() || !node.items[0].is_atom) {
+    return NodeError(node, "expected an atom (Relation term ...)");
+  }
+  logic::Atom atom;
+  atom.relation = node.items[0].atom;
+  for (std::size_t i = 1; i < node.items.size(); ++i) {
+    MM2_ASSIGN_OR_RETURN(logic::Term term, TermFromNode(node.items[i]));
+    atom.terms.push_back(std::move(term));
+  }
+  return atom;
+}
+
+Result<std::vector<logic::Atom>> AtomListFromNode(const Node& node,
+                                                  const char* head) {
+  if (!IsList(node, head)) {
+    return NodeError(node, std::string("expected (") + head + " ...)");
+  }
+  std::vector<logic::Atom> atoms;
+  for (std::size_t i = 1; i < node.items.size(); ++i) {
+    MM2_ASSIGN_OR_RETURN(logic::Atom atom, AtomFromNode(node.items[i]));
+    atoms.push_back(std::move(atom));
+  }
+  return atoms;
+}
+
+}  // namespace
+
+std::string MappingToText(const logic::Mapping& mapping) {
+  std::string out = "(mapping " + mapping.name() + "\n";
+  out += "  (source " + SchemaToText(mapping.source()) + "  )\n";
+  out += "  (target " + SchemaToText(mapping.target()) + "  )\n";
+  if (!mapping.is_second_order()) {
+    for (const logic::Tgd& tgd : mapping.tgds()) {
+      out += "  (tgd (body";
+      for (const logic::Atom& a : tgd.body) out += " " + AtomToText(a);
+      out += ") (head";
+      for (const logic::Atom& a : tgd.head) out += " " + AtomToText(a);
+      out += "))\n";
+    }
+  }
+  for (const logic::Egd& egd : mapping.target_egds()) {
+    out += "  (egd (body";
+    for (const logic::Atom& a : egd.body) out += " " + AtomToText(a);
+    out += ") (eq " + egd.left + " " + egd.right + "))\n";
+  }
+  out += ")\n";
+  return out;
+}
+
+Result<logic::Mapping> ParseMapping(std::string_view text) {
+  Parser parser(text);
+  MM2_ASSIGN_OR_RETURN(Node root, parser.ParseOne());
+  if (!IsList(root, "mapping") || root.items.size() < 2 ||
+      !root.items[1].is_atom) {
+    return NodeError(root, "expected (mapping NAME ...)");
+  }
+  std::optional<Schema> source;
+  std::optional<Schema> target;
+  std::vector<logic::Tgd> tgds;
+  std::vector<logic::Egd> egds;
+  for (std::size_t i = 2; i < root.items.size(); ++i) {
+    const Node& item = root.items[i];
+    if (IsList(item, "source") || IsList(item, "target")) {
+      if (item.items.size() != 2) {
+        return NodeError(item, "expected (source|target (schema ...))");
+      }
+      MM2_ASSIGN_OR_RETURN(Schema schema, SchemaFromNode(item.items[1]));
+      if (IsList(item, "source")) {
+        source = std::move(schema);
+      } else {
+        target = std::move(schema);
+      }
+    } else if (IsList(item, "tgd")) {
+      if (item.items.size() != 3) {
+        return NodeError(item, "expected (tgd (body ...) (head ...))");
+      }
+      logic::Tgd tgd;
+      MM2_ASSIGN_OR_RETURN(tgd.body,
+                           AtomListFromNode(item.items[1], "body"));
+      MM2_ASSIGN_OR_RETURN(tgd.head,
+                           AtomListFromNode(item.items[2], "head"));
+      tgds.push_back(std::move(tgd));
+    } else if (IsList(item, "egd")) {
+      if (item.items.size() != 3 || !IsList(item.items[2], "eq") ||
+          item.items[2].items.size() != 3 ||
+          !item.items[2].items[1].is_atom ||
+          !item.items[2].items[2].is_atom) {
+        return NodeError(item, "expected (egd (body ...) (eq a b))");
+      }
+      logic::Egd egd;
+      MM2_ASSIGN_OR_RETURN(egd.body,
+                           AtomListFromNode(item.items[1], "body"));
+      egd.left = item.items[2].items[1].atom;
+      egd.right = item.items[2].items[2].atom;
+      egds.push_back(std::move(egd));
+    } else {
+      return NodeError(item, "unexpected mapping clause");
+    }
+  }
+  if (!source.has_value() || !target.has_value()) {
+    return NodeError(root, "mapping needs (source ...) and (target ...)");
+  }
+  logic::Mapping mapping = logic::Mapping::FromTgds(
+      root.items[1].atom, std::move(*source), std::move(*target),
+      std::move(tgds), std::move(egds));
+  MM2_RETURN_IF_ERROR(mapping.Validate());
+  return mapping;
+}
+
+}  // namespace mm2::text

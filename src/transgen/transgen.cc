@@ -1,0 +1,365 @@
+#include "transgen/transgen.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+#include "instance/value.h"
+
+namespace mm2::transgen {
+
+using algebra::Col;
+using algebra::Expr;
+using algebra::ExprRef;
+using algebra::Lit;
+using algebra::NamedExpr;
+using algebra::Scalar;
+using algebra::ScalarRef;
+using instance::Instance;
+using instance::Value;
+using modelgen::MappingFragment;
+
+std::string CompiledViews::ToString() const {
+  std::string out = "-- query view for " + entity_set + ":\n";
+  out += query_view->ToSql() + "\n";
+  for (const auto& [table, view] : update_views) {
+    out += "-- update view for " + table + ":\n" + view->ToSql() + "\n";
+  }
+  return out;
+}
+
+namespace {
+
+// Qualified output column for fragment index i and entity attribute a.
+std::string FragCol(std::size_t i, const std::string& attr) {
+  return "f" + std::to_string(i) + "_" + attr;
+}
+std::string FragFlag(std::size_t i) {
+  return "f" + std::to_string(i) + "__present";
+}
+
+// Sub-expression reading fragment i's table: selects its discriminator
+// rows (if any), renames mapped columns to fragment-qualified names, and
+// adds a constant presence flag.
+ExprRef FragmentExpr(std::size_t i, const MappingFragment& f) {
+  ExprRef expr = Expr::Scan(f.table);
+  if (!f.discriminator_column.empty()) {
+    std::vector<Value> values;
+    for (const std::string& t : f.types) values.push_back(Value::String(t));
+    expr = Expr::Select(
+        expr, Scalar::In(Col(f.discriminator_column), std::move(values)));
+  }
+  std::vector<NamedExpr> projections;
+  for (const auto& [attr, col] : f.attribute_map) {
+    projections.push_back({FragCol(i, attr), Col(col)});
+  }
+  projections.push_back({FragFlag(i), Lit(Value::Bool(true))});
+  return Expr::Project(expr, std::move(projections));
+}
+
+// Union-find over fragment indices, merged when fragments share a type.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    for (std::size_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+  std::size_t Find(std::size_t x) {
+    while (parent_[x] != x) x = parent_[x] = parent_[parent_[x]];
+    return x;
+  }
+  void Union(std::size_t a, std::size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+Result<CompiledViews> CompileFragments(
+    const model::Schema& er, const std::string& entity_set,
+    const model::Schema& relational,
+    const std::vector<MappingFragment>& fragments, TransGenStats* stats) {
+  TransGenStats local;
+  TransGenStats* s = stats != nullptr ? stats : &local;
+  *s = TransGenStats();
+
+  const model::EntitySet* set = er.FindEntitySet(entity_set);
+  if (set == nullptr) {
+    return Status::NotFound("entity set '" + entity_set + "' not in schema '" +
+                            er.name() + "'");
+  }
+  MM2_ASSIGN_OR_RETURN(instance::EntitySetLayout layout,
+                       instance::ComputeEntitySetLayout(er, *set));
+  if (layout.columns.empty()) {
+    return Status::InvalidArgument("entity set '" + entity_set +
+                                   "' has no attributes");
+  }
+  const std::string key = layout.columns.front();
+
+  std::vector<const MappingFragment*> frags;
+  for (const MappingFragment& f : fragments) {
+    if (f.entity_set == entity_set) frags.push_back(&f);
+  }
+  if (frags.empty()) {
+    return Status::InvalidArgument("no fragments for entity set '" +
+                                   entity_set + "'");
+  }
+  for (const MappingFragment* f : frags) {
+    if (relational.FindRelation(f->table) == nullptr) {
+      return Status::NotFound("fragment table '" + f->table +
+                              "' not in relational schema");
+    }
+    bool maps_key = false;
+    for (const auto& [attr, col] : f->attribute_map) {
+      if (attr == key) maps_key = true;
+    }
+    if (!maps_key) {
+      return Status::Unsupported("fragment over '" + f->table +
+                                 "' does not map the entity key '" + key +
+                                 "'");
+    }
+  }
+
+  // Group fragments into components by shared types.
+  UnionFind uf(frags.size());
+  for (std::size_t i = 0; i < frags.size(); ++i) {
+    for (std::size_t j = i + 1; j < frags.size(); ++j) {
+      for (const std::string& t : frags[i]->types) {
+        if (std::find(frags[j]->types.begin(), frags[j]->types.end(), t) !=
+            frags[j]->types.end()) {
+          uf.Union(i, j);
+          break;
+        }
+      }
+    }
+  }
+  std::map<std::size_t, std::vector<std::size_t>> components;
+  for (std::size_t i = 0; i < frags.size(); ++i) {
+    components[uf.Find(i)].push_back(i);
+  }
+
+  std::vector<ExprRef> branches;
+  for (auto& [root, member_ids] : components) {
+    ++s->components;
+    // Types covered by the component.
+    std::set<std::string> types;
+    for (std::size_t i : member_ids) {
+      types.insert(frags[i]->types.begin(), frags[i]->types.end());
+    }
+    // Anchor: a fragment covering every type of the component.
+    std::size_t anchor = static_cast<std::size_t>(-1);
+    for (std::size_t i : member_ids) {
+      if (frags[i]->types.size() == types.size()) anchor = i;
+    }
+    if (anchor == static_cast<std::size_t>(-1)) {
+      return Status::Unsupported(
+          "no anchor fragment covers all types {" +
+          Join(std::vector<std::string>(types.begin(), types.end()), ", ") +
+          "}; horizontal partitioning within a hierarchy branch is outside "
+          "the supported fragment language");
+    }
+
+    // Anchor LEFT OUTER JOIN the other fragments on the entity key.
+    ExprRef expr = FragmentExpr(anchor, *frags[anchor]);
+    std::vector<std::size_t> others;
+    for (std::size_t i : member_ids) {
+      if (i != anchor) others.push_back(i);
+    }
+    for (std::size_t i : others) {
+      expr = Expr::Join(expr, FragmentExpr(i, *frags[i]),
+                        Expr::JoinKind::kLeftOuter,
+                        {{FragCol(anchor, key), FragCol(i, key)}});
+      ++s->outer_joins;
+    }
+
+    // Presence predicates (the _from flags of Fig. 3): the anchor is
+    // always present; others are present when their flag survived the
+    // outer join.
+    auto present = [&](std::size_t i) -> ScalarRef {
+      if (i == anchor) return Lit(Value::Bool(true));
+      return Scalar::Not(Scalar::IsNull(Col(FragFlag(i))));
+    };
+
+    // Type dispatch: single-fragment single-type components short-circuit
+    // to a constant; otherwise a CASE over the full flag pattern, most
+    // informative (largest) patterns first.
+    ScalarRef type_expr;
+    if (member_ids.size() == 1 && frags[anchor]->types.size() == 1) {
+      type_expr = Lit(Value::String(frags[anchor]->types.front()));
+    } else if (member_ids.size() == 1 &&
+               !frags[anchor]->discriminator_column.empty()) {
+      return Status::Unsupported(
+          "multi-type discriminated fragment needs the discriminator "
+          "mapped as an attribute");
+    } else {
+      std::vector<std::pair<std::string, std::vector<std::size_t>>> patterns;
+      for (const std::string& type : types) {
+        std::vector<std::size_t> covering;
+        for (std::size_t i : member_ids) {
+          if (std::find(frags[i]->types.begin(), frags[i]->types.end(),
+                        type) != frags[i]->types.end()) {
+            covering.push_back(i);
+          }
+        }
+        patterns.push_back({type, std::move(covering)});
+      }
+      // Distinct flag patterns are required for an unambiguous reading.
+      std::set<std::vector<std::size_t>> seen;
+      for (const auto& [type, covering] : patterns) {
+        if (!seen.insert(covering).second) {
+          return Status::Unsupported(
+              "types share an identical fragment pattern; cannot "
+              "distinguish them in the query view");
+        }
+      }
+      std::vector<Scalar::CaseBranch> case_branches;
+      for (const auto& [type, covering] : patterns) {
+        std::vector<ScalarRef> conjuncts;
+        for (std::size_t i : member_ids) {
+          bool in_pattern = std::find(covering.begin(), covering.end(), i) !=
+                            covering.end();
+          conjuncts.push_back(in_pattern ? present(i)
+                                         : Scalar::Not(present(i)));
+        }
+        case_branches.push_back(
+            {Scalar::And(std::move(conjuncts)), Lit(Value::String(type))});
+        ++s->case_branches;
+      }
+      type_expr = Scalar::Case(std::move(case_branches), Lit(Value::Null()));
+    }
+
+    // Output projection: $type + every layout column. A column mapped by
+    // the anchor is read from it (the anchor row always exists — Fig. 3
+    // takes Id and Name from T1/HR); otherwise it comes from the most
+    // specific fragment mapping it, where outer-join NULL padding is
+    // exactly the desired value for uncovered types.
+    std::vector<NamedExpr> out;
+    out.push_back({algebra::kTypeColumn, type_expr});
+    for (const std::string& col : layout.columns) {
+      std::size_t best = static_cast<std::size_t>(-1);
+      for (std::size_t i : member_ids) {
+        bool maps = false;
+        for (const auto& [attr, c] : frags[i]->attribute_map) {
+          if (attr == col) maps = true;
+        }
+        if (!maps) continue;
+        if (i == anchor) {
+          best = i;
+          break;
+        }
+        if (best == static_cast<std::size_t>(-1) ||
+            frags[i]->types.size() < frags[best]->types.size()) {
+          best = i;
+        }
+      }
+      if (best == static_cast<std::size_t>(-1)) {
+        out.push_back({col, Lit(Value::Null())});
+      } else {
+        out.push_back({col, Col(FragCol(best, col))});
+      }
+    }
+    branches.push_back(Expr::Project(std::move(expr), std::move(out)));
+  }
+
+  CompiledViews views;
+  views.entity_set = entity_set;
+  views.query_view = branches.size() == 1
+                         ? branches.front()
+                         : Expr::Union(std::move(branches));
+  s->query_view_nodes = views.query_view->NodeCount();
+
+  // Update views: per table, UNION ALL over the fragments stored in it.
+  std::map<std::string, std::vector<const MappingFragment*>> frags_of_table;
+  for (const MappingFragment* f : frags) {
+    frags_of_table[f->table].push_back(f);
+  }
+  for (const auto& [table, table_frags] : frags_of_table) {
+    const model::Relation* rel = relational.FindRelation(table);
+    std::vector<ExprRef> parts;
+    for (const MappingFragment* f : table_frags) {
+      std::vector<Value> type_values;
+      for (const std::string& t : f->types) {
+        type_values.push_back(Value::String(t));
+      }
+      ExprRef part = Expr::Select(
+          Expr::Scan(entity_set),
+          Scalar::In(Col(algebra::kTypeColumn), std::move(type_values)));
+      std::vector<NamedExpr> cols;
+      for (const model::Attribute& a : rel->attributes()) {
+        if (a.name == f->discriminator_column) {
+          cols.push_back({a.name, Col(algebra::kTypeColumn)});
+          continue;
+        }
+        const std::string* entity_attr = nullptr;
+        for (const auto& [attr, c] : f->attribute_map) {
+          if (c == a.name) entity_attr = &attr;
+        }
+        if (entity_attr != nullptr) {
+          cols.push_back({a.name, Col(*entity_attr)});
+        } else {
+          cols.push_back({a.name, Lit(Value::Null())});
+        }
+      }
+      parts.push_back(Expr::Project(std::move(part), std::move(cols)));
+    }
+    ExprRef view =
+        parts.size() == 1 ? parts.front() : Expr::Union(std::move(parts));
+    views.update_views[table] = Expr::Distinct(std::move(view));
+  }
+  return views;
+}
+
+namespace {
+
+Result<algebra::Catalog> CombinedCatalog(const model::Schema& er,
+                                         const model::Schema& relational) {
+  MM2_ASSIGN_OR_RETURN(algebra::Catalog cat, algebra::Catalog::FromSchema(er));
+  MM2_ASSIGN_OR_RETURN(algebra::Catalog rel_cat,
+                       algebra::Catalog::FromSchema(relational));
+  cat.Merge(rel_cat);
+  return cat;
+}
+
+}  // namespace
+
+Status ApplyUpdateViews(const CompiledViews& views, const model::Schema& er,
+                        const model::Schema& relational,
+                        const Instance& entities, Instance* tables_out) {
+  MM2_ASSIGN_OR_RETURN(algebra::Catalog cat, CombinedCatalog(er, relational));
+  for (const auto& [table, view] : views.update_views) {
+    MM2_ASSIGN_OR_RETURN(algebra::Table result,
+                         algebra::Evaluate(*view, cat, entities));
+    algebra::Materialize(result, table, tables_out);
+  }
+  return Status::OK();
+}
+
+Status ApplyQueryView(const CompiledViews& views, const model::Schema& er,
+                      const model::Schema& relational, const Instance& tables,
+                      Instance* entities_out) {
+  MM2_ASSIGN_OR_RETURN(algebra::Catalog cat, CombinedCatalog(er, relational));
+  MM2_ASSIGN_OR_RETURN(algebra::Table result,
+                       algebra::Evaluate(*views.query_view, cat, tables));
+  algebra::Materialize(result, views.entity_set, entities_out);
+  return Status::OK();
+}
+
+Result<bool> VerifyRoundtrip(const CompiledViews& views,
+                             const model::Schema& er,
+                             const model::Schema& relational,
+                             const Instance& entities) {
+  Instance tables;
+  MM2_RETURN_IF_ERROR(
+      ApplyUpdateViews(views, er, relational, entities, &tables));
+  Instance back;
+  MM2_RETURN_IF_ERROR(ApplyQueryView(views, er, relational, tables, &back));
+  const instance::RelationInstance* original =
+      entities.Find(views.entity_set);
+  const instance::RelationInstance* recovered = back.Find(views.entity_set);
+  if (original == nullptr || recovered == nullptr) {
+    return original == recovered;
+  }
+  return original->tuples() == recovered->tuples();
+}
+
+}  // namespace mm2::transgen

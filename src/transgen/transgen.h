@@ -1,0 +1,79 @@
+#ifndef MM2_TRANSGEN_TRANSGEN_H_
+#define MM2_TRANSGEN_TRANSGEN_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "algebra/eval.h"
+#include "algebra/expr.h"
+#include "common/result.h"
+#include "instance/instance.h"
+#include "model/schema.h"
+#include "modelgen/modelgen.h"
+
+namespace mm2::transgen {
+
+// The executable transformations TransGen produces from declarative
+// mapping fragments (paper Section 4, after ADO.NET):
+//  - the *query view* expresses the entity set as a function of the tables
+//    (Fig. 3's CASE/UNION query: left-outer-join the fragment tables on
+//    the entity key, compute _from flags, pick the concrete type by flag
+//    pattern);
+//  - one *update view* per table expresses that table as a function of the
+//    entity set, used to translate entity updates into table updates.
+// Roundtripping (update views then query view == identity on entities) is
+// the losslessness criterion; VerifyRoundtrip checks it on data.
+struct CompiledViews {
+  std::string entity_set;
+  // Output columns: $type followed by the entity-set layout columns.
+  algebra::ExprRef query_view;
+  // table name -> expression over the entity-set relation producing it.
+  std::map<std::string, algebra::ExprRef> update_views;
+
+  // Human-readable dump (algebra + SQL), reproducing Fig. 3's listing.
+  std::string ToString() const;
+};
+
+struct TransGenStats {
+  std::size_t components = 0;       // union branches in the query view
+  std::size_t outer_joins = 0;      // LOJ count (Fig. 3 has 1)
+  std::size_t case_branches = 0;    // type-dispatch branches
+  std::size_t query_view_nodes = 0; // operator count of the query view
+};
+
+// Compiles the fragments describing `entity_set` into executable views.
+// Unsupported fragment shapes (a component with no covering anchor
+// fragment, or a fragment that does not map the entity key) are reported
+// as Status::Unsupported — the tractability compromise Section 2 warns
+// about, surfaced honestly.
+Result<CompiledViews> CompileFragments(
+    const model::Schema& er, const std::string& entity_set,
+    const model::Schema& relational,
+    const std::vector<modelgen::MappingFragment>& fragments,
+    TransGenStats* stats = nullptr);
+
+// Applies the update views to an entity instance, materializing the
+// relational tables into `tables_out` (declared/overwritten).
+Status ApplyUpdateViews(const CompiledViews& views, const model::Schema& er,
+                        const model::Schema& relational,
+                        const instance::Instance& entities,
+                        instance::Instance* tables_out);
+
+// Evaluates the query view over a relational instance, materializing the
+// entity-set relation into `entities_out`.
+Status ApplyQueryView(const CompiledViews& views, const model::Schema& er,
+                      const model::Schema& relational,
+                      const instance::Instance& tables,
+                      instance::Instance* entities_out);
+
+// Checks roundtripping: entities --update views--> tables --query view-->
+// entities' and verifies entities' == entities (set semantics).
+Result<bool> VerifyRoundtrip(const CompiledViews& views,
+                             const model::Schema& er,
+                             const model::Schema& relational,
+                             const instance::Instance& entities);
+
+}  // namespace mm2::transgen
+
+#endif  // MM2_TRANSGEN_TRANSGEN_H_

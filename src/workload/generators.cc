@@ -1,0 +1,447 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+#include "common/strings.h"
+#include "logic/formula.h"
+
+namespace mm2::workload {
+
+using instance::Instance;
+using instance::Tuple;
+using instance::Value;
+using logic::Atom;
+using logic::Mapping;
+using logic::Term;
+using logic::Tgd;
+using model::DataType;
+using model::Metamodel;
+using model::Schema;
+
+std::uint64_t Rng::Next() {
+  state_ ^= state_ << 13;
+  state_ ^= state_ >> 7;
+  state_ ^= state_ << 17;
+  return state_;
+}
+
+std::size_t Rng::Uniform(std::size_t n) {
+  return n == 0 ? 0 : static_cast<std::size_t>(Next() % n);
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(Next() >> 11) /
+         static_cast<double>(1ULL << 53);
+}
+
+namespace {
+
+const char* kWords[] = {"customer", "order",   "invoice", "product",
+                        "shipment", "account", "region",  "employee",
+                        "supplier", "payment", "address", "contact",
+                        "category", "price",   "status",  "date"};
+constexpr std::size_t kWordCount = sizeof(kWords) / sizeof(kWords[0]);
+
+std::string RandomName(Rng* rng, std::size_t salt) {
+  std::string a = kWords[rng->Uniform(kWordCount)];
+  std::string b = kWords[rng->Uniform(kWordCount)];
+  a[0] = static_cast<char>(a[0] - 'a' + 'A');
+  b[0] = static_cast<char>(b[0] - 'a' + 'A');
+  return a + b + std::to_string(salt);
+}
+
+model::DataTypeRef RandomType(Rng* rng) {
+  switch (rng->Uniform(4)) {
+    case 0:
+      return DataType::Int64();
+    case 1:
+      return DataType::Double();
+    case 2:
+      return DataType::Date();
+    default:
+      return DataType::String();
+  }
+}
+
+Value RandomValueOf(const model::DataTypeRef& type, Rng* rng) {
+  if (!type->is_primitive()) return Value::Null();
+  switch (type->primitive()) {
+    case model::PrimitiveType::kInt64:
+      return Value::Int64(static_cast<std::int64_t>(rng->Uniform(1000000)));
+    case model::PrimitiveType::kDouble:
+      return Value::Double(rng->UniformDouble() * 1000.0);
+    case model::PrimitiveType::kBool:
+      return Value::Bool(rng->Chance(0.5));
+    case model::PrimitiveType::kDate:
+      return Value::Date(static_cast<std::int64_t>(rng->Uniform(20000)));
+    case model::PrimitiveType::kString:
+      return Value::String(std::string(kWords[rng->Uniform(kWordCount)]) +
+                           std::to_string(rng->Uniform(10000)));
+  }
+  return Value::Null();
+}
+
+}  // namespace
+
+Schema RandomRelationalSchema(const std::string& name, std::size_t relations,
+                              std::size_t max_attrs, Rng* rng) {
+  Schema schema(name, Metamodel::kRelational);
+  for (std::size_t r = 0; r < relations; ++r) {
+    std::vector<model::Attribute> attrs;
+    attrs.push_back({"Id", DataType::Int64(), false});
+    std::size_t extra =
+        1 + rng->Uniform(max_attrs > 1 ? max_attrs - 1 : 1);
+    std::set<std::string> names = {"Id"};
+    for (std::size_t a = 0; a < extra; ++a) {
+      std::string attr_name = RandomName(rng, a);
+      if (!names.insert(attr_name).second) continue;
+      attrs.push_back({attr_name, RandomType(rng), rng->Chance(0.2)});
+    }
+    schema.AddRelation(
+        model::Relation(RandomName(rng, r) + "_R", std::move(attrs), {0}));
+  }
+  return schema;
+}
+
+Instance RandomInstance(const Schema& schema, std::size_t rows, Rng* rng) {
+  Instance db = Instance::EmptyFor(schema);
+  for (const model::Relation& r : schema.relations()) {
+    for (std::size_t i = 0; i < rows; ++i) {
+      Tuple t;
+      t.reserve(r.arity());
+      for (std::size_t a = 0; a < r.arity(); ++a) {
+        if (r.IsKeyAttribute(a)) {
+          t.push_back(Value::Int64(static_cast<std::int64_t>(i)));
+        } else {
+          t.push_back(RandomValueOf(r.attribute(a).type, rng));
+        }
+      }
+      db.InsertUnchecked(r.name(), std::move(t));
+    }
+  }
+  return db;
+}
+
+SnowflakePair MakeSnowflakePair(std::size_t dims, std::size_t attrs_per_dim) {
+  SnowflakePair pair;
+  pair.source = Schema("SnowSrc", Metamodel::kRelational);
+  pair.target = Schema("SnowTgt", Metamodel::kRelational);
+  pair.source_root = "Fact";
+  pair.target_root = "FactT";
+
+  // Source root: key + one FK per dimension. Target root: a flat universal
+  // relation holding the key and every dimension attribute (the Fig. 4
+  // Staff shape).
+  std::vector<model::Attribute> src_root_attrs = {
+      {"FactId", DataType::Int64(), false}};
+  std::vector<model::Attribute> tgt_root_attrs = {
+      {"RowId", DataType::Int64(), false}};
+  for (std::size_t d = 0; d < dims; ++d) {
+    src_root_attrs.push_back(
+        {"D" + std::to_string(d) + "Ref", DataType::Int64(), false});
+  }
+  pair.correspondences.push_back(
+      {{pair.source_root, "FactId"}, {pair.target_root, "RowId"}, 1.0});
+
+  for (std::size_t d = 0; d < dims; ++d) {
+    std::vector<model::Attribute> dim_attrs = {
+        {"DimId", DataType::Int64(), false}};
+    for (std::size_t a = 0; a < attrs_per_dim; ++a) {
+      std::string attr = "D" + std::to_string(d) + "A" + std::to_string(a);
+      dim_attrs.push_back({attr, DataType::String(), false});
+      tgt_root_attrs.push_back({attr + "_t", DataType::String(), false});
+      pair.correspondences.push_back(
+          {{"Dim" + std::to_string(d), attr},
+           {pair.target_root, attr + "_t"},
+           1.0});
+    }
+    pair.source.AddRelation(model::Relation("Dim" + std::to_string(d),
+                                            std::move(dim_attrs), {0}));
+  }
+  pair.source.AddRelation(
+      model::Relation(pair.source_root, std::move(src_root_attrs), {0}));
+  for (std::size_t d = 0; d < dims; ++d) {
+    pair.source.AddForeignKey(model::ForeignKey{
+        pair.source_root,
+        {"D" + std::to_string(d) + "Ref"},
+        "Dim" + std::to_string(d),
+        {"DimId"}});
+  }
+  pair.target.AddRelation(
+      model::Relation(pair.target_root, std::move(tgt_root_attrs), {0}));
+  return pair;
+}
+
+Instance MakeSnowflakeInstance(const SnowflakePair& pair, std::size_t facts,
+                               Rng* rng) {
+  Instance db = Instance::EmptyFor(pair.source);
+  std::size_t dims = pair.source.relations().size() - 1;
+  std::size_t dim_rows = std::max<std::size_t>(1, facts / 4);
+  for (std::size_t d = 0; d < dims; ++d) {
+    const model::Relation* dim =
+        pair.source.FindRelation("Dim" + std::to_string(d));
+    for (std::size_t i = 0; i < dim_rows; ++i) {
+      Tuple t = {Value::Int64(static_cast<std::int64_t>(i))};
+      for (std::size_t a = 1; a < dim->arity(); ++a) {
+        t.push_back(RandomValueOf(dim->attribute(a).type, rng));
+      }
+      db.InsertUnchecked(dim->name(), std::move(t));
+    }
+  }
+  for (std::size_t i = 0; i < facts; ++i) {
+    Tuple t = {Value::Int64(static_cast<std::int64_t>(i))};
+    for (std::size_t d = 0; d < dims; ++d) {
+      t.push_back(Value::Int64(static_cast<std::int64_t>(
+          rng->Uniform(dim_rows))));
+    }
+    db.InsertUnchecked(pair.source_root, std::move(t));
+  }
+  return db;
+}
+
+Schema MakeHierarchy(std::size_t depth, std::size_t fanout,
+                     std::size_t attrs_per_type) {
+  Schema er("Hier", Metamodel::kEntityRelationship);
+  std::size_t counter = 0;
+  // Root.
+  std::vector<model::Attribute> root_attrs = {
+      {"Id", DataType::Int64(), false}};
+  for (std::size_t a = 1; a < attrs_per_type; ++a) {
+    root_attrs.push_back(
+        {"T0A" + std::to_string(a), DataType::String(), false});
+  }
+  er.AddEntityType(model::EntityType{"T0", "", std::move(root_attrs), false});
+  std::vector<std::string> frontier = {"T0"};
+  ++counter;
+  for (std::size_t level = 0; level < depth; ++level) {
+    std::vector<std::string> next;
+    for (const std::string& parent : frontier) {
+      for (std::size_t f = 0; f < fanout; ++f) {
+        std::string name = "T" + std::to_string(counter++);
+        std::vector<model::Attribute> attrs;
+        for (std::size_t a = 0; a < attrs_per_type; ++a) {
+          attrs.push_back(
+              {name + "A" + std::to_string(a), DataType::String(), false});
+        }
+        er.AddEntityType(
+            model::EntityType{name, parent, std::move(attrs), false});
+        next.push_back(name);
+      }
+    }
+    frontier = std::move(next);
+  }
+  er.AddEntitySet(model::EntitySet{"Objects", "T0"});
+  return er;
+}
+
+Instance MakeHierarchyInstance(const Schema& er, std::size_t rows_per_type,
+                               Rng* rng) {
+  Instance db = Instance::EmptyFor(er);
+  const model::EntitySet* set = er.FindEntitySet("Objects");
+  auto layout = instance::ComputeEntitySetLayout(er, *set);
+  assert(layout.ok());
+  std::int64_t id = 0;
+  for (const std::string& type : er.SubtypeClosure(set->root_type)) {
+    if (er.FindEntityType(type)->abstract) continue;
+    auto attrs = er.AllAttributesOf(type);
+    assert(attrs.ok());
+    for (std::size_t i = 0; i < rows_per_type; ++i) {
+      std::vector<Value> values;
+      values.push_back(Value::Int64(id++));
+      for (std::size_t a = 1; a < attrs->size(); ++a) {
+        values.push_back(RandomValueOf((*attrs)[a].type, rng));
+      }
+      auto tuple = instance::MakeEntityTuple(*layout, er, type, values);
+      assert(tuple.ok());
+      db.InsertUnchecked("Objects", std::move(*tuple));
+    }
+  }
+  return db;
+}
+
+EvolutionChain MakeEvolutionChain(std::size_t length, std::size_t attrs) {
+  assert(attrs >= 2);
+  EvolutionChain chain;
+
+  auto make_schema = [&](std::size_t version) {
+    Schema s("S" + std::to_string(version), Metamodel::kRelational);
+    std::string suffix = "_v" + std::to_string(version);
+    if (version == 0) {
+      std::vector<model::Attribute> all = {{"Id", DataType::Int64(), false}};
+      for (std::size_t a = 1; a < attrs; ++a) {
+        all.push_back({"A" + std::to_string(a), DataType::String(), false});
+      }
+      s.AddRelation(model::Relation("Data" + suffix, std::move(all), {0}));
+    } else {
+      // Split: first half in Left, second half in Right (both keyed).
+      std::size_t half = attrs / 2;
+      std::vector<model::Attribute> left = {{"Id", DataType::Int64(), false}};
+      std::vector<model::Attribute> right = {{"Id", DataType::Int64(), false}};
+      for (std::size_t a = 1; a < attrs; ++a) {
+        model::Attribute attr = {"A" + std::to_string(a), DataType::String(),
+                                 false};
+        if (a <= half) {
+          left.push_back(attr);
+        } else {
+          right.push_back(attr);
+        }
+      }
+      s.AddRelation(model::Relation("Left" + suffix, std::move(left), {0}));
+      s.AddRelation(model::Relation("Right" + suffix, std::move(right), {0}));
+    }
+    return s;
+  };
+
+  chain.schemas.push_back(make_schema(0));
+  for (std::size_t step = 0; step < length; ++step) {
+    chain.schemas.push_back(make_schema(step + 1));
+    const Schema& from = chain.schemas[step];
+    const Schema& to = chain.schemas[step + 1];
+    std::vector<Tgd> tgds;
+    // Build per-attribute variable lists once.
+    auto var_of = [&](const std::string& attr) {
+      return Term::Var("v_" + attr);
+    };
+    auto atom_for = [&](const Schema& schema, const model::Relation& r) {
+      Atom atom;
+      atom.relation = r.name();
+      (void)schema;
+      for (const model::Attribute& a : r.attributes()) {
+        atom.terms.push_back(var_of(a.name));
+      }
+      return atom;
+    };
+    if (step == 0) {
+      // Data_v0 -> Left_v1 & Right_v1.
+      Tgd tgd;
+      tgd.body = {atom_for(from, from.relations()[0])};
+      for (const model::Relation& r : to.relations()) {
+        tgd.head.push_back(atom_for(to, r));
+      }
+      tgds.push_back(std::move(tgd));
+    } else {
+      // Rename step: Left_vi -> Left_v(i+1), Right_vi -> Right_v(i+1).
+      for (std::size_t r = 0; r < from.relations().size(); ++r) {
+        Tgd tgd;
+        tgd.body = {atom_for(from, from.relations()[r])};
+        tgd.head = {atom_for(to, to.relations()[r])};
+        tgds.push_back(std::move(tgd));
+      }
+    }
+    chain.steps.push_back(Mapping::FromTgds(
+        "step" + std::to_string(step), from, to, std::move(tgds)));
+  }
+  return chain;
+}
+
+Instance MakeChainInstance(const EvolutionChain& chain, std::size_t rows,
+                           Rng* rng) {
+  return RandomInstance(chain.schemas.front(), rows, rng);
+}
+
+std::pair<Mapping, Mapping> MakeComposeBlowup(std::size_t producers,
+                                              std::size_t atoms) {
+  Schema s1("B1", Metamodel::kRelational);
+  std::vector<Tgd> produce;
+  for (std::size_t p = 0; p < producers; ++p) {
+    std::string rel = "R" + std::to_string(p);
+    s1.AddRelation(
+        model::Relation(rel, {{"a", DataType::String(), false}}));
+    Tgd tgd;
+    tgd.body = {Atom{rel, {Term::Var("x")}}};
+    tgd.head = {Atom{"T", {Term::Var("x")}}};
+    produce.push_back(std::move(tgd));
+  }
+  Schema s2("B2", Metamodel::kRelational);
+  s2.AddRelation(model::Relation("T", {{"a", DataType::String(), false}}));
+
+  std::vector<model::Attribute> u_attrs;
+  Tgd consume;
+  Atom u_head;
+  u_head.relation = "U";
+  for (std::size_t a = 0; a < atoms; ++a) {
+    std::string var = "x" + std::to_string(a);
+    consume.body.push_back(Atom{"T", {Term::Var(var)}});
+    u_head.terms.push_back(Term::Var(var));
+    u_attrs.push_back(
+        {"a" + std::to_string(a), DataType::String(), false});
+  }
+  consume.head = {std::move(u_head)};
+  Schema s3("B3", Metamodel::kRelational);
+  s3.AddRelation(model::Relation("U", std::move(u_attrs)));
+
+  Mapping m12 = Mapping::FromTgds("blowup12", s1, s2, std::move(produce));
+  Mapping m23 = Mapping::FromTgds("blowup23", s2, s3, {std::move(consume)});
+  return {std::move(m12), std::move(m23)};
+}
+
+std::pair<Mapping, Mapping> MakeComposeBenign(std::size_t width) {
+  Schema s1("C1", Metamodel::kRelational);
+  Schema s2("C2", Metamodel::kRelational);
+  Schema s3("C3", Metamodel::kRelational);
+  std::vector<Tgd> first;
+  std::vector<Tgd> second;
+  for (std::size_t i = 0; i < width; ++i) {
+    std::string a = "A" + std::to_string(i);
+    std::string b = "B" + std::to_string(i);
+    std::string c = "C" + std::to_string(i);
+    s1.AddRelation(model::Relation(a, {{"x", DataType::String(), false}}));
+    s2.AddRelation(model::Relation(b, {{"x", DataType::String(), false}}));
+    s3.AddRelation(model::Relation(c, {{"x", DataType::String(), false}}));
+    Tgd t1;
+    t1.body = {Atom{a, {Term::Var("x")}}};
+    t1.head = {Atom{b, {Term::Var("x")}}};
+    first.push_back(std::move(t1));
+    Tgd t2;
+    t2.body = {Atom{b, {Term::Var("x")}}};
+    t2.head = {Atom{c, {Term::Var("x")}}};
+    second.push_back(std::move(t2));
+  }
+  Mapping m12 = Mapping::FromTgds("benign12", s1, s2, std::move(first));
+  Mapping m23 = Mapping::FromTgds("benign23", s2, s3, std::move(second));
+  return {std::move(m12), std::move(m23)};
+}
+
+namespace {
+
+std::string Abbreviate(const std::string& name, Rng* rng) {
+  std::vector<std::string> tokens = TokenizeIdentifier(name);
+  std::string out;
+  for (std::string& token : tokens) {
+    if (token.size() > 4 && rng->Chance(0.5)) {
+      token = token.substr(0, 4);  // "employee" -> "empl"
+    }
+    token[0] = static_cast<char>(std::toupper(
+        static_cast<unsigned char>(token[0])));
+    out += token;
+  }
+  return out.empty() ? name : out;
+}
+
+}  // namespace
+
+PerturbedSchema PerturbNames(const Schema& original, Rng* rng) {
+  PerturbedSchema out;
+  out.schema = Schema(original.name() + "_p", original.metamodel());
+  std::set<std::string> taken;
+  for (const model::Relation& r : original.relations()) {
+    std::string new_rel = Abbreviate(r.name(), rng);
+    while (!taken.insert(new_rel).second) new_rel += "X";
+    std::vector<model::Attribute> attrs;
+    std::set<std::string> attr_taken;
+    for (const model::Attribute& a : r.attributes()) {
+      std::string new_attr = Abbreviate(a.name, rng);
+      while (!attr_taken.insert(new_attr).second) new_attr += "X";
+      attrs.push_back({new_attr, a.type, a.nullable});
+      out.reference.push_back(
+          {{r.name(), a.name}, {new_rel, new_attr}, 1.0});
+    }
+    out.schema.AddRelation(
+        model::Relation(new_rel, std::move(attrs), r.primary_key()));
+  }
+  return out;
+}
+
+}  // namespace mm2::workload

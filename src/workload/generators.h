@@ -1,0 +1,127 @@
+#ifndef MM2_WORKLOAD_GENERATORS_H_
+#define MM2_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "instance/instance.h"
+#include "logic/mapping.h"
+#include "match/matcher.h"
+#include "model/schema.h"
+
+namespace mm2::workload {
+
+// Deterministic xorshift RNG so every test/bench run is reproducible.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed == 0 ? 0x9e3779b9ULL : seed) {}
+
+  std::uint64_t Next();
+  // Uniform in [0, n).
+  std::size_t Uniform(std::size_t n);
+  double UniformDouble();  // [0, 1)
+  bool Chance(double p) { return UniformDouble() < p; }
+
+ private:
+  std::uint64_t state_;
+};
+
+// ---------------------------------------------------------------------------
+// Relational workloads
+// ---------------------------------------------------------------------------
+
+// A random relational schema: `relations` relations with 2..max_attrs
+// attributes each (first attribute is an int64 primary key).
+model::Schema RandomRelationalSchema(const std::string& name,
+                                     std::size_t relations,
+                                     std::size_t max_attrs, Rng* rng);
+
+// Fills every relation of `schema` with `rows` random tuples.
+instance::Instance RandomInstance(const model::Schema& schema,
+                                  std::size_t rows, Rng* rng);
+
+// ---------------------------------------------------------------------------
+// Snowflake pairs (experiment F4 / C3)
+// ---------------------------------------------------------------------------
+
+// A pair of snowflake schemas describing the same facts with renamed
+// elements, plus the reference correspondences between them. The source
+// root has `dims` dimension tables of `attrs_per_dim` attributes.
+struct SnowflakePair {
+  model::Schema source;
+  model::Schema target;
+  std::string source_root;
+  std::string target_root;
+  std::vector<match::Correspondence> correspondences;  // incl. root-root
+};
+SnowflakePair MakeSnowflakePair(std::size_t dims, std::size_t attrs_per_dim);
+
+// Instance for the *source* side of a snowflake pair.
+instance::Instance MakeSnowflakeInstance(const SnowflakePair& pair,
+                                         std::size_t facts, Rng* rng);
+
+// ---------------------------------------------------------------------------
+// Inheritance hierarchies (experiments F2/F3/C4/C9)
+// ---------------------------------------------------------------------------
+
+// An ER schema whose single entity set "Objects" roots a hierarchy of the
+// given depth and fanout; every type declares `attrs_per_type` attributes
+// (the root's first is the Int64 key). depth=1, fanout=2 reproduces the
+// Person/Employee/Customer shape of Fig. 2.
+model::Schema MakeHierarchy(std::size_t depth, std::size_t fanout,
+                            std::size_t attrs_per_type);
+
+// `rows_per_type` entities of every concrete type.
+instance::Instance MakeHierarchyInstance(const model::Schema& er,
+                                         std::size_t rows_per_type, Rng* rng);
+
+// ---------------------------------------------------------------------------
+// Evolution chains (experiment F5)
+// ---------------------------------------------------------------------------
+
+// A chain S0 => S1 => ... => Sn of schema evolution steps. Each step
+// renames the relation and re-partitions its non-key attributes into two
+// relations joined on the key (the Fig. 6 "split Addresses" move), so every
+// mapping is lossless and the chain composes to a first-order mapping.
+struct EvolutionChain {
+  std::vector<model::Schema> schemas;        // n+1 schemas
+  std::vector<logic::Mapping> steps;         // n mappings S_i => S_{i+1}
+};
+EvolutionChain MakeEvolutionChain(std::size_t length, std::size_t attrs);
+
+// Instance for schemas[0].
+instance::Instance MakeChainInstance(const EvolutionChain& chain,
+                                     std::size_t rows, Rng* rng);
+
+// ---------------------------------------------------------------------------
+// Composition blow-up family (experiment C1)
+// ---------------------------------------------------------------------------
+
+// The worst-case family for Compose: m12 has `producers` rules each
+// producing mid-relation T from a distinct source relation; m23's single
+// rule reads T `atoms` times. The composition enumerates
+// producers^atoms combinations. Returns {m12, m23}.
+std::pair<logic::Mapping, logic::Mapping> MakeComposeBlowup(
+    std::size_t producers, std::size_t atoms);
+
+// The benign family: a chain of single-rule copy mappings of the given
+// width; composition stays linear.
+std::pair<logic::Mapping, logic::Mapping> MakeComposeBenign(std::size_t width);
+
+// ---------------------------------------------------------------------------
+// Matcher workloads (experiment C3)
+// ---------------------------------------------------------------------------
+
+// A renamed copy of `schema` (abbreviations, case shuffling, synonyms)
+// plus the reference alignment original-element ~ renamed-element.
+struct PerturbedSchema {
+  model::Schema schema;
+  std::vector<match::Correspondence> reference;  // source = original
+};
+PerturbedSchema PerturbNames(const model::Schema& original, Rng* rng);
+
+}  // namespace mm2::workload
+
+#endif  // MM2_WORKLOAD_GENERATORS_H_

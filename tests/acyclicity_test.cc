@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "chase/chase.h"
+#include "logic/acyclicity.h"
+#include "workload/generators.h"
+
+namespace mm2::logic {
+namespace {
+
+using instance::Instance;
+using instance::Value;
+
+Term V(const char* name) { return Term::Var(name); }
+
+TEST(AcyclicityTest, FullTgdsAreAcyclic) {
+  // Transitivity has no existentials: no special edges, trivially WA.
+  Tgd trans;
+  trans.body = {Atom{"E", {V("x"), V("y")}}, Atom{"E", {V("y"), V("z")}}};
+  trans.head = {Atom{"E", {V("x"), V("z")}}};
+  AcyclicityReport report = CheckWeakAcyclicity({trans});
+  EXPECT_TRUE(report.weakly_acyclic) << report.ToString();
+}
+
+TEST(AcyclicityTest, SourceToTargetTgdsAreAcyclic) {
+  workload::EvolutionChain chain = workload::MakeEvolutionChain(3, 5);
+  for (const Mapping& step : chain.steps) {
+    EXPECT_TRUE(CheckWeakAcyclicity(step.tgds()).weakly_acyclic);
+  }
+}
+
+TEST(AcyclicityTest, RecursiveExistentialIsNotAcyclic) {
+  // E(x, y) -> exists z. E(y, z): the textbook non-terminating rule.
+  Tgd grow;
+  grow.body = {Atom{"E", {V("x"), V("y")}}};
+  grow.head = {Atom{"E", {V("y"), V("z")}}};
+  AcyclicityReport report = CheckWeakAcyclicity({grow});
+  EXPECT_FALSE(report.weakly_acyclic);
+  EXPECT_FALSE(report.cycle.empty());
+  EXPECT_NE(report.ToString().find("NOT weakly acyclic"), std::string::npos);
+}
+
+TEST(AcyclicityTest, CycleAcrossTwoRules) {
+  // R(x) -> exists y. S(x, y);  S(x, y) -> R(y): the invention feeds back.
+  Tgd r_to_s;
+  r_to_s.body = {Atom{"R", {V("x")}}};
+  r_to_s.head = {Atom{"S", {V("x"), V("y")}}};
+  Tgd s_to_r;
+  s_to_r.body = {Atom{"S", {V("x"), V("y")}}};
+  s_to_r.head = {Atom{"R", {V("y")}}};
+  EXPECT_FALSE(CheckWeakAcyclicity({r_to_s, s_to_r}).weakly_acyclic);
+  // Each rule alone is fine.
+  EXPECT_TRUE(CheckWeakAcyclicity({r_to_s}).weakly_acyclic);
+  EXPECT_TRUE(CheckWeakAcyclicity({s_to_r}).weakly_acyclic);
+}
+
+TEST(AcyclicityTest, InventionIntoDeadEndIsAcyclic) {
+  // R(x) -> exists y. Log(x, y): Log feeds nothing.
+  Tgd log_rule;
+  log_rule.body = {Atom{"R", {V("x")}}};
+  log_rule.head = {Atom{"Log", {V("x"), V("y")}}};
+  Tgd copy;
+  copy.body = {Atom{"R", {V("x")}}};
+  copy.head = {Atom{"T", {V("x")}}};
+  EXPECT_TRUE(CheckWeakAcyclicity({log_rule, copy}).weakly_acyclic);
+}
+
+TEST(AcyclicityTest, ChaseGuardRefusesCyclicRules) {
+  Tgd grow;
+  grow.body = {Atom{"E", {V("x"), V("y")}}};
+  grow.head = {Atom{"E", {V("y"), V("z")}}};
+  Instance db;
+  db.DeclareRelation("E", 2);
+  ASSERT_TRUE(db.Insert("E", {Value::Int64(1), Value::Int64(2)}).ok());
+
+  chase::ChaseOptions guarded;
+  guarded.require_weak_acyclicity = true;
+  auto refused = chase::ChaseInstance({grow}, {}, db, guarded);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kUnsupported);
+
+  // Without the guard the run is stopped by the round bound instead.
+  chase::ChaseOptions bounded;
+  bounded.max_rounds = 20;
+  auto runaway = chase::ChaseInstance({grow}, {}, db, bounded);
+  ASSERT_FALSE(runaway.ok());
+  EXPECT_EQ(runaway.status().code(), StatusCode::kInternal);
+}
+
+TEST(AcyclicityTest, ChaseGuardPassesAcyclicRules) {
+  Tgd trans;
+  trans.body = {Atom{"E", {V("x"), V("y")}}, Atom{"E", {V("y"), V("z")}}};
+  trans.head = {Atom{"E", {V("x"), V("z")}}};
+  Instance db;
+  db.DeclareRelation("E", 2);
+  ASSERT_TRUE(db.Insert("E", {Value::Int64(1), Value::Int64(2)}).ok());
+  ASSERT_TRUE(db.Insert("E", {Value::Int64(2), Value::Int64(3)}).ok());
+  chase::ChaseOptions guarded;
+  guarded.require_weak_acyclicity = true;
+  auto result = chase::ChaseInstance({trans}, {}, db, guarded);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->target.Find("E")->size(), 3u);
+}
+
+}  // namespace
+}  // namespace mm2::logic

@@ -1,0 +1,386 @@
+#include <gtest/gtest.h>
+
+#include "chase/chase.h"
+#include "compose/compose.h"
+#include "logic/formula.h"
+#include "model/schema.h"
+
+namespace mm2::compose {
+namespace {
+
+using instance::Instance;
+using instance::Value;
+using logic::Atom;
+using logic::Mapping;
+using logic::Term;
+using logic::Tgd;
+using model::DataType;
+using model::Metamodel;
+using model::SchemaBuilder;
+
+Term V(const char* name) { return Term::Var(name); }
+Term C(const char* s) { return Term::Const(Value::String(s)); }
+
+model::Schema OneRelation(const char* schema, const char* rel,
+                          std::size_t arity) {
+  SchemaBuilder b(schema, Metamodel::kRelational);
+  std::vector<model::SchemaBuilder::AttributeSpec> attrs;
+  for (std::size_t i = 0; i < arity; ++i) {
+    attrs.push_back({"a" + std::to_string(i), DataType::String()});
+  }
+  b.Relation(rel, std::move(attrs));
+  return std::move(b).Build();
+}
+
+TEST(ComposeTest, FullCopyChainsStayFirstOrder) {
+  // R -> T, T -> U: composing two copy mappings gives R -> U.
+  Tgd rt;
+  rt.body = {Atom{"R", {V("x"), V("y")}}};
+  rt.head = {Atom{"T", {V("x"), V("y")}}};
+  Tgd tu;
+  tu.body = {Atom{"T", {V("x"), V("y")}}};
+  tu.head = {Atom{"U", {V("y"), V("x")}}};
+
+  Mapping m12 = Mapping::FromTgds("m12", OneRelation("S1", "R", 2),
+                                  OneRelation("S2", "T", 2), {rt});
+  Mapping m23 = Mapping::FromTgds("m23", OneRelation("S2", "T", 2),
+                                  OneRelation("S3", "U", 2), {tu});
+  ComposeStats stats;
+  auto composed = Compose(m12, m23, {}, &stats);
+  ASSERT_TRUE(composed.ok()) << composed.status();
+  EXPECT_TRUE(stats.first_order);
+  EXPECT_FALSE(composed->is_second_order());
+  ASSERT_EQ(composed->tgds().size(), 1u);
+  const Tgd& tgd = composed->tgds()[0];
+  EXPECT_EQ(tgd.body.size(), 1u);
+  EXPECT_EQ(tgd.body[0].relation, "R");
+  EXPECT_EQ(tgd.head[0].relation, "U");
+  // U(y, x): the swap survived composition.
+  EXPECT_EQ(tgd.head[0].terms[0], tgd.body[0].terms[1]);
+  EXPECT_EQ(tgd.head[0].terms[1], tgd.body[0].terms[0]);
+}
+
+TEST(ComposeTest, SemanticsMatchTwoStepExchange) {
+  // Random-ish chain with an existential in the middle; the composed
+  // mapping must produce (up to homomorphic equivalence) the same target
+  // as chasing the two mappings in sequence.
+  Tgd m12_tgd;
+  m12_tgd.body = {Atom{"R", {V("x"), V("y")}}};
+  m12_tgd.head = {Atom{"T", {V("x"), V("e")}}, Atom{"W", {V("e"), V("y")}}};
+  Tgd m23_tgd;
+  m23_tgd.body = {Atom{"T", {V("x"), V("z")}}, Atom{"W", {V("z"), V("y")}}};
+  m23_tgd.head = {Atom{"U", {V("x"), V("y")}}};
+
+  SchemaBuilder s2b("S2", Metamodel::kRelational);
+  s2b.Relation("T", {{"a", DataType::String()}, {"b", DataType::String()}});
+  s2b.Relation("W", {{"a", DataType::String()}, {"b", DataType::String()}});
+  model::Schema s2 = std::move(s2b).Build();
+
+  Mapping m12 = Mapping::FromTgds("m12", OneRelation("S1", "R", 2), s2,
+                                  {m12_tgd});
+  Mapping m23 =
+      Mapping::FromTgds("m23", s2, OneRelation("S3", "U", 2), {m23_tgd});
+  auto composed = Compose(m12, m23);
+  ASSERT_TRUE(composed.ok()) << composed.status();
+
+  Instance source;
+  source.DeclareRelation("R", 2);
+  ASSERT_TRUE(
+      source.Insert("R", {Value::String("a"), Value::String("b")}).ok());
+  ASSERT_TRUE(
+      source.Insert("R", {Value::String("c"), Value::String("d")}).ok());
+
+  auto two_step_mid = chase::RunChase(m12, source);
+  ASSERT_TRUE(two_step_mid.ok());
+  auto two_step = chase::RunChase(m23, two_step_mid->target);
+  ASSERT_TRUE(two_step.ok());
+  auto direct = chase::RunChase(*composed, source);
+  ASSERT_TRUE(direct.ok()) << direct.status();
+
+  EXPECT_TRUE(chase::ExistsHomomorphism(direct->target, two_step->target));
+  EXPECT_TRUE(chase::ExistsHomomorphism(two_step->target, direct->target));
+  EXPECT_EQ(direct->target.Find("U")->size(), 2u);
+}
+
+TEST(ComposeTest, SharedExistentialForcesSecondOrder) {
+  // m12: R(x) -> exists e. T(x, e)
+  // m23 reads T twice in one clause AND uses e in two different output
+  // relations via separate clauses: the Skolem function ends up in two
+  // output clauses, so no deskolemization.
+  Tgd m12_tgd;
+  m12_tgd.body = {Atom{"R", {V("x")}}};
+  m12_tgd.head = {Atom{"T", {V("x"), V("e")}}};
+  Tgd m23_a;
+  m23_a.body = {Atom{"T", {V("x"), V("z")}}};
+  m23_a.head = {Atom{"U", {V("x"), V("z")}}};
+  Tgd m23_b;
+  m23_b.body = {Atom{"T", {V("x"), V("z")}}};
+  m23_b.head = {Atom{"P", {V("z")}}};
+
+  SchemaBuilder s3b("S3", Metamodel::kRelational);
+  s3b.Relation("U", {{"a", DataType::String()}, {"b", DataType::String()}});
+  s3b.Relation("P", {{"a", DataType::String()}});
+  Mapping m12 = Mapping::FromTgds("m12", OneRelation("S1", "R", 1),
+                                  OneRelation("S2", "T", 2), {m12_tgd});
+  Mapping m23 = Mapping::FromTgds("m23", OneRelation("S2", "T", 2),
+                                  std::move(s3b).Build(), {m23_a, m23_b});
+  auto composed = Compose(m12, m23);
+  ASSERT_TRUE(composed.ok());
+  EXPECT_TRUE(composed->is_second_order());
+  // Still executable: the chase interprets the Skolem terms, and both U
+  // and P see the SAME invented value per x.
+  Instance source;
+  source.DeclareRelation("R", 1);
+  ASSERT_TRUE(source.Insert("R", {Value::String("a")}).ok());
+  auto result = chase::RunChase(*composed, source);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->target.Find("U")->size(), 1u);
+  ASSERT_EQ(result->target.Find("P")->size(), 1u);
+  const instance::Tuple& u = *result->target.Find("U")->tuples().begin();
+  const instance::Tuple& p = *result->target.Find("P")->tuples().begin();
+  EXPECT_EQ(u[1], p[0]);
+  EXPECT_TRUE(u[1].is_labeled_null());
+}
+
+TEST(ComposeTest, UnresolvableMidRelationDropsClause) {
+  // m23 reads relation X that m12 never produces: the clause imposes no
+  // S1 => S3 constraint and is dropped.
+  Tgd m12_tgd;
+  m12_tgd.body = {Atom{"R", {V("x")}}};
+  m12_tgd.head = {Atom{"T", {V("x")}}};
+  Tgd m23_tgd;
+  m23_tgd.body = {Atom{"X", {V("x")}}};
+  m23_tgd.head = {Atom{"U", {V("x")}}};
+
+  SchemaBuilder s2b("S2", Metamodel::kRelational);
+  s2b.Relation("T", {{"a", DataType::String()}});
+  s2b.Relation("X", {{"a", DataType::String()}});
+  Mapping m12 = Mapping::FromTgds("m12", OneRelation("S1", "R", 1),
+                                  std::move(s2b).Build(), {m12_tgd});
+  SchemaBuilder s2c("S2", Metamodel::kRelational);
+  s2c.Relation("T", {{"a", DataType::String()}});
+  s2c.Relation("X", {{"a", DataType::String()}});
+  Mapping m23 = Mapping::FromTgds("m23", std::move(s2c).Build(),
+                                  OneRelation("S3", "U", 1), {m23_tgd});
+  ComposeStats stats;
+  auto composed = Compose(m12, m23, {}, &stats);
+  ASSERT_TRUE(composed.ok());
+  EXPECT_EQ(stats.clauses_unresolvable, 1u);
+  EXPECT_EQ(stats.output_clauses, 0u);
+}
+
+TEST(ComposeTest, MultipleProducersMultiplyCombinations) {
+  // Two rules produce T; m23's clause reads T twice: 2^2 combinations.
+  Tgd p1;
+  p1.body = {Atom{"R", {V("x")}}};
+  p1.head = {Atom{"T", {V("x")}}};
+  Tgd p2;
+  p2.body = {Atom{"S", {V("x")}}};
+  p2.head = {Atom{"T", {V("x")}}};
+  Tgd consumer;
+  consumer.body = {Atom{"T", {V("x")}}, Atom{"T", {V("y")}}};
+  consumer.head = {Atom{"U", {V("x"), V("y")}}};
+
+  SchemaBuilder s1b("S1", Metamodel::kRelational);
+  s1b.Relation("R", {{"a", DataType::String()}});
+  s1b.Relation("S", {{"a", DataType::String()}});
+  Mapping m12 = Mapping::FromTgds("m12", std::move(s1b).Build(),
+                                  OneRelation("S2", "T", 1), {p1, p2});
+  Mapping m23 = Mapping::FromTgds("m23", OneRelation("S2", "T", 1),
+                                  OneRelation("S3", "U", 2), {consumer});
+  ComposeStats stats;
+  auto composed = Compose(m12, m23, {}, &stats);
+  ASSERT_TRUE(composed.ok());
+  EXPECT_EQ(stats.output_clauses, 4u);  // {R,S} x {R,S}
+  EXPECT_TRUE(stats.first_order);       // full tgds: no skolem functions
+}
+
+TEST(ComposeTest, MaxClausesGuardTrips) {
+  Tgd p1;
+  p1.body = {Atom{"R", {V("x")}}};
+  p1.head = {Atom{"T", {V("x")}}};
+  Tgd p2;
+  p2.body = {Atom{"S", {V("x")}}};
+  p2.head = {Atom{"T", {V("x")}}};
+  Tgd consumer;
+  consumer.body = {Atom{"T", {V("x")}}, Atom{"T", {V("y")}},
+                   Atom{"T", {V("z")}}};
+  consumer.head = {Atom{"U", {V("x"), V("y")}}};
+
+  SchemaBuilder s1b("S1", Metamodel::kRelational);
+  s1b.Relation("R", {{"a", DataType::String()}});
+  s1b.Relation("S", {{"a", DataType::String()}});
+  Mapping m12 = Mapping::FromTgds("m12", std::move(s1b).Build(),
+                                  OneRelation("S2", "T", 1), {p1, p2});
+  Mapping m23 = Mapping::FromTgds("m23", OneRelation("S2", "T", 1),
+                                  OneRelation("S3", "U", 2), {consumer});
+  ComposeOptions options;
+  options.max_clauses = 4;  // 2^3 = 8 > 4
+  auto composed = Compose(m12, m23, options);
+  EXPECT_EQ(composed.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(ComposeTest, ConstantClashPrunesCombination) {
+  // Producer emits T(x, "US"); consumer requires T(y, "EU"): vacuous.
+  Tgd producer;
+  producer.body = {Atom{"R", {V("x")}}};
+  producer.head = {Atom{"T", {V("x"), C("US")}}};
+  Tgd consumer;
+  consumer.body = {Atom{"T", {V("y"), C("EU")}}};
+  consumer.head = {Atom{"U", {V("y")}}};
+  Mapping m12 = Mapping::FromTgds("m12", OneRelation("S1", "R", 1),
+                                  OneRelation("S2", "T", 2), {producer});
+  Mapping m23 = Mapping::FromTgds("m23", OneRelation("S2", "T", 2),
+                                  OneRelation("S3", "U", 1), {consumer});
+  ComposeStats stats;
+  auto composed = Compose(m12, m23, {}, &stats);
+  ASSERT_TRUE(composed.ok());
+  EXPECT_EQ(stats.combinations_inconsistent, 1u);
+  EXPECT_EQ(stats.output_clauses, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// The Fig. 6 schema evolution scenario.
+// ---------------------------------------------------------------------------
+
+model::Schema ViewSchema() {
+  return SchemaBuilder("V", Metamodel::kRelational)
+      .Relation("Students", {{"Name", DataType::String()},
+                             {"Address", DataType::String()},
+                             {"Country", DataType::String()}})
+      .Build();
+}
+
+model::Schema SSchema() {
+  return SchemaBuilder("S", Metamodel::kRelational)
+      .Relation("Names", {{"SID", DataType::Int64()},
+                          {"Name", DataType::String()}},
+                {"SID"})
+      .Relation("Addresses", {{"SID", DataType::Int64()},
+                              {"Address", DataType::String()},
+                              {"Country", DataType::String()}},
+                {"SID"})
+      .Build();
+}
+
+model::Schema SPrimeSchema() {
+  return SchemaBuilder("Sprime", Metamodel::kRelational)
+      .Relation("NamesP", {{"SID", DataType::Int64()},
+                           {"Name", DataType::String()}},
+                {"SID"})
+      .Relation("Local", {{"SID", DataType::Int64()},
+                          {"Address", DataType::String()}},
+                {"SID"})
+      .Relation("Foreign", {{"SID", DataType::Int64()},
+                            {"Address", DataType::String()},
+                            {"Country", DataType::String()}},
+                {"SID"})
+      .Build();
+}
+
+// mapV-S: Students(n,a,c) -> exists sid. Names(sid,n) & Addresses(sid,a,c).
+Mapping MapVS() {
+  Tgd tgd;
+  tgd.body = {Atom{"Students", {V("n"), V("a"), V("c")}}};
+  tgd.head = {Atom{"Names", {V("sid"), V("n")}},
+              Atom{"Addresses", {V("sid"), V("a"), V("c")}}};
+  return Mapping::FromTgds("mapVS", ViewSchema(), SSchema(), {tgd});
+}
+
+// mapS-S': Names = NamesP; US addresses -> Local; all addresses ->
+// Foreign. (The sigma_{Country<>US} filter of Fig. 6 needs inequality,
+// which tgds lack; routing US rows to Foreign too is set-equivalent after
+// the union in the composed view — see the roundtrip check below.)
+Mapping MapSSPrime() {
+  Tgd names;
+  names.body = {Atom{"Names", {V("sid"), V("n")}}};
+  names.head = {Atom{"NamesP", {V("sid"), V("n")}}};
+  Tgd local;
+  local.body = {Atom{"Addresses", {V("sid"), V("a"), C("US")}}};
+  local.head = {Atom{"Local", {V("sid"), V("a")}}};
+  Tgd foreign;
+  foreign.body = {Atom{"Addresses", {V("sid"), V("a"), V("c")}}};
+  foreign.head = {Atom{"Foreign", {V("sid"), V("a"), V("c")}}};
+  return Mapping::FromTgds("mapSSp", SSchema(), SPrimeSchema(),
+                           {names, local, foreign});
+}
+
+TEST(ComposeFig6Test, ComposedMappingIsSecondOrderAndExecutable) {
+  ComposeStats stats;
+  auto composed = Compose(MapVS(), MapSSPrime(), {}, &stats);
+  ASSERT_TRUE(composed.ok()) << composed.status();
+  // The invented SID must be shared across NamesP/Local/Foreign clauses,
+  // which s-t tgds cannot express: the result stays second-order.
+  EXPECT_TRUE(composed->is_second_order());
+  EXPECT_GE(stats.output_clauses, 3u);
+
+  Instance v;
+  v.DeclareRelation("Students", 3);
+  ASSERT_TRUE(v.Insert("Students", {Value::String("Ada"),
+                                    Value::String("12 Oak"),
+                                    Value::String("US")})
+                  .ok());
+  ASSERT_TRUE(v.Insert("Students", {Value::String("Bob"),
+                                    Value::String("5 Rue"),
+                                    Value::String("FR")})
+                  .ok());
+
+  auto direct = chase::RunChase(*composed, v);
+  ASSERT_TRUE(direct.ok()) << direct.status();
+  auto mid = chase::RunChase(MapVS(), v);
+  ASSERT_TRUE(mid.ok());
+  auto two_step = chase::RunChase(MapSSPrime(), mid->target);
+  ASSERT_TRUE(two_step.ok());
+
+  EXPECT_TRUE(chase::ExistsHomomorphism(direct->target, two_step->target));
+  EXPECT_TRUE(chase::ExistsHomomorphism(two_step->target, direct->target));
+
+  // Ada (US) lands in Local; Bob does not.
+  EXPECT_EQ(direct->target.Find("Local")->size(), 1u);
+  EXPECT_EQ(direct->target.Find("Foreign")->size(), 2u);
+  EXPECT_EQ(direct->target.Find("NamesP")->size(), 2u);
+}
+
+TEST(ComposeFig6Test, ComposedViewRecoversStudents) {
+  // mapV-S' o (the view definition read back): evaluating
+  //   Students = pi_{Name,Address,Country}(NamesP JOIN (Local x {US}
+  //              UNION Foreign))
+  // over the exchanged S' data recovers the original Students rows.
+  auto composed = Compose(MapVS(), MapSSPrime());
+  ASSERT_TRUE(composed.ok());
+
+  Instance v;
+  v.DeclareRelation("Students", 3);
+  ASSERT_TRUE(v.Insert("Students", {Value::String("Ada"),
+                                    Value::String("12 Oak"),
+                                    Value::String("US")})
+                  .ok());
+  ASSERT_TRUE(v.Insert("Students", {Value::String("Bob"),
+                                    Value::String("5 Rue"),
+                                    Value::String("FR")})
+                  .ok());
+  auto exchanged = chase::RunChase(*composed, v);
+  ASSERT_TRUE(exchanged.ok());
+
+  logic::ConjunctiveQuery local_side;
+  local_side.head = Atom{"Q", {V("n"), V("a"), C("US")}};
+  local_side.body = {Atom{"NamesP", {V("sid"), V("n")}},
+                     Atom{"Local", {V("sid"), V("a")}}};
+  logic::ConjunctiveQuery foreign_side;
+  foreign_side.head = Atom{"Q", {V("n"), V("a"), V("c")}};
+  foreign_side.body = {Atom{"NamesP", {V("sid"), V("n")}},
+                       Atom{"Foreign", {V("sid"), V("a"), V("c")}}};
+  auto local_rows = chase::CertainAnswers(local_side, exchanged->target);
+  auto foreign_rows = chase::CertainAnswers(foreign_side, exchanged->target);
+  ASSERT_TRUE(local_rows.ok() && foreign_rows.ok());
+  std::set<instance::Tuple> recovered(local_rows->begin(), local_rows->end());
+  recovered.insert(foreign_rows->begin(), foreign_rows->end());
+
+  std::set<instance::Tuple> original(
+      v.Find("Students")->tuples().begin(),
+      v.Find("Students")->tuples().end());
+  EXPECT_EQ(recovered, original);
+}
+
+}  // namespace
+}  // namespace mm2::compose

@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "diff/diff.h"
+#include "inverse/inverse.h"
+#include "logic/formula.h"
+#include "model/schema.h"
+
+namespace mm2::diff {
+namespace {
+
+using instance::Instance;
+using instance::Value;
+using logic::Atom;
+using logic::Mapping;
+using logic::Term;
+using logic::Tgd;
+using model::DataType;
+using model::Metamodel;
+using model::SchemaBuilder;
+
+Term V(const char* name) { return Term::Var(name); }
+
+// Source schema with a relation whose Country column the mapping ignores,
+// plus a relation the mapping ignores entirely.
+model::Schema Src() {
+  return SchemaBuilder("S", Metamodel::kRelational)
+      .Relation("Addresses", {{"SID", DataType::Int64()},
+                              {"Address", DataType::String()},
+                              {"Country", DataType::String()}},
+                {"SID"})
+      .Relation("Grades", {{"SID", DataType::Int64()},
+                           {"Grade", DataType::String()}},
+                {"SID"})
+      .Build();
+}
+
+model::Schema Tgt() {
+  return SchemaBuilder("T", Metamodel::kRelational)
+      .Relation("AddrOnly", {{"SID", DataType::Int64()},
+                             {"Address", DataType::String()}},
+                {"SID"})
+      .Build();
+}
+
+Mapping PartialMapping() {
+  Tgd t;
+  t.body = {Atom{"Addresses", {V("s"), V("a"), V("c")}}};
+  t.head = {Atom{"AddrOnly", {V("s"), V("a")}}};
+  return Mapping::FromTgds("partial", Src(), Tgt(), {t});
+}
+
+TEST(ExtractTest, KeepsParticipatingElementsOnly) {
+  auto extract = Extract(PartialMapping());
+  ASSERT_TRUE(extract.ok()) << extract.status();
+  // Addresses participates with SID and Address; Country and Grades don't.
+  const model::Relation* addr = extract->schema.FindRelation("Addresses");
+  ASSERT_NE(addr, nullptr);
+  EXPECT_EQ(addr->AttributeNames(),
+            (std::vector<std::string>{"SID", "Address"}));
+  EXPECT_EQ(extract->schema.FindRelation("Grades"), nullptr);
+  EXPECT_EQ(extract->kept_elements,
+            (std::vector<std::string>{"Addresses.SID", "Addresses.Address"}));
+}
+
+TEST(DiffTest, KeepsComplementPlusKeyContext) {
+  auto diff = Diff(PartialMapping());
+  ASSERT_TRUE(diff.ok()) << diff.status();
+  const model::Relation* addr = diff->schema.FindRelation("Addresses");
+  ASSERT_NE(addr, nullptr);
+  // Country is new; SID is kept as key context.
+  EXPECT_EQ(addr->AttributeNames(),
+            (std::vector<std::string>{"SID", "Country"}));
+  // Grades is entirely new.
+  const model::Relation* grades = diff->schema.FindRelation("Grades");
+  ASSERT_NE(grades, nullptr);
+  EXPECT_EQ(grades->arity(), 2u);
+}
+
+TEST(DiffTest, FullyCoveredRelationIsOmitted) {
+  Tgd full;
+  full.body = {Atom{"Addresses", {V("s"), V("a"), V("c")}}};
+  full.head = {Atom{"AddrOnly", {V("s"), V("a")}}};
+  Tgd country;
+  country.body = {Atom{"Addresses", {V("s"), V("a"), V("c")}}};
+  country.head = {Atom{"AddrOnly", {V("s"), V("c")}}};
+  Tgd grades;
+  grades.body = {Atom{"Grades", {V("s"), V("g")}}};
+  grades.head = {Atom{"AddrOnly", {V("s"), V("g")}}};
+  Mapping m = Mapping::FromTgds("full", Src(), Tgt(),
+                                {full, country, grades});
+  auto diff = Diff(m);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_TRUE(diff->schema.relations().empty());
+}
+
+TEST(DiffTest, SecondOrderMappingRejected) {
+  logic::SoTgd so;
+  Mapping m = Mapping::FromSoTgd("so", Src(), Tgt(), so);
+  EXPECT_EQ(Diff(m).status().code(), StatusCode::kUnsupported);
+  EXPECT_EQ(Extract(m).status().code(), StatusCode::kUnsupported);
+}
+
+Instance SrcDb() {
+  Instance db;
+  db.DeclareRelation("Addresses", 3);
+  db.DeclareRelation("Grades", 2);
+  EXPECT_TRUE(db.Insert("Addresses", {Value::Int64(1), Value::String("12 Oak"),
+                                      Value::String("US")})
+                  .ok());
+  EXPECT_TRUE(db.Insert("Addresses", {Value::Int64(2), Value::String("5 Rue"),
+                                      Value::String("FR")})
+                  .ok());
+  EXPECT_TRUE(db.Insert("Grades", {Value::Int64(1), Value::String("A")}).ok());
+  return db;
+}
+
+TEST(DiffTest, ExtractPlusDiffReconstructsSource) {
+  Mapping m = PartialMapping();
+  auto extract = Extract(m);
+  auto complement = Diff(m);
+  ASSERT_TRUE(extract.ok() && complement.ok());
+
+  Instance db = SrcDb();
+  auto extract_data = Apply(*extract, db);
+  auto diff_data = Apply(*complement, db);
+  ASSERT_TRUE(extract_data.ok() && diff_data.ok());
+
+  EXPECT_EQ(extract_data->Find("Addresses")->arity(), 2u);
+  EXPECT_EQ(diff_data->Find("Addresses")->arity(), 2u);
+  EXPECT_EQ(diff_data->Find("Grades")->size(), 1u);
+
+  auto rebuilt = Reconstruct(m.source(), *extract, *extract_data, *complement,
+                             *diff_data);
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status();
+  EXPECT_TRUE(rebuilt->Equals(db))
+      << "rebuilt:\n" << rebuilt->ToString() << "original:\n" << db.ToString();
+}
+
+TEST(DiffTest, ReconstructFailsWithoutSharedKey) {
+  // A mapping that carries only the non-key column: extract has no key,
+  // diff keeps key+nothing shared... the rejoin must refuse.
+  Tgd t;
+  t.body = {Atom{"Addresses", {V("s"), V("a"), V("c")}}};
+  t.head = {Atom{"AddrOnly", {V("e"), V("a")}}};  // key replaced by existential
+  Mapping m = Mapping::FromTgds("nokey", Src(), Tgt(), {t});
+  auto extract = Extract(m);
+  auto complement = Diff(m);
+  ASSERT_TRUE(extract.ok() && complement.ok());
+  Instance db = SrcDb();
+  auto extract_data = Apply(*extract, db);
+  auto diff_data = Apply(*complement, db);
+  ASSERT_TRUE(extract_data.ok() && diff_data.ok());
+  auto rebuilt = Reconstruct(m.source(), *extract, *extract_data, *complement,
+                             *diff_data);
+  EXPECT_FALSE(rebuilt.ok());
+}
+
+TEST(DiffTest, PaperScenarioNewPartsOfEvolvedSchema) {
+  // Section 6.2: S evolves to S' which adds a Phone relation; Diff(S',
+  // Invert(mapS-S')) isolates the new parts.
+  model::Schema s = SchemaBuilder("S", Metamodel::kRelational)
+                        .Relation("Names", {{"SID", DataType::Int64()},
+                                            {"Name", DataType::String()}},
+                                  {"SID"})
+                        .Build();
+  model::Schema sp = SchemaBuilder("Sp", Metamodel::kRelational)
+                         .Relation("Names", {{"SID", DataType::Int64()},
+                                             {"Name", DataType::String()}},
+                                   {"SID"})
+                         .Relation("Phone", {{"SID", DataType::Int64()},
+                                             {"Number", DataType::String()}},
+                                   {"SID"})
+                         .Build();
+  Tgd copy;
+  copy.body = {Atom{"Names", {V("s"), V("n")}}};
+  copy.head = {Atom{"Names", {V("s"), V("n")}}};
+  Mapping map_s_sp = Mapping::FromTgds("evolve", s, sp, {copy});
+
+  auto inverted = inverse::Invert(map_s_sp);
+  ASSERT_TRUE(inverted.ok());
+  auto new_parts = Diff(*inverted);
+  ASSERT_TRUE(new_parts.ok());
+  // The new part of S' is exactly the Phone relation.
+  ASSERT_EQ(new_parts->schema.relations().size(), 1u);
+  EXPECT_EQ(new_parts->schema.relations()[0].name(), "Phone");
+  EXPECT_EQ(new_parts->schema.relations()[0].arity(), 2u);
+}
+
+}  // namespace
+}  // namespace mm2::diff

@@ -1,0 +1,125 @@
+// Tests for the extended engine script commands: batchload, oogen,
+// nestedgen — the newer operators reachable from the Rondo-style DSL.
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "logic/formula.h"
+#include "model/schema.h"
+
+namespace mm2::engine {
+namespace {
+
+using instance::Instance;
+using instance::Value;
+using logic::Atom;
+using logic::Mapping;
+using logic::Term;
+using logic::Tgd;
+using model::DataType;
+using model::Metamodel;
+using model::SchemaBuilder;
+
+Term V(const char* name) { return Term::Var(name); }
+
+class EngineExtTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    model::Schema s =
+        SchemaBuilder("S", Metamodel::kRelational)
+            .Relation("Orders", {{"OrderId", DataType::Int64()},
+                                 {"Item", DataType::String()}},
+                      {"OrderId"})
+            .Relation("Lines", {{"OrderId", DataType::Int64()},
+                                {"Qty", DataType::Int64()}},
+                      {"OrderId"})
+            .ForeignKey("Lines", {"OrderId"}, "Orders", {"OrderId"})
+            .Build();
+    model::Schema t =
+        SchemaBuilder("T", Metamodel::kRelational)
+            .Relation("Flat", {{"OrderId", DataType::Int64()},
+                               {"Item", DataType::String()},
+                               {"Qty", DataType::Int64()}},
+                      {"OrderId"})
+            .Build();
+    Tgd join;
+    join.body = {Atom{"Orders", {V("o"), V("i")}},
+                 Atom{"Lines", {V("o"), V("q")}}};
+    join.head = {Atom{"Flat", {V("o"), V("i"), V("q")}}};
+    ASSERT_TRUE(engine_.repo().PutSchema(s).ok());
+    ASSERT_TRUE(engine_.repo().PutSchema(t).ok());
+    ASSERT_TRUE(
+        engine_.repo().PutMapping(Mapping::FromTgds("flatten", s, t, {join}))
+            .ok());
+    Instance db = Instance::EmptyFor(s);
+    ASSERT_TRUE(db.Insert("Orders", {Value::Int64(1),
+                                     Value::String("widget")})
+                    .ok());
+    ASSERT_TRUE(db.Insert("Lines", {Value::Int64(1), Value::Int64(3)}).ok());
+    ASSERT_TRUE(engine_.repo().PutInstance("D", std::move(db)).ok());
+  }
+
+  Engine engine_;
+};
+
+TEST_F(EngineExtTest, BatchLoadMatchesExchange) {
+  auto log = engine_.RunScript(R"(
+exchange Dchase flatten D
+batchload Dfast flatten D
+)");
+  ASSERT_TRUE(log.ok()) << log.status();
+  auto chase = engine_.repo().GetInstance("Dchase");
+  auto fast = engine_.repo().GetInstance("Dfast");
+  ASSERT_TRUE(chase.ok() && fast.ok());
+  EXPECT_TRUE(fast->Equals(*chase));
+  EXPECT_EQ(fast->Find("Flat")->size(), 1u);
+}
+
+TEST_F(EngineExtTest, OoGenRegistersWrapper) {
+  auto log = engine_.RunScript("oogen Soo wrapS S");
+  ASSERT_TRUE(log.ok()) << log.status();
+  auto oo = engine_.repo().GetSchema("Soo");
+  ASSERT_TRUE(oo.ok());
+  EXPECT_EQ(oo->metamodel(), Metamodel::kObjectOriented);
+  EXPECT_EQ(oo->entity_types().size(), 2u);
+  EXPECT_TRUE(engine_.repo().HasMapping("wrapS"));
+  auto wrap = engine_.repo().GetMapping("wrapS");
+  EXPECT_EQ(wrap->source().name(), "Soo");
+}
+
+TEST_F(EngineExtTest, NestedGenRegistersDocumentSchema) {
+  auto log = engine_.RunScript("nestedgen Sdoc docMap S");
+  ASSERT_TRUE(log.ok()) << log.status();
+  auto nested = engine_.repo().GetSchema("Sdoc");
+  ASSERT_TRUE(nested.ok());
+  EXPECT_EQ(nested->metamodel(), Metamodel::kNested);
+  // Lines folds into Orders_doc.
+  ASSERT_EQ(nested->relations().size(), 1u);
+  EXPECT_EQ(nested->relations()[0].name(), "Orders_doc");
+}
+
+TEST_F(EngineExtTest, BatchLoadRefusesUncompilableMapping) {
+  // A mapping with a target egd needs the chase.
+  auto m = engine_.repo().GetMapping("flatten");
+  ASSERT_TRUE(m.ok());
+  logic::Egd key;
+  key.body = {Atom{"Flat", {V("o"), V("i1"), V("q1")}},
+              Atom{"Flat", {V("o"), V("i2"), V("q2")}}};
+  key.left = "i1";
+  key.right = "i2";
+  logic::Mapping keyed = *m;
+  keyed.set_name("keyed");
+  keyed.AddTargetEgd(key);
+  ASSERT_TRUE(engine_.repo().PutMapping(keyed).ok());
+  auto log = engine_.RunScript("batchload Dx keyed D");
+  ASSERT_FALSE(log.ok());
+  EXPECT_EQ(log.status().code(), StatusCode::kUnsupported);
+}
+
+TEST_F(EngineExtTest, ScriptArgumentErrors) {
+  EXPECT_FALSE(engine_.RunScript("batchload onlyone").ok());
+  EXPECT_FALSE(engine_.RunScript("oogen a b Missing").ok());
+  EXPECT_FALSE(engine_.RunScript("nestedgen a b Missing").ok());
+}
+
+}  // namespace
+}  // namespace mm2::engine

@@ -1,0 +1,179 @@
+// Tests for chase-based implication and mapping equivalence — the
+// machinery behind checking statements like "the composed mapping equals
+// the direct mapping" mechanically.
+#include <gtest/gtest.h>
+
+#include "compose/compose.h"
+#include "logic/implication.h"
+#include "workload/generators.h"
+
+namespace mm2::logic {
+namespace {
+
+using model::DataType;
+using model::Metamodel;
+using model::SchemaBuilder;
+
+Term V(const char* name) { return Term::Var(name); }
+
+model::Schema Src() {
+  return SchemaBuilder("S", Metamodel::kRelational)
+      .Relation("R", {{"a", DataType::Int64()}, {"b", DataType::String()}})
+      .Build();
+}
+
+model::Schema Tgt() {
+  SchemaBuilder b("T", Metamodel::kRelational);
+  b.Relation("U", {{"a", DataType::Int64()}, {"b", DataType::String()}});
+  b.Relation("W", {{"a", DataType::Int64()}});
+  return std::move(b).Build();
+}
+
+Tgd CopyTgd() {
+  Tgd tgd;
+  tgd.body = {Atom{"R", {V("x"), V("y")}}};
+  tgd.head = {Atom{"U", {V("x"), V("y")}}};
+  return tgd;
+}
+
+TEST(ImplicationTest, MappingImpliesItsOwnTgds) {
+  Mapping m = Mapping::FromTgds("m", Src(), Tgt(), {CopyTgd()});
+  auto implied = Implies(m, CopyTgd());
+  ASSERT_TRUE(implied.ok()) << implied.status();
+  EXPECT_TRUE(*implied);
+}
+
+TEST(ImplicationTest, ImpliesWeakerProjection) {
+  // R(x,y) -> U(x,y) implies R(x,y) -> exists z. U(x,z).
+  Mapping m = Mapping::FromTgds("m", Src(), Tgt(), {CopyTgd()});
+  Tgd weaker;
+  weaker.body = {Atom{"R", {V("x"), V("y")}}};
+  weaker.head = {Atom{"U", {V("x"), V("z")}}};
+  auto implied = Implies(m, weaker);
+  ASSERT_TRUE(implied.ok());
+  EXPECT_TRUE(*implied);
+  // ...but not the converse.
+  Mapping weak_mapping = Mapping::FromTgds("w", Src(), Tgt(), {weaker});
+  auto back = Implies(weak_mapping, CopyTgd());
+  ASSERT_TRUE(back.ok());
+  EXPECT_FALSE(*back);
+}
+
+TEST(ImplicationTest, DoesNotImplyUnrelatedTgd) {
+  Mapping m = Mapping::FromTgds("m", Src(), Tgt(), {CopyTgd()});
+  Tgd other;
+  other.body = {Atom{"R", {V("x"), V("y")}}};
+  other.head = {Atom{"W", {V("x")}}};
+  auto implied = Implies(m, other);
+  ASSERT_TRUE(implied.ok());
+  EXPECT_FALSE(*implied);
+}
+
+TEST(ImplicationTest, ConstantsMustLineUp) {
+  // R(x, "a") -> W(x) does not imply R(x, y) -> W(x).
+  Tgd guarded;
+  guarded.body = {Atom{"R", {V("x"), Term::Const(instance::Value::String("a"))}}};
+  guarded.head = {Atom{"W", {V("x")}}};
+  Mapping m = Mapping::FromTgds("m", Src(), Tgt(), {guarded});
+  Tgd unguarded;
+  unguarded.body = {Atom{"R", {V("x"), V("y")}}};
+  unguarded.head = {Atom{"W", {V("x")}}};
+  auto implied = Implies(m, unguarded);
+  ASSERT_TRUE(implied.ok());
+  EXPECT_FALSE(*implied);
+  // The guarded direction IS implied by the unguarded mapping.
+  Mapping m2 = Mapping::FromTgds("m2", Src(), Tgt(), {unguarded});
+  auto back = Implies(m2, guarded);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(*back);
+}
+
+TEST(EquivalenceTest, RenamedAndReorderedMappingsAreEquivalent) {
+  Tgd w_rule;
+  w_rule.body = {Atom{"R", {V("x"), V("y")}}};
+  w_rule.head = {Atom{"W", {V("x")}}};
+  Mapping a = Mapping::FromTgds("a", Src(), Tgt(), {CopyTgd(), w_rule});
+
+  NameGenerator gen("fresh");
+  Mapping b = Mapping::FromTgds(
+      "b", Src(), Tgt(),
+      {w_rule.RenameVariables(&gen), CopyTgd().RenameVariables(&gen)});
+  auto equivalent = AreEquivalent(a, b);
+  ASSERT_TRUE(equivalent.ok()) << equivalent.status();
+  EXPECT_TRUE(*equivalent);
+}
+
+TEST(EquivalenceTest, RedundantTgdDoesNotBreakEquivalence) {
+  // Adding a tgd implied by an existing one changes nothing semantically.
+  Tgd weaker;
+  weaker.body = {Atom{"R", {V("x"), V("y")}}};
+  weaker.head = {Atom{"U", {V("x"), V("z")}}};
+  Mapping lean = Mapping::FromTgds("lean", Src(), Tgt(), {CopyTgd()});
+  Mapping padded =
+      Mapping::FromTgds("padded", Src(), Tgt(), {CopyTgd(), weaker});
+  auto equivalent = AreEquivalent(lean, padded);
+  ASSERT_TRUE(equivalent.ok());
+  EXPECT_TRUE(*equivalent);
+}
+
+TEST(EquivalenceTest, DistinguishesGenuinelyDifferentMappings) {
+  Tgd w_rule;
+  w_rule.body = {Atom{"R", {V("x"), V("y")}}};
+  w_rule.head = {Atom{"W", {V("x")}}};
+  Mapping just_copy = Mapping::FromTgds("a", Src(), Tgt(), {CopyTgd()});
+  Mapping copy_and_w =
+      Mapping::FromTgds("b", Src(), Tgt(), {CopyTgd(), w_rule});
+  auto equivalent = AreEquivalent(just_copy, copy_and_w);
+  ASSERT_TRUE(equivalent.ok());
+  EXPECT_FALSE(*equivalent);
+}
+
+TEST(EquivalenceTest, ComposedChainEqualsDirectMapping) {
+  // The F5 property, now checked *logically* rather than on sample data:
+  // composing the evolution chain is equivalent to the hand-written
+  // one-shot mapping.
+  workload::EvolutionChain chain = workload::MakeEvolutionChain(2, 4);
+  Mapping composed = chain.steps[0];
+  for (std::size_t i = 1; i < chain.steps.size(); ++i) {
+    auto next = compose::Compose(composed, chain.steps[i]);
+    ASSERT_TRUE(next.ok());
+    composed = *next;
+  }
+  // Hand-written direct mapping S0 => S2: split Data into Left/Right v2.
+  const model::Schema& s0 = chain.schemas.front();
+  const model::Schema& s2 = chain.schemas.back();
+  Tgd direct;
+  Atom body;
+  body.relation = s0.relations()[0].name();
+  for (std::size_t i = 0; i < s0.relations()[0].arity(); ++i) {
+    body.terms.push_back(V(("v" + std::to_string(i)).c_str()));
+  }
+  direct.body = {body};
+  for (const model::Relation& r : s2.relations()) {
+    Atom head;
+    head.relation = r.name();
+    for (const model::Attribute& a : r.attributes()) {
+      auto idx = s0.relations()[0].AttributeIndex(a.name);
+      ASSERT_TRUE(idx.has_value());
+      head.terms.push_back(V(("v" + std::to_string(*idx)).c_str()));
+    }
+    direct.head.push_back(std::move(head));
+  }
+  Mapping expected = Mapping::FromTgds("direct", s0, s2, {direct});
+
+  auto equivalent = AreEquivalent(composed, expected);
+  ASSERT_TRUE(equivalent.ok()) << equivalent.status();
+  EXPECT_TRUE(*equivalent);
+}
+
+TEST(ImplicationTest, SecondOrderRejected) {
+  SoTgd so;
+  Mapping m = Mapping::FromSoTgd("so", Src(), Tgt(), so);
+  EXPECT_EQ(Implies(m, CopyTgd()).status().code(),
+            StatusCode::kUnsupported);
+  Mapping fo = Mapping::FromTgds("fo", Src(), Tgt(), {CopyTgd()});
+  EXPECT_EQ(AreEquivalent(m, fo).status().code(), StatusCode::kUnsupported);
+}
+
+}  // namespace
+}  // namespace mm2::logic

@@ -1,0 +1,299 @@
+// Integration tests: each of the paper's worked scenarios replayed end to
+// end through the public API / the engine, crossing module boundaries the
+// way the examples do (and therefore guarding them in CI).
+#include <gtest/gtest.h>
+
+#include "chase/chase.h"
+#include "compose/compose.h"
+#include "diff/diff.h"
+#include "engine/engine.h"
+#include "inverse/inverse.h"
+#include "match/correspondence.h"
+#include "match/matcher.h"
+#include "merge/merge.h"
+#include "modelgen/modelgen.h"
+#include "rewrite/rewrite.h"
+#include "runtime/constraints.h"
+#include "runtime/runtime.h"
+#include "text/sexpr.h"
+#include "transgen/transgen.h"
+#include "workload/generators.h"
+
+namespace mm2 {
+namespace {
+
+using instance::Instance;
+using instance::Value;
+using logic::Atom;
+using logic::Mapping;
+using logic::Term;
+using logic::Tgd;
+using model::DataType;
+using model::Metamodel;
+using model::SchemaBuilder;
+
+Term V(const char* name) { return Term::Var(name); }
+
+// ---------------------------------------------------------------------------
+// Scenario 1: match -> interpret -> exchange -> query (the quickstart).
+// ---------------------------------------------------------------------------
+TEST(IntegrationTest, MatchToQueryPipeline) {
+  model::Schema source =
+      SchemaBuilder("CRM", Metamodel::kRelational)
+          .Relation("Customer", {{"CustomerId", DataType::Int64()},
+                                 {"FullName", DataType::String()},
+                                 {"City", DataType::String()}},
+                    {"CustomerId"})
+          .Build();
+  model::Schema target =
+      SchemaBuilder("Billing", Metamodel::kRelational)
+          .Relation("Client", {{"ClientId", DataType::Int64()},
+                               {"Name", DataType::String()},
+                               {"Town", DataType::String()}},
+                    {"ClientId"})
+          .Build();
+  match::MatchOptions options;
+  options.thesaurus = {{"city", "town"},
+                       {"customer", "client"},
+                       {"fullname", "name"}};
+  match::SchemaMatcher matcher(options);
+  match::MatchResult proposals = matcher.Match(source, target);
+  std::vector<match::Correspondence> reviewed;
+  for (const match::Correspondence& c : proposals.best) {
+    if (!c.source.attribute.empty()) reviewed.push_back(c);
+  }
+  ASSERT_GE(reviewed.size(), 3u) << proposals.ToString();
+
+  auto constraints = match::InterpretCorrespondences(source, "Customer",
+                                                     target, "Client",
+                                                     reviewed);
+  ASSERT_TRUE(constraints.ok()) << constraints.status();
+  auto mapping = match::MappingFromConstraints("m", source, target,
+                                               *constraints);
+  ASSERT_TRUE(mapping.ok());
+
+  Instance db = Instance::EmptyFor(source);
+  ASSERT_TRUE(db.Insert("Customer", {Value::Int64(1), Value::String("Ada"),
+                                     Value::String("London")})
+                  .ok());
+  auto exchanged = runtime::Exchange(*mapping, db);
+  ASSERT_TRUE(exchanged.ok());
+  logic::ConjunctiveQuery q;
+  q.head = Atom{"Q", {V("n")}};
+  q.body = {Atom{"Client", {V("i"), V("n"), V("t")}}};
+  auto answers = chase::CertainAnswers(q, exchanged->target);
+  ASSERT_TRUE(answers.ok());
+  ASSERT_EQ(answers->size(), 1u);
+  EXPECT_EQ((*answers)[0][0], Value::String("Ada"));
+
+  // The same query answered without materialization agrees.
+  auto rewritten = rewrite::AnswerOnSource(*mapping, q, db);
+  ASSERT_TRUE(rewritten.ok());
+  EXPECT_EQ(*rewritten, *answers);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 2: ModelGen -> TransGen -> update propagation -> constraint
+// check (the wrapper-generation pipeline on a generated hierarchy).
+// ---------------------------------------------------------------------------
+TEST(IntegrationTest, WrapperPipelineOnGeneratedHierarchy) {
+  model::Schema er = workload::MakeHierarchy(2, 2, 3);
+  workload::Rng rng(77);
+  Instance entities = workload::MakeHierarchyInstance(er, 3, &rng);
+
+  auto generated = modelgen::ErToRelational(
+      er, modelgen::InheritanceStrategy::kTablePerType);
+  ASSERT_TRUE(generated.ok());
+  auto views = transgen::CompileFragments(er, "Objects",
+                                          generated->relational,
+                                          generated->fragments);
+  ASSERT_TRUE(views.ok());
+
+  runtime::UpdatePropagator propagator(*views, generated->fragments, er,
+                                       generated->relational);
+  ASSERT_TRUE(propagator.Initialize(entities).ok());
+  std::size_t notifications = 0;
+  propagator.Subscribe([&](const std::string&, const runtime::Delta&) {
+    ++notifications;
+  });
+
+  // Insert a leaf-type entity and verify tables stay key-consistent.
+  auto layout =
+      instance::ComputeEntitySetLayout(er, *er.FindEntitySet("Objects"));
+  ASSERT_TRUE(layout.ok());
+  std::string leaf = er.entity_types().back().name;
+  auto attrs = er.AllAttributesOf(leaf);
+  ASSERT_TRUE(attrs.ok());
+  std::vector<Value> values = {Value::Int64(999)};
+  for (std::size_t i = 1; i < attrs->size(); ++i) {
+    values.push_back(Value::String("v"));
+  }
+  auto tuple = instance::MakeEntityTuple(*layout, er, leaf, values);
+  ASSERT_TRUE(tuple.ok());
+  runtime::EntityOp op;
+  op.kind = runtime::EntityOp::Kind::kInsert;
+  op.entity = *tuple;
+  auto deltas = propagator.Apply(op);
+  ASSERT_TRUE(deltas.ok());
+  EXPECT_GT(notifications, 0u);
+  // TPT writes every table on the leaf's path: depth 2 + root = 3 tables.
+  EXPECT_EQ(deltas->size(), 3u);
+
+  // Key egds hold on every table.
+  std::vector<logic::Egd> keys;
+  for (const model::Relation& r : generated->relational.relations()) {
+    if (r.arity() < 2) continue;
+    logic::Egd egd;
+    Atom a1;
+    Atom a2;
+    a1.relation = r.name();
+    a2.relation = r.name();
+    a1.terms.push_back(V("k"));
+    a2.terms.push_back(V("k"));
+    for (std::size_t i = 1; i < r.arity(); ++i) {
+      a1.terms.push_back(Term::Var("x" + std::to_string(i)));
+      a2.terms.push_back(Term::Var("y" + std::to_string(i)));
+    }
+    egd.body = {a1, a2};
+    egd.left = "x1";
+    egd.right = "y1";
+    keys.push_back(std::move(egd));
+  }
+  EXPECT_TRUE(runtime::CheckEgds(propagator.tables(), keys).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 3: the full Section 6 evolution flow through the engine script,
+// including Diff of the genuinely new parts and an exact inverse.
+// ---------------------------------------------------------------------------
+TEST(IntegrationTest, EvolutionScriptWithDiffAndInverse) {
+  engine::Engine engine;
+  model::Schema s =
+      SchemaBuilder("S", Metamodel::kRelational)
+          .Relation("Data", {{"Id", DataType::Int64()},
+                             {"A", DataType::String()},
+                             {"B", DataType::String()}},
+                    {"Id"})
+          .Build();
+  model::Schema sp =
+      SchemaBuilder("Sp", Metamodel::kRelational)
+          .Relation("Left", {{"Id", DataType::Int64()},
+                             {"A", DataType::String()}},
+                    {"Id"})
+          .Relation("Right", {{"Id", DataType::Int64()},
+                              {"B", DataType::String()}},
+                    {"Id"})
+          .Relation("Audit", {{"Id", DataType::Int64()},
+                              {"When", DataType::Date()}},
+                    {"Id"})
+          .Build();
+  Tgd split;
+  split.body = {Atom{"Data", {V("i"), V("a"), V("b")}}};
+  split.head = {Atom{"Left", {V("i"), V("a")}},
+                Atom{"Right", {V("i"), V("b")}}};
+  ASSERT_TRUE(engine.repo().PutSchema(s).ok());
+  ASSERT_TRUE(engine.repo().PutSchema(sp).ok());
+  ASSERT_TRUE(
+      engine.repo().PutMapping(Mapping::FromTgds("evolve", s, sp, {split}))
+          .ok());
+  Instance db = Instance::EmptyFor(s);
+  ASSERT_TRUE(db.Insert("Data", {Value::Int64(1), Value::String("a"),
+                                 Value::String("b")})
+                  .ok());
+  ASSERT_TRUE(engine.repo().PutInstance("D", db).ok());
+
+  auto log = engine.RunScript(R"(
+exchange Dp evolve D
+inverse unevolve evolve
+exchange Dback unevolve Dp
+invert evolveInv evolve
+diff NewParts newMap evolveInv
+)");
+  ASSERT_TRUE(log.ok()) << log.status();
+
+  // Migration landed.
+  auto dp = engine.repo().GetInstance("Dp");
+  ASSERT_TRUE(dp.ok());
+  EXPECT_EQ(dp->Find("Left")->size(), 1u);
+  // The inverse migrated it back exactly.
+  auto dback = engine.repo().GetInstance("Dback");
+  ASSERT_TRUE(dback.ok());
+  EXPECT_TRUE(dback->Find("Data")->Contains(
+      {Value::Int64(1), Value::String("a"), Value::String("b")}));
+  // Diff found the Audit relation S never carried.
+  auto new_parts = engine.repo().GetSchema("NewParts");
+  ASSERT_TRUE(new_parts.ok());
+  ASSERT_EQ(new_parts->relations().size(), 1u);
+  EXPECT_EQ(new_parts->relations()[0].name(), "Audit");
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 4: merge two independently-evolved variants and pull data from
+// both through the projection mappings.
+// ---------------------------------------------------------------------------
+TEST(IntegrationTest, MergeThenProjectBothWays) {
+  workload::Rng rng(88);
+  model::Schema base = workload::RandomRelationalSchema("Base", 3, 4, &rng);
+  workload::PerturbedSchema variant = workload::PerturbNames(base, &rng);
+  auto result = merge::Merge(base, variant.schema, variant.reference);
+  ASSERT_TRUE(result.ok());
+
+  Instance merged_db = Instance::EmptyFor(result->merged);
+  for (const model::Relation& r : result->merged.relations()) {
+    instance::Tuple t;
+    for (std::size_t i = 0; i < r.arity(); ++i) {
+      t.push_back(r.IsKeyAttribute(i)
+                      ? Value::Int64(1)
+                      : Value::String("v" + std::to_string(i)));
+    }
+    merged_db.InsertUnchecked(r.name(), std::move(t));
+  }
+  auto left = chase::RunChase(result->to_left, merged_db);
+  auto right = chase::RunChase(result->to_right, merged_db);
+  ASSERT_TRUE(left.ok() && right.ok());
+  EXPECT_EQ(left->target.TotalTuples(), base.relations().size());
+  EXPECT_EQ(right->target.TotalTuples(), variant.schema.relations().size());
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 5: text round trip through the engine — load from text, run the
+// engine, save, reload.
+// ---------------------------------------------------------------------------
+TEST(IntegrationTest, TextInEngineOutText) {
+  auto schema = text::ParseSchema(R"(
+(schema S relational
+  (relation Names (attr SID int64 key) (attr Name string))
+  (relation Addresses (attr SID int64 key) (attr Address string)
+            (attr Country string))))");
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  auto sp = text::ParseSchema(R"(
+(schema Sp relational
+  (relation NamesP (attr SID int64 key) (attr Name string))))");
+  ASSERT_TRUE(sp.ok());
+  auto db = text::ParseInstance(R"(
+(instance (Names (1 "Ada") (2 "Bob")) (Addresses (1 "x" "US"))))");
+  ASSERT_TRUE(db.ok());
+
+  Tgd copy;
+  copy.body = {Atom{"Names", {V("s"), V("n")}}};
+  copy.head = {Atom{"NamesP", {V("s"), V("n")}}};
+
+  engine::Engine engine;
+  ASSERT_TRUE(engine.repo().PutSchema(*schema).ok());
+  ASSERT_TRUE(engine.repo().PutSchema(*sp).ok());
+  ASSERT_TRUE(engine.repo()
+                  .PutMapping(Mapping::FromTgds("m", *schema, *sp, {copy}))
+                  .ok());
+  ASSERT_TRUE(engine.repo().PutInstance("D", *db).ok());
+  ASSERT_TRUE(engine.RunScript("exchange Dp m D").ok());
+
+  auto out = engine.repo().GetInstance("Dp");
+  ASSERT_TRUE(out.ok());
+  auto reparsed = text::ParseInstance(text::InstanceToText(*out));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_TRUE(reparsed->Equals(*out));
+  EXPECT_EQ(reparsed->Find("NamesP")->size(), 2u);
+}
+
+}  // namespace
+}  // namespace mm2

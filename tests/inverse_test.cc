@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include "chase/chase.h"
+#include "inverse/inverse.h"
+#include "logic/formula.h"
+#include "model/schema.h"
+
+namespace mm2::inverse {
+namespace {
+
+using instance::Instance;
+using instance::Value;
+using logic::Atom;
+using logic::Mapping;
+using logic::Term;
+using logic::Tgd;
+using model::DataType;
+using model::Metamodel;
+using model::SchemaBuilder;
+
+Term V(const char* name) { return Term::Var(name); }
+
+model::Schema Src() {
+  return SchemaBuilder("S", Metamodel::kRelational)
+      .Relation("Names", {{"SID", DataType::Int64()},
+                          {"Name", DataType::String()}},
+                {"SID"})
+      .Relation("Addresses", {{"SID", DataType::Int64()},
+                              {"Address", DataType::String()},
+                              {"Country", DataType::String()}},
+                {"SID"})
+      .Build();
+}
+
+// Lossless decomposition: Names kept, Addresses split vertically.
+model::Schema TgtSplit() {
+  return SchemaBuilder("T", Metamodel::kRelational)
+      .Relation("NamesP", {{"SID", DataType::Int64()},
+                           {"Name", DataType::String()}},
+                {"SID"})
+      .Relation("AddrPart", {{"SID", DataType::Int64()},
+                             {"Address", DataType::String()}},
+                {"SID"})
+      .Relation("CountryPart", {{"SID", DataType::Int64()},
+                                {"Country", DataType::String()}},
+                {"SID"})
+      .Build();
+}
+
+Mapping LosslessMapping() {
+  Tgd names;
+  names.body = {Atom{"Names", {V("s"), V("n")}}};
+  names.head = {Atom{"NamesP", {V("s"), V("n")}}};
+  Tgd split;
+  split.body = {Atom{"Addresses", {V("s"), V("a"), V("c")}}};
+  split.head = {Atom{"AddrPart", {V("s"), V("a")}},
+                Atom{"CountryPart", {V("s"), V("c")}}};
+  return Mapping::FromTgds("split", Src(), TgtSplit(), {names, split});
+}
+
+Instance SrcDb() {
+  Instance db;
+  db.DeclareRelation("Names", 2);
+  db.DeclareRelation("Addresses", 3);
+  EXPECT_TRUE(db.Insert("Names", {Value::Int64(1), Value::String("Ada")}).ok());
+  EXPECT_TRUE(db.Insert("Names", {Value::Int64(2), Value::String("Bob")}).ok());
+  EXPECT_TRUE(db.Insert("Addresses", {Value::Int64(1), Value::String("12 Oak"),
+                                      Value::String("US")})
+                  .ok());
+  EXPECT_TRUE(db.Insert("Addresses", {Value::Int64(2), Value::String("5 Rue"),
+                                      Value::String("FR")})
+                  .ok());
+  return db;
+}
+
+TEST(InvertTest, SwapsSchemasAndConstraintSides) {
+  Mapping m = LosslessMapping();
+  auto inv = Invert(m);
+  ASSERT_TRUE(inv.ok());
+  EXPECT_EQ(inv->source().name(), "T");
+  EXPECT_EQ(inv->target().name(), "S");
+  ASSERT_EQ(inv->tgds().size(), 2u);
+  EXPECT_EQ(inv->tgds()[0].body[0].relation, "NamesP");
+  EXPECT_EQ(inv->tgds()[0].head[0].relation, "Names");
+}
+
+TEST(InvertTest, IsAnInvolution) {
+  Mapping m = LosslessMapping();
+  auto inv = Invert(m);
+  ASSERT_TRUE(inv.ok());
+  auto back = Invert(*inv);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->tgds().size(), m.tgds().size());
+  for (std::size_t i = 0; i < m.tgds().size(); ++i) {
+    EXPECT_EQ(back->tgds()[i].ToString(), m.tgds()[i].ToString());
+  }
+}
+
+TEST(InvertTest, RejectsSecondOrderMappings) {
+  logic::SoTgd so;
+  Mapping m = Mapping::FromSoTgd("so", Src(), TgtSplit(), so);
+  EXPECT_EQ(Invert(m).status().code(), StatusCode::kUnsupported);
+}
+
+TEST(ComputeInverseTest, LosslessDecompositionHasExactInverse) {
+  auto result = ComputeInverse(LosslessMapping());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->exact);
+  EXPECT_TRUE(result->lost.empty());
+
+  auto roundtrips = VerifyRoundtrip(LosslessMapping(), result->inverse,
+                                    SrcDb());
+  ASSERT_TRUE(roundtrips.ok());
+  EXPECT_TRUE(*roundtrips);
+}
+
+TEST(ComputeInverseTest, ProjectionYieldsQuasiInverse) {
+  // Addresses loses its Country column: quasi-inverse only.
+  model::Schema tgt =
+      SchemaBuilder("T", Metamodel::kRelational)
+          .Relation("AddrOnly", {{"SID", DataType::Int64()},
+                                 {"Address", DataType::String()}},
+                    {"SID"})
+          .Build();
+  Tgd proj;
+  proj.body = {Atom{"Addresses", {V("s"), V("a"), V("c")}}};
+  proj.head = {Atom{"AddrOnly", {V("s"), V("a")}}};
+  model::Schema src =
+      SchemaBuilder("S", Metamodel::kRelational)
+          .Relation("Addresses", {{"SID", DataType::Int64()},
+                                  {"Address", DataType::String()},
+                                  {"Country", DataType::String()}},
+                    {"SID"})
+          .Build();
+  Mapping m = Mapping::FromTgds("proj", src, tgt, {proj});
+  auto result = ComputeInverse(m);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->exact);
+  ASSERT_EQ(result->lost.size(), 1u);
+  EXPECT_EQ(result->lost[0], "Addresses.Country");
+
+  // The quasi-inverse still recovers the surviving columns: chase back
+  // and check SID/Address pairs, with Country a labeled null.
+  Instance db;
+  db.DeclareRelation("Addresses", 3);
+  ASSERT_TRUE(db.Insert("Addresses", {Value::Int64(1), Value::String("x"),
+                                      Value::String("US")})
+                  .ok());
+  auto forward = chase::RunChase(m, db);
+  ASSERT_TRUE(forward.ok());
+  auto back = chase::RunChase(result->inverse, forward->target);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->target.Find("Addresses")->size(), 1u);
+  const instance::Tuple& t =
+      *back->target.Find("Addresses")->tuples().begin();
+  EXPECT_EQ(t[0], Value::Int64(1));
+  EXPECT_EQ(t[1], Value::String("x"));
+  EXPECT_TRUE(t[2].is_labeled_null());
+}
+
+TEST(ComputeInverseTest, DroppedRelationIsReportedLost) {
+  // Names is never mapped: whole relation lost.
+  Tgd only_addr;
+  only_addr.body = {Atom{"Addresses", {V("s"), V("a"), V("c")}}};
+  only_addr.head = {Atom{"AddrPart", {V("s"), V("a")}},
+                    Atom{"CountryPart", {V("s"), V("c")}}};
+  Mapping m = Mapping::FromTgds("partial", Src(), TgtSplit(), {only_addr});
+  auto result = ComputeInverse(m);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->exact);
+  ASSERT_EQ(result->lost.size(), 1u);
+  EXPECT_EQ(result->lost[0], "Names");
+}
+
+TEST(ComputeInverseTest, UnionFunnelIsNotExact) {
+  // R and S both land in T: reconstruction bleeds across relations, so the
+  // candidate must be flagged non-exact by the joint canonical check.
+  SchemaBuilder srcb("S", Metamodel::kRelational);
+  srcb.Relation("R", {{"a", DataType::String()}});
+  srcb.Relation("Q", {{"a", DataType::String()}});
+  model::Schema src = std::move(srcb).Build();
+  model::Schema tgt = SchemaBuilder("T", Metamodel::kRelational)
+                          .Relation("U", {{"a", DataType::String()}})
+                          .Build();
+  Tgd r;
+  r.body = {Atom{"R", {V("x")}}};
+  r.head = {Atom{"U", {V("x")}}};
+  Tgd q;
+  q.body = {Atom{"Q", {V("x")}}};
+  q.head = {Atom{"U", {V("x")}}};
+  Mapping m = Mapping::FromTgds("funnel", src, tgt, {r, q});
+  auto result = ComputeInverse(m);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->exact);
+}
+
+TEST(ComputeInverseTest, FullyLossyMappingHasNoInverse) {
+  // Only an existence marker survives: nothing reconstructible.
+  model::Schema src = SchemaBuilder("S", Metamodel::kRelational)
+                          .Relation("R", {{"a", DataType::String()}})
+                          .Build();
+  model::Schema tgt = SchemaBuilder("T", Metamodel::kRelational)
+                          .Relation("Flag", {{"x", DataType::String()}})
+                          .Build();
+  Tgd lossy;
+  lossy.body = {Atom{"R", {V("x")}}};
+  lossy.head = {Atom{"Flag", {V("e")}}};  // existential only
+  Mapping m = Mapping::FromTgds("lossy", src, tgt, {lossy});
+  auto result = ComputeInverse(m);
+  EXPECT_EQ(result.status().code(), StatusCode::kNotExpressible);
+}
+
+TEST(VerifyRoundtripTest, DetectsNonRoundtrip) {
+  Mapping m = LosslessMapping();
+  // A wrong candidate: maps NamesP back into Names with swapped columns.
+  Tgd wrong;
+  wrong.body = {Atom{"NamesP", {V("s"), V("n")}}};
+  wrong.head = {Atom{"Names", {V("n"), V("s")}}};
+  Mapping bad = Mapping::FromTgds("bad", TgtSplit(), Src(), {wrong});
+  auto ok = VerifyRoundtrip(m, bad, SrcDb());
+  ASSERT_TRUE(ok.ok());
+  EXPECT_FALSE(*ok);
+}
+
+}  // namespace
+}  // namespace mm2::inverse

@@ -1,0 +1,306 @@
+#include <gtest/gtest.h>
+
+#include "instance/value.h"
+#include "logic/formula.h"
+#include "logic/mapping.h"
+#include "logic/term.h"
+#include "model/schema.h"
+
+namespace mm2::logic {
+namespace {
+
+using instance::Value;
+using model::DataType;
+using model::Metamodel;
+using model::SchemaBuilder;
+
+Term V(const char* name) { return Term::Var(name); }
+Term C(std::int64_t v) { return Term::Const(Value::Int64(v)); }
+
+TEST(TermTest, KindsAndToString) {
+  EXPECT_EQ(V("x").ToString(), "x");
+  EXPECT_EQ(C(3).ToString(), "3");
+  Term f = Term::Func("f", {V("x"), C(1)});
+  EXPECT_EQ(f.ToString(), "f(x, 1)");
+  EXPECT_TRUE(f.is_function());
+  EXPECT_TRUE(f.ContainsVariable("x"));
+  EXPECT_FALSE(f.ContainsVariable("y"));
+}
+
+TEST(TermTest, CollectVariablesRecursesIntoFunctions) {
+  Term nested = Term::Func("f", {V("x"), Term::Func("g", {V("y")})});
+  std::set<std::string> vars;
+  nested.CollectVariables(&vars);
+  EXPECT_EQ(vars, (std::set<std::string>{"x", "y"}));
+}
+
+TEST(SubstitutionTest, ApplyChasesBindings) {
+  Substitution s;
+  s.Bind("x", V("y"));
+  s.Bind("y", C(3));
+  EXPECT_EQ(s.Apply(V("x")), C(3));
+  EXPECT_EQ(s.Apply(V("z")), V("z"));
+  Term f = Term::Func("f", {V("x")});
+  EXPECT_EQ(s.Apply(f).ToString(), "f(3)");
+}
+
+TEST(UnifyTest, VariableBindsToConstant) {
+  Substitution s;
+  EXPECT_TRUE(UnifyTerms(V("x"), C(5), &s));
+  EXPECT_EQ(s.Apply(V("x")), C(5));
+}
+
+TEST(UnifyTest, ConstantsMustMatch) {
+  Substitution s;
+  EXPECT_TRUE(UnifyTerms(C(5), C(5), &s));
+  EXPECT_FALSE(UnifyTerms(C(5), C(6), &s));
+}
+
+TEST(UnifyTest, FunctionsUnifyStructurally) {
+  Substitution s;
+  Term f1 = Term::Func("f", {V("x"), C(1)});
+  Term f2 = Term::Func("f", {C(2), V("y")});
+  EXPECT_TRUE(UnifyTerms(f1, f2, &s));
+  EXPECT_EQ(s.Apply(V("x")), C(2));
+  EXPECT_EQ(s.Apply(V("y")), C(1));
+  Substitution s2;
+  EXPECT_FALSE(UnifyTerms(Term::Func("f", {V("x")}),
+                          Term::Func("g", {V("x")}), &s2));
+}
+
+TEST(UnifyTest, OccursCheckRejectsCyclicBinding) {
+  Substitution s;
+  EXPECT_FALSE(UnifyTerms(V("x"), Term::Func("f", {V("x")}), &s));
+}
+
+TEST(UnifyTest, TransitiveUnification) {
+  Substitution s;
+  EXPECT_TRUE(UnifyTerms(V("x"), V("y"), &s));
+  EXPECT_TRUE(UnifyTerms(V("y"), C(7), &s));
+  EXPECT_EQ(s.Apply(V("x")), C(7));
+}
+
+TEST(AtomTest, SubstitutionAndUnification) {
+  Atom a{"R", {V("x"), C(1)}};
+  Atom b{"R", {C(2), V("y")}};
+  Substitution s;
+  EXPECT_TRUE(UnifyAtoms(a, b, &s));
+  EXPECT_EQ(a.ApplySubstitution(s).ToString(), "R(2, 1)");
+  Atom c{"S", {V("x")}};
+  Substitution s2;
+  EXPECT_FALSE(UnifyAtoms(a, c, &s2));
+  Atom d{"R", {V("x")}};  // wrong arity
+  Substitution s3;
+  EXPECT_FALSE(UnifyAtoms(a, d, &s3));
+}
+
+Tgd MakeTgd() {
+  // Names(sid, n) -> Students(n, a)   [a existential]
+  Tgd tgd;
+  tgd.body = {Atom{"Names", {V("sid"), V("n")}}};
+  tgd.head = {Atom{"Students", {V("n"), V("a")}}};
+  return tgd;
+}
+
+TEST(TgdTest, VariableClassification) {
+  Tgd tgd = MakeTgd();
+  EXPECT_EQ(tgd.BodyVariables(), (std::set<std::string>{"sid", "n"}));
+  EXPECT_EQ(tgd.ExistentialVariables(), (std::set<std::string>{"a"}));
+  EXPECT_FALSE(tgd.IsFull());
+  Tgd full;
+  full.body = {Atom{"R", {V("x")}}};
+  full.head = {Atom{"T", {V("x")}}};
+  EXPECT_TRUE(full.IsFull());
+}
+
+TEST(TgdTest, RenameVariablesIsCaptureFree) {
+  Tgd tgd = MakeTgd();
+  NameGenerator gen("v");
+  Tgd renamed = tgd.RenameVariables(&gen);
+  EXPECT_EQ(renamed.BodyVariables().size(), 2u);
+  EXPECT_EQ(renamed.ExistentialVariables().size(), 1u);
+  for (const std::string& v : renamed.BodyVariables()) {
+    EXPECT_EQ(v.rfind("v", 0), 0u) << v;
+  }
+}
+
+TEST(TgdTest, ValidateAgainstSchemas) {
+  model::Schema src = SchemaBuilder("S", Metamodel::kRelational)
+                          .Relation("Names", {{"SID", DataType::Int64()},
+                                              {"Name", DataType::String()}})
+                          .Build();
+  model::Schema tgt = SchemaBuilder("T", Metamodel::kRelational)
+                          .Relation("Students", {{"Name", DataType::String()},
+                                                 {"Addr", DataType::String()}})
+                          .Build();
+  EXPECT_TRUE(MakeTgd().Validate(&src, &tgt).ok());
+
+  Tgd bad = MakeTgd();
+  bad.body[0].relation = "Missing";
+  EXPECT_EQ(bad.Validate(&src, &tgt).code(), StatusCode::kNotFound);
+
+  Tgd bad_arity = MakeTgd();
+  bad_arity.head[0].terms.push_back(V("z"));
+  EXPECT_FALSE(bad_arity.Validate(&src, &tgt).ok());
+
+  Tgd empty;
+  EXPECT_FALSE(empty.Validate(nullptr, nullptr).ok());
+
+  Tgd with_func = MakeTgd();
+  with_func.head[0].terms[1] = Term::Func("f", {V("sid")});
+  EXPECT_FALSE(with_func.Validate(nullptr, nullptr).ok());
+}
+
+TEST(EgdTest, Validate) {
+  Egd egd;
+  egd.body = {Atom{"R", {V("x"), V("y")}}, Atom{"R", {V("x"), V("z")}}};
+  egd.left = "y";
+  egd.right = "z";
+  EXPECT_TRUE(egd.Validate(nullptr).ok());
+  egd.right = "unbound";
+  EXPECT_FALSE(egd.Validate(nullptr).ok());
+}
+
+TEST(SkolemizeTest, ExistentialsBecomeFunctionsOfBodyVars) {
+  Tgd tgd = MakeTgd();
+  NameGenerator gen("f");
+  std::set<std::string> functions;
+  SoTgdClause clause = Skolemize(tgd, &gen, &functions);
+  EXPECT_EQ(functions.size(), 1u);
+  ASSERT_EQ(clause.head.size(), 1u);
+  const Term& skolem = clause.head[0].terms[1];
+  ASSERT_TRUE(skolem.is_function());
+  EXPECT_EQ(skolem.args().size(), 2u);  // f(n, sid)
+  // Universal variable passes through untouched.
+  EXPECT_TRUE(clause.head[0].terms[0].is_variable());
+}
+
+TEST(DeskolemizeTest, RoundTripsSimpleTgds) {
+  Tgd tgd = MakeTgd();
+  NameGenerator gen("f");
+  SoTgd so;
+  so.clauses.push_back(Skolemize(tgd, &gen, &so.functions));
+  auto back = Deskolemize(so);
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->size(), 1u);
+  EXPECT_EQ((*back)[0].body, tgd.body);
+  EXPECT_EQ((*back)[0].ExistentialVariables().size(), 1u);
+}
+
+TEST(DeskolemizeTest, RejectsFunctionSharedAcrossClauses) {
+  // f appears in two clauses: genuinely second-order.
+  SoTgd so;
+  so.functions = {"f"};
+  SoTgdClause c1;
+  c1.body = {Atom{"R", {V("x")}}};
+  c1.head = {Atom{"T", {V("x"), Term::Func("f", {V("x")})}}};
+  SoTgdClause c2;
+  c2.body = {Atom{"S", {V("x")}}};
+  c2.head = {Atom{"U", {Term::Func("f", {V("x")})}}};
+  so.clauses = {c1, c2};
+  EXPECT_FALSE(Deskolemize(so).has_value());
+}
+
+TEST(DeskolemizeTest, RejectsNestedAndEqualityFunctions) {
+  SoTgd nested;
+  nested.functions = {"f", "g"};
+  SoTgdClause c;
+  c.body = {Atom{"R", {V("x")}}};
+  c.head = {Atom{"T", {Term::Func("f", {Term::Func("g", {V("x")})})}}};
+  nested.clauses = {c};
+  EXPECT_FALSE(Deskolemize(nested).has_value());
+
+  SoTgd with_eq;
+  with_eq.functions = {"f"};
+  SoTgdClause c2;
+  c2.body = {Atom{"R", {V("x"), V("y")}}};
+  c2.equalities = {{Term::Func("f", {V("x")}), Term::Func("f", {V("y")})}};
+  c2.head = {Atom{"T", {V("x")}}};
+  with_eq.clauses = {c2};
+  EXPECT_FALSE(Deskolemize(with_eq).has_value());
+}
+
+TEST(DeskolemizeTest, RejectsRepeatedOrNonVariableArguments) {
+  SoTgd repeated;
+  repeated.functions = {"f"};
+  SoTgdClause c;
+  c.body = {Atom{"R", {V("x")}}};
+  c.head = {Atom{"T", {Term::Func("f", {V("x"), V("x")})}}};
+  repeated.clauses = {c};
+  EXPECT_FALSE(Deskolemize(repeated).has_value());
+
+  SoTgd with_const;
+  with_const.functions = {"f"};
+  SoTgdClause c2;
+  c2.body = {Atom{"R", {V("x")}}};
+  c2.head = {Atom{"T", {Term::Func("f", {C(1)})}}};
+  with_const.clauses = {c2};
+  EXPECT_FALSE(Deskolemize(with_const).has_value());
+}
+
+TEST(ConjunctiveQueryTest, Validate) {
+  ConjunctiveQuery q;
+  q.head = Atom{"Q", {V("x")}};
+  q.body = {Atom{"R", {V("x"), V("y")}}};
+  EXPECT_TRUE(q.Validate().ok());
+  q.head = Atom{"Q", {V("z")}};
+  EXPECT_FALSE(q.Validate().ok());
+  q.head = Atom{"Q", {V("x")}};
+  q.body.clear();
+  EXPECT_FALSE(q.Validate().ok());
+}
+
+TEST(MappingTest, FromTgdsAndSkolemized) {
+  model::Schema src = SchemaBuilder("S", Metamodel::kRelational)
+                          .Relation("Names", {{"SID", DataType::Int64()},
+                                              {"Name", DataType::String()}})
+                          .Build();
+  model::Schema tgt = SchemaBuilder("T", Metamodel::kRelational)
+                          .Relation("Students", {{"Name", DataType::String()},
+                                                 {"Addr", DataType::String()}})
+                          .Build();
+  Mapping m = Mapping::FromTgds("m", src, tgt, {MakeTgd()});
+  EXPECT_FALSE(m.is_second_order());
+  EXPECT_EQ(m.ClauseCount(), 1u);
+  EXPECT_TRUE(m.Validate().ok());
+
+  SoTgd so = m.Skolemized();
+  EXPECT_EQ(so.clauses.size(), 1u);
+  EXPECT_EQ(so.functions.size(), 1u);
+
+  Mapping m2 = Mapping::FromSoTgd("m2", src, tgt, so);
+  EXPECT_TRUE(m2.is_second_order());
+  EXPECT_EQ(m2.ClauseCount(), 1u);
+  // Skolemized() on an SO mapping returns the SO-tgd itself.
+  EXPECT_EQ(m2.Skolemized().clauses.size(), 1u);
+}
+
+TEST(MappingTest, ValidateCatchesVocabularyErrors) {
+  model::Schema src = SchemaBuilder("S", Metamodel::kRelational)
+                          .Relation("Names", {{"SID", DataType::Int64()},
+                                              {"Name", DataType::String()}})
+                          .Build();
+  model::Schema tgt = SchemaBuilder("T", Metamodel::kRelational)
+                          .Relation("Students", {{"Name", DataType::String()},
+                                                 {"Addr", DataType::String()}})
+                          .Build();
+  Tgd bad;
+  bad.body = {Atom{"Nope", {V("x")}}};
+  bad.head = {Atom{"Students", {V("x"), V("x")}}};
+  Mapping m = Mapping::FromTgds("bad", src, tgt, {bad});
+  EXPECT_FALSE(m.Validate().ok());
+}
+
+TEST(SoTgdTest, AllFunctionTermsDeduplicates) {
+  SoTgd so;
+  so.functions = {"f"};
+  SoTgdClause c;
+  c.body = {Atom{"R", {V("x")}}};
+  Term fx = Term::Func("f", {V("x")});
+  c.head = {Atom{"T", {fx, fx}}};
+  so.clauses = {c};
+  EXPECT_EQ(so.AllFunctionTerms().size(), 1u);
+}
+
+}  // namespace
+}  // namespace mm2::logic

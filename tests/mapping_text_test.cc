@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "chase/chase.h"
+#include "logic/implication.h"
+#include "text/sexpr.h"
+
+namespace mm2::text {
+namespace {
+
+using instance::Value;
+using logic::Mapping;
+
+constexpr char kFig6Mapping[] = R"(
+(mapping mapSSp
+  (source (schema S relational
+    (relation Names (attr SID int64 key) (attr Name string))
+    (relation Addresses (attr SID int64 key) (attr Address string)
+              (attr Country string))))
+  (target (schema Sprime relational
+    (relation NamesP (attr SID int64 key) (attr Name string))
+    (relation Local (attr SID int64 key) (attr Address string))
+    (relation Foreign (attr SID int64 key) (attr Address string)
+              (attr Country string))))
+  (tgd (body (Names s n)) (head (NamesP s n)))
+  (tgd (body (Addresses s a "US")) (head (Local s a)))
+  (tgd (body (Addresses s a c)) (head (Foreign s a c))))
+)";
+
+TEST(MappingTextTest, ParsesFig6Mapping) {
+  auto m = ParseMapping(kFig6Mapping);
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_EQ(m->name(), "mapSSp");
+  EXPECT_EQ(m->source().name(), "S");
+  EXPECT_EQ(m->target().name(), "Sprime");
+  ASSERT_EQ(m->tgds().size(), 3u);
+  // The "US" constant survives.
+  EXPECT_EQ(m->tgds()[1].body[0].terms[2],
+            logic::Term::Const(Value::String("US")));
+  EXPECT_TRUE(m->Validate().ok());
+}
+
+TEST(MappingTextTest, RoundTripPreservesSemantics) {
+  auto original = ParseMapping(kFig6Mapping);
+  ASSERT_TRUE(original.ok());
+  std::string rendered = MappingToText(*original);
+  auto reparsed = ParseMapping(rendered);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status() << "\n" << rendered;
+  auto equivalent = logic::AreEquivalent(*original, *reparsed);
+  ASSERT_TRUE(equivalent.ok()) << equivalent.status();
+  EXPECT_TRUE(*equivalent);
+  // Rendering is a fixpoint after one round.
+  EXPECT_EQ(MappingToText(*reparsed), rendered);
+}
+
+TEST(MappingTextTest, EgdsRoundTrip) {
+  const char* text = R"(
+(mapping keyed
+  (source (schema S relational (relation R (attr a int64) (attr b string))))
+  (target (schema T relational (relation U (attr a int64) (attr b string))))
+  (tgd (body (R x y)) (head (U x y)))
+  (egd (body (U k v1) (U k v2)) (eq v1 v2)))
+)";
+  auto m = ParseMapping(text);
+  ASSERT_TRUE(m.ok()) << m.status();
+  ASSERT_EQ(m->target_egds().size(), 1u);
+  EXPECT_EQ(m->target_egds()[0].left, "v1");
+  auto reparsed = ParseMapping(MappingToText(*m));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(reparsed->target_egds().size(), 1u);
+}
+
+TEST(MappingTextTest, ParsedMappingExecutes) {
+  auto m = ParseMapping(kFig6Mapping);
+  ASSERT_TRUE(m.ok());
+  instance::Instance db;
+  db.DeclareRelation("Names", 2);
+  db.DeclareRelation("Addresses", 3);
+  ASSERT_TRUE(db.Insert("Names", {Value::Int64(1), Value::String("Ada")}).ok());
+  ASSERT_TRUE(db.Insert("Addresses", {Value::Int64(1), Value::String("x"),
+                                      Value::String("US")})
+                  .ok());
+  auto result = chase::RunChase(*m, db);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->target.Find("Local")->size(), 1u);
+  EXPECT_EQ(result->target.Find("NamesP")->size(), 1u);
+}
+
+TEST(MappingTextTest, Errors) {
+  EXPECT_FALSE(ParseMapping("(notamapping x)").ok());
+  EXPECT_FALSE(ParseMapping("(mapping m)").ok());  // no source/target
+  EXPECT_FALSE(ParseMapping(R"(
+(mapping m
+  (source (schema S relational (relation R (attr a int64))))
+  (target (schema T relational (relation U (attr a int64))))
+  (tgd (body (Missing x)) (head (U x)))))").ok());  // vocabulary error
+  EXPECT_FALSE(ParseMapping(R"(
+(mapping m
+  (source (schema S relational (relation R (attr a int64))))
+  (target (schema T relational (relation U (attr a int64))))
+  (tgd (body (R x)))))").ok());  // malformed tgd
+  // Numeric-looking garbage term.
+  EXPECT_FALSE(ParseMapping(R"(
+(mapping m
+  (source (schema S relational (relation R (attr a int64))))
+  (target (schema T relational (relation U (attr a int64))))
+  (tgd (body (R 12x)) (head (U y)))))").ok());
+}
+
+}  // namespace
+}  // namespace mm2::text

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include "match/matcher.h"
+#include "model/schema.h"
+
+namespace mm2::match {
+namespace {
+
+using model::DataType;
+using model::ElementRef;
+using model::Metamodel;
+using model::SchemaBuilder;
+
+model::Schema LeftSchema() {
+  return SchemaBuilder("L", Metamodel::kRelational)
+      .Relation("Employee",
+                {{"EmployeeId", DataType::Int64()},
+                 {"FullName", DataType::String()},
+                 {"Department", DataType::String()},
+                 {"Salary", DataType::Double()}},
+                {"EmployeeId"})
+      .Relation("Project",
+                {{"ProjectId", DataType::Int64()},
+                 {"Title", DataType::String()}},
+                {"ProjectId"})
+      .Build();
+}
+
+model::Schema RightSchema() {
+  return SchemaBuilder("R", Metamodel::kRelational)
+      .Relation("Empl",
+                {{"EmplId", DataType::Int64()},
+                 {"Name", DataType::String()},
+                 {"Dept", DataType::String()},
+                 {"Pay", DataType::Double()}},
+                {"EmplId"})
+      .Relation("Proj",
+                {{"ProjId", DataType::Int64()},
+                 {"ProjTitle", DataType::String()}},
+                {"ProjId"})
+      .Build();
+}
+
+TEST(MatcherTest, IdenticalNamesScoreHighest) {
+  model::Schema s = LeftSchema();
+  SchemaMatcher matcher;
+  double same = matcher.LexicalSimilarity(s, {"Employee", "Salary"}, s,
+                                          {"Employee", "Salary"});
+  double diff = matcher.LexicalSimilarity(s, {"Employee", "Salary"}, s,
+                                          {"Project", "Title"});
+  EXPECT_GT(same, 0.9);
+  EXPECT_LT(diff, same);
+}
+
+TEST(MatcherTest, ContainerAndAttributeElementsNeverMatch) {
+  model::Schema s = LeftSchema();
+  SchemaMatcher matcher;
+  EXPECT_DOUBLE_EQ(matcher.LexicalSimilarity(s, {"Employee", ""}, s,
+                                             {"Employee", "FullName"}),
+                   0.0);
+}
+
+TEST(MatcherTest, AbbreviationsMatchViaTokensAndTrigrams) {
+  model::Schema l = LeftSchema();
+  model::Schema r = RightSchema();
+  SchemaMatcher matcher;
+  double sim = matcher.LexicalSimilarity(l, {"Employee", "EmployeeId"}, r,
+                                         {"Empl", "EmplId"});
+  EXPECT_GT(sim, 0.4);
+  double dept = matcher.LexicalSimilarity(l, {"Employee", "Department"}, r,
+                                          {"Empl", "Dept"});
+  EXPECT_GT(dept, 0.4);
+}
+
+TEST(MatcherTest, ThesaurusBridgesSynonyms) {
+  model::Schema l = LeftSchema();
+  model::Schema r = RightSchema();
+  MatchOptions plain;
+  SchemaMatcher no_thesaurus(plain);
+  MatchOptions with;
+  with.thesaurus = {{"salary", "pay"}};
+  SchemaMatcher thesaurus(with);
+  double before = no_thesaurus.LexicalSimilarity(l, {"Employee", "Salary"}, r,
+                                                 {"Empl", "Pay"});
+  double after = thesaurus.LexicalSimilarity(l, {"Employee", "Salary"}, r,
+                                             {"Empl", "Pay"});
+  EXPECT_GT(after, before);
+  EXPECT_GT(after, 0.5);
+}
+
+std::vector<Correspondence> ReferenceAlignment() {
+  return {
+      {{"Employee", "EmployeeId"}, {"Empl", "EmplId"}, 1.0},
+      {{"Employee", "FullName"}, {"Empl", "Name"}, 1.0},
+      {{"Employee", "Department"}, {"Empl", "Dept"}, 1.0},
+      {{"Employee", "Salary"}, {"Empl", "Pay"}, 1.0},
+      {{"Project", "ProjectId"}, {"Proj", "ProjId"}, 1.0},
+      {{"Project", "Title"}, {"Proj", "ProjTitle"}, 1.0},
+  };
+}
+
+TEST(MatcherTest, EndToEndRecallWithThesaurus) {
+  MatchOptions options;
+  options.thesaurus = {{"salary", "pay"}, {"name", "fullname"}};
+  options.top_k = 3;
+  SchemaMatcher matcher(options);
+  MatchResult result = matcher.Match(LeftSchema(), RightSchema());
+
+  double recall = CandidateRecall(result, ReferenceAlignment());
+  EXPECT_GE(recall, 0.8) << result.ToString();
+}
+
+TEST(MatcherTest, StructuralPropagationHelpsAmbiguousAttributes) {
+  // Two relations each with an attribute "Id"-ish: structure should route
+  // Employee.Department to Empl.Dept rather than Proj.ProjTitle.
+  SchemaMatcher matcher;
+  MatchResult result = matcher.Match(LeftSchema(), RightSchema());
+  bool found = false;
+  for (const Correspondence& c : result.best) {
+    if (c.source == ElementRef{"Employee", "Department"}) {
+      found = true;
+      EXPECT_EQ(c.target.container, "Empl");
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(MatcherTest, TopKReturnsAllViableCandidates) {
+  MatchOptions options;
+  options.top_k = 5;
+  options.threshold = 0.2;
+  SchemaMatcher matcher(options);
+  MatchResult result = matcher.Match(LeftSchema(), RightSchema());
+  auto it = result.candidates.find(ElementRef{"Employee", "FullName"});
+  ASSERT_NE(it, result.candidates.end());
+  EXPECT_GE(it->second.size(), 2u);  // more than just the best
+  // Candidates are sorted best-first.
+  for (std::size_t i = 1; i < it->second.size(); ++i) {
+    EXPECT_GE(it->second[i - 1].score, it->second[i].score);
+  }
+}
+
+TEST(MatcherTest, ThresholdSuppressesWeakMatches) {
+  MatchOptions options;
+  options.threshold = 0.99;
+  SchemaMatcher matcher(options);
+  MatchResult result = matcher.Match(LeftSchema(), RightSchema());
+  EXPECT_TRUE(result.best.empty());
+}
+
+TEST(MatcherTest, EmptySchemasYieldNoMatches) {
+  model::Schema empty("E", Metamodel::kRelational);
+  SchemaMatcher matcher;
+  MatchResult result = matcher.Match(empty, RightSchema());
+  EXPECT_TRUE(result.best.empty());
+}
+
+TEST(MatchQualityTest, PrecisionRecallF1) {
+  std::vector<Correspondence> reference = ReferenceAlignment();
+  // Proposal with 3 correct out of 4 proposed, 6 in reference.
+  std::vector<Correspondence> proposed = {
+      reference[0], reference[1], reference[2],
+      {{"Project", "Title"}, {"Empl", "Name"}, 0.4},
+  };
+  MatchQuality q = EvaluateMatch(proposed, reference);
+  EXPECT_DOUBLE_EQ(q.precision, 0.75);
+  EXPECT_DOUBLE_EQ(q.recall, 0.5);
+  EXPECT_GT(q.f1, 0.59);
+  EXPECT_LT(q.f1, 0.61);
+
+  MatchQuality zero = EvaluateMatch({}, reference);
+  EXPECT_DOUBLE_EQ(zero.precision, 0.0);
+  EXPECT_DOUBLE_EQ(zero.f1, 0.0);
+}
+
+TEST(MatcherTest, ErSchemasMatchEntityTypes) {
+  model::Schema er1 =
+      SchemaBuilder("A", Metamodel::kEntityRelationship)
+          .EntityType("Person", "", {{"Id", DataType::Int64()},
+                                     {"Name", DataType::String()}})
+          .EntitySet("Persons", "Person")
+          .Build();
+  model::Schema er2 =
+      SchemaBuilder("B", Metamodel::kEntityRelationship)
+          .EntityType("Individual", "", {{"PersonId", DataType::Int64()},
+                                         {"PersonName", DataType::String()}})
+          .EntitySet("Individuals", "Individual")
+          .Build();
+  SchemaMatcher matcher;
+  MatchResult result = matcher.Match(er1, er2);
+  bool name_matched = false;
+  for (const Correspondence& c : result.best) {
+    if (c.source == ElementRef{"Person", "Name"} &&
+        c.target == ElementRef{"Individual", "PersonName"}) {
+      name_matched = true;
+    }
+  }
+  EXPECT_TRUE(name_matched) << result.ToString();
+}
+
+}  // namespace
+}  // namespace mm2::match

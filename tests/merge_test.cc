@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include "chase/chase.h"
+#include "merge/merge.h"
+#include "model/schema.h"
+
+namespace mm2::merge {
+namespace {
+
+using instance::Instance;
+using instance::Value;
+using match::Correspondence;
+using model::DataType;
+using model::Metamodel;
+using model::SchemaBuilder;
+
+model::Schema Left() {
+  return SchemaBuilder("A", Metamodel::kRelational)
+      .Relation("Person",
+                {{"Id", DataType::Int64()}, {"Name", DataType::String()}},
+                {"Id"})
+      .Relation("City", {{"Zip", DataType::String()},
+                         {"CityName", DataType::String()}},
+                {"Zip"})
+      .Build();
+}
+
+model::Schema Right() {
+  return SchemaBuilder("B", Metamodel::kRelational)
+      .Relation("Individual",
+                {{"PersonId", DataType::Double()},  // type conflict vs Int64
+                 {"FullName", DataType::String()},
+                 {"Age", DataType::Int64()}},
+                {"PersonId"})
+      .Relation("Hobby", {{"HobbyId", DataType::Int64()},
+                          {"Label", DataType::String()}},
+                {"HobbyId"})
+      .Build();
+}
+
+std::vector<Correspondence> Corrs() {
+  return {
+      {{"Person", "Id"}, {"Individual", "PersonId"}, 1.0},
+      {{"Person", "Name"}, {"Individual", "FullName"}, 1.0},
+  };
+}
+
+TEST(MergeTest, CorrespondingContainersCollapse) {
+  auto result = Merge(Left(), Right(), Corrs());
+  ASSERT_TRUE(result.ok()) << result.status();
+  // Person+Individual merge; City and Hobby are copied: 3 relations.
+  EXPECT_EQ(result->merged.relations().size(), 3u);
+  const model::Relation* person = result->merged.FindRelation("Person");
+  ASSERT_NE(person, nullptr);
+  // Id, Name from left; Age appended from right.
+  EXPECT_EQ(person->AttributeNames(),
+            (std::vector<std::string>{"Id", "Name", "Age"}));
+  EXPECT_EQ(result->stats.containers_merged, 1u);
+  EXPECT_EQ(result->stats.attributes_merged, 2u);
+  // Right-only attribute is nullable in the merged world.
+  EXPECT_TRUE(person->attributes()[2].nullable);
+}
+
+TEST(MergeTest, TypeConflictsResolveByPromotion) {
+  auto result = Merge(Left(), Right(), Corrs());
+  ASSERT_TRUE(result.ok());
+  const model::Relation* person = result->merged.FindRelation("Person");
+  // Int64 vs Double promotes to Double.
+  EXPECT_TRUE(person->attributes()[0].type->Equals(*DataType::Double()));
+  EXPECT_EQ(result->stats.type_conflicts, 1u);
+}
+
+TEST(MergeTest, MergedSizeFormula) {
+  // |merged attrs| = |A| + |B| - |overlap|.
+  auto result = Merge(Left(), Right(), Corrs());
+  ASSERT_TRUE(result.ok());
+  std::size_t total = 0;
+  for (const model::Relation& r : result->merged.relations()) {
+    total += r.arity();
+  }
+  EXPECT_EQ(total, 4u + 5u - 2u);
+}
+
+TEST(MergeTest, ProjectionMappingsRecoverInputs) {
+  auto result = Merge(Left(), Right(), Corrs());
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->to_left.Validate().ok()) << result->to_left.ToString();
+  ASSERT_TRUE(result->to_right.Validate().ok());
+
+  // Populate a merged instance and project both ways.
+  Instance merged = Instance::EmptyFor(result->merged);
+  ASSERT_TRUE(merged
+                  .Insert("Person", {Value::Double(1), Value::String("Ada"),
+                                     Value::Int64(30)})
+                  .ok());
+  ASSERT_TRUE(
+      merged.Insert("City", {Value::String("10115"), Value::String("Berlin")})
+          .ok());
+  ASSERT_TRUE(merged
+                  .Insert("Hobby", {Value::Int64(7), Value::String("chess")})
+                  .ok());
+
+  auto left_data = chase::RunChase(result->to_left, merged);
+  ASSERT_TRUE(left_data.ok()) << left_data.status();
+  EXPECT_EQ(left_data->target.Find("Person")->size(), 1u);
+  EXPECT_EQ(left_data->target.Find("City")->size(), 1u);
+  const instance::Tuple& person =
+      *left_data->target.Find("Person")->tuples().begin();
+  EXPECT_EQ(person[1], Value::String("Ada"));
+
+  auto right_data = chase::RunChase(result->to_right, merged);
+  ASSERT_TRUE(right_data.ok());
+  const instance::Tuple& individual =
+      *right_data->target.Find("Individual")->tuples().begin();
+  EXPECT_EQ(individual[1], Value::String("Ada"));  // FullName <- Name
+  EXPECT_EQ(individual[2], Value::Int64(30));      // Age
+  EXPECT_EQ(right_data->target.Find("Hobby")->size(), 1u);
+}
+
+TEST(MergeTest, NoCorrespondencesIsDisjointUnion) {
+  auto result = Merge(Left(), Right(), {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->merged.relations().size(), 4u);
+  EXPECT_EQ(result->stats.containers_merged, 0u);
+}
+
+TEST(MergeTest, NameCollisionsGetSuffixed) {
+  model::Schema right =
+      SchemaBuilder("B", Metamodel::kRelational)
+          .Relation("Person", {{"X", DataType::String()}})
+          .Build();
+  // No correspondences: the right "Person" is unrelated to the left one.
+  auto result = Merge(Left(), right, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_NE(result->merged.FindRelation("Person"), nullptr);
+  EXPECT_NE(result->merged.FindRelation("Person_2"), nullptr);
+  EXPECT_EQ(result->stats.name_collisions, 1u);
+}
+
+TEST(MergeTest, AttributeNameCollisionWithinMergedContainer) {
+  // Right has an attribute named like a left one but NOT corresponding to
+  // it: it must be suffixed, not silently merged.
+  model::Schema right =
+      SchemaBuilder("B", Metamodel::kRelational)
+          .Relation("Individual",
+                    {{"PersonId", DataType::Int64()},
+                     {"Name", DataType::String()}})  // unrelated "Name"
+          .Build();
+  std::vector<Correspondence> corrs = {
+      {{"Person", "Id"}, {"Individual", "PersonId"}, 1.0},
+  };
+  auto result = Merge(Left(), right, corrs);
+  ASSERT_TRUE(result.ok());
+  const model::Relation* person = result->merged.FindRelation("Person");
+  EXPECT_EQ(person->AttributeNames(),
+            (std::vector<std::string>{"Id", "Name", "Name_2"}));
+}
+
+TEST(MergeTest, AmbiguousCorrespondenceRejected) {
+  std::vector<Correspondence> corrs = {
+      {{"Person", "Id"}, {"Individual", "PersonId"}, 1.0},
+      {{"City", "Zip"}, {"Individual", "Age"}, 1.0},  // Individual ~ 2 left
+  };
+  auto result = Merge(Left(), Right(), corrs);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MergeTest, UnknownElementsInCorrespondenceRejected) {
+  std::vector<Correspondence> corrs = {
+      {{"Person", "Nope"}, {"Individual", "PersonId"}, 1.0},
+  };
+  auto result = Merge(Left(), Right(), corrs);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(MergeTest, ErSchemasMergeEntityTypes) {
+  model::Schema a =
+      SchemaBuilder("A", Metamodel::kEntityRelationship)
+          .EntityType("Person", "", {{"Id", DataType::Int64()},
+                                     {"Name", DataType::String()}})
+          .EntityType("Employee", "Person", {{"Dept", DataType::String()}})
+          .EntitySet("Persons", "Person")
+          .Build();
+  model::Schema b =
+      SchemaBuilder("B", Metamodel::kEntityRelationship)
+          .EntityType("Human", "", {{"HumanId", DataType::Int64()},
+                                    {"Email", DataType::String()}})
+          .EntitySet("Humans", "Human")
+          .Build();
+  std::vector<Correspondence> corrs = {
+      {{"Person", "Id"}, {"Human", "HumanId"}, 1.0},
+  };
+  auto result = Merge(a, b, corrs);
+  ASSERT_TRUE(result.ok()) << result.status();
+  const model::EntityType* person = result->merged.FindEntityType("Person");
+  ASSERT_NE(person, nullptr);
+  // Id, Name + appended Email.
+  EXPECT_EQ(person->attributes.size(), 3u);
+  // Inheritance preserved.
+  const model::EntityType* employee =
+      result->merged.FindEntityType("Employee");
+  ASSERT_NE(employee, nullptr);
+  EXPECT_EQ(employee->parent, "Person");
+  // Both entity sets survive; Humans now roots at the merged Person.
+  ASSERT_NE(result->merged.FindEntitySet("Humans"), nullptr);
+  EXPECT_EQ(result->merged.FindEntitySet("Humans")->root_type, "Person");
+}
+
+TEST(MergeTest, MergeWithSelfViaFullCorrespondences) {
+  // Merging a schema with an exact copy of itself yields the schema again.
+  model::Schema a = Left();
+  model::Schema b = Left();
+  std::vector<Correspondence> corrs;
+  for (const model::Relation& r : a.relations()) {
+    for (const model::Attribute& attr : r.attributes()) {
+      corrs.push_back({{r.name(), attr.name}, {r.name(), attr.name}, 1.0});
+    }
+  }
+  auto result = Merge(a, b, corrs);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->merged.relations().size(), a.relations().size());
+  for (const model::Relation& r : a.relations()) {
+    const model::Relation* merged = result->merged.FindRelation(r.name());
+    ASSERT_NE(merged, nullptr);
+    EXPECT_EQ(merged->AttributeNames(), r.AttributeNames());
+  }
+}
+
+}  // namespace
+}  // namespace mm2::merge

@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include "model/schema.h"
+#include "model/type.h"
+
+namespace mm2::model {
+namespace {
+
+TEST(DataTypeTest, PrimitiveFactoriesAndEquality) {
+  EXPECT_TRUE(DataType::Int64()->Equals(*DataType::Int64()));
+  EXPECT_FALSE(DataType::Int64()->Equals(*DataType::Double()));
+  EXPECT_EQ(DataType::String()->ToString(), "string");
+  EXPECT_EQ(DataType::Date()->ToString(), "date");
+  EXPECT_TRUE(DataType::Bool()->is_primitive());
+}
+
+TEST(DataTypeTest, StructAndCollection) {
+  DataTypeRef person = DataType::Struct(
+      {{"name", DataType::String()},
+       {"tags", DataType::Collection(DataType::String())}});
+  EXPECT_EQ(person->ToString(),
+            "struct<name: string, tags: collection<string>>");
+  DataTypeRef person2 = DataType::Struct(
+      {{"name", DataType::String()},
+       {"tags", DataType::Collection(DataType::String())}});
+  EXPECT_TRUE(person->Equals(*person2));
+  DataTypeRef other =
+      DataType::Struct({{"name", DataType::Int64()},
+                        {"tags", DataType::Collection(DataType::String())}});
+  EXPECT_FALSE(person->Equals(*other));
+}
+
+TEST(DataTypeTest, UnifyNumericPromotion) {
+  EXPECT_TRUE(UnifyTypes(DataType::Int64(), DataType::Double())
+                  ->Equals(*DataType::Double()));
+  EXPECT_TRUE(UnifyTypes(DataType::Int64(), DataType::Int64())
+                  ->Equals(*DataType::Int64()));
+  EXPECT_TRUE(UnifyTypes(DataType::Int64(), DataType::String())
+                  ->Equals(*DataType::String()));
+  EXPECT_TRUE(UnifyTypes(DataType::Bool(), DataType::Date())
+                  ->Equals(*DataType::String()));
+}
+
+TEST(DataTypeTest, UnifyStructural) {
+  DataTypeRef a = DataType::Struct({{"x", DataType::Int64()}});
+  DataTypeRef b = DataType::Struct({{"x", DataType::Double()}});
+  DataTypeRef u = UnifyTypes(a, b);
+  ASSERT_EQ(u->kind(), DataType::Kind::kStruct);
+  EXPECT_TRUE(u->fields()[0].type->Equals(*DataType::Double()));
+  // Mismatched field names degrade to string.
+  DataTypeRef c = DataType::Struct({{"y", DataType::Int64()}});
+  EXPECT_TRUE(UnifyTypes(a, c)->Equals(*DataType::String()));
+  EXPECT_TRUE(UnifyTypes(DataType::Collection(DataType::Int64()),
+                         DataType::Collection(DataType::Double()))
+                  ->Equals(*DataType::Collection(DataType::Double())));
+}
+
+Schema StudentsSchema() {
+  return SchemaBuilder("S", Metamodel::kRelational)
+      .Relation("Names",
+                {{"SID", DataType::Int64()}, {"Name", DataType::String()}},
+                {"SID"})
+      .Relation("Addresses",
+                {{"SID", DataType::Int64()},
+                 {"Address", DataType::String()},
+                 {"Country", DataType::String()}},
+                {"SID"})
+      .ForeignKey("Addresses", {"SID"}, "Names", {"SID"})
+      .Build();
+}
+
+TEST(SchemaTest, RelationalBasics) {
+  Schema s = StudentsSchema();
+  EXPECT_EQ(s.name(), "S");
+  ASSERT_EQ(s.relations().size(), 2u);
+  const Relation* names = s.FindRelation("Names");
+  ASSERT_NE(names, nullptr);
+  EXPECT_EQ(names->arity(), 2u);
+  EXPECT_EQ(names->AttributeIndex("Name"), 1u);
+  EXPECT_FALSE(names->AttributeIndex("Nope").has_value());
+  EXPECT_TRUE(names->IsKeyAttribute(0));
+  EXPECT_FALSE(names->IsKeyAttribute(1));
+  EXPECT_EQ(s.ForeignKeysFrom("Addresses").size(), 1u);
+  EXPECT_TRUE(s.Validate().ok());
+}
+
+TEST(SchemaTest, ValidateRejectsDuplicateRelations) {
+  Schema s("Bad", Metamodel::kRelational);
+  s.AddRelation(Relation("R", {{"a", DataType::Int64(), false}}));
+  s.AddRelation(Relation("R", {{"b", DataType::Int64(), false}}));
+  EXPECT_EQ(s.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, ValidateRejectsDuplicateAttributes) {
+  Schema s("Bad", Metamodel::kRelational);
+  s.AddRelation(Relation(
+      "R", {{"a", DataType::Int64(), false}, {"a", DataType::Int64(), false}}));
+  EXPECT_FALSE(s.Validate().ok());
+}
+
+TEST(SchemaTest, ValidateRejectsDanglingForeignKey) {
+  Schema s("Bad", Metamodel::kRelational);
+  s.AddRelation(Relation("R", {{"a", DataType::Int64(), false}}));
+  s.AddForeignKey(ForeignKey{"R", {"a"}, "Missing", {"x"}});
+  EXPECT_EQ(s.Validate().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, ValidateRejectsForeignKeyAttributeMismatch) {
+  Schema s("Bad", Metamodel::kRelational);
+  s.AddRelation(Relation("R", {{"a", DataType::Int64(), false}}));
+  s.AddRelation(Relation("T", {{"x", DataType::Int64(), false}}));
+  s.AddForeignKey(ForeignKey{"R", {"a", "b"}, "T", {"x"}});
+  EXPECT_FALSE(s.Validate().ok());
+  Schema s2("Bad2", Metamodel::kRelational);
+  s2.AddRelation(Relation("R", {{"a", DataType::Int64(), false}}));
+  s2.AddRelation(Relation("T", {{"x", DataType::Int64(), false}}));
+  s2.AddForeignKey(ForeignKey{"R", {"nope"}, "T", {"x"}});
+  EXPECT_EQ(s2.Validate().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, ValidateRejectsNonPrimitiveRelationalAttribute) {
+  Schema s("Bad", Metamodel::kRelational);
+  s.AddRelation(Relation(
+      "R", {{"nested", DataType::Struct({{"x", DataType::Int64()}}), false}}));
+  EXPECT_FALSE(s.Validate().ok());
+  // The same shape is fine in the nested metamodel.
+  Schema n("Ok", Metamodel::kNested);
+  n.AddRelation(Relation(
+      "R", {{"nested", DataType::Struct({{"x", DataType::Int64()}}), false}}));
+  EXPECT_TRUE(n.Validate().ok());
+}
+
+Schema PersonHierarchy() {
+  return SchemaBuilder("ER", Metamodel::kEntityRelationship)
+      .EntityType("Person", "",
+                  {{"Id", DataType::Int64()}, {"Name", DataType::String()}})
+      .EntityType("Employee", "Person", {{"Dept", DataType::String()}})
+      .EntityType("Customer", "Person",
+                  {{"CreditScore", DataType::Int64()},
+                   {"BillingAddr", DataType::String()}})
+      .EntitySet("Persons", "Person")
+      .Build();
+}
+
+TEST(SchemaTest, InheritanceQueries) {
+  Schema er = PersonHierarchy();
+  EXPECT_TRUE(er.IsSubtypeOf("Employee", "Person"));
+  EXPECT_TRUE(er.IsSubtypeOf("Person", "Person"));
+  EXPECT_FALSE(er.IsSubtypeOf("Person", "Employee"));
+  EXPECT_FALSE(er.IsSubtypeOf("Employee", "Customer"));
+  EXPECT_EQ(er.SubtypeClosure("Person"),
+            (std::vector<std::string>{"Person", "Employee", "Customer"}));
+  EXPECT_EQ(er.DirectSubtypes("Person"),
+            (std::vector<std::string>{"Employee", "Customer"}));
+
+  auto attrs = er.AllAttributesOf("Employee");
+  ASSERT_TRUE(attrs.ok());
+  ASSERT_EQ(attrs->size(), 3u);
+  EXPECT_EQ((*attrs)[0].name, "Id");
+  EXPECT_EQ((*attrs)[1].name, "Name");
+  EXPECT_EQ((*attrs)[2].name, "Dept");
+}
+
+TEST(SchemaTest, ValidateRejectsInheritanceCycle) {
+  Schema s("Bad", Metamodel::kEntityRelationship);
+  s.AddEntityType(EntityType{"A", "B", {}, false});
+  s.AddEntityType(EntityType{"B", "A", {}, false});
+  EXPECT_FALSE(s.Validate().ok());
+}
+
+TEST(SchemaTest, ValidateRejectsShadowedAttribute) {
+  Schema s("Bad", Metamodel::kEntityRelationship);
+  s.AddEntityType(
+      EntityType{"A", "", {{"x", DataType::Int64(), false}}, false});
+  s.AddEntityType(
+      EntityType{"B", "A", {{"x", DataType::String(), false}}, false});
+  EXPECT_FALSE(s.Validate().ok());
+}
+
+TEST(SchemaTest, ValidateRejectsEntitySetWithUnknownRoot) {
+  Schema s("Bad", Metamodel::kEntityRelationship);
+  s.AddEntityType(EntityType{"A", "", {}, false});
+  s.AddEntitySet(EntitySet{"As", "Missing"});
+  EXPECT_EQ(s.Validate().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, AllElementsEnumeratesEverything) {
+  Schema s = StudentsSchema();
+  std::vector<ElementRef> elements = s.AllElements();
+  // 2 relations + 2 + 3 attributes.
+  EXPECT_EQ(elements.size(), 7u);
+  EXPECT_EQ(elements[0].ToString(), "Names");
+  EXPECT_EQ(elements[1].ToString(), "Names.SID");
+}
+
+TEST(SchemaTest, ElementRefParseRoundTrip) {
+  ElementRef ref = ElementRef::Parse("Names.SID");
+  EXPECT_EQ(ref.container, "Names");
+  EXPECT_EQ(ref.attribute, "SID");
+  EXPECT_EQ(ref.ToString(), "Names.SID");
+  ElementRef bare = ElementRef::Parse("Names");
+  EXPECT_EQ(bare.container, "Names");
+  EXPECT_TRUE(bare.attribute.empty());
+}
+
+TEST(SchemaTest, FindAttributeResolvesRelationsAndEntities) {
+  Schema s = StudentsSchema();
+  const Attribute* a = s.FindAttribute(ElementRef{"Addresses", "Country"});
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->name, "Country");
+  EXPECT_EQ(s.FindAttribute(ElementRef{"Addresses", "Nope"}), nullptr);
+  EXPECT_EQ(s.FindAttribute(ElementRef{"Addresses", ""}), nullptr);
+
+  Schema er = PersonHierarchy();
+  const Attribute* dept = er.FindAttribute(ElementRef{"Employee", "Dept"});
+  ASSERT_NE(dept, nullptr);
+  EXPECT_TRUE(dept->type->Equals(*DataType::String()));
+}
+
+TEST(SchemaBuilderTest, BuildCheckedReportsErrors) {
+  auto result = SchemaBuilder("Bad", Metamodel::kEntityRelationship)
+                    .EntitySet("Xs", "NoSuchType")
+                    .BuildChecked();
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(SchemaTest, ToStringMentionsEveryConstruct) {
+  Schema er = PersonHierarchy();
+  std::string text = er.ToString();
+  EXPECT_NE(text.find("entity Employee : Person"), std::string::npos);
+  EXPECT_NE(text.find("entityset Persons of Person"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mm2::model

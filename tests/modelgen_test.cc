@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include "chase/chase.h"
+#include "instance/instance.h"
+#include "modelgen/modelgen.h"
+#include "model/schema.h"
+
+namespace mm2::modelgen {
+namespace {
+
+using instance::Instance;
+using instance::Value;
+using model::DataType;
+using model::Metamodel;
+using model::SchemaBuilder;
+
+// The Fig. 2 hierarchy: Person <- Employee, Person <- Customer.
+model::Schema PersonEr() {
+  return SchemaBuilder("ER", Metamodel::kEntityRelationship)
+      .EntityType("Person", "",
+                  {{"Id", DataType::Int64()}, {"Name", DataType::String()}})
+      .EntityType("Employee", "Person", {{"Dept", DataType::String()}})
+      .EntityType("Customer", "Person",
+                  {{"CreditScore", DataType::Int64()},
+                   {"BillingAddr", DataType::String()}})
+      .EntitySet("Persons", "Person")
+      .Build();
+}
+
+// An ER instance with one entity of each concrete type.
+Instance PersonInstance(const model::Schema& er) {
+  Instance db = Instance::EmptyFor(er);
+  auto layout =
+      instance::ComputeEntitySetLayout(er, *er.FindEntitySet("Persons"));
+  EXPECT_TRUE(layout.ok());
+  auto add = [&](const char* type, std::vector<Value> attrs) {
+    auto tuple = instance::MakeEntityTuple(*layout, er, type, attrs);
+    ASSERT_TRUE(tuple.ok()) << tuple.status();
+    ASSERT_TRUE(db.Insert("Persons", *tuple).ok());
+  };
+  add("Person", {Value::Int64(1), Value::String("Ada")});
+  add("Employee", {Value::Int64(2), Value::String("Bob"),
+                   Value::String("R&D")});
+  add("Customer", {Value::Int64(3), Value::String("Cyd"), Value::Int64(700),
+                   Value::String("12 Oak")});
+  return db;
+}
+
+TEST(ModelGenTest, TablePerTypeShape) {
+  auto result = ErToRelational(PersonEr(), InheritanceStrategy::kTablePerType);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // One table per type.
+  ASSERT_EQ(result->relational.relations().size(), 3u);
+  const model::Relation* person = result->relational.FindRelation("Person");
+  const model::Relation* employee =
+      result->relational.FindRelation("Employee");
+  ASSERT_NE(person, nullptr);
+  ASSERT_NE(employee, nullptr);
+  EXPECT_EQ(person->AttributeNames(),
+            (std::vector<std::string>{"Id", "Name"}));
+  EXPECT_EQ(employee->AttributeNames(),
+            (std::vector<std::string>{"Id", "Dept"}));
+  // Subtype tables carry a foreign key to the parent.
+  ASSERT_EQ(result->relational.foreign_keys().size(), 2u);
+  EXPECT_EQ(result->relational.foreign_keys()[0].to_relation, "Person");
+  // Fragments: the Person table covers all three types.
+  bool found_root_fragment = false;
+  for (const MappingFragment& f : result->fragments) {
+    if (f.table == "Person") {
+      EXPECT_EQ(f.types.size(), 3u);
+      found_root_fragment = true;
+    }
+  }
+  EXPECT_TRUE(found_root_fragment);
+}
+
+TEST(ModelGenTest, TablePerTypeExchange) {
+  model::Schema er = PersonEr();
+  auto result = ErToRelational(er, InheritanceStrategy::kTablePerType);
+  ASSERT_TRUE(result.ok());
+  auto exchanged = chase::RunChase(result->mapping, PersonInstance(er));
+  ASSERT_TRUE(exchanged.ok()) << exchanged.status();
+  // All three entities land in Person; one row each in Employee/Customer.
+  EXPECT_EQ(exchanged->target.Find("Person")->size(), 3u);
+  EXPECT_EQ(exchanged->target.Find("Employee")->size(), 1u);
+  EXPECT_EQ(exchanged->target.Find("Customer")->size(), 1u);
+  EXPECT_TRUE(exchanged->target.Find("Employee")->Contains(
+      {Value::Int64(2), Value::String("R&D")}));
+}
+
+TEST(ModelGenTest, SingleTableShapeAndExchange) {
+  model::Schema er = PersonEr();
+  auto result = ErToRelational(er, InheritanceStrategy::kSingleTable);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->relational.relations().size(), 1u);
+  const model::Relation& table = result->relational.relations()[0];
+  EXPECT_EQ(table.name(), "Person");
+  // Discriminator + 5 layout columns.
+  EXPECT_EQ(table.arity(), 6u);
+  EXPECT_EQ(table.attribute(0).name, "Discriminator");
+  // Subtype columns are nullable; root columns are not.
+  EXPECT_FALSE(table.attribute(1).nullable);  // Id
+  EXPECT_TRUE(table.attribute(3).nullable);   // Dept
+
+  auto exchanged = chase::RunChase(result->mapping, PersonInstance(er));
+  ASSERT_TRUE(exchanged.ok());
+  EXPECT_EQ(exchanged->target.Find("Person")->size(), 3u);
+  // The employee row: discriminator set, customer columns NULL.
+  bool found = false;
+  for (const instance::Tuple& t :
+       exchanged->target.Find("Person")->tuples()) {
+    if (t[0] == Value::String("Employee")) {
+      found = true;
+      EXPECT_EQ(t[1], Value::Int64(2));
+      EXPECT_EQ(t[3], Value::String("R&D"));
+      EXPECT_TRUE(t[4].is_null());
+      EXPECT_TRUE(t[5].is_null());
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ModelGenTest, TablePerConcreteShapeAndExchange) {
+  model::Schema er = PersonEr();
+  auto result =
+      ErToRelational(er, InheritanceStrategy::kTablePerConcrete);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->relational.relations().size(), 3u);
+  const model::Relation* customer =
+      result->relational.FindRelation("Customer");
+  ASSERT_NE(customer, nullptr);
+  // Full flattened row: no joins needed.
+  EXPECT_EQ(customer->AttributeNames(),
+            (std::vector<std::string>{"Id", "Name", "CreditScore",
+                                      "BillingAddr"}));
+  EXPECT_TRUE(result->relational.foreign_keys().empty());
+
+  auto exchanged = chase::RunChase(result->mapping, PersonInstance(er));
+  ASSERT_TRUE(exchanged.ok());
+  // Each entity lands in exactly its own table.
+  EXPECT_EQ(exchanged->target.Find("Person")->size(), 1u);
+  EXPECT_EQ(exchanged->target.Find("Employee")->size(), 1u);
+  EXPECT_EQ(exchanged->target.Find("Customer")->size(), 1u);
+  EXPECT_TRUE(exchanged->target.Find("Employee")->Contains(
+      {Value::Int64(2), Value::String("Bob"), Value::String("R&D")}));
+}
+
+TEST(ModelGenTest, AbstractRootGetsNoRows) {
+  model::Schema er =
+      SchemaBuilder("ER", Metamodel::kEntityRelationship)
+          .EntityType("Shape", "", {{"Id", DataType::Int64()}}, true)
+          .EntityType("Circle", "Shape", {{"R", DataType::Double()}})
+          .EntitySet("Shapes", "Shape")
+          .Build();
+  auto result = ErToRelational(er, InheritanceStrategy::kTablePerConcrete);
+  ASSERT_TRUE(result.ok());
+  // Only the concrete Circle gets a table.
+  ASSERT_EQ(result->relational.relations().size(), 1u);
+  EXPECT_EQ(result->relational.relations()[0].name(), "Circle");
+}
+
+TEST(ModelGenTest, RejectsErSchemaWithoutEntitySets) {
+  model::Schema er = SchemaBuilder("ER", Metamodel::kEntityRelationship)
+                         .EntityType("Person", "", {{"Id", DataType::Int64()}})
+                         .Build();
+  auto result = ErToRelational(er, InheritanceStrategy::kTablePerType);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ModelGenTest, RejectsRootWithoutAttributes) {
+  model::Schema er = SchemaBuilder("ER", Metamodel::kEntityRelationship)
+                         .EntityType("Thing", "", {})
+                         .EntitySet("Things", "Thing")
+                         .Build();
+  auto result = ErToRelational(er, InheritanceStrategy::kTablePerType);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(ModelGenTest, AllStrategiesProduceValidMappings) {
+  model::Schema er = PersonEr();
+  for (InheritanceStrategy strategy :
+       {InheritanceStrategy::kSingleTable, InheritanceStrategy::kTablePerType,
+        InheritanceStrategy::kTablePerConcrete}) {
+    auto result = ErToRelational(er, strategy);
+    ASSERT_TRUE(result.ok()) << InheritanceStrategyToString(strategy);
+    EXPECT_TRUE(result->relational.Validate().ok());
+    EXPECT_TRUE(result->mapping.Validate().ok());
+    EXPECT_FALSE(result->fragments.empty());
+  }
+}
+
+TEST(RelationalToNestedTest, FoldsChildrenIntoCollections) {
+  model::Schema rel =
+      SchemaBuilder("S", Metamodel::kRelational)
+          .Relation("Order", {{"OrderId", DataType::Int64()},
+                              {"Customer", DataType::String()}},
+                    {"OrderId"})
+          .Relation("Item", {{"OrderId", DataType::Int64()},
+                             {"Sku", DataType::String()},
+                             {"Qty", DataType::Int64()}},
+                    {"Sku"})
+          .ForeignKey("Item", {"OrderId"}, "Order", {"OrderId"})
+          .Build();
+  auto result = RelationalToNested(rel);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->nested.relations().size(), 1u);
+  const model::Relation& doc = result->nested.relations()[0];
+  EXPECT_EQ(doc.name(), "Order_doc");
+  ASSERT_EQ(doc.arity(), 3u);
+  // The folded child: collection<struct<Sku, Qty>> (FK column dropped).
+  const model::Attribute& items = doc.attribute(2);
+  EXPECT_EQ(items.name, "Item");
+  ASSERT_EQ(items.type->kind(), DataType::Kind::kCollection);
+  EXPECT_EQ(items.type->element()->kind(), DataType::Kind::kStruct);
+  EXPECT_EQ(items.type->element()->fields().size(), 2u);
+  EXPECT_TRUE(result->mapping.Validate().ok());
+}
+
+TEST(RelationalToNestedTest, StandaloneRelationsPassThrough) {
+  model::Schema rel = SchemaBuilder("S", Metamodel::kRelational)
+                          .Relation("Log", {{"Ts", DataType::Int64()},
+                                            {"Msg", DataType::String()}})
+                          .Build();
+  auto result = RelationalToNested(rel);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->nested.relations().size(), 1u);
+  EXPECT_EQ(result->nested.relations()[0].name(), "Log_doc");
+  EXPECT_EQ(result->nested.relations()[0].arity(), 2u);
+}
+
+}  // namespace
+}  // namespace mm2::modelgen

@@ -1,0 +1,145 @@
+// Tests for relational => OO wrapper generation (the wrapper-generation
+// usage scenario): schema shape, fragment compilation, roundtripping, and
+// object-level update propagation over arbitrary generated schemas.
+#include <gtest/gtest.h>
+
+#include "modelgen/modelgen.h"
+#include "runtime/runtime.h"
+#include "transgen/transgen.h"
+#include "workload/generators.h"
+
+namespace mm2::modelgen {
+namespace {
+
+using instance::Instance;
+using instance::Value;
+using model::DataType;
+using model::Metamodel;
+using model::SchemaBuilder;
+
+model::Schema Shop() {
+  return SchemaBuilder("Shop", Metamodel::kRelational)
+      .Relation("Orders", {{"OrderId", DataType::Int64()},
+                           {"CustomerId", DataType::Int64()},
+                           {"Total", DataType::Double()}},
+                {"OrderId"})
+      .Relation("Customers", {{"CustomerId", DataType::Int64()},
+                              {"Name", DataType::String()}},
+                {"CustomerId"})
+      .ForeignKey("Orders", {"CustomerId"}, "Customers", {"CustomerId"})
+      .Build();
+}
+
+TEST(OoWrapperTest, SchemaShape) {
+  auto result = RelationalToOo(Shop());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->oo.metamodel(), Metamodel::kObjectOriented);
+  EXPECT_EQ(result->oo.entity_types().size(), 2u);
+  EXPECT_EQ(result->oo.entity_sets().size(), 2u);
+  const model::EntityType* orders = result->oo.FindEntityType("Orders");
+  ASSERT_NE(orders, nullptr);
+  EXPECT_EQ(orders->attributes.size(), 3u);
+  ASSERT_NE(result->oo.FindEntitySet("OrdersSet"), nullptr);
+  EXPECT_EQ(result->oo.FindEntitySet("OrdersSet")->root_type, "Orders");
+  EXPECT_EQ(result->fragments.size(), 2u);
+  EXPECT_TRUE(result->mapping.Validate().ok());
+}
+
+TEST(OoWrapperTest, RejectsDegenerateInput) {
+  model::Schema empty("E", Metamodel::kRelational);
+  EXPECT_FALSE(RelationalToOo(empty).ok());
+}
+
+TEST(OoWrapperTest, ViewsRoundtripPerEntitySet) {
+  auto result = RelationalToOo(Shop());
+  ASSERT_TRUE(result.ok());
+  // One compiled view bundle per entity set.
+  for (const model::EntitySet& set : result->oo.entity_sets()) {
+    auto views = transgen::CompileFragments(result->oo, set.name, Shop(),
+                                            result->fragments);
+    ASSERT_TRUE(views.ok()) << set.name << ": " << views.status();
+    // Build an object extent and roundtrip it.
+    Instance entities = Instance::EmptyFor(result->oo);
+    auto layout = instance::ComputeEntitySetLayout(result->oo, set);
+    ASSERT_TRUE(layout.ok());
+    std::vector<Value> values;
+    for (std::size_t i = 0; i < layout->columns.size(); ++i) {
+      values.push_back(Value::Int64(static_cast<std::int64_t>(i)));
+    }
+    auto tuple = instance::MakeEntityTuple(*layout, result->oo,
+                                           set.root_type, values);
+    ASSERT_TRUE(tuple.ok());
+    ASSERT_TRUE(entities.Insert(set.name, *tuple).ok());
+    auto ok = transgen::VerifyRoundtrip(*views, result->oo, Shop(), entities);
+    ASSERT_TRUE(ok.ok()) << ok.status();
+    EXPECT_TRUE(*ok);
+  }
+}
+
+TEST(OoWrapperTest, ObjectUpdatesPropagateToTables) {
+  model::Schema shop = Shop();
+  auto result = RelationalToOo(shop);
+  ASSERT_TRUE(result.ok());
+  auto views = transgen::CompileFragments(result->oo, "CustomersSet", shop,
+                                          result->fragments);
+  ASSERT_TRUE(views.ok());
+
+  runtime::UpdatePropagator propagator(*views, result->fragments,
+                                       result->oo, shop);
+  ASSERT_TRUE(propagator.Initialize(Instance::EmptyFor(result->oo)).ok());
+
+  auto layout = instance::ComputeEntitySetLayout(
+      result->oo, *result->oo.FindEntitySet("CustomersSet"));
+  ASSERT_TRUE(layout.ok());
+  auto ada = instance::MakeEntityTuple(*layout, result->oo, "Customers",
+                                       {Value::Int64(1),
+                                        Value::String("Ada")});
+  ASSERT_TRUE(ada.ok());
+  runtime::EntityOp insert;
+  insert.kind = runtime::EntityOp::Kind::kInsert;
+  insert.entity = *ada;
+  auto deltas = propagator.Apply(insert);
+  ASSERT_TRUE(deltas.ok()) << deltas.status();
+  ASSERT_EQ(deltas->count("Customers"), 1u);
+  EXPECT_TRUE(propagator.tables().Find("Customers")->Contains(
+      {Value::Int64(1), Value::String("Ada")}));
+}
+
+TEST(OoWrapperTest, WorksAcrossRandomSchemas) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    workload::Rng rng(seed);
+    model::Schema schema =
+        workload::RandomRelationalSchema("R", 4, 5, &rng);
+    auto result = RelationalToOo(schema);
+    ASSERT_TRUE(result.ok()) << result.status();
+    Instance db = workload::RandomInstance(schema, 5, &rng);
+    // Wrap every table's rows as objects, then push them back down and
+    // compare with the original table.
+    for (const model::EntitySet& set : result->oo.entity_sets()) {
+      auto views = transgen::CompileFragments(result->oo, set.name, schema,
+                                              result->fragments);
+      ASSERT_TRUE(views.ok()) << views.status();
+      Instance entities = Instance::EmptyFor(result->oo);
+      auto layout = instance::ComputeEntitySetLayout(result->oo, set);
+      ASSERT_TRUE(layout.ok());
+      const instance::RelationInstance* table = db.Find(set.root_type);
+      ASSERT_NE(table, nullptr);
+      for (const instance::Tuple& row : table->tuples()) {
+        std::vector<Value> values(row.begin(), row.end());
+        auto tuple = instance::MakeEntityTuple(*layout, result->oo,
+                                               set.root_type, values);
+        ASSERT_TRUE(tuple.ok());
+        entities.InsertUnchecked(set.name, *tuple);
+      }
+      Instance tables;
+      ASSERT_TRUE(transgen::ApplyUpdateViews(*views, result->oo, schema,
+                                             entities, &tables)
+                      .ok());
+      EXPECT_EQ(tables.Find(set.root_type)->tuples(), table->tuples())
+          << "seed=" << seed << " set=" << set.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mm2::modelgen

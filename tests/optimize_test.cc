@@ -1,0 +1,208 @@
+// Tests for the algebra simplifier: every rewrite must preserve semantics
+// (checked by evaluating original and simplified plans on data) while
+// reducing operator count on the naive plans TransGen emits.
+#include <gtest/gtest.h>
+
+#include "algebra/eval.h"
+#include "algebra/optimize.h"
+#include "model/schema.h"
+#include "modelgen/modelgen.h"
+#include "transgen/transgen.h"
+
+namespace mm2::algebra {
+namespace {
+
+using instance::Instance;
+using instance::Value;
+
+Catalog TestCatalog() {
+  Catalog c;
+  c.Add("R", {"a", "b"});
+  return c;
+}
+
+Instance TestDb() {
+  Instance db;
+  db.DeclareRelation("R", 2);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(db.Insert("R", {Value::Int64(i),
+                                Value::String(i % 2 == 0 ? "x" : "y")})
+                    .ok());
+  }
+  return db;
+}
+
+void ExpectSameSemantics(const ExprRef& original, const ExprRef& simplified) {
+  Catalog catalog = TestCatalog();
+  Instance db = TestDb();
+  auto a = Evaluate(*original, catalog, db);
+  auto b = Evaluate(*simplified, catalog, db);
+  ASSERT_TRUE(a.ok()) << a.status();
+  ASSERT_TRUE(b.ok()) << b.status();
+  EXPECT_EQ(a->columns, b->columns);
+  EXPECT_TRUE(a->SetEquals(*b))
+      << "original:\n" << original->ToString() << "\nsimplified:\n"
+      << simplified->ToString();
+}
+
+TEST(FoldScalarTest, LiteralComparisons) {
+  ScalarRef lit = FoldScalar(
+      Scalar::Eq(Lit(Value::Int64(3)), Lit(Value::Int64(3))));
+  ASSERT_EQ(lit->kind(), Scalar::Kind::kLiteral);
+  EXPECT_EQ(lit->literal(), Value::Bool(true));
+  EXPECT_EQ(FoldScalar(Scalar::Compare(Scalar::CompareOp::kLt,
+                                       Lit(Value::Int64(5)),
+                                       Lit(Value::Int64(3))))
+                ->literal(),
+            Value::Bool(false));
+}
+
+TEST(FoldScalarTest, BooleanIdentities) {
+  ScalarRef col = Col("a");
+  ScalarRef pred = Scalar::Eq(col, Lit(Value::Int64(1)));
+  // TRUE AND p -> p.
+  ScalarRef folded =
+      FoldScalar(Scalar::And({Lit(Value::Bool(true)), pred}));
+  EXPECT_EQ(folded->ToString(), pred->ToString());
+  // FALSE AND p -> FALSE.
+  EXPECT_EQ(FoldScalar(Scalar::And({Lit(Value::Bool(false)), pred}))
+                ->literal(),
+            Value::Bool(false));
+  // p OR TRUE -> TRUE.
+  EXPECT_EQ(FoldScalar(Scalar::Or({pred, Lit(Value::Bool(true))}))
+                ->literal(),
+            Value::Bool(true));
+  // NOT FALSE -> TRUE.
+  EXPECT_EQ(FoldScalar(Scalar::Not(Lit(Value::Bool(false))))->literal(),
+            Value::Bool(true));
+  // IS NULL of literals.
+  EXPECT_EQ(FoldScalar(Scalar::IsNull(Lit(Value::Null())))->literal(),
+            Value::Bool(true));
+  EXPECT_EQ(FoldScalar(Scalar::IsNull(Lit(Value::Int64(1))))->literal(),
+            Value::Bool(false));
+}
+
+TEST(FoldScalarTest, CaseDeadBranchElimination) {
+  // CASE WHEN FALSE THEN "a" WHEN TRUE THEN "b" ELSE "c" -> "b".
+  ScalarRef folded = FoldScalar(Scalar::Case(
+      {{Lit(Value::Bool(false)), Lit(Value::String("a"))},
+       {Lit(Value::Bool(true)), Lit(Value::String("b"))}},
+      Lit(Value::String("c"))));
+  ASSERT_EQ(folded->kind(), Scalar::Kind::kLiteral);
+  EXPECT_EQ(folded->literal(), Value::String("b"));
+  // A dynamic branch before a static TRUE keeps the dynamic branch and
+  // turns the TRUE's result into the ELSE.
+  ScalarRef mixed = FoldScalar(Scalar::Case(
+      {{Scalar::Eq(Col("a"), Lit(Value::Int64(1))), Lit(Value::String("a"))},
+       {Lit(Value::Bool(true)), Lit(Value::String("b"))}},
+      Lit(Value::String("c"))));
+  ASSERT_EQ(mixed->kind(), Scalar::Kind::kCase);
+  EXPECT_EQ(mixed->case_branches().size(), 1u);
+  EXPECT_EQ(mixed->case_else()->literal(), Value::String("b"));
+}
+
+TEST(SimplifyTest, SelectSelectMerges) {
+  ExprRef nested = Expr::Select(
+      Expr::Select(Expr::Scan("R"), ColEqLit("b", Value::String("x"))),
+      Scalar::Compare(Scalar::CompareOp::kLt, Col("a"), Lit(Value::Int64(6))));
+  ExprRef simplified = Simplify(nested);
+  EXPECT_LT(simplified->NodeCount(), nested->NodeCount());
+  ExpectSameSemantics(nested, simplified);
+}
+
+TEST(SimplifyTest, SelectTrueDrops) {
+  ExprRef guarded = Expr::Select(Expr::Scan("R"), Lit(Value::Bool(true)));
+  ExprRef simplified = Simplify(guarded);
+  EXPECT_EQ(simplified->kind(), Expr::Kind::kScan);
+  ExpectSameSemantics(guarded, simplified);
+}
+
+TEST(SimplifyTest, ProjectProjectComposes) {
+  ExprRef inner = Expr::Project(
+      Expr::Scan("R"),
+      {{"x", Col("a")},
+       {"flag", Scalar::Eq(Col("b"), Lit(Value::String("x")))}});
+  ExprRef outer = Expr::Project(
+      inner, {{"y", Col("x")}, {"was_x", Col("flag")}});
+  ExprRef simplified = Simplify(outer);
+  EXPECT_EQ(simplified->kind(), Expr::Kind::kProject);
+  EXPECT_EQ(simplified->children()[0]->kind(), Expr::Kind::kScan);
+  ExpectSameSemantics(outer, simplified);
+}
+
+TEST(SimplifyTest, DistinctDistinctAndSingletonUnion) {
+  ExprRef doubled = Expr::Distinct(Expr::Distinct(Expr::Scan("R")));
+  ExprRef simplified = Simplify(doubled);
+  EXPECT_EQ(simplified->NodeCount(), 2u);  // Distinct(Scan)
+  ExpectSameSemantics(doubled, simplified);
+
+  ExprRef single_union = Expr::Union({Expr::Scan("R")});
+  EXPECT_EQ(Simplify(single_union)->kind(), Expr::Kind::kScan);
+}
+
+TEST(SimplifyTest, PreservesJoinsAndDifference) {
+  Catalog catalog;
+  catalog.Add("R", {"a", "b"});
+  catalog.Add("S", {"c", "d"});
+  Instance db = TestDb();
+  db.DeclareRelation("S", 2);
+  ASSERT_TRUE(db.Insert("S", {Value::Int64(1), Value::String("q")}).ok());
+  ExprRef join = Expr::Join(Expr::Scan("R"), Expr::Scan("S"),
+                            Expr::JoinKind::kInner, {{"a", "c"}});
+  ExprRef simplified = Simplify(join);
+  auto a = Evaluate(*join, catalog, db);
+  auto b = Evaluate(*simplified, catalog, db);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(a->SetEquals(*b));
+}
+
+TEST(SimplifyTest, ShrinksTransGenQueryView) {
+  // The Fig. 2/3 query view contains composable projections; simplifying
+  // must shrink it while keeping the roundtrip exact.
+  mm2::model::Schema er =
+      mm2::model::SchemaBuilder("ER",
+                                mm2::model::Metamodel::kEntityRelationship)
+          .EntityType("Person", "",
+                      {{"Id", mm2::model::DataType::Int64()},
+                       {"Name", mm2::model::DataType::String()}})
+          .EntityType("Employee", "Person",
+                      {{"Dept", mm2::model::DataType::String()}})
+          .EntitySet("Persons", "Person")
+          .Build();
+  auto generated = mm2::modelgen::ErToRelational(
+      er, mm2::modelgen::InheritanceStrategy::kTablePerType);
+  ASSERT_TRUE(generated.ok());
+  auto views = mm2::transgen::CompileFragments(
+      er, "Persons", generated->relational, generated->fragments);
+  ASSERT_TRUE(views.ok());
+
+  ExprRef simplified = Simplify(views->query_view);
+  EXPECT_LE(simplified->NodeCount(), views->query_view->NodeCount());
+
+  // Same output on data: build tables via update views, evaluate both.
+  Instance entities = Instance::EmptyFor(er);
+  auto layout = mm2::instance::ComputeEntitySetLayout(
+      er, *er.FindEntitySet("Persons"));
+  auto bob = mm2::instance::MakeEntityTuple(
+      *layout, er, "Employee",
+      {Value::Int64(1), Value::String("Bob"), Value::String("R&D")});
+  ASSERT_TRUE(bob.ok());
+  ASSERT_TRUE(entities.Insert("Persons", *bob).ok());
+  Instance tables;
+  ASSERT_TRUE(mm2::transgen::ApplyUpdateViews(*views, er,
+                                              generated->relational, entities,
+                                              &tables)
+                  .ok());
+  auto er_cat = Catalog::FromSchema(er);
+  auto rel_cat = Catalog::FromSchema(generated->relational);
+  ASSERT_TRUE(er_cat.ok() && rel_cat.ok());
+  Catalog cat = *er_cat;
+  cat.Merge(*rel_cat);
+  auto original_out = Evaluate(*views->query_view, cat, tables);
+  auto simplified_out = Evaluate(*simplified, cat, tables);
+  ASSERT_TRUE(original_out.ok() && simplified_out.ok());
+  EXPECT_TRUE(original_out->SetEquals(*simplified_out));
+}
+
+}  // namespace
+}  // namespace mm2::algebra

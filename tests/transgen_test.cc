@@ -1,0 +1,293 @@
+// TransGen tests, centered on the Fig. 2 -> Fig. 3 pipeline: declarative
+// mapping fragments between the Person hierarchy and the HR/Empl/Client
+// tables compile into a query view (CASE over _from flags after a left
+// outer join, UNION ALL for the separate Customer branch) and update views
+// that roundtrip.
+#include <gtest/gtest.h>
+
+#include "instance/instance.h"
+#include "model/schema.h"
+#include "modelgen/modelgen.h"
+#include "transgen/transgen.h"
+
+namespace mm2::transgen {
+namespace {
+
+using instance::Instance;
+using instance::Value;
+using model::DataType;
+using model::Metamodel;
+using model::SchemaBuilder;
+using modelgen::InheritanceStrategy;
+using modelgen::MappingFragment;
+
+model::Schema PersonEr() {
+  return SchemaBuilder("ER", Metamodel::kEntityRelationship)
+      .EntityType("Person", "",
+                  {{"Id", DataType::Int64()}, {"Name", DataType::String()}})
+      .EntityType("Employee", "Person", {{"Dept", DataType::String()}})
+      .EntityType("Customer", "Person",
+                  {{"CreditScore", DataType::Int64()},
+                   {"BillingAddr", DataType::String()}})
+      .EntitySet("Persons", "Person")
+      .Build();
+}
+
+// Fig. 2's relational side: HR(Id, Name), Empl(Id, Dept),
+// Client(Id, Name, Score, Addr).
+model::Schema Fig2Relational() {
+  return SchemaBuilder("SQL", Metamodel::kRelational)
+      .Relation("HR",
+                {{"Id", DataType::Int64()}, {"Name", DataType::String()}},
+                {"Id"})
+      .Relation("Empl",
+                {{"Id", DataType::Int64()}, {"Dept", DataType::String()}},
+                {"Id"})
+      .Relation("Client",
+                {{"Id", DataType::Int64()},
+                 {"Name", DataType::String()},
+                 {"Score", DataType::Int64()},
+                 {"Addr", DataType::String()}},
+                {"Id"})
+      .Build();
+}
+
+// Fig. 2's three mapping constraints as fragments.
+std::vector<MappingFragment> Fig2Fragments() {
+  return {
+      {"Persons", {"Person", "Employee"}, "HR",
+       {{"Id", "Id"}, {"Name", "Name"}}, ""},
+      {"Persons", {"Employee"}, "Empl", {{"Id", "Id"}, {"Dept", "Dept"}}, ""},
+      {"Persons",
+       {"Customer"},
+       "Client",
+       {{"Id", "Id"},
+        {"Name", "Name"},
+        {"CreditScore", "Score"},
+        {"BillingAddr", "Addr"}},
+       ""},
+  };
+}
+
+Instance PersonInstance(const model::Schema& er) {
+  Instance db = Instance::EmptyFor(er);
+  auto layout =
+      instance::ComputeEntitySetLayout(er, *er.FindEntitySet("Persons"));
+  EXPECT_TRUE(layout.ok());
+  auto add = [&](const char* type, std::vector<Value> attrs) {
+    auto tuple = instance::MakeEntityTuple(*layout, er, type, attrs);
+    ASSERT_TRUE(tuple.ok()) << tuple.status();
+    ASSERT_TRUE(db.Insert("Persons", *tuple).ok());
+  };
+  add("Person", {Value::Int64(1), Value::String("Ada")});
+  add("Employee",
+      {Value::Int64(2), Value::String("Bob"), Value::String("R&D")});
+  add("Customer", {Value::Int64(3), Value::String("Cyd"), Value::Int64(700),
+                   Value::String("12 Oak")});
+  return db;
+}
+
+TEST(TransGenFig3Test, CompilesTheFig3QueryShape) {
+  TransGenStats stats;
+  auto views = CompileFragments(PersonEr(), "Persons", Fig2Relational(),
+                                Fig2Fragments(), &stats);
+  ASSERT_TRUE(views.ok()) << views.status();
+  // Fig. 3's query: (HR LEFT OUTER JOIN Empl) UNION ALL Client.
+  EXPECT_EQ(stats.components, 2u);     // {HR, Empl} and {Client}
+  EXPECT_EQ(stats.outer_joins, 1u);    // HR loj Empl
+  EXPECT_EQ(stats.case_branches, 2u);  // Person vs Employee dispatch
+  EXPECT_EQ(views->update_views.size(), 3u);
+
+  std::string sql = views->ToString();
+  EXPECT_NE(sql.find("LEFT OUTER JOIN"), std::string::npos);
+  EXPECT_NE(sql.find("UNION ALL"), std::string::npos);
+  EXPECT_NE(sql.find("CASE"), std::string::npos);
+}
+
+TEST(TransGenFig3Test, QueryViewReconstructsEntities) {
+  model::Schema er = PersonEr();
+  model::Schema rel = Fig2Relational();
+  auto views = CompileFragments(er, "Persons", rel, Fig2Fragments());
+  ASSERT_TRUE(views.ok());
+
+  // Populate tables as Fig. 2 prescribes (Ada: person; Bob: employee;
+  // Cyd: customer).
+  Instance tables = Instance::EmptyFor(rel);
+  ASSERT_TRUE(tables.Insert("HR", {Value::Int64(1), Value::String("Ada")}).ok());
+  ASSERT_TRUE(tables.Insert("HR", {Value::Int64(2), Value::String("Bob")}).ok());
+  ASSERT_TRUE(
+      tables.Insert("Empl", {Value::Int64(2), Value::String("R&D")}).ok());
+  ASSERT_TRUE(tables
+                  .Insert("Client", {Value::Int64(3), Value::String("Cyd"),
+                                     Value::Int64(700),
+                                     Value::String("12 Oak")})
+                  .ok());
+
+  Instance entities;
+  ASSERT_TRUE(ApplyQueryView(*views, er, rel, tables, &entities).ok());
+  const instance::RelationInstance* persons = entities.Find("Persons");
+  ASSERT_NE(persons, nullptr);
+  EXPECT_EQ(persons->size(), 3u);
+  // Bob was reconstructed as an Employee with his Dept.
+  bool bob = false;
+  for (const instance::Tuple& t : persons->tuples()) {
+    if (t[1] == Value::Int64(2)) {
+      bob = true;
+      EXPECT_EQ(t[0], Value::String("Employee"));
+      EXPECT_EQ(t[2], Value::String("Bob"));
+      EXPECT_EQ(t[3], Value::String("R&D"));
+      EXPECT_TRUE(t[4].is_null());
+    }
+    if (t[1] == Value::Int64(1)) {
+      EXPECT_EQ(t[0], Value::String("Person"));
+    }
+    if (t[1] == Value::Int64(3)) {
+      EXPECT_EQ(t[0], Value::String("Customer"));
+      EXPECT_EQ(t[4], Value::Int64(700));
+    }
+  }
+  EXPECT_TRUE(bob);
+}
+
+TEST(TransGenFig3Test, UpdateViewsShredEntities) {
+  model::Schema er = PersonEr();
+  model::Schema rel = Fig2Relational();
+  auto views = CompileFragments(er, "Persons", rel, Fig2Fragments());
+  ASSERT_TRUE(views.ok());
+
+  Instance tables;
+  ASSERT_TRUE(
+      ApplyUpdateViews(*views, er, rel, PersonInstance(er), &tables).ok());
+  // HR holds Ada and Bob (persons + employees), Empl holds Bob's dept,
+  // Client holds Cyd.
+  EXPECT_EQ(tables.Find("HR")->size(), 2u);
+  EXPECT_EQ(tables.Find("Empl")->size(), 1u);
+  EXPECT_EQ(tables.Find("Client")->size(), 1u);
+  EXPECT_TRUE(tables.Find("Empl")->Contains(
+      {Value::Int64(2), Value::String("R&D")}));
+  EXPECT_TRUE(tables.Find("Client")->Contains(
+      {Value::Int64(3), Value::String("Cyd"), Value::Int64(700),
+       Value::String("12 Oak")}));
+}
+
+TEST(TransGenFig3Test, RoundtripsExactly) {
+  model::Schema er = PersonEr();
+  model::Schema rel = Fig2Relational();
+  auto views = CompileFragments(er, "Persons", rel, Fig2Fragments());
+  ASSERT_TRUE(views.ok());
+  auto ok = VerifyRoundtrip(*views, er, rel, PersonInstance(er));
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  EXPECT_TRUE(*ok);
+}
+
+TEST(TransGenTest, RoundtripsForAllModelGenStrategies) {
+  model::Schema er = PersonEr();
+  for (InheritanceStrategy strategy :
+       {InheritanceStrategy::kSingleTable, InheritanceStrategy::kTablePerType,
+        InheritanceStrategy::kTablePerConcrete}) {
+    auto generated = modelgen::ErToRelational(er, strategy);
+    ASSERT_TRUE(generated.ok());
+    auto views = CompileFragments(er, "Persons", generated->relational,
+                                  generated->fragments);
+    ASSERT_TRUE(views.ok())
+        << modelgen::InheritanceStrategyToString(strategy) << ": "
+        << views.status();
+    auto ok = VerifyRoundtrip(*views, er, generated->relational,
+                              PersonInstance(er));
+    ASSERT_TRUE(ok.ok()) << ok.status();
+    EXPECT_TRUE(*ok) << modelgen::InheritanceStrategyToString(strategy);
+  }
+}
+
+TEST(TransGenTest, EmptyEntitySetRoundtrips) {
+  model::Schema er = PersonEr();
+  model::Schema rel = Fig2Relational();
+  auto views = CompileFragments(er, "Persons", rel, Fig2Fragments());
+  ASSERT_TRUE(views.ok());
+  Instance empty = Instance::EmptyFor(er);
+  auto ok = VerifyRoundtrip(*views, er, rel, empty);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(*ok);
+}
+
+TEST(TransGenTest, RejectsFragmentWithoutKey) {
+  std::vector<MappingFragment> fragments = {
+      {"Persons", {"Person", "Employee", "Customer"}, "HR",
+       {{"Name", "Name"}}, ""},
+  };
+  auto views =
+      CompileFragments(PersonEr(), "Persons", Fig2Relational(), fragments);
+  EXPECT_EQ(views.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(TransGenTest, RejectsUnknownTableAndEntitySet) {
+  std::vector<MappingFragment> bad_table = {
+      {"Persons", {"Person"}, "NoSuchTable", {{"Id", "Id"}}, ""},
+  };
+  EXPECT_EQ(CompileFragments(PersonEr(), "Persons", Fig2Relational(),
+                             bad_table)
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(CompileFragments(PersonEr(), "Nope", Fig2Relational(),
+                             Fig2Fragments())
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(
+      CompileFragments(PersonEr(), "Persons", Fig2Relational(), {})
+          .status()
+          .code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST(TransGenTest, RejectsIndistinguishableTypes) {
+  // Person and Employee stored identically: no flag pattern separates
+  // them.
+  std::vector<MappingFragment> fragments = {
+      {"Persons", {"Person", "Employee"}, "HR",
+       {{"Id", "Id"}, {"Name", "Name"}}, ""},
+      {"Persons",
+       {"Customer"},
+       "Client",
+       {{"Id", "Id"},
+        {"Name", "Name"},
+        {"CreditScore", "Score"},
+        {"BillingAddr", "Addr"}},
+       ""},
+      // A second fragment covering BOTH Person and Employee again gives
+      // them identical patterns.
+      {"Persons", {"Person", "Employee"}, "Empl",
+       {{"Id", "Id"}}, ""},
+  };
+  auto views =
+      CompileFragments(PersonEr(), "Persons", Fig2Relational(), fragments);
+  EXPECT_EQ(views.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(TransGenTest, RejectsHorizontalPartitioningWithoutAnchor) {
+  // Employee data split across two tables with overlapping type sets but
+  // no fragment covering the union: unsupported shape.
+  std::vector<MappingFragment> fragments = {
+      {"Persons", {"Person"}, "HR", {{"Id", "Id"}, {"Name", "Name"}}, ""},
+      {"Persons", {"Employee"}, "Empl", {{"Id", "Id"}, {"Dept", "Dept"}}, ""},
+      // Bridge fragment sharing types with both but covering neither set:
+      {"Persons", {"Person", "Employee"}, "Client", {{"Id", "Id"}}, ""},
+      {"Persons", {"Employee", "Customer"}, "Client", {{"Id", "Id"}}, ""},
+  };
+  auto views =
+      CompileFragments(PersonEr(), "Persons", Fig2Relational(), fragments);
+  EXPECT_EQ(views.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(TransGenTest, StatsCountQueryViewNodes) {
+  TransGenStats stats;
+  auto views = CompileFragments(PersonEr(), "Persons", Fig2Relational(),
+                                Fig2Fragments(), &stats);
+  ASSERT_TRUE(views.ok());
+  EXPECT_GT(stats.query_view_nodes, 5u);
+  EXPECT_EQ(stats.query_view_nodes, views->query_view->NodeCount());
+}
+
+}  // namespace
+}  // namespace mm2::transgen

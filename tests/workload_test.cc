@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "chase/chase.h"
+#include "compose/compose.h"
+#include "match/correspondence.h"
+#include "match/matcher.h"
+#include "modelgen/modelgen.h"
+#include "transgen/transgen.h"
+#include "workload/generators.h"
+
+namespace mm2::workload {
+namespace {
+
+TEST(RngTest, DeterministicAndBounded) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  Rng c(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(c.Uniform(10), 10u);
+    double d = c.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+  // Zero seed must not wedge the generator.
+  Rng z(0);
+  EXPECT_NE(z.Next(), 0u);
+}
+
+TEST(RandomSchemaTest, ValidAndSized) {
+  Rng rng(1);
+  model::Schema s = RandomRelationalSchema("R", 8, 5, &rng);
+  EXPECT_TRUE(s.Validate().ok()) << s.ToString();
+  EXPECT_EQ(s.relations().size(), 8u);
+  for (const model::Relation& r : s.relations()) {
+    EXPECT_GE(r.arity(), 2u);
+    EXPECT_TRUE(r.IsKeyAttribute(0));
+  }
+}
+
+TEST(RandomInstanceTest, RowsMatchSchema) {
+  Rng rng(2);
+  model::Schema s = RandomRelationalSchema("R", 3, 4, &rng);
+  instance::Instance db = RandomInstance(s, 50, &rng);
+  for (const model::Relation& r : s.relations()) {
+    EXPECT_EQ(db.Find(r.name())->size(), 50u);
+  }
+}
+
+TEST(SnowflakeTest, PairIsValidAndInterpretable) {
+  SnowflakePair pair = MakeSnowflakePair(3, 2);
+  ASSERT_TRUE(pair.source.Validate().ok()) << pair.source.ToString();
+  ASSERT_TRUE(pair.target.Validate().ok());
+  // 1 root corr + dims*attrs.
+  EXPECT_EQ(pair.correspondences.size(), 1u + 3u * 2u);
+
+  auto constraints = match::InterpretCorrespondences(
+      pair.source, pair.source_root, pair.target, pair.target_root,
+      pair.correspondences);
+  ASSERT_TRUE(constraints.ok()) << constraints.status();
+  EXPECT_EQ(constraints->size(), pair.correspondences.size());
+}
+
+TEST(SnowflakeTest, InstanceJoinsConsistently) {
+  SnowflakePair pair = MakeSnowflakePair(2, 2);
+  Rng rng(3);
+  instance::Instance db = MakeSnowflakeInstance(pair, 40, &rng);
+  EXPECT_EQ(db.Find("Fact")->size(), 40u);
+  // Every fact's dimension refs resolve.
+  auto constraints = match::InterpretCorrespondences(
+      pair.source, pair.source_root, pair.target, pair.target_root,
+      pair.correspondences);
+  ASSERT_TRUE(constraints.ok());
+  auto mapping = match::MappingFromConstraints("snow", pair.source,
+                                               pair.target, *constraints);
+  ASSERT_TRUE(mapping.ok());
+  auto result = chase::RunChase(*mapping, db);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(result->target.TotalTuples(), 0u);
+}
+
+TEST(HierarchyTest, ShapeAndRoundtrip) {
+  model::Schema er = MakeHierarchy(2, 2, 2);
+  ASSERT_TRUE(er.Validate().ok()) << er.ToString();
+  // 1 + 2 + 4 types.
+  EXPECT_EQ(er.entity_types().size(), 7u);
+  Rng rng(4);
+  instance::Instance db = MakeHierarchyInstance(er, 3, &rng);
+  EXPECT_EQ(db.Find("Objects")->size(), 3u * 7u);
+
+  // Full pipeline: ModelGen + TransGen roundtrips on generated data.
+  for (auto strategy : {modelgen::InheritanceStrategy::kSingleTable,
+                        modelgen::InheritanceStrategy::kTablePerType,
+                        modelgen::InheritanceStrategy::kTablePerConcrete}) {
+    auto generated = modelgen::ErToRelational(er, strategy);
+    ASSERT_TRUE(generated.ok()) << generated.status();
+    auto views = transgen::CompileFragments(er, "Objects",
+                                            generated->relational,
+                                            generated->fragments);
+    ASSERT_TRUE(views.ok()) << views.status();
+    auto ok = transgen::VerifyRoundtrip(*views, er, generated->relational, db);
+    ASSERT_TRUE(ok.ok()) << ok.status();
+    EXPECT_TRUE(*ok) << modelgen::InheritanceStrategyToString(strategy);
+  }
+}
+
+TEST(EvolutionChainTest, StepsComposeAndMigrate) {
+  EvolutionChain chain = MakeEvolutionChain(3, 4);
+  ASSERT_EQ(chain.schemas.size(), 4u);
+  ASSERT_EQ(chain.steps.size(), 3u);
+  for (const logic::Mapping& step : chain.steps) {
+    EXPECT_TRUE(step.Validate().ok()) << step.ToString();
+  }
+  Rng rng(5);
+  instance::Instance db = MakeChainInstance(chain, 10, &rng);
+
+  // Migrate step by step.
+  instance::Instance current = db;
+  for (const logic::Mapping& step : chain.steps) {
+    auto result = chase::RunChase(step, current);
+    ASSERT_TRUE(result.ok());
+    current = result->target;
+  }
+  EXPECT_EQ(current.TotalTuples(), 20u);  // Left + Right, 10 rows each
+
+  // Or compose the chain and migrate once: same result.
+  logic::Mapping composed = chain.steps[0];
+  for (std::size_t i = 1; i < chain.steps.size(); ++i) {
+    auto next = compose::Compose(composed, chain.steps[i]);
+    ASSERT_TRUE(next.ok()) << next.status();
+    composed = *next;
+  }
+  EXPECT_FALSE(composed.is_second_order());
+  auto direct = chase::RunChase(composed, db);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_TRUE(direct->target.Equals(current));
+}
+
+TEST(ComposeBlowupTest, FamiliesHaveExpectedShape) {
+  auto [m12, m23] = MakeComposeBlowup(3, 2);
+  EXPECT_TRUE(m12.Validate().ok());
+  EXPECT_TRUE(m23.Validate().ok());
+  compose::ComposeStats stats;
+  auto composed = compose::Compose(m12, m23, {}, &stats);
+  ASSERT_TRUE(composed.ok());
+  EXPECT_EQ(stats.output_clauses, 9u);  // 3^2
+
+  auto [b12, b23] = MakeComposeBenign(5);
+  compose::ComposeStats benign_stats;
+  auto benign = compose::Compose(b12, b23, {}, &benign_stats);
+  ASSERT_TRUE(benign.ok());
+  EXPECT_EQ(benign_stats.output_clauses, 5u);  // linear in width
+}
+
+TEST(PerturbTest, ReferenceAlignmentIsRecoverable) {
+  Rng rng(6);
+  model::Schema original =
+      RandomRelationalSchema("Orig", 4, 4, &rng);
+  PerturbedSchema perturbed = PerturbNames(original, &rng);
+  ASSERT_TRUE(perturbed.schema.Validate().ok()) << perturbed.schema.ToString();
+  EXPECT_FALSE(perturbed.reference.empty());
+
+  match::MatchOptions options;
+  options.top_k = 5;
+  options.threshold = 0.2;
+  match::SchemaMatcher matcher(options);
+  match::MatchResult result = matcher.Match(original, perturbed.schema);
+  double recall = match::CandidateRecall(result, perturbed.reference);
+  EXPECT_GT(recall, 0.5);
+}
+
+}  // namespace
+}  // namespace mm2::workload
