@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_batchload.dir/bench_batchload.cc.o"
+  "CMakeFiles/bench_batchload.dir/bench_batchload.cc.o.d"
+  "bench_batchload"
+  "bench_batchload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_batchload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_compose_scaling.dir/bench_compose_scaling.cc.o"
+  "CMakeFiles/bench_compose_scaling.dir/bench_compose_scaling.cc.o.d"
+  "bench_compose_scaling"
+  "bench_compose_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_compose_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_queryview.dir/bench_fig3_queryview.cc.o"
+  "CMakeFiles/bench_fig3_queryview.dir/bench_fig3_queryview.cc.o.d"
+  "bench_fig3_queryview"
+  "bench_fig3_queryview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_queryview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

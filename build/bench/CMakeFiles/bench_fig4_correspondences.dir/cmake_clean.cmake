@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_correspondences.dir/bench_fig4_correspondences.cc.o"
+  "CMakeFiles/bench_fig4_correspondences.dir/bench_fig4_correspondences.cc.o.d"
+  "bench_fig4_correspondences"
+  "bench_fig4_correspondences.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_correspondences.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

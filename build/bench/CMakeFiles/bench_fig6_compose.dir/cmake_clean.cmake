@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_compose.dir/bench_fig6_compose.cc.o"
+  "CMakeFiles/bench_fig6_compose.dir/bench_fig6_compose.cc.o.d"
+  "bench_fig6_compose"
+  "bench_fig6_compose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_compose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_modelgen.dir/bench_modelgen.cc.o"
+  "CMakeFiles/bench_modelgen.dir/bench_modelgen.cc.o.d"
+  "bench_modelgen"
+  "bench_modelgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_modelgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mm2_shell.dir/mm2_shell.cc.o"
+  "CMakeFiles/mm2_shell.dir/mm2_shell.cc.o.d"
+  "mm2_shell"
+  "mm2_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mm2_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peer_data_sharing.dir/peer_data_sharing.cc.o"
+  "CMakeFiles/peer_data_sharing.dir/peer_data_sharing.cc.o.d"
+  "peer_data_sharing"
+  "peer_data_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peer_data_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warehouse_etl.dir/warehouse_etl.cc.o"
+  "CMakeFiles/warehouse_etl.dir/warehouse_etl.cc.o.d"
+  "warehouse_etl"
+  "warehouse_etl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warehouse_etl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrapper_generation.dir/wrapper_generation.cc.o"
+  "CMakeFiles/wrapper_generation.dir/wrapper_generation.cc.o.d"
+  "wrapper_generation"
+  "wrapper_generation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrapper_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algebra/eval.cc" "src/CMakeFiles/mm2.dir/algebra/eval.cc.o" "gcc" "src/CMakeFiles/mm2.dir/algebra/eval.cc.o.d"
+  "/root/repo/src/algebra/expr.cc" "src/CMakeFiles/mm2.dir/algebra/expr.cc.o" "gcc" "src/CMakeFiles/mm2.dir/algebra/expr.cc.o.d"
+  "/root/repo/src/algebra/optimize.cc" "src/CMakeFiles/mm2.dir/algebra/optimize.cc.o" "gcc" "src/CMakeFiles/mm2.dir/algebra/optimize.cc.o.d"
+  "/root/repo/src/chase/chase.cc" "src/CMakeFiles/mm2.dir/chase/chase.cc.o" "gcc" "src/CMakeFiles/mm2.dir/chase/chase.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/mm2.dir/common/status.cc.o" "gcc" "src/CMakeFiles/mm2.dir/common/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/CMakeFiles/mm2.dir/common/strings.cc.o" "gcc" "src/CMakeFiles/mm2.dir/common/strings.cc.o.d"
+  "/root/repo/src/compose/compose.cc" "src/CMakeFiles/mm2.dir/compose/compose.cc.o" "gcc" "src/CMakeFiles/mm2.dir/compose/compose.cc.o.d"
+  "/root/repo/src/diff/diff.cc" "src/CMakeFiles/mm2.dir/diff/diff.cc.o" "gcc" "src/CMakeFiles/mm2.dir/diff/diff.cc.o.d"
+  "/root/repo/src/engine/engine.cc" "src/CMakeFiles/mm2.dir/engine/engine.cc.o" "gcc" "src/CMakeFiles/mm2.dir/engine/engine.cc.o.d"
+  "/root/repo/src/instance/instance.cc" "src/CMakeFiles/mm2.dir/instance/instance.cc.o" "gcc" "src/CMakeFiles/mm2.dir/instance/instance.cc.o.d"
+  "/root/repo/src/instance/value.cc" "src/CMakeFiles/mm2.dir/instance/value.cc.o" "gcc" "src/CMakeFiles/mm2.dir/instance/value.cc.o.d"
+  "/root/repo/src/inverse/inverse.cc" "src/CMakeFiles/mm2.dir/inverse/inverse.cc.o" "gcc" "src/CMakeFiles/mm2.dir/inverse/inverse.cc.o.d"
+  "/root/repo/src/logic/acyclicity.cc" "src/CMakeFiles/mm2.dir/logic/acyclicity.cc.o" "gcc" "src/CMakeFiles/mm2.dir/logic/acyclicity.cc.o.d"
+  "/root/repo/src/logic/formula.cc" "src/CMakeFiles/mm2.dir/logic/formula.cc.o" "gcc" "src/CMakeFiles/mm2.dir/logic/formula.cc.o.d"
+  "/root/repo/src/logic/implication.cc" "src/CMakeFiles/mm2.dir/logic/implication.cc.o" "gcc" "src/CMakeFiles/mm2.dir/logic/implication.cc.o.d"
+  "/root/repo/src/logic/mapping.cc" "src/CMakeFiles/mm2.dir/logic/mapping.cc.o" "gcc" "src/CMakeFiles/mm2.dir/logic/mapping.cc.o.d"
+  "/root/repo/src/logic/term.cc" "src/CMakeFiles/mm2.dir/logic/term.cc.o" "gcc" "src/CMakeFiles/mm2.dir/logic/term.cc.o.d"
+  "/root/repo/src/match/correspondence.cc" "src/CMakeFiles/mm2.dir/match/correspondence.cc.o" "gcc" "src/CMakeFiles/mm2.dir/match/correspondence.cc.o.d"
+  "/root/repo/src/match/matcher.cc" "src/CMakeFiles/mm2.dir/match/matcher.cc.o" "gcc" "src/CMakeFiles/mm2.dir/match/matcher.cc.o.d"
+  "/root/repo/src/merge/merge.cc" "src/CMakeFiles/mm2.dir/merge/merge.cc.o" "gcc" "src/CMakeFiles/mm2.dir/merge/merge.cc.o.d"
+  "/root/repo/src/model/schema.cc" "src/CMakeFiles/mm2.dir/model/schema.cc.o" "gcc" "src/CMakeFiles/mm2.dir/model/schema.cc.o.d"
+  "/root/repo/src/model/type.cc" "src/CMakeFiles/mm2.dir/model/type.cc.o" "gcc" "src/CMakeFiles/mm2.dir/model/type.cc.o.d"
+  "/root/repo/src/modelgen/modelgen.cc" "src/CMakeFiles/mm2.dir/modelgen/modelgen.cc.o" "gcc" "src/CMakeFiles/mm2.dir/modelgen/modelgen.cc.o.d"
+  "/root/repo/src/rewrite/rewrite.cc" "src/CMakeFiles/mm2.dir/rewrite/rewrite.cc.o" "gcc" "src/CMakeFiles/mm2.dir/rewrite/rewrite.cc.o.d"
+  "/root/repo/src/runtime/constraints.cc" "src/CMakeFiles/mm2.dir/runtime/constraints.cc.o" "gcc" "src/CMakeFiles/mm2.dir/runtime/constraints.cc.o.d"
+  "/root/repo/src/runtime/runtime.cc" "src/CMakeFiles/mm2.dir/runtime/runtime.cc.o" "gcc" "src/CMakeFiles/mm2.dir/runtime/runtime.cc.o.d"
+  "/root/repo/src/text/query.cc" "src/CMakeFiles/mm2.dir/text/query.cc.o" "gcc" "src/CMakeFiles/mm2.dir/text/query.cc.o.d"
+  "/root/repo/src/text/sexpr.cc" "src/CMakeFiles/mm2.dir/text/sexpr.cc.o" "gcc" "src/CMakeFiles/mm2.dir/text/sexpr.cc.o.d"
+  "/root/repo/src/transgen/relational.cc" "src/CMakeFiles/mm2.dir/transgen/relational.cc.o" "gcc" "src/CMakeFiles/mm2.dir/transgen/relational.cc.o.d"
+  "/root/repo/src/transgen/transgen.cc" "src/CMakeFiles/mm2.dir/transgen/transgen.cc.o" "gcc" "src/CMakeFiles/mm2.dir/transgen/transgen.cc.o.d"
+  "/root/repo/src/workload/generators.cc" "src/CMakeFiles/mm2.dir/workload/generators.cc.o" "gcc" "src/CMakeFiles/mm2.dir/workload/generators.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

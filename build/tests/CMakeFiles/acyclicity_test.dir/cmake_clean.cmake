@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acyclicity_test.dir/acyclicity_test.cc.o"
+  "CMakeFiles/acyclicity_test.dir/acyclicity_test.cc.o.d"
+  "acyclicity_test"
+  "acyclicity_test.pdb"
+  "acyclicity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acyclicity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapping_text_test.dir/mapping_text_test.cc.o"
+  "CMakeFiles/mapping_text_test.dir/mapping_text_test.cc.o.d"
+  "mapping_text_test"
+  "mapping_text_test.pdb"
+  "mapping_text_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapping_text_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

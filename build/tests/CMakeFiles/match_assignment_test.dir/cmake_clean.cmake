@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/match_assignment_test.dir/match_assignment_test.cc.o"
+  "CMakeFiles/match_assignment_test.dir/match_assignment_test.cc.o.d"
+  "match_assignment_test"
+  "match_assignment_test.pdb"
+  "match_assignment_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/match_assignment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

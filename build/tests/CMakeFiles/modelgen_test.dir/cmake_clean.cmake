@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modelgen_test.dir/modelgen_test.cc.o"
+  "CMakeFiles/modelgen_test.dir/modelgen_test.cc.o.d"
+  "modelgen_test"
+  "modelgen_test.pdb"
+  "modelgen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modelgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oo_wrapper_test.dir/oo_wrapper_test.cc.o"
+  "CMakeFiles/oo_wrapper_test.dir/oo_wrapper_test.cc.o.d"
+  "oo_wrapper_test"
+  "oo_wrapper_test.pdb"
+  "oo_wrapper_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oo_wrapper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/propagator_consistency_test.dir/propagator_consistency_test.cc.o"
+  "CMakeFiles/propagator_consistency_test.dir/propagator_consistency_test.cc.o.d"
+  "propagator_consistency_test"
+  "propagator_consistency_test.pdb"
+  "propagator_consistency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/propagator_consistency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

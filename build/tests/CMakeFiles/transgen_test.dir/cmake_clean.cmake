@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transgen_test.dir/transgen_test.cc.o"
+  "CMakeFiles/transgen_test.dir/transgen_test.cc.o.d"
+  "transgen_test"
+  "transgen_test.pdb"
+  "transgen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
