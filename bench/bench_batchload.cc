@@ -5,6 +5,8 @@
 // source grows — the reason the runtime wants a TransGen'd loader.
 #include <benchmark/benchmark.h>
 
+#include "bench_report.h"
+
 #include "chase/chase.h"
 #include "match/correspondence.h"
 #include "transgen/relational.h"
@@ -126,4 +128,4 @@ BENCHMARK(BM_BatchLoad_JoinMapping_Compiled)->Arg(100)->Arg(400)->Arg(1600);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+MM2_BENCH_MAIN("bench_batchload");

@@ -5,6 +5,8 @@
 // universal solutions.
 #include <benchmark/benchmark.h>
 
+#include "bench_report.h"
+
 #include "chase/chase.h"
 #include "logic/formula.h"
 #include "model/schema.h"
@@ -65,7 +67,9 @@ void BM_Chase_Exchange(benchmark::State& state) {
   Instance db = DataRows(rows);
   std::size_t nulls = 0;
   for (auto _ : state) {
-    auto result = mm2::chase::RunChase(mapping, db);
+    mm2::chase::ChaseOptions chase_options;
+    chase_options.obs = &mm2::bench::Obs();
+    auto result = mm2::chase::RunChase(mapping, db, chase_options);
     if (!result.ok()) {
       state.SkipWithError(result.status().ToString().c_str());
       return;
@@ -82,7 +86,9 @@ BENCHMARK(BM_Chase_Exchange)->Arg(100)->Arg(400)->Arg(1600)->Arg(6400);
 void BM_Chase_CertainAnswers(benchmark::State& state) {
   std::size_t rows = static_cast<std::size_t>(state.range(0));
   Mapping mapping = SplitMapping();
-  auto exchanged = mm2::chase::RunChase(mapping, DataRows(rows));
+  mm2::chase::ChaseOptions chase_options;
+  chase_options.obs = &mm2::bench::Obs();
+  auto exchanged = mm2::chase::RunChase(mapping, DataRows(rows), chase_options);
   if (!exchanged.ok()) {
     state.SkipWithError(exchanged.status().ToString().c_str());
     return;
@@ -159,7 +165,10 @@ void BM_Chase_TransitiveClosure(benchmark::State& state) {
   }
   std::size_t closure = 0;
   for (auto _ : state) {
-    auto result = mm2::chase::ChaseInstance({trans}, {}, db);
+    mm2::chase::ChaseOptions chase_options;
+    chase_options.obs = &mm2::bench::Obs();
+    auto result =
+        mm2::chase::ChaseInstance({trans}, {}, db, chase_options);
     if (!result.ok()) {
       state.SkipWithError(result.status().ToString().c_str());
       return;
@@ -173,4 +182,4 @@ BENCHMARK(BM_Chase_TransitiveClosure)->Arg(8)->Arg(16)->Arg(32);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+MM2_BENCH_MAIN("bench_chase");

@@ -6,6 +6,8 @@
 // existential family yields a second-order result.
 #include <benchmark/benchmark.h>
 
+#include "bench_report.h"
+
 #include <cmath>
 
 #include "compose/compose.h"
@@ -19,7 +21,10 @@ void BM_Compose_Blowup(benchmark::State& state) {
   auto [m12, m23] = mm2::workload::MakeComposeBlowup(producers, atoms);
   mm2::compose::ComposeStats stats;
   for (auto _ : state) {
-    auto composed = mm2::compose::Compose(m12, m23, {}, &stats);
+    mm2::compose::ComposeOptions compose_options;
+    compose_options.obs = &mm2::bench::Obs();
+    auto composed =
+        mm2::compose::Compose(m12, m23, compose_options, &stats);
     if (!composed.ok()) {
       state.SkipWithError(composed.status().ToString().c_str());
       return;
@@ -49,7 +54,10 @@ void BM_Compose_Benign(benchmark::State& state) {
   auto [m12, m23] = mm2::workload::MakeComposeBenign(width);
   mm2::compose::ComposeStats stats;
   for (auto _ : state) {
-    auto composed = mm2::compose::Compose(m12, m23, {}, &stats);
+    mm2::compose::ComposeOptions compose_options;
+    compose_options.obs = &mm2::bench::Obs();
+    auto composed =
+        mm2::compose::Compose(m12, m23, compose_options, &stats);
     if (!composed.ok()) {
       state.SkipWithError(composed.status().ToString().c_str());
       return;
@@ -81,4 +89,4 @@ BENCHMARK(BM_Compose_GuardStopsBlowup);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+MM2_BENCH_MAIN("bench_compose_scaling");

@@ -5,6 +5,8 @@
 // reconstruction exact whenever keys participate.
 #include <benchmark/benchmark.h>
 
+#include "bench_report.h"
+
 #include "diff/diff.h"
 #include "logic/formula.h"
 #include "workload/generators.h"
@@ -119,4 +121,4 @@ BENCHMARK(BM_Diff_LosslessReconstruction)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+MM2_BENCH_MAIN("bench_diff");

@@ -5,6 +5,8 @@
 // number of types, even though the *implied* query (Fig. 3) is complex.
 #include <benchmark/benchmark.h>
 
+#include "bench_report.h"
+
 #include "modelgen/modelgen.h"
 #include "workload/generators.h"
 
@@ -53,4 +55,4 @@ BENCHMARK(BM_Fig2_ConstraintGeneration)
     ->Args({2, 4})
     ->Args({6, 1});
 
-BENCHMARK_MAIN();
+MM2_BENCH_MAIN("bench_fig2_constraints");

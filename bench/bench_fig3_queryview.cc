@@ -5,6 +5,8 @@
 // the roundtrip property holds at every size.
 #include <benchmark/benchmark.h>
 
+#include "bench_report.h"
+
 #include "instance/instance.h"
 #include "model/schema.h"
 #include "modelgen/modelgen.h"
@@ -185,4 +187,4 @@ BENCHMARK(BM_Fig3_Roundtrip)->Arg(100)->Arg(1000)->Arg(10000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+MM2_BENCH_MAIN("bench_fig3_queryview");

@@ -5,6 +5,8 @@
 // constraint a small pair of project-join trees.
 #include <benchmark/benchmark.h>
 
+#include "bench_report.h"
+
 #include "chase/chase.h"
 #include "match/correspondence.h"
 #include "workload/generators.h"
@@ -88,4 +90,4 @@ BENCHMARK(BM_Fig4_Interpret)
     ->Args({8, 8});
 BENCHMARK(BM_Fig4_InterpretAndExchange)->Arg(50)->Arg(200)->Arg(800);
 
-BENCHMARK_MAIN();
+MM2_BENCH_MAIN("bench_fig4_correspondences");

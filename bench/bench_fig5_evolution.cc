@@ -6,6 +6,8 @@
 // linear in |D| and much cheaper through the pre-composed mapping.
 #include <benchmark/benchmark.h>
 
+#include "bench_report.h"
+
 #include "chase/chase.h"
 #include "compose/compose.h"
 #include "workload/generators.h"
@@ -111,4 +113,4 @@ BENCHMARK(BM_Fig5_MigrateComposed)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+MM2_BENCH_MAIN("bench_fig5_evolution");

@@ -6,6 +6,8 @@
 // composition and the exchange as the Students extent grows.
 #include <benchmark/benchmark.h>
 
+#include "bench_report.h"
+
 #include "chase/chase.h"
 #include "compose/compose.h"
 #include "logic/formula.h"
@@ -98,7 +100,10 @@ void BM_Fig6_Compose(benchmark::State& state) {
   Mapping m23 = MapSSPrime();
   mm2::compose::ComposeStats stats;
   for (auto _ : state) {
-    auto composed = mm2::compose::Compose(m12, m23, {}, &stats);
+    mm2::compose::ComposeOptions compose_options;
+    compose_options.obs = &mm2::bench::Obs();
+    auto composed =
+        mm2::compose::Compose(m12, m23, compose_options, &stats);
     if (!composed.ok()) {
       state.SkipWithError(composed.status().ToString().c_str());
       return;
@@ -183,4 +188,4 @@ BENCHMARK(BM_Fig6_EquivalenceCheck);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+MM2_BENCH_MAIN("bench_fig6_compose");

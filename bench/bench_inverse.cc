@@ -5,6 +5,8 @@
 // quasi-inverse recovers exactly the recoverable part.
 #include <benchmark/benchmark.h>
 
+#include "bench_report.h"
+
 #include "inverse/inverse.h"
 #include "logic/formula.h"
 #include "workload/generators.h"
@@ -124,4 +126,4 @@ BENCHMARK(BM_Inverse_Lossy)->Arg(1)->Arg(4)->Arg(8)->Arg(16);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+MM2_BENCH_MAIN("bench_inverse");

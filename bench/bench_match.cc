@@ -6,6 +6,8 @@
 // not the single best guess.
 #include <benchmark/benchmark.h>
 
+#include "bench_report.h"
+
 #include "match/matcher.h"
 #include "workload/generators.h"
 
@@ -90,4 +92,4 @@ BENCHMARK(BM_Match_StructuralRounds)->Arg(0)->Arg(1)->Arg(2)->Arg(4);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+MM2_BENCH_MAIN("bench_match");

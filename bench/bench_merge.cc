@@ -4,6 +4,8 @@
 // equals |A| + |B| - |overlap| exactly, and the projection mappings verify.
 #include <benchmark/benchmark.h>
 
+#include "bench_report.h"
+
 #include "merge/merge.h"
 #include "workload/generators.h"
 
@@ -79,4 +81,4 @@ BENCHMARK(BM_Merge_SchemaScaling)->Arg(4)->Arg(16)->Arg(64)->Arg(128);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+MM2_BENCH_MAIN("bench_merge");

@@ -5,6 +5,8 @@
 // but joins grow with depth; TPC = no joins but unions grow with leaves.
 #include <benchmark/benchmark.h>
 
+#include "bench_report.h"
+
 #include "modelgen/modelgen.h"
 #include "transgen/transgen.h"
 #include "workload/generators.h"
@@ -81,4 +83,4 @@ BENCHMARK(BM_ModelGen_TPC)
     ->Args({4, 2})
     ->Args({2, 4});
 
-BENCHMARK_MAIN();
+MM2_BENCH_MAIN("bench_modelgen");

@@ -6,6 +6,8 @@
 // touches a small part of a large mapped database.
 #include <benchmark/benchmark.h>
 
+#include "bench_report.h"
+
 #include <set>
 
 #include "chase/chase.h"
@@ -142,4 +144,4 @@ BENCHMARK(BM_Answer_RewriteOnly)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+MM2_BENCH_MAIN("bench_rewrite");

@@ -5,6 +5,8 @@
 // cost is linear in rows and higher for TPT (joins) than TPH/TPC.
 #include <benchmark/benchmark.h>
 
+#include "bench_report.h"
+
 #include "modelgen/modelgen.h"
 #include "transgen/transgen.h"
 #include "workload/generators.h"
@@ -86,4 +88,4 @@ BENCHMARK(BM_Roundtrip_TPC)
     ->Args({2, 200})
     ->Args({2, 800});
 
-BENCHMARK_MAIN();
+MM2_BENCH_MAIN("bench_roundtrip");

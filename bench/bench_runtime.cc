@@ -5,6 +5,8 @@
 // (c) Provenance lookup cost is O(derivation), independent of |D|.
 #include <benchmark/benchmark.h>
 
+#include "bench_report.h"
+
 #include "modelgen/modelgen.h"
 #include "runtime/runtime.h"
 #include "transgen/transgen.h"
@@ -177,6 +179,7 @@ void BM_Runtime_ProvenanceLookup(benchmark::State& state) {
   Instance db = mm2::workload::MakeChainInstance(chain, rows, &rng);
   mm2::runtime::ExchangeOptions options;
   options.track_provenance = true;
+  options.obs = &mm2::bench::Obs();
   auto result = mm2::runtime::Exchange(chain.steps[0], db, options);
   if (!result.ok()) {
     state.SkipWithError(result.status().ToString().c_str());
@@ -203,4 +206,4 @@ BENCHMARK(BM_Runtime_ProvenanceLookup)->Arg(100)->Arg(1000)->Arg(10000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+MM2_BENCH_MAIN("bench_runtime");

@@ -52,6 +52,8 @@ void PrintHelp() {
       "                                answer m D Q(x) :- T(x, y)\n"
       "  compose <out> <m12> <m23>     (and the other engine commands:\n"
       "  invert/inverse/extract/diff/merge/modelgen/exchange/match)\n"
+      "  stats                         dump the metrics registry\n"
+      "  trace <file>                  record spans; Chrome JSON on quit\n"
       "  help | quit\n";
 }
 
@@ -60,6 +62,9 @@ void PrintHelp() {
 int main() {
   mm2::engine::Engine engine;
   std::string line;
+  // RunScript scopes `trace` to one script, but the shell feeds it one
+  // line at a time — so intercept trace here and flush at session end.
+  std::string trace_file;
   std::cout << "mm2 shell — 'help' for commands\n";
   while (std::cout << "mm2> " << std::flush, std::getline(std::cin, line)) {
     std::istringstream words(line);
@@ -70,6 +75,12 @@ int main() {
     const std::string& cmd = tokens[0];
 
     if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "trace" && tokens.size() == 2) {
+      engine.observability().tracer.Enable();
+      trace_file = tokens[1];
+      std::cout << "tracing to " << trace_file << " (written on quit)\n";
+      continue;
+    }
     if (cmd == "help") {
       PrintHelp();
       continue;
@@ -224,6 +235,14 @@ int main() {
     } else {
       for (const std::string& entry : *log) std::cout << entry << "\n";
     }
+  }
+  if (!trace_file.empty()) {
+    mm2::Status written =
+        engine.observability().tracer.WriteChromeJson(trace_file);
+    std::cout << (written.ok() ? "trace written to " + trace_file
+                               : written.ToString())
+              << "\n";
+    engine.observability().tracer.Disable();
   }
   std::cout << "\n";
   return 0;

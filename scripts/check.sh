@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Sanitizer gate: builds the whole tree with ASan+UBSan and runs ctest.
+# The obs subsystem is the reason this exists — its registry/tracer mutexes
+# and counter atomics should stay race- and UB-clean — but the gate covers
+# every target. Usage:
+#   scripts/check.sh                # address,undefined (default)
+#   MM2_SANITIZE=thread scripts/check.sh
+#   BUILD_DIR=/tmp/san scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SANITIZERS="${MM2_SANITIZE:-address,undefined}"
+BUILD_DIR="${BUILD_DIR:-build-sanitize}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DMM2_SANITIZE="$SANITIZERS" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
+echo "sanitizer check ($SANITIZERS) passed"

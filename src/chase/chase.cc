@@ -1,6 +1,7 @@
 #include "chase/chase.h"
 
 #include "logic/acyclicity.h"
+#include "obs/obs.h"
 
 #include <algorithm>
 #include <cassert>
@@ -139,6 +140,12 @@ class ChaseRun {
   Status Run(const std::vector<logic::SoTgdClause>& clauses,
              const std::vector<logic::Tgd>& fo_tgds,
              const std::vector<logic::Egd>& egds) {
+    obs::ObsSpan span(options_.obs, "chase.run");
+    span.SetAttribute("so_clauses", clauses.size());
+    span.SetAttribute("tgds", fo_tgds.size());
+    span.SetAttribute("egds", egds.size());
+    span.SetAttribute("source_tuples", read_db().TotalTuples());
+    obs::ScopedLatency latency(options_.obs, "chase.run.latency_us");
     bool changed = true;
     std::size_t rounds = 0;
     while (changed) {
@@ -147,6 +154,9 @@ class ChaseRun {
                                 std::to_string(options_.max_rounds) + ")");
       }
       changed = false;
+      obs::ObsSpan round_span(options_.obs, "chase.round");
+      round_span.SetAttribute("round", rounds);
+      ChaseStats before = stats_;
       for (const logic::SoTgdClause& clause : clauses) {
         MM2_ASSIGN_OR_RETURN(bool fired, FireSoClause(clause));
         changed |= fired;
@@ -160,7 +170,19 @@ class ChaseRun {
         changed |= fired;
       }
       ++stats_.rounds;
+      round_span.SetAttribute("tgd_firings",
+                              stats_.tgd_firings - before.tgd_firings);
+      round_span.SetAttribute("nulls_created",
+                              stats_.nulls_created - before.nulls_created);
+      round_span.SetAttribute(
+          "egd_unifications",
+          stats_.egd_unifications - before.egd_unifications);
+      round_span.SetAttribute(
+          "assignments_matched",
+          stats_.assignments_matched - before.assignments_matched);
     }
+    span.SetAttribute("rounds", stats_.rounds);
+    span.SetAttribute("target_tuples", target_.TotalTuples());
     return Status::OK();
   }
 
@@ -274,6 +296,7 @@ class ChaseRun {
   Result<bool> FireSoClause(const logic::SoTgdClause& clause) {
     bool changed = false;
     std::vector<Assignment> matches = MatchAtoms(clause.body, read_db());
+    stats_.assignments_matched += matches.size();
     for (const Assignment& assignment : matches) {
       // Premise equalities under Skolem semantics: two distinct constants
       // act as a filter (the match simply does not fire); when a labeled
@@ -317,6 +340,7 @@ class ChaseRun {
     bool changed = false;
     std::set<std::string> existentials = tgd.ExistentialVariables();
     std::vector<Assignment> matches = MatchAtoms(tgd.body, read_db());
+    stats_.assignments_matched += matches.size();
     for (Assignment assignment : matches) {
       if (options_.restricted) {
         // Satisfied already? Look for an extension of the assignment that
@@ -347,6 +371,7 @@ class ChaseRun {
     while (true) {
       bool fired = false;
       std::vector<Assignment> matches = MatchAtoms(egd.body, target_);
+      stats_.assignments_matched += matches.size();
       for (const Assignment& assignment : matches) {
         auto li = assignment.find(egd.left);
         auto ri = assignment.find(egd.right);
@@ -435,6 +460,26 @@ class ChaseRun {
   std::map<std::pair<std::string, std::vector<Value>>, Value> skolem_;
 };
 
+// Mirrors a finished run's ChaseStats into the attached registry, so every
+// collector sees one consistent `chase.*` counter family no matter which
+// entry point ran the chase.
+void MirrorStats(obs::Context* obs, const ChaseStats& stats,
+                 std::size_t provenance_entries) {
+  if (obs == nullptr) return;
+  obs::MetricsRegistry& m = obs->metrics;
+  m.GetCounter("chase.runs").Increment();
+  m.GetCounter("chase.rounds").Increment(stats.rounds);
+  m.GetCounter("chase.tgd_firings").Increment(stats.tgd_firings);
+  m.GetCounter("chase.nulls_created").Increment(stats.nulls_created);
+  m.GetCounter("chase.egd_unifications").Increment(stats.egd_unifications);
+  m.GetCounter("chase.assignments_matched")
+      .Increment(stats.assignments_matched);
+  m.GetCounter("chase.provenance_entries").Increment(provenance_entries);
+  m.GetHistogram("chase.rounds_per_run",
+                 {1, 2, 3, 5, 8, 13, 21, 50, 100, 1000, 10000})
+      .Record(static_cast<double>(stats.rounds));
+}
+
 }  // namespace
 
 Result<ChaseResult> RunChase(const logic::Mapping& mapping,
@@ -461,6 +506,7 @@ Result<ChaseResult> RunChase(const logic::Mapping& mapping,
   result.stats = run.stats();
   result.provenance = std::move(run.provenance());
   result.target = std::move(run.target());
+  MirrorStats(options.obs, result.stats, result.provenance.size());
   return result;
 }
 
@@ -481,6 +527,7 @@ Result<ChaseResult> ChaseInstance(const std::vector<logic::Tgd>& tgds,
   result.stats = run.stats();
   result.provenance = std::move(run.provenance());
   result.target = std::move(run.target());
+  MirrorStats(options.obs, result.stats, result.provenance.size());
   return result;
 }
 
@@ -548,7 +595,11 @@ bool ExistsHomomorphism(const Instance& from, const Instance& to) {
   return !MatchAtoms(atoms, to, /*limit=*/1).empty();
 }
 
-instance::Instance ComputeCore(const Instance& database) {
+instance::Instance ComputeCore(const Instance& database, obs::Context* obs) {
+  obs::ObsSpan span(obs, "chase.core");
+  span.SetAttribute("input_tuples", database.TotalTuples());
+  obs::ScopedLatency latency(obs, "chase.core.latency_us");
+  std::size_t iterations = 0;
   Instance core = database;
   bool changed = true;
   while (changed) {
@@ -602,12 +653,18 @@ instance::Instance ComputeCore(const Instance& database) {
           }
           core = std::move(retracted);
           changed = true;
+          ++iterations;
           break;
         }
       }
       if (changed) break;
     }
   }
+  if (obs != nullptr) {
+    obs->metrics.GetCounter("chase.core_iterations").Increment(iterations);
+  }
+  span.SetAttribute("iterations", iterations);
+  span.SetAttribute("core_tuples", core.TotalTuples());
   return core;
 }
 

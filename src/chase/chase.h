@@ -14,6 +14,10 @@
 #include "logic/formula.h"
 #include "logic/mapping.h"
 
+namespace mm2::obs {
+struct Context;
+}
+
 namespace mm2::chase {
 
 // A variable assignment produced by matching atoms against an instance.
@@ -73,6 +77,10 @@ struct ChaseOptions {
   // acyclic, instead of running into max_rounds. s-t tgd mappings are
   // always weakly acyclic; this matters for intra-schema closures.
   bool require_weak_acyclicity = false;
+  // Optional collector: when set, the chase opens a `chase.run` span with
+  // one `chase.round` child per round and mirrors ChaseStats into the
+  // registry's `chase.*` counters on completion.
+  obs::Context* obs = nullptr;
 };
 
 struct ChaseStats {
@@ -80,6 +88,9 @@ struct ChaseStats {
   std::size_t tgd_firings = 0;
   std::size_t nulls_created = 0;
   std::size_t egd_unifications = 0;
+  // Body assignments found across all rule-matching calls (the quantity
+  // that dominates chase cost).
+  std::size_t assignments_matched = 0;
 };
 
 struct ChaseResult {
@@ -129,8 +140,11 @@ bool ExistsHomomorphism(const instance::Instance& from,
 // maps some labeled null onto another value while keeping the instance
 // within itself, and applies it. For chase results of s-t tgd mappings this
 // reaches the core (the smallest universal solution, "getting to the
-// core"). Returns the retracted instance.
-instance::Instance ComputeCore(const instance::Instance& database);
+// core"). Returns the retracted instance. When `obs` is set, emits a
+// `chase.core` span and counts applied retractions as
+// `chase.core_iterations`.
+instance::Instance ComputeCore(const instance::Instance& database,
+                               obs::Context* obs = nullptr);
 
 }  // namespace mm2::chase
 

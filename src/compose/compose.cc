@@ -6,6 +6,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/obs.h"
+
 namespace mm2::compose {
 
 using logic::Atom;
@@ -139,14 +141,9 @@ void CollectClauseFunctions(const SoTgdClause& clause,
   }
 }
 
-}  // namespace
-
-Result<Mapping> Compose(const Mapping& m12, const Mapping& m23,
-                        const ComposeOptions& options, ComposeStats* stats) {
-  ComposeStats local_stats;
-  ComposeStats* s = stats != nullptr ? stats : &local_stats;
-  *s = ComposeStats();
-
+// The composition algorithm proper; `s` is always non-null here.
+Result<Mapping> ComposeImpl(const Mapping& m12, const Mapping& m23,
+                            const ComposeOptions& options, ComposeStats* s) {
   // Sanity: the mid schema vocabularies must line up. We check that every
   // relation m23 reads in its bodies exists in m12's target schema or is
   // never producible (in which case the clause is dropped later).
@@ -260,6 +257,47 @@ Result<Mapping> Compose(const Mapping& m12, const Mapping& m23,
   }
   return Mapping::FromSoTgd(std::move(name), m12.source(), m23.target(),
                             std::move(out));
+}
+
+std::size_t ClauseCount(const Mapping& m) {
+  return m.is_second_order() ? m.so_tgd().clauses.size() : m.tgds().size();
+}
+
+}  // namespace
+
+Result<Mapping> Compose(const Mapping& m12, const Mapping& m23,
+                        const ComposeOptions& options, ComposeStats* stats) {
+  ComposeStats local_stats;
+  ComposeStats* s = stats != nullptr ? stats : &local_stats;
+  *s = ComposeStats();
+
+  obs::ObsSpan span(options.obs, "compose.run");
+  span.SetAttribute("m12_clauses", ClauseCount(m12));
+  span.SetAttribute("m23_clauses", ClauseCount(m23));
+  obs::ScopedLatency latency(options.obs, "compose.run.latency_us");
+  Result<Mapping> result = ComposeImpl(m12, m23, options, s);
+
+  if (options.obs != nullptr) {
+    obs::MetricsRegistry& m = options.obs->metrics;
+    m.GetCounter("compose.runs").Increment();
+    m.GetCounter("compose.combinations_examined")
+        .Increment(s->combinations_examined);
+    m.GetCounter("compose.combinations_inconsistent")
+        .Increment(s->combinations_inconsistent);
+    m.GetCounter("compose.clauses_unresolvable")
+        .Increment(s->clauses_unresolvable);
+    m.GetCounter("compose.output_clauses").Increment(s->output_clauses);
+    m.GetCounter("compose.output_equalities").Increment(s->output_equalities);
+    if (s->first_order) m.GetCounter("compose.deskolemized").Increment();
+  }
+  span.SetAttribute("combinations_examined", s->combinations_examined);
+  span.SetAttribute("output_clauses", s->output_clauses);
+  span.SetAttribute("first_order", s->first_order ? "true" : "false");
+  span.SetAttribute("status", result.ok()
+                                  ? std::string("OK")
+                                  : std::string(StatusCodeToString(
+                                        result.status().code())));
+  return result;
 }
 
 }  // namespace mm2::compose

@@ -7,6 +7,10 @@
 #include "common/result.h"
 #include "logic/mapping.h"
 
+namespace mm2::obs {
+struct Context;
+}
+
 namespace mm2::compose {
 
 struct ComposeOptions {
@@ -19,6 +23,9 @@ struct ComposeOptions {
   // algorithm has an exponential lower bound (Fagin et al.), so a guard is
   // part of the contract; hitting it returns Unsupported.
   std::size_t max_clauses = 1 << 20;
+  // Optional collector: when set, Compose opens a `compose.run` span and
+  // mirrors ComposeStats into the registry's `compose.*` counters.
+  obs::Context* obs = nullptr;
 };
 
 struct ComposeStats {

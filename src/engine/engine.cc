@@ -94,71 +94,110 @@ std::vector<std::string> Repository::InstanceNames() const {
   return out;
 }
 
+namespace {
+
+std::size_t MappingClauses(const logic::Mapping& m) {
+  return m.is_second_order() ? m.so_tgd().clauses.size() : m.tgds().size();
+}
+
+}  // namespace
+
 Result<match::MatchResult> Engine::Match(const std::string& source_schema,
                                          const std::string& target_schema,
                                          const match::MatchOptions& options) {
-  MM2_ASSIGN_OR_RETURN(model::Schema source, repo_.GetSchema(source_schema));
-  MM2_ASSIGN_OR_RETURN(model::Schema target, repo_.GetSchema(target_schema));
-  match::SchemaMatcher matcher(options);
-  return matcher.Match(source, target);
+  obs::OpSpan op(&observability(), "match");
+  Result<match::MatchResult> result =
+      [&]() -> Result<match::MatchResult> {
+    MM2_ASSIGN_OR_RETURN(model::Schema source, repo_.GetSchema(source_schema));
+    MM2_ASSIGN_OR_RETURN(model::Schema target, repo_.GetSchema(target_schema));
+    op.SetAttribute("source_relations", source.relations().size());
+    op.SetAttribute("target_relations", target.relations().size());
+    match::SchemaMatcher matcher(options);
+    return matcher.Match(source, target);
+  }();
+  op.Finish(result.ok() ? Status::OK() : result.status());
+  return result;
 }
 
 Status Engine::Compose(const std::string& out, const std::string& m12,
                        const std::string& m23) {
-  MM2_ASSIGN_OR_RETURN(logic::Mapping first, repo_.GetMapping(m12));
-  MM2_ASSIGN_OR_RETURN(logic::Mapping second, repo_.GetMapping(m23));
-  if (first.target().name() != second.source().name()) {
-    return Status::InvalidArgument(
-        "compose: mid schemas disagree ('" + first.target().name() +
-        "' vs '" + second.source().name() + "')");
-  }
-  MM2_ASSIGN_OR_RETURN(logic::Mapping composed,
-                       compose::Compose(first, second));
-  composed.set_name(out);
-  return repo_.PutMapping(std::move(composed));
+  obs::OpSpan op(&observability(), "compose");
+  return op.Finish([&]() -> Status {
+    MM2_ASSIGN_OR_RETURN(logic::Mapping first, repo_.GetMapping(m12));
+    MM2_ASSIGN_OR_RETURN(logic::Mapping second, repo_.GetMapping(m23));
+    op.SetAttribute("m12_clauses", MappingClauses(first));
+    op.SetAttribute("m23_clauses", MappingClauses(second));
+    if (first.target().name() != second.source().name()) {
+      return Status::InvalidArgument(
+          "compose: mid schemas disagree ('" + first.target().name() +
+          "' vs '" + second.source().name() + "')");
+    }
+    compose::ComposeOptions options;
+    options.obs = &observability();
+    MM2_ASSIGN_OR_RETURN(logic::Mapping composed,
+                         compose::Compose(first, second, options));
+    composed.set_name(out);
+    return repo_.PutMapping(std::move(composed));
+  }());
 }
 
 Status Engine::Invert(const std::string& out, const std::string& mapping) {
-  MM2_ASSIGN_OR_RETURN(logic::Mapping m, repo_.GetMapping(mapping));
-  MM2_ASSIGN_OR_RETURN(logic::Mapping inverted, inverse::Invert(m));
-  inverted.set_name(out);
-  return repo_.PutMapping(std::move(inverted));
+  obs::OpSpan op(&observability(), "invert");
+  return op.Finish([&]() -> Status {
+    MM2_ASSIGN_OR_RETURN(logic::Mapping m, repo_.GetMapping(mapping));
+    op.SetAttribute("clauses", MappingClauses(m));
+    MM2_ASSIGN_OR_RETURN(logic::Mapping inverted, inverse::Invert(m));
+    inverted.set_name(out);
+    return repo_.PutMapping(std::move(inverted));
+  }());
 }
 
 Status Engine::ComputeInverse(const std::string& out,
                               const std::string& mapping) {
-  MM2_ASSIGN_OR_RETURN(logic::Mapping m, repo_.GetMapping(mapping));
-  MM2_ASSIGN_OR_RETURN(inverse::InverseResult result,
-                       inverse::ComputeInverse(m));
-  result.inverse.set_name(out);
-  return repo_.PutMapping(std::move(result.inverse));
+  obs::OpSpan op(&observability(), "inverse");
+  return op.Finish([&]() -> Status {
+    MM2_ASSIGN_OR_RETURN(logic::Mapping m, repo_.GetMapping(mapping));
+    op.SetAttribute("clauses", MappingClauses(m));
+    MM2_ASSIGN_OR_RETURN(inverse::InverseResult result,
+                         inverse::ComputeInverse(m));
+    result.inverse.set_name(out);
+    return repo_.PutMapping(std::move(result.inverse));
+  }());
 }
 
 Status Engine::Extract(const std::string& out_schema,
                        const std::string& out_mapping,
                        const std::string& mapping) {
-  MM2_ASSIGN_OR_RETURN(logic::Mapping m, repo_.GetMapping(mapping));
-  MM2_ASSIGN_OR_RETURN(diff::SubSchemaResult result, diff::Extract(m));
-  result.schema.set_name(out_schema);
-  // Re-point the projection mapping's target at the renamed schema.
-  logic::Mapping renamed = logic::Mapping::FromTgds(
-      out_mapping, result.mapping.source(), result.schema,
-      result.mapping.tgds());
-  MM2_RETURN_IF_ERROR(repo_.PutSchema(std::move(result.schema)));
-  return repo_.PutMapping(std::move(renamed));
+  obs::OpSpan op(&observability(), "extract");
+  return op.Finish([&]() -> Status {
+    MM2_ASSIGN_OR_RETURN(logic::Mapping m, repo_.GetMapping(mapping));
+    op.SetAttribute("clauses", MappingClauses(m));
+    MM2_ASSIGN_OR_RETURN(diff::SubSchemaResult result, diff::Extract(m));
+    result.schema.set_name(out_schema);
+    // Re-point the projection mapping's target at the renamed schema.
+    logic::Mapping renamed = logic::Mapping::FromTgds(
+        out_mapping, result.mapping.source(), result.schema,
+        result.mapping.tgds());
+    MM2_RETURN_IF_ERROR(repo_.PutSchema(std::move(result.schema)));
+    return repo_.PutMapping(std::move(renamed));
+  }());
 }
 
 Status Engine::Diff(const std::string& out_schema,
                     const std::string& out_mapping,
                     const std::string& mapping) {
-  MM2_ASSIGN_OR_RETURN(logic::Mapping m, repo_.GetMapping(mapping));
-  MM2_ASSIGN_OR_RETURN(diff::SubSchemaResult result, diff::Diff(m));
-  result.schema.set_name(out_schema);
-  logic::Mapping renamed = logic::Mapping::FromTgds(
-      out_mapping, result.mapping.source(), result.schema,
-      result.mapping.tgds());
-  MM2_RETURN_IF_ERROR(repo_.PutSchema(std::move(result.schema)));
-  return repo_.PutMapping(std::move(renamed));
+  obs::OpSpan op(&observability(), "diff");
+  return op.Finish([&]() -> Status {
+    MM2_ASSIGN_OR_RETURN(logic::Mapping m, repo_.GetMapping(mapping));
+    op.SetAttribute("clauses", MappingClauses(m));
+    MM2_ASSIGN_OR_RETURN(diff::SubSchemaResult result, diff::Diff(m));
+    result.schema.set_name(out_schema);
+    logic::Mapping renamed = logic::Mapping::FromTgds(
+        out_mapping, result.mapping.source(), result.schema,
+        result.mapping.tgds());
+    MM2_RETURN_IF_ERROR(repo_.PutSchema(std::move(result.schema)));
+    return repo_.PutMapping(std::move(renamed));
+  }());
 }
 
 Status Engine::Merge(const std::string& out_schema,
@@ -166,87 +205,119 @@ Status Engine::Merge(const std::string& out_schema,
                      const std::string& out_to_right, const std::string& left,
                      const std::string& right,
                      const std::vector<match::Correspondence>& corrs) {
-  MM2_ASSIGN_OR_RETURN(model::Schema left_schema, repo_.GetSchema(left));
-  MM2_ASSIGN_OR_RETURN(model::Schema right_schema, repo_.GetSchema(right));
-  merge::MergeOptions options;
-  options.merged_name = out_schema;
-  MM2_ASSIGN_OR_RETURN(merge::MergeResult result,
-                       merge::Merge(left_schema, right_schema, corrs,
-                                    options));
-  result.to_left.set_name(out_to_left);
-  result.to_right.set_name(out_to_right);
-  MM2_RETURN_IF_ERROR(repo_.PutSchema(std::move(result.merged)));
-  MM2_RETURN_IF_ERROR(repo_.PutMapping(std::move(result.to_left)));
-  return repo_.PutMapping(std::move(result.to_right));
+  obs::OpSpan op(&observability(), "merge");
+  op.SetAttribute("correspondences", corrs.size());
+  return op.Finish([&]() -> Status {
+    MM2_ASSIGN_OR_RETURN(model::Schema left_schema, repo_.GetSchema(left));
+    MM2_ASSIGN_OR_RETURN(model::Schema right_schema, repo_.GetSchema(right));
+    op.SetAttribute("left_relations", left_schema.relations().size());
+    op.SetAttribute("right_relations", right_schema.relations().size());
+    merge::MergeOptions options;
+    options.merged_name = out_schema;
+    MM2_ASSIGN_OR_RETURN(merge::MergeResult result,
+                         merge::Merge(left_schema, right_schema, corrs,
+                                      options));
+    result.to_left.set_name(out_to_left);
+    result.to_right.set_name(out_to_right);
+    MM2_RETURN_IF_ERROR(repo_.PutSchema(std::move(result.merged)));
+    MM2_RETURN_IF_ERROR(repo_.PutMapping(std::move(result.to_left)));
+    return repo_.PutMapping(std::move(result.to_right));
+  }());
 }
 
 Status Engine::ModelGen(const std::string& out_schema,
                         const std::string& out_mapping,
                         const std::string& er_schema,
                         modelgen::InheritanceStrategy strategy) {
-  MM2_ASSIGN_OR_RETURN(model::Schema er, repo_.GetSchema(er_schema));
-  MM2_ASSIGN_OR_RETURN(modelgen::ModelGenResult result,
-                       modelgen::ErToRelational(er, strategy));
-  result.relational.set_name(out_schema);
-  logic::Mapping renamed = logic::Mapping::FromTgds(
-      out_mapping, result.mapping.source(), result.relational,
-      result.mapping.tgds());
-  MM2_RETURN_IF_ERROR(repo_.PutSchema(std::move(result.relational)));
-  return repo_.PutMapping(std::move(renamed));
+  obs::OpSpan op(&observability(), "modelgen");
+  return op.Finish([&]() -> Status {
+    MM2_ASSIGN_OR_RETURN(model::Schema er, repo_.GetSchema(er_schema));
+    op.SetAttribute("er_relations", er.relations().size());
+    MM2_ASSIGN_OR_RETURN(modelgen::ModelGenResult result,
+                         modelgen::ErToRelational(er, strategy));
+    result.relational.set_name(out_schema);
+    logic::Mapping renamed = logic::Mapping::FromTgds(
+        out_mapping, result.mapping.source(), result.relational,
+        result.mapping.tgds());
+    MM2_RETURN_IF_ERROR(repo_.PutSchema(std::move(result.relational)));
+    return repo_.PutMapping(std::move(renamed));
+  }());
 }
 
 Status Engine::Exchange(const std::string& out_instance,
                         const std::string& mapping,
                         const std::string& source_instance) {
-  MM2_ASSIGN_OR_RETURN(logic::Mapping m, repo_.GetMapping(mapping));
-  MM2_ASSIGN_OR_RETURN(instance::Instance source,
-                       repo_.GetInstance(source_instance));
-  MM2_ASSIGN_OR_RETURN(runtime::ExchangeResult result,
-                       runtime::Exchange(m, source));
-  return repo_.PutInstance(out_instance, std::move(result.target));
+  obs::OpSpan op(&observability(), "exchange");
+  return op.Finish([&]() -> Status {
+    MM2_ASSIGN_OR_RETURN(logic::Mapping m, repo_.GetMapping(mapping));
+    MM2_ASSIGN_OR_RETURN(instance::Instance source,
+                         repo_.GetInstance(source_instance));
+    op.SetAttribute("clauses", MappingClauses(m));
+    op.SetAttribute("source_tuples", source.TotalTuples());
+    runtime::ExchangeOptions options;
+    options.obs = &observability();
+    MM2_ASSIGN_OR_RETURN(runtime::ExchangeResult result,
+                         runtime::Exchange(m, source, options));
+    op.SetAttribute("target_tuples", result.target.TotalTuples());
+    return repo_.PutInstance(out_instance, std::move(result.target));
+  }());
 }
 
 Status Engine::BatchLoad(const std::string& out_instance,
                          const std::string& mapping,
                          const std::string& source_instance) {
-  MM2_ASSIGN_OR_RETURN(logic::Mapping m, repo_.GetMapping(mapping));
-  MM2_ASSIGN_OR_RETURN(instance::Instance source,
-                       repo_.GetInstance(source_instance));
-  MM2_ASSIGN_OR_RETURN(transgen::CompiledRelationalMapping compiled,
-                       transgen::CompileRelationalMapping(m));
-  MM2_ASSIGN_OR_RETURN(instance::Instance target,
-                       transgen::ExecuteCompiledMapping(compiled, m, source));
-  return repo_.PutInstance(out_instance, std::move(target));
+  obs::OpSpan op(&observability(), "batchload");
+  return op.Finish([&]() -> Status {
+    MM2_ASSIGN_OR_RETURN(logic::Mapping m, repo_.GetMapping(mapping));
+    MM2_ASSIGN_OR_RETURN(instance::Instance source,
+                         repo_.GetInstance(source_instance));
+    op.SetAttribute("clauses", MappingClauses(m));
+    op.SetAttribute("source_tuples", source.TotalTuples());
+    MM2_ASSIGN_OR_RETURN(transgen::CompiledRelationalMapping compiled,
+                         transgen::CompileRelationalMapping(m));
+    MM2_ASSIGN_OR_RETURN(instance::Instance target,
+                         transgen::ExecuteCompiledMapping(compiled, m, source));
+    op.SetAttribute("target_tuples", target.TotalTuples());
+    return repo_.PutInstance(out_instance, std::move(target));
+  }());
 }
 
 Status Engine::OoGen(const std::string& out_schema,
                      const std::string& out_mapping,
                      const std::string& relational_schema) {
-  MM2_ASSIGN_OR_RETURN(model::Schema relational,
-                       repo_.GetSchema(relational_schema));
-  MM2_ASSIGN_OR_RETURN(modelgen::OoGenResult result,
-                       modelgen::RelationalToOo(relational));
-  result.oo.set_name(out_schema);
-  logic::Mapping renamed = logic::Mapping::FromTgds(
-      out_mapping, result.oo, result.mapping.target(),
-      result.mapping.tgds());
-  MM2_RETURN_IF_ERROR(repo_.PutSchema(std::move(result.oo)));
-  return repo_.PutMapping(std::move(renamed));
+  obs::OpSpan op(&observability(), "oogen");
+  return op.Finish([&]() -> Status {
+    MM2_ASSIGN_OR_RETURN(model::Schema relational,
+                         repo_.GetSchema(relational_schema));
+    op.SetAttribute("relations", relational.relations().size());
+    MM2_ASSIGN_OR_RETURN(modelgen::OoGenResult result,
+                         modelgen::RelationalToOo(relational));
+    result.oo.set_name(out_schema);
+    logic::Mapping renamed = logic::Mapping::FromTgds(
+        out_mapping, result.oo, result.mapping.target(),
+        result.mapping.tgds());
+    MM2_RETURN_IF_ERROR(repo_.PutSchema(std::move(result.oo)));
+    return repo_.PutMapping(std::move(renamed));
+  }());
 }
 
 Status Engine::NestedGen(const std::string& out_schema,
                          const std::string& out_mapping,
                          const std::string& relational_schema) {
-  MM2_ASSIGN_OR_RETURN(model::Schema relational,
-                       repo_.GetSchema(relational_schema));
-  MM2_ASSIGN_OR_RETURN(modelgen::NestedGenResult result,
-                       modelgen::RelationalToNested(relational));
-  result.nested.set_name(out_schema);
-  logic::Mapping renamed = logic::Mapping::FromTgds(
-      out_mapping, result.mapping.source(), result.nested,
-      result.mapping.tgds());
-  MM2_RETURN_IF_ERROR(repo_.PutSchema(std::move(result.nested)));
-  return repo_.PutMapping(std::move(renamed));
+  obs::OpSpan op(&observability(), "nestedgen");
+  return op.Finish([&]() -> Status {
+    MM2_ASSIGN_OR_RETURN(model::Schema relational,
+                         repo_.GetSchema(relational_schema));
+    op.SetAttribute("relations", relational.relations().size());
+    MM2_ASSIGN_OR_RETURN(modelgen::NestedGenResult result,
+                         modelgen::RelationalToNested(relational));
+    result.nested.set_name(out_schema);
+    logic::Mapping renamed = logic::Mapping::FromTgds(
+        out_mapping, result.mapping.source(), result.nested,
+        result.mapping.tgds());
+    MM2_RETURN_IF_ERROR(repo_.PutSchema(std::move(result.nested)));
+    return repo_.PutMapping(std::move(renamed));
+  }());
 }
 
 namespace {
@@ -279,6 +350,18 @@ Result<modelgen::InheritanceStrategy> ParseStrategy(const std::string& word) {
 
 Result<std::vector<std::string>> Engine::RunScript(const std::string& script) {
   std::vector<std::string> log;
+  // `trace <file>` arms this guard; the Chrome JSON is written when the
+  // script finishes — including early error returns — so a trace of a
+  // failing evolution scenario is never lost.
+  struct TraceFlusher {
+    obs::Context* ctx;
+    std::string file;
+    ~TraceFlusher() {
+      if (file.empty()) return;
+      ctx->tracer.WriteChromeJson(file);  // best effort on unwind
+      ctx->tracer.Disable();
+    }
+  } trace_flusher{&observability(), ""};
   std::istringstream stream(script);
   std::string line;
   std::size_t line_number = 0;
@@ -364,6 +447,18 @@ Result<std::vector<std::string>> Engine::RunScript(const std::string& script) {
                            Match(tokens[1], tokens[2]));
       log.push_back("matched " + tokens[1] + " ~ " + tokens[2] + ": " +
                     std::to_string(result.best.size()) + " correspondences");
+    } else if (op == "stats") {
+      std::vector<std::string> lines =
+          observability().metrics.Snapshot().Lines();
+      log.push_back("stats: " + std::to_string(lines.size()) + " metrics");
+      for (std::string& metric_line : lines) {
+        log.push_back("  " + std::move(metric_line));
+      }
+    } else if (op == "trace") {
+      MM2_RETURN_IF_ERROR(need(1));
+      observability().tracer.Enable();
+      trace_flusher.file = tokens[1];
+      log.push_back("tracing to " + tokens[1]);
     } else {
       return fail("unknown command '" + op + "'");
     }

@@ -2,10 +2,12 @@
 #define MM2_ENGINE_ENGINE_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "obs/obs.h"
 #include "compose/compose.h"
 #include "diff/diff.h"
 #include "instance/instance.h"
@@ -61,6 +63,21 @@ class Engine {
 
   Repository& repo() { return repo_; }
   const Repository& repo() const { return repo_; }
+
+  // --- Observability -------------------------------------------------------
+  // Every operator call runs under an `op.<name>` span and records
+  // `op.<name>.calls` / `.errors` / `.latency_us` into the active context;
+  // the chase/compose layers add their own `chase.*` / `compose.*`
+  // telemetry underneath. By default the engine owns a private context
+  // (inspect it via observability()); benches and tests attach their own
+  // collector with SetObservability — no global state involved. Passing
+  // nullptr reverts to the engine-owned context.
+  void SetObservability(obs::Context* ctx) { obs_ = ctx; }
+  obs::Context& observability() {
+    if (obs_ != nullptr) return *obs_;
+    if (owned_obs_ == nullptr) owned_obs_ = std::make_unique<obs::Context>();
+    return *owned_obs_;
+  }
 
   // --- Operators over repository names -----------------------------------
   Result<match::MatchResult> Match(const std::string& source_schema,
@@ -119,12 +136,18 @@ class Engine {
   //   oogen <outSchema> <outMap> <relationalSchema>
   //   nestedgen <outSchema> <outMap> <relationalSchema>
   //   match <left> <right>
+  //   stats                          (dump the metrics registry snapshot)
+  //   trace <file>                   (enable tracing; Chrome trace_event
+  //                                   JSON is written to <file> when the
+  //                                   script finishes, even on error)
   // Blank lines and lines starting with '#' are skipped. Returns one log
   // line per executed command.
   Result<std::vector<std::string>> RunScript(const std::string& script);
 
  private:
   Repository repo_;
+  obs::Context* obs_ = nullptr;              // attached collector, if any
+  std::unique_ptr<obs::Context> owned_obs_;  // fallback, created lazily
 };
 
 }  // namespace mm2::engine

@@ -1,0 +1,38 @@
+#include "obs/obs.h"
+
+namespace mm2::obs {
+
+OpSpan::OpSpan(Context* ctx, const std::string& op)
+    : ctx_(ctx),
+      op_(op),
+      span_(ctx, "op." + op),
+      start_(std::chrono::steady_clock::now()) {
+  if (ctx_ != nullptr) ctx_->metrics.GetCounter("op." + op_ + ".calls").Increment();
+}
+
+OpSpan::~OpSpan() {
+  if (!finished_) Finish(Status::OK());
+}
+
+Status OpSpan::Finish(Status status) {
+  if (finished_) return status;
+  finished_ = true;
+  if (ctx_ != nullptr) {
+    double elapsed_us =
+        std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+            std::chrono::steady_clock::now() - start_)
+            .count();
+    ctx_->metrics.GetHistogram("op." + op_ + ".latency_us").Record(elapsed_us);
+    if (!status.ok()) {
+      ctx_->metrics.GetCounter("op." + op_ + ".errors").Increment();
+    }
+  }
+  span_.SetAttribute("status", status.ok()
+                                   ? std::string("OK")
+                                   : std::string(StatusCodeToString(
+                                         status.code())));
+  span_.End();
+  return status;
+}
+
+}  // namespace mm2::obs

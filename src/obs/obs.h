@@ -1,0 +1,113 @@
+#ifndef MM2_OBS_OBS_H_
+#define MM2_OBS_OBS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace mm2::obs {
+
+// The unit of attachment: one metrics namespace plus one span collector.
+// Benches and tests construct their own Context and hand it to the engine
+// (Engine::SetObservability) or to individual operators via their options
+// structs — there is no global state. Every instrumentation helper below is
+// null-safe, so call sites never branch on "is observability on".
+struct Context {
+  MetricsRegistry metrics;
+  Tracer tracer;
+};
+
+// RAII span guard. Opens a span on construction (no-op when `ctx` is null
+// or tracing is disabled) and closes it on destruction or End().
+class ObsSpan {
+ public:
+  ObsSpan(Context* ctx, const std::string& name)
+      : tracer_(ctx == nullptr ? nullptr : &ctx->tracer),
+        id_(tracer_ == nullptr ? 0 : tracer_->BeginSpan(name)) {}
+  ObsSpan(const ObsSpan&) = delete;
+  ObsSpan& operator=(const ObsSpan&) = delete;
+  ~ObsSpan() { End(); }
+
+  void SetAttribute(const std::string& key, std::string value) {
+    if (tracer_ != nullptr) tracer_->SetAttribute(id_, key, std::move(value));
+  }
+  void SetAttribute(const std::string& key, std::uint64_t value) {
+    SetAttribute(key, std::to_string(value));
+  }
+
+  void End() {
+    if (tracer_ != nullptr && id_ != 0) tracer_->EndSpan(id_);
+    id_ = 0;
+  }
+
+ private:
+  Tracer* tracer_;
+  std::uint64_t id_;
+};
+
+// RAII latency recorder: on destruction, records elapsed microseconds into
+// the named histogram. Null-safe like everything else here.
+class ScopedLatency {
+ public:
+  ScopedLatency(Context* ctx, const std::string& histogram_name)
+      : hist_(ctx == nullptr ? nullptr
+                             : &ctx->metrics.GetHistogram(histogram_name)),
+        start_(std::chrono::steady_clock::now()) {}
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+  ~ScopedLatency() {
+    if (hist_ != nullptr) hist_->Record(ElapsedUs());
+  }
+
+  double ElapsedUs() const {
+    return std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  Histogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+// The per-operator guard the engine wraps every operator call in. For an
+// operator `op` it maintains:
+//   span       op.<op>                (with caller-set attributes + status)
+//   counter    op.<op>.calls
+//   counter    op.<op>.errors         (only on non-OK finish)
+//   histogram  op.<op>.latency_us
+// Use Finish(status) as the return expression so early error paths are
+// recorded too; destruction without Finish counts as OK.
+class OpSpan {
+ public:
+  OpSpan(Context* ctx, const std::string& op);
+  OpSpan(const OpSpan&) = delete;
+  OpSpan& operator=(const OpSpan&) = delete;
+  ~OpSpan();
+
+  void SetAttribute(const std::string& key, std::string value) {
+    span_.SetAttribute(key, std::move(value));
+  }
+  void SetAttribute(const std::string& key, std::uint64_t value) {
+    span_.SetAttribute(key, value);
+  }
+
+  // Records the outcome and passes the status through, so call sites can
+  // write `return op.Finish(DoWork());`.
+  Status Finish(Status status);
+
+ private:
+  Context* ctx_;
+  std::string op_;
+  ObsSpan span_;
+  std::chrono::steady_clock::time_point start_;
+  bool finished_ = false;
+};
+
+}  // namespace mm2::obs
+
+#endif  // MM2_OBS_OBS_H_

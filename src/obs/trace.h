@@ -1,0 +1,83 @@
+#ifndef MM2_OBS_TRACE_H_
+#define MM2_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mm2::obs {
+
+// One finished span. Timestamps are microsecond offsets from the tracer's
+// epoch (monotonic clock), which is exactly what Chrome's trace_event `ts`
+// field wants.
+struct SpanRecord {
+  std::uint64_t id = 0;
+  std::uint64_t parent_id = 0;  // 0 = root span
+  std::string name;
+  std::int64_t start_us = 0;
+  std::int64_t duration_us = 0;
+  std::uint32_t tid = 0;  // dense per-tracer thread index, for exporters
+  std::vector<std::pair<std::string, std::string>> attributes;
+};
+
+// A hierarchical span collector. Spans nest per thread: BeginSpan() parents
+// the new span under that thread's innermost open span. Disabled tracers
+// hand out id 0, which every other call treats as a no-op, so instrumented
+// code pays one relaxed atomic load when tracing is off.
+class Tracer {
+ public:
+  Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Returns the new span's id, or 0 when disabled.
+  std::uint64_t BeginSpan(const std::string& name);
+  void SetAttribute(std::uint64_t id, const std::string& key,
+                    std::string value);
+  void EndSpan(std::uint64_t id);
+
+  // Completed spans in start order. Spans still open are not included.
+  std::vector<SpanRecord> Snapshot() const;
+  std::size_t completed_spans() const;
+  void Clear();
+
+  // Indented tree, one span per line: "name (123us) k=v k=v".
+  std::string ToText() const;
+  // Chrome trace_event JSON object ({"traceEvents": [...]}), loadable by
+  // chrome://tracing and https://ui.perfetto.dev.
+  std::string ToChromeJson() const;
+  Status WriteChromeJson(const std::string& path) const;
+
+ private:
+  std::int64_t NowUs() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+  std::uint32_t ThreadIndexLocked(std::thread::id id);
+
+  std::atomic<bool> enabled_{false};
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::uint64_t next_id_ = 1;
+  std::map<std::uint64_t, SpanRecord> active_;
+  std::vector<SpanRecord> done_;
+  std::map<std::thread::id, std::vector<std::uint64_t>> stacks_;
+  std::map<std::thread::id, std::uint32_t> thread_index_;
+};
+
+}  // namespace mm2::obs
+
+#endif  // MM2_OBS_TRACE_H_

@@ -4,6 +4,8 @@
 #include <set>
 #include <utility>
 
+#include "obs/obs.h"
+
 namespace mm2::runtime {
 
 using instance::Instance;
@@ -392,8 +394,12 @@ std::vector<chase::Fact> Lineage(const chase::ChaseResult& result,
 Result<ExchangeResult> Exchange(const logic::Mapping& mapping,
                                 const Instance& source,
                                 const ExchangeOptions& options) {
+  obs::ObsSpan span(options.obs, "exchange.run");
+  span.SetAttribute("mapping", mapping.name());
+  span.SetAttribute("source_tuples", source.TotalTuples());
   chase::ChaseOptions chase_options;
   chase_options.track_provenance = options.track_provenance;
+  chase_options.obs = options.obs;
   MM2_ASSIGN_OR_RETURN(chase::ChaseResult chased,
                        chase::RunChase(mapping, source, chase_options));
   ExchangeResult result;
@@ -401,10 +407,11 @@ Result<ExchangeResult> Exchange(const logic::Mapping& mapping,
   result.provenance = std::move(chased.provenance);
   if (options.compute_core) {
     result.pre_core_tuples = chased.target.TotalTuples();
-    result.target = chase::ComputeCore(chased.target);
+    result.target = chase::ComputeCore(chased.target, options.obs);
   } else {
     result.target = std::move(chased.target);
   }
+  span.SetAttribute("target_tuples", result.target.TotalTuples());
   return result;
 }
 

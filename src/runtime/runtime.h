@@ -16,6 +16,10 @@
 #include "modelgen/modelgen.h"
 #include "transgen/transgen.h"
 
+namespace mm2::obs {
+struct Context;
+}
+
 namespace mm2::runtime {
 
 // ---------------------------------------------------------------------------
@@ -186,6 +190,9 @@ std::vector<chase::Fact> Lineage(const chase::ChaseResult& result,
 struct ExchangeOptions {
   bool compute_core = false;   // minimize the universal solution
   bool track_provenance = false;
+  // Optional collector, threaded through to the chase (and core
+  // minimization when enabled).
+  obs::Context* obs = nullptr;
 };
 
 struct ExchangeResult {

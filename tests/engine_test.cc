@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <sstream>
+
 #include "engine/engine.h"
 #include "logic/formula.h"
 #include "model/schema.h"
@@ -199,6 +202,83 @@ TEST_F(EngineTest, ScriptErrorsAreReportedWithLineNumbers) {
   auto noop = engine_.RunScript("\n# nothing here\n\n");
   ASSERT_TRUE(noop.ok());
   EXPECT_TRUE(noop->empty());
+}
+
+TEST_F(EngineTest, ScriptStatsAndTraceReportChaseTelemetry) {
+  // A mapping whose head has an existential variable, so the chase invents
+  // one labeled null per source row.
+  Tgd tgd;
+  tgd.body = {Atom{"R", {V("i"), V("x")}}};
+  tgd.head = {Atom{"T", {V("i"), V("n")}}};
+  ASSERT_TRUE(
+      engine_.repo().PutMapping(Mapping::FromTgds("abnull", a_, b_, {tgd}))
+          .ok());
+
+  std::string trace_file = ::testing::TempDir() + "mm2_engine_trace.json";
+  std::string script = "trace " + trace_file +
+                       "\n"
+                       "exchange dbBn abnull dbA\n"
+                       "stats\n";
+  auto log = engine_.RunScript(script);
+  ASSERT_TRUE(log.ok()) << log.status();
+
+  // The `stats` command dumps the registry into the script log.
+  std::string joined;
+  for (const std::string& line : *log) joined += line + "\n";
+  EXPECT_NE(joined.find("counter chase.rounds"), std::string::npos) << joined;
+  EXPECT_NE(joined.find("counter chase.nulls_created"), std::string::npos);
+  EXPECT_NE(joined.find("histogram op.exchange.latency_us"),
+            std::string::npos);
+
+  // And the engine-owned registry has nonzero chase telemetry.
+  obs::MetricsSnapshot snap = engine_.observability().metrics.Snapshot();
+  EXPECT_GT(snap.FindCounter("chase.rounds")->value, 0u);
+  EXPECT_GT(snap.FindCounter("chase.tgd_firings")->value, 0u);
+  EXPECT_EQ(snap.FindCounter("chase.nulls_created")->value, 2u);
+  EXPECT_GT(snap.FindCounter("chase.assignments_matched")->value, 0u);
+  EXPECT_EQ(snap.FindHistogram("op.exchange.latency_us")->count, 1u);
+
+  // The trace file holds Chrome trace_event JSON with the engine-op span
+  // nesting above the chase spans.
+  std::ifstream in(trace_file);
+  ASSERT_TRUE(in.good()) << "trace file not written: " << trace_file;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string trace = buffer.str();
+  EXPECT_EQ(trace.find("{\"traceEvents\": ["), 0u);
+  EXPECT_NE(trace.find("op.exchange"), std::string::npos);
+  EXPECT_NE(trace.find("exchange.run"), std::string::npos);
+  EXPECT_NE(trace.find("chase.run"), std::string::npos);
+  EXPECT_NE(trace.find("chase.round"), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\": \"X\""), std::string::npos);
+  // Tracing was disabled again when the script finished.
+  EXPECT_FALSE(engine_.observability().tracer.enabled());
+}
+
+TEST_F(EngineTest, SetObservabilityAttachesExternalCollector) {
+  obs::Context collector;
+  engine_.SetObservability(&collector);
+  ASSERT_TRUE(engine_.Exchange("dbB", "ab", "dbA").ok());
+  obs::MetricsSnapshot snap = collector.metrics.Snapshot();
+  ASSERT_NE(snap.FindCounter("op.exchange.calls"), nullptr);
+  EXPECT_EQ(snap.FindCounter("op.exchange.calls")->value, 1u);
+  EXPECT_GT(snap.FindCounter("chase.rounds")->value, 0u);
+
+  // Reverting to the engine-owned context stops feeding the collector.
+  engine_.SetObservability(nullptr);
+  ASSERT_TRUE(engine_.Exchange("dbB2", "ab", "dbA").ok());
+  EXPECT_EQ(collector.metrics.Snapshot().FindCounter("op.exchange.calls")
+                ->value,
+            1u);
+}
+
+TEST_F(EngineTest, FailedOperatorCountsAsError) {
+  obs::Context collector;
+  engine_.SetObservability(&collector);
+  EXPECT_FALSE(engine_.Compose("nope", "ab", "missing").ok());
+  obs::MetricsSnapshot snap = collector.metrics.Snapshot();
+  EXPECT_EQ(snap.FindCounter("op.compose.calls")->value, 1u);
+  EXPECT_EQ(snap.FindCounter("op.compose.errors")->value, 1u);
 }
 
 TEST(EngineScenarioTest, Fig5EvolutionEndToEnd) {

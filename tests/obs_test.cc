@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace mm2::obs {
+namespace {
+
+TEST(MetricsTest, CounterGaugeBasics) {
+  MetricsRegistry registry;
+  registry.GetCounter("c").Increment();
+  registry.GetCounter("c").Increment(4);
+  registry.GetGauge("g").Set(7);
+  registry.GetGauge("g").Add(-2);
+
+  MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_NE(snap.FindCounter("c"), nullptr);
+  EXPECT_EQ(snap.FindCounter("c")->value, 5u);
+  ASSERT_NE(snap.FindGauge("g"), nullptr);
+  EXPECT_EQ(snap.FindGauge("g")->value, 5);
+  EXPECT_EQ(snap.FindCounter("missing"), nullptr);
+
+  registry.Reset();
+  EXPECT_EQ(registry.Snapshot().FindCounter("c")->value, 0u);
+}
+
+TEST(MetricsTest, HistogramBucketsAndPercentiles) {
+  Histogram hist({10, 100, 1000});
+  for (int i = 0; i < 90; ++i) hist.Record(5);    // bucket <=10
+  for (int i = 0; i < 9; ++i) hist.Record(50);    // bucket <=100
+  hist.Record(5000);                               // overflow
+
+  EXPECT_EQ(hist.count(), 100u);
+  EXPECT_EQ(hist.min(), 5);
+  EXPECT_EQ(hist.max(), 5000);
+  std::vector<std::uint64_t> counts = hist.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 90u);
+  EXPECT_EQ(counts[1], 9u);
+  EXPECT_EQ(counts[2], 0u);
+  EXPECT_EQ(counts[3], 1u);
+
+  MetricsRegistry registry;
+  registry.GetHistogram("h", {10, 100, 1000});
+  for (int i = 0; i < 90; ++i) registry.GetHistogram("h").Record(5);
+  for (int i = 0; i < 10; ++i) registry.GetHistogram("h").Record(50);
+  MetricsSnapshot registry_snap = registry.Snapshot();
+  const HistogramSnapshot* snap = registry_snap.FindHistogram("h");
+  ASSERT_NE(snap, nullptr);
+  EXPECT_LE(snap->Percentile(0.5), 10);   // median in the first bucket
+  EXPECT_GT(snap->Percentile(0.99), 10);  // p99 lands in the second
+  EXPECT_LE(snap->Percentile(0.99), 100);
+  EXPECT_EQ(snap->Percentile(1.0), 50);   // clamped to observed max
+}
+
+TEST(MetricsTest, ConcurrentRecordingSmoke) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      for (int i = 0; i < kIterations; ++i) {
+        registry.GetCounter("hits").Increment();
+        registry.GetGauge("level").Add(1);
+        registry.GetHistogram("lat", {1, 10, 100}).Record(i % 200);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.FindCounter("hits")->value,
+            static_cast<std::uint64_t>(kThreads) * kIterations);
+  EXPECT_EQ(snap.FindGauge("level")->value, kThreads * kIterations);
+  const HistogramSnapshot* hist = snap.FindHistogram("lat");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, static_cast<std::uint64_t>(kThreads) * kIterations);
+  std::uint64_t bucket_total = 0;
+  for (std::uint64_t c : hist->counts) bucket_total += c;
+  EXPECT_EQ(bucket_total, hist->count);
+}
+
+TEST(TracerTest, SpanNestingAndAttributes) {
+  Tracer tracer;
+  // Disabled tracer: ids are 0 and nothing is recorded.
+  EXPECT_EQ(tracer.BeginSpan("ignored"), 0u);
+  tracer.EndSpan(0);
+  EXPECT_EQ(tracer.completed_spans(), 0u);
+
+  tracer.Enable();
+  std::uint64_t root = tracer.BeginSpan("root");
+  std::uint64_t child = tracer.BeginSpan("child");
+  tracer.SetAttribute(child, "rows", "42");
+  std::uint64_t grandchild = tracer.BeginSpan("grandchild");
+  tracer.EndSpan(grandchild);
+  tracer.EndSpan(child);
+  std::uint64_t sibling = tracer.BeginSpan("sibling");
+  tracer.EndSpan(sibling);
+  tracer.EndSpan(root);
+
+  std::vector<SpanRecord> spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  // Snapshot is start-ordered: root, child, grandchild, sibling.
+  EXPECT_EQ(spans[0].name, "root");
+  EXPECT_EQ(spans[0].parent_id, 0u);
+  EXPECT_EQ(spans[1].name, "child");
+  EXPECT_EQ(spans[1].parent_id, root);
+  EXPECT_EQ(spans[2].name, "grandchild");
+  EXPECT_EQ(spans[2].parent_id, child);
+  EXPECT_EQ(spans[3].name, "sibling");
+  EXPECT_EQ(spans[3].parent_id, root);
+  ASSERT_EQ(spans[1].attributes.size(), 1u);
+  EXPECT_EQ(spans[1].attributes[0].first, "rows");
+  EXPECT_EQ(spans[1].attributes[0].second, "42");
+
+  std::string text = tracer.ToText();
+  EXPECT_NE(text.find("root"), std::string::npos);
+  EXPECT_NE(text.find("  child"), std::string::npos);
+  EXPECT_NE(text.find("    grandchild"), std::string::npos);
+  EXPECT_NE(text.find("rows=42"), std::string::npos);
+}
+
+TEST(TracerTest, ObsSpanRaiiIsNullSafe) {
+  {
+    ObsSpan span(nullptr, "nothing");
+    span.SetAttribute("k", "v");
+  }
+  Context ctx;
+  ctx.tracer.Enable();
+  {
+    ObsSpan outer(&ctx, "outer");
+    ObsSpan inner(&ctx, "inner");
+    inner.SetAttribute("n", std::uint64_t{7});
+  }
+  std::vector<SpanRecord> spans = ctx.tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[1].parent_id, spans[0].id);
+}
+
+// Minimal structural JSON check: balanced braces/brackets outside strings,
+// quotes closed. Enough to catch malformed escaping or truncation.
+bool JsonWellFormed(const std::string& json) {
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (char c : json) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') {
+      if (--depth < 0) return false;
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+TEST(TracerTest, ChromeJsonWellFormed) {
+  Context ctx;
+  ctx.tracer.Enable();
+  {
+    ObsSpan op(&ctx, "op.exchange");
+    op.SetAttribute("quote\"and\\slash", "line\nbreak\ttab");
+    ObsSpan round(&ctx, "chase.round");
+  }
+  std::string json = ctx.tracer.ToChromeJson();
+  EXPECT_TRUE(JsonWellFormed(json)) << json;
+  EXPECT_EQ(json.find("{\"traceEvents\": ["), 0u);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("op.exchange"), std::string::npos);
+  EXPECT_NE(json.find("chase.round"), std::string::npos);
+  EXPECT_NE(json.find("\\n"), std::string::npos);  // newline was escaped
+  // One "ph" event per completed span.
+  std::size_t events = 0;
+  for (std::size_t pos = json.find("\"ph\""); pos != std::string::npos;
+       pos = json.find("\"ph\"", pos + 1)) {
+    ++events;
+  }
+  EXPECT_EQ(events, 2u);
+}
+
+TEST(OpSpanTest, RecordsCallsLatencyAndErrors) {
+  Context ctx;
+  {
+    OpSpan ok_op(&ctx, "compose");
+    ok_op.Finish(Status::OK());
+  }
+  {
+    OpSpan bad_op(&ctx, "compose");
+    Status out = bad_op.Finish(Status::Unsupported("too big"));
+    EXPECT_EQ(out.code(), StatusCode::kUnsupported);
+  }
+  { OpSpan destructor_ok(&ctx, "compose"); }
+
+  MetricsSnapshot snap = ctx.metrics.Snapshot();
+  EXPECT_EQ(snap.FindCounter("op.compose.calls")->value, 3u);
+  EXPECT_EQ(snap.FindCounter("op.compose.errors")->value, 1u);
+  EXPECT_EQ(snap.FindHistogram("op.compose.latency_us")->count, 3u);
+}
+
+}  // namespace
+}  // namespace mm2::obs
