@@ -11,10 +11,17 @@
 //   show schema|mapping|instance <n>   print one artifact
 //   sql <mapping>                      print compiled loader SQL
 //   <any engine script command>        compose/invert/inverse/extract/
-//                                      diff/merge/modelgen/exchange/match
+//                                      diff/merge/modelgen/exchange/match/
+//                                      stats/explain
 //   help, quit
 //
+// Environment (observability without editing the session script):
+//   MM2_TRACE=<file>   enable tracing from startup; Chrome trace_event
+//                      JSON is written to <file> on quit
+//   MM2_STATS=1        dump the metrics registry snapshot on quit
+//
 // Try:  ./build/examples/mm2_shell < examples/data/demo_session.mm2
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -53,7 +60,11 @@ void PrintHelp() {
       "  compose <out> <m12> <m23>     (and the other engine commands:\n"
       "  invert/inverse/extract/diff/merge/modelgen/exchange/match)\n"
       "  stats                         dump the metrics registry\n"
+      "  explain [--json]              ranked cost report (operators,\n"
+      "                                chase rules, span phases)\n"
       "  trace <file>                  record spans; Chrome JSON on quit\n"
+      "                                (or start with MM2_TRACE=<file>;\n"
+      "                                MM2_STATS=1 dumps stats on quit)\n"
       "  help | quit\n";
 }
 
@@ -65,6 +76,17 @@ int main() {
   // RunScript scopes `trace` to one script, but the shell feeds it one
   // line at a time — so intercept trace here and flush at session end.
   std::string trace_file;
+  // MM2_TRACE/MM2_STATS arm the same session-end reporting from the
+  // environment, so piped scripts need no observability commands at all.
+  if (const char* env_trace = std::getenv("MM2_TRACE");
+      env_trace != nullptr && env_trace[0] != '\0') {
+    engine.observability().tracer.Enable();
+    trace_file = env_trace;
+  }
+  const char* env_stats = std::getenv("MM2_STATS");
+  bool stats_on_quit =
+      env_stats != nullptr && std::string(env_stats) != "0" &&
+      env_stats[0] != '\0';
   std::cout << "mm2 shell — 'help' for commands\n";
   while (std::cout << "mm2> " << std::flush, std::getline(std::cin, line)) {
     std::istringstream words(line);
@@ -234,6 +256,12 @@ int main() {
       std::cout << log.status() << "\n";
     } else {
       for (const std::string& entry : *log) std::cout << entry << "\n";
+    }
+  }
+  if (stats_on_quit) {
+    for (const std::string& metric_line :
+         engine.observability().metrics.Snapshot().Lines()) {
+      std::cout << metric_line << "\n";
     }
   }
   if (!trace_file.empty()) {

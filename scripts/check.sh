@@ -6,6 +6,8 @@
 #   scripts/check.sh                # address,undefined (default)
 #   MM2_SANITIZE=thread scripts/check.sh
 #   BUILD_DIR=/tmp/san scripts/check.sh
+#   MM2_BENCH_SMOKE=1 scripts/check.sh   # also run the bench-regression
+#                                        # harness end-to-end at tiny sizes
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,3 +20,30 @@ cmake -B "$BUILD_DIR" -S . \
 cmake --build "$BUILD_DIR" -j"$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
 echo "sanitizer check ($SANITIZERS) passed"
+
+# Opt-in bench smoke: exercises bench_all.sh + bench_compare.py end to end
+# at tiny sizes — a self-compare must pass, and an inflated copy must fail,
+# proving the regression gate actually gates.
+if [[ "${MM2_BENCH_SMOKE:-0}" == "1" ]]; then
+  SMOKE_DIR="$(mktemp -d)"
+  trap 'rm -rf "$SMOKE_DIR"' EXIT
+  MM2_BENCH_SMOKE=1 MM2_BENCH_OUT_DIR="$SMOKE_DIR" \
+    scripts/bench_all.sh smoke "$BUILD_DIR"
+  python3 scripts/bench_compare.py \
+    "$SMOKE_DIR/BENCH_smoke.json" "$SMOKE_DIR/BENCH_smoke.json"
+  python3 - "$SMOKE_DIR" <<'EOF'
+import json, sys
+smoke_dir = sys.argv[1]
+doc = json.load(open(f"{smoke_dir}/BENCH_smoke.json"))
+for r in doc["records"]:
+    if r["unit"] == "us":
+        r["value"] *= 10
+json.dump(doc, open(f"{smoke_dir}/BENCH_inflated.json", "w"))
+EOF
+  if python3 scripts/bench_compare.py \
+      "$SMOKE_DIR/BENCH_smoke.json" "$SMOKE_DIR/BENCH_inflated.json"; then
+    echo "error: bench_compare.py missed a 10x synthetic regression" >&2
+    exit 1
+  fi
+  echo "bench smoke gate passed (self-compare ok, 10x inflation caught)"
+fi

@@ -110,6 +110,33 @@ std::vector<Assignment> MatchAtoms(const std::vector<Atom>& atoms,
 
 namespace {
 
+// Compact, metric-name-safe rule labels: "<kind><index>:<body>-><head>"
+// with relation lists joined by '+'. These key both ChaseStats::rules and
+// the mirrored `chase.rule.<label>.*` metric family.
+std::string JoinRelations(const std::vector<Atom>& atoms) {
+  std::string out;
+  for (const Atom& atom : atoms) {
+    if (!out.empty()) out += '+';
+    out += atom.relation;
+  }
+  return out;
+}
+
+std::string RuleLabel(const logic::Tgd& tgd, std::size_t index) {
+  return "tgd" + std::to_string(index) + ":" + JoinRelations(tgd.body) +
+         "->" + JoinRelations(tgd.head);
+}
+
+std::string RuleLabel(const logic::SoTgdClause& clause, std::size_t index) {
+  return "so" + std::to_string(index) + ":" + JoinRelations(clause.body) +
+         "->" + JoinRelations(clause.head);
+}
+
+std::string RuleLabel(const logic::Egd& egd, std::size_t index) {
+  return "egd" + std::to_string(index) + ":" + JoinRelations(egd.body) + ":" +
+         egd.left + "=" + egd.right;
+}
+
 // Shared machinery for first- and second-order chases over a combined
 // (source + target) instance.
 // Data-exchange mode: tgd/clause bodies match against `source` (read-only)
@@ -146,6 +173,48 @@ class ChaseRun {
     span.SetAttribute("egds", egds.size());
     span.SetAttribute("source_tuples", read_db().TotalTuples());
     obs::ScopedLatency latency(options_.obs, "chase.run.latency_us");
+    // One RuleStats slot per constraint, in iteration order: SO-clauses,
+    // then tgds, then egds. Labels are assigned up front so rules that
+    // never fire still show up (with zero cost) in the attribution.
+    stats_.rules.clear();
+    stats_.rules.resize(clauses.size() + fo_tgds.size() + egds.size());
+    {
+      std::size_t slot = 0;
+      for (std::size_t i = 0; i < clauses.size(); ++i) {
+        stats_.rules[slot++].label = RuleLabel(clauses[i], i);
+      }
+      for (std::size_t i = 0; i < fo_tgds.size(); ++i) {
+        stats_.rules[slot++].label = RuleLabel(fo_tgds[i], i);
+      }
+      for (std::size_t i = 0; i < egds.size(); ++i) {
+        stats_.rules[slot++].label = RuleLabel(egds[i], i);
+      }
+    }
+    // Times one rule's matching+firing for the current round and books the
+    // aggregate-counter deltas into its RuleStats slot.
+    auto attributed = [this](RuleStats& rule,
+                             auto&& fire) -> Result<bool> {
+      std::size_t matched0 = stats_.assignments_matched;
+      std::size_t firings0 = stats_.tgd_firings;
+      std::size_t nulls0 = stats_.nulls_created;
+      std::size_t unified0 = stats_.egd_unifications;
+      auto start = std::chrono::steady_clock::now();
+      Result<bool> fired = fire();
+      double us =
+          std::chrono::duration_cast<
+              std::chrono::duration<double, std::micro>>(
+              std::chrono::steady_clock::now() - start)
+              .count();
+      rule.wall_us += us;
+      rule.round_us.push_back(us);
+      rule.triggers_tested += stats_.assignments_matched - matched0;
+      rule.firings += stats_.tgd_firings - firings0 +
+                      stats_.egd_unifications - unified0;
+      rule.nulls_created += stats_.nulls_created - nulls0;
+      rule.unifications += stats_.egd_unifications - unified0;
+      if (fired.ok() && *fired) ++rule.rounds_active;
+      return fired;
+    };
     bool changed = true;
     std::size_t rounds = 0;
     while (changed) {
@@ -156,30 +225,38 @@ class ChaseRun {
       changed = false;
       obs::ObsSpan round_span(options_.obs, "chase.round");
       round_span.SetAttribute("round", rounds);
-      ChaseStats before = stats_;
+      std::size_t round_firings0 = stats_.tgd_firings;
+      std::size_t round_nulls0 = stats_.nulls_created;
+      std::size_t round_unified0 = stats_.egd_unifications;
+      std::size_t round_matched0 = stats_.assignments_matched;
+      std::size_t rule_index = 0;
       for (const logic::SoTgdClause& clause : clauses) {
-        MM2_ASSIGN_OR_RETURN(bool fired, FireSoClause(clause));
+        MM2_ASSIGN_OR_RETURN(
+            bool fired, attributed(stats_.rules[rule_index++],
+                                   [&] { return FireSoClause(clause); }));
         changed |= fired;
       }
       for (const logic::Tgd& tgd : fo_tgds) {
-        MM2_ASSIGN_OR_RETURN(bool fired, FireTgd(tgd));
+        MM2_ASSIGN_OR_RETURN(
+            bool fired, attributed(stats_.rules[rule_index++],
+                                   [&] { return FireTgd(tgd); }));
         changed |= fired;
       }
       for (const logic::Egd& egd : egds) {
-        MM2_ASSIGN_OR_RETURN(bool fired, FireEgd(egd));
+        MM2_ASSIGN_OR_RETURN(
+            bool fired, attributed(stats_.rules[rule_index++],
+                                   [&] { return FireEgd(egd); }));
         changed |= fired;
       }
       ++stats_.rounds;
       round_span.SetAttribute("tgd_firings",
-                              stats_.tgd_firings - before.tgd_firings);
+                              stats_.tgd_firings - round_firings0);
       round_span.SetAttribute("nulls_created",
-                              stats_.nulls_created - before.nulls_created);
-      round_span.SetAttribute(
-          "egd_unifications",
-          stats_.egd_unifications - before.egd_unifications);
-      round_span.SetAttribute(
-          "assignments_matched",
-          stats_.assignments_matched - before.assignments_matched);
+                              stats_.nulls_created - round_nulls0);
+      round_span.SetAttribute("egd_unifications",
+                              stats_.egd_unifications - round_unified0);
+      round_span.SetAttribute("assignments_matched",
+                              stats_.assignments_matched - round_matched0);
     }
     span.SetAttribute("rounds", stats_.rounds);
     span.SetAttribute("target_tuples", target_.TotalTuples());
@@ -478,6 +555,20 @@ void MirrorStats(obs::Context* obs, const ChaseStats& stats,
   m.GetHistogram("chase.rounds_per_run",
                  {1, 2, 3, 5, 8, 13, 21, 50, 100, 1000, 10000})
       .Record(static_cast<double>(stats.rounds));
+  // Per-constraint attribution, keyed by rule label so repeated runs of the
+  // same rule set accumulate. obs::Profiler parses this family back out of
+  // the snapshot for `explain`'s ranked chase table.
+  for (const RuleStats& rule : stats.rules) {
+    const std::string prefix = "chase.rule." + rule.label + ".";
+    m.GetCounter(prefix + "wall_us")
+        .Increment(static_cast<std::uint64_t>(rule.wall_us + 0.5));
+    m.GetCounter(prefix + "triggers").Increment(rule.triggers_tested);
+    m.GetCounter(prefix + "firings").Increment(rule.firings);
+    m.GetCounter(prefix + "nulls").Increment(rule.nulls_created);
+    m.GetCounter(prefix + "rounds_active").Increment(rule.rounds_active);
+    obs::Histogram& rounds_hist = m.GetHistogram(prefix + "round_us");
+    for (double us : rule.round_us) rounds_hist.Record(us);
+  }
 }
 
 }  // namespace

@@ -83,6 +83,21 @@ struct ChaseOptions {
   obs::Context* obs = nullptr;
 };
 
+// Per-constraint cost attribution: one entry per SO-clause/tgd/egd, in the
+// order the chase iterates them. `label` is compact and metric-name-safe
+// (e.g. "tgd0:Data->Left+Right"), so it doubles as the key segment of the
+// mirrored `chase.rule.<label>.*` metrics that `explain` reads back.
+struct RuleStats {
+  std::string label;
+  double wall_us = 0;               // time spent matching + firing this rule
+  std::size_t triggers_tested = 0;  // body assignments examined
+  std::size_t firings = 0;          // tgd firings (or egd unifications)
+  std::size_t nulls_created = 0;
+  std::size_t unifications = 0;
+  std::size_t rounds_active = 0;    // rounds in which the rule changed state
+  std::vector<double> round_us;     // wall time per chase round, in order
+};
+
 struct ChaseStats {
   std::size_t rounds = 0;
   std::size_t tgd_firings = 0;
@@ -91,6 +106,8 @@ struct ChaseStats {
   // Body assignments found across all rule-matching calls (the quantity
   // that dominates chase cost).
   std::size_t assignments_matched = 0;
+  // Filled on every run; the profiler's per-constraint attribution source.
+  std::vector<RuleStats> rules;
 };
 
 struct ChaseResult {

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/strings.h"
+#include "obs/profile.h"
 #include "transgen/relational.h"
 
 namespace mm2::engine {
@@ -453,6 +454,22 @@ Result<std::vector<std::string>> Engine::RunScript(const std::string& script) {
       log.push_back("stats: " + std::to_string(lines.size()) + " metrics");
       for (std::string& metric_line : lines) {
         log.push_back("  " + std::move(metric_line));
+      }
+    } else if (op == "explain") {
+      if (tokens.size() > 1 && tokens[1] != "--json") {
+        return fail("explain takes no argument or --json");
+      }
+      obs::ProfileReport report = obs::Profiler::Build(observability());
+      if (tokens.size() > 1) {
+        log.push_back(report.ToJson());
+      } else {
+        log.push_back("explain: " + std::to_string(report.operators.size()) +
+                      " operators, " + std::to_string(report.rules.size()) +
+                      " chase rules, " + std::to_string(report.phases.size()) +
+                      " phases");
+        for (std::string& report_line : report.Lines()) {
+          log.push_back("  " + std::move(report_line));
+        }
       }
     } else if (op == "trace") {
       MM2_RETURN_IF_ERROR(need(1));

@@ -137,6 +137,10 @@ class Engine {
   //   nestedgen <outSchema> <outMap> <relationalSchema>
   //   match <left> <right>
   //   stats                          (dump the metrics registry snapshot)
+  //   explain [--json]               (ranked cost report: per-operator
+  //                                   totals/quantiles, per-chase-rule
+  //                                   attribution, span phases; --json
+  //                                   emits one machine-readable line)
   //   trace <file>                   (enable tracing; Chrome trace_event
   //                                   JSON is written to <file> when the
   //                                   script finishes, even on error)

@@ -124,8 +124,9 @@ std::vector<std::string> MetricsSnapshot::Lines() const {
     lines.push_back("histogram " + h.name + " count=" +
                     std::to_string(h.count) + " mean=" +
                     FormatDouble(h.mean()) + " p50=" +
-                    FormatDouble(h.Percentile(0.5)) + " p99=" +
-                    FormatDouble(h.Percentile(0.99)) + " max=" +
+                    FormatDouble(h.p50()) + " p95=" +
+                    FormatDouble(h.p95()) + " p99=" +
+                    FormatDouble(h.p99()) + " max=" +
                     FormatDouble(h.max));
   }
   return lines;
@@ -185,6 +186,13 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     h.max = hist->max();
     snap.histograms.push_back(std::move(h));
   }
+  // The registration maps iterate in name order already, but the snapshot's
+  // determinism is a documented contract (stats golden tests rely on it) —
+  // keep it independent of the container choice.
+  auto by_name = [](const auto& a, const auto& b) { return a.name < b.name; };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
   return snap;
 }
 

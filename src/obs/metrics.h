@@ -94,9 +94,16 @@ struct HistogramSnapshot {
   double mean() const { return count == 0 ? 0 : sum / count; }
   // Linear interpolation within the winning bucket; p in [0,1].
   double Percentile(double p) const;
+  // The quantiles every report surfaces (0 when empty; clamped to the
+  // observed [min, max] so tiny samples stay truthful).
+  double p50() const { return Percentile(0.50); }
+  double p95() const { return Percentile(0.95); }
+  double p99() const { return Percentile(0.99); }
 };
 
 struct MetricsSnapshot {
+  // Each list is sorted by name (Snapshot() guarantees it), so printed
+  // output is deterministic and golden-output tests are stable.
   std::vector<CounterSnapshot> counters;
   std::vector<GaugeSnapshot> gauges;
   std::vector<HistogramSnapshot> histograms;

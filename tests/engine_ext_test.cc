@@ -2,6 +2,11 @@
 // nestedgen — the newer operators reachable from the Rondo-style DSL.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
 #include "engine/engine.h"
 #include "logic/formula.h"
 #include "model/schema.h"
@@ -119,6 +124,67 @@ TEST_F(EngineExtTest, ScriptArgumentErrors) {
   EXPECT_FALSE(engine_.RunScript("batchload onlyone").ok());
   EXPECT_FALSE(engine_.RunScript("oogen a b Missing").ok());
   EXPECT_FALSE(engine_.RunScript("nestedgen a b Missing").ok());
+}
+
+TEST_F(EngineExtTest, ExplainReportsOperatorAndRuleAttribution) {
+  auto log = engine_.RunScript(R"(
+exchange Dout flatten D
+explain
+)");
+  ASSERT_TRUE(log.ok()) << log.status();
+  std::string joined;
+  for (const std::string& line : *log) joined += line + "\n";
+  // The exchange operator shows up ranked, and the chase rule behind it is
+  // attributed by label with its share of chase wall time.
+  EXPECT_NE(joined.find("explain: "), std::string::npos);
+  EXPECT_NE(joined.find("exchange"), std::string::npos);
+  EXPECT_NE(joined.find("tgd0:Orders+Lines->Flat"), std::string::npos);
+  EXPECT_NE(joined.find("dominant rule: tgd0:Orders+Lines->Flat"),
+            std::string::npos);
+}
+
+TEST_F(EngineExtTest, ExplainJsonIsOneMachineReadableLine) {
+  auto log = engine_.RunScript(R"(
+exchange Dout flatten D
+explain --json
+)");
+  ASSERT_TRUE(log.ok()) << log.status();
+  ASSERT_GE(log->size(), 2u);
+  const std::string& json = log->back();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"operators\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"label\": \"tgd0:Orders+Lines->Flat\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"totals\""), std::string::npos);
+  EXPECT_FALSE(engine_.RunScript("explain --verbose").ok());
+}
+
+TEST_F(EngineExtTest, StatsOutputIsDeterministic) {
+  ASSERT_TRUE(engine_.RunScript("exchange D1 flatten D").ok());
+  auto first = engine_.RunScript("stats");
+  auto second = engine_.RunScript("stats");
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  // Metric *names* appear in the same sorted order on every dump (values
+  // may differ — each RunScript snapshots the same live registry).
+  auto names_of = [](const std::vector<std::string>& lines) {
+    std::vector<std::string> names;
+    for (const std::string& line : lines) {
+      std::istringstream words(line);
+      std::string kind, name;
+      if (words >> kind >> name &&
+          (kind == "counter" || kind == "gauge" || kind == "histogram")) {
+        names.push_back(kind + " " + name);
+      }
+    }
+    return names;
+  };
+  std::vector<std::string> first_names = names_of(*first);
+  EXPECT_FALSE(first_names.empty());
+  EXPECT_EQ(first_names, names_of(*second));
+  std::vector<std::string> sorted = first_names;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(first_names, sorted);
 }
 
 }  // namespace
