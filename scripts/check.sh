@@ -4,7 +4,12 @@
 # and counter atomics should stay race- and UB-clean — but the gate covers
 # every target. Usage:
 #   scripts/check.sh                # address,undefined (default)
-#   MM2_SANITIZE=thread scripts/check.sh
+#   scripts/check.sh --tsan         # ThreadSanitizer over the storage layer:
+#                                   # lazy index construction races with
+#                                   # concurrent Probe()s, so the chase
+#                                   # differential + instance suites run
+#                                   # under -fsanitize=thread (build-tsan/)
+#   MM2_SANITIZE=thread scripts/check.sh   # TSan over the full suite
 #   BUILD_DIR=/tmp/san scripts/check.sh
 #   MM2_BENCH_SMOKE=1 scripts/check.sh   # also run the bench-regression
 #                                        # harness end-to-end at tiny sizes
@@ -13,12 +18,27 @@ cd "$(dirname "$0")/.."
 
 SANITIZERS="${MM2_SANITIZE:-address,undefined}"
 BUILD_DIR="${BUILD_DIR:-build-sanitize}"
+TEST_FILTER=""
+
+if [[ "${1:-}" == "--tsan" ]]; then
+  SANITIZERS="thread"
+  BUILD_DIR="${BUILD_DIR_TSAN:-build-tsan}"
+  # The suites exercising RelationInstance's index/delta machinery,
+  # including the concurrent-probe test and the naive-vs-indexed
+  # differential sweep.
+  TEST_FILTER="ChaseDiffProperty|ClosureDiffProperty|RelationInstance|InstanceTest"
+fi
 
 cmake -B "$BUILD_DIR" -S . \
   -DMM2_SANITIZE="$SANITIZERS" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j"$(nproc)"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
+if [[ -n "$TEST_FILTER" ]]; then
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)" \
+    -R "$TEST_FILTER"
+else
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
+fi
 echo "sanitizer check ($SANITIZERS) passed"
 
 # Opt-in bench smoke: exercises bench_all.sh + bench_compare.py end to end

@@ -1,6 +1,8 @@
 #include "algebra/eval.h"
 
 #include <algorithm>
+#include <cmath>
+#include <optional>
 #include <set>
 #include <utility>
 
@@ -209,29 +211,116 @@ Result<Value> EvaluateScalar(const Scalar& scalar,
 
 namespace {
 
-Result<Table> EvaluateJoin(const Expr& expr, const Catalog& catalog,
-                           const instance::Instance& database) {
-  MM2_ASSIGN_OR_RETURN(Table left,
-                       Evaluate(*expr.children()[0], catalog, database));
-  MM2_ASSIGN_OR_RETURN(Table right,
-                       Evaluate(*expr.children()[1], catalog, database));
-
-  Table out;
-  out.columns = left.columns;
-  for (const std::string& c : right.columns) {
-    if (std::find(out.columns.begin(), out.columns.end(), c) !=
-        out.columns.end()) {
+// Appends right's columns to left's with the usual collision check.
+Status AppendJoinColumns(const std::vector<std::string>& right_columns,
+                         Table* out) {
+  for (const std::string& c : right_columns) {
+    if (std::find(out->columns.begin(), out->columns.end(), c) !=
+        out->columns.end()) {
       return Status::InvalidArgument(
           "join output column collision on '" + c +
           "'; rename with Project before joining");
     }
-    out.columns.push_back(c);
+    out->columns.push_back(c);
+  }
+  return Status::OK();
+}
+
+// Equi-join where the right operand is a base-table scan: probe the
+// relation's on-demand index on the key columns instead of materializing
+// the scan and rebuilding a hash map per call. Buckets come back in set
+// order — exactly the order the materialized scan would have produced — so
+// output rows are identical to the generic path's.
+Result<Table> JoinScanProbe(const Expr& expr, const Table& left,
+                            const Expr& scan, const Catalog& catalog,
+                            const instance::Instance& database) {
+  MM2_ASSIGN_OR_RETURN(std::vector<std::string> right_columns,
+                       catalog.ColumnsOf(scan.relation()));
+  const instance::RelationInstance* rel = database.Find(scan.relation());
+  if (rel != nullptr && !rel->empty() &&
+      rel->arity() != right_columns.size()) {
+    return Status::Internal("catalog/instance arity mismatch on '" +
+                            scan.relation() + "'");
+  }
+  Table out;
+  out.columns = left.columns;
+  MM2_RETURN_IF_ERROR(AppendJoinColumns(right_columns, &out));
+
+  std::vector<std::size_t> left_keys;
+  instance::RelationInstance::ColumnSet right_keys;
+  for (const auto& [lname, rname] : expr.join_keys()) {
+    std::size_t li = left.ColumnIndex(lname);
+    std::size_t ri = Table::kNpos;
+    for (std::size_t i = 0; i < right_columns.size(); ++i) {
+      if (right_columns[i] == rname) {
+        ri = i;
+        break;
+      }
+    }
+    if (li == Table::kNpos || ri == Table::kNpos) {
+      return Status::NotFound("join key '" + lname + "'/'" + rname +
+                              "' missing from operands");
+    }
+    left_keys.push_back(li);
+    right_keys.push_back(ri);
+  }
+  if (left_keys.empty()) {
+    return Status::InvalidArgument("equijoin requires at least one key");
   }
 
+  const std::size_t width = out.columns.size();
+  for (const Tuple& l : left.rows) {
+    Tuple key;
+    key.reserve(left_keys.size());
+    bool has_null = false;
+    for (std::size_t k : left_keys) {
+      if (l[k].is_null()) has_null = true;
+      key.push_back(l[k]);
+    }
+    // NULL keys never join; right tuples with NULL keys live in buckets no
+    // non-null probe key can reach, so the exact-match probe excludes them.
+    const instance::RelationInstance::TupleRefs* refs =
+        (has_null || rel == nullptr) ? nullptr : rel->Probe(right_keys, key);
+    if (refs != nullptr && !refs->empty()) {
+      for (const Tuple* r : *refs) {
+        Tuple row;
+        row.reserve(width);
+        row.insert(row.end(), l.begin(), l.end());
+        row.insert(row.end(), r->begin(), r->end());
+        out.rows.push_back(std::move(row));
+      }
+    } else if (expr.join_kind() == Expr::JoinKind::kLeftOuter) {
+      Tuple row = l;
+      row.resize(width, Value::Null());
+      out.rows.push_back(std::move(row));
+    }
+  }
+  return out;
+}
+
+Result<Table> EvaluateJoin(const Expr& expr, const Catalog& catalog,
+                           const instance::Instance& database) {
+  MM2_ASSIGN_OR_RETURN(Table left,
+                       Evaluate(*expr.children()[0], catalog, database));
+  const Expr& right_expr = *expr.children()[1];
+  if (expr.join_kind() != Expr::JoinKind::kCross &&
+      right_expr.kind() == Expr::Kind::kScan) {
+    return JoinScanProbe(expr, left, right_expr, catalog, database);
+  }
+  MM2_ASSIGN_OR_RETURN(Table right, Evaluate(right_expr, catalog, database));
+
+  Table out;
+  out.columns = left.columns;
+  MM2_RETURN_IF_ERROR(AppendJoinColumns(right.columns, &out));
+
   if (expr.join_kind() == Expr::JoinKind::kCross) {
+    const std::size_t width = out.columns.size();
+    out.rows.reserve(left.rows.size() * right.rows.size());
     for (const Tuple& l : left.rows) {
       for (const Tuple& r : right.rows) {
-        Tuple row = l;
+        Tuple row;
+        row.reserve(width);
+        row.insert(row.end(), l.begin(), l.end());
         row.insert(row.end(), r.begin(), r.end());
         out.rows.push_back(std::move(row));
       }
@@ -290,6 +379,117 @@ Result<Table> EvaluateJoin(const Expr& expr, const Catalog& catalog,
     }
   }
   return out;
+}
+
+// Digs a `column = literal` conjunct out of a selection predicate (the
+// predicate itself, or any AND child, searched left to right).
+std::optional<std::pair<std::string, Value>> FindKeyEquality(
+    const Scalar& pred) {
+  if (pred.kind() == Scalar::Kind::kAnd) {
+    for (const ScalarRef& c : pred.children()) {
+      std::optional<std::pair<std::string, Value>> hit = FindKeyEquality(*c);
+      if (hit.has_value()) return hit;
+    }
+    return std::nullopt;
+  }
+  if (pred.kind() != Scalar::Kind::kCompare ||
+      pred.compare_op() != Scalar::CompareOp::kEq) {
+    return std::nullopt;
+  }
+  const Scalar& a = *pred.children()[0];
+  const Scalar& b = *pred.children()[1];
+  if (a.kind() == Scalar::Kind::kColumn &&
+      b.kind() == Scalar::Kind::kLiteral) {
+    return std::make_pair(a.column(), b.literal());
+  }
+  if (b.kind() == Scalar::Kind::kColumn &&
+      a.kind() == Scalar::Kind::kLiteral) {
+    return std::make_pair(b.column(), a.literal());
+  }
+  return std::nullopt;
+}
+
+// Every stored representation the literal can equality-match under
+// CompareValues' numeric promotion (Int64/Double/Date all compare as
+// doubles). nullopt means the literal is not safely probeable — plain NULL
+// (= is always false), or a magnitude where double promotion goes lossy —
+// and the caller falls back to the scan.
+std::optional<std::vector<Value>> KeyRepresentations(const Value& v) {
+  constexpr double kExact = 9007199254740992.0;  // 2^53
+  switch (v.kind()) {
+    case Value::Kind::kNull:
+      return std::nullopt;
+    case Value::Kind::kString:
+    case Value::Kind::kBool:
+    case Value::Kind::kLabeledNull:
+      return std::vector<Value>{v};
+    case Value::Kind::kInt64:
+    case Value::Kind::kDouble:
+    case Value::Kind::kDate: {
+      double d = v.kind() == Value::Kind::kDouble
+                     ? v.dbl()
+                     : static_cast<double>(v.kind() == Value::Kind::kInt64
+                                               ? v.int64()
+                                               : v.date());
+      if (!(d > -kExact && d < kExact)) return std::nullopt;  // incl. NaN
+      if (d != std::floor(d)) return std::vector<Value>{Value::Double(d)};
+      std::int64_t n = static_cast<std::int64_t>(d);
+      return std::vector<Value>{Value::Int64(n), Value::Double(d),
+                                Value::Date(n)};
+    }
+  }
+  return std::nullopt;
+}
+
+// Selection-on-key over a base-table scan: probe the single-column index
+// for each representation the literal can match, then run the full
+// predicate over the (tiny) candidate set. The probe is only a pre-filter,
+// so semantics are exactly the scan path's; candidates are re-sorted into
+// set order so output order matches too. nullopt => not applicable.
+Result<std::optional<Table>> TrySelectScanProbe(
+    const Expr& select, const Expr& scan, const Catalog& catalog,
+    const instance::Instance& database) {
+  const instance::RelationInstance* rel = database.Find(scan.relation());
+  if (rel == nullptr || rel->empty()) return std::optional<Table>();
+  MM2_ASSIGN_OR_RETURN(std::vector<std::string> columns,
+                       catalog.ColumnsOf(scan.relation()));
+  if (rel->arity() != columns.size()) {
+    return std::optional<Table>();  // let the scan path report the mismatch
+  }
+  std::optional<std::pair<std::string, Value>> eq =
+      FindKeyEquality(*select.predicate());
+  if (!eq.has_value()) return std::optional<Table>();
+  std::size_t col = Table::kNpos;
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i] == eq->first) {
+      col = i;
+      break;
+    }
+  }
+  if (col == Table::kNpos) return std::optional<Table>();
+  std::optional<std::vector<Value>> reps = KeyRepresentations(eq->second);
+  if (!reps.has_value()) return std::optional<Table>();
+
+  std::vector<const Tuple*> candidates;
+  instance::RelationInstance::ColumnSet cols{col};
+  for (const Value& rep : *reps) {
+    const instance::RelationInstance::TupleRefs* refs =
+        rel->Probe(cols, {rep});
+    if (refs != nullptr) {
+      candidates.insert(candidates.end(), refs->begin(), refs->end());
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Tuple* a, const Tuple* b) { return *a < *b; });
+
+  Table out;
+  out.columns = std::move(columns);
+  for (const Tuple* t : candidates) {
+    MM2_ASSIGN_OR_RETURN(
+        Value keep, EvaluateScalar(*select.predicate(), out.columns, *t));
+    if (IsTruthy(keep)) out.rows.push_back(*t);
+  }
+  return std::optional<Table>(std::move(out));
 }
 
 }  // namespace
@@ -442,6 +642,12 @@ Result<Table> Evaluate(const Expr& expr, const Catalog& catalog,
       return out;
     }
     case Expr::Kind::kSelect: {
+      if (expr.children()[0]->kind() == Expr::Kind::kScan) {
+        MM2_ASSIGN_OR_RETURN(std::optional<Table> fast,
+                             TrySelectScanProbe(expr, *expr.children()[0],
+                                                catalog, database));
+        if (fast.has_value()) return std::move(*fast);
+      }
       MM2_ASSIGN_OR_RETURN(Table in,
                            Evaluate(*expr.children()[0], catalog, database));
       Table out;

@@ -76,9 +76,9 @@ bool MatchTuple(const Atom& atom, const Tuple& tuple, Assignment* assignment,
   return true;
 }
 
-void MatchAtomsRec(const std::vector<Atom>& atoms, std::size_t index,
-                   const Instance& database, Assignment* assignment,
-                   std::vector<Assignment>* out, std::size_t limit) {
+void MatchAtomsNaiveRec(const std::vector<Atom>& atoms, std::size_t index,
+                        const Instance& database, Assignment* assignment,
+                        std::vector<Assignment>* out, std::size_t limit) {
   if (limit != 0 && out->size() >= limit) return;
   if (index == atoms.size()) {
     out->push_back(*assignment);
@@ -90,11 +90,187 @@ void MatchAtomsRec(const std::vector<Atom>& atoms, std::size_t index,
   for (const Tuple& tuple : rel->tuples()) {
     std::vector<std::string> newly_bound;
     if (MatchTuple(atom, tuple, assignment, &newly_bound)) {
-      MatchAtomsRec(atoms, index + 1, database, assignment, out, limit);
+      MatchAtomsNaiveRec(atoms, index + 1, database, assignment, out, limit);
     }
     for (const std::string& v : newly_bound) assignment->erase(v);
     if (limit != 0 && out->size() >= limit) return;
   }
+}
+
+constexpr std::size_t kNoAnchor = static_cast<std::size_t>(-1);
+
+// Greedy join order: repeatedly pick the atom with the most bound terms
+// (constants + variables bound by `seed` or earlier atoms), breaking ties
+// toward the smaller relation. When `anchor` is set, that atom goes first
+// unconditionally — the semi-naive delta pass forces the delta-carrying
+// atom to drive the join.
+std::vector<std::size_t> PlanAtomOrder(const std::vector<Atom>& atoms,
+                                       const Instance& db,
+                                       const Assignment& seed,
+                                       std::size_t anchor = kNoAnchor) {
+  std::vector<std::size_t> order;
+  order.reserve(atoms.size());
+  std::vector<char> used(atoms.size(), 0);
+  std::set<std::string, std::less<>> bound;
+  for (const auto& [var, value] : seed) bound.insert(var);
+  auto take = [&](std::size_t i) {
+    used[i] = 1;
+    order.push_back(i);
+    for (const Term& t : atoms[i].terms) {
+      if (t.kind() == Term::Kind::kVariable) bound.insert(t.name());
+    }
+  };
+  if (anchor != kNoAnchor) take(anchor);
+  while (order.size() < atoms.size()) {
+    std::size_t best = atoms.size();
+    std::size_t best_bound = 0;
+    std::size_t best_size = 0;
+    for (std::size_t i = 0; i < atoms.size(); ++i) {
+      if (used[i]) continue;
+      std::size_t bound_terms = 0;
+      for (const Term& t : atoms[i].terms) {
+        if (t.kind() == Term::Kind::kConstant ||
+            (t.kind() == Term::Kind::kVariable && bound.count(t.name()))) {
+          ++bound_terms;
+        }
+      }
+      const instance::RelationInstance* rel = db.Find(atoms[i].relation);
+      std::size_t size = rel == nullptr ? 0 : rel->size();
+      if (best == atoms.size() || bound_terms > best_bound ||
+          (bound_terms == best_bound && size < best_size)) {
+        best = i;
+        best_bound = bound_terms;
+        best_size = size;
+      }
+    }
+    take(best);
+  }
+  return order;
+}
+
+// Index-backed join step: at each depth, columns covered by constants or
+// already-bound variables form a probe key into the relation's hash index;
+// only the resulting bucket is enumerated (in set order, so results come
+// out exactly as a full scan would produce them). MatchTuple stays the
+// final filter, which also enforces repeated unbound variables. When
+// `anchor` is non-null, depth 0 enumerates those tuples instead (the
+// semi-naive delta).
+void MatchIndexedRec(const std::vector<Atom>& atoms,
+                     const std::vector<std::size_t>& order, std::size_t depth,
+                     const Instance& db,
+                     const instance::RelationInstance::TupleRefs* anchor,
+                     Assignment* assignment, std::vector<Assignment>* out,
+                     std::size_t limit) {
+  if (limit != 0 && out->size() >= limit) return;
+  if (depth == order.size()) {
+    out->push_back(*assignment);
+    return;
+  }
+  const Atom& atom = atoms[order[depth]];
+  const instance::RelationInstance* rel = db.Find(atom.relation);
+  if (rel == nullptr) return;
+  if (atom.terms.size() != rel->arity()) return;  // nothing can match
+  auto descend = [&](const Tuple& tuple) {
+    std::vector<std::string> newly_bound;
+    if (MatchTuple(atom, tuple, assignment, &newly_bound)) {
+      MatchIndexedRec(atoms, order, depth + 1, db, nullptr, assignment, out,
+                      limit);
+    }
+    for (const std::string& v : newly_bound) assignment->erase(v);
+  };
+  if (depth == 0 && anchor != nullptr) {
+    for (const Tuple* tuple : *anchor) {
+      descend(*tuple);
+      if (limit != 0 && out->size() >= limit) return;
+    }
+    return;
+  }
+  instance::RelationInstance::ColumnSet cols;
+  Tuple key;
+  for (std::size_t i = 0; i < atom.terms.size(); ++i) {
+    const Term& term = atom.terms[i];
+    if (term.kind() == Term::Kind::kConstant) {
+      cols.push_back(i);
+      key.push_back(term.value());
+    } else if (term.kind() == Term::Kind::kVariable) {
+      auto it = assignment->find(term.name());
+      if (it != assignment->end()) {
+        cols.push_back(i);
+        key.push_back(it->second);
+      }
+    } else {
+      return;  // function terms never occur in matchable bodies
+    }
+  }
+  if (cols.empty()) {
+    for (const Tuple& tuple : rel->tuples()) {
+      descend(tuple);
+      if (limit != 0 && out->size() >= limit) return;
+    }
+    return;
+  }
+  const instance::RelationInstance::TupleRefs* refs = rel->Probe(cols, key);
+  if (refs == nullptr) return;
+  for (const Tuple* tuple : *refs) {
+    descend(*tuple);
+    if (limit != 0 && out->size() >= limit) return;
+  }
+}
+
+// Full indexed match extending `seed` (empty for top-level matching; the
+// restricted-chase head check seeds with the body assignment).
+std::vector<Assignment> MatchAtomsIndexed(const std::vector<Atom>& atoms,
+                                          const Instance& db, Assignment seed,
+                                          std::size_t limit) {
+  std::vector<Assignment> out;
+  if (atoms.empty()) {
+    out.push_back(std::move(seed));
+    return out;
+  }
+  std::vector<std::size_t> order = PlanAtomOrder(atoms, db, seed);
+  MatchIndexedRec(atoms, order, 0, db, nullptr, &seed, &out, limit);
+  return out;
+}
+
+// Semi-naive delta match: only assignments where at least one body atom
+// binds a tuple inserted since that relation's watermark. One pass per
+// body-atom position — that atom enumerates its relation's delta while the
+// rest probe as usual — deduplicated across passes (an assignment can touch
+// two delta tuples). `delta_tuples` accumulates the delta sizes consumed
+// (per distinct body relation); zero means the caller could have skipped.
+std::vector<Assignment> MatchAtomsDelta(
+    const std::vector<Atom>& atoms, const Instance& db,
+    const std::map<std::string, std::size_t, std::less<>>& watermarks,
+    std::size_t* delta_tuples) {
+  std::map<std::string, instance::RelationInstance::TupleRefs, std::less<>>
+      deltas;
+  for (const Atom& atom : atoms) {
+    if (deltas.count(atom.relation) > 0) continue;
+    const instance::RelationInstance* rel = db.Find(atom.relation);
+    auto it = watermarks.find(atom.relation);
+    std::size_t mark = it == watermarks.end() ? 0 : it->second;
+    deltas[atom.relation] = rel == nullptr
+                                ? instance::RelationInstance::TupleRefs{}
+                                : rel->DeltaSince(mark);
+  }
+  std::set<Assignment> dedupe;
+  std::set<std::string, std::less<>> counted;
+  for (std::size_t i = 0; i < atoms.size(); ++i) {
+    const instance::RelationInstance::TupleRefs& delta =
+        deltas[atoms[i].relation];
+    if (delta.empty()) continue;
+    if (counted.insert(atoms[i].relation).second) {
+      *delta_tuples += delta.size();
+    }
+    std::vector<std::size_t> order =
+        PlanAtomOrder(atoms, db, Assignment(), i);
+    Assignment assignment;
+    std::vector<Assignment> found;
+    MatchIndexedRec(atoms, order, 0, db, &delta, &assignment, &found,
+                    /*limit=*/0);
+    for (Assignment& a : found) dedupe.insert(std::move(a));
+  }
+  return std::vector<Assignment>(dedupe.begin(), dedupe.end());
 }
 
 }  // namespace
@@ -102,9 +278,15 @@ void MatchAtomsRec(const std::vector<Atom>& atoms, std::size_t index,
 std::vector<Assignment> MatchAtoms(const std::vector<Atom>& atoms,
                                    const Instance& database,
                                    std::size_t limit) {
+  return MatchAtomsIndexed(atoms, database, Assignment(), limit);
+}
+
+std::vector<Assignment> MatchAtomsNaive(const std::vector<Atom>& atoms,
+                                        const Instance& database,
+                                        std::size_t limit) {
   std::vector<Assignment> out;
   Assignment assignment;
-  MatchAtomsRec(atoms, 0, database, &assignment, &out, limit);
+  MatchAtomsNaiveRec(atoms, 0, database, &assignment, &out, limit);
   return out;
 }
 
@@ -173,11 +355,15 @@ class ChaseRun {
     span.SetAttribute("egds", egds.size());
     span.SetAttribute("source_tuples", read_db().TotalTuples());
     obs::ScopedLatency latency(options_.obs, "chase.run.latency_us");
+    instance::IndexStats storage0 = target_.IndexStatsTotal();
+    if (source_ != nullptr) storage0 += source_->IndexStatsTotal();
     // One RuleStats slot per constraint, in iteration order: SO-clauses,
     // then tgds, then egds. Labels are assigned up front so rules that
     // never fire still show up (with zero cost) in the attribution.
     stats_.rules.clear();
     stats_.rules.resize(clauses.size() + fo_tgds.size() + egds.size());
+    watermarks_.assign(stats_.rules.size(), {});
+    matched_once_.assign(stats_.rules.size(), false);
     {
       std::size_t slot = 0;
       for (std::size_t i = 0; i < clauses.size(); ++i) {
@@ -231,21 +417,25 @@ class ChaseRun {
       std::size_t round_matched0 = stats_.assignments_matched;
       std::size_t rule_index = 0;
       for (const logic::SoTgdClause& clause : clauses) {
+        std::size_t slot = rule_index++;
         MM2_ASSIGN_OR_RETURN(
-            bool fired, attributed(stats_.rules[rule_index++],
-                                   [&] { return FireSoClause(clause); }));
+            bool fired, attributed(stats_.rules[slot], [&] {
+              return FireSoClause(clause, slot);
+            }));
         changed |= fired;
       }
       for (const logic::Tgd& tgd : fo_tgds) {
-        MM2_ASSIGN_OR_RETURN(
-            bool fired, attributed(stats_.rules[rule_index++],
-                                   [&] { return FireTgd(tgd); }));
+        std::size_t slot = rule_index++;
+        MM2_ASSIGN_OR_RETURN(bool fired,
+                             attributed(stats_.rules[slot],
+                                        [&] { return FireTgd(tgd, slot); }));
         changed |= fired;
       }
       for (const logic::Egd& egd : egds) {
-        MM2_ASSIGN_OR_RETURN(
-            bool fired, attributed(stats_.rules[rule_index++],
-                                   [&] { return FireEgd(egd); }));
+        std::size_t slot = rule_index++;
+        MM2_ASSIGN_OR_RETURN(bool fired,
+                             attributed(stats_.rules[slot],
+                                        [&] { return FireEgd(egd, slot); }));
         changed |= fired;
       }
       ++stats_.rounds;
@@ -258,8 +448,15 @@ class ChaseRun {
       round_span.SetAttribute("assignments_matched",
                               stats_.assignments_matched - round_matched0);
     }
+    instance::IndexStats storage1 = target_.IndexStatsTotal();
+    if (source_ != nullptr) storage1 += source_->IndexStatsTotal();
+    stats_.index_probes = storage1.probes - storage0.probes;
+    stats_.index_probe_hits = storage1.probe_hits - storage0.probe_hits;
+    stats_.index_builds = storage1.builds - storage0.builds;
     span.SetAttribute("rounds", stats_.rounds);
     span.SetAttribute("target_tuples", target_.TotalTuples());
+    span.SetAttribute("index_probes", stats_.index_probes);
+    span.SetAttribute("delta_tuples", stats_.delta_tuples);
     return Status::OK();
   }
 
@@ -267,6 +464,63 @@ class ChaseRun {
   Value FreshNull() {
     ++stats_.nulls_created;
     return Value::LabeledNull(next_label_++);
+  }
+
+  // One body-matching pass for rule `rule_index` plus the watermark
+  // snapshot that makes it repeatable. The snapshot is taken BEFORE
+  // matching, so tuples a rule inserts while firing land above it and get
+  // reprocessed next round. Callers commit via CommitWatermarks once every
+  // returned assignment has actually been processed — tgds commit right
+  // after matching, egds only after a violation-free pass (a unification
+  // invalidates the remaining assignments, which must be re-derived).
+  struct BodyMatch {
+    std::vector<Assignment> assignments;
+    std::map<std::string, std::size_t, std::less<>> watermarks;
+    bool delta_pass = false;
+  };
+
+  std::map<std::string, std::size_t, std::less<>> SnapshotWatermarks(
+      const std::vector<Atom>& atoms, const Instance& db) const {
+    std::map<std::string, std::size_t, std::less<>> snap;
+    for (const Atom& atom : atoms) {
+      if (snap.count(atom.relation) > 0) continue;
+      const instance::RelationInstance* rel = db.Find(atom.relation);
+      snap.emplace(atom.relation, rel == nullptr ? 0 : rel->Watermark());
+    }
+    return snap;
+  }
+
+  BodyMatch MatchBody(std::size_t rule_index, const std::vector<Atom>& atoms,
+                      const Instance& db) {
+    BodyMatch out;
+    out.watermarks = SnapshotWatermarks(atoms, db);
+    if (options_.naive) {
+      out.assignments = MatchAtomsNaive(atoms, db);
+    } else if (options_.semi_naive && matched_once_[rule_index]) {
+      out.delta_pass = true;
+      std::size_t consumed = 0;
+      out.assignments =
+          MatchAtomsDelta(atoms, db, watermarks_[rule_index], &consumed);
+      stats_.delta_tuples += consumed;
+      if (consumed == 0) ++stats_.delta_skips;
+    } else {
+      out.assignments = MatchAtomsIndexed(atoms, db, Assignment(), 0);
+      if (options_.semi_naive) {
+        // The first full pass consumes the whole extension as its delta.
+        for (const auto& [name, mark] : out.watermarks) {
+          (void)mark;
+          const instance::RelationInstance* rel = db.Find(name);
+          if (rel != nullptr) stats_.delta_tuples += rel->size();
+        }
+      }
+    }
+    stats_.assignments_matched += out.assignments.size();
+    return out;
+  }
+
+  void CommitWatermarks(std::size_t rule_index, BodyMatch& match) {
+    watermarks_[rule_index] = std::move(match.watermarks);
+    matched_once_[rule_index] = true;
   }
 
   // Evaluates a head term under `assignment`, interpreting function terms
@@ -370,11 +624,12 @@ class ChaseRun {
     return inserted_any;
   }
 
-  Result<bool> FireSoClause(const logic::SoTgdClause& clause) {
+  Result<bool> FireSoClause(const logic::SoTgdClause& clause,
+                            std::size_t rule_index) {
     bool changed = false;
-    std::vector<Assignment> matches = MatchAtoms(clause.body, read_db());
-    stats_.assignments_matched += matches.size();
-    for (const Assignment& assignment : matches) {
+    BodyMatch match = MatchBody(rule_index, clause.body, read_db());
+    CommitWatermarks(rule_index, match);
+    for (const Assignment& assignment : match.assignments) {
       // Premise equalities under Skolem semantics: two distinct constants
       // act as a filter (the match simply does not fire); when a labeled
       // null is involved we unify — the canonical interpretation where the
@@ -413,18 +668,22 @@ class ChaseRun {
     return changed;
   }
 
-  Result<bool> FireTgd(const logic::Tgd& tgd) {
+  Result<bool> FireTgd(const logic::Tgd& tgd, std::size_t rule_index) {
     bool changed = false;
     std::set<std::string> existentials = tgd.ExistentialVariables();
-    std::vector<Assignment> matches = MatchAtoms(tgd.body, read_db());
-    stats_.assignments_matched += matches.size();
-    for (Assignment assignment : matches) {
+    BodyMatch match = MatchBody(rule_index, tgd.body, read_db());
+    CommitWatermarks(rule_index, match);
+    for (Assignment assignment : match.assignments) {
       if (options_.restricted) {
         // Satisfied already? Look for an extension of the assignment that
         // covers the head atoms in the target.
         std::vector<Assignment> extension;
-        Assignment probe = assignment;
-        MatchAtomsRec(tgd.head, 0, target_, &probe, &extension, 1);
+        if (options_.naive) {
+          Assignment probe = assignment;
+          MatchAtomsNaiveRec(tgd.head, 0, target_, &probe, &extension, 1);
+        } else {
+          extension = MatchAtomsIndexed(tgd.head, target_, assignment, 1);
+        }
         if (!extension.empty()) continue;
       }
       for (const std::string& e : existentials) {
@@ -443,13 +702,12 @@ class ChaseRun {
     return changed;
   }
 
-  Result<bool> FireEgd(const logic::Egd& egd) {
+  Result<bool> FireEgd(const logic::Egd& egd, std::size_t rule_index) {
     bool changed = false;
     while (true) {
       bool fired = false;
-      std::vector<Assignment> matches = MatchAtoms(egd.body, target_);
-      stats_.assignments_matched += matches.size();
-      for (const Assignment& assignment : matches) {
+      BodyMatch match = MatchBody(rule_index, egd.body, target_);
+      for (const Assignment& assignment : match.assignments) {
         auto li = assignment.find(egd.left);
         auto ri = assignment.find(egd.right);
         if (li == assignment.end() || ri == assignment.end()) {
@@ -462,7 +720,13 @@ class ChaseRun {
         changed = true;
         break;  // instance changed; recompute matches
       }
-      if (!fired) break;
+      if (!fired) {
+        // Every assignment at or below the snapshot is violation-free, so
+        // only now may the delta watermark advance. Unification rewrites
+        // (erase + reinsert) land above it and re-match next pass.
+        CommitWatermarks(rule_index, match);
+        break;
+      }
     }
     return changed;
   }
@@ -535,6 +799,11 @@ class ChaseRun {
   Provenance provenance_;
   std::int64_t next_label_ = 0;
   std::map<std::pair<std::string, std::vector<Value>>, Value> skolem_;
+  // Semi-naive state, indexed like stats_.rules: the per-relation insert-log
+  // watermark as of each rule's last committed matching pass, and whether
+  // the rule has completed its first (full) pass.
+  std::vector<std::map<std::string, std::size_t, std::less<>>> watermarks_;
+  std::vector<bool> matched_once_;
 };
 
 // Mirrors a finished run's ChaseStats into the attached registry, so every
@@ -552,6 +821,11 @@ void MirrorStats(obs::Context* obs, const ChaseStats& stats,
   m.GetCounter("chase.assignments_matched")
       .Increment(stats.assignments_matched);
   m.GetCounter("chase.provenance_entries").Increment(provenance_entries);
+  m.GetCounter("index.probes").Increment(stats.index_probes);
+  m.GetCounter("index.probe_hits").Increment(stats.index_probe_hits);
+  m.GetCounter("index.builds").Increment(stats.index_builds);
+  m.GetCounter("chase.delta.tuples").Increment(stats.delta_tuples);
+  m.GetCounter("chase.delta.rule_skips").Increment(stats.delta_skips);
   m.GetHistogram("chase.rounds_per_run",
                  {1, 2, 3, 5, 8, 13, 21, 50, 100, 1000, 10000})
       .Record(static_cast<double>(stats.rounds));
@@ -707,42 +981,52 @@ instance::Instance ComputeCore(const Instance& database, obs::Context* obs) {
       }
     }
     for (const Value& null : nulls) {
+      // Only tuples containing `null` can move under the retraction;
+      // single-column probes enumerate exactly those (and stay maintained
+      // across the in-place rewrites below). Copies, not pointers: the
+      // apply step mutates the relations.
+      std::vector<std::pair<std::string, Tuple>> affected;
+      {
+        std::set<const Tuple*> seen;
+        for (const auto& [name, rel] : core.relations()) {
+          for (std::size_t c = 0; c < rel.arity(); ++c) {
+            const instance::RelationInstance::TupleRefs* refs =
+                rel.Probe({c}, {null});
+            if (refs == nullptr) continue;
+            for (const Tuple* t : *refs) {
+              if (seen.insert(t).second) affected.emplace_back(name, *t);
+            }
+          }
+        }
+      }
       for (const Value& candidate : values) {
         if (candidate == null) continue;
         // Retraction h: null -> candidate, identity elsewhere. Valid if
-        // h(core) is contained in core.
+        // h(core) is contained in core; unaffected tuples are fixpoints.
         bool valid = true;
-        for (const auto& [name, rel] : core.relations()) {
-          for (const Tuple& t : rel.tuples()) {
-            Tuple image = t;
-            bool hit = false;
-            for (Value& v : image) {
-              if (v == null) {
-                v = candidate;
-                hit = true;
-              }
-            }
-            if (hit && !rel.Contains(image)) {
-              valid = false;
-              break;
-            }
+        for (const auto& [name, t] : affected) {
+          Tuple image = t;
+          for (Value& v : image) {
+            if (v == null) v = candidate;
           }
-          if (!valid) break;
+          if (!core.Find(name)->Contains(image)) {
+            valid = false;
+            break;
+          }
         }
         if (valid) {
-          // Apply the retraction: rewrite and drop collapsed duplicates.
-          Instance retracted;
-          for (const auto& [name, rel] : core.relations()) {
-            retracted.DeclareRelation(name, rel.arity());
-            for (const Tuple& t : rel.tuples()) {
-              Tuple image = t;
-              for (Value& v : image) {
-                if (v == null) v = candidate;
-              }
-              retracted.InsertUnchecked(name, std::move(image));
+          // Apply in place: affected tuples collapse onto their images
+          // (an image never equals another affected tuple — images no
+          // longer contain `null`, affected tuples all do).
+          for (const auto& [name, t] : affected) {
+            Tuple image = t;
+            for (Value& v : image) {
+              if (v == null) v = candidate;
             }
+            instance::RelationInstance* rel = core.FindMutable(name);
+            rel->Erase(t);
+            rel->Insert(std::move(image));
           }
-          core = std::move(retracted);
           changed = true;
           ++iterations;
           break;

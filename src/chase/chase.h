@@ -28,9 +28,20 @@ using Assignment = std::map<std::string, instance::Value>;
 // repeated variables enforce equality. This is the workhorse behind tgd
 // application and conjunctive-query evaluation. `limit` bounds the number
 // of results (0 = unlimited).
+//
+// Index-backed: atoms are joined most-bound-first, each step probing the
+// relation's on-demand hash index (RelationInstance::Probe) on the columns
+// already bound instead of scanning the extension.
 std::vector<Assignment> MatchAtoms(const std::vector<logic::Atom>& atoms,
                                    const instance::Instance& database,
                                    std::size_t limit = 0);
+
+// The original nested-loop matcher, kept verbatim as the differential-
+// testing oracle (`ChaseOptions::naive` routes the whole chase through it).
+// Same contract as MatchAtoms; never touches indexes.
+std::vector<Assignment> MatchAtomsNaive(const std::vector<logic::Atom>& atoms,
+                                        const instance::Instance& database,
+                                        std::size_t limit = 0);
 
 // A fact is a (relation, tuple) pair; a witness is the list of source facts
 // that fired the rule deriving a target fact (why-provenance, Section 5).
@@ -77,6 +88,15 @@ struct ChaseOptions {
   // acyclic, instead of running into max_rounds. s-t tgd mappings are
   // always weakly acyclic; this matters for intra-schema closures.
   bool require_weak_acyclicity = false;
+  // Evaluation strategy. `naive` restores the original rescan-everything
+  // nested-loop executor — the oracle path for differential testing; it
+  // never probes indexes or consults deltas. Otherwise matching is
+  // index-backed, and `semi_naive` (the default) additionally restricts a
+  // rule's re-match after its first full pass to assignments where at least
+  // one body atom binds a tuple from that relation's delta set (tuples
+  // inserted since the rule's per-relation watermark).
+  bool naive = false;
+  bool semi_naive = true;
   // Optional collector: when set, the chase opens a `chase.run` span with
   // one `chase.round` child per round and mirrors ChaseStats into the
   // registry's `chase.*` counters on completion.
@@ -106,6 +126,17 @@ struct ChaseStats {
   // Body assignments found across all rule-matching calls (the quantity
   // that dominates chase cost).
   std::size_t assignments_matched = 0;
+  // Storage-layer telemetry for this run, diffed from the instances'
+  // cumulative IndexStats around Run(). Zero on the naive path.
+  std::uint64_t index_probes = 0;
+  std::uint64_t index_probe_hits = 0;
+  std::uint64_t index_builds = 0;
+  // Semi-naive bookkeeping: delta tuples fed to re-match passes (round 1
+  // counts the whole extension — everything is delta initially), and
+  // rule-round matchings skipped outright because every body delta was
+  // empty.
+  std::size_t delta_tuples = 0;
+  std::size_t delta_skips = 0;
   // Filled on every run; the profiler's per-constraint attribution source.
   std::vector<RuleStats> rules;
 };

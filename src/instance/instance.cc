@@ -6,9 +6,156 @@
 
 namespace mm2::instance {
 
+RelationInstance::RelationInstance(const RelationInstance& other)
+    : arity_(other.arity_),
+      tuples_(other.tuples_),
+      generation_(other.generation_) {
+  // Indexes and the insert log hold pointers into the *source* set; rebuild
+  // the log over our own nodes (set order — deterministic) and let indexes
+  // re-materialize lazily. Watermark 0 still means "everything".
+  log_.reserve(tuples_.size());
+  for (const Tuple& t : tuples_) log_.push_back(&t);
+}
+
+RelationInstance& RelationInstance::operator=(const RelationInstance& other) {
+  if (this == &other) return *this;
+  arity_ = other.arity_;
+  tuples_ = other.tuples_;
+  generation_ = other.generation_;
+  log_.clear();
+  log_.reserve(tuples_.size());
+  for (const Tuple& t : tuples_) log_.push_back(&t);
+  indexes_.clear();
+  stats_ = IndexStats{};
+  return *this;
+}
+
+RelationInstance::RelationInstance(RelationInstance&& other) noexcept
+    : arity_(other.arity_),
+      tuples_(std::move(other.tuples_)),
+      generation_(other.generation_),
+      log_(std::move(other.log_)),
+      indexes_(std::move(other.indexes_)),
+      stats_(other.stats_) {
+  // Moving a std::set transfers its nodes, so log/index pointers survive.
+}
+
+RelationInstance& RelationInstance::operator=(
+    RelationInstance&& other) noexcept {
+  if (this == &other) return *this;
+  arity_ = other.arity_;
+  tuples_ = std::move(other.tuples_);
+  generation_ = other.generation_;
+  log_ = std::move(other.log_);
+  indexes_ = std::move(other.indexes_);
+  stats_ = other.stats_;
+  return *this;
+}
+
+Tuple RelationInstance::Project(const Tuple& tuple, const ColumnSet& cols) {
+  Tuple key;
+  key.reserve(cols.size());
+  for (std::size_t c : cols) key.push_back(tuple[c]);
+  return key;
+}
+
+// Keeps buckets in tuple (set) order so probes enumerate candidates exactly
+// as a full ordered scan would.
+void RelationInstance::IndexInsert(const Tuple* tuple) {
+  for (auto& [cols, index] : indexes_) {
+    TupleRefs& bucket = index.buckets[Project(*tuple, cols)];
+    auto pos = std::lower_bound(
+        bucket.begin(), bucket.end(), tuple,
+        [](const Tuple* a, const Tuple* b) { return *a < *b; });
+    bucket.insert(pos, tuple);
+    ++stats_.indexed_tuples;
+  }
+}
+
+void RelationInstance::IndexErase(const Tuple* tuple) {
+  for (auto& [cols, index] : indexes_) {
+    auto it = index.buckets.find(Project(*tuple, cols));
+    if (it == index.buckets.end()) continue;
+    TupleRefs& bucket = it->second;
+    bucket.erase(std::remove(bucket.begin(), bucket.end(), tuple),
+                 bucket.end());
+    if (bucket.empty()) index.buckets.erase(it);
+  }
+}
+
 bool RelationInstance::Insert(Tuple tuple) {
   assert(tuple.size() == arity_ && "arity mismatch");
-  return tuples_.insert(std::move(tuple)).second;
+  auto [it, inserted] = tuples_.insert(std::move(tuple));
+  if (!inserted) return false;
+  ++generation_;
+  const Tuple* node = &*it;
+  log_.push_back(node);
+  std::lock_guard<std::mutex> lock(index_mu_);
+  IndexInsert(node);
+  return true;
+}
+
+bool RelationInstance::Erase(const Tuple& tuple) {
+  auto it = tuples_.find(tuple);
+  if (it == tuples_.end()) return false;
+  const Tuple* node = &*it;
+  {
+    std::lock_guard<std::mutex> lock(index_mu_);
+    IndexErase(node);
+  }
+  // Tombstone rather than remove: log positions back caller watermarks.
+  for (auto log_it = log_.rbegin(); log_it != log_.rend(); ++log_it) {
+    if (*log_it == node) {
+      *log_it = nullptr;
+      break;
+    }
+  }
+  tuples_.erase(it);
+  ++generation_;
+  return true;
+}
+
+void RelationInstance::Clear() {
+  tuples_.clear();
+  log_.clear();
+  ++generation_;
+  std::lock_guard<std::mutex> lock(index_mu_);
+  indexes_.clear();
+}
+
+const RelationInstance::TupleRefs* RelationInstance::Probe(
+    const ColumnSet& cols, const Tuple& key) const {
+  std::lock_guard<std::mutex> lock(index_mu_);
+  ++stats_.probes;
+  auto it = indexes_.find(cols);
+  if (it == indexes_.end()) {
+    Index index;
+    for (const Tuple& t : tuples_) {
+      // Set iteration is sorted, so appended buckets stay in tuple order.
+      index.buckets[Project(t, cols)].push_back(&t);
+    }
+    ++stats_.builds;
+    stats_.indexed_tuples += tuples_.size();
+    it = indexes_.emplace(cols, std::move(index)).first;
+  }
+  auto bucket = it->second.buckets.find(key);
+  if (bucket == it->second.buckets.end()) return nullptr;
+  stats_.probe_hits += bucket->second.size();
+  return &bucket->second;
+}
+
+RelationInstance::TupleRefs RelationInstance::DeltaSince(
+    std::size_t watermark) const {
+  TupleRefs out;
+  for (std::size_t i = watermark; i < log_.size(); ++i) {
+    if (log_[i] != nullptr) out.push_back(log_[i]);
+  }
+  return out;
+}
+
+IndexStats RelationInstance::index_stats() const {
+  std::lock_guard<std::mutex> lock(index_mu_);
+  return stats_;
 }
 
 Instance Instance::EmptyFor(const model::Schema& schema) {
@@ -51,7 +198,8 @@ Status Instance::Insert(std::string_view relation, Tuple tuple) {
 
 void Instance::InsertUnchecked(std::string_view relation, Tuple tuple) {
   auto it = relations_.find(relation);
-  assert(it != relations_.end());
+  assert(it != relations_.end() && "unknown relation");
+  assert(tuple.size() == it->second.arity() && "arity mismatch");
   it->second.Insert(std::move(tuple));
 }
 
@@ -93,6 +241,19 @@ bool Instance::HasLabeledNulls() const {
     }
   }
   return false;
+}
+
+IndexStats Instance::IndexStatsTotal() const {
+  IndexStats total;
+  for (const auto& [name, rel] : relations_) total += rel.index_stats();
+  return total;
+}
+
+std::map<std::string, std::size_t, std::less<>> Instance::InsertWatermarks()
+    const {
+  std::map<std::string, std::size_t, std::less<>> out;
+  for (const auto& [name, rel] : relations_) out[name] = rel.Watermark();
+  return out;
 }
 
 std::int64_t Instance::MaxNullLabel() const {

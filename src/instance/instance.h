@@ -2,10 +2,13 @@
 #define MM2_INSTANCE_INSTANCE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
+#include <mutex>
 #include <set>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
@@ -15,13 +18,55 @@
 
 namespace mm2::instance {
 
+// Cumulative per-relation index telemetry; the chase diffs aggregate
+// snapshots around a run and mirrors them into `index.*` obs counters.
+struct IndexStats {
+  std::uint64_t probes = 0;         // Probe() calls
+  std::uint64_t probe_hits = 0;     // tuples yielded by probes
+  std::uint64_t builds = 0;         // lazy index constructions
+  std::uint64_t indexed_tuples = 0; // tuples hashed at build time
+
+  IndexStats& operator+=(const IndexStats& other) {
+    probes += other.probes;
+    probe_hits += other.probe_hits;
+    builds += other.builds;
+    indexed_tuples += other.indexed_tuples;
+    return *this;
+  }
+};
+
 // The extension of one relation: a set of same-arity tuples. Set semantics
 // with deterministic (ordered) iteration, which the chase and the tests
 // rely on.
+//
+// Storage layer on top of the bare set:
+//  - On-demand hash indexes keyed by column subsets. Probe(cols, key)
+//    builds the index on first use and maintains it incrementally across
+//    Insert/Erase/Clear. Buckets keep tuples in set (sorted) order, so
+//    index-backed evaluation enumerates matches in the same deterministic
+//    order a full scan would.
+//  - A monotonically bumped generation counter (every successful mutation).
+//  - An append-only insert log backing per-relation delta sets: a caller
+//    holds a Watermark() and later asks DeltaSince(watermark) for exactly
+//    the tuples inserted since. Erased tuples are tombstoned in the log, so
+//    watermarks stay stable. This is what makes the chase semi-naive.
+//
+// Thread safety: concurrent const access (Probe/DeltaSince/tuples) is safe;
+// mutation requires external synchronization, like the containers it wraps.
 class RelationInstance {
  public:
+  using ColumnSet = std::vector<std::size_t>;
+  using TupleRefs = std::vector<const Tuple*>;
+
   RelationInstance() = default;
   explicit RelationInstance(std::size_t arity) : arity_(arity) {}
+
+  // Indexes point into tuples_ nodes; copies rebuild lazily, moves keep
+  // node addresses (std::set moves steal nodes), so both stay valid.
+  RelationInstance(const RelationInstance& other);
+  RelationInstance& operator=(const RelationInstance& other);
+  RelationInstance(RelationInstance&& other) noexcept;
+  RelationInstance& operator=(RelationInstance&& other) noexcept;
 
   std::size_t arity() const { return arity_; }
   std::size_t size() const { return tuples_.size(); }
@@ -33,12 +78,46 @@ class RelationInstance {
   // debug builds; callers go through Instance::Insert for checked inserts.
   bool Insert(Tuple tuple);
   bool Contains(const Tuple& tuple) const { return tuples_.count(tuple) > 0; }
-  bool Erase(const Tuple& tuple) { return tuples_.erase(tuple) > 0; }
-  void Clear() { tuples_.clear(); }
+  bool Erase(const Tuple& tuple);
+  void Clear();
+
+  // All tuples whose projection onto `cols` equals `key` (|key| == |cols|,
+  // positions in [0, arity)), in set order; nullptr when none. The returned
+  // pointer stays valid until the next mutation of this relation.
+  const TupleRefs* Probe(const ColumnSet& cols, const Tuple& key) const;
+
+  // Bumped by every successful Insert/Erase/Clear.
+  std::uint64_t generation() const { return generation_; }
+
+  // Insert-log position; pass to DeltaSince later to see what arrived
+  // in between. Watermark 0 covers the whole extension.
+  std::size_t Watermark() const { return log_.size(); }
+  // Tuples inserted at or after `watermark` and still present, in
+  // insertion order.
+  TupleRefs DeltaSince(std::size_t watermark) const;
+
+  IndexStats index_stats() const;
 
  private:
+  struct Index {
+    std::unordered_map<Tuple, TupleRefs, TupleHash> buckets;
+  };
+
+  void IndexInsert(const Tuple* tuple);
+  void IndexErase(const Tuple* tuple);
+  static Tuple Project(const Tuple& tuple, const ColumnSet& cols);
+
   std::size_t arity_ = 0;
   std::set<Tuple> tuples_;
+  std::uint64_t generation_ = 0;
+  // Insertion order of live tuples; erased entries become nullptr so
+  // caller-held watermark positions never shift.
+  std::vector<const Tuple*> log_;
+  // Guards lazy index construction (Probe is const and may race with other
+  // const probes) plus the stats below.
+  mutable std::mutex index_mu_;
+  mutable std::map<ColumnSet, Index> indexes_;
+  mutable IndexStats stats_;
 };
 
 // A database instance: relation name -> extension. An Instance is a member
@@ -56,9 +135,11 @@ class Instance {
   void DeclareRelation(std::string name, std::size_t arity);
   bool HasRelation(std::string_view name) const;
 
-  // Checked insert: relation must exist and the arity must match.
+  // Checked insert: relation must exist and the arity must match; rejects
+  // before any index or log is touched.
   Status Insert(std::string_view relation, Tuple tuple);
   // Unchecked variant used by inner loops that already validated shape.
+  // Debug-asserts existence and arity.
   void InsertUnchecked(std::string_view relation, Tuple tuple);
   Status Erase(std::string_view relation, const Tuple& tuple);
 
@@ -78,6 +159,11 @@ class Instance {
   bool HasLabeledNulls() const;
   // Largest labeled-null label present, or -1.
   std::int64_t MaxNullLabel() const;
+
+  // Summed index telemetry across all relations.
+  IndexStats IndexStatsTotal() const;
+  // relation -> current insert-log watermark, for delta-tracking readers.
+  std::map<std::string, std::size_t, std::less<>> InsertWatermarks() const;
 
   // Exact equality: same relation names, same tuple sets.
   bool Equals(const Instance& other) const;

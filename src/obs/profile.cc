@@ -158,6 +158,23 @@ void BuildRules(const MetricsSnapshot& metrics, ProfileReport* report) {
             });
 }
 
+void BuildStorage(const MetricsSnapshot& metrics, ProfileReport* report) {
+  StorageCost& s = report->storage;
+  for (const CounterSnapshot& c : metrics.counters) {
+    if (c.name == "index.probes") {
+      s.index_probes = c.value;
+    } else if (c.name == "index.probe_hits") {
+      s.index_probe_hits = c.value;
+    } else if (c.name == "index.builds") {
+      s.index_builds = c.value;
+    } else if (c.name == "chase.delta.tuples") {
+      s.delta_tuples = c.value;
+    } else if (c.name == "chase.delta.rule_skips") {
+      s.delta_rule_skips = c.value;
+    }
+  }
+}
+
 void BuildPhases(const std::vector<SpanRecord>& spans,
                  ProfileReport* report) {
   if (spans.empty()) return;
@@ -288,6 +305,28 @@ std::vector<std::string> ProfileReport::Lines() const {
     lines.push_back("dominant rule: " + dominant->label + " (" +
                     Percent(dominant->share) + " of chase rule wall time)");
   }
+  lines.push_back("storage:");
+  if (!storage.any()) {
+    lines.push_back("  (no index activity recorded)");
+  } else {
+    double hit_rate = storage.index_probes == 0
+                          ? 0
+                          : static_cast<double>(storage.index_probe_hits) /
+                                static_cast<double>(storage.index_probes);
+    std::vector<std::vector<std::string>> rows;
+    rows.push_back({"index.probes", std::to_string(storage.index_probes)});
+    rows.push_back(
+        {"index.probe_hits", std::to_string(storage.index_probe_hits)});
+    rows.push_back({"index.builds", std::to_string(storage.index_builds)});
+    rows.push_back(
+        {"chase.delta.tuples", std::to_string(storage.delta_tuples)});
+    rows.push_back({"chase.delta.rule_skips",
+                    std::to_string(storage.delta_rule_skips)});
+    rows.push_back({"tuples/probe", Fixed1(hit_rate)});
+    for (std::string& line : Tabulate(rows, "lr")) {
+      lines.push_back(std::move(line));
+    }
+  }
   lines.push_back("phases (" + std::to_string(phase_total_us) +
                   "us self-time total):");
   if (phases.empty()) {
@@ -361,7 +400,12 @@ std::string ProfileReport::ToJson() const {
        << FormatDouble(phase.share) << ", \"max_us\": " << phase.max_us
        << "}";
   }
-  os << "], \"totals\": {\"operator_total_us\": "
+  os << "], \"storage\": {\"index_probes\": " << storage.index_probes
+     << ", \"index_probe_hits\": " << storage.index_probe_hits
+     << ", \"index_builds\": " << storage.index_builds
+     << ", \"delta_tuples\": " << storage.delta_tuples
+     << ", \"delta_rule_skips\": " << storage.delta_rule_skips
+     << "}, \"totals\": {\"operator_total_us\": "
      << FormatDouble(operator_total_us)
      << ", \"rule_total_us\": " << FormatDouble(rule_total_us)
      << ", \"phase_total_us\": " << phase_total_us << "}}";
@@ -373,6 +417,7 @@ ProfileReport Profiler::Build(const MetricsSnapshot& metrics,
   ProfileReport report;
   BuildOperators(metrics, &report);
   BuildRules(metrics, &report);
+  BuildStorage(metrics, &report);
   BuildPhases(spans, &report);
   return report;
 }

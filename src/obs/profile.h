@@ -57,12 +57,31 @@ struct PhaseCost {
   double share = 0;  // fraction of the summed self time
 };
 
+// Storage-layer telemetry: index probe traffic and semi-naive delta sizes,
+// read from the `index.*` / `chase.delta.*` counters that the chase (and
+// the engine, for algebra evaluation) mirror into the registry. The hit
+// rate and delta volume are how `explain` attributes the time the indexed
+// executor saved over rescanning.
+struct StorageCost {
+  std::uint64_t index_probes = 0;
+  std::uint64_t index_probe_hits = 0;  // tuples yielded across all probes
+  std::uint64_t index_builds = 0;      // lazy index constructions
+  std::uint64_t delta_tuples = 0;      // tuples consumed by delta re-matches
+  std::uint64_t delta_rule_skips = 0;  // rule-rounds skipped (empty deltas)
+
+  bool any() const {
+    return index_probes != 0 || index_probe_hits != 0 || index_builds != 0 ||
+           delta_tuples != 0 || delta_rule_skips != 0;
+  }
+};
+
 // A structured cost report: "where did the time go?" answered three ways.
 // Each table is ranked most-expensive-first.
 struct ProfileReport {
   std::vector<OperatorCost> operators;  // by total_us desc
   std::vector<RuleCost> rules;          // by wall_us desc
   std::vector<PhaseCost> phases;        // by self_us desc (empty w/o tracing)
+  StorageCost storage;
   double operator_total_us = 0;
   double rule_total_us = 0;
   std::int64_t phase_total_us = 0;  // summed self time

@@ -399,6 +399,8 @@ Result<ExchangeResult> Exchange(const logic::Mapping& mapping,
   span.SetAttribute("source_tuples", source.TotalTuples());
   chase::ChaseOptions chase_options;
   chase_options.track_provenance = options.track_provenance;
+  chase_options.naive = options.naive;
+  chase_options.semi_naive = options.semi_naive;
   chase_options.obs = options.obs;
   MM2_ASSIGN_OR_RETURN(chase::ChaseResult chased,
                        chase::RunChase(mapping, source, chase_options));

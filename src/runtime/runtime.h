@@ -190,6 +190,11 @@ std::vector<chase::Fact> Lineage(const chase::ChaseResult& result,
 struct ExchangeOptions {
   bool compute_core = false;   // minimize the universal solution
   bool track_provenance = false;
+  // Chase evaluation strategy, passed straight through to ChaseOptions:
+  // `naive` restores the rescan-everything oracle, `semi_naive` (default)
+  // keeps delta-restricted re-matching on top of the indexed executor.
+  bool naive = false;
+  bool semi_naive = true;
   // Optional collector, threaded through to the chase (and core
   // minimization when enabled).
   obs::Context* obs = nullptr;

@@ -302,6 +302,98 @@ TEST(MaterializeTest, WritesSetSemantics) {
   EXPECT_EQ(db.Find("Out")->size(), 2u);
 }
 
+TEST(EvalIndexTest, JoinWithScanRightSideProbesIndexes) {
+  Instance db = StudentsDb();
+  Catalog cat = TwoTableCatalog();
+  instance::IndexStats before = db.IndexStatsTotal();
+  auto t = Evaluate(*Expr::Join(Expr::Scan("Names"), Expr::Scan("Addresses"),
+                                Expr::JoinKind::kInner, {{"SID", "AID"}}),
+                    cat, db);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->rows.size(), 2u);
+  instance::IndexStats after = db.IndexStatsTotal();
+  // One probe per left row against the Addresses key index.
+  EXPECT_EQ(after.probes - before.probes, 3u);
+  EXPECT_GE(after.builds - before.builds, 1u);
+}
+
+TEST(EvalIndexTest, ProbeJoinAgreesWithGenericHashJoin) {
+  Instance db = StudentsDb();
+  Catalog cat = TwoTableCatalog();
+  // A no-op Select wrapper takes the right child off the scan fast path,
+  // forcing the generic hash join over the same rows.
+  for (Expr::JoinKind kind :
+       {Expr::JoinKind::kInner, Expr::JoinKind::kLeftOuter}) {
+    auto probe =
+        Evaluate(*Expr::Join(Expr::Scan("Names"), Expr::Scan("Addresses"),
+                             kind, {{"SID", "AID"}}),
+                 cat, db);
+    auto generic = Evaluate(
+        *Expr::Join(Expr::Scan("Names"),
+                    Expr::Select(Expr::Scan("Addresses"), Scalar::And({})),
+                    kind, {{"SID", "AID"}}),
+        cat, db);
+    ASSERT_TRUE(probe.ok() && generic.ok());
+    EXPECT_EQ(probe->columns, generic->columns);
+    EXPECT_TRUE(probe->SetEquals(*generic));
+    EXPECT_EQ(probe->rows, generic->rows);  // same enumeration order too
+  }
+}
+
+TEST(EvalIndexTest, SelectOnKeyUsesIndexAndKeepsFullPredicate) {
+  Instance db;
+  db.DeclareRelation("N", 2);
+  ASSERT_TRUE(db.Insert("N", {Value::Int64(1), Value::String("a")}).ok());
+  ASSERT_TRUE(db.Insert("N", {Value::Int64(1), Value::String("b")}).ok());
+  ASSERT_TRUE(db.Insert("N", {Value::Int64(2), Value::String("a")}).ok());
+  Catalog cat;
+  cat.Add("N", {"k", "s"});
+
+  instance::IndexStats before = db.IndexStatsTotal();
+  // k = 1 seeds the probe; the conjoined s = "a" must still filter.
+  auto t = Evaluate(
+      *Expr::Select(Expr::Scan("N"),
+                    Scalar::And({ColEqLit("k", Value::Int64(1)),
+                                 ColEqLit("s", Value::String("a"))})),
+      cat, db);
+  ASSERT_TRUE(t.ok());
+  ASSERT_EQ(t->rows.size(), 1u);
+  EXPECT_EQ(t->rows[0][1], Value::String("a"));
+  EXPECT_GT(db.IndexStatsTotal().probes, before.probes);
+}
+
+TEST(EvalIndexTest, SelectFastPathHandlesNumericPromotion) {
+  // The scan path compares numerics promoted to double, so a Double
+  // literal matches Int64 rows; the probe path must enumerate every stored
+  // representation of the key rather than probing just the literal's kind.
+  Instance db;
+  db.DeclareRelation("N", 2);
+  ASSERT_TRUE(db.Insert("N", {Value::Int64(2), Value::String("int")}).ok());
+  ASSERT_TRUE(db.Insert("N", {Value::Double(2.0), Value::String("dbl")}).ok());
+  ASSERT_TRUE(db.Insert("N", {Value::Int64(3), Value::String("three")}).ok());
+  Catalog cat;
+  cat.Add("N", {"k", "s"});
+
+  auto by_double = Evaluate(
+      *Expr::Select(Expr::Scan("N"), ColEqLit("k", Value::Double(2.0))),
+      cat, db);
+  ASSERT_TRUE(by_double.ok());
+  EXPECT_EQ(by_double->rows.size(), 2u);  // Int64(2) and Double(2.0)
+  auto by_int = Evaluate(
+      *Expr::Select(Expr::Scan("N"), ColEqLit("k", Value::Int64(2))),
+      cat, db);
+  ASSERT_TRUE(by_int.ok());
+  EXPECT_EQ(by_int->rows.size(), 2u);
+
+  // Beyond 2^53 double promotion is lossy; the fast path bows out and the
+  // scan path's (documented) promoted comparison decides.
+  auto huge = Evaluate(
+      *Expr::Select(Expr::Scan("N"), ColEqLit("k", Value::Double(1e300))),
+      cat, db);
+  ASSERT_TRUE(huge.ok());
+  EXPECT_TRUE(huge->rows.empty());
+}
+
 TEST(SqlPrinterTest, RendersReadableSql) {
   ExprRef query = Expr::Project(
       Expr::Select(Expr::Scan("Empl"), ColEqLit("Dept", Value::String("R&D"))),

@@ -143,6 +143,29 @@ explain
             std::string::npos);
 }
 
+TEST_F(EngineExtTest, ExplainReportsStorageTelemetry) {
+  auto log = engine_.RunScript(R"(
+exchange Dout flatten D
+explain
+)");
+  ASSERT_TRUE(log.ok()) << log.status();
+  std::string joined;
+  for (const std::string& line : *log) joined += line + "\n";
+  // The storage section attributes the indexed executor's work.
+  EXPECT_NE(joined.find("storage:"), std::string::npos) << joined;
+  EXPECT_NE(joined.find("index.probes"), std::string::npos);
+  EXPECT_NE(joined.find("chase.delta.tuples"), std::string::npos);
+
+  // The chase mirrored nonzero probe and delta traffic into the registry:
+  // the join body probes the index, and round 1 counts the whole extension
+  // as delta.
+  obs::MetricsSnapshot snap = engine_.observability().metrics.Snapshot();
+  ASSERT_NE(snap.FindCounter("index.probes"), nullptr);
+  EXPECT_GT(snap.FindCounter("index.probes")->value, 0u);
+  ASSERT_NE(snap.FindCounter("chase.delta.tuples"), nullptr);
+  EXPECT_GT(snap.FindCounter("chase.delta.tuples")->value, 0u);
+}
+
 TEST_F(EngineExtTest, ExplainJsonIsOneMachineReadableLine) {
   auto log = engine_.RunScript(R"(
 exchange Dout flatten D

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <utility>
+#include <vector>
+
 #include "instance/instance.h"
 #include "instance/value.h"
 #include "model/schema.h"
@@ -74,6 +78,207 @@ TEST(RelationInstanceTest, SetSemantics) {
   EXPECT_TRUE(rel.Erase({Value::Int64(1), Value::String("a")}));
   EXPECT_FALSE(rel.Erase({Value::Int64(1), Value::String("a")}));
   EXPECT_TRUE(rel.empty());
+}
+
+TEST(RelationInstanceTest, ProbeFindsMatchesInSetOrder) {
+  RelationInstance rel(2);
+  rel.Insert({Value::Int64(1), Value::String("b")});
+  rel.Insert({Value::Int64(1), Value::String("a")});
+  rel.Insert({Value::Int64(2), Value::String("c")});
+
+  const RelationInstance::TupleRefs* hits =
+      rel.Probe({0}, {Value::Int64(1)});
+  ASSERT_NE(hits, nullptr);
+  ASSERT_EQ(hits->size(), 2u);
+  // Buckets keep set order, so probe enumeration matches a full scan.
+  EXPECT_EQ((*(*hits)[0])[1], Value::String("a"));
+  EXPECT_EQ((*(*hits)[1])[1], Value::String("b"));
+
+  EXPECT_EQ(rel.Probe({0}, {Value::Int64(9)}), nullptr);
+  // Multi-column keys and non-prefix columns work too.
+  const RelationInstance::TupleRefs* exact =
+      rel.Probe({0, 1}, {Value::Int64(2), Value::String("c")});
+  ASSERT_NE(exact, nullptr);
+  EXPECT_EQ(exact->size(), 1u);
+  const RelationInstance::TupleRefs* by_second =
+      rel.Probe({1}, {Value::String("a")});
+  ASSERT_NE(by_second, nullptr);
+  EXPECT_EQ(by_second->size(), 1u);
+}
+
+TEST(RelationInstanceTest, IndexMaintainedAcrossMutations) {
+  RelationInstance rel(2);
+  rel.Insert({Value::Int64(1), Value::Int64(10)});
+  ASSERT_NE(rel.Probe({0}, {Value::Int64(1)}), nullptr);  // build the index
+
+  rel.Insert({Value::Int64(1), Value::Int64(11)});  // maintained, not rebuilt
+  const RelationInstance::TupleRefs* hits =
+      rel.Probe({0}, {Value::Int64(1)});
+  ASSERT_NE(hits, nullptr);
+  EXPECT_EQ(hits->size(), 2u);
+
+  rel.Erase({Value::Int64(1), Value::Int64(10)});
+  hits = rel.Probe({0}, {Value::Int64(1)});
+  ASSERT_NE(hits, nullptr);
+  ASSERT_EQ(hits->size(), 1u);
+  EXPECT_EQ((*(*hits)[0])[1], Value::Int64(11));
+
+  rel.Clear();
+  EXPECT_EQ(rel.Probe({0}, {Value::Int64(1)}), nullptr);
+
+  IndexStats stats = rel.index_stats();
+  // Insert/Erase maintained the one lazily built index in place; Clear
+  // dropped it, so the post-Clear probe rebuilt (over the empty set).
+  EXPECT_EQ(stats.builds, 2u);
+  EXPECT_EQ(stats.probes, 4u);
+  EXPECT_EQ(stats.probe_hits, 4u);  // 1 + 2 + 1 + 0 tuples yielded
+}
+
+TEST(RelationInstanceTest, GenerationBumpsOnMutationOnly) {
+  RelationInstance rel(1);
+  std::uint64_t g0 = rel.generation();
+  rel.Insert({Value::Int64(1)});
+  std::uint64_t g1 = rel.generation();
+  EXPECT_GT(g1, g0);
+  rel.Insert({Value::Int64(1)});  // duplicate: no state change
+  EXPECT_EQ(rel.generation(), g1);
+  rel.Erase({Value::Int64(2)});  // miss: no state change
+  EXPECT_EQ(rel.generation(), g1);
+  rel.Probe({0}, {Value::Int64(1)});  // reads never bump
+  EXPECT_EQ(rel.generation(), g1);
+  rel.Erase({Value::Int64(1)});
+  EXPECT_GT(rel.generation(), g1);
+}
+
+TEST(RelationInstanceTest, DeltaSinceTracksInsertsAndTombstonesErases) {
+  RelationInstance rel(1);
+  rel.Insert({Value::Int64(1)});
+  std::size_t mark = rel.Watermark();
+  EXPECT_TRUE(rel.DeltaSince(mark).empty());
+
+  rel.Insert({Value::Int64(2)});
+  rel.Insert({Value::Int64(3)});
+  RelationInstance::TupleRefs delta = rel.DeltaSince(mark);
+  ASSERT_EQ(delta.size(), 2u);
+  EXPECT_EQ((*delta[0])[0], Value::Int64(2));
+  EXPECT_EQ((*delta[1])[0], Value::Int64(3));
+
+  // Erasing a delta tuple tombstones its log entry without shifting the
+  // watermark positions other readers hold.
+  rel.Erase({Value::Int64(2)});
+  delta = rel.DeltaSince(mark);
+  ASSERT_EQ(delta.size(), 1u);
+  EXPECT_EQ((*delta[0])[0], Value::Int64(3));
+
+  // Re-inserting appends a fresh log entry: visible as new delta.
+  std::size_t mark2 = rel.Watermark();
+  rel.Insert({Value::Int64(2)});
+  ASSERT_EQ(rel.DeltaSince(mark2).size(), 1u);
+  // Watermark 0 covers the whole extension.
+  EXPECT_EQ(rel.DeltaSince(0).size(), rel.size());
+}
+
+TEST(RelationInstanceTest, CopyAndMoveKeepStorageCoherent) {
+  RelationInstance rel(2);
+  rel.Insert({Value::Int64(1), Value::Int64(10)});
+  rel.Insert({Value::Int64(2), Value::Int64(20)});
+  std::size_t mark = rel.Watermark();
+  rel.Insert({Value::Int64(3), Value::Int64(30)});
+  ASSERT_NE(rel.Probe({0}, {Value::Int64(1)}), nullptr);
+
+  // Copies rebuild over their own set nodes: same contents, same delta
+  // view, independent mutations.
+  RelationInstance copy = rel;
+  EXPECT_EQ(copy.size(), 3u);
+  ASSERT_EQ(copy.DeltaSince(mark).size(), 1u);
+  EXPECT_EQ((*copy.DeltaSince(mark)[0])[0], Value::Int64(3));
+  const RelationInstance::TupleRefs* hits =
+      copy.Probe({0}, {Value::Int64(2)});
+  ASSERT_NE(hits, nullptr);
+  EXPECT_EQ(hits->size(), 1u);
+  copy.Insert({Value::Int64(4), Value::Int64(40)});
+  EXPECT_EQ(copy.size(), 4u);
+  EXPECT_EQ(rel.size(), 3u);
+
+  // Moves steal the set nodes, so probes stay valid afterwards.
+  RelationInstance moved = std::move(rel);
+  hits = moved.Probe({0}, {Value::Int64(3)});
+  ASSERT_NE(hits, nullptr);
+  EXPECT_EQ(hits->size(), 1u);
+  EXPECT_EQ(moved.DeltaSince(mark).size(), 1u);
+}
+
+TEST(RelationInstanceTest, ConcurrentProbesAreSafe) {
+  RelationInstance rel(2);
+  for (int i = 0; i < 64; ++i) {
+    rel.Insert({Value::Int64(i % 8), Value::Int64(i)});
+  }
+  // Lazy index construction races on first probe; every reader must see a
+  // fully built index (this is the scenario --tsan runs watch).
+  std::vector<std::thread> readers;
+  std::vector<std::size_t> totals(4, 0);
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&rel, &totals, t] {
+      std::size_t sum = 0;
+      for (int key = 0; key < 8; ++key) {
+        const RelationInstance::TupleRefs* hits =
+            rel.Probe({0}, {Value::Int64(key)});
+        if (hits != nullptr) sum += hits->size();
+      }
+      totals[static_cast<std::size_t>(t)] = sum;
+    });
+  }
+  for (std::thread& t : readers) t.join();
+  for (std::size_t sum : totals) EXPECT_EQ(sum, 64u);
+}
+
+TEST(InstanceTest, InsertRejectsArityMismatchBeforeTouchingStorage) {
+  // Regression: a mis-shaped tuple used to slip through into the extension;
+  // now Insert rejects it before any index or log entry exists.
+  Instance db;
+  db.DeclareRelation("R", 2);
+  ASSERT_TRUE(db.Insert("R", {Value::Int64(1), Value::Int64(2)}).ok());
+  const RelationInstance* rel = db.Find("R");
+  std::size_t mark = rel->Watermark();
+  std::uint64_t gen = rel->generation();
+
+  EXPECT_EQ(db.Insert("R", {Value::Int64(7)}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(db.Insert("R", {Value::Int64(7), Value::Int64(8),
+                            Value::Int64(9)})
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(rel->size(), 1u);
+  EXPECT_EQ(rel->Watermark(), mark);
+  EXPECT_EQ(rel->generation(), gen);
+  EXPECT_TRUE(rel->DeltaSince(mark).empty());
+}
+
+#ifndef NDEBUG
+TEST(InstanceDeathTest, InsertUncheckedAssertsOnArityMismatch) {
+  Instance db;
+  db.DeclareRelation("R", 2);
+  EXPECT_DEATH(db.InsertUnchecked("R", {Value::Int64(1)}), "arity");
+}
+#endif
+
+TEST(InstanceTest, IndexStatsTotalSumsRelations) {
+  Instance db;
+  db.DeclareRelation("R", 1);
+  db.DeclareRelation("S", 1);
+  ASSERT_TRUE(db.Insert("R", {Value::Int64(1)}).ok());
+  ASSERT_TRUE(db.Insert("S", {Value::Int64(2)}).ok());
+  db.Find("R")->Probe({0}, {Value::Int64(1)});
+  db.Find("S")->Probe({0}, {Value::Int64(2)});
+  db.Find("S")->Probe({0}, {Value::Int64(3)});
+  IndexStats total = db.IndexStatsTotal();
+  EXPECT_EQ(total.probes, 3u);
+  EXPECT_EQ(total.probe_hits, 2u);
+  EXPECT_EQ(total.builds, 2u);
+
+  auto marks = db.InsertWatermarks();
+  EXPECT_EQ(marks.at("R"), db.Find("R")->Watermark());
+  EXPECT_EQ(marks.at("S"), db.Find("S")->Watermark());
 }
 
 TEST(InstanceTest, CheckedInsertValidatesShape) {
