@@ -15,7 +15,9 @@
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 
+#include "common/thread_pool.h"
 #include "obs/obs.h"
 
 namespace mm2::bench {
@@ -27,11 +29,22 @@ inline obs::Context& Obs() {
   return ctx;
 }
 
+// The MM2_THREADS-resolved default worker count this bench process runs
+// under, resolved once. Benches that sweep an explicit thread axis encode
+// the axis in the metric name instead; this field captures the ambient
+// setting so comparison tooling can refuse to diff runs taken at
+// different thread counts.
+inline std::size_t BenchThreads() {
+  static const std::size_t resolved = common::ResolveThreadCount(0);
+  return resolved;
+}
+
 inline void PrintJsonLine(const std::string& bench, const std::string& metric,
                           double value, const std::string& unit) {
   std::printf("{\"bench\": \"%s\", \"metric\": \"%s\", \"value\": %.6g, "
-              "\"unit\": \"%s\"}\n",
-              bench.c_str(), metric.c_str(), value, unit.c_str());
+              "\"unit\": \"%s\", \"threads\": %zu, \"hw_concurrency\": %u}\n",
+              bench.c_str(), metric.c_str(), value, unit.c_str(),
+              BenchThreads(), std::thread::hardware_concurrency());
 }
 
 // Histograms named *_us report in microseconds, everything else is a bare

@@ -3,15 +3,22 @@
 # collects the '{"bench": ...}' JSON metric lines that bench/bench_report.h
 # prints after each google-benchmark run, and writes one trajectory file:
 #
-#   BENCH_<label>.json = {"label": "<label>", "records": [ {bench,metric,
-#                         value,unit}, ... ]}
+#   BENCH_<label>.json = {"label": "<label>", "mm2_threads": N,
+#                         "hw_concurrency": M, "records": [ {bench,metric,
+#                         value,unit,threads,hw_concurrency}, ... ]}
 #
-# Compare two trajectories with scripts/bench_compare.py.
+# Compare two trajectories with scripts/bench_compare.py (which refuses to
+# diff records taken at different thread counts).
 #
 # Usage: scripts/bench_all.sh <label> [build-dir]    (build-dir: ./build)
 # Env:
+#   MM2_THREADS       ambient worker count for the parallel chase/join
+#                     paths (default 1 = serial); inherited by every bench
+#                     binary and recorded in the envelope + every record
 #   MM2_BENCH_ARGS    extra flags passed to every bench binary
-#                     (e.g. --benchmark_min_time=0.05)
+#                     (e.g. --benchmark_min_time=0.05; the seed baselines
+#                     are taken with --benchmark_min_time=0.05, see
+#                     EXPERIMENTS.md)
 #   MM2_BENCH_SMOKE   =1: tiny-size mode for CI — minimal measuring time
 #                     and a filter dropping benchmark args >= 1000
 #   MM2_BENCH_FILTER  only run bench binaries whose name matches this
@@ -59,7 +66,8 @@ if [[ "$count" -eq 0 ]]; then
 fi
 
 {
-  printf '{"label": "%s", "records": [\n' "$LABEL"
+  printf '{"label": "%s", "mm2_threads": %s, "hw_concurrency": %s, "records": [\n' \
+    "$LABEL" "${MM2_THREADS:-1}" "$(nproc)"
   awk 'NR > 1 { printf ",\n" } { printf "%s", $0 }' "$TMP"
   printf '\n]}\n'
 } > "$OUT"

@@ -6,6 +6,11 @@ Usage:
 
 A record is a {"bench", "metric", "value", "unit"} object as written by
 scripts/bench_all.sh (a bare JSON array of records is accepted too).
+Records may additionally carry "threads" (the MM2_THREADS-resolved worker
+count the bench process ran under): a pair of records taken at different
+thread counts is never compared — parallel walls are not comparable to
+serial walls — and is reported separately instead. Records without the
+field (pre-parallel baselines) compare against anything.
 Records are keyed by (bench, metric) and classified:
 
   time metrics   unit == "us": a candidate slower than
@@ -41,7 +46,8 @@ def load_records(path):
     records = doc["records"] if isinstance(doc, dict) else doc
     out = {}
     for r in records:
-        out[(r["bench"], r["metric"])] = (float(r["value"]), r.get("unit", ""))
+        out[(r["bench"], r["metric"])] = (float(r["value"]), r.get("unit", ""),
+                                          r.get("threads"))
     return out
 
 
@@ -90,13 +96,18 @@ def main():
 
     regressions = []
     missing = []
+    thread_mismatches = []
     compared = 0
-    for key, (base_value, unit) in sorted(baseline.items()):
+    for key, (base_value, unit, base_threads) in sorted(baseline.items()):
         bench, metric = key
         if key not in candidate:
             missing.append(key)
             continue
-        cand_value, _ = candidate[key]
+        cand_value, _, cand_threads = candidate[key]
+        if (base_threads is not None and cand_threads is not None
+                and base_threads != cand_threads):
+            thread_mismatches.append((key, base_threads, cand_threads))
+            continue
         compared += 1
         frac = threshold_for(metric, overrides, args.threshold)
         is_time = unit == "us"
@@ -120,7 +131,14 @@ def main():
 
     new_keys = len([k for k in candidate if k not in baseline])
     print(f"compared {compared} metrics "
-          f"({len(missing)} missing in candidate, {new_keys} new)")
+          f"({len(missing)} missing in candidate, {new_keys} new, "
+          f"{len(thread_mismatches)} skipped for thread-count mismatch)")
+
+    if thread_mismatches:
+        for (bench, metric), bt, ct in thread_mismatches[:10]:
+            print(f"  not compared (threads {bt} vs {ct}): {bench} {metric}")
+        if len(thread_mismatches) > 10:
+            print(f"  ... and {len(thread_mismatches) - 10} more")
 
     if missing:
         for bench, metric in missing[:10]:

@@ -23,10 +23,11 @@ TEST_FILTER=""
 if [[ "${1:-}" == "--tsan" ]]; then
   SANITIZERS="thread"
   BUILD_DIR="${BUILD_DIR_TSAN:-build-tsan}"
-  # The suites exercising RelationInstance's index/delta machinery,
-  # including the concurrent-probe test and the naive-vs-indexed
-  # differential sweep.
-  TEST_FILTER="ChaseDiffProperty|ClosureDiffProperty|RelationInstance|InstanceTest"
+  # The suites exercising RelationInstance's index/delta machinery
+  # (concurrent-probe test, naive-vs-indexed differential sweep) plus the
+  # parallel executor: the work-stealing pool itself, the threads-axis
+  # chase differentials, and the sharded parallel hash join.
+  TEST_FILTER="ChaseDiffProperty|ClosureDiffProperty|RelationInstance|InstanceTest|ThreadPool|ResolveThreadCount|ChaseParallelDiffProperty|ClosureParallelDiffProperty|ParallelHashJoin|Parallelism"
 fi
 
 cmake -B "$BUILD_DIR" -S . \

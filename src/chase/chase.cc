@@ -1,10 +1,13 @@
 #include "chase/chase.h"
 
+#include "common/thread_pool.h"
 #include "logic/acyclicity.h"
 #include "obs/obs.h"
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <memory>
 #include <optional>
 
 namespace mm2::chase {
@@ -232,16 +235,164 @@ std::vector<Assignment> MatchAtomsIndexed(const std::vector<Atom>& atoms,
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Parallel partitioned matching. The match phase is read-only (firing is
+// strictly sequential and happens only after matching returns), so the
+// parallel executor partitions the depth-0 candidate tuples into contiguous
+// chunks, runs MatchIndexedRec on each chunk concurrently, and concatenates
+// the per-chunk result vectors in chunk order. Chunk 0 covers the lowest
+// candidate positions, so the concatenation enumerates assignments in
+// literally the same order the serial recursion would — firing order, null
+// naming, and every ChaseStats firing count are bit-identical at any thread
+// count.
+
+// Per-depth probe column sets are statically determined by the join order
+// (constants plus variables bound by earlier atoms), so the indexes every
+// worker will probe can be built once, up front, instead of stampeding the
+// lazy build inside the fan-out.
+void PrebuildProbeIndexes(const std::vector<Atom>& atoms,
+                          const std::vector<std::size_t>& order,
+                          const Instance& db) {
+  std::set<std::string, std::less<>> bound;
+  for (std::size_t depth = 0; depth < order.size(); ++depth) {
+    const Atom& atom = atoms[order[depth]];
+    if (depth > 0) {
+      const instance::RelationInstance* rel = db.Find(atom.relation);
+      if (rel != nullptr && atom.terms.size() == rel->arity()) {
+        instance::RelationInstance::ColumnSet cols;
+        for (std::size_t i = 0; i < atom.terms.size(); ++i) {
+          const Term& term = atom.terms[i];
+          if (term.kind() == Term::Kind::kConstant ||
+              (term.kind() == Term::Kind::kVariable &&
+               bound.count(term.name()) > 0)) {
+            cols.push_back(i);
+          }
+        }
+        if (!cols.empty()) rel->EnsureIndex(cols);
+      }
+    }
+    for (const Term& t : atom.terms) {
+      if (t.kind() == Term::Kind::kVariable) bound.insert(t.name());
+    }
+  }
+}
+
+double MicrosSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<
+             std::chrono::duration<double, std::micro>>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// Fans the candidate list out over the pool; results come back concatenated
+// in candidate order. `stats` collects the fan-out telemetry (never null
+// here — parallel matching only runs inside a ChaseRun or ComputeCore).
+std::vector<Assignment> MatchPartitioned(
+    const std::vector<Atom>& atoms, const std::vector<std::size_t>& order,
+    const Instance& db,
+    const instance::RelationInstance::TupleRefs& candidates,
+    common::ThreadPool& pool, ChaseStats* stats, obs::Context* obs) {
+  PrebuildProbeIndexes(atoms, order, db);
+  std::size_t chunks = std::min(pool.size(), candidates.size());
+  std::vector<std::vector<Assignment>> partial(chunks);
+  std::vector<double> busy(chunks, 0.0);
+  auto region_start = std::chrono::steady_clock::now();
+  pool.ParallelFor(
+      candidates.size(),
+      [&](std::size_t begin, std::size_t end, std::size_t chunk) {
+        auto start = std::chrono::steady_clock::now();
+        obs::ObsSpan span(obs, "chase.match.worker");
+        span.SetAttribute("chunk", chunk);
+        span.SetAttribute("candidates", end - begin);
+        instance::RelationInstance::TupleRefs slice(
+            candidates.begin() + static_cast<std::ptrdiff_t>(begin),
+            candidates.begin() + static_cast<std::ptrdiff_t>(end));
+        Assignment assignment;
+        MatchIndexedRec(atoms, order, 0, db, &slice, &assignment,
+                        &partial[chunk], /*limit=*/0);
+        span.SetAttribute("assignments", partial[chunk].size());
+        busy[chunk] = MicrosSince(start);
+      });
+  stats->parallel_wall_us += MicrosSince(region_start);
+  ++stats->parallel_regions;
+  stats->parallel_tasks += chunks;
+  std::size_t total = 0;
+  for (const auto& p : partial) total += p.size();
+  std::vector<Assignment> out;
+  out.reserve(total);
+  for (auto& p : partial) {
+    for (Assignment& a : p) out.push_back(std::move(a));
+  }
+  for (double b : busy) stats->parallel_busy_us += b;
+  return out;
+}
+
+// Worth fanning out only when every worker gets a few candidates; below
+// this the chunk setup dominates the probes it saves.
+bool WorthParallel(const common::ThreadPool* pool, std::size_t candidates) {
+  return pool != nullptr && candidates >= pool->size() * 2 &&
+         candidates >= 4;
+}
+
+// Parallel top-level match (seed empty, no limit): computes the depth-0
+// candidate list exactly as the serial recursion would — probe on the
+// first atom's constant columns, else a full ordered scan — then fans out.
+std::vector<Assignment> MatchAtomsIndexedTop(const std::vector<Atom>& atoms,
+                                             const Instance& db,
+                                             common::ThreadPool* pool,
+                                             ChaseStats* stats,
+                                             obs::Context* obs) {
+  if (pool == nullptr || atoms.empty()) {
+    return MatchAtomsIndexed(atoms, db, Assignment(), /*limit=*/0);
+  }
+  std::vector<std::size_t> order = PlanAtomOrder(atoms, db, Assignment());
+  const Atom& first = atoms[order[0]];
+  const instance::RelationInstance* rel = db.Find(first.relation);
+  if (rel == nullptr || first.terms.size() != rel->arity()) return {};
+  instance::RelationInstance::ColumnSet cols;
+  Tuple key;
+  for (std::size_t i = 0; i < first.terms.size(); ++i) {
+    const Term& term = first.terms[i];
+    if (term.kind() == Term::Kind::kConstant) {
+      cols.push_back(i);
+      key.push_back(term.value());
+    } else if (term.kind() == Term::Kind::kFunction) {
+      return {};
+    }
+  }
+  instance::RelationInstance::TupleRefs candidates;
+  if (cols.empty()) {
+    candidates.reserve(rel->size());
+    for (const Tuple& t : rel->tuples()) candidates.push_back(&t);
+  } else {
+    const instance::RelationInstance::TupleRefs* refs = rel->Probe(cols, key);
+    if (refs == nullptr) return {};
+    candidates = *refs;
+  }
+  if (!WorthParallel(pool, candidates.size())) {
+    std::vector<Assignment> out;
+    Assignment assignment;
+    MatchIndexedRec(atoms, order, 0, db, &candidates, &assignment, &out,
+                    /*limit=*/0);
+    return out;
+  }
+  return MatchPartitioned(atoms, order, db, candidates, *pool, stats, obs);
+}
+
 // Semi-naive delta match: only assignments where at least one body atom
 // binds a tuple inserted since that relation's watermark. One pass per
 // body-atom position — that atom enumerates its relation's delta while the
 // rest probe as usual — deduplicated across passes (an assignment can touch
 // two delta tuples). `delta_tuples` accumulates the delta sizes consumed
 // (per distinct body relation); zero means the caller could have skipped.
+// With a pool, each per-atom anchor pass fans its delta out chunk-wise; the
+// dedupe set sorts assignments, so pass-internal order never leaks out
+// anyway.
 std::vector<Assignment> MatchAtomsDelta(
     const std::vector<Atom>& atoms, const Instance& db,
     const std::map<std::string, std::size_t, std::less<>>& watermarks,
-    std::size_t* delta_tuples) {
+    std::size_t* delta_tuples, common::ThreadPool* pool = nullptr,
+    ChaseStats* stats = nullptr, obs::Context* obs = nullptr) {
   std::map<std::string, instance::RelationInstance::TupleRefs, std::less<>>
       deltas;
   for (const Atom& atom : atoms) {
@@ -264,10 +415,14 @@ std::vector<Assignment> MatchAtomsDelta(
     }
     std::vector<std::size_t> order =
         PlanAtomOrder(atoms, db, Assignment(), i);
-    Assignment assignment;
     std::vector<Assignment> found;
-    MatchIndexedRec(atoms, order, 0, db, &delta, &assignment, &found,
-                    /*limit=*/0);
+    if (WorthParallel(pool, delta.size())) {
+      found = MatchPartitioned(atoms, order, db, delta, *pool, stats, obs);
+    } else {
+      Assignment assignment;
+      MatchIndexedRec(atoms, order, 0, db, &delta, &assignment, &found,
+                      /*limit=*/0);
+    }
     for (Assignment& a : found) dedupe.insert(std::move(a));
   }
   return std::vector<Assignment>(dedupe.begin(), dedupe.end());
@@ -354,6 +509,14 @@ class ChaseRun {
     span.SetAttribute("tgds", fo_tgds.size());
     span.SetAttribute("egds", egds.size());
     span.SetAttribute("source_tuples", read_db().TotalTuples());
+    // The naive oracle always runs serial; otherwise an explicit
+    // ChaseOptions::threads wins over the MM2_THREADS environment variable,
+    // and both default to 1 (the PR-3 serial executor, byte-for-byte).
+    std::size_t workers =
+        options_.naive ? 1 : common::ResolveThreadCount(options_.threads);
+    stats_.workers = workers;
+    if (workers > 1) pool_ = std::make_unique<common::ThreadPool>(workers);
+    span.SetAttribute("workers", workers);
     obs::ScopedLatency latency(options_.obs, "chase.run.latency_us");
     instance::IndexStats storage0 = target_.IndexStatsTotal();
     if (source_ != nullptr) storage0 += source_->IndexStatsTotal();
@@ -453,6 +616,13 @@ class ChaseRun {
     stats_.index_probes = storage1.probes - storage0.probes;
     stats_.index_probe_hits = storage1.probe_hits - storage0.probe_hits;
     stats_.index_builds = storage1.builds - storage0.builds;
+    if (pool_ != nullptr) {
+      common::ThreadPoolStats pool_stats = pool_->Stats();
+      stats_.parallel_steals = pool_stats.stolen;
+      stats_.pool_peak_queue = pool_stats.peak_queue;
+      span.SetAttribute("parallel_regions", stats_.parallel_regions);
+      span.SetAttribute("parallel_tasks", stats_.parallel_tasks);
+    }
     span.SetAttribute("rounds", stats_.rounds);
     span.SetAttribute("target_tuples", target_.TotalTuples());
     span.SetAttribute("index_probes", stats_.index_probes);
@@ -500,11 +670,13 @@ class ChaseRun {
       out.delta_pass = true;
       std::size_t consumed = 0;
       out.assignments =
-          MatchAtomsDelta(atoms, db, watermarks_[rule_index], &consumed);
+          MatchAtomsDelta(atoms, db, watermarks_[rule_index], &consumed,
+                          pool_.get(), &stats_, options_.obs);
       stats_.delta_tuples += consumed;
       if (consumed == 0) ++stats_.delta_skips;
     } else {
-      out.assignments = MatchAtomsIndexed(atoms, db, Assignment(), 0);
+      out.assignments =
+          MatchAtomsIndexedTop(atoms, db, pool_.get(), &stats_, options_.obs);
       if (options_.semi_naive) {
         // The first full pass consumes the whole extension as its delta.
         for (const auto& [name, mark] : out.watermarks) {
@@ -804,6 +976,9 @@ class ChaseRun {
   // the rule has completed its first (full) pass.
   std::vector<std::map<std::string, std::size_t, std::less<>>> watermarks_;
   std::vector<bool> matched_once_;
+  // Non-null only when the resolved thread count exceeds 1. Workers live
+  // for the whole run; each partitioned match is one fork/join region.
+  std::unique_ptr<common::ThreadPool> pool_;
 };
 
 // Mirrors a finished run's ChaseStats into the attached registry, so every
@@ -826,6 +1001,22 @@ void MirrorStats(obs::Context* obs, const ChaseStats& stats,
   m.GetCounter("index.builds").Increment(stats.index_builds);
   m.GetCounter("chase.delta.tuples").Increment(stats.delta_tuples);
   m.GetCounter("chase.delta.rule_skips").Increment(stats.delta_skips);
+  // The parallel family only materializes for parallel runs, so serial
+  // sessions keep their exact pre-existing `stats` output (and `explain`
+  // omits the parallelism section entirely).
+  if (stats.workers > 1) {
+    m.GetGauge("chase.parallel.workers")
+        .Set(static_cast<std::int64_t>(stats.workers));
+    m.GetCounter("chase.parallel.regions").Increment(stats.parallel_regions);
+    m.GetCounter("chase.parallel.tasks").Increment(stats.parallel_tasks);
+    m.GetCounter("chase.parallel.steals").Increment(stats.parallel_steals);
+    m.GetGauge("chase.parallel.queue_depth_peak")
+        .Set(static_cast<std::int64_t>(stats.pool_peak_queue));
+    m.GetCounter("chase.parallel.busy_us")
+        .Increment(static_cast<std::uint64_t>(stats.parallel_busy_us + 0.5));
+    m.GetCounter("chase.parallel.wall_us")
+        .Increment(static_cast<std::uint64_t>(stats.parallel_wall_us + 0.5));
+  }
   m.GetHistogram("chase.rounds_per_run",
                  {1, 2, 3, 5, 8, 13, 21, 50, 100, 1000, 10000})
       .Record(static_cast<double>(stats.rounds));
@@ -960,10 +1151,15 @@ bool ExistsHomomorphism(const Instance& from, const Instance& to) {
   return !MatchAtoms(atoms, to, /*limit=*/1).empty();
 }
 
-instance::Instance ComputeCore(const Instance& database, obs::Context* obs) {
+instance::Instance ComputeCore(const Instance& database, obs::Context* obs,
+                               std::size_t threads) {
   obs::ObsSpan span(obs, "chase.core");
   span.SetAttribute("input_tuples", database.TotalTuples());
   obs::ScopedLatency latency(obs, "chase.core.latency_us");
+  std::size_t workers = common::ResolveThreadCount(threads);
+  std::unique_ptr<common::ThreadPool> pool;
+  if (workers > 1) pool = std::make_unique<common::ThreadPool>(workers);
+  span.SetAttribute("workers", workers);
   std::size_t iterations = 0;
   Instance core = database;
   bool changed = true;
@@ -999,21 +1195,41 @@ instance::Instance ComputeCore(const Instance& database, obs::Context* obs) {
           }
         }
       }
-      for (const Value& candidate : values) {
-        if (candidate == null) continue;
-        // Retraction h: null -> candidate, identity elsewhere. Valid if
-        // h(core) is contained in core; unaffected tuples are fixpoints.
-        bool valid = true;
+      // Retraction h: null -> candidate, identity elsewhere. Valid if
+      // h(core) is contained in core; unaffected tuples are fixpoints.
+      auto retraction_valid = [&](const Value& candidate) {
         for (const auto& [name, t] : affected) {
           Tuple image = t;
           for (Value& v : image) {
             if (v == null) v = candidate;
           }
-          if (!core.Find(name)->Contains(image)) {
-            valid = false;
-            break;
-          }
+          if (!core.Find(name)->Contains(image)) return false;
         }
+        return true;
+      };
+      // Serial scan stops at the first valid candidate in value order; the
+      // parallel scan evaluates candidates partitioned across workers
+      // (Contains is a const set lookup — safe concurrently) and then picks
+      // the first valid one, so the applied retraction is identical.
+      std::vector<Value> ordered(values.begin(), values.end());
+      std::vector<char> valid_flags;
+      if (pool != nullptr && ordered.size() >= workers * 2 &&
+          !affected.empty()) {
+        valid_flags.assign(ordered.size(), 0);
+        pool->ParallelFor(
+            ordered.size(),
+            [&](std::size_t begin, std::size_t end, std::size_t) {
+              for (std::size_t i = begin; i < end; ++i) {
+                if (ordered[i] == null) continue;
+                valid_flags[i] = retraction_valid(ordered[i]) ? 1 : 0;
+              }
+            });
+      }
+      for (std::size_t ci = 0; ci < ordered.size(); ++ci) {
+        const Value& candidate = ordered[ci];
+        if (candidate == null) continue;
+        bool valid = valid_flags.empty() ? retraction_valid(candidate)
+                                         : valid_flags[ci] != 0;
         if (valid) {
           // Apply in place: affected tuples collapse onto their images
           // (an image never equals another affected tuple — images no

@@ -1,5 +1,6 @@
 #include "engine/engine.h"
 
+#include <cstdlib>
 #include <sstream>
 #include <utility>
 
@@ -256,6 +257,7 @@ Status Engine::Exchange(const std::string& out_instance,
     op.SetAttribute("clauses", MappingClauses(m));
     op.SetAttribute("source_tuples", source.TotalTuples());
     runtime::ExchangeOptions options;
+    options.threads = threads_;
     options.obs = &observability();
     MM2_ASSIGN_OR_RETURN(runtime::ExchangeResult result,
                          runtime::Exchange(m, source, options));
@@ -448,6 +450,15 @@ Result<std::vector<std::string>> Engine::RunScript(const std::string& script) {
                            Match(tokens[1], tokens[2]));
       log.push_back("matched " + tokens[1] + " ~ " + tokens[2] + ": " +
                     std::to_string(result.best.size()) + " correspondences");
+    } else if (op == "threads") {
+      MM2_RETURN_IF_ERROR(need(1));
+      char* end = nullptr;
+      long n = std::strtol(tokens[1].c_str(), &end, 10);
+      if (end == tokens[1].c_str() || *end != '\0' || n < 0) {
+        return fail("threads takes a non-negative integer (0 = MM2_THREADS)");
+      }
+      SetThreads(static_cast<std::size_t>(n));
+      log.push_back("threads " + tokens[1]);
     } else if (op == "stats") {
       std::vector<std::string> lines =
           observability().metrics.Snapshot().Lines();

@@ -79,6 +79,12 @@ class Engine {
     return *owned_obs_;
   }
 
+  // Worker threads for chase-backed operators (exchange, core). 0 defers
+  // to the MM2_THREADS environment variable (default 1 = serial). Scripts
+  // set this via the `threads <n>` command.
+  void SetThreads(std::size_t threads) { threads_ = threads; }
+  std::size_t threads() const { return threads_; }
+
   // --- Operators over repository names -----------------------------------
   Result<match::MatchResult> Match(const std::string& source_schema,
                                    const std::string& target_schema,
@@ -136,6 +142,8 @@ class Engine {
   //   oogen <outSchema> <outMap> <relationalSchema>
   //   nestedgen <outSchema> <outMap> <relationalSchema>
   //   match <left> <right>
+  //   threads <n>                    (worker threads for chase-backed
+  //                                   commands; 0 defers to MM2_THREADS)
   //   stats                          (dump the metrics registry snapshot)
   //   explain [--json]               (ranked cost report: per-operator
   //                                   totals/quantiles, per-chase-rule
@@ -152,6 +160,7 @@ class Engine {
   Repository repo_;
   obs::Context* obs_ = nullptr;              // attached collector, if any
   std::unique_ptr<obs::Context> owned_obs_;  // fallback, created lazily
+  std::size_t threads_ = 0;                  // 0 = MM2_THREADS, else serial
 };
 
 }  // namespace mm2::engine

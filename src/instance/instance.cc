@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <mutex>
 #include <utility>
 
 namespace mm2::instance {
@@ -26,7 +27,7 @@ RelationInstance& RelationInstance::operator=(const RelationInstance& other) {
   log_.reserve(tuples_.size());
   for (const Tuple& t : tuples_) log_.push_back(&t);
   indexes_.clear();
-  stats_ = IndexStats{};
+  stats_.Store(IndexStats{});
   return *this;
 }
 
@@ -35,9 +36,9 @@ RelationInstance::RelationInstance(RelationInstance&& other) noexcept
       tuples_(std::move(other.tuples_)),
       generation_(other.generation_),
       log_(std::move(other.log_)),
-      indexes_(std::move(other.indexes_)),
-      stats_(other.stats_) {
+      indexes_(std::move(other.indexes_)) {
   // Moving a std::set transfers its nodes, so log/index pointers survive.
+  stats_.Store(other.stats_.Load());
 }
 
 RelationInstance& RelationInstance::operator=(
@@ -48,7 +49,7 @@ RelationInstance& RelationInstance::operator=(
   generation_ = other.generation_;
   log_ = std::move(other.log_);
   indexes_ = std::move(other.indexes_);
-  stats_ = other.stats_;
+  stats_.Store(other.stats_.Load());
   return *this;
 }
 
@@ -68,7 +69,7 @@ void RelationInstance::IndexInsert(const Tuple* tuple) {
         bucket.begin(), bucket.end(), tuple,
         [](const Tuple* a, const Tuple* b) { return *a < *b; });
     bucket.insert(pos, tuple);
-    ++stats_.indexed_tuples;
+    stats_.indexed_tuples.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -90,7 +91,7 @@ bool RelationInstance::Insert(Tuple tuple) {
   ++generation_;
   const Tuple* node = &*it;
   log_.push_back(node);
-  std::lock_guard<std::mutex> lock(index_mu_);
+  std::unique_lock<std::shared_mutex> lock(index_mu_);
   IndexInsert(node);
   return true;
 }
@@ -100,7 +101,7 @@ bool RelationInstance::Erase(const Tuple& tuple) {
   if (it == tuples_.end()) return false;
   const Tuple* node = &*it;
   {
-    std::lock_guard<std::mutex> lock(index_mu_);
+    std::unique_lock<std::shared_mutex> lock(index_mu_);
     IndexErase(node);
   }
   // Tombstone rather than remove: log positions back caller watermarks.
@@ -119,29 +120,59 @@ void RelationInstance::Clear() {
   tuples_.clear();
   log_.clear();
   ++generation_;
-  std::lock_guard<std::mutex> lock(index_mu_);
+  std::unique_lock<std::shared_mutex> lock(index_mu_);
   indexes_.clear();
+}
+
+std::map<RelationInstance::ColumnSet, RelationInstance::Index>::iterator
+RelationInstance::BuildIndexLocked(const ColumnSet& cols) const {
+  Index index;
+  for (const Tuple& t : tuples_) {
+    // Set iteration is sorted, so appended buckets stay in tuple order.
+    index.buckets[Project(t, cols)].push_back(&t);
+  }
+  stats_.builds.fetch_add(1, std::memory_order_relaxed);
+  stats_.indexed_tuples.fetch_add(tuples_.size(), std::memory_order_relaxed);
+  return indexes_.emplace(cols, std::move(index)).first;
 }
 
 const RelationInstance::TupleRefs* RelationInstance::Probe(
     const ColumnSet& cols, const Tuple& key) const {
-  std::lock_guard<std::mutex> lock(index_mu_);
-  ++stats_.probes;
-  auto it = indexes_.find(cols);
-  if (it == indexes_.end()) {
-    Index index;
-    for (const Tuple& t : tuples_) {
-      // Set iteration is sorted, so appended buckets stay in tuple order.
-      index.buckets[Project(t, cols)].push_back(&t);
-    }
-    ++stats_.builds;
-    stats_.indexed_tuples += tuples_.size();
-    it = indexes_.emplace(cols, std::move(index)).first;
+  stats_.probes.fetch_add(1, std::memory_order_relaxed);
+  auto lookup = [this](const Index& index,
+                       const Tuple& k) -> const TupleRefs* {
+    auto bucket = index.buckets.find(k);
+    if (bucket == index.buckets.end()) return nullptr;
+    stats_.probe_hits.fetch_add(bucket->second.size(),
+                                std::memory_order_relaxed);
+    return &bucket->second;
+  };
+  // Fast path: the index exists, so a shared lock suffices and concurrent
+  // probes proceed in parallel. The returned bucket pointer stays valid
+  // after the lock drops: later builds of *other* column sets only insert
+  // new map nodes, and mutations are excluded by contract until the caller
+  // is done reading.
+  {
+    std::shared_lock<std::shared_mutex> lock(index_mu_);
+    auto it = indexes_.find(cols);
+    if (it != indexes_.end()) return lookup(it->second, key);
   }
-  auto bucket = it->second.buckets.find(key);
-  if (bucket == it->second.buckets.end()) return nullptr;
-  stats_.probe_hits += bucket->second.size();
-  return &bucket->second;
+  // Slow path: first probe of this column set; build under the exclusive
+  // lock, double-checking since another thread may have raced us here.
+  std::unique_lock<std::shared_mutex> lock(index_mu_);
+  auto it = indexes_.find(cols);
+  if (it == indexes_.end()) it = BuildIndexLocked(cols);
+  return lookup(it->second, key);
+}
+
+void RelationInstance::EnsureIndex(const ColumnSet& cols) const {
+  {
+    std::shared_lock<std::shared_mutex> lock(index_mu_);
+    if (indexes_.count(cols) > 0) return;
+  }
+  std::unique_lock<std::shared_mutex> lock(index_mu_);
+  if (indexes_.count(cols) > 0) return;
+  BuildIndexLocked(cols);
 }
 
 RelationInstance::TupleRefs RelationInstance::DeltaSince(
@@ -153,10 +184,7 @@ RelationInstance::TupleRefs RelationInstance::DeltaSince(
   return out;
 }
 
-IndexStats RelationInstance::index_stats() const {
-  std::lock_guard<std::mutex> lock(index_mu_);
-  return stats_;
-}
+IndexStats RelationInstance::index_stats() const { return stats_.Load(); }
 
 Instance Instance::EmptyFor(const model::Schema& schema) {
   Instance instance;

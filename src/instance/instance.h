@@ -1,11 +1,12 @@
 #ifndef MM2_INSTANCE_INSTANCE_H_
 #define MM2_INSTANCE_INSTANCE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <set>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -51,8 +52,13 @@ struct IndexStats {
 //    the tuples inserted since. Erased tuples are tombstoned in the log, so
 //    watermarks stay stable. This is what makes the chase semi-naive.
 //
-// Thread safety: concurrent const access (Probe/DeltaSince/tuples) is safe;
-// mutation requires external synchronization, like the containers it wraps.
+// Thread safety: concurrent const access (Probe/DeltaSince/tuples) is safe
+// AND scalable — index lookups take a shared lock, so concurrent probes from
+// parallel-chase workers do not serialize; only the first Probe of a new
+// column set upgrades to an exclusive lock to build. Callers that fan out
+// can EnsureIndex() the column sets they will probe up front, so no worker
+// ever blocks on a build. Mutation still requires external synchronization,
+// like the containers this wraps.
 class RelationInstance {
  public:
   using ColumnSet = std::vector<std::size_t>;
@@ -86,6 +92,11 @@ class RelationInstance {
   // pointer stays valid until the next mutation of this relation.
   const TupleRefs* Probe(const ColumnSet& cols, const Tuple& key) const;
 
+  // Builds the hash index over `cols` if it does not exist yet (counts as a
+  // build, not a probe). Parallel readers call this before fanning out so
+  // every subsequent Probe(cols, ...) takes only the shared lock.
+  void EnsureIndex(const ColumnSet& cols) const;
+
   // Bumped by every successful Insert/Erase/Clear.
   std::uint64_t generation() const { return generation_; }
 
@@ -103,8 +114,36 @@ class RelationInstance {
     std::unordered_map<Tuple, TupleRefs, TupleHash> buckets;
   };
 
+  // Telemetry counters are atomics so probe bookkeeping can happen under
+  // the shared (reader) lock without a data race.
+  struct AtomicIndexStats {
+    std::atomic<std::uint64_t> probes{0};
+    std::atomic<std::uint64_t> probe_hits{0};
+    std::atomic<std::uint64_t> builds{0};
+    std::atomic<std::uint64_t> indexed_tuples{0};
+
+    IndexStats Load() const {
+      IndexStats s;
+      s.probes = probes.load(std::memory_order_relaxed);
+      s.probe_hits = probe_hits.load(std::memory_order_relaxed);
+      s.builds = builds.load(std::memory_order_relaxed);
+      s.indexed_tuples = indexed_tuples.load(std::memory_order_relaxed);
+      return s;
+    }
+    void Store(const IndexStats& s) {
+      probes.store(s.probes, std::memory_order_relaxed);
+      probe_hits.store(s.probe_hits, std::memory_order_relaxed);
+      builds.store(s.builds, std::memory_order_relaxed);
+      indexed_tuples.store(s.indexed_tuples, std::memory_order_relaxed);
+    }
+  };
+
   void IndexInsert(const Tuple* tuple);
   void IndexErase(const Tuple* tuple);
+  // Builds and registers the index over `cols`; requires the exclusive
+  // lock. Returns the registered entry.
+  std::map<ColumnSet, Index>::iterator BuildIndexLocked(
+      const ColumnSet& cols) const;
   static Tuple Project(const Tuple& tuple, const ColumnSet& cols);
 
   std::size_t arity_ = 0;
@@ -113,11 +152,11 @@ class RelationInstance {
   // Insertion order of live tuples; erased entries become nullptr so
   // caller-held watermark positions never shift.
   std::vector<const Tuple*> log_;
-  // Guards lazy index construction (Probe is const and may race with other
-  // const probes) plus the stats below.
-  mutable std::mutex index_mu_;
+  // Readers (Probe lookups) share; index construction and mutation-path
+  // maintenance take it exclusively.
+  mutable std::shared_mutex index_mu_;
   mutable std::map<ColumnSet, Index> indexes_;
-  mutable IndexStats stats_;
+  mutable AtomicIndexStats stats_;
 };
 
 // A database instance: relation name -> extension. An Instance is a member

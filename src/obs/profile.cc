@@ -175,6 +175,33 @@ void BuildStorage(const MetricsSnapshot& metrics, ProfileReport* report) {
   }
 }
 
+void BuildParallel(const MetricsSnapshot& metrics, ProfileReport* report) {
+  ParallelCost& p = report->parallel;
+  for (const CounterSnapshot& c : metrics.counters) {
+    if (c.name == "chase.parallel.regions") {
+      p.regions = c.value;
+    } else if (c.name == "chase.parallel.tasks") {
+      p.tasks = c.value;
+    } else if (c.name == "chase.parallel.steals") {
+      p.steals = c.value;
+    } else if (c.name == "chase.parallel.busy_us") {
+      p.busy_us = static_cast<double>(c.value);
+    } else if (c.name == "chase.parallel.wall_us") {
+      p.wall_us = static_cast<double>(c.value);
+    }
+  }
+  if (const GaugeSnapshot* g = metrics.FindGauge("chase.parallel.workers")) {
+    p.workers = g->value < 0 ? 0 : static_cast<std::uint64_t>(g->value);
+  }
+  if (const GaugeSnapshot* g =
+          metrics.FindGauge("chase.parallel.queue_depth_peak")) {
+    p.queue_depth_peak = g->value < 0 ? 0 : static_cast<std::uint64_t>(g->value);
+  }
+  p.speedup = p.wall_us == 0 ? 0 : p.busy_us / p.wall_us;
+  p.efficiency =
+      p.workers == 0 ? 0 : p.speedup / static_cast<double>(p.workers);
+}
+
 void BuildPhases(const std::vector<SpanRecord>& spans,
                  ProfileReport* report) {
   if (spans.empty()) return;
@@ -327,6 +354,23 @@ std::vector<std::string> ProfileReport::Lines() const {
       lines.push_back(std::move(line));
     }
   }
+  if (parallel.any()) {
+    lines.push_back("parallelism:");
+    std::vector<std::vector<std::string>> rows;
+    rows.push_back({"workers", std::to_string(parallel.workers)});
+    rows.push_back({"match regions", std::to_string(parallel.regions)});
+    rows.push_back({"match tasks", std::to_string(parallel.tasks)});
+    rows.push_back({"steals", std::to_string(parallel.steals)});
+    rows.push_back(
+        {"queue depth peak", std::to_string(parallel.queue_depth_peak)});
+    rows.push_back({"busy_us", Fixed1(parallel.busy_us)});
+    rows.push_back({"wall_us", Fixed1(parallel.wall_us)});
+    rows.push_back({"speedup", Fixed1(parallel.speedup) + "x"});
+    rows.push_back({"efficiency", Percent(parallel.efficiency)});
+    for (std::string& line : Tabulate(rows, "lr")) {
+      lines.push_back(std::move(line));
+    }
+  }
   lines.push_back("phases (" + std::to_string(phase_total_us) +
                   "us self-time total):");
   if (phases.empty()) {
@@ -405,6 +449,15 @@ std::string ProfileReport::ToJson() const {
      << ", \"index_builds\": " << storage.index_builds
      << ", \"delta_tuples\": " << storage.delta_tuples
      << ", \"delta_rule_skips\": " << storage.delta_rule_skips
+     << "}, \"parallel\": {\"workers\": " << parallel.workers
+     << ", \"regions\": " << parallel.regions
+     << ", \"tasks\": " << parallel.tasks
+     << ", \"steals\": " << parallel.steals
+     << ", \"queue_depth_peak\": " << parallel.queue_depth_peak
+     << ", \"busy_us\": " << FormatDouble(parallel.busy_us)
+     << ", \"wall_us\": " << FormatDouble(parallel.wall_us)
+     << ", \"speedup\": " << FormatDouble(parallel.speedup)
+     << ", \"efficiency\": " << FormatDouble(parallel.efficiency)
      << "}, \"totals\": {\"operator_total_us\": "
      << FormatDouble(operator_total_us)
      << ", \"rule_total_us\": " << FormatDouble(rule_total_us)
@@ -418,6 +471,7 @@ ProfileReport Profiler::Build(const MetricsSnapshot& metrics,
   BuildOperators(metrics, &report);
   BuildRules(metrics, &report);
   BuildStorage(metrics, &report);
+  BuildParallel(metrics, &report);
   BuildPhases(spans, &report);
   return report;
 }

@@ -401,6 +401,7 @@ Result<ExchangeResult> Exchange(const logic::Mapping& mapping,
   chase_options.track_provenance = options.track_provenance;
   chase_options.naive = options.naive;
   chase_options.semi_naive = options.semi_naive;
+  chase_options.threads = options.threads;
   chase_options.obs = options.obs;
   MM2_ASSIGN_OR_RETURN(chase::ChaseResult chased,
                        chase::RunChase(mapping, source, chase_options));
@@ -409,7 +410,8 @@ Result<ExchangeResult> Exchange(const logic::Mapping& mapping,
   result.provenance = std::move(chased.provenance);
   if (options.compute_core) {
     result.pre_core_tuples = chased.target.TotalTuples();
-    result.target = chase::ComputeCore(chased.target, options.obs);
+    result.target =
+        chase::ComputeCore(chased.target, options.obs, options.threads);
   } else {
     result.target = std::move(chased.target);
   }

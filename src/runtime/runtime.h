@@ -195,6 +195,9 @@ struct ExchangeOptions {
   // keeps delta-restricted re-matching on top of the indexed executor.
   bool naive = false;
   bool semi_naive = true;
+  // Worker threads for the parallel chase executor (and the core scan when
+  // compute_core is set): 0 defers to MM2_THREADS, default 1 = serial.
+  std::size_t threads = 0;
   // Optional collector, threaded through to the chase (and core
   // minimization when enabled).
   obs::Context* obs = nullptr;

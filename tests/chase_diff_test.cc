@@ -255,5 +255,117 @@ TEST_P(ClosureDiffProperty, TransitiveClosureExactlyEqual) {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, ClosureDiffProperty, ::testing::Range(0, 20));
 
+// Parallel executor axis: the partitioned match phase must be a pure
+// implementation detail. At any thread count the chase partitions depth-0
+// candidates into contiguous chunks and concatenates chunk results in
+// order, so the assignment enumeration — and with it firing order, null
+// naming and every ChaseStats firing counter — is identical to the serial
+// run. We assert exact instance equality (stronger than the hom-equivalence
+// the acceptance bar asks for) plus counter identity. Index telemetry is
+// deliberately excluded: the parallel path pre-builds probe indexes before
+// fanning out, so index_builds may differ from the lazy serial schedule.
+ChaseOptions ThreadedMode(std::size_t threads, bool semi_naive) {
+  ChaseOptions o;
+  o.naive = false;
+  o.semi_naive = semi_naive;
+  o.threads = threads;
+  return o;
+}
+
+void ExpectSameFiringCounts(const ChaseStats& serial,
+                            const ChaseStats& parallel, int seed,
+                            std::size_t threads) {
+  EXPECT_EQ(serial.rounds, parallel.rounds)
+      << "seed " << seed << " threads " << threads;
+  EXPECT_EQ(serial.tgd_firings, parallel.tgd_firings)
+      << "seed " << seed << " threads " << threads;
+  EXPECT_EQ(serial.nulls_created, parallel.nulls_created)
+      << "seed " << seed << " threads " << threads;
+  EXPECT_EQ(serial.egd_unifications, parallel.egd_unifications)
+      << "seed " << seed << " threads " << threads;
+  EXPECT_EQ(serial.assignments_matched, parallel.assignments_matched)
+      << "seed " << seed << " threads " << threads;
+}
+
+class ChaseParallelDiffProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChaseParallelDiffProperty, ThreadCountIsImplementationDetail) {
+  Scenario s = MakeScenario(static_cast<std::uint64_t>(GetParam()));
+  Mapping mapping =
+      Mapping::FromTgds("m", s.source, s.target, s.tgds, s.egds);
+
+  for (bool semi_naive : {false, true}) {
+    auto serial = RunChase(mapping, s.db, ThreadedMode(1, semi_naive));
+    if (serial.ok()) {
+      EXPECT_EQ(serial->stats.workers, 1u);
+    }
+    for (std::size_t threads : {2u, 4u, 8u}) {
+      auto parallel =
+          RunChase(mapping, s.db, ThreadedMode(threads, semi_naive));
+      ASSERT_EQ(serial.status().code(), parallel.status().code())
+          << "seed " << GetParam() << " threads " << threads
+          << ": serial=" << serial.status()
+          << " parallel=" << parallel.status();
+      if (!serial.ok()) continue;
+      EXPECT_EQ(parallel->stats.workers, threads);
+      EXPECT_TRUE(parallel->target.Equals(serial->target))
+          << "seed " << GetParam() << " threads " << threads
+          << " semi_naive " << semi_naive;
+      EXPECT_TRUE(HomEquivalent(serial->target, parallel->target))
+          << "seed " << GetParam() << " threads " << threads;
+      ExpectSameFiringCounts(serial->stats, parallel->stats, GetParam(),
+                             threads);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ChaseParallelDiffProperty,
+                         ::testing::Range(0, 40));
+
+// Transitive closure at thread counts {1,2,4,8}: multi-round semi-naive
+// delta propagation through the partitioned per-anchor passes must stay
+// exactly equal to the serial fixpoint, and the parallel telemetry must
+// only appear when more than one worker ran.
+class ClosureParallelDiffProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ClosureParallelDiffProperty, ParallelClosureExactlyEqual) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 7);
+  Instance db;
+  db.DeclareRelation("R", 2);
+  db.DeclareRelation("T", 2);
+  std::size_t nodes = 8 + rng.Uniform(9);
+  std::size_t edges = nodes + rng.Uniform(2 * nodes);
+  for (std::size_t e = 0; e < edges; ++e) {
+    db.InsertUnchecked(
+        "R", {Value::Int64(static_cast<std::int64_t>(rng.Uniform(nodes))),
+              Value::Int64(static_cast<std::int64_t>(rng.Uniform(nodes)))});
+  }
+
+  Tgd copy;
+  copy.body = {Atom{"R", {Term::Var("x"), Term::Var("y")}}};
+  copy.head = {Atom{"T", {Term::Var("x"), Term::Var("y")}}};
+  Tgd step;
+  step.body = {Atom{"T", {Term::Var("x"), Term::Var("y")}},
+               Atom{"R", {Term::Var("y"), Term::Var("z")}}};
+  step.head = {Atom{"T", {Term::Var("x"), Term::Var("z")}}};
+  std::vector<Tgd> tgds = {copy, step};
+
+  auto serial = ChaseInstance(tgds, {}, db, ThreadedMode(1, true));
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  EXPECT_EQ(serial->stats.parallel_regions, 0u);
+  for (std::size_t threads : {2u, 4u, 8u}) {
+    auto parallel = ChaseInstance(tgds, {}, db, ThreadedMode(threads, true));
+    ASSERT_TRUE(parallel.ok()) << parallel.status();
+    EXPECT_TRUE(parallel->target.Equals(serial->target))
+        << "seed " << GetParam() << " threads " << threads;
+    ExpectSameFiringCounts(serial->stats, parallel->stats, GetParam(),
+                           threads);
+    EXPECT_EQ(parallel->stats.workers, threads);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ClosureParallelDiffProperty,
+                         ::testing::Range(0, 12));
+
 }  // namespace
 }  // namespace mm2::chase
