@@ -14,6 +14,8 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <string>
 #include <thread>
 
@@ -47,8 +49,25 @@ inline void PrintJsonLine(const std::string& bench, const std::string& metric,
               BenchThreads(), std::thread::hardware_concurrency());
 }
 
+// Peak resident set size of this process in KiB (VmHWM from
+// /proc/self/status), or 0 where the proc interface is unavailable. The
+// high-water mark covers the whole bench run, so trajectories track the
+// memory envelope of the workload, not a point-in-time sample.
+inline double PeakRssKb() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.compare(0, 6, "VmHWM:") == 0) {
+      return std::strtod(line.c_str() + 6, nullptr);
+    }
+  }
+  return 0;
+}
+
 // Histograms named *_us report in microseconds, everything else is a bare
-// value; counters and gauges are counts.
+// value; counters and gauges are counts. One mem.peak_rss_kb record (unit
+// "kb") always closes the dump so bench_compare.py's mem.* family can
+// gate the memory envelope.
 inline void ReportRegistry(const std::string& bench) {
   obs::MetricsSnapshot snap = Obs().metrics.Snapshot();
   for (const obs::CounterSnapshot& c : snap.counters) {
@@ -68,6 +87,7 @@ inline void ReportRegistry(const std::string& bench) {
     PrintJsonLine(bench, h.name + ".p99", h.Percentile(0.99), unit);
     PrintJsonLine(bench, h.name + ".max", h.max, unit);
   }
+  PrintJsonLine(bench, "mem.peak_rss_kb", PeakRssKb(), "kb");
 }
 
 }  // namespace mm2::bench

@@ -16,6 +16,12 @@ Records are keyed by (bench, metric) and classified:
   time metrics   unit == "us": a candidate slower than
                  baseline * (1 + threshold) AND by more than --abs-floor-us
                  is a regression. Improvements never fail.
+  memory metrics unit == "kb" (the mem.* family, e.g. mem.peak_rss_kb): a
+                 candidate above baseline * (1 + --mem-threshold) AND by
+                 more than --abs-floor-kb is a regression. Improvements
+                 never fail. The family has its own threshold because RSS
+                 is far less jittery than wall time, so a tighter gate
+                 holds without flaking.
   count metrics  everything else: informational only by default, because
                  google-benchmark chooses iteration counts per run, which
                  makes raw counter totals run-dependent. --strict-counts
@@ -69,6 +75,13 @@ def main():
     parser.add_argument("--abs-floor-us", type=float, default=50.0,
                         help="ignore time regressions smaller than this many "
                              "microseconds (jitter floor; default %(default)s)")
+    parser.add_argument("--mem-threshold", type=float, default=0.25,
+                        help="allowed relative growth for memory (unit 'kb') "
+                             "metrics (0.25 = 25%%; default %(default)s)")
+    parser.add_argument("--abs-floor-kb", type=float, default=4096.0,
+                        help="ignore memory regressions smaller than this "
+                             "many KiB (allocator noise floor; default "
+                             "%(default)s)")
     parser.add_argument("--metric-threshold", action="append", default=[],
                         metavar="GLOB=FRACTION",
                         help="per-metric threshold override, repeatable")
@@ -109,8 +122,10 @@ def main():
             thread_mismatches.append((key, base_threads, cand_threads))
             continue
         compared += 1
-        frac = threshold_for(metric, overrides, args.threshold)
         is_time = unit == "us"
+        is_memory = unit == "kb"
+        default = args.mem_threshold if is_memory else args.threshold
+        frac = threshold_for(metric, overrides, default)
         if base_value > 0:
             ratio = cand_value / base_value
         else:
@@ -121,6 +136,10 @@ def main():
         over = ratio > 1.0 + frac
         if is_time:
             if over and cand_value - base_value > args.abs_floor_us:
+                regressions.append((bench, metric, base_value, cand_value,
+                                    ratio, frac))
+        elif is_memory:
+            if over and cand_value - base_value > args.abs_floor_kb:
                 regressions.append((bench, metric, base_value, cand_value,
                                     ratio, frac))
         elif args.strict_counts:

@@ -26,8 +26,10 @@ if [[ "${1:-}" == "--tsan" ]]; then
   # The suites exercising RelationInstance's index/delta machinery
   # (concurrent-probe test, naive-vs-indexed differential sweep) plus the
   # parallel executor: the work-stealing pool itself, the threads-axis
-  # chase differentials, and the sharded parallel hash join.
-  TEST_FILTER="ChaseDiffProperty|ClosureDiffProperty|RelationInstance|InstanceTest|ThreadPool|ResolveThreadCount|ChaseParallelDiffProperty|ClosureParallelDiffProperty|ParallelHashJoin|Parallelism"
+  # chase differentials, and the sharded parallel hash join. InternPool /
+  # ValueIntern cover the sharded string pool: racing Intern() calls and
+  # lock-free Get()s from freshly published chunks.
+  TEST_FILTER="ChaseDiffProperty|ClosureDiffProperty|ChaseSerializeDiffProperty|RelationInstance|InstanceTest|InternPool|ValueIntern|ThreadPool|ResolveThreadCount|ChaseParallelDiffProperty|ClosureParallelDiffProperty|ParallelHashJoin|Parallelism"
 fi
 
 cmake -B "$BUILD_DIR" -S . \

@@ -53,8 +53,11 @@ void Provenance::RewriteValue(const Value& from, const Value& to) {
 namespace {
 
 // Tries to extend `assignment` so that `atom` maps onto `tuple`.
+// `newly_bound` collects pointers into the atom's term names (stable for
+// the duration of the match), so the per-descend unbind loop never copies
+// variable-name strings.
 bool MatchTuple(const Atom& atom, const Tuple& tuple, Assignment* assignment,
-                std::vector<std::string>* newly_bound) {
+                std::vector<const std::string*>* newly_bound) {
   if (atom.terms.size() != tuple.size()) return false;
   for (std::size_t i = 0; i < atom.terms.size(); ++i) {
     const Term& term = atom.terms[i];
@@ -68,7 +71,7 @@ bool MatchTuple(const Atom& atom, const Tuple& tuple, Assignment* assignment,
           if (!(it->second == tuple[i])) return false;
         } else {
           assignment->emplace(term.name(), tuple[i]);
-          newly_bound->push_back(term.name());
+          newly_bound->push_back(&term.name());
         }
         break;
       }
@@ -91,11 +94,11 @@ void MatchAtomsNaiveRec(const std::vector<Atom>& atoms, std::size_t index,
   const instance::RelationInstance* rel = database.Find(atom.relation);
   if (rel == nullptr) return;
   for (const Tuple& tuple : rel->tuples()) {
-    std::vector<std::string> newly_bound;
+    std::vector<const std::string*> newly_bound;
     if (MatchTuple(atom, tuple, assignment, &newly_bound)) {
       MatchAtomsNaiveRec(atoms, index + 1, database, assignment, out, limit);
     }
-    for (const std::string& v : newly_bound) assignment->erase(v);
+    for (const std::string* v : newly_bound) assignment->erase(*v);
     if (limit != 0 && out->size() >= limit) return;
   }
 }
@@ -174,12 +177,12 @@ void MatchIndexedRec(const std::vector<Atom>& atoms,
   if (rel == nullptr) return;
   if (atom.terms.size() != rel->arity()) return;  // nothing can match
   auto descend = [&](const Tuple& tuple) {
-    std::vector<std::string> newly_bound;
+    std::vector<const std::string*> newly_bound;
     if (MatchTuple(atom, tuple, assignment, &newly_bound)) {
       MatchIndexedRec(atoms, order, depth + 1, db, nullptr, assignment, out,
                       limit);
     }
-    for (const std::string& v : newly_bound) assignment->erase(v);
+    for (const std::string* v : newly_bound) assignment->erase(*v);
   };
   if (depth == 0 && anchor != nullptr) {
     for (const Tuple* tuple : *anchor) {
@@ -190,6 +193,8 @@ void MatchIndexedRec(const std::vector<Atom>& atoms,
   }
   instance::RelationInstance::ColumnSet cols;
   Tuple key;
+  cols.reserve(atom.terms.size());
+  key.reserve(atom.terms.size());
   for (std::size_t i = 0; i < atom.terms.size(); ++i) {
     const Term& term = atom.terms[i];
     if (term.kind() == Term::Kind::kConstant) {
@@ -764,6 +769,7 @@ class ChaseRun {
     for (const Atom& atom : body) {
       Fact fact;
       fact.relation = atom.relation;
+      fact.tuple.reserve(atom.terms.size());
       for (const Term& t : atom.terms) {
         std::optional<Value> v = EvalTerm(t, assignment, /*invent=*/false);
         fact.tuple.push_back(v.value_or(Value::Null()));
@@ -773,11 +779,13 @@ class ChaseRun {
     return witness;
   }
 
-  Result<bool> InsertFacts(const std::vector<Fact>& facts,
+  // Consumes `facts`: tuples are moved into the target unless provenance
+  // tracking still needs the fact afterwards.
+  Result<bool> InsertFacts(std::vector<Fact>& facts,
                            const std::vector<Atom>& body,
                            const Assignment& assignment) {
     bool inserted_any = false;
-    for (const Fact& f : facts) {
+    for (Fact& f : facts) {
       if (!target_.HasRelation(f.relation)) {
         target_.DeclareRelation(f.relation, f.tuple.size());
       }
@@ -786,7 +794,9 @@ class ChaseRun {
         return Status::InvalidArgument("arity mismatch on '" + f.relation +
                                        "' during chase");
       }
-      bool inserted = rel->Insert(f.tuple);
+      bool inserted = options_.track_provenance
+                          ? rel->Insert(f.tuple)
+                          : rel->Insert(std::move(f.tuple));
       inserted_any |= inserted;
       if (options_.track_provenance && inserted) {
         provenance_.Record(f, WitnessOf(body, assignment));
@@ -1034,9 +1044,27 @@ void MirrorStats(obs::Context* obs, const ChaseStats& stats,
     obs::Histogram& rounds_hist = m.GetHistogram(prefix + "round_us");
     for (double us : rule.round_us) rounds_hist.Record(us);
   }
+  MirrorValueStats(obs);
 }
 
 }  // namespace
+
+void MirrorValueStats(obs::Context* obs) {
+  if (obs == nullptr) return;
+  // Gauges, not counters: the pool is process-wide cumulative state, so each
+  // mirror overwrites with the current totals instead of re-adding them.
+  const instance::StringPool::Stats pool =
+      instance::StringPool::Global().GetStats();
+  obs::MetricsRegistry& m = obs->metrics;
+  m.GetGauge("value.intern.strings")
+      .Set(static_cast<std::int64_t>(pool.strings));
+  m.GetGauge("value.intern.bytes").Set(static_cast<std::int64_t>(pool.bytes));
+  m.GetGauge("value.intern.hits").Set(static_cast<std::int64_t>(pool.hits));
+  m.GetGauge("value.intern.misses")
+      .Set(static_cast<std::int64_t>(pool.misses));
+  m.GetGauge("value.bytes_per_value")
+      .Set(static_cast<std::int64_t>(sizeof(instance::Value)));
+}
 
 Result<ChaseResult> RunChase(const logic::Mapping& mapping,
                              const instance::Instance& source,

@@ -218,6 +218,12 @@ instance::Instance ComputeCore(const instance::Instance& database,
                                obs::Context* obs = nullptr,
                                std::size_t threads = 0);
 
+// Refreshes the `value.intern.*` / `value.bytes_per_value` gauges in `obs`
+// from the process-wide StringPool. Called after every chase run and by the
+// engine's stats/explain commands so reports always see current pool state.
+// No-op when `obs` is null.
+void MirrorValueStats(obs::Context* obs);
+
 }  // namespace mm2::chase
 
 #endif  // MM2_CHASE_CHASE_H_

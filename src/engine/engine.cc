@@ -4,6 +4,7 @@
 #include <sstream>
 #include <utility>
 
+#include "chase/chase.h"
 #include "common/strings.h"
 #include "obs/profile.h"
 #include "transgen/relational.h"
@@ -460,6 +461,7 @@ Result<std::vector<std::string>> Engine::RunScript(const std::string& script) {
       SetThreads(static_cast<std::size_t>(n));
       log.push_back("threads " + tokens[1]);
     } else if (op == "stats") {
+      chase::MirrorValueStats(&observability());
       std::vector<std::string> lines =
           observability().metrics.Snapshot().Lines();
       log.push_back("stats: " + std::to_string(lines.size()) + " metrics");
@@ -470,6 +472,7 @@ Result<std::vector<std::string>> Engine::RunScript(const std::string& script) {
       if (tokens.size() > 1 && tokens[1] != "--json") {
         return fail("explain takes no argument or --json");
       }
+      chase::MirrorValueStats(&observability());
       obs::ProfileReport report = obs::Profiler::Build(observability());
       if (tokens.size() > 1) {
         log.push_back(report.ToJson());

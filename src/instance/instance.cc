@@ -178,6 +178,7 @@ void RelationInstance::EnsureIndex(const ColumnSet& cols) const {
 RelationInstance::TupleRefs RelationInstance::DeltaSince(
     std::size_t watermark) const {
   TupleRefs out;
+  out.reserve(log_.size() - watermark);
   for (std::size_t i = watermark; i < log_.size(); ++i) {
     if (log_[i] != nullptr) out.push_back(log_[i]);
   }
@@ -200,8 +201,15 @@ Instance Instance::EmptyFor(const model::Schema& schema) {
   return instance;
 }
 
-void Instance::DeclareRelation(std::string name, std::size_t arity) {
-  relations_.insert_or_assign(std::move(name), RelationInstance(arity));
+void Instance::DeclareRelation(std::string_view name, std::size_t arity) {
+  // Heterogeneous find first: redeclaration (the UnionWith/runtime refresh
+  // pattern) never allocates a key string.
+  auto it = relations_.find(name);
+  if (it != relations_.end()) {
+    it->second = RelationInstance(arity);
+    return;
+  }
+  relations_.emplace(std::string(name), RelationInstance(arity));
 }
 
 bool Instance::HasRelation(std::string_view name) const {

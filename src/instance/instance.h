@@ -171,7 +171,7 @@ class Instance {
   static Instance EmptyFor(const model::Schema& schema);
 
   // Declares a relation extension of the given arity (replaces empty).
-  void DeclareRelation(std::string name, std::size_t arity);
+  void DeclareRelation(std::string_view name, std::size_t arity);
   bool HasRelation(std::string_view name) const;
 
   // Checked insert: relation must exist and the arity must match; rejects

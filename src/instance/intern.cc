@@ -1,0 +1,84 @@
+#include "instance/intern.h"
+
+#include <cstdlib>
+#include <mutex>
+
+namespace mm2::instance {
+
+StringPool& StringPool::Global() {
+  // Leaked on purpose: interned Values may live in static destructors
+  // (test fixtures, global instances), so the pool must outlive everything.
+  static StringPool* pool = new StringPool();
+  return *pool;
+}
+
+// FNV-1a with a splitmix64 finalizer: cheap, deterministic across runs, and
+// well distributed in both halves — the low 4 bits pick the shard, the low
+// 32 become the Value's cached payload hash.
+std::uint64_t StringPool::HashBytes(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
+StringPool::StringId StringPool::Intern(std::string_view s) {
+  std::uint64_t hash = HashBytes(s);
+  Shard& shard = shards_[hash & (kShards - 1)];
+  {
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    auto it = shard.ids.find(s);
+    if (it != shard.ids.end()) {
+      shard.hits.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  auto it = shard.ids.find(s);
+  if (it != shard.ids.end()) {
+    shard.hits.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+  }
+  std::size_t local = shard.count;
+  if (local >= kChunkSize * kMaxChunks) {
+    // 134M distinct strings: far beyond any workload; fail loudly rather
+    // than hand out aliasing ids.
+    std::abort();
+  }
+  std::size_t chunk_index = local / kChunkSize;
+  Entry* chunk = shard.chunks[chunk_index].load(std::memory_order_relaxed);
+  if (chunk == nullptr) {
+    chunk = new Entry[kChunkSize];
+    shard.chunks[chunk_index].store(chunk, std::memory_order_release);
+  }
+  Entry& entry = chunk[local % kChunkSize];
+  entry.str.assign(s);
+  entry.hash = hash;
+  ++shard.count;
+  StringId id = static_cast<StringId>((local << kShardBits) |
+                                      (hash & (kShards - 1)));
+  shard.ids.emplace(std::string_view(entry.str), id);
+  shard.bytes.fetch_add(s.size(), std::memory_order_relaxed);
+  return id;
+}
+
+StringPool::Stats StringPool::GetStats() const {
+  Stats stats;
+  for (const Shard& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    stats.strings += shard.count;
+    stats.misses += shard.count;  // every insert was one miss
+    stats.hits += shard.hits.load(std::memory_order_relaxed);
+    stats.bytes += shard.bytes.load(std::memory_order_relaxed);
+  }
+  return stats;
+}
+
+}  // namespace mm2::instance

@@ -1,7 +1,6 @@
 #include "instance/value.h"
 
-#include <functional>
-#include <utility>
+#include <cstring>
 
 namespace mm2::instance {
 
@@ -11,6 +10,7 @@ Value Value::Int64(std::int64_t v) {
   Value value;
   value.kind_ = Kind::kInt64;
   value.int_ = v;
+  value.hash_ = MixInt(static_cast<std::uint64_t>(v));
   return value;
 }
 
@@ -18,13 +18,26 @@ Value Value::Double(double v) {
   Value value;
   value.kind_ = Kind::kDouble;
   value.double_ = v;
+  // Hash must respect IEEE equality: -0.0 == 0.0, so normalize the bit
+  // pattern before mixing. (NaN != NaN, so its hash is irrelevant.)
+  double normalized = v == 0.0 ? 0.0 : v;
+  std::uint64_t bits;
+  std::memcpy(&bits, &normalized, sizeof(bits));
+  value.hash_ = MixInt(bits);
   return value;
 }
 
-Value Value::String(std::string v) {
+Value Value::String(std::string_view v) {
+  return InternedString(StringPool::Global().Intern(v));
+}
+
+Value Value::InternedString(StringPool::StringId id) {
   Value value;
   value.kind_ = Kind::kString;
-  value.string_ = std::move(v);
+  value.int_ = static_cast<std::int64_t>(id);
+  // Fold the 64-bit pool hash (cached at intern time) to the 32-bit slot.
+  std::uint64_t h = StringPool::Global().HashOf(id);
+  value.hash_ = static_cast<std::uint32_t>(h ^ (h >> 32));
   return value;
 }
 
@@ -32,6 +45,7 @@ Value Value::Bool(bool v) {
   Value value;
   value.kind_ = Kind::kBool;
   value.int_ = v ? 1 : 0;
+  value.hash_ = MixInt(static_cast<std::uint64_t>(value.int_));
   return value;
 }
 
@@ -39,6 +53,7 @@ Value Value::Date(std::int64_t days) {
   Value value;
   value.kind_ = Kind::kDate;
   value.int_ = days;
+  value.hash_ = MixInt(static_cast<std::uint64_t>(days));
   return value;
 }
 
@@ -46,64 +61,20 @@ Value Value::LabeledNull(std::int64_t label) {
   Value value;
   value.kind_ = Kind::kLabeledNull;
   value.int_ = label;
+  value.hash_ = MixInt(static_cast<std::uint64_t>(label));
   return value;
-}
-
-bool Value::operator==(const Value& other) const {
-  if (kind_ != other.kind_) return false;
-  switch (kind_) {
-    case Kind::kNull:
-      return true;
-    case Kind::kInt64:
-    case Kind::kBool:
-    case Kind::kDate:
-    case Kind::kLabeledNull:
-      return int_ == other.int_;
-    case Kind::kDouble:
-      return double_ == other.double_;
-    case Kind::kString:
-      return string_ == other.string_;
-  }
-  return false;
 }
 
 bool Value::operator<(const Value& other) const {
   if (kind_ != other.kind_) return kind_ < other.kind_;
   switch (kind_) {
-    case Kind::kNull:
-      return false;
-    case Kind::kInt64:
-    case Kind::kBool:
-    case Kind::kDate:
-    case Kind::kLabeledNull:
-      return int_ < other.int_;
     case Kind::kDouble:
       return double_ < other.double_;
     case Kind::kString:
-      return string_ < other.string_;
+      return StringPool::Global().Compare(string_id(), other.string_id()) < 0;
+    default:
+      return int_ < other.int_;
   }
-  return false;
-}
-
-std::size_t Value::Hash() const {
-  std::size_t seed = static_cast<std::size_t>(kind_) * 0x9e3779b97f4a7c15ULL;
-  switch (kind_) {
-    case Kind::kNull:
-      break;
-    case Kind::kInt64:
-    case Kind::kBool:
-    case Kind::kDate:
-    case Kind::kLabeledNull:
-      seed ^= std::hash<std::int64_t>()(int_) + 0x9e3779b9 + (seed << 6);
-      break;
-    case Kind::kDouble:
-      seed ^= std::hash<double>()(double_) + 0x9e3779b9 + (seed << 6);
-      break;
-    case Kind::kString:
-      seed ^= std::hash<std::string>()(string_) + 0x9e3779b9 + (seed << 6);
-      break;
-  }
-  return seed;
 }
 
 std::string Value::ToString() const {
@@ -117,7 +88,7 @@ std::string Value::ToString() const {
       return s;
     }
     case Kind::kString:
-      return "\"" + string_ + "\"";
+      return "\"" + str() + "\"";
     case Kind::kBool:
       return int_ != 0 ? "true" : "false";
     case Kind::kDate:
@@ -129,7 +100,9 @@ std::string Value::ToString() const {
 }
 
 std::string TupleToString(const Tuple& tuple) {
-  std::string out = "(";
+  std::string out;
+  out.reserve(2 + tuple.size() * 8);
+  out += "(";
   for (std::size_t i = 0; i < tuple.size(); ++i) {
     if (i > 0) out += ", ";
     out += tuple[i].ToString();

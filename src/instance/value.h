@@ -3,8 +3,11 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
+#include <type_traits>
 #include <vector>
 
+#include "instance/intern.h"
 #include "model/type.h"
 
 namespace mm2::instance {
@@ -16,9 +19,16 @@ namespace mm2::instance {
 // answers to queries but are not allowed to be returned as part of the
 // answer"). Labeled nulls are identified by a numeric label; two labeled
 // nulls are equal iff their labels are equal.
+//
+// Representation: 16 bytes, trivially copyable. Strings live in the
+// process-wide StringPool; the value stores only the pooled id, so string
+// equality is id equality and Tuple copies are memcpy. Every kind caches a
+// 32-bit payload hash at construction (for strings, folded from the hash
+// the pool computed at intern time), so Hash() — and through it TupleHash —
+// never re-walks a payload.
 class Value {
  public:
-  enum class Kind {
+  enum class Kind : std::uint8_t {
     kNull,         // plain SQL NULL (no identity)
     kInt64,
     kDouble,
@@ -28,12 +38,15 @@ class Value {
     kLabeledNull,  // existential placeholder N<label>
   };
 
-  Value() : kind_(Kind::kNull) {}
+  Value() : kind_(Kind::kNull), hash_(0), int_(0) {}
 
   static Value Null();
   static Value Int64(std::int64_t v);
   static Value Double(double v);
-  static Value String(std::string v);
+  static Value String(std::string_view v);
+  // A string already interned by the caller (batch loaders intern once,
+  // construct many).
+  static Value InternedString(StringPool::StringId id);
   static Value Bool(bool v);
   static Value Date(std::int64_t days);
   static Value LabeledNull(std::int64_t label);
@@ -47,28 +60,61 @@ class Value {
 
   std::int64_t int64() const { return int_; }
   double dbl() const { return double_; }
-  const std::string& str() const { return string_; }
+  // The pooled string; stable reference for the life of the process.
+  const std::string& str() const {
+    return StringPool::Global().Get(string_id());
+  }
+  StringPool::StringId string_id() const {
+    return static_cast<StringPool::StringId>(int_);
+  }
   bool boolean() const { return int_ != 0; }
   std::int64_t date() const { return int_; }
   std::int64_t label() const { return int_; }
 
   // Total order across kinds (kind first, then payload); gives instances a
-  // deterministic iteration order.
-  bool operator==(const Value& other) const;
+  // deterministic iteration order. String order resolves through the pool,
+  // so it is the same lexicographic order the inline representation had.
+  bool operator==(const Value& other) const {
+    if (kind_ != other.kind_) return false;
+    if (kind_ == Kind::kDouble) return double_ == other.double_;
+    return int_ == other.int_;
+  }
   bool operator!=(const Value& other) const { return !(*this == other); }
   bool operator<(const Value& other) const;
 
-  std::size_t Hash() const;
+  // Folds the cached payload hash with the kind; no branches, no memory.
+  std::size_t Hash() const {
+    std::uint64_t h =
+        (static_cast<std::uint64_t>(static_cast<std::uint8_t>(kind_)) << 32) |
+        hash_;
+    h *= 0x9e3779b97f4a7c15ULL;
+    h ^= h >> 29;
+    return static_cast<std::size_t>(h);
+  }
+
+  // The raw cached 32-bit payload hash (test/bench hook).
+  std::uint32_t cached_hash() const { return hash_; }
 
   // Display form: 42, 3.5, "abc", true, date:19000, N17, NULL.
   std::string ToString() const;
 
  private:
+  static std::uint32_t MixInt(std::uint64_t v) {
+    v *= 0x9e3779b97f4a7c15ULL;
+    return static_cast<std::uint32_t>(v >> 32);
+  }
+
   Kind kind_;
-  std::int64_t int_ = 0;
-  double double_ = 0.0;
-  std::string string_;
+  std::uint32_t hash_;  // cached payload hash (equal payloads hash equal)
+  union {
+    std::int64_t int_;  // int/bool/date/label payload; string: pool id
+    double double_;
+  };
 };
+
+static_assert(sizeof(Value) == 16, "Value must stay a compact 16 bytes");
+static_assert(std::is_trivially_copyable_v<Value>,
+              "Tuple copies must be memcpy-able");
 
 // A tuple is a fixed-arity row of values.
 using Tuple = std::vector<Value>;

@@ -202,6 +202,20 @@ void BuildParallel(const MetricsSnapshot& metrics, ProfileReport* report) {
       p.workers == 0 ? 0 : p.speedup / static_cast<double>(p.workers);
 }
 
+void BuildValues(const MetricsSnapshot& metrics, ProfileReport* report) {
+  ValueCost& v = report->values;
+  auto gauge = [&metrics](const char* name) -> std::uint64_t {
+    const GaugeSnapshot* g = metrics.FindGauge(name);
+    return (g == nullptr || g->value < 0) ? 0
+                                          : static_cast<std::uint64_t>(g->value);
+  };
+  v.value_bytes = gauge("value.bytes_per_value");
+  v.interned_strings = gauge("value.intern.strings");
+  v.interned_bytes = gauge("value.intern.bytes");
+  v.intern_hits = gauge("value.intern.hits");
+  v.intern_misses = gauge("value.intern.misses");
+}
+
 void BuildPhases(const std::vector<SpanRecord>& spans,
                  ProfileReport* report) {
   if (spans.empty()) return;
@@ -371,6 +385,24 @@ std::vector<std::string> ProfileReport::Lines() const {
       lines.push_back(std::move(line));
     }
   }
+  if (values.any()) {
+    lines.push_back("values:");
+    std::uint64_t lookups = values.intern_hits + values.intern_misses;
+    double hit_rate = lookups == 0 ? 0
+                                   : static_cast<double>(values.intern_hits) /
+                                         static_cast<double>(lookups);
+    std::vector<std::vector<std::string>> rows;
+    rows.push_back({"bytes/value", std::to_string(values.value_bytes)});
+    rows.push_back(
+        {"intern.strings", std::to_string(values.interned_strings)});
+    rows.push_back({"intern.bytes", std::to_string(values.interned_bytes)});
+    rows.push_back({"intern.hits", std::to_string(values.intern_hits)});
+    rows.push_back({"intern.misses", std::to_string(values.intern_misses)});
+    rows.push_back({"intern hit rate", Percent(hit_rate)});
+    for (std::string& line : Tabulate(rows, "lr")) {
+      lines.push_back(std::move(line));
+    }
+  }
   lines.push_back("phases (" + std::to_string(phase_total_us) +
                   "us self-time total):");
   if (phases.empty()) {
@@ -458,6 +490,11 @@ std::string ProfileReport::ToJson() const {
      << ", \"wall_us\": " << FormatDouble(parallel.wall_us)
      << ", \"speedup\": " << FormatDouble(parallel.speedup)
      << ", \"efficiency\": " << FormatDouble(parallel.efficiency)
+     << "}, \"values\": {\"value_bytes\": " << values.value_bytes
+     << ", \"interned_strings\": " << values.interned_strings
+     << ", \"interned_bytes\": " << values.interned_bytes
+     << ", \"intern_hits\": " << values.intern_hits
+     << ", \"intern_misses\": " << values.intern_misses
      << "}, \"totals\": {\"operator_total_us\": "
      << FormatDouble(operator_total_us)
      << ", \"rule_total_us\": " << FormatDouble(rule_total_us)
@@ -472,6 +509,7 @@ ProfileReport Profiler::Build(const MetricsSnapshot& metrics,
   BuildRules(metrics, &report);
   BuildStorage(metrics, &report);
   BuildParallel(metrics, &report);
+  BuildValues(metrics, &report);
   BuildPhases(spans, &report);
   return report;
 }

@@ -93,6 +93,23 @@ struct ParallelCost {
   bool any() const { return workers > 1; }
 };
 
+// Value-layer telemetry: the process-wide string intern pool behind the
+// compact Value representation, read from the `value.*` gauges that
+// chase::MirrorValueStats refreshes. The hit rate is how often string
+// construction resolved to an already-pooled id (hash computed once, ever);
+// interned_bytes is the deduplicated payload the pool holds.
+struct ValueCost {
+  std::uint64_t value_bytes = 0;       // sizeof(Value) in this build
+  std::uint64_t interned_strings = 0;  // distinct pooled strings
+  std::uint64_t interned_bytes = 0;    // summed pooled payload bytes
+  std::uint64_t intern_hits = 0;       // Intern() calls resolved to known ids
+  std::uint64_t intern_misses = 0;     // Intern() calls that inserted
+
+  bool any() const {
+    return interned_strings != 0 || intern_hits != 0 || intern_misses != 0;
+  }
+};
+
 // A structured cost report: "where did the time go?" answered three ways.
 // Each table is ranked most-expensive-first.
 struct ProfileReport {
@@ -101,6 +118,7 @@ struct ProfileReport {
   std::vector<PhaseCost> phases;        // by self_us desc (empty w/o tracing)
   StorageCost storage;
   ParallelCost parallel;
+  ValueCost values;
   double operator_total_us = 0;
   double rule_total_us = 0;
   std::int64_t phase_total_us = 0;  // summed self time

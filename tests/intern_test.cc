@@ -1,0 +1,206 @@
+// Tests for the string intern pool and the compact Value representation:
+// pool round-trips, hash/equality/order consistency, text-layer identity
+// (parse -> intern -> print), and cross-thread interning races (the latter
+// is in scripts/check.sh's --tsan filter).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "instance/instance.h"
+#include "instance/intern.h"
+#include "instance/value.h"
+#include "text/sexpr.h"
+
+namespace mm2::instance {
+namespace {
+
+TEST(InternPool, RoundTripsAndDeduplicates) {
+  StringPool& pool = StringPool::Global();
+  StringPool::StringId a = pool.Intern("intern_round_trip_a");
+  StringPool::StringId b = pool.Intern("intern_round_trip_b");
+  EXPECT_EQ(pool.Get(a), "intern_round_trip_a");
+  EXPECT_EQ(pool.Get(b), "intern_round_trip_b");
+  EXPECT_NE(a, b);
+  // Re-interning returns the same id — the pool is canonical.
+  EXPECT_EQ(pool.Intern("intern_round_trip_a"), a);
+  EXPECT_EQ(pool.Intern(std::string("intern_round_trip_a")), a);
+}
+
+TEST(InternPool, CachesTheHashComputedAtInternTime) {
+  StringPool& pool = StringPool::Global();
+  const std::string s = "intern_hash_cache_probe";
+  StringPool::StringId id = pool.Intern(s);
+  EXPECT_EQ(pool.HashOf(id), StringPool::HashBytes(s));
+}
+
+TEST(InternPool, CompareIsLexicographicAndReflexive) {
+  StringPool& pool = StringPool::Global();
+  StringPool::StringId apple = pool.Intern("apple");
+  StringPool::StringId banana = pool.Intern("banana");
+  EXPECT_EQ(pool.Compare(apple, apple), 0);
+  EXPECT_LT(pool.Compare(apple, banana), 0);
+  EXPECT_GT(pool.Compare(banana, apple), 0);
+}
+
+TEST(InternPool, StatsCountDistinctStringsAndHits) {
+  StringPool& pool = StringPool::Global();
+  StringPool::Stats before = pool.GetStats();
+  pool.Intern("intern_stats_unique_1");
+  pool.Intern("intern_stats_unique_2");
+  pool.Intern("intern_stats_unique_1");  // hit
+  StringPool::Stats after = pool.GetStats();
+  EXPECT_EQ(after.strings, before.strings + 2);
+  EXPECT_EQ(after.misses, before.misses + 2);
+  EXPECT_GE(after.hits, before.hits + 1);
+  EXPECT_GE(after.bytes, before.bytes + 2 * sizeof("intern_stats_unique_1") -
+                             2);  // payload bytes, no terminators
+}
+
+TEST(InternPool, GetReferencesAreStableAcrossGrowth) {
+  StringPool& pool = StringPool::Global();
+  StringPool::StringId id = pool.Intern("stable_reference_probe");
+  const std::string* addr = &pool.Get(id);
+  // Force thousands of inserts; entry storage is append-only chunks, so the
+  // earlier reference must not move.
+  for (int i = 0; i < 5000; ++i) {
+    pool.Intern("stable_reference_filler_" + std::to_string(i));
+  }
+  EXPECT_EQ(&pool.Get(id), addr);
+  EXPECT_EQ(pool.Get(id), "stable_reference_probe");
+}
+
+// The --tsan gate runs this: concurrent threads interning overlapping string
+// sets must agree on every id and never tear an entry.
+TEST(InternPool, ConcurrentInterningAgreesOnIds) {
+  constexpr int kThreads = 8;
+  constexpr int kStrings = 300;
+  std::vector<std::vector<StringPool::StringId>> ids(
+      kThreads, std::vector<StringPool::StringId>(kStrings));
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t, &ids] {
+      StringPool& pool = StringPool::Global();
+      for (int i = 0; i < kStrings; ++i) {
+        // Every thread interns the same key set, in a different order.
+        int k = (i * 7 + t * 13) % kStrings;
+        ids[t][static_cast<std::size_t>(k)] =
+            pool.Intern("race_key_" + std::to_string(k));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  StringPool& pool = StringPool::Global();
+  for (int k = 0; k < kStrings; ++k) {
+    StringPool::StringId expected = ids[0][static_cast<std::size_t>(k)];
+    EXPECT_EQ(pool.Get(expected), "race_key_" + std::to_string(k));
+    for (int t = 1; t < kThreads; ++t) {
+      EXPECT_EQ(ids[t][static_cast<std::size_t>(k)], expected)
+          << "thread " << t << " key " << k;
+    }
+  }
+}
+
+TEST(ValueIntern, StaysCompactAndTriviallyCopyable) {
+  EXPECT_EQ(sizeof(Value), 16u);
+  EXPECT_TRUE(std::is_trivially_copyable_v<Value>);
+}
+
+TEST(ValueIntern, StringEqualityIsIdEquality) {
+  Value a = Value::String("interned_equality_probe");
+  Value b = Value::String("interned_equality_probe");
+  Value c = Value::String("interned_equality_other");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.string_id(), b.string_id());
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.str(), "interned_equality_probe");
+}
+
+TEST(ValueIntern, InternedStringConstructorMatchesString) {
+  StringPool::StringId id = StringPool::Global().Intern("batch_loader_probe");
+  Value direct = Value::InternedString(id);
+  Value via_string = Value::String("batch_loader_probe");
+  EXPECT_EQ(direct, via_string);
+  EXPECT_EQ(direct.Hash(), via_string.Hash());
+  EXPECT_EQ(direct.str(), via_string.str());
+}
+
+TEST(ValueIntern, OrderMatchesLexicographicStringOrder) {
+  std::vector<std::string> raw = {"pear",  "apple", "Banana", "apple2",
+                                  "",      "zoo",   "app",    "banana"};
+  std::vector<Value> values;
+  values.reserve(raw.size());
+  for (const std::string& s : raw) values.push_back(Value::String(s));
+  std::sort(values.begin(), values.end());
+  std::sort(raw.begin(), raw.end());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    EXPECT_EQ(values[i].str(), raw[i]) << "position " << i;
+  }
+}
+
+TEST(ValueIntern, EqualValuesHashEqual) {
+  EXPECT_EQ(Value::String("hash_probe").Hash(),
+            Value::String("hash_probe").Hash());
+  EXPECT_EQ(Value::Int64(42).Hash(), Value::Int64(42).Hash());
+  // IEEE: -0.0 == 0.0, so their hashes must agree too.
+  EXPECT_EQ(Value::Double(-0.0), Value::Double(0.0));
+  EXPECT_EQ(Value::Double(-0.0).Hash(), Value::Double(0.0).Hash());
+  // Kinds separate: Int64(1) != Bool(true) even with equal payloads.
+  EXPECT_NE(Value::Int64(1), Value::Bool(true));
+}
+
+TEST(ValueIntern, TupleHashFoldsCachedHashesConsistently) {
+  Tuple t = {Value::String("alpha"), Value::Int64(7), Value::Double(2.5)};
+  Tuple copy = t;  // memcpy-able copy must hash identically
+  EXPECT_EQ(TupleHash{}(t), TupleHash{}(copy));
+  Tuple rebuilt = {Value::String("alpha"), Value::Int64(7),
+                   Value::Double(2.5)};
+  EXPECT_EQ(TupleHash{}(t), TupleHash{}(rebuilt));
+}
+
+// Text-layer identity: parse -> (values intern on construction) -> print
+// must reproduce the input, and reparsing the print yields an equal
+// instance. This is the "interning is invisible to serialization" check.
+TEST(ValueIntern, TextRoundTripIsIdentity) {
+  const std::string text =
+      "(instance\n"
+      "  (Emp (\"ada\" 1 3.500000) (\"grace\" 2 2.250000))\n"
+      "  (Tags (\"a b\" #t) (\"quote\\\"d\" #f) (\"\" #t))\n"
+      "  (Mixed (null N7 d:19000))\n"
+      ")\n";
+  auto parsed = text::ParseInstance(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  std::string printed = text::InstanceToText(*parsed);
+  auto reparsed = text::ParseInstance(printed);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_TRUE(parsed->Equals(*reparsed)) << printed;
+  // Printing is deterministic and stable under re-interning.
+  EXPECT_EQ(printed, text::InstanceToText(*reparsed));
+}
+
+// Sorted-set iteration order (what InstanceToText prints) must follow the
+// string order, not id order: ids are assigned in intern order, which here
+// is deliberately reverse-alphabetical.
+TEST(ValueIntern, IterationOrderIsStringOrderNotInternOrder) {
+  Instance db;
+  db.DeclareRelation("S", 1);
+  db.InsertUnchecked("S", {Value::String("zebra_order_probe")});
+  db.InsertUnchecked("S", {Value::String("mango_order_probe")});
+  db.InsertUnchecked("S", {Value::String("apple_order_probe")});
+  const RelationInstance* rel = db.Find("S");
+  ASSERT_NE(rel, nullptr);
+  std::vector<std::string> seen;
+  for (const Tuple& t : rel->tuples()) seen.push_back(t[0].str());
+  std::vector<std::string> sorted = seen;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(seen, sorted);
+}
+
+}  // namespace
+}  // namespace mm2::instance
