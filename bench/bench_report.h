@@ -50,19 +50,11 @@ inline void PrintJsonLine(const std::string& bench, const std::string& metric,
 }
 
 // Peak resident set size of this process in KiB (VmHWM from
-// /proc/self/status), or 0 where the proc interface is unavailable. The
-// high-water mark covers the whole bench run, so trajectories track the
-// memory envelope of the workload, not a point-in-time sample.
-inline double PeakRssKb() {
-  std::ifstream status("/proc/self/status");
-  std::string line;
-  while (std::getline(status, line)) {
-    if (line.compare(0, 6, "VmHWM:") == 0) {
-      return std::strtod(line.c_str() + 6, nullptr);
-    }
-  }
-  return 0;
-}
+// /proc/self/status, via the shared obs probe), or 0 where the proc
+// interface is unavailable. The high-water mark covers the whole bench
+// run, so trajectories track the memory envelope of the workload, not a
+// point-in-time sample.
+inline double PeakRssKb() { return obs::PeakRssKb(); }
 
 // Histograms named *_us report in microseconds, everything else is a bare
 // value; counters and gauges are counts. One mem.peak_rss_kb record (unit

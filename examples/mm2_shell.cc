@@ -19,6 +19,8 @@
 //   MM2_TRACE=<file>   enable tracing from startup; Chrome trace_event
 //                      JSON is written to <file> on quit
 //   MM2_STATS=1        dump the metrics registry snapshot on quit
+//   MM2_LOG=json|text  structured event log to stderr from startup (the
+//                      engine applies this when it creates its context)
 //
 // Try:  ./build/examples/mm2_shell < examples/data/demo_session.mm2
 #include <cstdlib>
@@ -68,6 +70,14 @@ void PrintHelp() {
       "  trace <file>                  record spans; Chrome JSON on quit\n"
       "                                (or start with MM2_TRACE=<file>;\n"
       "                                MM2_STATS=1 dumps stats on quit)\n"
+      "  log off|text|json [file]      structured event log + flight\n"
+      "                                recorder (default sink stderr; or\n"
+      "                                start with MM2_LOG=json|text)\n"
+      "  budget tuples|wall_us|rss_kb <n>  soft chase budgets; on breach\n"
+      "                                exchange stops gracefully with a\n"
+      "                                diagnostic (budget off: clear)\n"
+      "  why <Rel(v1,v2,...)>          why-provenance of a target fact\n"
+      "                                from the last exchange\n"
       "  help | quit\n";
 }
 

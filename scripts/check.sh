@@ -29,7 +29,10 @@ if [[ "${1:-}" == "--tsan" ]]; then
   # chase differentials, and the sharded parallel hash join. InternPool /
   # ValueIntern cover the sharded string pool: racing Intern() calls and
   # lock-free Get()s from freshly published chunks.
-  TEST_FILTER="ChaseDiffProperty|ClosureDiffProperty|ChaseSerializeDiffProperty|RelationInstance|InstanceTest|InternPool|ValueIntern|ThreadPool|ResolveThreadCount|ChaseParallelDiffProperty|ClosureParallelDiffProperty|ParallelHashJoin|Parallelism"
+  # EventLog/CancelToken/Watchdog join the filter: the event log's ring
+  # mutex + enabled/emitted atomics and the cancel token's relaxed stop
+  # flag are exactly the kind of cross-thread state TSan is here for.
+  TEST_FILTER="ChaseDiffProperty|ClosureDiffProperty|ChaseSerializeDiffProperty|RelationInstance|InstanceTest|InternPool|ValueIntern|ThreadPool|ResolveThreadCount|ChaseParallelDiffProperty|ClosureParallelDiffProperty|ParallelHashJoin|Parallelism|EventLog|CancelToken|Watchdog"
 fi
 
 cmake -B "$BUILD_DIR" -S . \
@@ -43,6 +46,32 @@ else
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
 fi
 echo "sanitizer check ($SANITIZERS) passed"
+
+# Structured-log smoke gate (default path only): drive the demo session
+# through the shell under MM2_LOG=json and validate that every event line
+# on stderr is standalone JSON — the contract downstream log collectors
+# depend on. Runs on the sanitizer build, so it also shakes the log path.
+if [[ -z "$TEST_FILTER" && -x "$BUILD_DIR/examples/mm2_shell" ]]; then
+  LOG_TMP="$(mktemp)"
+  trap 'rm -f "$LOG_TMP"' EXIT
+  MM2_LOG=json "$BUILD_DIR/examples/mm2_shell" \
+    < examples/data/demo_session.mm2 > /dev/null 2> "$LOG_TMP"
+  python3 - "$LOG_TMP" <<'EOF'
+import json, sys
+lines = [l for l in open(sys.argv[1]) if l.strip()]
+if not lines:
+    sys.exit("error: MM2_LOG=json produced no event lines")
+for i, line in enumerate(lines, 1):
+    try:
+        event = json.loads(line)
+    except json.JSONDecodeError as err:
+        sys.exit(f"error: stderr line {i} is not JSON ({err}): {line!r}")
+    for key in ("seq", "t_us", "level", "event"):
+        if key not in event:
+            sys.exit(f"error: event line {i} lacks '{key}': {line!r}")
+print(f"structured-log smoke gate passed ({len(lines)} JSON event lines)")
+EOF
+fi
 
 # Opt-in bench smoke: exercises bench_all.sh + bench_compare.py end to end
 # at tiny sizes — a self-compare must pass, and an inflated copy must fail,

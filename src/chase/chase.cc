@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <cstdio>
 #include <memory>
 #include <optional>
 
@@ -160,14 +161,17 @@ std::vector<std::size_t> PlanAtomOrder(const std::vector<Atom>& atoms,
 // out exactly as a full scan would produce them). MatchTuple stays the
 // final filter, which also enforces repeated unbound variables. When
 // `anchor` is non-null, depth 0 enumerates those tuples instead (the
-// semi-naive delta).
+// semi-naive delta). `cancel` is polled once per descend so a stop request
+// lands mid-join instead of after it; callers pass nullptr when no budget
+// or token is armed, which keeps the default path free of atomic loads.
 void MatchIndexedRec(const std::vector<Atom>& atoms,
                      const std::vector<std::size_t>& order, std::size_t depth,
                      const Instance& db,
                      const instance::RelationInstance::TupleRefs* anchor,
-                     Assignment* assignment, std::vector<Assignment>* out,
-                     std::size_t limit) {
+                     const obs::CancelToken* cancel, Assignment* assignment,
+                     std::vector<Assignment>* out, std::size_t limit) {
   if (limit != 0 && out->size() >= limit) return;
+  if (cancel != nullptr && cancel->stop_requested()) return;
   if (depth == order.size()) {
     out->push_back(*assignment);
     return;
@@ -179,8 +183,8 @@ void MatchIndexedRec(const std::vector<Atom>& atoms,
   auto descend = [&](const Tuple& tuple) {
     std::vector<const std::string*> newly_bound;
     if (MatchTuple(atom, tuple, assignment, &newly_bound)) {
-      MatchIndexedRec(atoms, order, depth + 1, db, nullptr, assignment, out,
-                      limit);
+      MatchIndexedRec(atoms, order, depth + 1, db, nullptr, cancel,
+                      assignment, out, limit);
     }
     for (const std::string* v : newly_bound) assignment->erase(*v);
   };
@@ -227,16 +231,16 @@ void MatchIndexedRec(const std::vector<Atom>& atoms,
 
 // Full indexed match extending `seed` (empty for top-level matching; the
 // restricted-chase head check seeds with the body assignment).
-std::vector<Assignment> MatchAtomsIndexed(const std::vector<Atom>& atoms,
-                                          const Instance& db, Assignment seed,
-                                          std::size_t limit) {
+std::vector<Assignment> MatchAtomsIndexed(
+    const std::vector<Atom>& atoms, const Instance& db, Assignment seed,
+    std::size_t limit, const obs::CancelToken* cancel = nullptr) {
   std::vector<Assignment> out;
   if (atoms.empty()) {
     out.push_back(std::move(seed));
     return out;
   }
   std::vector<std::size_t> order = PlanAtomOrder(atoms, db, seed);
-  MatchIndexedRec(atoms, order, 0, db, nullptr, &seed, &out, limit);
+  MatchIndexedRec(atoms, order, 0, db, nullptr, cancel, &seed, &out, limit);
   return out;
 }
 
@@ -296,7 +300,8 @@ std::vector<Assignment> MatchPartitioned(
     const std::vector<Atom>& atoms, const std::vector<std::size_t>& order,
     const Instance& db,
     const instance::RelationInstance::TupleRefs& candidates,
-    common::ThreadPool& pool, ChaseStats* stats, obs::Context* obs) {
+    common::ThreadPool& pool, ChaseStats* stats, obs::Context* obs,
+    const obs::CancelToken* cancel) {
   PrebuildProbeIndexes(atoms, order, db);
   std::size_t chunks = std::min(pool.size(), candidates.size());
   std::vector<std::vector<Assignment>> partial(chunks);
@@ -305,6 +310,9 @@ std::vector<Assignment> MatchPartitioned(
   pool.ParallelFor(
       candidates.size(),
       [&](std::size_t begin, std::size_t end, std::size_t chunk) {
+        // Stop requests skip whole chunks; MatchIndexedRec handles the
+        // finer-grained unwind inside a chunk already underway.
+        if (cancel != nullptr && cancel->stop_requested()) return;
         auto start = std::chrono::steady_clock::now();
         obs::ObsSpan span(obs, "chase.match.worker");
         span.SetAttribute("chunk", chunk);
@@ -313,7 +321,7 @@ std::vector<Assignment> MatchPartitioned(
             candidates.begin() + static_cast<std::ptrdiff_t>(begin),
             candidates.begin() + static_cast<std::ptrdiff_t>(end));
         Assignment assignment;
-        MatchIndexedRec(atoms, order, 0, db, &slice, &assignment,
+        MatchIndexedRec(atoms, order, 0, db, &slice, cancel, &assignment,
                         &partial[chunk], /*limit=*/0);
         span.SetAttribute("assignments", partial[chunk].size());
         busy[chunk] = MicrosSince(start);
@@ -342,13 +350,12 @@ bool WorthParallel(const common::ThreadPool* pool, std::size_t candidates) {
 // Parallel top-level match (seed empty, no limit): computes the depth-0
 // candidate list exactly as the serial recursion would — probe on the
 // first atom's constant columns, else a full ordered scan — then fans out.
-std::vector<Assignment> MatchAtomsIndexedTop(const std::vector<Atom>& atoms,
-                                             const Instance& db,
-                                             common::ThreadPool* pool,
-                                             ChaseStats* stats,
-                                             obs::Context* obs) {
+std::vector<Assignment> MatchAtomsIndexedTop(
+    const std::vector<Atom>& atoms, const Instance& db,
+    common::ThreadPool* pool, ChaseStats* stats, obs::Context* obs,
+    const obs::CancelToken* cancel) {
   if (pool == nullptr || atoms.empty()) {
-    return MatchAtomsIndexed(atoms, db, Assignment(), /*limit=*/0);
+    return MatchAtomsIndexed(atoms, db, Assignment(), /*limit=*/0, cancel);
   }
   std::vector<std::size_t> order = PlanAtomOrder(atoms, db, Assignment());
   const Atom& first = atoms[order[0]];
@@ -377,11 +384,12 @@ std::vector<Assignment> MatchAtomsIndexedTop(const std::vector<Atom>& atoms,
   if (!WorthParallel(pool, candidates.size())) {
     std::vector<Assignment> out;
     Assignment assignment;
-    MatchIndexedRec(atoms, order, 0, db, &candidates, &assignment, &out,
-                    /*limit=*/0);
+    MatchIndexedRec(atoms, order, 0, db, &candidates, cancel, &assignment,
+                    &out, /*limit=*/0);
     return out;
   }
-  return MatchPartitioned(atoms, order, db, candidates, *pool, stats, obs);
+  return MatchPartitioned(atoms, order, db, candidates, *pool, stats, obs,
+                          cancel);
 }
 
 // Semi-naive delta match: only assignments where at least one body atom
@@ -397,7 +405,8 @@ std::vector<Assignment> MatchAtomsDelta(
     const std::vector<Atom>& atoms, const Instance& db,
     const std::map<std::string, std::size_t, std::less<>>& watermarks,
     std::size_t* delta_tuples, common::ThreadPool* pool = nullptr,
-    ChaseStats* stats = nullptr, obs::Context* obs = nullptr) {
+    ChaseStats* stats = nullptr, obs::Context* obs = nullptr,
+    const obs::CancelToken* cancel = nullptr) {
   std::map<std::string, instance::RelationInstance::TupleRefs, std::less<>>
       deltas;
   for (const Atom& atom : atoms) {
@@ -422,11 +431,12 @@ std::vector<Assignment> MatchAtomsDelta(
         PlanAtomOrder(atoms, db, Assignment(), i);
     std::vector<Assignment> found;
     if (WorthParallel(pool, delta.size())) {
-      found = MatchPartitioned(atoms, order, db, delta, *pool, stats, obs);
+      found = MatchPartitioned(atoms, order, db, delta, *pool, stats, obs,
+                               cancel);
     } else {
       Assignment assignment;
-      MatchIndexedRec(atoms, order, 0, db, &delta, &assignment, &found,
-                      /*limit=*/0);
+      MatchIndexedRec(atoms, order, 0, db, &delta, cancel, &assignment,
+                      &found, /*limit=*/0);
     }
     for (Assignment& a : found) dedupe.insert(std::move(a));
   }
@@ -502,6 +512,7 @@ class ChaseRun {
   Instance& target() { return target_; }
   ChaseStats& stats() { return stats_; }
   Provenance& provenance() { return provenance_; }
+  std::optional<ChaseBreach>& breach() { return breach_; }
 
   // Runs tgd clauses and egds to fixpoint. The clause list is in SO-clause
   // form; plain tgds are represented with existentials pre-skolemized by
@@ -523,6 +534,39 @@ class ChaseRun {
     if (workers > 1) pool_ = std::make_unique<common::ThreadPool>(workers);
     span.SetAttribute("workers", workers);
     obs::ScopedLatency latency(options_.obs, "chase.run.latency_us");
+    // Arm the watchdog. One writable token serves every layer: the caller's
+    // options_.cancel when provided, else a run-local token when any budget
+    // is set, else nothing at all — the unarmed path hands nullptr to the
+    // match layer, so the default chase never even loads an atomic.
+    const bool budgeted = options_.wall_budget_us > 0 ||
+                          options_.tuple_budget > 0 ||
+                          options_.rss_budget_kb > 0;
+    watch_token_ = options_.cancel != nullptr
+                       ? options_.cancel
+                       : (budgeted ? &own_token_ : nullptr);
+    breach_.reset();
+    const auto run_start = std::chrono::steady_clock::now();
+    const std::size_t initial_tuples = target_.TotalTuples();
+    // Heartbeat surfaces: gauge references are resolved once (they are
+    // stable for the registry's lifetime) so per-round refreshes are plain
+    // atomic stores; the event log adds a record only while enabled.
+    obs::EventLog* events =
+        options_.obs == nullptr ? nullptr : &options_.obs->events;
+    obs::Gauge* g_round = nullptr;
+    obs::Gauge* g_delta = nullptr;
+    obs::Gauge* g_total = nullptr;
+    obs::Gauge* g_nulls = nullptr;
+    obs::Gauge* g_round_us = nullptr;
+    obs::Gauge* g_rss = nullptr;
+    if (options_.obs != nullptr) {
+      obs::MetricsRegistry& m = options_.obs->metrics;
+      g_round = &m.GetGauge("chase.progress.round");
+      g_delta = &m.GetGauge("chase.progress.delta_tuples");
+      g_total = &m.GetGauge("chase.progress.total_tuples");
+      g_nulls = &m.GetGauge("chase.progress.nulls_created");
+      g_round_us = &m.GetGauge("chase.progress.round_us");
+      g_rss = &m.GetGauge("chase.progress.rss_kb");
+    }
     instance::IndexStats storage0 = target_.IndexStatsTotal();
     if (source_ != nullptr) storage0 += source_->IndexStatsTotal();
     // One RuleStats slot per constraint, in iteration order: SO-clauses,
@@ -573,16 +617,25 @@ class ChaseRun {
     std::size_t rounds = 0;
     while (changed) {
       if (++rounds > options_.max_rounds) {
-        return Status::Internal("chase exceeded max_rounds (" +
-                                std::to_string(options_.max_rounds) + ")");
+        // The hard stop nobody asked for: attach the flight recorder so the
+        // error names what the chase was doing when it ran away.
+        std::string msg = "chase exceeded max_rounds (" +
+                          std::to_string(options_.max_rounds) + ")";
+        if (events != nullptr) {
+          std::string dump = events->DumpRecent();
+          if (!dump.empty()) msg += "\n" + dump;
+        }
+        return Status::Internal(msg);
       }
       changed = false;
       obs::ObsSpan round_span(options_.obs, "chase.round");
       round_span.SetAttribute("round", rounds);
+      const auto round_start = std::chrono::steady_clock::now();
       std::size_t round_firings0 = stats_.tgd_firings;
       std::size_t round_nulls0 = stats_.nulls_created;
       std::size_t round_unified0 = stats_.egd_unifications;
       std::size_t round_matched0 = stats_.assignments_matched;
+      std::size_t round_delta0 = stats_.delta_tuples;
       std::size_t rule_index = 0;
       for (const logic::SoTgdClause& clause : clauses) {
         std::size_t slot = rule_index++;
@@ -615,7 +668,76 @@ class ChaseRun {
                               stats_.egd_unifications - round_unified0);
       round_span.SetAttribute("assignments_matched",
                               stats_.assignments_matched - round_matched0);
+      // ---- Round-boundary heartbeat + watchdog -------------------------
+      // Everything below is skipped on the bare path (no obs, no budgets)
+      // except two steady_clock reads per round — noise next to a round's
+      // match work.
+      const std::size_t total_tuples = target_.TotalTuples();
+      const std::uint64_t derived =
+          total_tuples > initial_tuples
+              ? static_cast<std::uint64_t>(total_tuples - initial_tuples)
+              : 0;
+      const double round_us =
+          std::chrono::duration_cast<
+              std::chrono::duration<double, std::micro>>(
+              std::chrono::steady_clock::now() - round_start)
+              .count();
+      const std::size_t round_delta = stats_.delta_tuples - round_delta0;
+      const bool events_on = events != nullptr && events->enabled();
+      // One /proc read per round, and only when someone is watching (the
+      // event log) or the rss budget needs the number.
+      double rss_kb = -1;
+      if (events_on || options_.rss_budget_kb > 0) {
+        rss_kb = obs::CurrentRssKb();
+      }
+      if (g_round != nullptr) {
+        g_round->Set(static_cast<std::int64_t>(rounds));
+        g_delta->Set(static_cast<std::int64_t>(round_delta));
+        g_total->Set(static_cast<std::int64_t>(total_tuples));
+        g_nulls->Set(static_cast<std::int64_t>(stats_.nulls_created));
+        g_round_us->Set(static_cast<std::int64_t>(round_us + 0.5));
+        if (rss_kb >= 0) g_rss->Set(static_cast<std::int64_t>(rss_kb));
+      }
+      if (events_on) {
+        events->Emit(
+            obs::EventLevel::kInfo, "chase.heartbeat",
+            {obs::F("round", static_cast<std::uint64_t>(rounds)),
+             obs::F("delta", static_cast<std::uint64_t>(round_delta)),
+             obs::F("total_tuples", static_cast<std::uint64_t>(total_tuples)),
+             obs::F("nulls", static_cast<std::uint64_t>(stats_.nulls_created)),
+             obs::F("round_us", round_us), obs::F("rss_kb", rss_kb)});
+      }
+      if (watch_token_ != nullptr) {
+        const std::uint64_t wall_us = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - run_start)
+                .count());
+        if (options_.tuple_budget > 0 && derived > options_.tuple_budget) {
+          RecordBreach("tuples", options_.tuple_budget, derived, rounds);
+        } else if (options_.wall_budget_us > 0 &&
+                   wall_us > options_.wall_budget_us) {
+          RecordBreach("wall_us", options_.wall_budget_us, wall_us, rounds);
+        } else if (options_.rss_budget_kb > 0) {
+          if (rss_kb < 0) rss_kb = obs::CurrentRssKb();
+          if (rss_kb > static_cast<double>(options_.rss_budget_kb)) {
+            RecordBreach("rss_kb", options_.rss_budget_kb,
+                         static_cast<std::uint64_t>(rss_kb), rounds);
+          }
+        }
+        if (watch_token_->stop_requested()) {
+          if (!breach_.has_value()) {
+            // An external controller tripped the shared token (possibly
+            // mid-round — the matchers already unwound); surface it with
+            // the same machinery as a budget stop.
+            breach_.emplace();
+            breach_->kind = "cancel";
+            breach_->round = rounds;
+          }
+          break;
+        }
+      }
     }
+    if (breach_.has_value()) FinishBreach(events, &span);
     instance::IndexStats storage1 = target_.IndexStatsTotal();
     if (source_ != nullptr) storage1 += source_->IndexStatsTotal();
     stats_.index_probes = storage1.probes - storage0.probes;
@@ -676,12 +798,12 @@ class ChaseRun {
       std::size_t consumed = 0;
       out.assignments =
           MatchAtomsDelta(atoms, db, watermarks_[rule_index], &consumed,
-                          pool_.get(), &stats_, options_.obs);
+                          pool_.get(), &stats_, options_.obs, watch_token_);
       stats_.delta_tuples += consumed;
       if (consumed == 0) ++stats_.delta_skips;
     } else {
-      out.assignments =
-          MatchAtomsIndexedTop(atoms, db, pool_.get(), &stats_, options_.obs);
+      out.assignments = MatchAtomsIndexedTop(atoms, db, pool_.get(), &stats_,
+                                             options_.obs, watch_token_);
       if (options_.semi_naive) {
         // The first full pass consumes the whole extension as its delta.
         for (const auto& [name, mark] : out.watermarks) {
@@ -974,6 +1096,66 @@ class ChaseRun {
     return Status::OK();
   }
 
+  // Books a budget breach and trips the shared stop token, so in-flight
+  // (possibly parallel) match work unwinds through the same switch the
+  // round loop is about to poll. First breach wins, like the token itself.
+  void RecordBreach(const char* kind, std::uint64_t limit,
+                    std::uint64_t observed, std::size_t round) {
+    if (breach_.has_value()) return;
+    breach_.emplace();
+    breach_->kind = kind;
+    breach_->limit = limit;
+    breach_->observed = observed;
+    breach_->round = round;
+    watch_token_->RequestStop(std::string("chase ") + kind +
+                              " budget breached");
+  }
+
+  // Completes a pending breach once the loop has unwound: attributes the
+  // stop to the costliest rule, renders the human-readable diagnostic, and
+  // appends the flight-recorder dump so the evidence travels with it.
+  void FinishBreach(obs::EventLog* events, obs::ObsSpan* span) {
+    const RuleStats* dominant = nullptr;
+    for (const RuleStats& rule : stats_.rules) {
+      if (dominant == nullptr || rule.wall_us > dominant->wall_us) {
+        dominant = &rule;
+      }
+    }
+    if (dominant != nullptr) breach_->dominant_rule = dominant->label;
+    std::string diag = "chase stopped early: ";
+    if (breach_->kind == "cancel") {
+      diag += "cancelled";
+      std::string reason = watch_token_->reason();
+      if (!reason.empty()) diag += " (" + reason + ")";
+    } else {
+      diag += breach_->kind + " budget breached (observed " +
+              std::to_string(breach_->observed) + " > limit " +
+              std::to_string(breach_->limit) + ")";
+    }
+    diag += " at round " + std::to_string(breach_->round);
+    if (dominant != nullptr) {
+      char cost[64];
+      std::snprintf(cost, sizeof(cost), " (%zu firings, %.1fus)",
+                    dominant->firings, dominant->wall_us);
+      diag += "; dominant rule: " + dominant->label + cost;
+    }
+    // Emit before dumping, so the breach itself is the ring's last record.
+    if (events != nullptr && events->enabled()) {
+      events->Emit(
+          obs::EventLevel::kWarn, "chase.breach",
+          {obs::F("kind", breach_->kind), obs::F("limit", breach_->limit),
+           obs::F("observed", breach_->observed),
+           obs::F("round", static_cast<std::uint64_t>(breach_->round)),
+           obs::F("dominant_rule", breach_->dominant_rule)});
+    }
+    if (events != nullptr) {
+      std::string dump = events->DumpRecent();
+      if (!dump.empty()) diag += "\n" + dump;
+    }
+    breach_->diagnostic = std::move(diag);
+    if (span != nullptr) span->SetAttribute("breach", breach_->kind);
+  }
+
   const Instance* source_;  // nullptr => closure mode (read the target)
   Instance target_;
   const ChaseOptions& options_;
@@ -989,16 +1171,23 @@ class ChaseRun {
   // Non-null only when the resolved thread count exceeds 1. Workers live
   // for the whole run; each partitioned match is one fork/join region.
   std::unique_ptr<common::ThreadPool> pool_;
+  // Watchdog state. `watch_token_` is non-null only while armed (the
+  // caller's external token, or own_token_ when a budget is set); the match
+  // layer receives it as const and only ever polls it.
+  obs::CancelToken own_token_;
+  obs::CancelToken* watch_token_ = nullptr;
+  std::optional<ChaseBreach> breach_;
 };
 
 // Mirrors a finished run's ChaseStats into the attached registry, so every
 // collector sees one consistent `chase.*` counter family no matter which
 // entry point ran the chase.
 void MirrorStats(obs::Context* obs, const ChaseStats& stats,
-                 std::size_t provenance_entries) {
+                 std::size_t provenance_entries, bool budget_stop) {
   if (obs == nullptr) return;
   obs::MetricsRegistry& m = obs->metrics;
   m.GetCounter("chase.runs").Increment();
+  if (budget_stop) m.GetCounter("chase.budget_stops").Increment();
   m.GetCounter("chase.rounds").Increment(stats.rounds);
   m.GetCounter("chase.tgd_firings").Increment(stats.tgd_firings);
   m.GetCounter("chase.nulls_created").Increment(stats.nulls_created);
@@ -1090,7 +1279,9 @@ Result<ChaseResult> RunChase(const logic::Mapping& mapping,
   result.stats = run.stats();
   result.provenance = std::move(run.provenance());
   result.target = std::move(run.target());
-  MirrorStats(options.obs, result.stats, result.provenance.size());
+  result.breach = std::move(run.breach());
+  MirrorStats(options.obs, result.stats, result.provenance.size(),
+              result.breach.has_value());
   return result;
 }
 
@@ -1111,7 +1302,9 @@ Result<ChaseResult> ChaseInstance(const std::vector<logic::Tgd>& tgds,
   result.stats = run.stats();
   result.provenance = std::move(run.provenance());
   result.target = std::move(run.target());
-  MirrorStats(options.obs, result.stats, result.provenance.size());
+  result.breach = std::move(run.breach());
+  MirrorStats(options.obs, result.stats, result.provenance.size(),
+              result.breach.has_value());
   return result;
 }
 
@@ -1180,7 +1373,8 @@ bool ExistsHomomorphism(const Instance& from, const Instance& to) {
 }
 
 instance::Instance ComputeCore(const Instance& database, obs::Context* obs,
-                               std::size_t threads) {
+                               std::size_t threads,
+                               const obs::CancelToken* cancel) {
   obs::ObsSpan span(obs, "chase.core");
   span.SetAttribute("input_tuples", database.TotalTuples());
   obs::ScopedLatency latency(obs, "chase.core.latency_us");
@@ -1192,6 +1386,7 @@ instance::Instance ComputeCore(const Instance& database, obs::Context* obs,
   Instance core = database;
   bool changed = true;
   while (changed) {
+    if (cancel != nullptr && cancel->stop_requested()) break;
     changed = false;
     // Collect nulls and candidate replacement values.
     std::set<Value> nulls;
@@ -1205,6 +1400,9 @@ instance::Instance ComputeCore(const Instance& database, obs::Context* obs,
       }
     }
     for (const Value& null : nulls) {
+      // A stop request returns the current instance — still a valid
+      // solution, just possibly short of the minimal core.
+      if (cancel != nullptr && cancel->stop_requested()) break;
       // Only tuples containing `null` can move under the retraction;
       // single-column probes enumerate exactly those (and stay maintained
       // across the in-place rewrites below). Copies, not pointers: the

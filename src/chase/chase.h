@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
 #include <utility>
@@ -16,6 +17,7 @@
 
 namespace mm2::obs {
 struct Context;
+class CancelToken;
 }
 
 namespace mm2::chase {
@@ -106,10 +108,41 @@ struct ChaseOptions {
   // counts, and egd semantics — is identical to the serial run at any
   // thread count. The naive oracle ignores this and always runs serial.
   std::size_t threads = 0;
+  // --- Resource budgets (the watchdog; 0 = unlimited) --------------------
+  // Soft limits checked at every round boundary. On breach the chase stops
+  // *gracefully*: Run returns OK with ChaseResult::breach describing which
+  // budget tripped and which rule dominated the run, and with partial
+  // target/stats/provenance intact — a runaway mapping (tgds under target
+  // constraints can legitimately diverge) yields diagnostics instead of
+  // burning a core until max_rounds hard-errors.
+  std::uint64_t wall_budget_us = 0;  // wall time since Run started
+  std::size_t tuple_budget = 0;      // tuples derived into the target
+  std::size_t rss_budget_kb = 0;     // VmRSS watermark of the process
+  // Optional external stop switch (a server admission controller, a test).
+  // The chase polls it at round boundaries and inside the (possibly
+  // parallel) match path; budget breaches trip the same token, so every
+  // layer unwinds through one mechanism. May outlive the call site's
+  // ChaseOptions copy semantics: not owned.
+  obs::CancelToken* cancel = nullptr;
   // Optional collector: when set, the chase opens a `chase.run` span with
-  // one `chase.round` child per round and mirrors ChaseStats into the
-  // registry's `chase.*` counters on completion.
+  // one `chase.round` child per round, emits a `chase.heartbeat` event and
+  // refreshes the `chase.progress.*` gauges every round, and mirrors
+  // ChaseStats into the registry's `chase.*` counters on completion.
   obs::Context* obs = nullptr;
+};
+
+// Why a chase stopped before reaching its fixpoint: the breached budget (or
+// "cancel" for an external stop), the limit and the observed value, plus
+// the dominant rule by attributed wall time — the first thing to look at
+// when a mapping runs away. `diagnostic` is the full human-readable report,
+// including the flight-recorder dump when an event log was attached.
+struct ChaseBreach {
+  std::string kind;  // "tuples" | "wall_us" | "rss_kb" | "cancel"
+  std::uint64_t limit = 0;
+  std::uint64_t observed = 0;
+  std::size_t round = 0;          // round boundary where the stop landed
+  std::string dominant_rule;      // label of the costliest RuleStats entry
+  std::string diagnostic;
 };
 
 // Per-constraint cost attribution: one entry per SO-clause/tgd/egd, in the
@@ -165,6 +198,10 @@ struct ChaseResult {
   instance::Instance target;
   ChaseStats stats;
   Provenance provenance;
+  // Set when a resource budget (or an external CancelToken) stopped the
+  // run before the fixpoint; target/stats/provenance hold the partial
+  // state as of the last completed round.
+  std::optional<ChaseBreach> breach;
 };
 
 // Runs the data-exchange chase: starting from `source`, fires the mapping's
@@ -213,10 +250,14 @@ bool ExistsHomomorphism(const instance::Instance& from,
 // `chase.core_iterations`. `threads` resolves like ChaseOptions::threads
 // (0 = MM2_THREADS, else serial); with more than one worker the candidate
 // validity scan per null runs partitioned, still applying the same (first
-// valid in value order) retraction the serial scan picks.
+// valid in value order) retraction the serial scan picks. `cancel` is the
+// cooperative stop switch: polled between retraction searches, and on
+// request the current (valid but possibly non-minimal) instance is
+// returned immediately.
 instance::Instance ComputeCore(const instance::Instance& database,
                                obs::Context* obs = nullptr,
-                               std::size_t threads = 0);
+                               std::size_t threads = 0,
+                               const obs::CancelToken* cancel = nullptr);
 
 // Refreshes the `value.intern.*` / `value.bytes_per_value` gauges in `obs`
 // from the process-wide StringPool. Called after every chase run and by the

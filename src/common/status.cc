@@ -18,6 +18,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Inconsistent";
     case StatusCode::kNotExpressible:
       return "NotExpressible";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
     case StatusCode::kInternal:
       return "Internal";
   }

@@ -18,6 +18,7 @@ enum class StatusCode {
   kUnsupported,       // input outside the fragment an operator handles
   kInconsistent,      // constraints unsatisfiable (e.g., failing egd chase)
   kNotExpressible,    // result exists but not in the requested language
+  kResourceExhausted, // a resource budget stopped the operation early
   kInternal,          // invariant violation inside the engine
 };
 
@@ -56,6 +57,9 @@ class Status {
   }
   static Status NotExpressible(std::string msg) {
     return Status(StatusCode::kNotExpressible, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

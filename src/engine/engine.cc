@@ -1,6 +1,7 @@
 #include "engine/engine.h"
 
 #include <cstdlib>
+#include <iostream>
 #include <sstream>
 #include <utility>
 
@@ -259,11 +260,32 @@ Status Engine::Exchange(const std::string& out_instance,
     op.SetAttribute("source_tuples", source.TotalTuples());
     runtime::ExchangeOptions options;
     options.threads = threads_;
+    // Provenance is always on for engine-level exchanges: it is what the
+    // `why` command reads back, and breach diagnostics lean on it too.
+    options.track_provenance = true;
+    options.wall_budget_us = budget_wall_us_;
+    options.tuple_budget = budget_tuples_;
+    options.rss_budget_kb = budget_rss_kb_;
     options.obs = &observability();
     MM2_ASSIGN_OR_RETURN(runtime::ExchangeResult result,
                          runtime::Exchange(m, source, options));
     op.SetAttribute("target_tuples", result.target.TotalTuples());
-    return repo_.PutInstance(out_instance, std::move(result.target));
+    last_exchange_ = chase::ChaseResult{};
+    last_exchange_.stats = result.stats;
+    last_exchange_.provenance = std::move(result.provenance);
+    last_exchange_.breach = result.breach;
+    has_last_exchange_ = true;
+    // A budget stop still registers the partial instance — the telemetry
+    // and the data it did derive are the whole point of a graceful stop —
+    // but the command itself reports the breach.
+    MM2_RETURN_IF_ERROR(
+        repo_.PutInstance(out_instance, std::move(result.target)));
+    if (result.breach.has_value()) {
+      return Status::ResourceExhausted("exchange into '" + out_instance +
+                                       "' stopped early: " +
+                                       result.breach->diagnostic);
+    }
+    return Status::OK();
   }());
 }
 
@@ -350,9 +372,125 @@ Result<modelgen::InheritanceStrategy> ParseStrategy(const std::string& word) {
                                  "' (want tph|tpt|tpc)");
 }
 
+// One value literal for the `why` command, mirroring the instance text
+// syntax: 42, 4.5, "s" (with \" and \\ escapes), #t/#f, null, N<label>,
+// d:<days>.
+Result<instance::Value> ParseValueLiteral(const std::string& token) {
+  if (token.empty()) {
+    return Status::InvalidArgument("empty value literal");
+  }
+  if (token == "null") return instance::Value::Null();
+  if (token == "#t") return instance::Value::Bool(true);
+  if (token == "#f") return instance::Value::Bool(false);
+  if (token.front() == '"') {
+    if (token.size() < 2 || token.back() != '"') {
+      return Status::InvalidArgument("unterminated string literal: " + token);
+    }
+    std::string s;
+    for (std::size_t i = 1; i + 1 < token.size(); ++i) {
+      if (token[i] == '\\' && i + 2 < token.size()) ++i;
+      s += token[i];
+    }
+    return instance::Value::String(s);
+  }
+  char* end = nullptr;
+  if (token.size() > 1 && token.front() == 'N') {
+    long long label = std::strtoll(token.c_str() + 1, &end, 10);
+    if (end != nullptr && *end == '\0') {
+      return instance::Value::LabeledNull(label);
+    }
+  }
+  if (token.rfind("d:", 0) == 0) {
+    long long days = std::strtoll(token.c_str() + 2, &end, 10);
+    if (end == nullptr || *end != '\0') {
+      return Status::InvalidArgument("bad date literal: " + token);
+    }
+    return instance::Value::Date(days);
+  }
+  long long i = std::strtoll(token.c_str(), &end, 10);
+  if (end != nullptr && *end == '\0' && end != token.c_str()) {
+    return instance::Value::Int64(i);
+  }
+  double d = std::strtod(token.c_str(), &end);
+  if (end != nullptr && *end == '\0' && end != token.c_str()) {
+    return instance::Value::Double(d);
+  }
+  return Status::InvalidArgument("cannot parse value literal '" + token +
+                                 "' (want 42, 4.5, \"s\", #t, null, N7, or "
+                                 "d:123)");
+}
+
+// Parses `Rel(v1,v2,...)` into a Fact. Commas inside quoted strings are
+// respected; whitespace around arguments is trimmed (the script tokenizer
+// splits on spaces, so callers re-join the tail tokens first).
+Result<chase::Fact> ParseFactLiteral(const std::string& text) {
+  std::size_t open = text.find('(');
+  if (open == std::string::npos || text.empty() || text.back() != ')') {
+    return Status::InvalidArgument("expected Rel(v1,v2,...), got '" + text +
+                                   "'");
+  }
+  chase::Fact fact;
+  fact.relation = text.substr(0, open);
+  if (fact.relation.empty()) {
+    return Status::InvalidArgument("fact needs a relation name: " + text);
+  }
+  std::string body = text.substr(open + 1, text.size() - open - 2);
+  std::vector<std::string> args;
+  std::string current;
+  bool in_string = false;
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    char c = body[i];
+    if (in_string) {
+      current += c;
+      if (c == '\\' && i + 1 < body.size()) {
+        current += body[++i];
+      } else if (c == '"') {
+        in_string = false;
+      }
+    } else if (c == '"') {
+      current += c;
+      in_string = true;
+    } else if (c == ',') {
+      args.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty() || !args.empty()) args.push_back(std::move(current));
+  for (std::string& arg : args) {
+    std::size_t b = arg.find_first_not_of(" \t");
+    std::size_t e = arg.find_last_not_of(" \t");
+    if (b == std::string::npos) {
+      return Status::InvalidArgument("empty argument in fact: " + text);
+    }
+    MM2_ASSIGN_OR_RETURN(instance::Value v,
+                         ParseValueLiteral(arg.substr(b, e - b + 1)));
+    fact.tuple.push_back(std::move(v));
+  }
+  return fact;
+}
+
 }  // namespace
 
 Result<std::vector<std::string>> Engine::RunScript(const std::string& script) {
+  Result<std::vector<std::string>> result = RunScriptImpl(script);
+  if (!result.ok()) {
+    // Attach the flight recorder to the failure, unless a lower layer (the
+    // chase's max_rounds error, a breach diagnostic) already included it.
+    const std::string& msg = result.status().message();
+    if (msg.find("-- flight recorder") == std::string::npos) {
+      std::string dump = observability().events.DumpRecent();
+      if (!dump.empty()) {
+        return Status(result.status().code(), msg + "\n" + dump);
+      }
+    }
+  }
+  return result;
+}
+
+Result<std::vector<std::string>> Engine::RunScriptImpl(
+    const std::string& script) {
   std::vector<std::string> log;
   // `trace <file>` arms this guard; the Chrome JSON is written when the
   // script finishes — including early error returns — so a trace of a
@@ -462,6 +600,8 @@ Result<std::vector<std::string>> Engine::RunScript(const std::string& script) {
       log.push_back("threads " + tokens[1]);
     } else if (op == "stats") {
       chase::MirrorValueStats(&observability());
+      observability().metrics.GetGauge("mem.peak_rss_kb").Set(
+          static_cast<std::int64_t>(obs::PeakRssKb()));
       std::vector<std::string> lines =
           observability().metrics.Snapshot().Lines();
       log.push_back("stats: " + std::to_string(lines.size()) + " metrics");
@@ -473,6 +613,8 @@ Result<std::vector<std::string>> Engine::RunScript(const std::string& script) {
         return fail("explain takes no argument or --json");
       }
       chase::MirrorValueStats(&observability());
+      observability().metrics.GetGauge("mem.peak_rss_kb").Set(
+          static_cast<std::int64_t>(obs::PeakRssKb()));
       obs::ProfileReport report = obs::Profiler::Build(observability());
       if (tokens.size() > 1) {
         log.push_back(report.ToJson());
@@ -490,6 +632,83 @@ Result<std::vector<std::string>> Engine::RunScript(const std::string& script) {
       observability().tracer.Enable();
       trace_flusher.file = tokens[1];
       log.push_back("tracing to " + tokens[1]);
+    } else if (op == "log") {
+      MM2_RETURN_IF_ERROR(need(1));
+      obs::EventFormat format;
+      if (tokens[1] == "off") {
+        format = obs::EventFormat::kOff;
+      } else if (tokens[1] == "text") {
+        format = obs::EventFormat::kText;
+      } else if (tokens[1] == "json") {
+        format = obs::EventFormat::kJson;
+      } else {
+        return fail("log wants off|text|json [file], got '" + tokens[1] +
+                    "'");
+      }
+      if (tokens.size() > 2 && format != obs::EventFormat::kOff) {
+        MM2_RETURN_IF_ERROR(
+            observability().events.ConfigureFile(format, tokens[2]));
+        log.push_back("logging " + tokens[1] + " to " + tokens[2]);
+      } else {
+        observability().events.Configure(
+            format, format == obs::EventFormat::kOff ? nullptr : &std::cerr);
+        log.push_back("logging " + tokens[1]);
+      }
+    } else if (op == "budget") {
+      MM2_RETURN_IF_ERROR(need(1));
+      if (tokens[1] == "off") {
+        SetWallBudgetUs(0);
+        SetTupleBudget(0);
+        SetRssBudgetKb(0);
+        log.push_back("budgets cleared");
+      } else {
+        MM2_RETURN_IF_ERROR(need(2));
+        char* end = nullptr;
+        long long n = std::strtoll(tokens[2].c_str(), &end, 10);
+        if (end == tokens[2].c_str() || *end != '\0' || n < 0) {
+          return fail("budget wants a non-negative integer, got '" +
+                      tokens[2] + "'");
+        }
+        if (tokens[1] == "tuples") {
+          SetTupleBudget(static_cast<std::size_t>(n));
+        } else if (tokens[1] == "wall_us") {
+          SetWallBudgetUs(static_cast<std::uint64_t>(n));
+        } else if (tokens[1] == "rss_kb") {
+          SetRssBudgetKb(static_cast<std::size_t>(n));
+        } else {
+          return fail("budget wants tuples|wall_us|rss_kb|off, got '" +
+                      tokens[1] + "'");
+        }
+        log.push_back("budget " + tokens[1] + " " + tokens[2]);
+      }
+    } else if (op == "why") {
+      MM2_RETURN_IF_ERROR(need(1));
+      if (!has_last_exchange_) {
+        return fail("why needs a prior exchange in this engine (provenance "
+                    "is recorded per exchange)");
+      }
+      // The tokenizer split on spaces; stitch the fact literal back
+      // together so `why Flat(1, "a b")` works.
+      std::string literal = tokens[1];
+      for (std::size_t i = 2; i < tokens.size(); ++i) {
+        literal += " " + tokens[i];
+      }
+      auto fact_result = ParseFactLiteral(literal);
+      if (!fact_result.ok()) return fail(fact_result.status().message());
+      const chase::Fact& fact = fact_result.value();
+      std::string explanation = runtime::ExplainFact(last_exchange_, fact);
+      std::istringstream explain_lines(explanation);
+      std::string explain_line;
+      while (std::getline(explain_lines, explain_line)) {
+        log.push_back(std::move(explain_line));
+      }
+      std::vector<chase::Fact> lineage =
+          runtime::Lineage(last_exchange_, fact);
+      if (!lineage.empty()) {
+        std::string sources = "  sources:";
+        for (const chase::Fact& f : lineage) sources += " " + f.ToString();
+        log.push_back(std::move(sources));
+      }
     } else {
       return fail("unknown command '" + op + "'");
     }

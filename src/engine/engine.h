@@ -75,7 +75,12 @@ class Engine {
   void SetObservability(obs::Context* ctx) { obs_ = ctx; }
   obs::Context& observability() {
     if (obs_ != nullptr) return *obs_;
-    if (owned_obs_ == nullptr) owned_obs_ = std::make_unique<obs::Context>();
+    if (owned_obs_ == nullptr) {
+      owned_obs_ = std::make_unique<obs::Context>();
+      // The engine-owned event log honors MM2_LOG=json|text|off (sink:
+      // stderr). Externally attached contexts configure their own.
+      owned_obs_->events.ConfigureFromEnv();
+    }
     return *owned_obs_;
   }
 
@@ -84,6 +89,15 @@ class Engine {
   // set this via the `threads <n>` command.
   void SetThreads(std::size_t threads) { threads_ = threads; }
   std::size_t threads() const { return threads_; }
+
+  // Soft resource budgets applied to chase-backed commands (exchange);
+  // 0 = unlimited. On a breach the chase stops gracefully: the partial
+  // instance is still registered (suffixed diagnostics name the dominant
+  // rule) and the command returns ResourceExhausted. Scripts set these via
+  // `budget tuples|wall_us|rss_kb <n>` / `budget off`.
+  void SetWallBudgetUs(std::uint64_t us) { budget_wall_us_ = us; }
+  void SetTupleBudget(std::size_t tuples) { budget_tuples_ = tuples; }
+  void SetRssBudgetKb(std::size_t kb) { budget_rss_kb_ = kb; }
 
   // --- Operators over repository names -----------------------------------
   Result<match::MatchResult> Match(const std::string& source_schema,
@@ -152,15 +166,35 @@ class Engine {
   //   trace <file>                   (enable tracing; Chrome trace_event
   //                                   JSON is written to <file> when the
   //                                   script finishes, even on error)
+  //   log off|text|json [file]       (structured event log; default sink is
+  //                                   stderr, or <file> when given. Also
+  //                                   settable via MM2_LOG=json|text|off)
+  //   budget tuples|wall_us|rss_kb <n>   (soft chase budgets; `budget off`
+  //                                   clears all three)
+  //   why <Rel(v1,v2,...)>           (why-provenance of a target fact from
+  //                                   the last exchange; values use the
+  //                                   instance literal syntax: 42, 4.5,
+  //                                   "s", #t, null, N7, d:123)
   // Blank lines and lines starting with '#' are skipped. Returns one log
-  // line per executed command.
+  // line per executed command. When a command fails and the event log has
+  // been recording, the flight-recorder dump (the last ring of events) is
+  // appended to the error so the run-up to the failure travels with it.
   Result<std::vector<std::string>> RunScript(const std::string& script);
 
  private:
+  Result<std::vector<std::string>> RunScriptImpl(const std::string& script);
+
   Repository repo_;
   obs::Context* obs_ = nullptr;              // attached collector, if any
   std::unique_ptr<obs::Context> owned_obs_;  // fallback, created lazily
   std::size_t threads_ = 0;                  // 0 = MM2_THREADS, else serial
+  std::uint64_t budget_wall_us_ = 0;         // soft chase budgets; 0 = off
+  std::size_t budget_tuples_ = 0;
+  std::size_t budget_rss_kb_ = 0;
+  // Chase result of the most recent exchange (provenance + stats only; the
+  // target lives in the repository) — the `why` command's data source.
+  chase::ChaseResult last_exchange_;
+  bool has_last_exchange_ = false;
 };
 
 }  // namespace mm2::engine

@@ -6,19 +6,22 @@
 #include <string>
 
 #include "common/status.h"
+#include "obs/event.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace mm2::obs {
 
-// The unit of attachment: one metrics namespace plus one span collector.
-// Benches and tests construct their own Context and hand it to the engine
+// The unit of attachment: one metrics namespace, one span collector, and
+// one structured event log (with its flight-recorder ring). Benches and
+// tests construct their own Context and hand it to the engine
 // (Engine::SetObservability) or to individual operators via their options
 // structs — there is no global state. Every instrumentation helper below is
 // null-safe, so call sites never branch on "is observability on".
 struct Context {
   MetricsRegistry metrics;
   Tracer tracer;
+  EventLog events;
 };
 
 // RAII span guard. Opens a span on construction (no-op when `ctx` is null

@@ -402,20 +402,31 @@ Result<ExchangeResult> Exchange(const logic::Mapping& mapping,
   chase_options.naive = options.naive;
   chase_options.semi_naive = options.semi_naive;
   chase_options.threads = options.threads;
+  chase_options.wall_budget_us = options.wall_budget_us;
+  chase_options.tuple_budget = options.tuple_budget;
+  chase_options.rss_budget_kb = options.rss_budget_kb;
+  chase_options.cancel = options.cancel;
   chase_options.obs = options.obs;
   MM2_ASSIGN_OR_RETURN(chase::ChaseResult chased,
                        chase::RunChase(mapping, source, chase_options));
   ExchangeResult result;
   result.stats = chased.stats;
   result.provenance = std::move(chased.provenance);
-  if (options.compute_core) {
+  result.breach = std::move(chased.breach);
+  // A breached chase produced a partial (non-universal) solution; core
+  // minimization of it would be wasted work on a wrong premise, so keep
+  // the partial target as-is for post-mortem inspection.
+  if (options.compute_core && !result.breach.has_value()) {
     result.pre_core_tuples = chased.target.TotalTuples();
-    result.target =
-        chase::ComputeCore(chased.target, options.obs, options.threads);
+    result.target = chase::ComputeCore(chased.target, options.obs,
+                                       options.threads, options.cancel);
   } else {
     result.target = std::move(chased.target);
   }
   span.SetAttribute("target_tuples", result.target.TotalTuples());
+  if (result.breach.has_value()) {
+    span.SetAttribute("breach", result.breach->kind);
+  }
   return result;
 }
 

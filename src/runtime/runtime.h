@@ -198,6 +198,14 @@ struct ExchangeOptions {
   // Worker threads for the parallel chase executor (and the core scan when
   // compute_core is set): 0 defers to MM2_THREADS, default 1 = serial.
   std::size_t threads = 0;
+  // Soft resource budgets, forwarded to ChaseOptions (0 = unlimited). On a
+  // breach the chase stops gracefully and ExchangeResult::breach reports
+  // why; core minimization is skipped for a partial solution.
+  std::uint64_t wall_budget_us = 0;
+  std::size_t tuple_budget = 0;
+  std::size_t rss_budget_kb = 0;
+  // External stop switch, forwarded to the chase and to ComputeCore.
+  obs::CancelToken* cancel = nullptr;
   // Optional collector, threaded through to the chase (and core
   // minimization when enabled).
   obs::Context* obs = nullptr;
@@ -208,6 +216,9 @@ struct ExchangeResult {
   chase::ChaseStats stats;
   chase::Provenance provenance;
   std::size_t pre_core_tuples = 0;  // when compute_core
+  // Set when a budget (or external cancel) stopped the chase early; target
+  // and stats hold the partial state as of the last completed round.
+  std::optional<chase::ChaseBreach> breach;
 };
 
 // Runs the mapping end to end: chase, optional core minimization,

@@ -262,6 +262,56 @@ TEST(ChaseTest, ProvenanceRecordsWitnesses) {
   EXPECT_EQ((*witnesses)[0][0].tuple[0], Value::Int64(1));
 }
 
+TEST(ChaseTest, ProvenanceSurvivesEgdDrivenNullMerge) {
+  // Two tgds invent independent nulls for the same key; the egd then
+  // forces them equal, rewriting one null onto the other everywhere —
+  // including inside the provenance map, which must stay queryable via
+  // the value that survived the merge.
+  Tgd invent_p;
+  invent_p.body = {Atom{"S", {V("x")}}};
+  invent_p.head = {Atom{"P", {V("x"), Term::Var("n")}}};
+  Tgd invent_q;
+  invent_q.body = {Atom{"S", {V("x")}}};
+  invent_q.head = {Atom{"Q", {V("x"), Term::Var("m")}}};
+  Egd same;
+  same.body = {Atom{"P", {V("x"), V("a")}}, Atom{"Q", {V("x"), V("b")}}};
+  same.left = "a";
+  same.right = "b";
+  Instance db;
+  db.DeclareRelation("S", 1);
+  ASSERT_TRUE(db.Insert("S", {Value::Int64(1)}).ok());
+  ChaseOptions options;
+  options.track_provenance = true;
+  auto result = ChaseInstance({invent_p, invent_q}, {same}, db, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // Both relations now carry the same (merged) null.
+  const instance::RelationInstance* p = result->target.Find("P");
+  const instance::RelationInstance* q = result->target.Find("Q");
+  ASSERT_NE(p, nullptr);
+  ASSERT_NE(q, nullptr);
+  ASSERT_EQ(p->size(), 1u);
+  ASSERT_EQ(q->size(), 1u);
+  Value merged = (*p->tuples().begin())[1];
+  ASSERT_TRUE(merged.is_labeled_null());
+  EXPECT_EQ((*q->tuples().begin())[1], merged);
+  // Lineage is queryable through the rewritten value for BOTH facts...
+  for (const char* relation : {"P", "Q"}) {
+    Fact fact{relation, {Value::Int64(1), merged}};
+    const std::vector<Witness>* witnesses =
+        result->provenance.WitnessesOf(fact);
+    ASSERT_NE(witnesses, nullptr) << relation;
+    ASSERT_FALSE(witnesses->empty());
+    EXPECT_EQ((*witnesses)[0][0].relation, "S");
+    EXPECT_EQ((*witnesses)[0][0].tuple[0], Value::Int64(1));
+  }
+  // ...and the pre-merge null no longer resolves (exactly one of the two
+  // invented labels was rewritten away; probe the one that is not the
+  // survivor).
+  std::int64_t dead_label = merged.label() == 0 ? 1 : 0;
+  Fact stale{"P", {Value::Int64(1), Value::LabeledNull(dead_label)}};
+  EXPECT_EQ(result->provenance.WitnessesOf(stale), nullptr);
+}
+
 TEST(ChaseInstanceTest, ClosesUnderIntraSchemaTgds) {
   // Transitivity: E(x,y) & E(y,z) -> E(x,z).
   Tgd trans;

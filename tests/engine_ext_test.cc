@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -241,6 +242,122 @@ TEST_F(EngineExtTest, StatsOutputIsDeterministic) {
   std::vector<std::string> sorted = first_names;
   std::sort(sorted.begin(), sorted.end());
   EXPECT_EQ(first_names, sorted);
+}
+
+TEST_F(EngineExtTest, WhyExplainsTargetFactAfterExchange) {
+  auto log = engine_.RunScript(R"(
+exchange Dout flatten D
+why Flat(1,"widget",3)
+)");
+  ASSERT_TRUE(log.ok()) << log.status();
+  std::string joined;
+  for (const std::string& line : *log) joined += line + "\n";
+  EXPECT_NE(joined.find("because:"), std::string::npos) << joined;
+  EXPECT_NE(joined.find("Orders(1, \"widget\")"), std::string::npos)
+      << joined;
+  EXPECT_NE(joined.find("Lines(1, 3)"), std::string::npos) << joined;
+  EXPECT_NE(joined.find("sources:"), std::string::npos) << joined;
+}
+
+TEST_F(EngineExtTest, WhyReportsUnderivedFactAndBadInput) {
+  ASSERT_TRUE(engine_.RunScript("exchange Dout flatten D").ok());
+  // A fact the exchange never derived: answered, not an error.
+  auto log = engine_.RunScript("why Flat(99,\"nope\",0)");
+  ASSERT_TRUE(log.ok()) << log.status();
+  std::string joined;
+  for (const std::string& line : *log) joined += line + "\n";
+  EXPECT_NE(joined.find("no recorded derivation"), std::string::npos);
+  // Malformed fact literals fail with a parse diagnostic.
+  EXPECT_FALSE(engine_.RunScript("why notafact").ok());
+  EXPECT_FALSE(engine_.RunScript("why Flat(oops)").ok());
+}
+
+TEST_F(EngineExtTest, WhyRequiresAPriorExchange) {
+  auto log = engine_.RunScript("why Flat(1,\"widget\",3)");
+  ASSERT_FALSE(log.ok());
+  EXPECT_NE(log.status().message().find("prior exchange"),
+            std::string::npos);
+}
+
+TEST_F(EngineExtTest, LogCommandWritesJsonLinesToFile) {
+  std::string path = ::testing::TempDir() + "/engine_ext_events.jsonl";
+  auto log = engine_.RunScript("log json " + path +
+                               "\nexchange Dout flatten D\nlog off\n");
+  ASSERT_TRUE(log.ok()) << log.status();
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  bool saw_heartbeat = false;
+  while (std::getline(in, line)) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    if (line.find("\"event\": \"chase.heartbeat\"") != std::string::npos) {
+      saw_heartbeat = true;
+    }
+  }
+  EXPECT_TRUE(saw_heartbeat);
+  EXPECT_FALSE(engine_.RunScript("log loud").ok());
+}
+
+TEST_F(EngineExtTest, BudgetBreachRegistersPartialInstanceAndFails) {
+  // Load a source big enough to blow a 1-tuple budget in round one.
+  instance::Instance big = instance::Instance::EmptyFor(
+      engine_.repo().GetSchema("S").value());
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(big.Insert("Orders", {Value::Int64(i),
+                                      Value::String("x")}).ok());
+    ASSERT_TRUE(big.Insert("Lines", {Value::Int64(i), Value::Int64(i)}).ok());
+  }
+  ASSERT_TRUE(engine_.repo().PutInstance("Big", std::move(big)).ok());
+  auto log = engine_.RunScript(R"(
+log text
+budget tuples 1
+exchange Dpartial flatten Big
+)");
+  ASSERT_FALSE(log.ok());
+  EXPECT_EQ(log.status().code(), StatusCode::kResourceExhausted);
+  // The diagnostic names the breach, the dominant rule, and carries the
+  // flight-recorder dump.
+  EXPECT_NE(log.status().message().find("tuples budget breached"),
+            std::string::npos)
+      << log.status();
+  EXPECT_NE(log.status().message().find("tgd0:Orders+Lines->Flat"),
+            std::string::npos);
+  EXPECT_NE(log.status().message().find("-- flight recorder"),
+            std::string::npos);
+  // The partial instance was still registered, with partial data intact.
+  auto partial = engine_.repo().GetInstance("Dpartial");
+  ASSERT_TRUE(partial.ok());
+  EXPECT_GT(partial->TotalTuples(), 0u);
+  // `budget off` clears the limits; the same exchange then completes.
+  auto cleared = engine_.RunScript(R"(
+budget off
+exchange Dfull flatten Big
+)");
+  ASSERT_TRUE(cleared.ok()) << cleared.status();
+  EXPECT_EQ(engine_.repo().GetInstance("Dfull")->Find("Flat")->size(), 8u);
+}
+
+TEST_F(EngineExtTest, BudgetCommandRejectsBadArguments) {
+  EXPECT_FALSE(engine_.RunScript("budget").ok());
+  EXPECT_FALSE(engine_.RunScript("budget tuples").ok());
+  EXPECT_FALSE(engine_.RunScript("budget tuples many").ok());
+  EXPECT_FALSE(engine_.RunScript("budget tuples -1").ok());
+  EXPECT_FALSE(engine_.RunScript("budget watts 5").ok());
+  EXPECT_TRUE(engine_.RunScript("budget wall_us 1000000").ok());
+  EXPECT_TRUE(engine_.RunScript("budget off").ok());
+}
+
+TEST_F(EngineExtTest, StatsReportsPeakRss) {
+  auto log = engine_.RunScript("stats");
+  ASSERT_TRUE(log.ok()) << log.status();
+  std::string joined;
+  for (const std::string& line : *log) joined += line + "\n";
+  EXPECT_NE(joined.find("mem.peak_rss_kb"), std::string::npos) << joined;
+  obs::MetricsSnapshot snap = engine_.observability().metrics.Snapshot();
+  const obs::GaugeSnapshot* gauge = snap.FindGauge("mem.peak_rss_kb");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_GT(gauge->value, 0);
 }
 
 }  // namespace

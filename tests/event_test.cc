@@ -1,0 +1,222 @@
+// Tests for the structured event log / flight recorder (obs/event.h) and
+// the cooperative CancelToken.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/event.h"
+
+namespace mm2::obs {
+namespace {
+
+TEST(EventLogTest, DisabledByDefault) {
+  EventLog log;
+  EXPECT_FALSE(log.enabled());
+  EXPECT_EQ(log.format(), EventFormat::kOff);
+  log.Emit(EventLevel::kInfo, "e", {});
+  EXPECT_EQ(log.emitted(), 0u);
+  EXPECT_TRUE(log.Recent().empty());
+  EXPECT_EQ(log.DumpRecent(), "");
+}
+
+TEST(EventLogTest, RecordsToSinkAndRing) {
+  EventLog log;
+  std::ostringstream sink;
+  log.Configure(EventFormat::kText, &sink);
+  EXPECT_TRUE(log.enabled());
+  log.Emit(EventLevel::kInfo, "chase.heartbeat",
+           {F("round", std::uint64_t{2}), F("rule", "tgd0")});
+  EXPECT_EQ(log.emitted(), 1u);
+  std::string line = sink.str();
+  EXPECT_NE(line.find("chase.heartbeat"), std::string::npos);
+  EXPECT_NE(line.find("round=2"), std::string::npos);
+  EXPECT_NE(line.find("rule=tgd0"), std::string::npos);
+  std::vector<Event> recent = log.Recent();
+  ASSERT_EQ(recent.size(), 1u);
+  EXPECT_EQ(recent[0].name, "chase.heartbeat");
+  EXPECT_EQ(recent[0].seq, 1u);
+}
+
+TEST(EventLogTest, FlightRecorderOnlyModeNeedsNoSink) {
+  EventLog log;
+  log.Configure(EventFormat::kText, /*sink=*/nullptr);
+  log.Emit(EventLevel::kInfo, "e1", {});
+  log.Emit(EventLevel::kWarn, "e2", {});
+  EXPECT_EQ(log.Recent().size(), 2u);
+  std::string dump = log.DumpRecent();
+  EXPECT_NE(dump.find("-- flight recorder (last 2 events) --"),
+            std::string::npos);
+  EXPECT_NE(dump.find("e1"), std::string::npos);
+  EXPECT_NE(dump.find("e2"), std::string::npos);
+}
+
+TEST(EventLogTest, RingKeepsLastNInOrder) {
+  EventLog log(/*ring_capacity=*/4);
+  log.Configure(EventFormat::kText, /*sink=*/nullptr);
+  for (int i = 0; i < 10; ++i) {
+    log.Emit(EventLevel::kInfo, "e" + std::to_string(i), {});
+  }
+  std::vector<Event> recent = log.Recent();
+  ASSERT_EQ(recent.size(), 4u);
+  EXPECT_EQ(recent[0].name, "e6");
+  EXPECT_EQ(recent[3].name, "e9");
+  EXPECT_EQ(log.emitted(), 10u);
+  // Seq keeps counting across the wrap.
+  EXPECT_EQ(recent[3].seq, 10u);
+}
+
+TEST(EventLogTest, JsonLinesAreWellFormed) {
+  EventLog log;
+  std::ostringstream sink;
+  log.Configure(EventFormat::kJson, &sink);
+  log.Emit(EventLevel::kWarn, "test.event",
+           {F("text", "say \"hi\"\nback\\slash"), F("n", std::int64_t{-3}),
+            F("x", 2.5)});
+  std::string line = sink.str();
+  ASSERT_FALSE(line.empty());
+  EXPECT_EQ(line.back(), '\n');
+  line.pop_back();
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_EQ(line.back(), '}');
+  EXPECT_NE(line.find("\"level\": \"warn\""), std::string::npos);
+  EXPECT_NE(line.find("\"event\": \"test.event\""), std::string::npos);
+  // Escapes: quote, newline, backslash; numbers unquoted.
+  EXPECT_NE(line.find("say \\\"hi\\\"\\nback\\\\slash"), std::string::npos);
+  EXPECT_NE(line.find("\"n\": -3"), std::string::npos);
+  EXPECT_NE(line.find("\"x\": 2.5"), std::string::npos);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+}
+
+TEST(EventLogTest, MinLevelFiltersAtTheDoor) {
+  EventLog log;
+  log.Configure(EventFormat::kText, /*sink=*/nullptr);
+  log.SetMinLevel(EventLevel::kWarn);
+  log.Emit(EventLevel::kDebug, "dropped", {});
+  log.Emit(EventLevel::kInfo, "dropped too", {});
+  log.Emit(EventLevel::kError, "kept", {});
+  std::vector<Event> recent = log.Recent();
+  ASSERT_EQ(recent.size(), 1u);
+  EXPECT_EQ(recent[0].name, "kept");
+}
+
+TEST(EventLogTest, ConfigureFromEnvReadsMm2Log) {
+  {
+    EventLog log;
+    ::setenv("MM2_LOG", "json", 1);
+    log.ConfigureFromEnv();
+    EXPECT_EQ(log.format(), EventFormat::kJson);
+  }
+  {
+    EventLog log;
+    ::setenv("MM2_LOG", "text", 1);
+    log.ConfigureFromEnv();
+    EXPECT_EQ(log.format(), EventFormat::kText);
+  }
+  {
+    EventLog log;
+    ::setenv("MM2_LOG", "off", 1);
+    log.ConfigureFromEnv();
+    EXPECT_EQ(log.format(), EventFormat::kOff);
+    EXPECT_FALSE(log.enabled());
+  }
+  {
+    EventLog log;
+    ::unsetenv("MM2_LOG");
+    log.ConfigureFromEnv();
+    EXPECT_EQ(log.format(), EventFormat::kOff);
+  }
+}
+
+TEST(EventLogTest, ConfigureFileWritesAndFailsOnBadPath) {
+  EventLog log;
+  EXPECT_FALSE(
+      log.ConfigureFile(EventFormat::kJson, "/nonexistent-dir/x.log").ok());
+  std::string path = ::testing::TempDir() + "/event_test_log.jsonl";
+  ASSERT_TRUE(log.ConfigureFile(EventFormat::kJson, path).ok());
+  log.Emit(EventLevel::kInfo, "to.file", {F("k", "v")});
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_NE(line.find("\"event\": \"to.file\""), std::string::npos);
+}
+
+TEST(EventLogTest, ClearEmptiesTheRing) {
+  EventLog log;
+  log.Configure(EventFormat::kText, /*sink=*/nullptr);
+  log.Emit(EventLevel::kInfo, "e", {});
+  ASSERT_EQ(log.Recent().size(), 1u);
+  log.Clear();
+  EXPECT_TRUE(log.Recent().empty());
+  EXPECT_EQ(log.DumpRecent(), "");
+}
+
+TEST(EventLogTest, ConcurrentEmittersDoNotLoseEvents) {
+  EventLog log(/*ring_capacity=*/1024);
+  log.Configure(EventFormat::kText, /*sink=*/nullptr);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        log.Emit(EventLevel::kInfo, "t" + std::to_string(t),
+                 {F("i", static_cast<std::int64_t>(i))});
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(log.emitted(), static_cast<std::uint64_t>(kThreads * kPerThread));
+  std::vector<Event> recent = log.Recent();
+  EXPECT_EQ(recent.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  // Seq numbers are unique and dense.
+  std::vector<std::uint64_t> seqs;
+  for (const Event& e : recent) seqs.push_back(e.seq);
+  std::sort(seqs.begin(), seqs.end());
+  for (std::size_t i = 0; i < seqs.size(); ++i) {
+    EXPECT_EQ(seqs[i], i + 1);
+  }
+}
+
+TEST(CancelTokenTest, FirstStopReasonWins) {
+  CancelToken token;
+  EXPECT_FALSE(token.stop_requested());
+  EXPECT_EQ(token.reason(), "");
+  token.RequestStop("budget breached");
+  token.RequestStop("second caller");
+  EXPECT_TRUE(token.stop_requested());
+  EXPECT_EQ(token.reason(), "budget breached");
+  token.Reset();
+  EXPECT_FALSE(token.stop_requested());
+  EXPECT_EQ(token.reason(), "");
+}
+
+TEST(CancelTokenTest, ConcurrentRequestsAreSafe) {
+  CancelToken token;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back(
+        [&token, t] { token.RequestStop("caller " + std::to_string(t)); });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_TRUE(token.stop_requested());
+  EXPECT_NE(token.reason().find("caller "), std::string::npos);
+}
+
+TEST(RssProbeTest, ReportsPlausibleValues) {
+  double peak = PeakRssKb();
+  double current = CurrentRssKb();
+  // On Linux both reads succeed and peak >= current modulo races; at
+  // minimum both are non-negative and peak is nonzero for a live process.
+  EXPECT_GE(peak, 0.0);
+  EXPECT_GE(current, 0.0);
+  EXPECT_GT(peak, 0.0);
+}
+
+}  // namespace
+}  // namespace mm2::obs
