@@ -1,0 +1,94 @@
+// Mapping-analysis cost: building the rule-dependency + position graphs,
+// classifying termination, and stratifying, swept over synthetic rule sets
+// of 16 / 64 / 256 rules in two shapes:
+//
+//   layered: R<k>(x,y) -> R<k+1>(x,y) — a pure chain, one stratum per
+//            rule, weakly acyclic, the stratification-heavy case;
+//   tangled: layered plus every 4th rule closing back with an existential
+//            (R<k>(x,y) -> exists z. R<k-3>(y,z)) — dependency cycles AND
+//            position-graph cycles through special edges, the case where
+//            the per-special-edge reachability scan does real work.
+//
+// `explain mapping` runs this exact code path interactively, so its cost
+// is an observability-latency budget, not a chase-throughput one. Each
+// (shape, rules) point records an `analysis.<shape>.r<rules>.wall_us`
+// histogram into the shared bench registry for BENCH_<label>.json.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "bench_report.h"
+
+#include "analysis/analysis.h"
+#include "logic/formula.h"
+
+namespace {
+
+using mm2::logic::Atom;
+using mm2::logic::Term;
+using mm2::logic::Tgd;
+
+Term V(const std::string& name) { return Term::Var(name); }
+
+constexpr const char* kShapeNames[] = {"layered", "tangled"};
+
+std::vector<Tgd> SyntheticRules(std::int64_t shape, std::int64_t rules) {
+  std::vector<Tgd> tgds;
+  for (std::int64_t k = 0; k < rules; ++k) {
+    Tgd step;
+    std::string from = "R" + std::to_string(k);
+    std::string to = "R" + std::to_string(k + 1);
+    step.body = {Atom{from, {V("x"), V("y")}}};
+    step.head = {Atom{to, {V("x"), V("y")}}};
+    tgds.push_back(std::move(step));
+    if (shape == 1 && k % 4 == 3) {
+      Tgd back;
+      back.body = {Atom{to, {V("x"), V("y")}}};
+      back.head = {
+          Atom{"R" + std::to_string(k - 3), {V("y"), V("z")}}};  // z fresh
+      tgds.push_back(std::move(back));
+    }
+  }
+  return tgds;
+}
+
+void BM_AnalyzeClosure(benchmark::State& state) {
+  std::int64_t shape = state.range(0);
+  std::int64_t rules = state.range(1);
+  std::vector<Tgd> tgds = SyntheticRules(shape, rules);
+
+  std::string point = std::string("analysis.") + kShapeNames[shape] + ".r" +
+                      std::to_string(rules);
+  auto& wall = mm2::bench::Obs().metrics.GetHistogram(point + ".wall_us");
+
+  mm2::analysis::MappingAnalysis last;
+  for (auto _ : state) {
+    auto start = std::chrono::steady_clock::now();
+    mm2::analysis::MappingAnalysis a =
+        mm2::analysis::AnalyzeClosure(tgds, {});
+    double us = std::chrono::duration_cast<
+                    std::chrono::duration<double, std::micro>>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+    wall.Record(us);
+    benchmark::DoNotOptimize(a);
+    last = std::move(a);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(tgds.size()));
+  state.counters["rules"] = static_cast<double>(last.rules.size());
+  state.counters["strata"] = static_cast<double>(last.strata.size());
+  state.counters["positions"] = static_cast<double>(last.positions.size());
+  state.counters["terminating"] = last.terminating() ? 1 : 0;
+}
+// shape: 0 = layered chain (weakly acyclic), 1 = tangled (special cycles).
+BENCHMARK(BM_AnalyzeClosure)
+    ->ArgNames({"shape", "rules"})
+    ->ArgsProduct({{0, 1}, {16, 64, 256}})
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+MM2_BENCH_MAIN("analysis_bench");

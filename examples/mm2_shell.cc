@@ -64,15 +64,21 @@ void PrintHelp() {
       "  threads <n>                   worker threads for chase-backed\n"
       "                                commands (0 = MM2_THREADS env);\n"
       "                                pool metrics land in stats/explain\n"
-      "  stats                         dump the metrics registry\n"
+      "  stats [--json]                dump the metrics registry\n"
       "  explain [--json]              ranked cost report (operators,\n"
-      "                                chase rules, span phases)\n"
+      "                                chase rules, strata, span phases)\n"
+      "  explain mapping <m> [--json|--dot]\n"
+      "                                static analysis: dependency strata,\n"
+      "                                termination class, chase bounds\n"
       "  trace <file>                  record spans; Chrome JSON on quit\n"
       "                                (or start with MM2_TRACE=<file>;\n"
       "                                MM2_STATS=1 dumps stats on quit)\n"
       "  log off|text|json [file]      structured event log + flight\n"
       "                                recorder (default sink stderr; or\n"
       "                                start with MM2_LOG=json|text)\n"
+      "  log level debug|info|warn|error\n"
+      "                                drop events below the threshold\n"
+      "                                (or start with MM2_LOG_LEVEL=warn)\n"
       "  budget tuples|wall_us|rss_kb <n>  soft chase budgets; on breach\n"
       "                                exchange stops gracefully with a\n"
       "                                diagnostic (budget off: clear)\n"

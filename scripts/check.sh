@@ -32,7 +32,11 @@ if [[ "${1:-}" == "--tsan" ]]; then
   # EventLog/CancelToken/Watchdog join the filter: the event log's ring
   # mutex + enabled/emitted atomics and the cancel token's relaxed stop
   # flag are exactly the kind of cross-thread state TSan is here for.
-  TEST_FILTER="ChaseDiffProperty|ClosureDiffProperty|ChaseSerializeDiffProperty|RelationInstance|InstanceTest|InternPool|ValueIntern|ThreadPool|ResolveThreadCount|ChaseParallelDiffProperty|ClosureParallelDiffProperty|ParallelHashJoin|Parallelism|EventLog|CancelToken|Watchdog"
+  # ChaseStratifiedDiffProperty/ClosureStratifiedDiffProperty/Analysis/
+  # WatchdogForesight cover the stratified scheduler + analysis attach —
+  # the scheduler state is per-run but its metric mirroring and foresight
+  # events ride the shared registry/event-log mutexes.
+  TEST_FILTER="ChaseDiffProperty|ClosureDiffProperty|ChaseSerializeDiffProperty|RelationInstance|InstanceTest|InternPool|ValueIntern|ThreadPool|ResolveThreadCount|ChaseParallelDiffProperty|ClosureParallelDiffProperty|ChaseStratifiedDiffProperty|ClosureStratifiedDiffProperty|AnalysisTest|WatchdogForesight|ParallelHashJoin|Parallelism|EventLog|CancelToken|Watchdog"
 fi
 
 cmake -B "$BUILD_DIR" -S . \
@@ -71,6 +75,48 @@ for i, line in enumerate(lines, 1):
             sys.exit(f"error: event line {i} lacks '{key}': {line!r}")
 print(f"structured-log smoke gate passed ({len(lines)} JSON event lines)")
 EOF
+fi
+
+# DOT-validity gate (default path only): `explain mapping --dot` over the
+# demo mapping must emit a syntactically sound graphviz digraph. Balanced
+# braces + edge/node shape are checked in python; when graphviz happens to
+# be installed, `dot -Tcanon` parses it for real.
+if [[ -z "$TEST_FILTER" && -x "$BUILD_DIR/examples/mm2_shell" ]]; then
+  DOT_TMP="$(mktemp)"
+  trap 'rm -f "${LOG_TMP:-}" "$DOT_TMP"' EXIT
+  {
+    echo "load-schema examples/data/school.schema"
+    echo "load-schema examples/data/school_v2.schema"
+    echo "load-mapping examples/data/split.mapping"
+    echo "explain mapping mapSSp --dot"
+    echo "quit"
+  } | "$BUILD_DIR/examples/mm2_shell" 2> /dev/null \
+    | sed 's/^mm2> //' \
+    | sed -n '/^digraph mapping_analysis {$/,/^}$/p' > "$DOT_TMP"
+  python3 - "$DOT_TMP" <<'EOF'
+import re, sys
+text = open(sys.argv[1]).read()
+if not text.startswith("digraph mapping_analysis {"):
+    sys.exit("error: explain mapping --dot produced no digraph")
+depth = 0
+for i, ch in enumerate(text):
+    if ch == "{": depth += 1
+    elif ch == "}":
+        depth -= 1
+        if depth < 0:
+            sys.exit(f"error: unbalanced '}}' at offset {i}")
+if depth != 0:
+    sys.exit(f"error: {depth} unclosed braces in DOT output")
+nodes = re.findall(r'^\s*[rp]\d+ \[', text, re.M)
+edges = re.findall(r'^\s*[rp]\d+ -> [rp]\d+', text, re.M)
+if not nodes:
+    sys.exit("error: DOT output declares no nodes")
+print(f"dot gate passed ({len(nodes)} nodes, {len(edges)} edges)")
+EOF
+  if command -v dot > /dev/null 2>&1; then
+    dot -Tcanon "$DOT_TMP" > /dev/null
+    echo "dot gate: graphviz parse also passed"
+  fi
 fi
 
 # Opt-in bench smoke: exercises bench_all.sh + bench_compare.py end to end

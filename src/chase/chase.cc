@@ -1,5 +1,7 @@
 #include "chase/chase.h"
 
+#include "analysis/analysis.h"
+#include "common/strings.h"
 #include "common/thread_pool.h"
 #include "logic/acyclicity.h"
 #include "obs/obs.h"
@@ -8,6 +10,7 @@
 #include <cassert>
 #include <chrono>
 #include <cstdio>
+#include <limits>
 #include <memory>
 #include <optional>
 
@@ -588,6 +591,18 @@ class ChaseRun {
         stats_.rules[slot++].label = RuleLabel(egds[i], i);
       }
     }
+    // Stratified scheduler (null analysis_ => disabled; the flat path pays
+    // one pointer compare per rule per round). The analysis' rule list is
+    // built in the same slot order as stats_.rules, so indices line up; a
+    // count mismatch means the caller attached an analysis of a different
+    // rule set, in which case scheduling is silently disabled rather than
+    // risking a wrong skip.
+    analysis_ = options_.analysis;
+    if (analysis_ != nullptr &&
+        analysis_->rules.size() != stats_.rules.size()) {
+      analysis_ = nullptr;
+    }
+    if (analysis_ != nullptr) SetUpStrata();
     // Times one rule's matching+firing for the current round and books the
     // aggregate-counter deltas into its RuleStats slot.
     auto attributed = [this](RuleStats& rule,
@@ -615,7 +630,11 @@ class ChaseRun {
     };
     bool changed = true;
     std::size_t rounds = 0;
-    while (changed) {
+    // Under stratified scheduling a quiet round may simply mean the active
+    // strata reached fixpoint while later strata still await activation —
+    // keep looping until every stratum is done (each quiet round retires at
+    // least one stratum, so this terminates).
+    while (changed || (analysis_ != nullptr && !AllStrataDone())) {
       if (++rounds > options_.max_rounds) {
         // The hard stop nobody asked for: attach the flight recorder so the
         // error names what the chase was doing when it ran away.
@@ -636,30 +655,41 @@ class ChaseRun {
       std::size_t round_unified0 = stats_.egd_unifications;
       std::size_t round_matched0 = stats_.assignments_matched;
       std::size_t round_delta0 = stats_.delta_tuples;
+      if (analysis_ != nullptr) {
+        stratum_ran_.assign(stats_.strata_count, 0);
+        stratum_changed_.assign(stats_.strata_count, 0);
+      }
       std::size_t rule_index = 0;
       for (const logic::SoTgdClause& clause : clauses) {
         std::size_t slot = rule_index++;
+        if (SkipByStratum(slot)) continue;
         MM2_ASSIGN_OR_RETURN(
             bool fired, attributed(stats_.rules[slot], [&] {
               return FireSoClause(clause, slot);
             }));
         changed |= fired;
+        NoteStratumResult(slot, fired);
       }
       for (const logic::Tgd& tgd : fo_tgds) {
         std::size_t slot = rule_index++;
+        if (SkipByStratum(slot)) continue;
         MM2_ASSIGN_OR_RETURN(bool fired,
                              attributed(stats_.rules[slot],
                                         [&] { return FireTgd(tgd, slot); }));
         changed |= fired;
+        NoteStratumResult(slot, fired);
       }
       for (const logic::Egd& egd : egds) {
         std::size_t slot = rule_index++;
+        if (SkipByStratum(slot)) continue;
         MM2_ASSIGN_OR_RETURN(bool fired,
                              attributed(stats_.rules[slot],
                                         [&] { return FireEgd(egd, slot); }));
         changed |= fired;
+        NoteStratumResult(slot, fired);
       }
       ++stats_.rounds;
+      if (analysis_ != nullptr) RetireStrata();
       round_span.SetAttribute("tgd_firings",
                               stats_.tgd_firings - round_firings0);
       round_span.SetAttribute("nulls_created",
@@ -699,13 +729,22 @@ class ChaseRun {
         if (rss_kb >= 0) g_rss->Set(static_cast<std::int64_t>(rss_kb));
       }
       if (events_on) {
-        events->Emit(
-            obs::EventLevel::kInfo, "chase.heartbeat",
-            {obs::F("round", static_cast<std::uint64_t>(rounds)),
-             obs::F("delta", static_cast<std::uint64_t>(round_delta)),
-             obs::F("total_tuples", static_cast<std::uint64_t>(total_tuples)),
-             obs::F("nulls", static_cast<std::uint64_t>(stats_.nulls_created)),
-             obs::F("round_us", round_us), obs::F("rss_kb", rss_kb)});
+        std::vector<obs::EventField> heartbeat = {
+            obs::F("round", static_cast<std::uint64_t>(rounds)),
+            obs::F("delta", static_cast<std::uint64_t>(round_delta)),
+            obs::F("total_tuples", static_cast<std::uint64_t>(total_tuples)),
+            obs::F("nulls", static_cast<std::uint64_t>(stats_.nulls_created)),
+            obs::F("round_us", round_us), obs::F("rss_kb", rss_kb)};
+        if (analysis_ != nullptr) {
+          // The scheduling frontier: the earliest stratum still making (or
+          // awaiting) progress, plus how many are already retired.
+          heartbeat.push_back(obs::F(
+              "stratum", static_cast<std::uint64_t>(StratumFrontier())));
+          heartbeat.push_back(obs::F(
+              "strata_done", static_cast<std::uint64_t>(StrataDoneCount())));
+        }
+        events->Emit(obs::EventLevel::kInfo, "chase.heartbeat",
+                     std::move(heartbeat));
       }
       if (watch_token_ != nullptr) {
         const std::uint64_t wall_us = static_cast<std::uint64_t>(
@@ -761,6 +800,109 @@ class ChaseRun {
   Value FreshNull() {
     ++stats_.nulls_created;
     return Value::LabeledNull(next_label_++);
+  }
+
+  // ---- Stratified scheduling ---------------------------------------------
+  // Strata indices are the analysis' topological order, so upstream strata
+  // always carry smaller indices and a single ascending pass lets
+  // retirement cascade within one round boundary.
+  void SetUpStrata() {
+    const std::size_t strata = analysis_->strata.size();
+    stats_.strata_count = strata;
+    stratum_of_.resize(stats_.rules.size());
+    for (std::size_t i = 0; i < stats_.rules.size(); ++i) {
+      stratum_of_[i] = analysis_->rules[i].stratum;
+      stats_.rules[i].stratum = static_cast<int>(analysis_->rules[i].stratum);
+    }
+    stratum_upstream_.assign(strata, {});
+    std::set<std::pair<std::size_t, std::size_t>> seen;
+    for (const analysis::RuleEdge& e : analysis_->rule_edges) {
+      std::size_t from = analysis_->rules[e.from].stratum;
+      std::size_t to = analysis_->rules[e.to].stratum;
+      if (from != to && seen.insert({from, to}).second) {
+        stratum_upstream_[to].push_back(from);
+      }
+    }
+    stratum_done_.assign(strata, 0);
+    stratum_active_.assign(strata, 1);
+    RefreshActivation();
+  }
+
+  bool UpstreamDone(std::size_t s) const {
+    for (std::size_t u : stratum_upstream_[s]) {
+      if (!stratum_done_[u]) return false;
+    }
+    return true;
+  }
+
+  // Exchange mode defers a stratum until its upstream cone is quiescent
+  // (late activation); closure mode runs everything that is not retired —
+  // deferring there can permute null naming and firing attribution, which
+  // would break bit-identity with the flat schedule.
+  void RefreshActivation() {
+    const bool closure = source_ == nullptr;
+    for (std::size_t s = 0; s < stratum_active_.size(); ++s) {
+      stratum_active_[s] =
+          !stratum_done_[s] && (closure || UpstreamDone(s)) ? 1 : 0;
+    }
+  }
+
+  bool AllStrataDone() const {
+    for (char done : stratum_done_) {
+      if (!done) return false;
+    }
+    return true;
+  }
+
+  std::size_t StrataDoneCount() const {
+    std::size_t count = 0;
+    for (char done : stratum_done_) count += done ? 1 : 0;
+    return count;
+  }
+
+  std::size_t StratumFrontier() const {
+    for (std::size_t s = 0; s < stratum_done_.size(); ++s) {
+      if (!stratum_done_[s]) return s;
+    }
+    return stratum_done_.size();
+  }
+
+  // True when rule `slot` must not be matched this round. Both skip kinds
+  // are provably empty passes under the flat schedule (see ChaseOptions),
+  // counted separately so `chase.strata.*` shows where the saving came
+  // from.
+  bool SkipByStratum(std::size_t slot) {
+    if (analysis_ == nullptr) return false;
+    const std::size_t s = stratum_of_[slot];
+    if (stratum_done_[s]) {
+      ++stats_.strata_skips_retired;
+      return true;
+    }
+    if (!stratum_active_[s]) {
+      ++stats_.strata_skips_inactive;
+      return true;
+    }
+    stratum_ran_[s] = 1;
+    return false;
+  }
+
+  void NoteStratumResult(std::size_t slot, bool fired) {
+    if (analysis_ != nullptr && fired) {
+      stratum_changed_[stratum_of_[slot]] = 1;
+    }
+  }
+
+  // Round-boundary retirement: a stratum whose whole upstream cone is done
+  // and whose rules all ran this round without changing anything has
+  // reached its final fixpoint — no future round can feed it new input.
+  void RetireStrata() {
+    for (std::size_t s = 0; s < stratum_done_.size(); ++s) {
+      if (!stratum_done_[s] && stratum_ran_[s] && !stratum_changed_[s] &&
+          UpstreamDone(s)) {
+        stratum_done_[s] = 1;
+      }
+    }
+    RefreshActivation();
   }
 
   // One body-matching pass for rule `rule_index` plus the watermark
@@ -1171,6 +1313,15 @@ class ChaseRun {
   // Non-null only when the resolved thread count exceeds 1. Workers live
   // for the whole run; each partitioned match is one fork/join region.
   std::unique_ptr<common::ThreadPool> pool_;
+  // Stratified-scheduler state, all empty when analysis_ is null. Indexed
+  // by stratum id (= the analysis' topological order).
+  const analysis::MappingAnalysis* analysis_ = nullptr;
+  std::vector<std::size_t> stratum_of_;  // rule slot -> stratum id
+  std::vector<std::vector<std::size_t>> stratum_upstream_;  // strict deps
+  std::vector<char> stratum_done_;     // retired forever
+  std::vector<char> stratum_active_;   // eligible to match this round
+  std::vector<char> stratum_ran_;      // matched during the current round
+  std::vector<char> stratum_changed_;  // changed state this round
   // Watchdog state. `watch_token_` is non-null only while armed (the
   // caller's external token, or own_token_ when a budget is set); the match
   // layer receives it as const and only ever polls it.
@@ -1219,6 +1370,47 @@ void MirrorStats(obs::Context* obs, const ChaseStats& stats,
   m.GetHistogram("chase.rounds_per_run",
                  {1, 2, 3, 5, 8, 13, 21, 50, 100, 1000, 10000})
       .Record(static_cast<double>(stats.rounds));
+  // Strata + foresight families: materialized only for analysis-scheduled
+  // runs, so plain chases keep their exact pre-existing metric surface.
+  if (stats.strata_count > 0) {
+    m.GetGauge("chase.strata.count")
+        .Set(static_cast<std::int64_t>(stats.strata_count));
+    m.GetCounter("chase.strata.skips_inactive")
+        .Increment(stats.strata_skips_inactive);
+    m.GetCounter("chase.strata.skips_retired")
+        .Increment(stats.strata_skips_retired);
+    constexpr std::uint64_t kGaugeMax =
+        static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max());
+    m.GetGauge("chase.foresight.predicted_rounds")
+        .Set(static_cast<std::int64_t>(
+            std::min(stats.predicted_rounds, kGaugeMax)));
+    m.GetGauge("chase.foresight.observed_rounds")
+        .Set(static_cast<std::int64_t>(stats.rounds));
+    m.GetGauge("chase.foresight.terminating")
+        .Set(stats.predicted_terminating ? 1 : 0);
+    if (stats.foresight_armed) {
+      m.GetCounter("chase.foresight.armed").Increment();
+    }
+    // Per-stratum aggregates — obs::Profiler reads these back as the
+    // StratumCost table of `explain`.
+    std::map<int, std::pair<double, std::uint64_t>> per_stratum;  // wall, fire
+    std::map<int, std::uint64_t> stratum_rules;
+    for (const RuleStats& rule : stats.rules) {
+      if (rule.stratum < 0) continue;
+      per_stratum[rule.stratum].first += rule.wall_us;
+      per_stratum[rule.stratum].second += rule.firings;
+      ++stratum_rules[rule.stratum];
+    }
+    for (const auto& [stratum, cost] : per_stratum) {
+      const std::string prefix =
+          "chase.stratum." + std::to_string(stratum) + ".";
+      m.GetCounter(prefix + "wall_us")
+          .Increment(static_cast<std::uint64_t>(cost.first + 0.5));
+      m.GetCounter(prefix + "firings").Increment(cost.second);
+      m.GetGauge(prefix + "rules")
+          .Set(static_cast<std::int64_t>(stratum_rules[stratum]));
+    }
+  }
   // Per-constraint attribution, keyed by rule label so repeated runs of the
   // same rule set accumulate. obs::Profiler parses this family back out of
   // the snapshot for `explain`'s ranked chase table.
@@ -1230,10 +1422,71 @@ void MirrorStats(obs::Context* obs, const ChaseStats& stats,
     m.GetCounter(prefix + "firings").Increment(rule.firings);
     m.GetCounter(prefix + "nulls").Increment(rule.nulls_created);
     m.GetCounter(prefix + "rounds_active").Increment(rule.rounds_active);
+    if (rule.stratum >= 0) {
+      m.GetGauge(prefix + "stratum").Set(rule.stratum);
+    }
     obs::Histogram& rounds_hist = m.GetHistogram(prefix + "round_us");
     for (double us : rule.round_us) rounds_hist.Record(us);
   }
   MirrorValueStats(obs);
+}
+
+// Distinct values across an instance — the `n` the analysis' polynomial
+// bounds are evaluated at. Computed only when an analysis is attached.
+std::uint64_t ActiveDomainSize(const Instance& db) {
+  std::set<Value> values;
+  for (const auto& [name, rel] : db.relations()) {
+    (void)name;
+    for (const Tuple& tuple : rel.tuples()) {
+      for (const Value& v : tuple) values.insert(v);
+    }
+  }
+  return values.size();
+}
+
+// Termination foresight: when the attached analysis says the rule set may
+// not terminate and the caller armed no budget or stop switch of their
+// own, arm a conservative tuple budget scaled to the input — a diverging
+// chase then unwinds through the normal graceful-breach watchdog path
+// instead of burning a core until max_rounds hard-errors. Emits the
+// `chase.foresight` warning so the decision is visible in the log and the
+// flight recorder. Returns whether a budget was armed.
+bool ApplyForesight(ChaseOptions* options, std::size_t input_tuples) {
+  if (options->analysis == nullptr || options->analysis->terminating()) {
+    return false;
+  }
+  const bool guarded =
+      options->wall_budget_us > 0 || options->tuple_budget > 0 ||
+      options->rss_budget_kb > 0 || options->cancel != nullptr;
+  if (guarded) return false;
+  options->tuple_budget =
+      std::max<std::size_t>(4096, 64 * std::max<std::size_t>(input_tuples, 1));
+  if (options->obs != nullptr && options->obs->events.enabled()) {
+    options->obs->events.Emit(
+        obs::EventLevel::kWarn, "chase.foresight",
+        {obs::F("termination", "potentially_non_terminating"),
+         obs::F("cycle", Join(options->analysis->cycle, " -> ")),
+         obs::F("auto_tuple_budget",
+                static_cast<std::uint64_t>(options->tuple_budget))});
+  }
+  return true;
+}
+
+// Shared back half of both entry points: resolve `stratified` into an
+// analysis, arm foresight, and remember what to stamp into ChaseStats.
+struct AnalysisSetup {
+  ChaseOptions options;  // the adjusted copy the run executes under
+  std::optional<analysis::MappingAnalysis> owned;
+  std::uint64_t domain = 0;
+  bool armed = false;
+};
+
+void StampForesight(const AnalysisSetup& setup, ChaseStats* stats) {
+  if (setup.options.analysis == nullptr) return;
+  stats->predicted_terminating = setup.options.analysis->terminating();
+  stats->predicted_rounds =
+      setup.options.analysis->PredictedRounds(setup.domain);
+  stats->foresight_armed = setup.armed;
 }
 
 }  // namespace
@@ -1258,7 +1511,16 @@ void MirrorValueStats(obs::Context* obs) {
 Result<ChaseResult> RunChase(const logic::Mapping& mapping,
                              const instance::Instance& source,
                              const ChaseOptions& options) {
-  ChaseRun run(&source, Instance::EmptyFor(mapping.target()), options);
+  AnalysisSetup setup{options, std::nullopt, 0, false};
+  if (setup.options.stratified && setup.options.analysis == nullptr) {
+    setup.owned.emplace(analysis::AnalyzeMapping(mapping));
+    setup.options.analysis = &*setup.owned;
+  }
+  if (setup.options.analysis != nullptr) {
+    setup.domain = ActiveDomainSize(source);
+    setup.armed = ApplyForesight(&setup.options, source.TotalTuples());
+  }
+  ChaseRun run(&source, Instance::EmptyFor(mapping.target()), setup.options);
   std::vector<logic::SoTgdClause> clauses;
   std::vector<logic::Tgd> fo_tgds;
   if (mapping.is_second_order()) {
@@ -1280,6 +1542,7 @@ Result<ChaseResult> RunChase(const logic::Mapping& mapping,
   result.provenance = std::move(run.provenance());
   result.target = std::move(run.target());
   result.breach = std::move(run.breach());
+  StampForesight(setup, &result.stats);
   MirrorStats(options.obs, result.stats, result.provenance.size(),
               result.breach.has_value());
   return result;
@@ -1296,13 +1559,23 @@ Result<ChaseResult> ChaseInstance(const std::vector<logic::Tgd>& tgds,
                                  report.ToString());
     }
   }
-  ChaseRun run(nullptr, database, options);
+  AnalysisSetup setup{options, std::nullopt, 0, false};
+  if (setup.options.stratified && setup.options.analysis == nullptr) {
+    setup.owned.emplace(analysis::AnalyzeClosure(tgds, egds));
+    setup.options.analysis = &*setup.owned;
+  }
+  if (setup.options.analysis != nullptr) {
+    setup.domain = ActiveDomainSize(database);
+    setup.armed = ApplyForesight(&setup.options, database.TotalTuples());
+  }
+  ChaseRun run(nullptr, database, setup.options);
   MM2_RETURN_IF_ERROR(run.Run({}, tgds, egds));
   ChaseResult result;
   result.stats = run.stats();
   result.provenance = std::move(run.provenance());
   result.target = std::move(run.target());
   result.breach = std::move(run.breach());
+  StampForesight(setup, &result.stats);
   MirrorStats(options.obs, result.stats, result.provenance.size(),
               result.breach.has_value());
   return result;

@@ -20,6 +20,10 @@ struct Context;
 class CancelToken;
 }
 
+namespace mm2::analysis {
+struct MappingAnalysis;
+}
+
 namespace mm2::chase {
 
 // A variable assignment produced by matching atoms against an instance.
@@ -118,6 +122,36 @@ struct ChaseOptions {
   std::uint64_t wall_budget_us = 0;  // wall time since Run started
   std::size_t tuple_budget = 0;      // tuples derived into the target
   std::size_t rss_budget_kb = 0;     // VmRSS watermark of the process
+  // --- Mapping introspection / stratified scheduling (opt-in) ------------
+  // When `stratified` is set (or an `analysis` is attached), rules are
+  // scheduled along the analysis' stratification instead of being matched
+  // flat every round. Two provably output-identical skips apply:
+  //   * retirement (all modes): once a stratum and its whole upstream cone
+  //     are quiescent, its rules are never matched again — the skipped
+  //     passes would have been empty delta-checks;
+  //   * late activation (data-exchange mode only): a rule whose stratum
+  //     still has non-quiescent upstream strata is not matched until the
+  //     stratum activates. In exchange mode tgd/SO strata have no upstream
+  //     (bodies read the immutable source), so only egds are deferred, and
+  //     they first run against exactly the state the flat schedule shows
+  //     them — instances, firing counters, and null naming stay
+  //     bit-identical to the flat semi-naive chase. Closure mode gets
+  //     retirement only, for the same bit-identity guarantee.
+  // The skipped passes are reported as ChaseStats::strata_skips_* and the
+  // `chase.strata.*` metric family; RuleStats and the heartbeat events
+  // carry stratum labels. `analysis` must describe exactly the rule set
+  // being chased (AnalyzeMapping for RunChase, AnalyzeClosure for
+  // ChaseInstance; a mismatched rule count disables scheduling). Not
+  // owned; must outlive the call. When `stratified` is set with a null
+  // `analysis`, the chase computes one itself.
+  //
+  // Foresight: when the (provided or computed) analysis classifies the
+  // rule set as potentially non-terminating and the caller armed no
+  // budget or cancel token, the chase auto-arms a conservative tuple
+  // budget (watchdog semantics: graceful stop with partial results) and
+  // emits a `chase.foresight` warning event.
+  bool stratified = false;
+  const analysis::MappingAnalysis* analysis = nullptr;
   // Optional external stop switch (a server admission controller, a test).
   // The chase polls it at round boundaries and inside the (possibly
   // parallel) match path; budget breaches trip the same token, so every
@@ -158,6 +192,7 @@ struct RuleStats {
   std::size_t unifications = 0;
   std::size_t rounds_active = 0;    // rounds in which the rule changed state
   std::vector<double> round_us;     // wall time per chase round, in order
+  int stratum = -1;                 // analysis stratum (-1: not stratified)
 };
 
 struct ChaseStats {
@@ -190,6 +225,16 @@ struct ChaseStats {
   std::uint64_t pool_peak_queue = 0;    // max pending tasks observed
   double parallel_busy_us = 0;          // summed per-chunk worker time
   double parallel_wall_us = 0;          // summed fan-out wall time
+  // Stratified-scheduling + foresight telemetry, mirrored as
+  // `chase.strata.*` / `chase.foresight.*`. All zero (and the metric
+  // families stay unmaterialized) unless ChaseOptions enabled the
+  // scheduler.
+  std::size_t strata_count = 0;
+  std::size_t strata_skips_inactive = 0;  // passes deferred pre-activation
+  std::size_t strata_skips_retired = 0;   // passes skipped after retirement
+  std::uint64_t predicted_rounds = 0;     // analysis bound at this input
+  bool predicted_terminating = true;
+  bool foresight_armed = false;           // auto-armed conservative budget
   // Filled on every run; the profiler's per-constraint attribution source.
   std::vector<RuleStats> rules;
 };

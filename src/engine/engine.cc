@@ -5,6 +5,7 @@
 #include <sstream>
 #include <utility>
 
+#include "analysis/analysis.h"
 #include "chase/chase.h"
 #include "common/strings.h"
 #include "obs/profile.h"
@@ -263,6 +264,12 @@ Status Engine::Exchange(const std::string& out_instance,
     // Provenance is always on for engine-level exchanges: it is what the
     // `why` command reads back, and breach diagnostics lean on it too.
     options.track_provenance = true;
+    // So is mapping analysis: stratum labels feed `explain` and the
+    // heartbeat events, and foresight auto-arms a tuple budget when the
+    // classifier flags the mapping as potentially non-terminating. The
+    // analysis pass is static (no instance scan beyond the active-domain
+    // count) and engine exchanges are interactive, not benchmarked.
+    options.stratified = true;
     options.wall_budget_us = budget_wall_us_;
     options.tuple_budget = budget_tuples_;
     options.rss_budget_kb = budget_rss_kb_;
@@ -599,18 +606,50 @@ Result<std::vector<std::string>> Engine::RunScriptImpl(
       SetThreads(static_cast<std::size_t>(n));
       log.push_back("threads " + tokens[1]);
     } else if (op == "stats") {
+      if (tokens.size() > 1 && tokens[1] != "--json") {
+        return fail("stats takes no argument or --json");
+      }
       chase::MirrorValueStats(&observability());
       observability().metrics.GetGauge("mem.peak_rss_kb").Set(
           static_cast<std::int64_t>(obs::PeakRssKb()));
-      std::vector<std::string> lines =
-          observability().metrics.Snapshot().Lines();
-      log.push_back("stats: " + std::to_string(lines.size()) + " metrics");
-      for (std::string& metric_line : lines) {
-        log.push_back("  " + std::move(metric_line));
+      obs::MetricsSnapshot snapshot = observability().metrics.Snapshot();
+      if (tokens.size() > 1) {
+        log.push_back(snapshot.ToJson());
+      } else {
+        std::vector<std::string> lines = snapshot.Lines();
+        log.push_back("stats: " + std::to_string(lines.size()) + " metrics");
+        for (std::string& metric_line : lines) {
+          log.push_back("  " + std::move(metric_line));
+        }
+      }
+    } else if (op == "explain" && tokens.size() > 1 &&
+               tokens[1] == "mapping") {
+      // explain mapping <name> [--json|--dot]: static introspection of a
+      // stored mapping — dependency/position graphs, strata, termination
+      // class, predicted bounds — independent of any chase having run.
+      MM2_RETURN_IF_ERROR(need(2));
+      std::string format = tokens.size() > 3 ? tokens[3] : "";
+      if (tokens.size() > 4 ||
+          (!format.empty() && format != "--json" && format != "--dot")) {
+        return fail("explain mapping wants <mapping> [--json|--dot]");
+      }
+      MM2_ASSIGN_OR_RETURN(logic::Mapping m, repo_.GetMapping(tokens[2]));
+      analysis::MappingAnalysis analyzed = analysis::AnalyzeMapping(m);
+      if (format == "--json") {
+        log.push_back(analyzed.ToJson());
+      } else if (format == "--dot") {
+        log.push_back(analyzed.ToDot());
+      } else {
+        log.push_back("explain mapping " + tokens[2] + ":");
+        std::istringstream text(analyzed.ToText());
+        std::string text_line;
+        while (std::getline(text, text_line)) {
+          log.push_back("  " + text_line);
+        }
       }
     } else if (op == "explain") {
       if (tokens.size() > 1 && tokens[1] != "--json") {
-        return fail("explain takes no argument or --json");
+        return fail("explain takes no argument, --json, or mapping <name>");
       }
       chase::MirrorValueStats(&observability());
       observability().metrics.GetGauge("mem.peak_rss_kb").Set(
@@ -632,6 +671,15 @@ Result<std::vector<std::string>> Engine::RunScriptImpl(
       observability().tracer.Enable();
       trace_flusher.file = tokens[1];
       log.push_back("tracing to " + tokens[1]);
+    } else if (op == "log" && tokens.size() > 1 && tokens[1] == "level") {
+      MM2_RETURN_IF_ERROR(need(2));
+      obs::EventLevel level;
+      if (!obs::ParseEventLevel(tokens[2], &level)) {
+        return fail("log level wants debug|info|warn|error, got '" +
+                    tokens[2] + "'");
+      }
+      observability().events.SetMinLevel(level);
+      log.push_back("log level " + tokens[2]);
     } else if (op == "log") {
       MM2_RETURN_IF_ERROR(need(1));
       obs::EventFormat format;
@@ -642,8 +690,8 @@ Result<std::vector<std::string>> Engine::RunScriptImpl(
       } else if (tokens[1] == "json") {
         format = obs::EventFormat::kJson;
       } else {
-        return fail("log wants off|text|json [file], got '" + tokens[1] +
-                    "'");
+        return fail("log wants off|text|json [file] or level "
+                    "debug|info|warn|error, got '" + tokens[1] + "'");
       }
       if (tokens.size() > 2 && format != obs::EventFormat::kOff) {
         MM2_RETURN_IF_ERROR(

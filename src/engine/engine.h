@@ -158,17 +158,28 @@ class Engine {
   //   match <left> <right>
   //   threads <n>                    (worker threads for chase-backed
   //                                   commands; 0 defers to MM2_THREADS)
-  //   stats                          (dump the metrics registry snapshot)
+  //   stats [--json]                 (dump the metrics registry snapshot;
+  //                                   --json emits one machine-readable
+  //                                   line with the same metric names)
   //   explain [--json]               (ranked cost report: per-operator
   //                                   totals/quantiles, per-chase-rule
-  //                                   attribution, span phases; --json
-  //                                   emits one machine-readable line)
+  //                                   attribution, strata, foresight, span
+  //                                   phases; --json emits one
+  //                                   machine-readable line)
+  //   explain mapping <m> [--json|--dot]
+  //                                  (static analysis of a stored mapping:
+  //                                   rule-dependency + position graphs,
+  //                                   strata, termination class, predicted
+  //                                   chase bounds; --dot emits a graphviz
+  //                                   digraph)
   //   trace <file>                   (enable tracing; Chrome trace_event
   //                                   JSON is written to <file> when the
   //                                   script finishes, even on error)
   //   log off|text|json [file]       (structured event log; default sink is
   //                                   stderr, or <file> when given. Also
   //                                   settable via MM2_LOG=json|text|off)
+  //   log level debug|info|warn|error (drop events below the threshold;
+  //                                   also settable via MM2_LOG_LEVEL)
   //   budget tuples|wall_us|rss_kb <n>   (soft chase budgets; `budget off`
   //                                   clears all three)
   //   why <Rel(v1,v2,...)>           (why-provenance of a target fact from

@@ -22,6 +22,21 @@ const char* EventLevelName(EventLevel level) {
   return "info";
 }
 
+bool ParseEventLevel(std::string_view name, EventLevel* out) {
+  if (name == "debug") {
+    *out = EventLevel::kDebug;
+  } else if (name == "info") {
+    *out = EventLevel::kInfo;
+  } else if (name == "warn") {
+    *out = EventLevel::kWarn;
+  } else if (name == "error") {
+    *out = EventLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 EventField F(std::string key, double value) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.6g", value);
@@ -131,14 +146,20 @@ Status EventLog::ConfigureFile(EventFormat format, const std::string& path) {
 
 void EventLog::ConfigureFromEnv() {
   const char* env = std::getenv("MM2_LOG");
-  if (env == nullptr || env[0] == '\0') return;
-  std::string_view value(env);
-  if (value == "json") {
-    Configure(EventFormat::kJson, &std::cerr);
-  } else if (value == "text") {
-    Configure(EventFormat::kText, &std::cerr);
-  } else {
-    Configure(EventFormat::kOff);
+  if (env != nullptr && env[0] != '\0') {
+    std::string_view value(env);
+    if (value == "json") {
+      Configure(EventFormat::kJson, &std::cerr);
+    } else if (value == "text") {
+      Configure(EventFormat::kText, &std::cerr);
+    } else {
+      Configure(EventFormat::kOff);
+    }
+  }
+  const char* level_env = std::getenv("MM2_LOG_LEVEL");
+  if (level_env != nullptr && level_env[0] != '\0') {
+    EventLevel level = EventLevel::kDebug;
+    if (ParseEventLevel(level_env, &level)) SetMinLevel(level);
   }
 }
 
@@ -150,6 +171,11 @@ EventFormat EventLog::format() const {
 void EventLog::SetMinLevel(EventLevel level) {
   std::lock_guard<std::mutex> lock(mu_);
   min_level_ = level;
+}
+
+EventLevel EventLog::min_level() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return min_level_;
 }
 
 void EventLog::Emit(EventLevel level, std::string name,

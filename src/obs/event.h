@@ -8,6 +8,7 @@
 #include <mutex>
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
@@ -34,6 +35,9 @@ namespace mm2::obs {
 enum class EventLevel : std::uint8_t { kDebug = 0, kInfo, kWarn, kError };
 
 const char* EventLevelName(EventLevel level);
+// Inverse of EventLevelName: "debug"|"info"|"warn"|"error" -> level.
+// Returns false (leaving `out` untouched) on anything else.
+bool ParseEventLevel(std::string_view name, EventLevel* out);
 
 // One key-value pair of an event. `number` marks values that render
 // unquoted in JSON (counts, durations); everything else is escaped text.
@@ -91,14 +95,16 @@ class EventLog {
   void Configure(EventFormat format, std::ostream* sink = nullptr);
   // Like Configure, but writes to `path` (owned stream, flushed per event).
   Status ConfigureFile(EventFormat format, const std::string& path);
-  // Applies MM2_LOG=json|text|off (unset or empty keeps the log off); the
-  // sink is stderr so event lines never interleave with command output.
+  // Applies MM2_LOG=json|text|off (unset or empty keeps the log off) and
+  // MM2_LOG_LEVEL=debug|info|warn|error (unset or unparsable keeps kDebug);
+  // the sink is stderr so event lines never interleave with command output.
   void ConfigureFromEnv();
 
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
   EventFormat format() const;
   // Events below `level` are dropped at the door (default: keep all).
   void SetMinLevel(EventLevel level);
+  EventLevel min_level() const;
 
   void Emit(EventLevel level, std::string name, std::vector<EventField> fields);
 

@@ -1,0 +1,47 @@
+#ifndef MM2_OBS_JSON_H_
+#define MM2_OBS_JSON_H_
+
+// Tiny shared JSON rendering helpers. `explain --json`, `stats --json`, and
+// `explain mapping --json` all hand-roll their output; keeping the escaping
+// and number formatting here guarantees the three surfaces agree on how a
+// metric name or value is spelled.
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+namespace mm2::obs::json {
+
+inline std::string FormatDouble(double v) {
+  std::ostringstream os;
+  os.precision(6);
+  os << v;
+  return os.str();
+}
+
+inline std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace mm2::obs::json
+
+#endif  // MM2_OBS_JSON_H_

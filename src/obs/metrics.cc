@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/json.h"
+
 namespace mm2::obs {
 
 Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
@@ -139,6 +141,40 @@ std::string MetricsSnapshot::ToString() const {
     out += '\n';
   }
   return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::ostringstream os;
+  os << "{\"counters\": {";
+  bool first = true;
+  for (const CounterSnapshot& c : counters) {
+    if (!first) os << ", ";
+    first = false;
+    os << '"' << json::Escape(c.name) << "\": " << c.value;
+  }
+  os << "}, \"gauges\": {";
+  first = true;
+  for (const GaugeSnapshot& g : gauges) {
+    if (!first) os << ", ";
+    first = false;
+    os << '"' << json::Escape(g.name) << "\": " << g.value;
+  }
+  os << "}, \"histograms\": {";
+  first = true;
+  for (const HistogramSnapshot& h : histograms) {
+    if (!first) os << ", ";
+    first = false;
+    os << '"' << json::Escape(h.name) << "\": {\"count\": " << h.count
+       << ", \"sum\": " << json::FormatDouble(h.sum)
+       << ", \"min\": " << json::FormatDouble(h.min)
+       << ", \"max\": " << json::FormatDouble(h.max)
+       << ", \"mean\": " << json::FormatDouble(h.mean())
+       << ", \"p50\": " << json::FormatDouble(h.p50())
+       << ", \"p95\": " << json::FormatDouble(h.p95())
+       << ", \"p99\": " << json::FormatDouble(h.p99()) << "}";
+  }
+  os << "}}";
+  return os.str();
 }
 
 Counter& MetricsRegistry::GetCounter(const std::string& name) {

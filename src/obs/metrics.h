@@ -117,6 +117,12 @@ struct MetricsSnapshot {
   //   histogram op.exchange.latency_us count=3 mean=42.1 p50=40 p99=55 max=57
   std::vector<std::string> Lines() const;
   std::string ToString() const;  // Lines() joined with '\n'
+  // One JSON object (single line): {"counters": {name: value, ...},
+  // "gauges": {...}, "histograms": {name: {count, sum, min, max, mean,
+  // p50, p95, p99}, ...}}. Shares the escaping/number formatting of
+  // `explain --json` (obs/json.h) so `stats --json` spells metric names
+  // and values identically.
+  std::string ToJson() const;
 };
 
 // The process- or engine-scoped metric namespace. Get*() registers on first

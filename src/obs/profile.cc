@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <limits>
 #include <map>
 #include <sstream>
 
+#include "obs/json.h"
 #include "obs/obs.h"
 
 namespace mm2::obs {
@@ -12,36 +14,11 @@ namespace mm2::obs {
 namespace {
 
 constexpr char kRulePrefix[] = "chase.rule.";
+constexpr char kStratumPrefix[] = "chase.stratum.";
 
-std::string FormatDouble(double v) {
-  std::ostringstream os;
-  os.precision(6);
-  os << v;
-  return os.str();
-}
+using json::FormatDouble;
 
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
+std::string JsonEscape(const std::string& s) { return json::Escape(s); }
 
 // Splits "op.<name>.<field>" / "chase.rule.<label>.<field>" style names at
 // the *last* dot, so labels containing dots survive.
@@ -129,6 +106,14 @@ void BuildRules(const MetricsSnapshot& metrics, ProfileReport* report) {
       rule.rounds_active = c.value;
     }
   }
+  for (const GaugeSnapshot& g : metrics.gauges) {
+    if (g.name.rfind(kRulePrefix, 0) != 0) continue;
+    std::string head;
+    std::string field;
+    if (!SplitLastDot(g.name, &head, &field)) continue;
+    if (field != "stratum") continue;
+    rules[head.substr(sizeof(kRulePrefix) - 1)].stratum = g.value;
+  }
   for (const HistogramSnapshot& h : metrics.histograms) {
     if (h.name.rfind(kRulePrefix, 0) != 0) continue;
     std::string head;
@@ -156,6 +141,78 @@ void BuildRules(const MetricsSnapshot& metrics, ProfileReport* report) {
               if (a.wall_us != b.wall_us) return a.wall_us > b.wall_us;
               return a.label < b.label;
             });
+}
+
+void BuildStrata(const MetricsSnapshot& metrics, ProfileReport* report) {
+  std::map<std::size_t, StratumCost> strata;
+  auto parse_index = [](const std::string& head, std::size_t* index) {
+    std::string tail = head.substr(sizeof(kStratumPrefix) - 1);
+    if (tail.empty()) return false;
+    std::size_t value = 0;
+    for (char c : tail) {
+      if (c < '0' || c > '9') return false;
+      value = value * 10 + static_cast<std::size_t>(c - '0');
+    }
+    *index = value;
+    return true;
+  };
+  for (const CounterSnapshot& c : metrics.counters) {
+    if (c.name.rfind(kStratumPrefix, 0) != 0) continue;
+    std::string head;
+    std::string field;
+    if (!SplitLastDot(c.name, &head, &field)) continue;
+    std::size_t index = 0;
+    if (!parse_index(head, &index)) continue;
+    StratumCost& s = strata[index];
+    if (field == "wall_us") {
+      s.wall_us = static_cast<double>(c.value);
+    } else if (field == "firings") {
+      s.firings = c.value;
+    }
+  }
+  for (const GaugeSnapshot& g : metrics.gauges) {
+    if (g.name.rfind(kStratumPrefix, 0) != 0) continue;
+    std::string head;
+    std::string field;
+    if (!SplitLastDot(g.name, &head, &field)) continue;
+    std::size_t index = 0;
+    if (!parse_index(head, &index)) continue;
+    if (field == "rules") {
+      strata[index].rules = g.value < 0 ? 0 : static_cast<std::uint64_t>(g.value);
+    }
+  }
+  double total_us = 0;
+  for (auto& [index, s] : strata) {
+    s.index = index;
+    total_us += s.wall_us;
+    report->strata.push_back(std::move(s));
+  }
+  for (StratumCost& s : report->strata) {
+    s.share = total_us == 0 ? 0 : s.wall_us / total_us;
+  }
+  // std::map iteration already yields ascending stratum index.
+}
+
+void BuildForesight(const MetricsSnapshot& metrics, ProfileReport* report) {
+  ForesightCost& f = report->foresight;
+  if (const GaugeSnapshot* g =
+          metrics.FindGauge("chase.foresight.predicted_rounds")) {
+    f.analyzed = true;
+    f.predicted_rounds = g->value < 0 ? 0 : static_cast<std::uint64_t>(g->value);
+  }
+  if (const GaugeSnapshot* g =
+          metrics.FindGauge("chase.foresight.observed_rounds")) {
+    f.analyzed = true;
+    f.observed_rounds = g->value < 0 ? 0 : static_cast<std::uint64_t>(g->value);
+  }
+  if (const GaugeSnapshot* g = metrics.FindGauge("chase.foresight.terminating")) {
+    f.analyzed = true;
+    f.terminating = g->value != 0;
+  }
+  if (const CounterSnapshot* c = metrics.FindCounter("chase.foresight.armed")) {
+    f.armed = c->value != 0;
+    if (f.armed) f.analyzed = true;
+  }
 }
 
 void BuildStorage(const MetricsSnapshot& metrics, ProfileReport* report) {
@@ -346,6 +403,38 @@ std::vector<std::string> ProfileReport::Lines() const {
     lines.push_back("dominant rule: " + dominant->label + " (" +
                     Percent(dominant->share) + " of chase rule wall time)");
   }
+  if (!strata.empty()) {
+    lines.push_back("strata (" + std::to_string(strata.size()) + "):");
+    std::vector<std::vector<std::string>> rows;
+    rows.push_back({"stratum", "rules", "wall_us", "share", "firings"});
+    for (const StratumCost& s : strata) {
+      rows.push_back({std::to_string(s.index), std::to_string(s.rules),
+                      Fixed1(s.wall_us), Percent(s.share),
+                      std::to_string(s.firings)});
+    }
+    for (std::string& line : Tabulate(rows, "rrrrr")) {
+      lines.push_back(std::move(line));
+    }
+  }
+  if (foresight.any()) {
+    lines.push_back("foresight:");
+    std::vector<std::vector<std::string>> rows;
+    rows.push_back({"termination", foresight.terminating
+                                       ? "terminating"
+                                       : "potentially non-terminating"});
+    rows.push_back({"predicted rounds (bound)",
+                    foresight.predicted_rounds ==
+                            static_cast<std::uint64_t>(
+                                std::numeric_limits<std::int64_t>::max())
+                        ? "unbounded"
+                        : std::to_string(foresight.predicted_rounds)});
+    rows.push_back(
+        {"observed rounds", std::to_string(foresight.observed_rounds)});
+    rows.push_back({"budget auto-armed", foresight.armed ? "yes" : "no"});
+    for (std::string& line : Tabulate(rows, "lr")) {
+      lines.push_back(std::move(line));
+    }
+  }
   lines.push_back("storage:");
   if (!storage.any()) {
     lines.push_back("  (no index activity recorded)");
@@ -463,9 +552,24 @@ std::string ProfileReport::ToJson() const {
        << ", \"rounds\": " << rule.rounds << ", \"round_p50_us\": "
        << FormatDouble(rule.round_p50_us) << ", \"round_p95_us\": "
        << FormatDouble(rule.round_p95_us) << ", \"round_max_us\": "
-       << FormatDouble(rule.round_max_us) << "}";
+       << FormatDouble(rule.round_max_us) << ", \"stratum\": "
+       << rule.stratum << "}";
   }
-  os << "], \"phases\": [";
+  os << "], \"strata\": [";
+  first = true;
+  for (const StratumCost& s : strata) {
+    if (!first) os << ", ";
+    first = false;
+    os << "{\"index\": " << s.index << ", \"rules\": " << s.rules
+       << ", \"wall_us\": " << FormatDouble(s.wall_us) << ", \"share\": "
+       << FormatDouble(s.share) << ", \"firings\": " << s.firings << "}";
+  }
+  os << "], \"foresight\": {\"analyzed\": "
+     << (foresight.analyzed ? "true" : "false") << ", \"terminating\": "
+     << (foresight.terminating ? "true" : "false") << ", \"armed\": "
+     << (foresight.armed ? "true" : "false") << ", \"predicted_rounds\": "
+     << foresight.predicted_rounds << ", \"observed_rounds\": "
+     << foresight.observed_rounds << "}, \"phases\": [";
   first = true;
   for (const PhaseCost& phase : phases) {
     if (!first) os << ", ";
@@ -507,6 +611,8 @@ ProfileReport Profiler::Build(const MetricsSnapshot& metrics,
   ProfileReport report;
   BuildOperators(metrics, &report);
   BuildRules(metrics, &report);
+  BuildStrata(metrics, &report);
+  BuildForesight(metrics, &report);
   BuildStorage(metrics, &report);
   BuildParallel(metrics, &report);
   BuildValues(metrics, &report);

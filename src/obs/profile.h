@@ -43,6 +43,31 @@ struct RuleCost {
   double round_p95_us = 0;
   double round_max_us = 0;
   double share = 0;  // fraction of the summed rule wall time
+  // Stratum assigned by mapping analysis (-1 when the chase ran unanalyzed);
+  // read from the `chase.rule.<label>.stratum` gauge.
+  std::int64_t stratum = -1;
+};
+
+// One stratum's aggregate cost under stratified scheduling, read from the
+// `chase.stratum.<i>.*` family. Only populated for analyzed runs.
+struct StratumCost {
+  std::size_t index = 0;
+  std::uint64_t rules = 0;    // rules assigned to this stratum
+  double wall_us = 0;         // summed member-rule wall time
+  std::uint64_t firings = 0;  // summed member-rule firings
+  double share = 0;           // fraction of the summed stratum wall time
+};
+
+// Termination foresight read back from the `chase.foresight.*` family:
+// what the static classifier predicted versus what the chase observed.
+struct ForesightCost {
+  bool analyzed = false;      // any foresight metric present
+  bool terminating = false;   // classifier verdict
+  bool armed = false;         // watchdog budget auto-armed
+  std::uint64_t predicted_rounds = 0;  // static upper bound (saturating)
+  std::uint64_t observed_rounds = 0;   // what the chase actually took
+
+  bool any() const { return analyzed; }
 };
 
 // One span name aggregated across the tree — the "phase" view. self_us is
@@ -116,9 +141,11 @@ struct ProfileReport {
   std::vector<OperatorCost> operators;  // by total_us desc
   std::vector<RuleCost> rules;          // by wall_us desc
   std::vector<PhaseCost> phases;        // by self_us desc (empty w/o tracing)
+  std::vector<StratumCost> strata;      // by index asc (empty w/o analysis)
   StorageCost storage;
   ParallelCost parallel;
   ValueCost values;
+  ForesightCost foresight;
   double operator_total_us = 0;
   double rule_total_us = 0;
   std::int64_t phase_total_us = 0;  // summed self time

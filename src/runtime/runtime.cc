@@ -401,6 +401,7 @@ Result<ExchangeResult> Exchange(const logic::Mapping& mapping,
   chase_options.track_provenance = options.track_provenance;
   chase_options.naive = options.naive;
   chase_options.semi_naive = options.semi_naive;
+  chase_options.stratified = options.stratified;
   chase_options.threads = options.threads;
   chase_options.wall_budget_us = options.wall_budget_us;
   chase_options.tuple_budget = options.tuple_budget;

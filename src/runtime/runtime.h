@@ -195,6 +195,14 @@ struct ExchangeOptions {
   // keeps delta-restricted re-matching on top of the indexed executor.
   bool naive = false;
   bool semi_naive = true;
+  // Analyze the mapping (analysis::AnalyzeMapping) before chasing and run
+  // the stratified scheduler: rules grouped into dependency strata, late
+  // strata not matched until their inputs are live, quiescent strata
+  // retired. Also arms termination foresight (a conservative tuple budget
+  // when the classifier says potentially non-terminating and no explicit
+  // budget is set). Off by default: the flat semi-naive chase is the
+  // baseline and the analysis pass is not free.
+  bool stratified = false;
   // Worker threads for the parallel chase executor (and the core scan when
   // compute_core is set): 0 defers to MM2_THREADS, default 1 = serial.
   std::size_t threads = 0;

@@ -1,0 +1,295 @@
+// Tests for the static mapping-analysis subsystem: position/rule graph
+// construction, weak-acyclicity classification (including agreement with
+// the logic-layer oracle on random rule sets), stratification soundness
+// and determinism, the predicted chase bounds against observed runs, and
+// the text/JSON/DOT renderings.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/analysis.h"
+#include "chase/chase.h"
+#include "instance/instance.h"
+#include "instance/value.h"
+#include "logic/acyclicity.h"
+#include "logic/formula.h"
+#include "logic/mapping.h"
+#include "model/schema.h"
+#include "workload/generators.h"
+
+namespace mm2::analysis {
+namespace {
+
+using instance::Instance;
+using instance::Value;
+using logic::Atom;
+using logic::Egd;
+using logic::Mapping;
+using logic::Term;
+using logic::Tgd;
+using model::DataType;
+using model::Metamodel;
+using model::SchemaBuilder;
+using workload::Rng;
+
+Term V(const char* name) { return Term::Var(name); }
+
+// The Fig. 6 shape: two s-t tgds, one with an existential, plus a target
+// key egd.
+struct ExampleMapping {
+  model::Schema source;
+  model::Schema target;
+  Mapping mapping;
+};
+
+ExampleMapping MakeExample() {
+  model::Schema s =
+      SchemaBuilder("S", Metamodel::kRelational)
+          .Relation("Emp", {{"eid", DataType::Int64()},
+                            {"dept", DataType::Int64()}})
+          .Build();
+  model::Schema t =
+      SchemaBuilder("T", Metamodel::kRelational)
+          .Relation("Worker", {{"eid", DataType::Int64()},
+                               {"mgr", DataType::Int64()}})
+          .Relation("Dept", {{"did", DataType::Int64()}})
+          .Build();
+  Tgd emp;
+  emp.body = {Atom{"Emp", {V("e"), V("d")}}};
+  emp.head = {Atom{"Worker", {V("e"), V("m")}}};  // m existential
+  Tgd dept;
+  dept.body = {Atom{"Emp", {V("e"), V("d")}}};
+  dept.head = {Atom{"Dept", {V("d")}}};
+  Egd key;
+  {
+    Atom a1{"Worker", {V("k"), V("u")}};
+    Atom a2{"Worker", {V("k"), V("v")}};
+    key.body = {a1, a2};
+    key.left = "u";
+    key.right = "v";
+  }
+  Mapping m = Mapping::FromTgds("ex", s, t, {emp, dept}, {key});
+  return {std::move(s), std::move(t), std::move(m)};
+}
+
+TEST(AnalysisTest, ExchangeGraphIsNamespacedAndAcyclic) {
+  ExampleMapping ex = MakeExample();
+  MappingAnalysis a = AnalyzeMapping(ex.mapping);
+  EXPECT_EQ(a.mode, ChaseMode::kExchange);
+  ASSERT_EQ(a.rules.size(), 3u);  // 2 tgds + 1 egd, chase slot order
+  EXPECT_EQ(a.rules[0].kind, "tgd");
+  EXPECT_EQ(a.rules[1].kind, "tgd");
+  EXPECT_EQ(a.rules[2].kind, "egd");
+  // S-t reads land in src:, writes in tgt: — the source is immutable.
+  EXPECT_EQ(a.rules[0].reads, std::vector<std::string>{"src:Emp"});
+  EXPECT_EQ(a.rules[0].writes, std::vector<std::string>{"tgt:Worker"});
+  EXPECT_TRUE(a.rules[0].creates_values);
+  EXPECT_FALSE(a.rules[1].creates_values);
+  // The egd reads the target and conservatively writes the whole written
+  // vocabulary (a unification can rewrite nulls anywhere).
+  EXPECT_EQ(a.rules[2].reads, std::vector<std::string>{"tgt:Worker"});
+  std::set<std::string> egd_writes(a.rules[2].writes.begin(),
+                                   a.rules[2].writes.end());
+  EXPECT_TRUE(egd_writes.count("tgt:Worker"));
+  EXPECT_TRUE(egd_writes.count("tgt:Dept"));
+  // S-t tgds can never be cyclic: nothing writes src:.
+  EXPECT_TRUE(a.weakly_acyclic);
+  EXPECT_TRUE(a.terminating());
+  EXPECT_TRUE(a.cycle.empty());
+  // Positions carry the same namespaces.
+  bool saw_src = false;
+  bool saw_tgt = false;
+  for (const PositionNode& p : a.positions) {
+    saw_src |= p.name.rfind("src:", 0) == 0;
+    saw_tgt |= p.name.rfind("tgt:", 0) == 0;
+  }
+  EXPECT_TRUE(saw_src);
+  EXPECT_TRUE(saw_tgt);
+  // One special edge: Emp.e feeds the invented Worker.mgr position.
+  std::size_t special = 0;
+  for (const PositionEdge& e : a.position_edges) special += e.special;
+  EXPECT_GT(special, 0u);
+}
+
+TEST(AnalysisTest, StrataAreTopologicallySound) {
+  ExampleMapping ex = MakeExample();
+  MappingAnalysis a = AnalyzeMapping(ex.mapping);
+  // Every rule is in exactly one stratum, and the stratum field agrees
+  // with the partition.
+  std::vector<int> seen(a.rules.size(), 0);
+  for (std::size_t s = 0; s < a.strata.size(); ++s) {
+    for (std::size_t rule : a.strata[s]) {
+      ASSERT_LT(rule, a.rules.size());
+      EXPECT_EQ(a.rules[rule].stratum, s);
+      ++seen[rule];
+    }
+  }
+  for (int count : seen) EXPECT_EQ(count, 1);
+  // Dependency edges never point backwards across strata.
+  for (const RuleEdge& e : a.rule_edges) {
+    EXPECT_LE(a.rules[e.from].stratum, a.rules[e.to].stratum);
+  }
+  // The tgds write what the egd reads, so the egd sits strictly later.
+  EXPECT_GT(a.rules[2].stratum, a.rules[0].stratum);
+  // Analysis is deterministic: a second run is structurally identical.
+  MappingAnalysis b = AnalyzeMapping(ex.mapping);
+  EXPECT_EQ(a.strata, b.strata);
+  EXPECT_EQ(a.ToJson(), b.ToJson());
+}
+
+TEST(AnalysisTest, DivergingClosureIsClassifiedWithWitnessCycle) {
+  // R(x,y) -> exists z. R(y,z): the canonical non-terminating rule.
+  Tgd walk;
+  walk.body = {Atom{"R", {V("x"), V("y")}}};
+  walk.head = {Atom{"R", {V("y"), V("z")}}};
+  MappingAnalysis a = AnalyzeClosure({walk}, {});
+  EXPECT_EQ(a.mode, ChaseMode::kClosure);
+  EXPECT_FALSE(a.weakly_acyclic);
+  EXPECT_EQ(a.termination, Termination::kPotentiallyNonTerminating);
+  // The witness cycle is closed (first == last) and touches R's columns.
+  ASSERT_GE(a.cycle.size(), 2u);
+  EXPECT_EQ(a.cycle.front(), a.cycle.back());
+  for (const std::string& pos : a.cycle) {
+    EXPECT_EQ(pos.rfind("R.", 0), 0u) << pos;
+  }
+  // The bounds saturate rather than promise termination.
+  EXPECT_EQ(a.ToText().find("weakly acyclic"), std::string::npos);
+  EXPECT_NE(a.ToText().find("potentially non-terminating"),
+            std::string::npos);
+}
+
+TEST(AnalysisTest, RecursionIsMarkedButFullTgdsTerminate) {
+  // Transitive closure: recursive (self-loop in the rule graph) yet full,
+  // hence terminating.
+  Tgd copy;
+  copy.body = {Atom{"R", {V("x"), V("y")}}};
+  copy.head = {Atom{"T", {V("x"), V("y")}}};
+  Tgd step;
+  step.body = {Atom{"T", {V("x"), V("y")}}, Atom{"R", {V("y"), V("z")}}};
+  step.head = {Atom{"T", {V("x"), V("z")}}};
+  MappingAnalysis a = AnalyzeClosure({copy, step}, {});
+  EXPECT_TRUE(a.weakly_acyclic);
+  EXPECT_TRUE(a.terminating());
+  ASSERT_EQ(a.rules.size(), 2u);
+  EXPECT_FALSE(a.rules[0].recursive);
+  EXPECT_TRUE(a.rules[1].recursive);
+  // copy feeds step, so copy's stratum comes first.
+  EXPECT_LE(a.rules[0].stratum, a.rules[1].stratum);
+}
+
+TEST(AnalysisTest, AgreesWithLogicLayerOracleOnRandomRuleSets) {
+  // The logic layer's CheckWeakAcyclicity is an independent
+  // implementation of the same FKMP test (single vocabulary). 200 random
+  // closure rule sets must classify identically.
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    Rng rng(seed * 2654435761 + 17);
+    std::size_t rels = 2 + rng.Uniform(3);
+    std::vector<std::size_t> arity(rels);
+    for (std::size_t r = 0; r < rels; ++r) arity[r] = 1 + rng.Uniform(3);
+    std::vector<Tgd> tgds;
+    std::size_t rules = 1 + rng.Uniform(4);
+    for (std::size_t i = 0; i < rules; ++i) {
+      Tgd tgd;
+      std::vector<std::string> vars;
+      std::size_t body_atoms = 1 + rng.Uniform(2);
+      for (std::size_t b = 0; b < body_atoms; ++b) {
+        std::size_t rel = rng.Uniform(rels);
+        Atom atom;
+        atom.relation = "R" + std::to_string(rel);
+        for (std::size_t c = 0; c < arity[rel]; ++c) {
+          if (!vars.empty() && rng.Chance(0.5)) {
+            atom.terms.push_back(Term::Var(vars[rng.Uniform(vars.size())]));
+          } else {
+            std::string v = "x" + std::to_string(vars.size());
+            vars.push_back(v);
+            atom.terms.push_back(Term::Var(std::move(v)));
+          }
+        }
+        tgd.body.push_back(std::move(atom));
+      }
+      std::size_t head_atoms = 1 + rng.Uniform(2);
+      std::size_t existentials = 0;
+      for (std::size_t h = 0; h < head_atoms; ++h) {
+        std::size_t rel = rng.Uniform(rels);
+        Atom atom;
+        atom.relation = "R" + std::to_string(rel);
+        for (std::size_t c = 0; c < arity[rel]; ++c) {
+          if (rng.Chance(0.3)) {
+            atom.terms.push_back(
+                Term::Var("y" + std::to_string(existentials++)));
+          } else {
+            atom.terms.push_back(Term::Var(vars[rng.Uniform(vars.size())]));
+          }
+        }
+        tgd.head.push_back(std::move(atom));
+      }
+      tgds.push_back(std::move(tgd));
+    }
+    MappingAnalysis a = AnalyzeClosure(tgds, {});
+    logic::AcyclicityReport oracle = logic::CheckWeakAcyclicity(tgds);
+    EXPECT_EQ(a.weakly_acyclic, oracle.weakly_acyclic) << "seed " << seed;
+    EXPECT_EQ(a.terminating(), oracle.weakly_acyclic) << "seed " << seed;
+  }
+}
+
+TEST(AnalysisTest, PredictedRoundsBoundObservedChase) {
+  // Known-positive acceptance case: a weakly acyclic mapping's predicted
+  // round bound must dominate the rounds a real chase takes, at the
+  // chase's own active-domain size.
+  ExampleMapping ex = MakeExample();
+  MappingAnalysis a = AnalyzeMapping(ex.mapping);
+  Instance db = Instance::EmptyFor(ex.source);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(
+        db.Insert("Emp", {Value::Int64(i), Value::Int64(i % 2)}).ok());
+  }
+  auto result = chase::RunChase(ex.mapping, db, chase::ChaseOptions{});
+  ASSERT_TRUE(result.ok()) << result.status();
+  std::uint64_t domain = 12;  // 6 eids + 2 depts fit comfortably
+  EXPECT_LE(result->stats.rounds, a.PredictedRounds(domain));
+  EXPECT_LE(result->target.TotalTuples(), a.PredictedTuples(domain));
+  // Bounds are monotone in the domain and saturate instead of wrapping.
+  EXPECT_LE(a.PredictedValues(10), a.PredictedValues(1000));
+  Tgd wide;
+  wide.body = {Atom{"Emp", {V("a"), V("b")}},
+               Atom{"Emp", {V("c"), V("d")}},
+               Atom{"Emp", {V("e"), V("f")}},
+               Atom{"Emp", {V("g"), V("h")}}};
+  wide.head = {Atom{"Dept", {V("z")}}};  // z existential
+  Mapping wide_mapping =
+      Mapping::FromTgds("wide", ex.source, ex.target, {wide});
+  MappingAnalysis w = AnalyzeMapping(wide_mapping);
+  EXPECT_LE(w.PredictedValues(1u << 20),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(AnalysisTest, RenderingsAreWellFormed) {
+  ExampleMapping ex = MakeExample();
+  MappingAnalysis a = AnalyzeMapping(ex.mapping);
+  std::string json = a.ToJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+  EXPECT_NE(json.find("\"mode\": \"exchange\""), std::string::npos);
+  EXPECT_NE(json.find("\"predicted\""), std::string::npos);
+  std::string dot = a.ToDot();
+  EXPECT_EQ(dot.rfind("digraph mapping_analysis {", 0), 0u);
+  // Braces balance.
+  int depth = 0;
+  for (char c : dot) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  // Every rule label appears in the DOT body, escaped or not.
+  EXPECT_NE(dot.find("cluster_stratum_0"), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);  // special edge
+}
+
+}  // namespace
+}  // namespace mm2::analysis

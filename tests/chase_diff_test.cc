@@ -402,5 +402,141 @@ TEST_P(ClosureParallelDiffProperty, ParallelClosureExactlyEqual) {
 INSTANTIATE_TEST_SUITE_P(Sweep, ClosureParallelDiffProperty,
                          ::testing::Range(0, 12));
 
+// Stratified-scheduling axis: running the chase with mapping analysis
+// attached (ChaseOptions::stratified) must be a pure scheduling
+// optimization. Strata only defer egd matching until the tgd strata are
+// quiescent (exchange mode) or retire rule groups the flat scheduler
+// would have delta-skipped anyway, so the *result* — the instance text,
+// which pins down null naming, and every firing-attribution counter —
+// must be bit-identical to the flat semi-naive run. Round counts and
+// delta-skip tallies legitimately differ (that skipped work is the
+// point), so they are deliberately not compared.
+ChaseOptions StratifiedMode() {
+  ChaseOptions o;
+  o.stratified = true;
+  return o;
+}
+
+void ExpectSameRuleAttribution(const ChaseStats& flat,
+                               const ChaseStats& strat, int seed) {
+  EXPECT_EQ(flat.tgd_firings, strat.tgd_firings) << "seed " << seed;
+  EXPECT_EQ(flat.nulls_created, strat.nulls_created) << "seed " << seed;
+  EXPECT_EQ(flat.egd_unifications, strat.egd_unifications) << "seed " << seed;
+  EXPECT_EQ(flat.assignments_matched, strat.assignments_matched)
+      << "seed " << seed;
+  ASSERT_EQ(flat.rules.size(), strat.rules.size()) << "seed " << seed;
+  for (std::size_t i = 0; i < flat.rules.size(); ++i) {
+    EXPECT_EQ(flat.rules[i].label, strat.rules[i].label) << "seed " << seed;
+    EXPECT_EQ(flat.rules[i].firings, strat.rules[i].firings)
+        << "seed " << seed << " rule " << flat.rules[i].label;
+    EXPECT_EQ(flat.rules[i].triggers_tested, strat.rules[i].triggers_tested)
+        << "seed " << seed << " rule " << flat.rules[i].label;
+    EXPECT_EQ(flat.rules[i].nulls_created, strat.rules[i].nulls_created)
+        << "seed " << seed << " rule " << flat.rules[i].label;
+    EXPECT_EQ(flat.rules[i].unifications, strat.rules[i].unifications)
+        << "seed " << seed << " rule " << flat.rules[i].label;
+  }
+}
+
+class ChaseStratifiedDiffProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChaseStratifiedDiffProperty, StratifiedEqualsFlatBitForBit) {
+  Scenario s = MakeScenario(static_cast<std::uint64_t>(GetParam()));
+  Mapping mapping =
+      Mapping::FromTgds("m", s.source, s.target, s.tgds, s.egds);
+
+  auto flat = RunChase(mapping, s.db, SemiNaiveMode());
+  auto strat = RunChase(mapping, s.db, StratifiedMode());
+  ASSERT_EQ(flat.status().code(), strat.status().code())
+      << "seed " << GetParam() << ": flat=" << flat.status()
+      << " stratified=" << strat.status();
+  if (!flat.ok()) return;
+
+  // Instance text equality is the strongest form: it covers tuple sets,
+  // iteration order, and labeled-null names.
+  EXPECT_EQ(text::InstanceToText(strat->target),
+            text::InstanceToText(flat->target))
+      << "seed " << GetParam();
+  ExpectSameRuleAttribution(flat->stats, strat->stats, GetParam());
+
+  // The scheduler actually ran, and its telemetry stayed off on the flat
+  // side (the disabled path materializes nothing).
+  EXPECT_GT(strat->stats.strata_count, 0u) << "seed " << GetParam();
+  EXPECT_EQ(flat->stats.strata_count, 0u);
+  // Every rule got a stratum; flat rules stay unassigned.
+  for (const RuleStats& rule : strat->stats.rules) {
+    EXPECT_GE(rule.stratum, 0) << "seed " << GetParam();
+  }
+  for (const RuleStats& rule : flat->stats.rules) {
+    EXPECT_EQ(rule.stratum, -1);
+  }
+  // S-t scenarios are always weakly acyclic, and the predicted round
+  // bound must dominate what either scheduler observed.
+  EXPECT_TRUE(strat->stats.predicted_terminating) << "seed " << GetParam();
+  EXPECT_LE(flat->stats.rounds, strat->stats.predicted_rounds)
+      << "seed " << GetParam();
+  EXPECT_LE(strat->stats.rounds, strat->stats.predicted_rounds)
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ChaseStratifiedDiffProperty,
+                         ::testing::Range(0, 100));
+
+// Closure mode only retires quiescent strata (late activation would
+// reorder null invention), so transitive closure over random graphs must
+// stay exactly equal too — including when an independent shallow chain
+// rides along, the case where retirement skips real delta-check passes.
+class ClosureStratifiedDiffProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ClosureStratifiedDiffProperty, StratifiedClosureExactlyEqual) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31337 + 5);
+  Instance db;
+  db.DeclareRelation("R", 2);
+  db.DeclareRelation("T", 2);
+  db.DeclareRelation("A", 1);
+  db.DeclareRelation("B", 1);
+  std::size_t nodes = 5 + rng.Uniform(6);
+  std::size_t edges = nodes + rng.Uniform(nodes);
+  for (std::size_t e = 0; e < edges; ++e) {
+    db.InsertUnchecked(
+        "R", {Value::Int64(static_cast<std::int64_t>(rng.Uniform(nodes))),
+              Value::Int64(static_cast<std::int64_t>(rng.Uniform(nodes)))});
+  }
+  for (std::size_t a = 0; a < 3; ++a) {
+    db.InsertUnchecked(
+        "A", {Value::Int64(static_cast<std::int64_t>(rng.Uniform(nodes)))});
+  }
+
+  Tgd copy;
+  copy.body = {Atom{"R", {Term::Var("x"), Term::Var("y")}}};
+  copy.head = {Atom{"T", {Term::Var("x"), Term::Var("y")}}};
+  Tgd step;
+  step.body = {Atom{"T", {Term::Var("x"), Term::Var("y")}},
+               Atom{"R", {Term::Var("y"), Term::Var("z")}}};
+  step.head = {Atom{"T", {Term::Var("x"), Term::Var("z")}}};
+  // Independent depth-1 stratum: quiescent after one round while the
+  // closure stratum keeps iterating — the retirement win.
+  Tgd shallow;
+  shallow.body = {Atom{"A", {Term::Var("x")}}};
+  shallow.head = {Atom{"B", {Term::Var("x")}}};
+  std::vector<Tgd> tgds = {copy, step, shallow};
+
+  auto flat = ChaseInstance(tgds, {}, db, SemiNaiveMode());
+  auto strat = ChaseInstance(tgds, {}, db, StratifiedMode());
+  ASSERT_TRUE(flat.ok()) << flat.status();
+  ASSERT_TRUE(strat.ok()) << strat.status();
+  EXPECT_TRUE(strat->target.Equals(flat->target)) << "seed " << GetParam();
+  ExpectSameRuleAttribution(flat->stats, strat->stats, GetParam());
+  EXPECT_GT(strat->stats.strata_count, 0u);
+  // Full tgds invent nothing, so the classifier must say terminating and
+  // its round bound must hold.
+  EXPECT_TRUE(strat->stats.predicted_terminating);
+  EXPECT_LE(strat->stats.rounds, strat->stats.predicted_rounds)
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ClosureStratifiedDiffProperty,
+                         ::testing::Range(0, 20));
+
 }  // namespace
 }  // namespace mm2::chase

@@ -244,6 +244,88 @@ TEST_F(EngineExtTest, StatsOutputIsDeterministic) {
   EXPECT_EQ(first_names, sorted);
 }
 
+TEST_F(EngineExtTest, ExplainMappingReportsStaticAnalysis) {
+  auto log = engine_.RunScript("explain mapping flatten");
+  ASSERT_TRUE(log.ok()) << log.status();
+  std::string joined;
+  for (const std::string& line : *log) joined += line + "\n";
+  EXPECT_NE(joined.find("termination: terminating (weakly acyclic)"),
+            std::string::npos);
+  EXPECT_NE(joined.find("tgd0:Orders+Lines->Flat"), std::string::npos);
+  EXPECT_NE(joined.find("predicted"), std::string::npos);
+
+  auto json = engine_.RunScript("explain mapping flatten --json");
+  ASSERT_TRUE(json.ok()) << json.status();
+  ASSERT_EQ(json->size(), 1u);
+  EXPECT_EQ(json->front().front(), '{');
+  EXPECT_NE(json->front().find("\"termination\": \"terminating\""),
+            std::string::npos);
+  EXPECT_NE(json->front().find("\"strata\": [[0]]"), std::string::npos);
+  EXPECT_EQ(json->front().find('\n'), std::string::npos);
+
+  auto dot = engine_.RunScript("explain mapping flatten --dot");
+  ASSERT_TRUE(dot.ok()) << dot.status();
+  ASSERT_EQ(dot->size(), 1u);
+  EXPECT_EQ(dot->front().rfind("digraph mapping_analysis {", 0), 0u);
+  EXPECT_NE(dot->front().find("cluster_stratum_0"), std::string::npos);
+
+  EXPECT_FALSE(engine_.RunScript("explain mapping").ok());
+  EXPECT_FALSE(engine_.RunScript("explain mapping nosuch").ok());
+  EXPECT_FALSE(engine_.RunScript("explain mapping flatten --png").ok());
+}
+
+TEST_F(EngineExtTest, StatsJsonSharesMetricNamesWithTextForm) {
+  ASSERT_TRUE(engine_.RunScript("exchange Dout flatten D").ok());
+  auto json = engine_.RunScript("stats --json");
+  ASSERT_TRUE(json.ok()) << json.status();
+  ASSERT_EQ(json->size(), 1u);
+  const std::string& line = json->front();
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  EXPECT_NE(line.find("\"counters\": {"), std::string::npos);
+  EXPECT_NE(line.find("\"histograms\": {"), std::string::npos);
+  // Every metric name from the text dump appears verbatim in the JSON —
+  // the shared-serializer contract of the two surfaces.
+  auto text = engine_.RunScript("stats");
+  ASSERT_TRUE(text.ok());
+  for (const std::string& text_line : *text) {
+    std::istringstream words(text_line);
+    std::string kind, name;
+    if (words >> kind >> name &&
+        (kind == "counter" || kind == "gauge" || kind == "histogram")) {
+      EXPECT_NE(line.find("\"" + name + "\":"), std::string::npos)
+          << "metric " << name << " missing from stats --json";
+    }
+  }
+  EXPECT_FALSE(engine_.RunScript("stats --verbose").ok());
+}
+
+TEST_F(EngineExtTest, ExchangeAttributesStrataAndForesight) {
+  ASSERT_TRUE(engine_.RunScript("exchange Dout flatten D").ok());
+  auto log = engine_.RunScript("explain --json");
+  ASSERT_TRUE(log.ok()) << log.status();
+  const std::string& json = log->back();
+  // Engine exchanges run stratified, so the rule carries its stratum and
+  // the strata/foresight sections are live.
+  EXPECT_NE(json.find("\"stratum\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"strata\": [{\"index\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"foresight\": {\"analyzed\": true, "
+                      "\"terminating\": true"),
+            std::string::npos);
+}
+
+TEST_F(EngineExtTest, LogLevelCommandSetsThreshold) {
+  auto log = engine_.RunScript("log level warn");
+  ASSERT_TRUE(log.ok()) << log.status();
+  EXPECT_EQ(engine_.observability().events.min_level(),
+            obs::EventLevel::kWarn);
+  EXPECT_FALSE(engine_.RunScript("log level chatty").ok());
+  EXPECT_FALSE(engine_.RunScript("log level").ok());
+  ASSERT_TRUE(engine_.RunScript("log level debug").ok());
+  EXPECT_EQ(engine_.observability().events.min_level(),
+            obs::EventLevel::kDebug);
+}
+
 TEST_F(EngineExtTest, WhyExplainsTargetFactAfterExchange) {
   auto log = engine_.RunScript(R"(
 exchange Dout flatten D

@@ -133,6 +133,53 @@ TEST(EventLogTest, ConfigureFromEnvReadsMm2Log) {
   }
 }
 
+TEST(EventLogTest, ParseEventLevelRoundTripsNames) {
+  for (EventLevel level : {EventLevel::kDebug, EventLevel::kInfo,
+                           EventLevel::kWarn, EventLevel::kError}) {
+    EventLevel parsed = EventLevel::kDebug;
+    ASSERT_TRUE(ParseEventLevel(EventLevelName(level), &parsed));
+    EXPECT_EQ(parsed, level);
+  }
+  EventLevel untouched = EventLevel::kError;
+  EXPECT_FALSE(ParseEventLevel("verbose", &untouched));
+  EXPECT_FALSE(ParseEventLevel("", &untouched));
+  EXPECT_EQ(untouched, EventLevel::kError);
+}
+
+TEST(EventLogTest, ConfigureFromEnvReadsMm2LogLevel) {
+  {
+    EventLog log;
+    ::setenv("MM2_LOG", "text", 1);
+    ::setenv("MM2_LOG_LEVEL", "warn", 1);
+    log.ConfigureFromEnv();
+    EXPECT_EQ(log.format(), EventFormat::kText);
+    EXPECT_EQ(log.min_level(), EventLevel::kWarn);
+    log.Emit(EventLevel::kInfo, "dropped", {});
+    log.Emit(EventLevel::kWarn, "kept", {});
+    std::vector<Event> recent = log.Recent();
+    ASSERT_EQ(recent.size(), 1u);
+    EXPECT_EQ(recent[0].name, "kept");
+  }
+  {
+    // An unparsable level leaves the default (keep everything) in place.
+    EventLog log;
+    ::setenv("MM2_LOG_LEVEL", "loudest", 1);
+    log.ConfigureFromEnv();
+    EXPECT_EQ(log.min_level(), EventLevel::kDebug);
+  }
+  {
+    // MM2_LOG_LEVEL alone does not switch the log on.
+    EventLog log;
+    ::unsetenv("MM2_LOG");
+    ::setenv("MM2_LOG_LEVEL", "error", 1);
+    log.ConfigureFromEnv();
+    EXPECT_EQ(log.format(), EventFormat::kOff);
+    EXPECT_EQ(log.min_level(), EventLevel::kError);
+  }
+  ::unsetenv("MM2_LOG_LEVEL");
+  ::unsetenv("MM2_LOG");
+}
+
 TEST(EventLogTest, ConfigureFileWritesAndFailsOnBadPath) {
   EventLog log;
   EXPECT_FALSE(

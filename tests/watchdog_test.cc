@@ -4,6 +4,7 @@
 // runtime::Exchange.
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -219,6 +220,75 @@ TEST(WatchdogTest, MaxRoundsErrorCarriesFlightDump) {
   EXPECT_NE(result.status().message().find("max_rounds"), std::string::npos);
   EXPECT_NE(result.status().message().find("-- flight recorder"),
             std::string::npos);
+}
+
+TEST(WatchdogForesightTest, AutoArmsTupleBudgetOnNonTerminatingClosure) {
+  // The known-negative classifier case: R(x,y) -> exists z. R(y,z) cycles
+  // through a special edge, so a stratified run with no explicit budget
+  // must arm a conservative tuple budget on its own and stop gracefully
+  // instead of chasing forever.
+  obs::Context obs;
+  std::ostringstream sink;
+  obs.events.Configure(obs::EventFormat::kText, &sink);
+  ChaseOptions options;
+  options.stratified = true;
+  options.max_rounds = 100000000;  // foresight must fire long before this
+  options.obs = &obs;
+  auto result = ChaseInstance({DivergingTgd()}, {}, SeedInstance(), options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_TRUE(result->breach.has_value());
+  EXPECT_EQ(result->breach->kind, "tuples");
+  EXPECT_TRUE(result->stats.foresight_armed);
+  EXPECT_FALSE(result->stats.predicted_terminating);
+  // The warning event announced the arming before the chase started (the
+  // sink, not the ring: thousands of budgeted rounds of heartbeats have
+  // long since evicted it from the flight recorder).
+  std::string events = sink.str();
+  std::size_t foresight_at = events.find("chase.foresight");
+  ASSERT_NE(foresight_at, std::string::npos);
+  EXPECT_NE(events.find("warn", 0), std::string::npos);
+  EXPECT_NE(events.find("termination=potentially_non_terminating"),
+            std::string::npos);
+  EXPECT_NE(events.find("auto_tuple_budget="), std::string::npos);
+  EXPECT_LT(foresight_at, events.find("chase.heartbeat"));
+  // Mirrored into the metric families explain reads.
+  obs::MetricsSnapshot snap = obs.metrics.Snapshot();
+  const obs::CounterSnapshot* armed = snap.FindCounter("chase.foresight.armed");
+  ASSERT_NE(armed, nullptr);
+  EXPECT_EQ(armed->value, 1u);
+  const obs::GaugeSnapshot* terminating =
+      snap.FindGauge("chase.foresight.terminating");
+  ASSERT_NE(terminating, nullptr);
+  EXPECT_EQ(terminating->value, 0);
+}
+
+TEST(WatchdogForesightTest, ExplicitBudgetSuppressesAutoArm) {
+  // An explicit (generous) wall budget means the user already bounded the
+  // run; foresight must not stack a tuple budget on top.
+  ChaseOptions options;
+  options.stratified = true;
+  options.wall_budget_us = 5000;
+  options.max_rounds = 100000000;
+  auto result = ChaseInstance({DivergingTgd()}, {}, SeedInstance(), options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_TRUE(result->breach.has_value());
+  EXPECT_EQ(result->breach->kind, "wall_us");
+  EXPECT_FALSE(result->stats.foresight_armed);
+  EXPECT_FALSE(result->stats.predicted_terminating);
+}
+
+TEST(WatchdogForesightTest, TerminatingClosureNeverArms) {
+  Tgd copy;
+  copy.body = {Atom{"R", {V("x"), V("y")}}};
+  copy.head = {Atom{"Q", {V("x")}}};
+  ChaseOptions options;
+  options.stratified = true;
+  auto result = ChaseInstance({copy}, {}, SeedInstance(), options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_FALSE(result->breach.has_value());
+  EXPECT_FALSE(result->stats.foresight_armed);
+  EXPECT_TRUE(result->stats.predicted_terminating);
+  EXPECT_LE(result->stats.rounds, result->stats.predicted_rounds);
 }
 
 TEST(WatchdogTest, ExchangeForwardsBudgetsAndSkipsCore) {
