@@ -36,7 +36,12 @@ if [[ "${1:-}" == "--tsan" ]]; then
   # WatchdogForesight cover the stratified scheduler + analysis attach —
   # the scheduler state is per-run but its metric mirroring and foresight
   # events ride the shared registry/event-log mutexes.
-  TEST_FILTER="ChaseDiffProperty|ClosureDiffProperty|ChaseSerializeDiffProperty|RelationInstance|InstanceTest|InternPool|ValueIntern|ThreadPool|ResolveThreadCount|ChaseParallelDiffProperty|ClosureParallelDiffProperty|ChaseStratifiedDiffProperty|ClosureStratifiedDiffProperty|AnalysisTest|WatchdogForesight|ParallelHashJoin|Parallelism|EventLog|CancelToken|Watchdog"
+  # Segment/RelationSegment/ChaseSegmentedDiffProperty/
+  # ClosureSegmentedDiffProperty cover the columnar segment layer: the
+  # const PrepareSegments reseal under index_mu_, segment probes racing
+  # the chase's parallel match fan-out, and the batched retain pass whose
+  # candidate chunks are evaluated across the worker pool.
+  TEST_FILTER="ChaseDiffProperty|ClosureDiffProperty|ChaseSerializeDiffProperty|RelationInstance|InstanceTest|InternPool|ValueIntern|ThreadPool|ResolveThreadCount|ChaseParallelDiffProperty|ClosureParallelDiffProperty|ChaseStratifiedDiffProperty|ClosureStratifiedDiffProperty|AnalysisTest|WatchdogForesight|ParallelHashJoin|Parallelism|EventLog|CancelToken|Watchdog|SegmentInserterTest|SegmentMergeTest|SegmentProbeTest|RelationSegmentTest|InstanceSegmentTest|ChaseSegmentedDiffProperty|ClosureSegmentedDiffProperty"
 fi
 
 cmake -B "$BUILD_DIR" -S . \
@@ -75,6 +80,36 @@ for i, line in enumerate(lines, 1):
             sys.exit(f"error: event line {i} lacks '{key}': {line!r}")
 print(f"structured-log smoke gate passed ({len(lines)} JSON event lines)")
 EOF
+fi
+
+# Segmented-storage smoke gate (default path only): the demo exchange run
+# under MM2_STORAGE=segmented must exit cleanly and print a bit-identical
+# materialized instance + query answer to the indexed run. stats/explain
+# are excluded — their storage sections legitimately differ by mode.
+if [[ -z "$TEST_FILTER" && -x "$BUILD_DIR/examples/mm2_shell" ]]; then
+  SEG_SESSION="$(mktemp)"
+  SEG_IDX_OUT="$(mktemp)"
+  SEG_SEG_OUT="$(mktemp)"
+  trap 'rm -f "${LOG_TMP:-}" "$SEG_SESSION" "$SEG_IDX_OUT" "$SEG_SEG_OUT"' EXIT
+  {
+    echo "load-schema examples/data/school.schema"
+    echo "load-schema examples/data/school_v2.schema"
+    echo "load-instance D examples/data/school.instance"
+    echo "load-mapping examples/data/split.mapping"
+    echo "exchange Dprime mapSSp D"
+    echo "show instance Dprime"
+    echo "answer mapSSp D Q(n, a) :- NamesP(s, n), Foreign(s, a, c)"
+    echo "quit"
+  } > "$SEG_SESSION"
+  MM2_STORAGE=indexed "$BUILD_DIR/examples/mm2_shell" \
+    < "$SEG_SESSION" > "$SEG_IDX_OUT" 2> /dev/null
+  MM2_STORAGE=segmented "$BUILD_DIR/examples/mm2_shell" \
+    < "$SEG_SESSION" > "$SEG_SEG_OUT" 2> /dev/null
+  if ! diff -u "$SEG_IDX_OUT" "$SEG_SEG_OUT"; then
+    echo "error: MM2_STORAGE=segmented demo output diverged from indexed" >&2
+    exit 1
+  fi
+  echo "segmented-storage smoke gate passed (demo output bit-identical)"
 fi
 
 # DOT-validity gate (default path only): `explain mapping --dot` over the

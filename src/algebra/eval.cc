@@ -35,8 +35,14 @@ Table Table::Distinct() const {
 
 bool Table::SetEquals(const Table& other) const {
   if (columns != other.columns) return false;
-  std::set<Tuple> a(rows.begin(), rows.end());
-  std::set<Tuple> b(other.rows.begin(), other.rows.end());
+  // Sorted-vector comparison: two sorts plus one linear pass, with none of
+  // the per-node allocation a std::set rebuild pays.
+  std::vector<Tuple> a = rows;
+  std::vector<Tuple> b = other.rows;
+  std::sort(a.begin(), a.end());
+  a.erase(std::unique(a.begin(), a.end()), a.end());
+  std::sort(b.begin(), b.end());
+  b.erase(std::unique(b.begin(), b.end()), b.end());
   return a == b;
 }
 
@@ -238,10 +244,14 @@ Status AppendJoinColumns(const std::vector<std::string>& right_columns,
 struct EvalContext {
   EvalOptions options;
   std::size_t workers;
+  bool segmented;
   std::unique_ptr<common::ThreadPool> pool;
 
   explicit EvalContext(const EvalOptions& opts)
-      : options(opts), workers(common::ResolveThreadCount(opts.threads)) {}
+      : options(opts),
+        workers(common::ResolveThreadCount(opts.threads)),
+        segmented(instance::ResolveStorageMode(opts.storage) ==
+                  instance::StorageMode::kSegmented) {}
 
   // Returns the pool when this join is big enough to amortize a fan-out,
   // creating it on first use; nullptr means "run serial".
@@ -382,7 +392,21 @@ Result<Table> JoinScanProbe(const Expr& expr, const Table& left,
     return Status::InvalidArgument("equijoin requires at least one key");
   }
 
+  // Under segmented storage, a key set covering columns [0, k) in order is
+  // a prefix of the segment sort order: seal once and binary-search the
+  // columns per probe instead of building a hash index. Rows come back in
+  // set order — exactly the hash bucket's order — so output is identical.
+  bool segment_probe = false;
+  if (g_eval_ctx != nullptr && g_eval_ctx->segmented && rel != nullptr) {
+    segment_probe = true;
+    for (std::size_t i = 0; i < right_keys.size(); ++i) {
+      if (right_keys[i] != i) segment_probe = false;
+    }
+    if (segment_probe) rel->PrepareSegments();
+  }
+
   const std::size_t width = out.columns.size();
+  Tuple scratch;
   for (const Tuple& l : left.rows) {
     Tuple key;
     key.reserve(left_keys.size());
@@ -390,6 +414,25 @@ Result<Table> JoinScanProbe(const Expr& expr, const Table& left,
     for (std::size_t k : left_keys) {
       if (l[k].is_null()) has_null = true;
       key.push_back(l[k]);
+    }
+    if (segment_probe && !has_null) {
+      if (auto range = rel->SegmentProbePrefix(key)) {
+        if (!range->empty()) {
+          for (std::size_t r = range->begin; r < range->end; ++r) {
+            range->segment->CopyRow(r, &scratch);
+            Tuple row;
+            row.reserve(width);
+            row.insert(row.end(), l.begin(), l.end());
+            row.insert(row.end(), scratch.begin(), scratch.end());
+            out.rows.push_back(std::move(row));
+          }
+        } else if (expr.join_kind() == Expr::JoinKind::kLeftOuter) {
+          Tuple row = l;
+          row.resize(width, Value::Null());
+          out.rows.push_back(std::move(row));
+        }
+        continue;
+      }
     }
     // NULL keys never join; right tuples with NULL keys live in buckets no
     // non-null probe key can reach, so the exact-match probe excludes them.
@@ -844,17 +887,49 @@ Result<Table> Evaluate(const Expr& expr, const Catalog& catalog,
       if (left.columns.size() != right.columns.size()) {
         return Status::InvalidArgument("difference operands differ in arity");
       }
-      std::set<Tuple> exclude(right.rows.begin(), right.rows.end());
+      // Sorted anti-join: sort the right side once, keep the left side in
+      // its original (bag) order, and resolve membership with binary
+      // searches over the contiguous vector.
+      std::vector<Tuple> exclude = std::move(right.rows);
+      std::sort(exclude.begin(), exclude.end());
       Table out;
       out.columns = left.columns;
       for (Tuple& row : left.rows) {
-        if (exclude.count(row) == 0) out.rows.push_back(std::move(row));
+        if (!std::binary_search(exclude.begin(), exclude.end(), row)) {
+          out.rows.push_back(std::move(row));
+        }
       }
       return out;
     }
     case Expr::Kind::kDistinct: {
       MM2_ASSIGN_OR_RETURN(Table in,
                            Evaluate(*expr.children()[0], catalog, database));
+      if (g_eval_ctx->segmented) {
+        // Sort-based dedup with the same first-occurrence output order the
+        // set-based path produces: order row indices by (row, position),
+        // keep each run's first index, then emit in original position
+        // order.
+        std::vector<std::size_t> order(in.rows.size());
+        for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+        std::sort(order.begin(), order.end(),
+                  [&in](std::size_t a, std::size_t b) {
+                    if (in.rows[a] < in.rows[b]) return true;
+                    if (in.rows[b] < in.rows[a]) return false;
+                    return a < b;
+                  });
+        std::vector<char> keep(in.rows.size(), 0);
+        for (std::size_t i = 0; i < order.size(); ++i) {
+          if (i == 0 || in.rows[order[i]] != in.rows[order[i - 1]]) {
+            keep[order[i]] = 1;
+          }
+        }
+        Table out;
+        out.columns = in.columns;
+        for (std::size_t i = 0; i < in.rows.size(); ++i) {
+          if (keep[i] != 0) out.rows.push_back(std::move(in.rows[i]));
+        }
+        return out;
+      }
       return in.Distinct();
     }
     case Expr::Kind::kAggregate: {

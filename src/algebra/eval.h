@@ -74,6 +74,12 @@ struct EvalOptions {
   // fan-out costs more than the probes it spreads. Tests lower it to force
   // the parallel path on small inputs.
   std::size_t min_parallel_rows = 2048;
+  // Storage representation for base-table probes. kDefault defers to the
+  // MM2_STORAGE environment variable (default: indexed). Under kSegmented,
+  // scan-side equi-join probes on a key prefix binary-search the relation's
+  // sealed columnar segment instead of building a hash index, and Distinct
+  // dedups via a stable sort. Output rows are byte-identical either way.
+  instance::StorageMode storage = instance::StorageMode::kDefault;
 };
 
 // Evaluates a relational expression against a database instance.

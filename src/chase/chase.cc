@@ -7,9 +7,11 @@
 #include "obs/obs.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <chrono>
 #include <cstdio>
+#include <functional>
 #include <limits>
 #include <memory>
 #include <optional>
@@ -224,6 +226,22 @@ void MatchIndexedRec(const std::vector<Atom>& atoms,
     }
     return;
   }
+  // Bound columns come out in ascending term order, so a key covering
+  // columns [0, k) is a prefix of the segment sort order and a binary
+  // search over the sealed columnar segment answers the probe without
+  // materializing a hash index. The rows come back in set order, so the
+  // enumeration is bit-identical to the hash-bucket walk.
+  if (cols.back() == cols.size() - 1) {
+    if (auto range = rel->SegmentProbePrefix(key)) {
+      Tuple scratch;
+      for (std::size_t r = range->begin; r < range->end; ++r) {
+        range->segment->CopyRow(r, &scratch);
+        descend(scratch);
+        if (limit != 0 && out->size() >= limit) return;
+      }
+      return;
+    }
+  }
   const instance::RelationInstance::TupleRefs* refs = rel->Probe(cols, key);
   if (refs == nullptr) return;
   for (const Tuple* tuple : *refs) {
@@ -280,7 +298,12 @@ void PrebuildProbeIndexes(const std::vector<Atom>& atoms,
             cols.push_back(i);
           }
         }
-        if (!cols.empty()) rel->EnsureIndex(cols);
+        // Prefix probes are served by the sealed columnar segment when one
+        // is current; building the hash index too would be pure waste.
+        bool segment_serves = !cols.empty() &&
+                              cols.back() == cols.size() - 1 &&
+                              rel->SegmentCurrent();
+        if (!cols.empty() && !segment_serves) rel->EnsureIndex(cols);
       }
     }
     for (const Term& t : atom.terms) {
@@ -572,6 +595,22 @@ class ChaseRun {
     }
     instance::IndexStats storage0 = target_.IndexStatsTotal();
     if (source_ != nullptr) storage0 += source_->IndexStatsTotal();
+    // Columnar storage: resolve the knob once (naive oracle always runs
+    // indexed), snapshot segment counters BEFORE the initial seal so the
+    // startup seals are attributed to this run, then seal every relation.
+    segmented_ = !options_.naive &&
+                 instance::ResolveStorageMode(options_.storage) ==
+                     instance::StorageMode::kSegmented;
+    stats_.segmented = segmented_;
+    instance::SegmentOpStats seg0;
+    if (segmented_) {
+      seg0 = target_.SegmentStatsTotal();
+      if (source_ != nullptr) seg0 += source_->SegmentStatsTotal();
+      target_.SetStorageMode(instance::StorageMode::kSegmented);
+      target_.PrepareAllSegments();
+      if (source_ != nullptr) source_->PrepareAllSegments();
+    }
+    span.SetAttribute("storage_mode", segmented_ ? "segmented" : "indexed");
     // One RuleStats slot per constraint, in iteration order: SO-clauses,
     // then tgds, then egds. Labels are assigned up front so rules that
     // never fire still show up (with zero cost) in the attribution.
@@ -690,6 +729,10 @@ class ChaseRun {
       }
       ++stats_.rounds;
       if (analysis_ != nullptr) RetireStrata();
+      // Re-seal at the round boundary: the tuples this round inserted merge
+      // into each relation's sealed segment, so next round's prefix probes
+      // and retain batches run against current columns again.
+      if (segmented_) target_.PrepareAllSegments();
       round_span.SetAttribute("tgd_firings",
                               stats_.tgd_firings - round_firings0);
       round_span.SetAttribute("nulls_created",
@@ -782,6 +825,16 @@ class ChaseRun {
     stats_.index_probes = storage1.probes - storage0.probes;
     stats_.index_probe_hits = storage1.probe_hits - storage0.probe_hits;
     stats_.index_builds = storage1.builds - storage0.builds;
+    if (segmented_) {
+      instance::SegmentOpStats seg1 = target_.SegmentStatsTotal();
+      if (source_ != nullptr) seg1 += source_->SegmentStatsTotal();
+      stats_.segment = seg1 - seg0;
+      // Candidate-sort compares from the batched retain pre-pass are booked
+      // chase-locally (they never touch a relation's counters).
+      stats_.segment += retain_seg_;
+      span.SetAttribute("segment_probes", stats_.segment.probes);
+      span.SetAttribute("segment_compares", stats_.segment.compares);
+    }
     if (pool_ != nullptr) {
       common::ThreadPoolStats pool_stats = pool_->Stats();
       stats_.parallel_steals = pool_stats.stolen;
@@ -1070,11 +1123,144 @@ class ChaseRun {
     return inserted_any;
   }
 
+  // True when head evaluation is a pure lookup: no Skolem/function terms,
+  // so EvalHead cannot invent nulls and the restricted-chase satisfaction
+  // probe degenerates to ground-tuple membership. Only such heads may take
+  // the batched anti-join path.
+  static bool HeadBatchable(const std::vector<Atom>& head) {
+    if (head.empty()) return false;
+    for (const Atom& atom : head) {
+      for (const Term& t : atom.terms) {
+        if (t.kind() == Term::Kind::kFunction) return false;
+      }
+    }
+    return true;
+  }
+
+  // Restricted-chase firing with the per-assignment head-satisfaction probe
+  // replaced by one sorted anti-join per target relation against the sealed
+  // segments. Sound because the probe is cost-only for existential-free
+  // heads: a head already present when the serial walk reaches it either
+  // (a) predates this pass — then the pre-pass marks it present and both
+  // paths skip — or (b) was inserted earlier in this very pass — then the
+  // pre-pass misses it but InsertFacts degenerates to a duplicate Insert,
+  // which counts no firing and records no provenance, exactly like the
+  // serial skip. Firing order, counters, null naming, and the final
+  // instance are bit-identical to the serial walk.
+  Result<bool> FireBatchedRetain(
+      const std::vector<Atom>& head, const std::vector<Atom>& body,
+      const std::vector<Assignment>& assignments,
+      const std::function<std::string()>& unbound_error) {
+    const std::size_t n = assignments.size();
+    std::vector<std::vector<Fact>> facts(n);
+    // Head evaluation is read-only here (no invention, no Skolem table
+    // writes), and each worker owns a disjoint slice of pre-sized slots, so
+    // the fan-out is race-free and the concatenation positional. An unbound
+    // head variable stops the batch at the lowest offending index so the
+    // serial error behavior (earlier assignments fire, then the error
+    // surfaces) is preserved exactly.
+    std::atomic<std::size_t> first_unbound{n};
+    auto eval_range = [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        if (i >= first_unbound.load(std::memory_order_relaxed)) return;
+        std::optional<std::vector<Fact>> f =
+            EvalHead(head, assignments[i], /*invent=*/false);
+        if (!f.has_value()) {
+          std::size_t cur = first_unbound.load(std::memory_order_relaxed);
+          while (i < cur &&
+                 !first_unbound.compare_exchange_weak(cur, i)) {
+          }
+          return;
+        }
+        facts[i] = std::move(*f);
+      }
+    };
+    if (WorthParallel(pool_.get(), n)) {
+      auto region_start = std::chrono::steady_clock::now();
+      pool_->ParallelFor(n,
+                         [&](std::size_t begin, std::size_t end,
+                             std::size_t) { eval_range(begin, end); });
+      stats_.parallel_wall_us += MicrosSince(region_start);
+      ++stats_.parallel_regions;
+      stats_.parallel_tasks += std::min(pool_->size(), n);
+    } else {
+      eval_range(0, n);
+    }
+    const std::size_t usable = first_unbound.load();
+    // Group candidate tuples per target relation, sort each group (compares
+    // booked chase-locally — they never touch a relation's counters), and
+    // resolve the whole group with one merge walk over the segments.
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < usable; ++i) total += facts[i].size();
+    std::vector<char> fact_present(total, 0);
+    std::map<std::string,
+             std::vector<std::pair<const Tuple*, std::size_t>>, std::less<>>
+        groups;
+    {
+      std::size_t flat = 0;
+      for (std::size_t i = 0; i < usable; ++i) {
+        for (const Fact& f : facts[i]) {
+          groups[f.relation].emplace_back(&f.tuple, flat++);
+        }
+      }
+    }
+    for (auto& [relation, items] : groups) {
+      const instance::RelationInstance* rel = target_.Find(relation);
+      if (rel == nullptr) continue;  // absent relation: nothing is present
+      std::uint64_t* compares = &retain_seg_.compares;
+      std::sort(items.begin(), items.end(),
+                [compares](const auto& a, const auto& b) {
+                  ++*compares;
+                  return *a.first < *b.first;
+                });
+      std::vector<const Tuple*> cands;
+      cands.reserve(items.size());
+      for (const auto& item : items) cands.push_back(item.first);
+      std::vector<char> present;
+      rel->RetainExisting(cands, &present);
+      for (std::size_t k = 0; k < items.size(); ++k) {
+        if (present[k] != 0) fact_present[items[k].second] = 1;
+      }
+    }
+    // Serial in-order walk: fire exactly the assignments whose head is not
+    // fully present yet. This is the only mutating stage.
+    bool changed = false;
+    std::size_t flat = 0;
+    for (std::size_t i = 0; i < usable; ++i) {
+      const std::size_t base = flat;
+      flat += facts[i].size();
+      bool all = true;
+      for (std::size_t j = 0; j < facts[i].size(); ++j) {
+        if (fact_present[base + j] == 0) {
+          all = false;
+          break;
+        }
+      }
+      if (all) continue;
+      MM2_ASSIGN_OR_RETURN(bool inserted,
+                           InsertFacts(facts[i], body, assignments[i]));
+      changed |= inserted;
+    }
+    if (usable < n) return Status::Internal(unbound_error());
+    return changed;
+  }
+
   Result<bool> FireSoClause(const logic::SoTgdClause& clause,
                             std::size_t rule_index) {
     bool changed = false;
     BodyMatch match = MatchBody(rule_index, clause.body, read_db());
     CommitWatermarks(rule_index, match);
+    // Premise equalities can unify mid-pass (state-dependent), so only
+    // equality-free clauses with lookup-only heads take the batched path.
+    if (segmented_ && options_.restricted && clause.equalities.empty() &&
+        HeadBatchable(clause.head) && !match.assignments.empty()) {
+      return FireBatchedRetain(clause.head, clause.body, match.assignments,
+                               [&clause] {
+                                 return "unbound head variable in SO-tgd "
+                                        "clause: " +
+                                        clause.ToString();
+                               });
+    }
     for (const Assignment& assignment : match.assignments) {
       // Premise equalities under Skolem semantics: two distinct constants
       // act as a filter (the match simply does not fire); when a labeled
@@ -1119,6 +1305,17 @@ class ChaseRun {
     std::set<std::string> existentials = tgd.ExistentialVariables();
     BodyMatch match = MatchBody(rule_index, tgd.body, read_db());
     CommitWatermarks(rule_index, match);
+    // Existential-free heads are fully ground under each assignment, so
+    // the MatchAtomsIndexed satisfaction probe is exactly a membership
+    // test — batchable as one anti-join per relation.
+    if (segmented_ && options_.restricted && existentials.empty() &&
+        HeadBatchable(tgd.head) && !match.assignments.empty()) {
+      return FireBatchedRetain(tgd.head, tgd.body, match.assignments,
+                               [&tgd] {
+                                 return "unbound head variable in tgd: " +
+                                        tgd.ToString();
+                               });
+    }
     for (Assignment assignment : match.assignments) {
       if (options_.restricted) {
         // Satisfied already? Look for an extension of the assignment that
@@ -1313,6 +1510,11 @@ class ChaseRun {
   // Non-null only when the resolved thread count exceeds 1. Workers live
   // for the whole run; each partitioned match is one fork/join region.
   std::unique_ptr<common::ThreadPool> pool_;
+  // Columnar-storage state: the resolved ChaseOptions::storage knob, and
+  // the chase-local segment counters (batched-retain candidate sorting)
+  // that no single relation can book for itself.
+  bool segmented_ = false;
+  instance::SegmentOpStats retain_seg_;
   // Stratified-scheduler state, all empty when analysis_ is null. Indexed
   // by stratum id (= the analysis' topological order).
   const analysis::MappingAnalysis* analysis_ = nullptr;
@@ -1370,6 +1572,26 @@ void MirrorStats(obs::Context* obs, const ChaseStats& stats,
   m.GetHistogram("chase.rounds_per_run",
                  {1, 2, 3, 5, 8, 13, 21, 50, 100, 1000, 10000})
       .Record(static_cast<double>(stats.rounds));
+  // Columnar-storage family: materialized only for segmented runs, so
+  // indexed sessions keep their exact pre-existing metric surface.
+  if (stats.segmented) {
+    m.GetGauge("storage.mode.segmented").Set(1);
+    const instance::SegmentOpStats& seg = stats.segment;
+    m.GetCounter("storage.segment.seals").Increment(seg.seals);
+    m.GetCounter("storage.segment.sealed_rows").Increment(seg.sealed_rows);
+    m.GetCounter("storage.segment.merges").Increment(seg.merges);
+    m.GetCounter("storage.segment.merged_rows").Increment(seg.merged_rows);
+    m.GetCounter("storage.segment.compares").Increment(seg.compares);
+    m.GetCounter("storage.segment.probes").Increment(seg.probes);
+    m.GetCounter("storage.segment.probe_hits").Increment(seg.probe_hits);
+    m.GetCounter("storage.segment.skips").Increment(seg.skips);
+    m.GetCounter("storage.segment.fallbacks").Increment(seg.fallbacks);
+    m.GetCounter("storage.segment.retain_batches")
+        .Increment(seg.retain_batches);
+    m.GetCounter("storage.segment.retain_candidates")
+        .Increment(seg.retain_candidates);
+    m.GetCounter("storage.segment.retain_hits").Increment(seg.retain_hits);
+  }
   // Strata + foresight families: materialized only for analysis-scheduled
   // runs, so plain chases keep their exact pre-existing metric surface.
   if (stats.strata_count > 0) {

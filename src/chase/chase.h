@@ -112,6 +112,16 @@ struct ChaseOptions {
   // counts, and egd semantics — is identical to the serial run at any
   // thread count. The naive oracle ignores this and always runs serial.
   std::size_t threads = 0;
+  // Physical storage for the match/fire hot paths. kSegmented shadows each
+  // relation with immutable sorted column-major segments (sealed at round
+  // boundaries): bound-prefix probes binary-search the sorted view instead
+  // of the hash index, and restricted-chase head checks for existential-free
+  // rules run as one batched retain/anti-join pass per head relation. Both
+  // are enumeration-order-preserving, so instance text, firing counters,
+  // and null naming stay bit-identical to kIndexed (the differential
+  // oracle). kDefault defers to the MM2_STORAGE environment variable; the
+  // naive oracle ignores the knob entirely.
+  instance::StorageMode storage = instance::StorageMode::kDefault;
   // --- Resource budgets (the watchdog; 0 = unlimited) --------------------
   // Soft limits checked at every round boundary. On breach the chase stops
   // *gracefully*: Run returns OK with ChaseResult::breach describing which
@@ -225,6 +235,13 @@ struct ChaseStats {
   std::uint64_t pool_peak_queue = 0;    // max pending tasks observed
   double parallel_busy_us = 0;          // summed per-chunk worker time
   double parallel_wall_us = 0;          // summed fan-out wall time
+  // Segment-storage telemetry, mirrored as `storage.segment.*`. `segmented`
+  // records which backend ran; everything stays zero on indexed runs so
+  // their stats/metric surface is untouched. `segment` is diffed from the
+  // instances' cumulative SegmentOpStats around Run() (like index_probes)
+  // plus the chase-side retain bookkeeping (candidate sorts).
+  bool segmented = false;
+  instance::SegmentOpStats segment;
   // Stratified-scheduling + foresight telemetry, mirrored as
   // `chase.strata.*` / `chase.foresight.*`. All zero (and the metric
   // families stay unmaterialized) unless ChaseOptions enabled the

@@ -261,6 +261,7 @@ Status Engine::Exchange(const std::string& out_instance,
     op.SetAttribute("source_tuples", source.TotalTuples());
     runtime::ExchangeOptions options;
     options.threads = threads_;
+    options.storage = storage_;
     // Provenance is always on for engine-level exchanges: it is what the
     // `why` command reads back, and breach diagnostics lean on it too.
     options.track_provenance = true;
@@ -605,6 +606,16 @@ Result<std::vector<std::string>> Engine::RunScriptImpl(
       }
       SetThreads(static_cast<std::size_t>(n));
       log.push_back("threads " + tokens[1]);
+    } else if (op == "storage") {
+      MM2_RETURN_IF_ERROR(need(1));
+      if (tokens[1] == "indexed") {
+        SetStorageMode(instance::StorageMode::kIndexed);
+      } else if (tokens[1] == "segmented") {
+        SetStorageMode(instance::StorageMode::kSegmented);
+      } else {
+        return fail("storage takes 'indexed' or 'segmented'");
+      }
+      log.push_back("storage " + tokens[1]);
     } else if (op == "stats") {
       if (tokens.size() > 1 && tokens[1] != "--json") {
         return fail("stats takes no argument or --json");

@@ -10,7 +10,12 @@ namespace mm2::instance {
 RelationInstance::RelationInstance(const RelationInstance& other)
     : arity_(other.arity_),
       tuples_(other.tuples_),
-      generation_(other.generation_) {
+      generation_(other.generation_),
+      storage_mode_(other.storage_mode_),
+      sealed_(other.sealed_),  // immutable — shared, never deep-copied
+      tail_(other.tail_),
+      segment_dirty_(other.segment_dirty_),
+      segment_generation_(other.segment_generation_) {
   // Indexes and the insert log hold pointers into the *source* set; rebuild
   // the log over our own nodes (set order — deterministic) and let indexes
   // re-materialize lazily. Watermark 0 still means "everything".
@@ -28,6 +33,12 @@ RelationInstance& RelationInstance::operator=(const RelationInstance& other) {
   for (const Tuple& t : tuples_) log_.push_back(&t);
   indexes_.clear();
   stats_.Store(IndexStats{});
+  seg_stats_.Store(SegmentOpStats{});
+  storage_mode_ = other.storage_mode_;
+  sealed_ = other.sealed_;
+  tail_ = other.tail_;
+  segment_dirty_ = other.segment_dirty_;
+  segment_generation_ = other.segment_generation_;
   return *this;
 }
 
@@ -36,9 +47,15 @@ RelationInstance::RelationInstance(RelationInstance&& other) noexcept
       tuples_(std::move(other.tuples_)),
       generation_(other.generation_),
       log_(std::move(other.log_)),
-      indexes_(std::move(other.indexes_)) {
+      indexes_(std::move(other.indexes_)),
+      storage_mode_(other.storage_mode_),
+      sealed_(std::move(other.sealed_)),
+      tail_(std::move(other.tail_)),
+      segment_dirty_(other.segment_dirty_),
+      segment_generation_(other.segment_generation_) {
   // Moving a std::set transfers its nodes, so log/index pointers survive.
   stats_.Store(other.stats_.Load());
+  seg_stats_.Store(other.seg_stats_.Load());
 }
 
 RelationInstance& RelationInstance::operator=(
@@ -50,6 +67,12 @@ RelationInstance& RelationInstance::operator=(
   log_ = std::move(other.log_);
   indexes_ = std::move(other.indexes_);
   stats_.Store(other.stats_.Load());
+  storage_mode_ = other.storage_mode_;
+  sealed_ = std::move(other.sealed_);
+  tail_ = std::move(other.tail_);
+  segment_dirty_ = other.segment_dirty_;
+  segment_generation_ = other.segment_generation_;
+  seg_stats_.Store(other.seg_stats_.Load());
   return *this;
 }
 
@@ -91,6 +114,11 @@ bool RelationInstance::Insert(Tuple tuple) {
   ++generation_;
   const Tuple* node = &*it;
   log_.push_back(node);
+  // Segment tail: remember the insert so the next seal can merge
+  // incrementally. Pointless once dirty (a full rebuild is coming anyway).
+  if (storage_mode_ == StorageMode::kSegmented && !segment_dirty_) {
+    tail_.push_back(*node);
+  }
   std::unique_lock<std::shared_mutex> lock(index_mu_);
   IndexInsert(node);
   return true;
@@ -113,6 +141,12 @@ bool RelationInstance::Erase(const Tuple& tuple) {
   }
   tuples_.erase(it);
   ++generation_;
+  // Sealed segments cannot un-say a row: flag for a full rebuild at the
+  // next seal and drop the now-untrustworthy tail.
+  if (sealed_ != nullptr || !tail_.empty()) {
+    segment_dirty_ = true;
+    tail_.clear();
+  }
   return true;
 }
 
@@ -120,6 +154,10 @@ void RelationInstance::Clear() {
   tuples_.clear();
   log_.clear();
   ++generation_;
+  if (sealed_ != nullptr || !tail_.empty()) {
+    segment_dirty_ = true;
+    tail_.clear();
+  }
   std::unique_lock<std::shared_mutex> lock(index_mu_);
   indexes_.clear();
 }
@@ -187,6 +225,128 @@ RelationInstance::TupleRefs RelationInstance::DeltaSince(
 
 IndexStats RelationInstance::index_stats() const { return stats_.Load(); }
 
+void RelationInstance::set_storage_mode(StorageMode mode) {
+  mode = mode == StorageMode::kDefault ? StorageMode::kIndexed : mode;
+  if (mode == storage_mode_) return;
+  storage_mode_ = mode;
+  // Either direction invalidates the incremental state: entering
+  // kSegmented means past inserts were not tail-tracked; leaving it drops
+  // the view entirely.
+  sealed_.reset();
+  tail_.clear();
+  segment_dirty_ = false;
+  segment_generation_ = 0;
+}
+
+void RelationInstance::PrepareSegments() const {
+  std::unique_lock<std::shared_mutex> lock(index_mu_);
+  if (SegmentCurrent()) return;
+  SegmentOpStats local;
+  if (storage_mode_ == StorageMode::kSegmented && sealed_ != nullptr &&
+      !segment_dirty_ && !tail_.empty()) {
+    // Insert-only epoch: seal the tail and two-way merge with the sealed
+    // run instead of re-sorting the whole extension.
+    SegmentInserter inserter(arity_);
+    for (Tuple& t : tail_) inserter.Add(std::move(t));
+    tail_.clear();
+    SegmentPtr delta = inserter.Seal(&local);
+    sealed_ = MergeSegments({sealed_, delta}, &local);
+  } else {
+    // Full rebuild: set iteration is already sorted and unique.
+    sealed_ = SegmentInserter::FromSorted(arity_, tuples_, &local);
+    tail_.clear();
+    segment_dirty_ = false;
+  }
+  segment_generation_ = generation_;
+  seg_stats_.Add(local);
+}
+
+std::optional<RelationInstance::SegmentRange>
+RelationInstance::SegmentProbePrefix(const Tuple& key) const {
+  const Segment* segment = sealed_.get();
+  if (segment == nullptr) return std::nullopt;  // never sealed: free decline
+  if (segment_dirty_ || segment_generation_ != generation_ ||
+      key.size() > arity_) {
+    seg_stats_.fallbacks.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  SegmentOpStats local;
+  Segment::RowRange rows = segment->EqualRange(key.data(), key.size(), &local);
+  local.probes = 1;
+  local.probe_hits = rows.end - rows.begin;
+  seg_stats_.Add(local);
+  return SegmentRange{segment, rows.begin, rows.end};
+}
+
+void RelationInstance::RetainExisting(
+    const std::vector<const Tuple*>& sorted_candidates,
+    std::vector<char>* present) const {
+  present->assign(sorted_candidates.size(), 0);
+  SegmentOpStats local;
+  ++local.retain_batches;
+  local.retain_candidates += sorted_candidates.size();
+  const bool current = SegmentCurrent();
+  // An insert-only tail still answers exactly: sealed ∪ tail == extension.
+  const bool incremental = !current && sealed_ != nullptr &&
+                           !segment_dirty_ &&
+                           storage_mode_ == StorageMode::kSegmented;
+  if (current || incremental) {
+    std::vector<Tuple> tail_sorted;
+    if (incremental && !tail_.empty()) {
+      tail_sorted = tail_;
+      CountedSort(&tail_sorted, &local);
+    }
+    // Both sides sorted ⇒ a single forward merge: each cursor advances
+    // monotonically, so the whole batch costs O(rows + candidates) tuple
+    // compares — versus ~log(rows) per candidate for tree/binary probes.
+    const Segment& seg = *sealed_;
+    std::size_t cursor = 0;
+    std::size_t tail_cursor = 0;
+    for (std::size_t i = 0; i < sorted_candidates.size(); ++i) {
+      const Tuple& cand = *sorted_candidates[i];
+      if (cand.size() != arity_) continue;  // cannot be present
+      bool hit = false;
+      int cmp = -1;
+      while (cursor < seg.rows()) {
+        cmp = seg.CompareRowPrefix(cursor, cand.data(), cand.size(),
+                                   &local.compares);
+        if (cmp >= 0) break;
+        ++cursor;
+      }
+      hit = cursor < seg.rows() && cmp == 0;
+      if (!hit && !tail_sorted.empty()) {
+        while (tail_cursor < tail_sorted.size()) {
+          ++local.compares;
+          if (tail_sorted[tail_cursor] < cand) {
+            ++tail_cursor;
+            continue;
+          }
+          hit = !(cand < tail_sorted[tail_cursor]);
+          ++local.compares;
+          break;
+        }
+      }
+      if (hit) {
+        (*present)[i] = 1;
+        ++local.retain_hits;
+      }
+    }
+  } else {
+    ++local.fallbacks;
+    for (std::size_t i = 0; i < sorted_candidates.size(); ++i) {
+      if (tuples_.count(*sorted_candidates[i]) > 0) {
+        (*present)[i] = 1;
+        ++local.retain_hits;
+      }
+    }
+  }
+  seg_stats_.Add(local);
+}
+
+SegmentOpStats RelationInstance::segment_stats() const {
+  return seg_stats_.Load();
+}
+
 Instance Instance::EmptyFor(const model::Schema& schema) {
   Instance instance;
   for (const model::Relation& r : schema.relations()) {
@@ -202,14 +362,16 @@ Instance Instance::EmptyFor(const model::Schema& schema) {
 }
 
 void Instance::DeclareRelation(std::string_view name, std::size_t arity) {
+  RelationInstance fresh(arity);
+  fresh.set_storage_mode(storage_mode_);
   // Heterogeneous find first: redeclaration (the UnionWith/runtime refresh
   // pattern) never allocates a key string.
   auto it = relations_.find(name);
   if (it != relations_.end()) {
-    it->second = RelationInstance(arity);
+    it->second = std::move(fresh);
     return;
   }
-  relations_.emplace(std::string(name), RelationInstance(arity));
+  relations_.emplace(std::string(name), std::move(fresh));
 }
 
 bool Instance::HasRelation(std::string_view name) const {
@@ -282,6 +444,21 @@ bool Instance::HasLabeledNulls() const {
 IndexStats Instance::IndexStatsTotal() const {
   IndexStats total;
   for (const auto& [name, rel] : relations_) total += rel.index_stats();
+  return total;
+}
+
+void Instance::SetStorageMode(StorageMode mode) {
+  storage_mode_ = mode == StorageMode::kDefault ? StorageMode::kIndexed : mode;
+  for (auto& [name, rel] : relations_) rel.set_storage_mode(storage_mode_);
+}
+
+void Instance::PrepareAllSegments() const {
+  for (const auto& [name, rel] : relations_) rel.PrepareSegments();
+}
+
+SegmentOpStats Instance::SegmentStatsTotal() const {
+  SegmentOpStats total;
+  for (const auto& [name, rel] : relations_) total += rel.segment_stats();
   return total;
 }
 

@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <set>
 #include <shared_mutex>
 #include <string>
@@ -14,6 +15,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "instance/segment.h"
 #include "instance/value.h"
 #include "model/schema.h"
 
@@ -109,6 +111,59 @@ class RelationInstance {
 
   IndexStats index_stats() const;
 
+  // --- Columnar segment view (sorted, immutable; see segment.h) ----------
+  // Under kSegmented, Insert also appends to a mutable tail so
+  // PrepareSegments() can reseal incrementally (tail sort + two-way merge)
+  // instead of rebuilding. Erase/Clear mark the view dirty, forcing a full
+  // rebuild from the set (already sorted+unique) at the next seal. Under
+  // kIndexed the segment state is dropped; probes and retains fall back to
+  // the hash/set paths, so the mode never changes observable results.
+  void set_storage_mode(StorageMode mode);
+  StorageMode storage_mode() const { return storage_mode_; }
+
+  // (Re)seals the segment view to cover the current extension. Const with
+  // cache semantics like EnsureIndex, so const source instances can be
+  // sealed once before a run. Works in any mode (full rebuild from the
+  // set); incremental tail merge only under kSegmented. No-op if current.
+  void PrepareSegments() const;
+
+  // True when the sealed segment reflects the full extension (nothing
+  // changed since the last PrepareSegments).
+  bool SegmentCurrent() const {
+    return sealed_ != nullptr && !segment_dirty_ &&
+           segment_generation_ == generation_;
+  }
+
+  // Rows whose leading |key| columns equal `key`, served from the sealed
+  // segment in set (sorted) order — bit-identical enumeration to the hash
+  // probe. nullopt when the view is stale or absent (callers fall back to
+  // Probe); an engaged empty range still counts as a served probe. The
+  // returned segment pointer follows the same validity contract as
+  // Probe(): no mutation or PrepareSegments until the caller is done.
+  struct SegmentRange {
+    const Segment* segment = nullptr;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    bool empty() const { return begin >= end; }
+  };
+  std::optional<SegmentRange> SegmentProbePrefix(const Tuple& key) const;
+
+  // Batched membership for head-dedup retain passes: sets present->at(i)
+  // iff *sorted_candidates[i] is in the relation right now. Served by
+  // binary searches over the sealed segment plus a sorted copy of the
+  // unsealed tail; falls back to set lookups when the segment state cannot
+  // answer exactly (counted as a fallback).
+  void RetainExisting(const std::vector<const Tuple*>& sorted_candidates,
+                      std::vector<char>* present) const;
+
+  // Sealed-view access for tests and benchmarks.
+  SegmentPtr sealed_segment() const { return sealed_; }
+  std::size_t sealed_rows() const {
+    return sealed_ == nullptr ? 0 : sealed_->rows();
+  }
+
+  SegmentOpStats segment_stats() const;
+
  private:
   struct Index {
     std::unordered_map<Tuple, TupleRefs, TupleHash> buckets;
@@ -138,6 +193,72 @@ class RelationInstance {
     }
   };
 
+  // Same discipline for segment telemetry: probes run under the shared
+  // reader contract, so the counters must be atomics. Accumulated from
+  // batch-local SegmentOpStats to keep the hot paths cheap.
+  struct AtomicSegmentStats {
+    std::atomic<std::uint64_t> seals{0};
+    std::atomic<std::uint64_t> sealed_rows{0};
+    std::atomic<std::uint64_t> merges{0};
+    std::atomic<std::uint64_t> merged_rows{0};
+    std::atomic<std::uint64_t> compares{0};
+    std::atomic<std::uint64_t> probes{0};
+    std::atomic<std::uint64_t> probe_hits{0};
+    std::atomic<std::uint64_t> skips{0};
+    std::atomic<std::uint64_t> fallbacks{0};
+    std::atomic<std::uint64_t> retain_batches{0};
+    std::atomic<std::uint64_t> retain_candidates{0};
+    std::atomic<std::uint64_t> retain_hits{0};
+
+    void Add(const SegmentOpStats& s) {
+      auto bump = [](std::atomic<std::uint64_t>& c, std::uint64_t v) {
+        if (v != 0) c.fetch_add(v, std::memory_order_relaxed);
+      };
+      bump(seals, s.seals);
+      bump(sealed_rows, s.sealed_rows);
+      bump(merges, s.merges);
+      bump(merged_rows, s.merged_rows);
+      bump(compares, s.compares);
+      bump(probes, s.probes);
+      bump(probe_hits, s.probe_hits);
+      bump(skips, s.skips);
+      bump(fallbacks, s.fallbacks);
+      bump(retain_batches, s.retain_batches);
+      bump(retain_candidates, s.retain_candidates);
+      bump(retain_hits, s.retain_hits);
+    }
+    void Store(const SegmentOpStats& s) {
+      seals.store(s.seals, std::memory_order_relaxed);
+      sealed_rows.store(s.sealed_rows, std::memory_order_relaxed);
+      merges.store(s.merges, std::memory_order_relaxed);
+      merged_rows.store(s.merged_rows, std::memory_order_relaxed);
+      compares.store(s.compares, std::memory_order_relaxed);
+      probes.store(s.probes, std::memory_order_relaxed);
+      probe_hits.store(s.probe_hits, std::memory_order_relaxed);
+      skips.store(s.skips, std::memory_order_relaxed);
+      fallbacks.store(s.fallbacks, std::memory_order_relaxed);
+      retain_batches.store(s.retain_batches, std::memory_order_relaxed);
+      retain_candidates.store(s.retain_candidates, std::memory_order_relaxed);
+      retain_hits.store(s.retain_hits, std::memory_order_relaxed);
+    }
+    SegmentOpStats Load() const {
+      SegmentOpStats s;
+      s.seals = seals.load(std::memory_order_relaxed);
+      s.sealed_rows = sealed_rows.load(std::memory_order_relaxed);
+      s.merges = merges.load(std::memory_order_relaxed);
+      s.merged_rows = merged_rows.load(std::memory_order_relaxed);
+      s.compares = compares.load(std::memory_order_relaxed);
+      s.probes = probes.load(std::memory_order_relaxed);
+      s.probe_hits = probe_hits.load(std::memory_order_relaxed);
+      s.skips = skips.load(std::memory_order_relaxed);
+      s.fallbacks = fallbacks.load(std::memory_order_relaxed);
+      s.retain_batches = retain_batches.load(std::memory_order_relaxed);
+      s.retain_candidates = retain_candidates.load(std::memory_order_relaxed);
+      s.retain_hits = retain_hits.load(std::memory_order_relaxed);
+      return s;
+    }
+  };
+
   void IndexInsert(const Tuple* tuple);
   void IndexErase(const Tuple* tuple);
   // Builds and registers the index over `cols`; requires the exclusive
@@ -157,6 +278,18 @@ class RelationInstance {
   mutable std::shared_mutex index_mu_;
   mutable std::map<ColumnSet, Index> indexes_;
   mutable AtomicIndexStats stats_;
+
+  // Columnar view state. `sealed_` is immutable and shared across copies;
+  // `tail_` holds tuples inserted since the last seal (kSegmented only);
+  // `segment_dirty_` marks erases/clears, which invalidate the tail and
+  // force a full rebuild. `segment_generation_` is the generation the
+  // sealed view corresponds to.
+  StorageMode storage_mode_ = StorageMode::kIndexed;
+  mutable SegmentPtr sealed_;
+  mutable std::vector<Tuple> tail_;
+  mutable bool segment_dirty_ = false;
+  mutable std::uint64_t segment_generation_ = 0;
+  mutable AtomicSegmentStats seg_stats_;
 };
 
 // A database instance: relation name -> extension. An Instance is a member
@@ -199,8 +332,19 @@ class Instance {
   // Largest labeled-null label present, or -1.
   std::int64_t MaxNullLabel() const;
 
+  // Applies `mode` to every existing relation and to relations declared
+  // later (the chase declares target relations lazily via InsertFacts).
+  void SetStorageMode(StorageMode mode);
+  StorageMode storage_mode() const { return storage_mode_; }
+
+  // Seals every relation's segment view (const cache semantics; see
+  // RelationInstance::PrepareSegments).
+  void PrepareAllSegments() const;
+
   // Summed index telemetry across all relations.
   IndexStats IndexStatsTotal() const;
+  // Summed segment telemetry across all relations.
+  SegmentOpStats SegmentStatsTotal() const;
   // relation -> current insert-log watermark, for delta-tracking readers.
   std::map<std::string, std::size_t, std::less<>> InsertWatermarks() const;
 
@@ -219,6 +363,7 @@ class Instance {
 
  private:
   std::map<std::string, RelationInstance, std::less<>> relations_;
+  StorageMode storage_mode_ = StorageMode::kIndexed;
 };
 
 // How an entity set is laid out as a relation extension at runtime: a

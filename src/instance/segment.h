@@ -1,0 +1,220 @@
+#ifndef MM2_INSTANCE_SEGMENT_H_
+#define MM2_INSTANCE_SEGMENT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "instance/value.h"
+
+namespace mm2::instance {
+
+// Which physical representation the storage-facing hot paths run on.
+//  - kIndexed: the node-stable std::set plus on-demand hash indexes — the
+//    PR-3 executor, kept as the differential oracle for the segment paths.
+//  - kSegmented: the same canonical set, shadowed by immutable sorted
+//    column-major segments (below); bound-prefix probes and head-dedup
+//    retain passes are served by merges over the sorted view instead of
+//    per-tuple hash probes. Output is bit-identical by construction.
+//  - kDefault: defer to the MM2_STORAGE environment variable
+//    ("segmented" | "indexed"; unset means indexed).
+enum class StorageMode { kDefault, kIndexed, kSegmented };
+
+// Resolves kDefault against MM2_STORAGE; explicit modes pass through.
+StorageMode ResolveStorageMode(StorageMode requested);
+const char* StorageModeName(StorageMode mode);
+
+// Cumulative telemetry for every segment-layer operation. The chase diffs
+// per-relation totals around a run (exactly like IndexStats) and mirrors
+// them as the `storage.segment.*` counter family.
+struct SegmentOpStats {
+  std::uint64_t seals = 0;              // SegmentInserter::Seal calls
+  std::uint64_t sealed_rows = 0;        // rows written by seals
+  std::uint64_t merges = 0;             // multi-segment merge passes
+  std::uint64_t merged_rows = 0;        // rows emitted by merges
+  std::uint64_t compares = 0;           // tuple comparisons (sort/merge/search)
+  std::uint64_t probes = 0;             // sorted-prefix probes served
+  std::uint64_t probe_hits = 0;         // rows yielded by served probes
+  std::uint64_t skips = 0;              // probes cut short by min/max bounds
+  std::uint64_t fallbacks = 0;          // probes declined (stale view)
+  std::uint64_t retain_batches = 0;     // batched head-dedup passes
+  std::uint64_t retain_candidates = 0;  // candidate tuples across batches
+  std::uint64_t retain_hits = 0;        // candidates already present
+
+  bool any() const {
+    return seals != 0 || merges != 0 || compares != 0 || probes != 0 ||
+           skips != 0 || fallbacks != 0 || retain_batches != 0;
+  }
+
+  SegmentOpStats& operator+=(const SegmentOpStats& o) {
+    seals += o.seals;
+    sealed_rows += o.sealed_rows;
+    merges += o.merges;
+    merged_rows += o.merged_rows;
+    compares += o.compares;
+    probes += o.probes;
+    probe_hits += o.probe_hits;
+    skips += o.skips;
+    fallbacks += o.fallbacks;
+    retain_batches += o.retain_batches;
+    retain_candidates += o.retain_candidates;
+    retain_hits += o.retain_hits;
+    return *this;
+  }
+
+  SegmentOpStats operator-(const SegmentOpStats& o) const {
+    SegmentOpStats d;
+    d.seals = seals - o.seals;
+    d.sealed_rows = sealed_rows - o.sealed_rows;
+    d.merges = merges - o.merges;
+    d.merged_rows = merged_rows - o.merged_rows;
+    d.compares = compares - o.compares;
+    d.probes = probes - o.probes;
+    d.probe_hits = probe_hits - o.probe_hits;
+    d.skips = skips - o.skips;
+    d.fallbacks = fallbacks - o.fallbacks;
+    d.retain_batches = retain_batches - o.retain_batches;
+    d.retain_candidates = retain_candidates - o.retain_candidates;
+    d.retain_hits = retain_hits - o.retain_hits;
+    return d;
+  }
+};
+
+// An immutable, sorted, duplicate-free run of same-arity tuples stored
+// column-major: column c is a contiguous std::vector<Value>, so scans and
+// binary searches over one column touch dense 16-byte cells instead of
+// chasing std::set nodes. Rows are ordered by full lexicographic tuple
+// order — the same order std::set<Tuple> iterates in, which is what makes
+// segment-served enumeration bit-identical to the indexed path. Segments
+// are shared by shared_ptr on copy (they never mutate after Seal).
+class Segment {
+ public:
+  std::size_t arity() const { return arity_; }
+  std::size_t rows() const { return rows_; }
+  bool empty() const { return rows_ == 0; }
+
+  const Value& at(std::size_t row, std::size_t col) const {
+    return columns_[col][row];
+  }
+  const std::vector<Value>& column(std::size_t col) const {
+    return columns_[col];
+  }
+
+  // Per-column bounds, filled at seal time; meaningless when empty().
+  const Value& col_min(std::size_t col) const { return min_[col]; }
+  const Value& col_max(std::size_t col) const { return max_[col]; }
+
+  // Materializes row `row` into `out` (resized to arity).
+  void CopyRow(std::size_t row, Tuple* out) const;
+
+  // Three-way compare of row `row` against the first `len` values of `key`,
+  // column by column. Counts one compare into `*compares` when non-null.
+  int CompareRowPrefix(std::size_t row, const Value* key, std::size_t len,
+                       std::uint64_t* compares) const;
+
+  // Row range [begin, end) whose first `prefix_len` columns equal the key
+  // prefix, via binary search. A key outside the column-0 [min,max] bounds
+  // answers empty without searching and bumps `stats->skips`.
+  struct RowRange {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    bool empty() const { return begin >= end; }
+  };
+  RowRange EqualRange(const Value* key, std::size_t prefix_len,
+                      SegmentOpStats* stats) const;
+
+  // Exact membership of a full tuple (binary search + min/max skip).
+  bool Contains(const Tuple& tuple, SegmentOpStats* stats) const;
+
+ private:
+  friend class SegmentInserter;
+  friend std::shared_ptr<const Segment> MergeSegments(
+      const std::vector<std::shared_ptr<const Segment>>& segments,
+      SegmentOpStats* stats);
+
+  void FinalizeBounds();
+
+  std::size_t arity_ = 0;
+  std::size_t rows_ = 0;
+  std::vector<std::vector<Value>> columns_;
+  std::vector<Value> min_;
+  std::vector<Value> max_;
+};
+
+using SegmentPtr = std::shared_ptr<const Segment>;
+
+// Accumulates rows and seals them into a Segment: Seal() sorts (counting
+// compares), removes duplicates, lays the survivors out column-major and
+// records per-column min/max. The inserter is reusable after Seal (empty).
+class SegmentInserter {
+ public:
+  explicit SegmentInserter(std::size_t arity) : arity_(arity) {}
+
+  void Add(const Tuple& tuple) { pending_.push_back(tuple); }
+  void Add(Tuple&& tuple) { pending_.push_back(std::move(tuple)); }
+  std::size_t pending_rows() const { return pending_.size(); }
+
+  SegmentPtr Seal(SegmentOpStats* stats);
+
+  // Seals a std::set's contents directly: set iteration is already sorted
+  // and unique, so this is a straight column-major copy (no compares).
+  static SegmentPtr FromSorted(std::size_t arity, const std::set<Tuple>& rows,
+                               SegmentOpStats* stats);
+
+ private:
+  std::size_t arity_;
+  std::vector<Tuple> pending_;
+};
+
+// K-way merge over sorted segments, yielding rows in ascending tuple order
+// with duplicates collapsed (set-union semantics). Comparisons count into
+// the attached stats.
+class SegmentMergeIterator {
+ public:
+  explicit SegmentMergeIterator(std::vector<SegmentPtr> segments,
+                                SegmentOpStats* stats = nullptr);
+
+  bool Done() const { return current_ == nullptr; }
+  // Valid until the next Advance; materialized row in ascending order.
+  const Tuple& Row() const { return row_; }
+  void Advance();
+
+ private:
+  struct Cursor {
+    SegmentPtr segment;
+    std::size_t row = 0;
+  };
+  int CompareCursors(const Cursor& a, const Cursor& b);
+  void Materialize();
+
+  std::vector<Cursor> cursors_;
+  SegmentOpStats* stats_;
+  const Cursor* current_ = nullptr;  // cursor holding the smallest row
+  Tuple row_;
+};
+
+// Merges sorted segments into one (dedup union) via SegmentMergeIterator.
+// Null/empty inputs are skipped; merging zero or one live segment is a
+// cheap passthrough.
+SegmentPtr MergeSegments(const std::vector<SegmentPtr>& segments,
+                         SegmentOpStats* stats);
+
+// ---------------------------------------------------------------------------
+// Sorted-row helpers shared by the algebra/runtime merge paths. These are
+// the scalar cousins of the segment operations: plain row-major vectors,
+// same counted-comparison discipline.
+// ---------------------------------------------------------------------------
+
+// Sorts rows ascending, counting comparisons into `stats` when non-null.
+void CountedSort(std::vector<Tuple>* rows, SegmentOpStats* stats);
+
+// Binary-search membership in an ascending row vector.
+bool SortedContains(const std::vector<Tuple>& sorted, const Tuple& tuple,
+                    SegmentOpStats* stats);
+
+}  // namespace mm2::instance
+
+#endif  // MM2_INSTANCE_SEGMENT_H_

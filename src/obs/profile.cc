@@ -228,7 +228,34 @@ void BuildStorage(const MetricsSnapshot& metrics, ProfileReport* report) {
       s.delta_tuples = c.value;
     } else if (c.name == "chase.delta.rule_skips") {
       s.delta_rule_skips = c.value;
+    } else if (c.name == "storage.segment.seals") {
+      s.segment_seals = c.value;
+    } else if (c.name == "storage.segment.sealed_rows") {
+      s.segment_sealed_rows = c.value;
+    } else if (c.name == "storage.segment.merges") {
+      s.segment_merges = c.value;
+    } else if (c.name == "storage.segment.merged_rows") {
+      s.segment_merged_rows = c.value;
+    } else if (c.name == "storage.segment.compares") {
+      s.segment_compares = c.value;
+    } else if (c.name == "storage.segment.probes") {
+      s.segment_probes = c.value;
+    } else if (c.name == "storage.segment.probe_hits") {
+      s.segment_probe_hits = c.value;
+    } else if (c.name == "storage.segment.skips") {
+      s.segment_skips = c.value;
+    } else if (c.name == "storage.segment.fallbacks") {
+      s.segment_fallbacks = c.value;
+    } else if (c.name == "storage.segment.retain_batches") {
+      s.segment_retain_batches = c.value;
+    } else if (c.name == "storage.segment.retain_candidates") {
+      s.segment_retain_candidates = c.value;
+    } else if (c.name == "storage.segment.retain_hits") {
+      s.segment_retain_hits = c.value;
     }
+  }
+  for (const GaugeSnapshot& g : metrics.gauges) {
+    if (g.name == "storage.mode.segmented") s.segmented = g.value != 0;
   }
 }
 
@@ -453,6 +480,35 @@ std::vector<std::string> ProfileReport::Lines() const {
     rows.push_back({"chase.delta.rule_skips",
                     std::to_string(storage.delta_rule_skips)});
     rows.push_back({"tuples/probe", Fixed1(hit_rate)});
+    // The segment block (and the mode line) appears only for segmented
+    // sessions — indexed sessions keep their exact pre-existing report.
+    if (storage.segmented) {
+      rows.push_back({"mode", "segmented"});
+      rows.push_back(
+          {"segment.seals", std::to_string(storage.segment_seals)});
+      rows.push_back({"segment.sealed_rows",
+                      std::to_string(storage.segment_sealed_rows)});
+      rows.push_back(
+          {"segment.merges", std::to_string(storage.segment_merges)});
+      rows.push_back({"segment.merged_rows",
+                      std::to_string(storage.segment_merged_rows)});
+      rows.push_back(
+          {"segment.compares", std::to_string(storage.segment_compares)});
+      rows.push_back(
+          {"segment.probes", std::to_string(storage.segment_probes)});
+      rows.push_back(
+          {"segment.probe_hits", std::to_string(storage.segment_probe_hits)});
+      rows.push_back(
+          {"segment.skips", std::to_string(storage.segment_skips)});
+      rows.push_back(
+          {"segment.fallbacks", std::to_string(storage.segment_fallbacks)});
+      rows.push_back({"segment.retain_batches",
+                      std::to_string(storage.segment_retain_batches)});
+      rows.push_back({"segment.retain_candidates",
+                      std::to_string(storage.segment_retain_candidates)});
+      rows.push_back({"segment.retain_hits",
+                      std::to_string(storage.segment_retain_hits)});
+    }
     for (std::string& line : Tabulate(rows, "lr")) {
       lines.push_back(std::move(line));
     }
@@ -584,8 +640,24 @@ std::string ProfileReport::ToJson() const {
      << ", \"index_probe_hits\": " << storage.index_probe_hits
      << ", \"index_builds\": " << storage.index_builds
      << ", \"delta_tuples\": " << storage.delta_tuples
-     << ", \"delta_rule_skips\": " << storage.delta_rule_skips
-     << "}, \"parallel\": {\"workers\": " << parallel.workers
+     << ", \"delta_rule_skips\": " << storage.delta_rule_skips;
+  if (storage.segmented) {
+    os << ", \"mode\": \"segmented\""
+       << ", \"segment_seals\": " << storage.segment_seals
+       << ", \"segment_sealed_rows\": " << storage.segment_sealed_rows
+       << ", \"segment_merges\": " << storage.segment_merges
+       << ", \"segment_merged_rows\": " << storage.segment_merged_rows
+       << ", \"segment_compares\": " << storage.segment_compares
+       << ", \"segment_probes\": " << storage.segment_probes
+       << ", \"segment_probe_hits\": " << storage.segment_probe_hits
+       << ", \"segment_skips\": " << storage.segment_skips
+       << ", \"segment_fallbacks\": " << storage.segment_fallbacks
+       << ", \"segment_retain_batches\": " << storage.segment_retain_batches
+       << ", \"segment_retain_candidates\": "
+       << storage.segment_retain_candidates
+       << ", \"segment_retain_hits\": " << storage.segment_retain_hits;
+  }
+  os << "}, \"parallel\": {\"workers\": " << parallel.workers
      << ", \"regions\": " << parallel.regions
      << ", \"tasks\": " << parallel.tasks
      << ", \"steals\": " << parallel.steals

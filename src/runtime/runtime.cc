@@ -117,18 +117,26 @@ void RemoveRows(const std::vector<Tuple>& rows, algebra::Table* table) {
 
 Delta TableDelta(const std::string& name, const algebra::Table& before,
                  const algebra::Table& after) {
-  // Set-semantics diff for notification purposes.
-  std::set<Tuple> b(before.rows.begin(), before.rows.end());
-  std::set<Tuple> a(after.rows.begin(), after.rows.end());
+  // Set-semantics diff for notification purposes: sort + dedup both sides
+  // once, then two linear set_difference passes — same enumeration order a
+  // std::set rebuild produced (sorted), without the per-node allocations.
+  std::vector<Tuple> b = before.rows;
+  std::vector<Tuple> a = after.rows;
+  std::sort(b.begin(), b.end());
+  b.erase(std::unique(b.begin(), b.end()), b.end());
+  std::sort(a.begin(), a.end());
+  a.erase(std::unique(a.begin(), a.end()), a.end());
+  std::vector<Tuple> inserted;
+  std::vector<Tuple> deleted;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(inserted));
+  std::set_difference(b.begin(), b.end(), a.begin(), a.end(),
+                      std::back_inserter(deleted));
   Delta delta;
   delta.inserts.DeclareRelation(name, after.columns.size());
   delta.deletes.DeclareRelation(name, before.columns.size());
-  for (const Tuple& t : a) {
-    if (b.count(t) == 0) delta.inserts.InsertUnchecked(name, t);
-  }
-  for (const Tuple& t : b) {
-    if (a.count(t) == 0) delta.deletes.InsertUnchecked(name, t);
-  }
+  for (const Tuple& t : inserted) delta.inserts.InsertUnchecked(name, t);
+  for (const Tuple& t : deleted) delta.deletes.InsertUnchecked(name, t);
   return delta;
 }
 
@@ -403,6 +411,7 @@ Result<ExchangeResult> Exchange(const logic::Mapping& mapping,
   chase_options.semi_naive = options.semi_naive;
   chase_options.stratified = options.stratified;
   chase_options.threads = options.threads;
+  chase_options.storage = options.storage;
   chase_options.wall_budget_us = options.wall_budget_us;
   chase_options.tuple_budget = options.tuple_budget;
   chase_options.rss_budget_kb = options.rss_budget_kb;

@@ -206,6 +206,11 @@ struct ExchangeOptions {
   // Worker threads for the parallel chase executor (and the core scan when
   // compute_core is set): 0 defers to MM2_THREADS, default 1 = serial.
   std::size_t threads = 0;
+  // Storage representation for the chase hot path, forwarded to
+  // ChaseOptions::storage. kDefault defers to MM2_STORAGE (default:
+  // indexed); kSegmented backs probe/dedup work with sorted columnar
+  // segments. The produced solution is bit-identical either way.
+  instance::StorageMode storage = instance::StorageMode::kDefault;
   // Soft resource budgets, forwarded to ChaseOptions (0 = unlimited). On a
   // breach the chase stops gracefully and ExchangeResult::breach reports
   // why; core minimization is skipped for a partial solution.

@@ -191,11 +191,17 @@ explain
   EXPECT_NE(joined.find("chase.delta.tuples"), std::string::npos);
 
   // The chase mirrored nonzero probe and delta traffic into the registry:
-  // the join body probes the index, and round 1 counts the whole extension
-  // as delta.
+  // the join body probes the index (or, under MM2_STORAGE=segmented, the
+  // sealed segments), and round 1 counts the whole extension as delta.
   obs::MetricsSnapshot snap = engine_.observability().metrics.Snapshot();
-  ASSERT_NE(snap.FindCounter("index.probes"), nullptr);
-  EXPECT_GT(snap.FindCounter("index.probes")->value, 0u);
+  if (instance::ResolveStorageMode(instance::StorageMode::kDefault) ==
+      instance::StorageMode::kSegmented) {
+    ASSERT_NE(snap.FindCounter("storage.segment.probes"), nullptr);
+    EXPECT_GT(snap.FindCounter("storage.segment.probes")->value, 0u);
+  } else {
+    ASSERT_NE(snap.FindCounter("index.probes"), nullptr);
+    EXPECT_GT(snap.FindCounter("index.probes")->value, 0u);
+  }
   ASSERT_NE(snap.FindCounter("chase.delta.tuples"), nullptr);
   EXPECT_GT(snap.FindCounter("chase.delta.tuples")->value, 0u);
 }

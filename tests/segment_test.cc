@@ -1,0 +1,318 @@
+// Unit tests for the columnar segment layer (instance/segment.h) and the
+// segment-backed paths on RelationInstance: seal-time sort+dedup, k-way
+// merge order, min/max probe skipping, shared-on-copy immutability, the
+// incremental tail reseal, and the batched RetainExisting merge with its
+// set-probe fallback. The chase-level bit-identity sweeps live in
+// chase_diff_test.cc; this file pins the building blocks.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "instance/instance.h"
+#include "instance/segment.h"
+#include "instance/value.h"
+
+namespace mm2::instance {
+namespace {
+
+Tuple Row(std::int64_t a, std::int64_t b) {
+  return {Value::Int64(a), Value::Int64(b)};
+}
+
+TEST(SegmentInserterTest, SealSortsAndDeduplicates) {
+  SegmentOpStats stats;
+  SegmentInserter inserter(2);
+  inserter.Add(Row(3, 1));
+  inserter.Add(Row(1, 2));
+  inserter.Add(Row(3, 1));  // duplicate
+  inserter.Add(Row(1, 1));
+  inserter.Add(Row(2, 9));
+  EXPECT_EQ(inserter.pending_rows(), 5u);
+
+  SegmentPtr seg = inserter.Seal(&stats);
+  ASSERT_NE(seg, nullptr);
+  EXPECT_EQ(inserter.pending_rows(), 0u);  // reusable after seal
+  EXPECT_EQ(seg->arity(), 2u);
+  EXPECT_EQ(seg->rows(), 4u);
+
+  std::vector<Tuple> expect = {Row(1, 1), Row(1, 2), Row(2, 9), Row(3, 1)};
+  for (std::size_t r = 0; r < seg->rows(); ++r) {
+    Tuple got;
+    seg->CopyRow(r, &got);
+    EXPECT_EQ(got, expect[r]) << "row " << r;
+  }
+  // Per-column bounds recorded at seal time.
+  EXPECT_EQ(seg->col_min(0), Value::Int64(1));
+  EXPECT_EQ(seg->col_max(0), Value::Int64(3));
+  EXPECT_EQ(seg->col_min(1), Value::Int64(1));
+  EXPECT_EQ(seg->col_max(1), Value::Int64(9));
+  // Telemetry: one seal, the surviving rows, and sort work recorded.
+  EXPECT_EQ(stats.seals, 1u);
+  EXPECT_EQ(stats.sealed_rows, 4u);
+  EXPECT_GT(stats.compares, 0u);
+}
+
+TEST(SegmentInserterTest, FromSortedCopiesSetOrderWithoutCompares) {
+  std::set<Tuple> rows = {Row(2, 2), Row(1, 5), Row(2, 1)};
+  SegmentOpStats stats;
+  SegmentPtr seg = SegmentInserter::FromSorted(2, rows, &stats);
+  ASSERT_NE(seg, nullptr);
+  EXPECT_EQ(seg->rows(), 3u);
+  std::size_t r = 0;
+  for (const Tuple& t : rows) {
+    Tuple got;
+    seg->CopyRow(r++, &got);
+    EXPECT_EQ(got, t);
+  }
+  // Set iteration is already sorted and unique: no comparison work.
+  EXPECT_EQ(stats.compares, 0u);
+  EXPECT_EQ(stats.seals, 1u);
+  EXPECT_EQ(stats.sealed_rows, 3u);
+}
+
+TEST(SegmentMergeTest, MergeIteratorYieldsSortedUnion) {
+  SegmentOpStats stats;
+  SegmentInserter a(2);
+  a.Add(Row(1, 1));
+  a.Add(Row(3, 3));
+  a.Add(Row(5, 5));
+  SegmentInserter b(2);
+  b.Add(Row(2, 2));
+  b.Add(Row(3, 3));  // overlaps a
+  b.Add(Row(4, 4));
+  SegmentPtr sa = a.Seal(&stats);
+  SegmentPtr sb = b.Seal(&stats);
+
+  std::vector<Tuple> merged;
+  for (SegmentMergeIterator it({sa, sb}, &stats); !it.Done(); it.Advance()) {
+    merged.push_back(it.Row());
+  }
+  std::vector<Tuple> expect = {Row(1, 1), Row(2, 2), Row(3, 3), Row(4, 4),
+                               Row(5, 5)};
+  EXPECT_EQ(merged, expect);
+}
+
+TEST(SegmentMergeTest, MergeSegmentsDedupsAndPassesThroughSingletons) {
+  SegmentOpStats stats;
+  SegmentInserter a(2);
+  a.Add(Row(1, 1));
+  a.Add(Row(2, 2));
+  SegmentInserter b(2);
+  b.Add(Row(2, 2));
+  b.Add(Row(0, 9));
+  SegmentPtr sa = a.Seal(&stats);
+  SegmentPtr sb = b.Seal(&stats);
+
+  SegmentPtr merged = MergeSegments({sa, sb}, &stats);
+  ASSERT_NE(merged, nullptr);
+  EXPECT_EQ(merged->rows(), 3u);
+  Tuple first;
+  merged->CopyRow(0, &first);
+  EXPECT_EQ(first, Row(0, 9));
+  EXPECT_GE(stats.merges, 1u);
+  EXPECT_GE(stats.merged_rows, 3u);
+
+  // A single live input is a passthrough: same object, no copy.
+  SegmentOpStats solo;
+  SegmentPtr same = MergeSegments({sa, nullptr}, &solo);
+  EXPECT_EQ(same.get(), sa.get());
+}
+
+TEST(SegmentProbeTest, EqualRangeFindsPrefixAndMinMaxSkips) {
+  SegmentOpStats stats;
+  SegmentInserter ins(2);
+  for (std::int64_t x : {2, 2, 3, 5}) {
+    ins.Add(Row(x, x * 10));
+    ins.Add(Row(x, x * 10 + 1));
+  }
+  SegmentPtr seg = ins.Seal(&stats);
+
+  // Prefix probe on column 0.
+  Value key2[] = {Value::Int64(2)};
+  SegmentOpStats probe;
+  Segment::RowRange r = seg->EqualRange(key2, 1, &probe);
+  EXPECT_EQ(r.end - r.begin, 2u);
+  Tuple got;
+  seg->CopyRow(r.begin, &got);
+  EXPECT_EQ(got, Row(2, 20));
+  EXPECT_EQ(probe.skips, 0u);
+
+  // Key below min / above max: answered empty via bounds, counted as skip.
+  Value low[] = {Value::Int64(0)};
+  Value high[] = {Value::Int64(7)};
+  SegmentOpStats skip;
+  EXPECT_TRUE(seg->EqualRange(low, 1, &skip).empty());
+  EXPECT_TRUE(seg->EqualRange(high, 1, &skip).empty());
+  EXPECT_EQ(skip.skips, 2u);
+  EXPECT_EQ(skip.compares, 0u);  // bounds check avoided the binary search
+
+  // Exact membership.
+  SegmentOpStats member;
+  EXPECT_TRUE(seg->Contains(Row(3, 30), &member));
+  EXPECT_FALSE(seg->Contains(Row(3, 35), &member));
+  EXPECT_FALSE(seg->Contains(Row(9, 0), &member));  // min/max skip path
+  EXPECT_GE(member.skips, 1u);
+}
+
+TEST(SortedHelperTest, CountedSortAndSortedContains) {
+  std::vector<Tuple> rows = {Row(3, 0), Row(1, 0), Row(2, 0)};
+  SegmentOpStats stats;
+  CountedSort(&rows, &stats);
+  EXPECT_EQ(rows.front(), Row(1, 0));
+  EXPECT_EQ(rows.back(), Row(3, 0));
+  EXPECT_GT(stats.compares, 0u);
+  EXPECT_TRUE(SortedContains(rows, Row(2, 0), &stats));
+  EXPECT_FALSE(SortedContains(rows, Row(4, 0), &stats));
+}
+
+TEST(RelationSegmentTest, PrepareSealsAndTracksCurrency) {
+  RelationInstance rel(2);
+  rel.set_storage_mode(StorageMode::kSegmented);
+  rel.Insert(Row(2, 2));
+  rel.Insert(Row(1, 1));
+  EXPECT_FALSE(rel.SegmentCurrent());
+
+  rel.PrepareSegments();
+  EXPECT_TRUE(rel.SegmentCurrent());
+  EXPECT_EQ(rel.sealed_rows(), 2u);
+
+  // Insert-only epoch: currency drops, reseal merges the tail.
+  rel.Insert(Row(3, 3));
+  EXPECT_FALSE(rel.SegmentCurrent());
+  SegmentOpStats before = rel.segment_stats();
+  rel.PrepareSegments();
+  EXPECT_TRUE(rel.SegmentCurrent());
+  EXPECT_EQ(rel.sealed_rows(), 3u);
+  SegmentOpStats after = rel.segment_stats();
+  EXPECT_GE(after.merges, before.merges + 1);  // tail merged, not rebuilt
+
+  // Erase invalidates the view and forces a full rebuild.
+  rel.Erase(Row(2, 2));
+  EXPECT_FALSE(rel.SegmentCurrent());
+  rel.PrepareSegments();
+  EXPECT_TRUE(rel.SegmentCurrent());
+  EXPECT_EQ(rel.sealed_rows(), 2u);
+}
+
+TEST(RelationSegmentTest, CopySharesSealedSegment) {
+  RelationInstance rel(2);
+  rel.set_storage_mode(StorageMode::kSegmented);
+  rel.Insert(Row(1, 1));
+  rel.Insert(Row(2, 2));
+  rel.PrepareSegments();
+  SegmentPtr sealed = rel.sealed_segment();
+  ASSERT_NE(sealed, nullptr);
+
+  RelationInstance copy(rel);
+  EXPECT_EQ(copy.sealed_segment().get(), sealed.get());  // aliased, not deep
+  EXPECT_TRUE(copy.SegmentCurrent());
+
+  // Mutating the copy reseals it independently; the original's view and
+  // the shared immutable segment are untouched.
+  copy.Insert(Row(3, 3));
+  copy.PrepareSegments();
+  EXPECT_NE(copy.sealed_segment().get(), sealed.get());
+  EXPECT_EQ(rel.sealed_segment().get(), sealed.get());
+  EXPECT_EQ(sealed->rows(), 2u);
+  EXPECT_EQ(rel.size(), 2u);
+}
+
+TEST(RelationSegmentTest, SegmentProbePrefixServesAndDeclines) {
+  RelationInstance rel(2);
+  rel.set_storage_mode(StorageMode::kSegmented);
+  rel.Insert(Row(1, 10));
+  rel.Insert(Row(1, 11));
+  rel.Insert(Row(2, 20));
+
+  // Never sealed: declined for free (no fallback counted).
+  EXPECT_FALSE(rel.SegmentProbePrefix({Value::Int64(1)}).has_value());
+  EXPECT_EQ(rel.segment_stats().fallbacks, 0u);
+
+  rel.PrepareSegments();
+  auto range = rel.SegmentProbePrefix({Value::Int64(1)});
+  ASSERT_TRUE(range.has_value());
+  EXPECT_EQ(range->end - range->begin, 2u);
+  Tuple got;
+  range->segment->CopyRow(range->begin, &got);
+  EXPECT_EQ(got, Row(1, 10));
+
+  // An engaged-but-empty range still counts as a served probe.
+  auto miss = rel.SegmentProbePrefix({Value::Int64(9)});
+  ASSERT_TRUE(miss.has_value());
+  EXPECT_TRUE(miss->empty());
+  EXPECT_GE(rel.segment_stats().probes, 2u);
+
+  // Stale view (tail insert since the seal): declined with a fallback tick.
+  rel.Insert(Row(3, 30));
+  std::uint64_t fallbacks = rel.segment_stats().fallbacks;
+  EXPECT_FALSE(rel.SegmentProbePrefix({Value::Int64(1)}).has_value());
+  EXPECT_EQ(rel.segment_stats().fallbacks, fallbacks + 1);
+}
+
+TEST(RelationSegmentTest, RetainExistingMergesAgainstSealedAndTail) {
+  RelationInstance rel(2);
+  rel.set_storage_mode(StorageMode::kSegmented);
+  rel.Insert(Row(1, 1));
+  rel.Insert(Row(3, 3));
+  rel.PrepareSegments();
+  rel.Insert(Row(5, 5));  // unsealed tail — still answered exactly
+
+  std::vector<Tuple> cands = {Row(0, 0), Row(1, 1), Row(2, 2), Row(3, 3),
+                              Row(5, 5), Row(9, 9)};
+  std::vector<const Tuple*> ptrs;
+  for (const Tuple& t : cands) ptrs.push_back(&t);
+  std::vector<char> present;
+  rel.RetainExisting(ptrs, &present);
+  std::vector<char> expect = {0, 1, 0, 1, 1, 0};
+  EXPECT_EQ(present, expect);
+
+  SegmentOpStats stats = rel.segment_stats();
+  EXPECT_GE(stats.retain_batches, 1u);
+  EXPECT_EQ(stats.retain_hits, 3u);
+  EXPECT_EQ(stats.fallbacks, 0u);  // merge path, not set probes
+}
+
+TEST(RelationSegmentTest, RetainExistingFallsBackWithoutSegments) {
+  RelationInstance rel(2);  // kIndexed: no sealed view
+  rel.Insert(Row(1, 1));
+  rel.Insert(Row(2, 2));
+
+  std::vector<Tuple> cands = {Row(1, 1), Row(4, 4)};
+  std::vector<const Tuple*> ptrs = {&cands[0], &cands[1]};
+  std::vector<char> present;
+  rel.RetainExisting(ptrs, &present);
+  std::vector<char> expect = {1, 0};
+  EXPECT_EQ(present, expect);
+  SegmentOpStats stats = rel.segment_stats();
+  EXPECT_GE(stats.fallbacks, 1u);  // answered by set probes
+  EXPECT_EQ(stats.retain_hits, 1u);
+}
+
+TEST(InstanceSegmentTest, SetStorageModePropagatesToRelations) {
+  Instance db;
+  db.SetStorageMode(StorageMode::kSegmented);
+  db.DeclareRelation("R", 2);  // declared after: inherits the mode
+  db.InsertUnchecked("R", Row(1, 1));
+  db.InsertUnchecked("R", Row(2, 2));
+  db.PrepareAllSegments();
+
+  const RelationInstance* rel = db.Find("R");
+  ASSERT_NE(rel, nullptr);
+  EXPECT_EQ(rel->storage_mode(), StorageMode::kSegmented);
+  EXPECT_TRUE(rel->SegmentCurrent());
+  EXPECT_EQ(rel->sealed_rows(), 2u);
+  EXPECT_GE(db.SegmentStatsTotal().seals, 1u);
+}
+
+TEST(StorageModeTest, ResolveAndNames) {
+  EXPECT_EQ(ResolveStorageMode(StorageMode::kIndexed), StorageMode::kIndexed);
+  EXPECT_EQ(ResolveStorageMode(StorageMode::kSegmented),
+            StorageMode::kSegmented);
+  EXPECT_STREQ(StorageModeName(StorageMode::kIndexed), "indexed");
+  EXPECT_STREQ(StorageModeName(StorageMode::kSegmented), "segmented");
+}
+
+}  // namespace
+}  // namespace mm2::instance
