@@ -139,6 +139,22 @@ void BM_SegmentChase(benchmark::State& state) {
       static_cast<double>(stats.segment.compares);
   state.counters["retain_batches"] =
       static_cast<double>(stats.segment.retain_batches);
+  // Tiered-list maintenance: how much merge work the LSM ladder did, what
+  // the run list looked like at the end, and the zero-copy delta volume.
+  mm2::bench::Obs().metrics.GetGauge(point + ".compactions").Set(
+      static_cast<std::int64_t>(stats.segment.compactions));
+  mm2::bench::Obs().metrics.GetGauge(point + ".live_segments").Set(
+      static_cast<std::int64_t>(stats.segment_shape.live_segments));
+  mm2::bench::Obs().metrics.GetGauge(point + ".delta_slice_rows").Set(
+      static_cast<std::int64_t>(stats.segment.delta_slice_rows));
+  state.counters["compactions"] =
+      static_cast<double>(stats.segment.compactions);
+  state.counters["live_segments"] =
+      static_cast<double>(stats.segment_shape.live_segments);
+  state.counters["delta_slice_rows"] =
+      static_cast<double>(stats.segment.delta_slice_rows);
+  state.counters["merged_rows"] =
+      static_cast<double>(stats.segment.merged_rows);
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
 }
 // mode: 0 = indexed baseline, 1 = segmented.

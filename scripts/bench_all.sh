@@ -5,10 +5,10 @@
 #
 #   BENCH_<label>.json = {"label": "<label>", "mm2_threads": N,
 #                         "hw_concurrency": M, "records": [ {bench,metric,
-#                         value,unit,threads,hw_concurrency}, ... ]}
+#                         value,unit,threads,hw_concurrency,storage}, ... ]}
 #
 # Compare two trajectories with scripts/bench_compare.py (which refuses to
-# diff records taken at different thread counts).
+# diff records taken at different thread counts or storage modes).
 #
 # Usage: scripts/bench_all.sh <label> [build-dir]    (build-dir: ./build)
 # Env:

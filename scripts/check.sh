@@ -84,13 +84,16 @@ fi
 
 # Segmented-storage smoke gate (default path only): the demo exchange run
 # under MM2_STORAGE=segmented must exit cleanly and print a bit-identical
-# materialized instance + query answer to the indexed run. stats/explain
-# are excluded — their storage sections legitimately differ by mode.
+# materialized instance + query answer to the indexed run, and the
+# env-unset default (which now resolves to segmented) must match both.
+# stats/explain are excluded — their storage sections legitimately differ
+# by mode.
 if [[ -z "$TEST_FILTER" && -x "$BUILD_DIR/examples/mm2_shell" ]]; then
   SEG_SESSION="$(mktemp)"
   SEG_IDX_OUT="$(mktemp)"
   SEG_SEG_OUT="$(mktemp)"
-  trap 'rm -f "${LOG_TMP:-}" "$SEG_SESSION" "$SEG_IDX_OUT" "$SEG_SEG_OUT"' EXIT
+  SEG_DEF_OUT="$(mktemp)"
+  trap 'rm -f "${LOG_TMP:-}" "$SEG_SESSION" "$SEG_IDX_OUT" "$SEG_SEG_OUT" "$SEG_DEF_OUT"' EXIT
   {
     echo "load-schema examples/data/school.schema"
     echo "load-schema examples/data/school_v2.schema"
@@ -105,11 +108,17 @@ if [[ -z "$TEST_FILTER" && -x "$BUILD_DIR/examples/mm2_shell" ]]; then
     < "$SEG_SESSION" > "$SEG_IDX_OUT" 2> /dev/null
   MM2_STORAGE=segmented "$BUILD_DIR/examples/mm2_shell" \
     < "$SEG_SESSION" > "$SEG_SEG_OUT" 2> /dev/null
+  env -u MM2_STORAGE "$BUILD_DIR/examples/mm2_shell" \
+    < "$SEG_SESSION" > "$SEG_DEF_OUT" 2> /dev/null
   if ! diff -u "$SEG_IDX_OUT" "$SEG_SEG_OUT"; then
     echo "error: MM2_STORAGE=segmented demo output diverged from indexed" >&2
     exit 1
   fi
-  echo "segmented-storage smoke gate passed (demo output bit-identical)"
+  if ! diff -u "$SEG_SEG_OUT" "$SEG_DEF_OUT"; then
+    echo "error: env-unset default demo output diverged from segmented" >&2
+    exit 1
+  fi
+  echo "segmented-storage smoke gate passed (demo output bit-identical under indexed, segmented, and the env-unset default)"
 fi
 
 # DOT-validity gate (default path only): `explain mapping --dot` over the

@@ -416,15 +416,28 @@ Result<Table> JoinScanProbe(const Expr& expr, const Table& left,
       key.push_back(l[k]);
     }
     if (segment_probe && !has_null) {
-      if (auto range = rel->SegmentProbePrefix(key)) {
-        if (!range->empty()) {
-          for (std::size_t r = range->begin; r < range->end; ++r) {
-            range->segment->CopyRow(r, &scratch);
+      if (auto ranges = rel->SegmentProbePrefix(key)) {
+        if (!ranges->empty()) {
+          auto emit = [&](const Tuple& match) {
             Tuple row;
             row.reserve(width);
             row.insert(row.end(), l.begin(), l.end());
-            row.insert(row.end(), scratch.begin(), scratch.end());
+            row.insert(row.end(), match.begin(), match.end());
             out.rows.push_back(std::move(row));
+          };
+          if (ranges->count == 1) {
+            const instance::SegmentRanges::Entry& entry = ranges->entries[0];
+            for (std::size_t r = entry.begin; r < entry.end; ++r) {
+              entry.segment->CopyRow(r, &scratch);
+              emit(scratch);
+            }
+          } else {
+            // Multi-run answers must interleave in global sort order to stay
+            // byte-identical with the hash-bucket (set-order) path.
+            for (instance::SegmentRangeCursor cursor(*ranges); !cursor.Done();
+                 cursor.Advance()) {
+              emit(cursor.Row());
+            }
           }
         } else if (expr.join_kind() == Expr::JoinKind::kLeftOuter) {
           Tuple row = l;

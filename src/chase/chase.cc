@@ -227,16 +227,26 @@ void MatchIndexedRec(const std::vector<Atom>& atoms,
     return;
   }
   // Bound columns come out in ascending term order, so a key covering
-  // columns [0, k) is a prefix of the segment sort order and a binary
-  // search over the sealed columnar segment answers the probe without
-  // materializing a hash index. The rows come back in set order, so the
-  // enumeration is bit-identical to the hash-bucket walk.
+  // columns [0, k) is a prefix of the segment sort order and binary
+  // searches over the sealed runs answer the probe without materializing a
+  // hash index. A single-run answer walks the range directly; multi-run
+  // answers stream through the k-way cursor. Either way rows come back in
+  // set order, so the enumeration is bit-identical to the hash-bucket walk.
   if (cols.back() == cols.size() - 1) {
-    if (auto range = rel->SegmentProbePrefix(key)) {
-      Tuple scratch;
-      for (std::size_t r = range->begin; r < range->end; ++r) {
-        range->segment->CopyRow(r, &scratch);
-        descend(scratch);
+    if (auto ranges = rel->SegmentProbePrefix(key)) {
+      if (ranges->count == 1) {
+        Tuple scratch;
+        const instance::SegmentRanges::Entry& entry = ranges->entries[0];
+        for (std::size_t r = entry.begin; r < entry.end; ++r) {
+          entry.segment->CopyRow(r, &scratch);
+          descend(scratch);
+          if (limit != 0 && out->size() >= limit) return;
+        }
+        return;
+      }
+      for (instance::SegmentRangeCursor cursor(*ranges); !cursor.Done();
+           cursor.Advance()) {
+        descend(cursor.Row());
         if (limit != 0 && out->size() >= limit) return;
       }
       return;
@@ -373,6 +383,71 @@ bool WorthParallel(const common::ThreadPool* pool, std::size_t candidates) {
          candidates >= 4;
 }
 
+// Depth-0 anchored match over rows [begin, end) of a hybrid DeltaView —
+// the log/slice analogue of handing MatchIndexedRec an anchor slice.
+// Slice-backed rows are materialized one at a time into a scratch tuple
+// inside ForEachRow, so the delta never has to exist as a ref vector.
+void MatchViewAnchored(const std::vector<Atom>& atoms,
+                       const std::vector<std::size_t>& order,
+                       const Instance& db, const instance::DeltaView& view,
+                       std::size_t begin, std::size_t end,
+                       const obs::CancelToken* cancel, Assignment* assignment,
+                       std::vector<Assignment>* out) {
+  const Atom& atom = atoms[order[0]];
+  const instance::RelationInstance* rel = db.Find(atom.relation);
+  if (rel == nullptr || atom.terms.size() != rel->arity()) return;
+  view.ForEachRow(begin, end, [&](const Tuple& tuple) {
+    if (cancel != nullptr && cancel->stop_requested()) return false;
+    std::vector<const std::string*> newly_bound;
+    if (MatchTuple(atom, tuple, assignment, &newly_bound)) {
+      MatchIndexedRec(atoms, order, 1, db, nullptr, cancel, assignment, out,
+                      /*limit=*/0);
+    }
+    for (const std::string* v : newly_bound) assignment->erase(*v);
+    return true;
+  });
+}
+
+// MatchPartitioned over a DeltaView: identical chunking and ordered
+// concatenation, with each chunk enumerating its view rows in place.
+std::vector<Assignment> MatchPartitionedView(
+    const std::vector<Atom>& atoms, const std::vector<std::size_t>& order,
+    const Instance& db, const instance::DeltaView& view,
+    common::ThreadPool& pool, ChaseStats* stats, obs::Context* obs,
+    const obs::CancelToken* cancel) {
+  PrebuildProbeIndexes(atoms, order, db);
+  std::size_t chunks = std::min(pool.size(), view.size());
+  std::vector<std::vector<Assignment>> partial(chunks);
+  std::vector<double> busy(chunks, 0.0);
+  auto region_start = std::chrono::steady_clock::now();
+  pool.ParallelFor(
+      view.size(),
+      [&](std::size_t begin, std::size_t end, std::size_t chunk) {
+        if (cancel != nullptr && cancel->stop_requested()) return;
+        auto start = std::chrono::steady_clock::now();
+        obs::ObsSpan span(obs, "chase.match.worker");
+        span.SetAttribute("chunk", chunk);
+        span.SetAttribute("candidates", end - begin);
+        Assignment assignment;
+        MatchViewAnchored(atoms, order, db, view, begin, end, cancel,
+                          &assignment, &partial[chunk]);
+        span.SetAttribute("assignments", partial[chunk].size());
+        busy[chunk] = MicrosSince(start);
+      });
+  stats->parallel_wall_us += MicrosSince(region_start);
+  ++stats->parallel_regions;
+  stats->parallel_tasks += chunks;
+  std::size_t total = 0;
+  for (const auto& p : partial) total += p.size();
+  std::vector<Assignment> out;
+  out.reserve(total);
+  for (auto& p : partial) {
+    for (Assignment& a : p) out.push_back(std::move(a));
+  }
+  for (double b : busy) stats->parallel_busy_us += b;
+  return out;
+}
+
 // Parallel top-level match (seed empty, no limit): computes the depth-0
 // candidate list exactly as the serial recursion would — probe on the
 // first atom's constant columns, else a full ordered scan — then fans out.
@@ -433,22 +508,23 @@ std::vector<Assignment> MatchAtomsDelta(
     std::size_t* delta_tuples, common::ThreadPool* pool = nullptr,
     ChaseStats* stats = nullptr, obs::Context* obs = nullptr,
     const obs::CancelToken* cancel = nullptr) {
-  std::map<std::string, instance::RelationInstance::TupleRefs, std::less<>>
-      deltas;
+  // Deltas arrive as hybrid views: whole segment runs sealed past the
+  // watermark come back as zero-copy slices, the rest as log refs. The
+  // per-pass dedupe set below already canonicalizes assignment order, so
+  // the parts' differing enumeration order never leaks out.
+  std::map<std::string, instance::DeltaView, std::less<>> deltas;
   for (const Atom& atom : atoms) {
     if (deltas.count(atom.relation) > 0) continue;
     const instance::RelationInstance* rel = db.Find(atom.relation);
     auto it = watermarks.find(atom.relation);
     std::size_t mark = it == watermarks.end() ? 0 : it->second;
-    deltas[atom.relation] = rel == nullptr
-                                ? instance::RelationInstance::TupleRefs{}
-                                : rel->DeltaSince(mark);
+    deltas[atom.relation] =
+        rel == nullptr ? instance::DeltaView{} : rel->DeltaViewSince(mark);
   }
   std::set<Assignment> dedupe;
   std::set<std::string, std::less<>> counted;
   for (std::size_t i = 0; i < atoms.size(); ++i) {
-    const instance::RelationInstance::TupleRefs& delta =
-        deltas[atoms[i].relation];
+    const instance::DeltaView& delta = deltas[atoms[i].relation];
     if (delta.empty()) continue;
     if (counted.insert(atoms[i].relation).second) {
       *delta_tuples += delta.size();
@@ -457,12 +533,12 @@ std::vector<Assignment> MatchAtomsDelta(
         PlanAtomOrder(atoms, db, Assignment(), i);
     std::vector<Assignment> found;
     if (WorthParallel(pool, delta.size())) {
-      found = MatchPartitioned(atoms, order, db, delta, *pool, stats, obs,
-                               cancel);
+      found = MatchPartitionedView(atoms, order, db, delta, *pool, stats,
+                                   obs, cancel);
     } else {
       Assignment assignment;
-      MatchIndexedRec(atoms, order, 0, db, &delta, cancel, &assignment,
-                      &found, /*limit=*/0);
+      MatchViewAnchored(atoms, order, db, delta, 0, delta.size(), cancel,
+                        &assignment, &found);
     }
     for (Assignment& a : found) dedupe.insert(std::move(a));
   }
@@ -606,6 +682,8 @@ class ChaseRun {
     if (segmented_) {
       seg0 = target_.SegmentStatsTotal();
       if (source_ != nullptr) seg0 += source_->SegmentStatsTotal();
+      target_.SetSegmentPolicy(instance::ResolveSegmentPolicy(
+          options_.segment_tier_ratio, options_.segment_max_runs));
       target_.SetStorageMode(instance::StorageMode::kSegmented);
       target_.PrepareAllSegments();
       if (source_ != nullptr) source_->PrepareAllSegments();
@@ -832,6 +910,8 @@ class ChaseRun {
       // Candidate-sort compares from the batched retain pre-pass are booked
       // chase-locally (they never touch a relation's counters).
       stats_.segment += retain_seg_;
+      stats_.segment_shape = target_.SegmentShapeTotal();
+      if (source_ != nullptr) stats_.segment_shape += source_->SegmentShapeTotal();
       span.SetAttribute("segment_probes", stats_.segment.probes);
       span.SetAttribute("segment_compares", stats_.segment.compares);
     }
@@ -1591,6 +1671,17 @@ void MirrorStats(obs::Context* obs, const ChaseStats& stats,
     m.GetCounter("storage.segment.retain_candidates")
         .Increment(seg.retain_candidates);
     m.GetCounter("storage.segment.retain_hits").Increment(seg.retain_hits);
+    m.GetCounter("storage.segment.compactions").Increment(seg.compactions);
+    m.GetCounter("storage.segment.delta_slices").Increment(seg.delta_slices);
+    m.GetCounter("storage.segment.delta_slice_rows")
+        .Increment(seg.delta_slice_rows);
+    const instance::SegmentShape& shape = stats.segment_shape;
+    m.GetGauge("storage.segment.live_segments")
+        .Set(static_cast<std::int64_t>(shape.live_segments));
+    m.GetGauge("storage.segment.tiers")
+        .Set(static_cast<std::int64_t>(shape.tiers));
+    m.GetGauge("storage.segment.tail_rows")
+        .Set(static_cast<std::int64_t>(shape.tail_rows));
   }
   // Strata + foresight families: materialized only for analysis-scheduled
   // runs, so plain chases keep their exact pre-existing metric surface.

@@ -122,6 +122,13 @@ struct ChaseOptions {
   // oracle). kDefault defers to the MM2_STORAGE environment variable; the
   // naive oracle ignores the knob entirely.
   instance::StorageMode storage = instance::StorageMode::kDefault;
+  // LSM tier thresholds for the segmented run lists (see SegmentPolicy):
+  // a freshly sealed tail run is merged into its predecessor only while
+  // newest_rows * tier_ratio >= predecessor_rows, and at most max_runs
+  // runs stay live. 0 defers to MM2_SEGMENT_TIER_RATIO / MM2_SEGMENT_MAX_RUNS
+  // (defaults 4 / 6). Ignored under kIndexed.
+  std::size_t segment_tier_ratio = 0;
+  std::size_t segment_max_runs = 0;
   // --- Resource budgets (the watchdog; 0 = unlimited) --------------------
   // Soft limits checked at every round boundary. On breach the chase stops
   // *gracefully*: Run returns OK with ChaseResult::breach describing which
@@ -242,6 +249,10 @@ struct ChaseStats {
   // plus the chase-side retain bookkeeping (candidate sorts).
   bool segmented = false;
   instance::SegmentOpStats segment;
+  // End-of-run shape of the tiered run lists (summed over the target and,
+  // in exchange mode, the sealed source), mirrored as `storage.segment.*`
+  // gauges. Zero on indexed runs.
+  instance::SegmentShape segment_shape;
   // Stratified-scheduling + foresight telemetry, mirrored as
   // `chase.strata.*` / `chase.foresight.*`. All zero (and the metric
   // families stay unmaterialized) unless ChaseOptions enabled the

@@ -91,9 +91,10 @@ class Engine {
   std::size_t threads() const { return threads_; }
 
   // Storage representation for chase-backed operators. kDefault defers to
-  // the MM2_STORAGE environment variable (default: indexed); kSegmented
-  // backs the chase hot path with sorted columnar segments. Results are
-  // bit-identical either way. Scripts set this via the
+  // the MM2_STORAGE environment variable (default: segmented); kSegmented
+  // backs the chase hot path with a tiered list of sorted columnar
+  // segments, kIndexed restores the plain set + lazy hash indexes.
+  // Results are bit-identical either way. Scripts set this via the
   // `storage indexed|segmented` command.
   void SetStorageMode(instance::StorageMode mode) { storage_ = mode; }
   instance::StorageMode storage_mode() const { return storage_; }

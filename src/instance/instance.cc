@@ -12,7 +12,12 @@ RelationInstance::RelationInstance(const RelationInstance& other)
       tuples_(other.tuples_),
       generation_(other.generation_),
       storage_mode_(other.storage_mode_),
-      sealed_(other.sealed_),  // immutable — shared, never deep-copied
+      policy_(other.policy_),
+      runs_(other.runs_),  // segments are immutable — shared, not deep-copied
+      // The rebuilt log below is in set order, not insertion order, so the
+      // copied runs' log spans no longer describe it: slice-served deltas
+      // must decline until the next full rebuild restores the tiling.
+      runs_tiled_(other.runs_.empty()),
       tail_(other.tail_),
       segment_dirty_(other.segment_dirty_),
       segment_generation_(other.segment_generation_) {
@@ -35,7 +40,9 @@ RelationInstance& RelationInstance::operator=(const RelationInstance& other) {
   stats_.Store(IndexStats{});
   seg_stats_.Store(SegmentOpStats{});
   storage_mode_ = other.storage_mode_;
-  sealed_ = other.sealed_;
+  policy_ = other.policy_;
+  runs_ = other.runs_;
+  runs_tiled_ = other.runs_.empty();  // see copy ctor: log is in set order
   tail_ = other.tail_;
   segment_dirty_ = other.segment_dirty_;
   segment_generation_ = other.segment_generation_;
@@ -49,7 +56,9 @@ RelationInstance::RelationInstance(RelationInstance&& other) noexcept
       log_(std::move(other.log_)),
       indexes_(std::move(other.indexes_)),
       storage_mode_(other.storage_mode_),
-      sealed_(std::move(other.sealed_)),
+      policy_(other.policy_),
+      runs_(std::move(other.runs_)),
+      runs_tiled_(other.runs_tiled_),
       tail_(std::move(other.tail_)),
       segment_dirty_(other.segment_dirty_),
       segment_generation_(other.segment_generation_) {
@@ -68,7 +77,9 @@ RelationInstance& RelationInstance::operator=(
   indexes_ = std::move(other.indexes_);
   stats_.Store(other.stats_.Load());
   storage_mode_ = other.storage_mode_;
-  sealed_ = std::move(other.sealed_);
+  policy_ = other.policy_;
+  runs_ = std::move(other.runs_);
+  runs_tiled_ = other.runs_tiled_;
   tail_ = std::move(other.tail_);
   segment_dirty_ = other.segment_dirty_;
   segment_generation_ = other.segment_generation_;
@@ -141,9 +152,9 @@ bool RelationInstance::Erase(const Tuple& tuple) {
   }
   tuples_.erase(it);
   ++generation_;
-  // Sealed segments cannot un-say a row: flag for a full rebuild at the
-  // next seal and drop the now-untrustworthy tail.
-  if (sealed_ != nullptr || !tail_.empty()) {
+  // Sealed runs cannot un-say a row: flag for a full rebuild at the next
+  // seal and drop the now-untrustworthy tail.
+  if (!runs_.empty() || !tail_.empty()) {
     segment_dirty_ = true;
     tail_.clear();
   }
@@ -154,7 +165,7 @@ void RelationInstance::Clear() {
   tuples_.clear();
   log_.clear();
   ++generation_;
-  if (sealed_ != nullptr || !tail_.empty()) {
+  if (!runs_.empty() || !tail_.empty()) {
     segment_dirty_ = true;
     tail_.clear();
   }
@@ -226,34 +237,72 @@ RelationInstance::TupleRefs RelationInstance::DeltaSince(
 IndexStats RelationInstance::index_stats() const { return stats_.Load(); }
 
 void RelationInstance::set_storage_mode(StorageMode mode) {
-  mode = mode == StorageMode::kDefault ? StorageMode::kIndexed : mode;
+  mode = ResolveStorageMode(mode);
   if (mode == storage_mode_) return;
   storage_mode_ = mode;
   // Either direction invalidates the incremental state: entering
   // kSegmented means past inserts were not tail-tracked; leaving it drops
   // the view entirely.
-  sealed_.reset();
+  runs_.clear();
+  runs_tiled_ = true;
   tail_.clear();
   segment_dirty_ = false;
   segment_generation_ = 0;
+}
+
+void RelationInstance::CompactLocked(SegmentOpStats* stats) const {
+  // Size-tiered compaction: merge the two newest runs while the newest is
+  // not "small enough" relative to its predecessor, or while the run list
+  // exceeds its cap. Each surviving run ends up >= tier_ratio times larger
+  // than the one after it, so a tuple is re-merged only O(log n) times
+  // over a chase. Merging adjacent runs keeps log spans contiguous, which
+  // preserves the tiling DeltaViewSince depends on.
+  while (runs_.size() > 1) {
+    SealedRun& newest = runs_.back();
+    SealedRun& prev = runs_[runs_.size() - 2];
+    const bool oversized =
+        newest.segment->rows() * policy_.tier_ratio >= prev.segment->rows();
+    if (!oversized && runs_.size() <= policy_.max_runs) break;
+    SealedRun merged;
+    merged.segment = MergeSegments({prev.segment, newest.segment}, stats);
+    merged.log_begin = prev.log_begin;
+    merged.log_end = newest.log_end;
+    runs_.pop_back();
+    runs_.back() = std::move(merged);
+    if (stats != nullptr) ++stats->compactions;
+  }
 }
 
 void RelationInstance::PrepareSegments() const {
   std::unique_lock<std::shared_mutex> lock(index_mu_);
   if (SegmentCurrent()) return;
   SegmentOpStats local;
-  if (storage_mode_ == StorageMode::kSegmented && sealed_ != nullptr &&
-      !segment_dirty_ && !tail_.empty()) {
-    // Insert-only epoch: seal the tail and two-way merge with the sealed
-    // run instead of re-sorting the whole extension.
+  if (storage_mode_ == StorageMode::kSegmented && !runs_.empty() &&
+      !segment_dirty_ && runs_tiled_ && !tail_.empty()) {
+    // Insert-only epoch: seal the tail into a NEW small run covering the
+    // log span since the last seal — the base runs are left untouched, and
+    // tiered compaction below decides how much merging is actually due.
+    const std::size_t span_begin = runs_.back().log_end;
     SegmentInserter inserter(arity_);
     for (Tuple& t : tail_) inserter.Add(std::move(t));
     tail_.clear();
-    SegmentPtr delta = inserter.Seal(&local);
-    sealed_ = MergeSegments({sealed_, delta}, &local);
+    SealedRun run;
+    run.segment = inserter.Seal(&local);
+    run.log_begin = span_begin;
+    run.log_end = log_.size();
+    runs_.push_back(std::move(run));
+    CompactLocked(&local);
   } else {
-    // Full rebuild: set iteration is already sorted and unique.
-    sealed_ = SegmentInserter::FromSorted(arity_, tuples_, &local);
+    // Full rebuild: set iteration is already sorted and unique. One run
+    // covering the whole log restores the tiling invariant (copied
+    // relations arrive here with untrusted spans).
+    runs_.clear();
+    SealedRun run;
+    run.segment = SegmentInserter::FromSorted(arity_, tuples_, &local);
+    run.log_begin = 0;
+    run.log_end = log_.size();
+    runs_.push_back(std::move(run));
+    runs_tiled_ = true;
     tail_.clear();
     segment_dirty_ = false;
   }
@@ -261,21 +310,103 @@ void RelationInstance::PrepareSegments() const {
   seg_stats_.Add(local);
 }
 
-std::optional<RelationInstance::SegmentRange>
-RelationInstance::SegmentProbePrefix(const Tuple& key) const {
-  const Segment* segment = sealed_.get();
-  if (segment == nullptr) return std::nullopt;  // never sealed: free decline
-  if (segment_dirty_ || segment_generation_ != generation_ ||
-      key.size() > arity_) {
-    seg_stats_.fallbacks.fetch_add(1, std::memory_order_relaxed);
+std::optional<SegmentRanges> RelationInstance::SegmentProbePrefix(
+    const Tuple& key) const {
+  // Declines are counted only under kSegmented: the chase probes here
+  // unconditionally before the hash path, and indexed sessions must keep
+  // their zero-atomic hot path (and their exact telemetry surface).
+  if (runs_.empty() || segment_dirty_ || segment_generation_ != generation_ ||
+      key.size() > arity_ || runs_.size() > SegmentRanges::kMaxRanges) {
+    if (storage_mode_ == StorageMode::kSegmented) {
+      seg_stats_.fallbacks.fetch_add(1, std::memory_order_relaxed);
+    }
     return std::nullopt;
   }
   SegmentOpStats local;
-  Segment::RowRange rows = segment->EqualRange(key.data(), key.size(), &local);
+  SegmentRanges out;
+  for (const SealedRun& run : runs_) {
+    Segment::RowRange rows =
+        run.segment->EqualRange(key.data(), key.size(), &local);
+    if (rows.empty()) continue;
+    out.entries[out.count++] =
+        SegmentRanges::Entry{run.segment.get(), rows.begin, rows.end};
+    out.rows += rows.end - rows.begin;
+  }
   local.probes = 1;
-  local.probe_hits = rows.end - rows.begin;
+  local.probe_hits = out.rows;
   seg_stats_.Add(local);
-  return SegmentRange{segment, rows.begin, rows.end};
+  return out;
+}
+
+DeltaView RelationInstance::DeltaViewSince(std::size_t watermark) const {
+  DeltaView view;
+  // Slices require trustworthy run/log spans: segmented mode, no erases
+  // this epoch, spans tiling the log. Anything else is the log-backed path.
+  if (storage_mode_ != StorageMode::kSegmented || segment_dirty_ ||
+      !runs_tiled_ || runs_.empty()) {
+    view.refs = DeltaSince(watermark);
+    return view;
+  }
+  const std::size_t sealed_end = runs_.back().log_end;
+  // First run lying entirely at or past the watermark; earlier runs are
+  // either fully covered by the watermark or straddle it.
+  std::size_t first_whole = runs_.size();
+  for (std::size_t i = 0; i < runs_.size(); ++i) {
+    if (runs_[i].log_begin >= watermark) {
+      first_whole = i;
+      break;
+    }
+  }
+  // Log-backed head: the tail end of a straddled run's span.
+  const std::size_t head_end =
+      first_whole < runs_.size() ? runs_[first_whole].log_begin : sealed_end;
+  for (std::size_t i = watermark; i < head_end; ++i) {
+    if (log_[i] != nullptr) view.refs.push_back(log_[i]);
+  }
+  // Zero-copy whole-run slices. Run rows == live span entries during an
+  // insert-only epoch, so view.size() stays equal to DeltaSince().size().
+  for (std::size_t i = first_whole; i < runs_.size(); ++i) {
+    const Segment* segment = runs_[i].segment.get();
+    if (segment->rows() == 0) continue;
+    view.slices.push_back(DeltaSlice{segment, 0, segment->rows()});
+    view.slice_rows += segment->rows();
+  }
+  // Log-backed suffix: inserts since the last seal (the unsealed tail).
+  const std::size_t suffix_begin =
+      watermark > sealed_end ? watermark : sealed_end;
+  for (std::size_t i = suffix_begin; i < log_.size(); ++i) {
+    if (log_[i] != nullptr) view.refs.push_back(log_[i]);
+  }
+  if (!view.slices.empty()) {
+    view.sliced = true;
+    SegmentOpStats local;
+    local.delta_slices = 1;
+    local.delta_slice_rows = view.slice_rows;
+    seg_stats_.Add(local);
+  }
+  return view;
+}
+
+SegmentShape RelationInstance::segment_shape() const {
+  SegmentShape shape;
+  shape.live_segments = runs_.size();
+  shape.tail_rows = tail_.size();
+  // Count distinct tier_ratio-geometric size classes among non-empty runs.
+  bool seen[64] = {false};
+  for (const SealedRun& run : runs_) {
+    std::size_t rows = run.segment->rows();
+    if (rows == 0) continue;
+    std::size_t tier = 0;
+    while (rows >= policy_.tier_ratio && tier + 1 < 64) {
+      rows /= policy_.tier_ratio;
+      ++tier;
+    }
+    if (!seen[tier]) {
+      seen[tier] = true;
+      ++shape.tiers;
+    }
+  }
+  return shape;
 }
 
 void RelationInstance::RetainExisting(
@@ -286,9 +417,8 @@ void RelationInstance::RetainExisting(
   ++local.retain_batches;
   local.retain_candidates += sorted_candidates.size();
   const bool current = SegmentCurrent();
-  // An insert-only tail still answers exactly: sealed ∪ tail == extension.
-  const bool incremental = !current && sealed_ != nullptr &&
-                           !segment_dirty_ &&
+  // An insert-only tail still answers exactly: runs ∪ tail == extension.
+  const bool incremental = !current && !runs_.empty() && !segment_dirty_ &&
                            storage_mode_ == StorageMode::kSegmented;
   if (current || incremental) {
     std::vector<Tuple> tail_sorted;
@@ -296,24 +426,58 @@ void RelationInstance::RetainExisting(
       tail_sorted = tail_;
       CountedSort(&tail_sorted, &local);
     }
-    // Both sides sorted ⇒ a single forward merge: each cursor advances
-    // monotonically, so the whole batch costs O(rows + candidates) tuple
-    // compares — versus ~log(rows) per candidate for tree/binary probes.
-    const Segment& seg = *sealed_;
-    std::size_t cursor = 0;
+    // Every side is sorted ⇒ one monotone forward cursor per live run plus
+    // one for the tail. Cursors advance by galloping (doubling steps, then
+    // a binary search over the overshoot), so a batch of c candidates
+    // against a run of m rows costs O(c·log(m/c)) compares whether the
+    // candidates are sparse or dense — never the O(m) full walk a plain
+    // merge pays when candidates skip far ahead. Runs are disjoint, so at
+    // most one cursor can hit.
+    std::vector<std::size_t> cursors(runs_.size(), 0);
     std::size_t tail_cursor = 0;
     for (std::size_t i = 0; i < sorted_candidates.size(); ++i) {
       const Tuple& cand = *sorted_candidates[i];
       if (cand.size() != arity_) continue;  // cannot be present
       bool hit = false;
-      int cmp = -1;
-      while (cursor < seg.rows()) {
-        cmp = seg.CompareRowPrefix(cursor, cand.data(), cand.size(),
-                                   &local.compares);
-        if (cmp >= 0) break;
-        ++cursor;
+      for (std::size_t r = 0; r < runs_.size() && !hit; ++r) {
+        const Segment& seg = *runs_[r].segment;
+        std::size_t& cursor = cursors[r];
+        const std::size_t rows = seg.rows();
+        int cmp = cursor < rows
+                      ? seg.CompareRowPrefix(cursor, cand.data(), cand.size(),
+                                             &local.compares)
+                      : 1;
+        if (cmp < 0) {
+          // Gallop: find the first row >= cand past the cursor.
+          std::size_t step = 1;
+          std::size_t lo = cursor;  // known < cand
+          std::size_t hi = cursor + step;
+          while (hi < rows &&
+                 seg.CompareRowPrefix(hi, cand.data(), cand.size(),
+                                      &local.compares) < 0) {
+            lo = hi;
+            step <<= 1;
+            hi = cursor + step;
+          }
+          if (hi > rows) hi = rows;
+          ++lo;
+          while (lo < hi) {
+            const std::size_t mid = lo + (hi - lo) / 2;
+            if (seg.CompareRowPrefix(mid, cand.data(), cand.size(),
+                                     &local.compares) < 0) {
+              lo = mid + 1;
+            } else {
+              hi = mid;
+            }
+          }
+          cursor = lo;
+          cmp = cursor < rows
+                    ? seg.CompareRowPrefix(cursor, cand.data(), cand.size(),
+                                           &local.compares)
+                    : 1;
+        }
+        hit = cmp == 0;
       }
-      hit = cursor < seg.rows() && cmp == 0;
       if (!hit && !tail_sorted.empty()) {
         while (tail_cursor < tail_sorted.size()) {
           ++local.compares;
@@ -364,6 +528,7 @@ Instance Instance::EmptyFor(const model::Schema& schema) {
 void Instance::DeclareRelation(std::string_view name, std::size_t arity) {
   RelationInstance fresh(arity);
   fresh.set_storage_mode(storage_mode_);
+  fresh.set_segment_policy(segment_policy_);
   // Heterogeneous find first: redeclaration (the UnionWith/runtime refresh
   // pattern) never allocates a key string.
   auto it = relations_.find(name);
@@ -448,8 +613,13 @@ IndexStats Instance::IndexStatsTotal() const {
 }
 
 void Instance::SetStorageMode(StorageMode mode) {
-  storage_mode_ = mode == StorageMode::kDefault ? StorageMode::kIndexed : mode;
+  storage_mode_ = ResolveStorageMode(mode);
   for (auto& [name, rel] : relations_) rel.set_storage_mode(storage_mode_);
+}
+
+void Instance::SetSegmentPolicy(const SegmentPolicy& policy) {
+  segment_policy_ = policy;
+  for (auto& [name, rel] : relations_) rel.set_segment_policy(policy);
 }
 
 void Instance::PrepareAllSegments() const {
@@ -459,6 +629,12 @@ void Instance::PrepareAllSegments() const {
 SegmentOpStats Instance::SegmentStatsTotal() const {
   SegmentOpStats total;
   for (const auto& [name, rel] : relations_) total += rel.segment_stats();
+  return total;
+}
+
+SegmentShape Instance::SegmentShapeTotal() const {
+  SegmentShape total;
+  for (const auto& [name, rel] : relations_) total += rel.segment_shape();
   return total;
 }
 

@@ -38,6 +38,58 @@ struct IndexStats {
   }
 };
 
+// A delta set served as a hybrid over the insert log and the tiered segment
+// list: `refs` carries log-backed tuples (the portion of the delta that
+// falls inside a partially-covered run span plus the unsealed suffix, in
+// insertion order), `slices` carries whole sealed runs as zero-copy row
+// ranges. size() equals the plain DeltaSince() size exactly, so delta
+// accounting is bit-identical whichever path served. Enumeration order
+// differs between the parts; consumers that need determinism (the chase's
+// delta re-match) already canonicalize through an ordered assignment set.
+struct DeltaSlice {
+  const Segment* segment = nullptr;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+struct DeltaView {
+  std::vector<const Tuple*> refs;  // log-backed rows (insertion order)
+  std::vector<DeltaSlice> slices;  // zero-copy sealed-run row ranges
+  std::size_t slice_rows = 0;      // total rows across slices
+  bool sliced = false;             // true when any run was served as a slice
+
+  std::size_t size() const { return refs.size() + slice_rows; }
+  bool empty() const { return size() == 0; }
+
+  // Visits rows [begin, end) of the concatenated refs-then-slices sequence;
+  // fn(const Tuple&) returns false to stop early. Rows materialized from
+  // slices are only valid for the duration of the call.
+  template <typename Fn>
+  void ForEachRow(std::size_t begin, std::size_t end, Fn&& fn) const {
+    std::size_t i = begin;
+    for (; i < end && i < refs.size(); ++i) {
+      if (!fn(*refs[i])) return;
+    }
+    std::size_t offset = refs.size();
+    if (i >= end) return;
+    Tuple scratch;
+    for (const DeltaSlice& slice : slices) {
+      const std::size_t n = slice.end - slice.begin;
+      if (i < offset + n) {
+        const std::size_t stop =
+            slice.begin + (end - offset < n ? end - offset : n);
+        for (std::size_t r = slice.begin + (i - offset); r < stop; ++r) {
+          slice.segment->CopyRow(r, &scratch);
+          if (!fn(scratch)) return;
+        }
+        i = offset + (stop - slice.begin);
+        if (i >= end) return;
+      }
+      offset += n;
+    }
+  }
+};
+
 // The extension of one relation: a set of same-arity tuples. Set semantics
 // with deterministic (ordered) iteration, which the chase and the tests
 // rely on.
@@ -85,7 +137,20 @@ class RelationInstance {
   // Inserts; returns true if the tuple was new. Dies on arity mismatch in
   // debug builds; callers go through Instance::Insert for checked inserts.
   bool Insert(Tuple tuple);
-  bool Contains(const Tuple& tuple) const { return tuples_.count(tuple) > 0; }
+  // Exact membership. When the tiered segment view is current (kSegmented,
+  // nothing changed since the last seal), the answer comes from binary
+  // searches over the dense sorted runs instead of chasing set nodes; the
+  // set path answers otherwise. Same result either way.
+  bool Contains(const Tuple& tuple) const {
+    if (storage_mode_ == StorageMode::kSegmented && SegmentCurrent() &&
+        tuple.size() == arity_) {
+      for (const SealedRun& run : runs_) {
+        if (run.segment->Contains(tuple, nullptr)) return true;
+      }
+      return false;
+    }
+    return tuples_.count(tuple) > 0;
+  }
   bool Erase(const Tuple& tuple);
   void Clear();
 
@@ -111,56 +176,79 @@ class RelationInstance {
 
   IndexStats index_stats() const;
 
-  // --- Columnar segment view (sorted, immutable; see segment.h) ----------
-  // Under kSegmented, Insert also appends to a mutable tail so
-  // PrepareSegments() can reseal incrementally (tail sort + two-way merge)
-  // instead of rebuilding. Erase/Clear mark the view dirty, forcing a full
-  // rebuild from the set (already sorted+unique) at the next seal. Under
-  // kIndexed the segment state is dropped; probes and retains fall back to
-  // the hash/set paths, so the mode never changes observable results.
+  // --- Tiered columnar segment view (sorted, immutable; see segment.h) ---
+  // Under kSegmented the relation maintains an LSM-style list of sealed
+  // runs plus a mutable tail: Insert appends set-new tuples to the tail,
+  // and PrepareSegments() seals the tail into a NEW small run (sort only —
+  // no re-merge of the base), then size-tiered compaction merges the
+  // newest runs only while they outgrow their tier (SegmentPolicy), so
+  // total merge work is O(n log n) across a chase instead of O(n) rows per
+  // round. Erase/Clear mark the view dirty, forcing a full rebuild from
+  // the set (already sorted+unique) at the next seal. Under kIndexed the
+  // segment state is dropped; probes and retains fall back to the hash/set
+  // paths, so the mode never changes observable results.
   void set_storage_mode(StorageMode mode);
   StorageMode storage_mode() const { return storage_mode_; }
+
+  // Compaction thresholds for this relation's run list (kSegmented only).
+  void set_segment_policy(const SegmentPolicy& policy) { policy_ = policy; }
+  const SegmentPolicy& segment_policy() const { return policy_; }
 
   // (Re)seals the segment view to cover the current extension. Const with
   // cache semantics like EnsureIndex, so const source instances can be
   // sealed once before a run. Works in any mode (full rebuild from the
-  // set); incremental tail merge only under kSegmented. No-op if current.
+  // set); incremental tail seal + tiered compaction only under kSegmented.
+  // No-op if current.
   void PrepareSegments() const;
 
-  // True when the sealed segment reflects the full extension (nothing
-  // changed since the last PrepareSegments).
+  // True when the sealed runs reflect the full extension (nothing changed
+  // since the last PrepareSegments).
   bool SegmentCurrent() const {
-    return sealed_ != nullptr && !segment_dirty_ &&
+    return !runs_.empty() && !segment_dirty_ &&
            segment_generation_ == generation_;
   }
 
-  // Rows whose leading |key| columns equal `key`, served from the sealed
-  // segment in set (sorted) order — bit-identical enumeration to the hash
+  // Rows whose leading |key| columns equal `key`, served from the live
+  // runs as up to one row range per run. SegmentRangeCursor streams the
+  // union in set (sorted) order — bit-identical enumeration to the hash
   // probe. nullopt when the view is stale or absent (callers fall back to
-  // Probe); an engaged empty range still counts as a served probe. The
-  // returned segment pointer follows the same validity contract as
-  // Probe(): no mutation or PrepareSegments until the caller is done.
-  struct SegmentRange {
-    const Segment* segment = nullptr;
-    std::size_t begin = 0;
-    std::size_t end = 0;
-    bool empty() const { return begin >= end; }
-  };
-  std::optional<SegmentRange> SegmentProbePrefix(const Tuple& key) const;
+  // Probe, and the decline is counted under kSegmented); an engaged empty
+  // answer still counts as a served probe. The segment pointers follow the
+  // same validity contract as Probe(): no mutation or PrepareSegments
+  // until the caller is done.
+  std::optional<SegmentRanges> SegmentProbePrefix(const Tuple& key) const;
 
   // Batched membership for head-dedup retain passes: sets present->at(i)
-  // iff *sorted_candidates[i] is in the relation right now. Served by
-  // binary searches over the sealed segment plus a sorted copy of the
-  // unsealed tail; falls back to set lookups when the segment state cannot
-  // answer exactly (counted as a fallback).
+  // iff *sorted_candidates[i] is in the relation right now. Served by one
+  // monotone merge cursor per live run plus a sorted copy of the unsealed
+  // tail; falls back to set lookups when the segment state cannot answer
+  // exactly (counted as a fallback).
   void RetainExisting(const std::vector<const Tuple*>& sorted_candidates,
                       std::vector<char>* present) const;
 
-  // Sealed-view access for tests and benchmarks.
-  SegmentPtr sealed_segment() const { return sealed_; }
-  std::size_t sealed_rows() const {
-    return sealed_ == nullptr ? 0 : sealed_->rows();
+  // The delta since `watermark` as a hybrid log/slice view: whole sealed
+  // runs that lie entirely past the watermark are returned as zero-copy
+  // slices, everything else (partial run coverage, the unsealed tail) as
+  // log refs. Falls back to a pure log-backed view (refs == DeltaSince)
+  // whenever run/log spans cannot be trusted — erase-containing epochs,
+  // copied relations, non-segmented modes. view.size() always equals
+  // DeltaSince(watermark).size().
+  DeltaView DeltaViewSince(std::size_t watermark) const;
+
+  // Sealed-view access for tests and benchmarks. sealed_segment() is the
+  // base (oldest, largest) run.
+  SegmentPtr sealed_segment() const {
+    return runs_.empty() ? nullptr : runs_.front().segment;
   }
+  std::size_t sealed_rows() const {
+    std::size_t rows = 0;
+    for (const SealedRun& run : runs_) rows += run.segment->rows();
+    return rows;
+  }
+  std::size_t live_runs() const { return runs_.size(); }
+
+  // Current run-list shape (run count, tier count, tail backlog).
+  SegmentShape segment_shape() const;
 
   SegmentOpStats segment_stats() const;
 
@@ -209,6 +297,9 @@ class RelationInstance {
     std::atomic<std::uint64_t> retain_batches{0};
     std::atomic<std::uint64_t> retain_candidates{0};
     std::atomic<std::uint64_t> retain_hits{0};
+    std::atomic<std::uint64_t> compactions{0};
+    std::atomic<std::uint64_t> delta_slices{0};
+    std::atomic<std::uint64_t> delta_slice_rows{0};
 
     void Add(const SegmentOpStats& s) {
       auto bump = [](std::atomic<std::uint64_t>& c, std::uint64_t v) {
@@ -226,6 +317,9 @@ class RelationInstance {
       bump(retain_batches, s.retain_batches);
       bump(retain_candidates, s.retain_candidates);
       bump(retain_hits, s.retain_hits);
+      bump(compactions, s.compactions);
+      bump(delta_slices, s.delta_slices);
+      bump(delta_slice_rows, s.delta_slice_rows);
     }
     void Store(const SegmentOpStats& s) {
       seals.store(s.seals, std::memory_order_relaxed);
@@ -240,6 +334,9 @@ class RelationInstance {
       retain_batches.store(s.retain_batches, std::memory_order_relaxed);
       retain_candidates.store(s.retain_candidates, std::memory_order_relaxed);
       retain_hits.store(s.retain_hits, std::memory_order_relaxed);
+      compactions.store(s.compactions, std::memory_order_relaxed);
+      delta_slices.store(s.delta_slices, std::memory_order_relaxed);
+      delta_slice_rows.store(s.delta_slice_rows, std::memory_order_relaxed);
     }
     SegmentOpStats Load() const {
       SegmentOpStats s;
@@ -255,6 +352,9 @@ class RelationInstance {
       s.retain_batches = retain_batches.load(std::memory_order_relaxed);
       s.retain_candidates = retain_candidates.load(std::memory_order_relaxed);
       s.retain_hits = retain_hits.load(std::memory_order_relaxed);
+      s.compactions = compactions.load(std::memory_order_relaxed);
+      s.delta_slices = delta_slices.load(std::memory_order_relaxed);
+      s.delta_slice_rows = delta_slice_rows.load(std::memory_order_relaxed);
       return s;
     }
   };
@@ -279,13 +379,33 @@ class RelationInstance {
   mutable std::map<ColumnSet, Index> indexes_;
   mutable AtomicIndexStats stats_;
 
-  // Columnar view state. `sealed_` is immutable and shared across copies;
-  // `tail_` holds tuples inserted since the last seal (kSegmented only);
-  // `segment_dirty_` marks erases/clears, which invalidate the tail and
-  // force a full rebuild. `segment_generation_` is the generation the
-  // sealed view corresponds to.
+  // One sealed run of the tiered segment list. `[log_begin, log_end)` is
+  // the insert-log span whose live tuples the run holds; while the list is
+  // tiled (runs_tiled_) the spans of consecutive runs are contiguous and
+  // together cover [0, runs_.back().log_end), which is what lets
+  // DeltaViewSince answer with zero-copy run slices.
+  struct SealedRun {
+    SegmentPtr segment;
+    std::size_t log_begin = 0;
+    std::size_t log_end = 0;
+  };
+
+  // Merges the newest runs while they violate the size-tier invariant
+  // (see SegmentPolicy). Requires the exclusive lock.
+  void CompactLocked(SegmentOpStats* stats) const;
+
+  // Tiered view state. Runs are immutable and shared across copies, oldest
+  // (largest) first; `tail_` holds tuples inserted since the last seal
+  // (kSegmented only); `segment_dirty_` marks erases/clears, which
+  // invalidate the tail and force a full rebuild. `segment_generation_` is
+  // the generation the sealed view corresponds to. `runs_tiled_` records
+  // whether the run/log spans can be trusted: copies rebuild the log in
+  // set order, which breaks the tiling, so copied relations decline slice
+  // serving until the next full rebuild restores it.
   StorageMode storage_mode_ = StorageMode::kIndexed;
-  mutable SegmentPtr sealed_;
+  SegmentPolicy policy_;
+  mutable std::vector<SealedRun> runs_;
+  mutable bool runs_tiled_ = true;
   mutable std::vector<Tuple> tail_;
   mutable bool segment_dirty_ = false;
   mutable std::uint64_t segment_generation_ = 0;
@@ -337,6 +457,10 @@ class Instance {
   void SetStorageMode(StorageMode mode);
   StorageMode storage_mode() const { return storage_mode_; }
 
+  // Applies compaction thresholds to every existing relation and to
+  // relations declared later.
+  void SetSegmentPolicy(const SegmentPolicy& policy);
+
   // Seals every relation's segment view (const cache semantics; see
   // RelationInstance::PrepareSegments).
   void PrepareAllSegments() const;
@@ -345,6 +469,8 @@ class Instance {
   IndexStats IndexStatsTotal() const;
   // Summed segment telemetry across all relations.
   SegmentOpStats SegmentStatsTotal() const;
+  // Summed run-list shape across all relations (tiers: per-relation max).
+  SegmentShape SegmentShapeTotal() const;
   // relation -> current insert-log watermark, for delta-tracking readers.
   std::map<std::string, std::size_t, std::less<>> InsertWatermarks() const;
 
@@ -364,6 +490,7 @@ class Instance {
  private:
   std::map<std::string, RelationInstance, std::less<>> relations_;
   StorageMode storage_mode_ = StorageMode::kIndexed;
+  SegmentPolicy segment_policy_;
 };
 
 // How an entity set is laid out as a relation extension at runtime: a

@@ -27,9 +27,11 @@ void Count(SegmentOpStats* stats, std::uint64_t n) {
 StorageMode ResolveStorageMode(StorageMode requested) {
   if (requested != StorageMode::kDefault) return requested;
   const char* env = std::getenv("MM2_STORAGE");
-  if (env == nullptr || env[0] == '\0') return StorageMode::kIndexed;
-  if (std::strcmp(env, "segmented") == 0) return StorageMode::kSegmented;
-  return StorageMode::kIndexed;
+  // Segmented is the default since the tiered segment list reached
+  // wall-clock parity (EXPERIMENTS.md §C18); "indexed" selects the oracle.
+  if (env == nullptr || env[0] == '\0') return StorageMode::kSegmented;
+  if (std::strcmp(env, "indexed") == 0) return StorageMode::kIndexed;
+  return StorageMode::kSegmented;
 }
 
 const char* StorageModeName(StorageMode mode) {
@@ -42,6 +44,33 @@ const char* StorageModeName(StorageMode mode) {
       return "segmented";
   }
   return "indexed";
+}
+
+SegmentPolicy ResolveSegmentPolicy(std::size_t tier_ratio,
+                                   std::size_t max_runs) {
+  SegmentPolicy defaults;
+  auto from_env = [](const char* name, std::size_t fallback) {
+    const char* env = std::getenv(name);
+    if (env == nullptr || env[0] == '\0') return fallback;
+    char* end = nullptr;
+    unsigned long v = std::strtoul(env, &end, 10);
+    if (end == env || *end != '\0') return fallback;
+    return static_cast<std::size_t>(v);
+  };
+  SegmentPolicy policy;
+  policy.tier_ratio = tier_ratio != 0
+                          ? tier_ratio
+                          : from_env("MM2_SEGMENT_TIER_RATIO",
+                                     defaults.tier_ratio);
+  policy.max_runs = max_runs != 0
+                        ? max_runs
+                        : from_env("MM2_SEGMENT_MAX_RUNS", defaults.max_runs);
+  if (policy.tier_ratio < 2) policy.tier_ratio = 2;
+  if (policy.max_runs < 1) policy.max_runs = 1;
+  if (policy.max_runs > SegmentRanges::kMaxRanges) {
+    policy.max_runs = SegmentRanges::kMaxRanges;
+  }
+  return policy;
 }
 
 // ---------------------------------------------------------------------------
@@ -294,6 +323,55 @@ SegmentPtr MergeSegments(const std::vector<SegmentPtr>& segments,
     stats->merged_rows += rows;
   }
   return merged;
+}
+
+// ---------------------------------------------------------------------------
+// SegmentRangeCursor
+// ---------------------------------------------------------------------------
+
+SegmentRangeCursor::SegmentRangeCursor(const SegmentRanges& ranges)
+    : ranges_(&ranges) {
+  for (std::size_t i = 0; i < ranges.count; ++i) {
+    pos_[i] = ranges.entries[i].begin;
+  }
+  Materialize();
+}
+
+void SegmentRangeCursor::Materialize() {
+  // Linear min-pick across the live per-run cursors. Runs are disjoint, so
+  // no dedup step is needed: exactly one cursor holds the global minimum.
+  current_ = -1;
+  for (std::size_t i = 0; i < ranges_->count; ++i) {
+    const SegmentRanges::Entry& entry = ranges_->entries[i];
+    if (pos_[i] >= entry.end) continue;
+    if (current_ < 0) {
+      current_ = static_cast<int>(i);
+      continue;
+    }
+    const SegmentRanges::Entry& best =
+        ranges_->entries[static_cast<std::size_t>(current_)];
+    const std::size_t arity = entry.segment->arity();
+    int cmp = 0;
+    for (std::size_t c = 0; c < arity && cmp == 0; ++c) {
+      const Value& va = entry.segment->at(pos_[i], c);
+      const Value& vb =
+          best.segment->at(pos_[static_cast<std::size_t>(current_)], c);
+      if (va < vb) cmp = -1;
+      else if (vb < va) cmp = 1;
+    }
+    if (cmp < 0) current_ = static_cast<int>(i);
+  }
+  if (current_ >= 0) {
+    const SegmentRanges::Entry& best =
+        ranges_->entries[static_cast<std::size_t>(current_)];
+    best.segment->CopyRow(pos_[static_cast<std::size_t>(current_)], &row_);
+  }
+}
+
+void SegmentRangeCursor::Advance() {
+  if (current_ < 0) return;
+  ++pos_[static_cast<std::size_t>(current_)];
+  Materialize();
 }
 
 // ---------------------------------------------------------------------------

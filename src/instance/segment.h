@@ -20,12 +20,34 @@ namespace mm2::instance {
 //    retain passes are served by merges over the sorted view instead of
 //    per-tuple hash probes. Output is bit-identical by construction.
 //  - kDefault: defer to the MM2_STORAGE environment variable
-//    ("segmented" | "indexed"; unset means indexed).
+//    ("segmented" | "indexed"; unset means segmented — the tiered segment
+//    list won the closure-grid wall-clock race, see EXPERIMENTS.md §C18.
+//    The indexed path stays selectable as the differential oracle).
 enum class StorageMode { kDefault, kIndexed, kSegmented };
 
 // Resolves kDefault against MM2_STORAGE; explicit modes pass through.
 StorageMode ResolveStorageMode(StorageMode requested);
 const char* StorageModeName(StorageMode mode);
+
+// Size-tiered compaction thresholds for the LSM-style segment list. After a
+// tail seal appends a new run, the newest run is merged into its predecessor
+// while `newest_rows * tier_ratio >= predecessor_rows` (the new run is not
+// "small enough" relative to the next tier) or while more than `max_runs`
+// runs are live. A geometric run-size ladder falls out: each surviving run
+// is at least tier_ratio times larger than the one sealed after it, which
+// bounds total merge work at O(n log n) over a chase instead of O(n) rows
+// re-merged per round.
+struct SegmentPolicy {
+  std::size_t tier_ratio = 4;
+  std::size_t max_runs = 6;
+};
+
+// Resolves policy knobs: nonzero arguments win, else the MM2_SEGMENT_TIER_RATIO
+// / MM2_SEGMENT_MAX_RUNS environment variables, else the defaults above.
+// tier_ratio is clamped to >= 2, max_runs to [1, SegmentRanges::kMaxRanges]
+// so every live run list stays probeable.
+SegmentPolicy ResolveSegmentPolicy(std::size_t tier_ratio,
+                                   std::size_t max_runs);
 
 // Cumulative telemetry for every segment-layer operation. The chase diffs
 // per-relation totals around a run (exactly like IndexStats) and mirrors
@@ -43,10 +65,14 @@ struct SegmentOpStats {
   std::uint64_t retain_batches = 0;     // batched head-dedup passes
   std::uint64_t retain_candidates = 0;  // candidate tuples across batches
   std::uint64_t retain_hits = 0;        // candidates already present
+  std::uint64_t compactions = 0;        // tiered run merges (subset of merges)
+  std::uint64_t delta_slices = 0;       // deltas served as segment slices
+  std::uint64_t delta_slice_rows = 0;   // rows covered by zero-copy slices
 
   bool any() const {
     return seals != 0 || merges != 0 || compares != 0 || probes != 0 ||
-           skips != 0 || fallbacks != 0 || retain_batches != 0;
+           skips != 0 || fallbacks != 0 || retain_batches != 0 ||
+           compactions != 0 || delta_slices != 0;
   }
 
   SegmentOpStats& operator+=(const SegmentOpStats& o) {
@@ -62,6 +88,9 @@ struct SegmentOpStats {
     retain_batches += o.retain_batches;
     retain_candidates += o.retain_candidates;
     retain_hits += o.retain_hits;
+    compactions += o.compactions;
+    delta_slices += o.delta_slices;
+    delta_slice_rows += o.delta_slice_rows;
     return *this;
   }
 
@@ -79,7 +108,27 @@ struct SegmentOpStats {
     d.retain_batches = retain_batches - o.retain_batches;
     d.retain_candidates = retain_candidates - o.retain_candidates;
     d.retain_hits = retain_hits - o.retain_hits;
+    d.compactions = compactions - o.compactions;
+    d.delta_slices = delta_slices - o.delta_slices;
+    d.delta_slice_rows = delta_slice_rows - o.delta_slice_rows;
     return d;
+  }
+};
+
+// Shape of a relation's (or instance-wide) live segment list, read at the
+// end of a run and mirrored as `storage.segment.*` gauges. tiers counts the
+// distinct tier_ratio-geometric size classes among live runs — a healthy
+// tiered list has tiers ≈ live_segments (each run in its own class).
+struct SegmentShape {
+  std::uint64_t live_segments = 0;  // sealed runs across relations
+  std::uint64_t tiers = 0;          // max distinct size classes per relation
+  std::uint64_t tail_rows = 0;      // unsealed sorted-tail rows
+
+  SegmentShape& operator+=(const SegmentShape& o) {
+    live_segments += o.live_segments;
+    if (o.tiers > tiers) tiers = o.tiers;
+    tail_rows += o.tail_rows;
+    return *this;
   }
 };
 
@@ -201,6 +250,51 @@ class SegmentMergeIterator {
 // cheap passthrough.
 SegmentPtr MergeSegments(const std::vector<SegmentPtr>& segments,
                          SegmentOpStats* stats);
+
+// A prefix-probe answer over the tiered segment list: up to kMaxRanges
+// per-run row ranges, one per live run that holds matching rows. Fixed
+// capacity keeps the probe hot path allocation-free; relations never grow
+// more live runs than this (SegmentPolicy::max_runs is clamped to it).
+// Runs are pairwise disjoint (the tail only ever receives set-new tuples),
+// so the union of the ranges is duplicate-free by construction.
+struct SegmentRanges {
+  static constexpr std::size_t kMaxRanges = 12;
+
+  struct Entry {
+    const Segment* segment = nullptr;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+
+  Entry entries[kMaxRanges];
+  std::size_t count = 0;  // populated entries (non-empty ranges only)
+  std::size_t rows = 0;   // total rows across entries
+
+  bool empty() const { return rows == 0; }
+};
+
+// Streams the rows of a SegmentRanges answer in ascending tuple order —
+// the k-way analogue of iterating one sorted range, and bit-identical to
+// the order the single-sealed-run design produced. No ties are possible
+// (runs are disjoint), so a linear min-pick over ≤ kMaxRanges cursors
+// suffices. The ranges object must outlive the cursor.
+class SegmentRangeCursor {
+ public:
+  explicit SegmentRangeCursor(const SegmentRanges& ranges);
+
+  bool Done() const { return current_ < 0; }
+  // Valid until the next Advance.
+  const Tuple& Row() const { return row_; }
+  void Advance();
+
+ private:
+  void Materialize();
+
+  const SegmentRanges* ranges_;
+  std::size_t pos_[SegmentRanges::kMaxRanges];
+  int current_ = -1;  // entry index holding the smallest unemitted row
+  Tuple row_;
+};
 
 // ---------------------------------------------------------------------------
 // Sorted-row helpers shared by the algebra/runtime merge paths. These are

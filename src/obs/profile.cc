@@ -252,10 +252,24 @@ void BuildStorage(const MetricsSnapshot& metrics, ProfileReport* report) {
       s.segment_retain_candidates = c.value;
     } else if (c.name == "storage.segment.retain_hits") {
       s.segment_retain_hits = c.value;
+    } else if (c.name == "storage.segment.compactions") {
+      s.segment_compactions = c.value;
+    } else if (c.name == "storage.segment.delta_slices") {
+      s.segment_delta_slices = c.value;
+    } else if (c.name == "storage.segment.delta_slice_rows") {
+      s.segment_delta_slice_rows = c.value;
     }
   }
   for (const GaugeSnapshot& g : metrics.gauges) {
-    if (g.name == "storage.mode.segmented") s.segmented = g.value != 0;
+    if (g.name == "storage.mode.segmented") {
+      s.segmented = g.value != 0;
+    } else if (g.name == "storage.segment.live_segments") {
+      s.segment_live_segments = static_cast<std::uint64_t>(g.value);
+    } else if (g.name == "storage.segment.tiers") {
+      s.segment_tiers = static_cast<std::uint64_t>(g.value);
+    } else if (g.name == "storage.segment.tail_rows") {
+      s.segment_tail_rows = static_cast<std::uint64_t>(g.value);
+    }
   }
 }
 
@@ -508,6 +522,20 @@ std::vector<std::string> ProfileReport::Lines() const {
                       std::to_string(storage.segment_retain_candidates)});
       rows.push_back({"segment.retain_hits",
                       std::to_string(storage.segment_retain_hits)});
+      rows.push_back({"segment.compactions",
+                      std::to_string(storage.segment_compactions)});
+      rows.push_back({"segment.delta_slices",
+                      std::to_string(storage.segment_delta_slices)});
+      rows.push_back({"segment.delta_slice_rows",
+                      std::to_string(storage.segment_delta_slice_rows)});
+      // Tier silhouette: how the LSM run list looked when the last run
+      // finished (runs x tiers, plus any rows still waiting in the tail).
+      rows.push_back({"segment.tier_shape",
+                      std::to_string(storage.segment_live_segments) +
+                          " runs / " +
+                          std::to_string(storage.segment_tiers) + " tiers / " +
+                          std::to_string(storage.segment_tail_rows) +
+                          " tail rows"});
     }
     for (std::string& line : Tabulate(rows, "lr")) {
       lines.push_back(std::move(line));
@@ -655,7 +683,14 @@ std::string ProfileReport::ToJson() const {
        << ", \"segment_retain_batches\": " << storage.segment_retain_batches
        << ", \"segment_retain_candidates\": "
        << storage.segment_retain_candidates
-       << ", \"segment_retain_hits\": " << storage.segment_retain_hits;
+       << ", \"segment_retain_hits\": " << storage.segment_retain_hits
+       << ", \"segment_compactions\": " << storage.segment_compactions
+       << ", \"segment_delta_slices\": " << storage.segment_delta_slices
+       << ", \"segment_delta_slice_rows\": "
+       << storage.segment_delta_slice_rows
+       << ", \"segment_live_segments\": " << storage.segment_live_segments
+       << ", \"segment_tiers\": " << storage.segment_tiers
+       << ", \"segment_tail_rows\": " << storage.segment_tail_rows;
   }
   os << "}, \"parallel\": {\"workers\": " << parallel.workers
      << ", \"regions\": " << parallel.regions

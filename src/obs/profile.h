@@ -108,6 +108,13 @@ struct StorageCost {
   std::uint64_t segment_retain_batches = 0; // batched head anti-joins
   std::uint64_t segment_retain_candidates = 0;  // tuples across batches
   std::uint64_t segment_retain_hits = 0;    // candidates already present
+  std::uint64_t segment_compactions = 0;    // tiered run merges (LSM ladder)
+  std::uint64_t segment_delta_slices = 0;   // zero-copy delta-view slices
+  std::uint64_t segment_delta_slice_rows = 0;  // rows served via slices
+  // Tier-shape gauges: the segment list's final silhouette (last run wins).
+  std::uint64_t segment_live_segments = 0;  // sealed runs across relations
+  std::uint64_t segment_tiers = 0;          // distinct geometric size classes
+  std::uint64_t segment_tail_rows = 0;      // unsealed sorted-tail rows
 
   bool any() const {
     return index_probes != 0 || index_probe_hits != 0 || index_builds != 0 ||

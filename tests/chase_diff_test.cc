@@ -648,6 +648,13 @@ TEST_P(ClosureSegmentedDiffProperty, SegmentedClosureExactlyEqual) {
     EXPECT_GT(seg->stats.segment.retain_batches, 0u)
         << "seed " << GetParam() << " threads " << threads;
     EXPECT_GT(seg->stats.segment.seals, 0u);
+    // A segmented run that only ever declined (fallbacks with zero served
+    // probes) would mean the tiered view silently never engaged.
+    EXPECT_FALSE(seg->stats.segment.fallbacks > 0 &&
+                 seg->stats.segment.probes == 0)
+        << "silent fallback: " << seg->stats.segment.fallbacks
+        << " fallbacks with zero served probes (seed " << GetParam()
+        << " threads " << threads << ")";
   }
 }
 

@@ -6,8 +6,10 @@
 // chase_diff_test.cc; this file pins the building blocks.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <optional>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "instance/instance.h"
@@ -226,16 +228,20 @@ TEST(RelationSegmentTest, SegmentProbePrefixServesAndDeclines) {
   rel.Insert(Row(1, 11));
   rel.Insert(Row(2, 20));
 
-  // Never sealed: declined for free (no fallback counted).
+  // Never sealed: declined, and the decline is booked as a fallback so a
+  // segmented session that silently never serves probes is visible.
   EXPECT_FALSE(rel.SegmentProbePrefix({Value::Int64(1)}).has_value());
-  EXPECT_EQ(rel.segment_stats().fallbacks, 0u);
+  EXPECT_EQ(rel.segment_stats().fallbacks, 1u);
 
   rel.PrepareSegments();
-  auto range = rel.SegmentProbePrefix({Value::Int64(1)});
-  ASSERT_TRUE(range.has_value());
-  EXPECT_EQ(range->end - range->begin, 2u);
+  auto ranges = rel.SegmentProbePrefix({Value::Int64(1)});
+  ASSERT_TRUE(ranges.has_value());
+  ASSERT_EQ(ranges->count, 1u);
+  EXPECT_EQ(ranges->rows, 2u);
+  const SegmentRanges::Entry& entry = ranges->entries[0];
+  EXPECT_EQ(entry.end - entry.begin, 2u);
   Tuple got;
-  range->segment->CopyRow(range->begin, &got);
+  entry.segment->CopyRow(entry.begin, &got);
   EXPECT_EQ(got, Row(1, 10));
 
   // An engaged-but-empty range still counts as a served probe.
@@ -306,12 +312,282 @@ TEST(InstanceSegmentTest, SetStorageModePropagatesToRelations) {
   EXPECT_GE(db.SegmentStatsTotal().seals, 1u);
 }
 
+// Tail seals accumulate sealed runs without touching the base run until a
+// tier fills up: a 1-row tail against a much larger base stays its own run.
+TEST(RelationSegmentTest, TailSealAddsRunWithoutMergingBase) {
+  RelationInstance rel(2);
+  rel.set_storage_mode(StorageMode::kSegmented);
+  SegmentPolicy policy;
+  policy.tier_ratio = 2;
+  policy.max_runs = 6;
+  rel.set_segment_policy(policy);
+  for (std::int64_t i = 0; i < 16; ++i) rel.Insert(Row(i, i));
+  rel.PrepareSegments();
+  ASSERT_EQ(rel.live_runs(), 1u);
+  SegmentPtr base = rel.sealed_segment();
+
+  // A small tail (7 rows; 7*2 < 16) seals into its own run: the base
+  // segment is untouched (same object) and no compaction fires.
+  for (std::int64_t i = 100; i < 107; ++i) rel.Insert(Row(i, i));
+  std::uint64_t compactions0 = rel.segment_stats().compactions;
+  rel.PrepareSegments();
+  EXPECT_EQ(rel.live_runs(), 2u);
+  EXPECT_EQ(rel.sealed_segment().get(), base.get());
+  EXPECT_EQ(rel.segment_stats().compactions, compactions0);
+  EXPECT_EQ(rel.sealed_rows(), 23u);
+  EXPECT_TRUE(rel.SegmentCurrent());
+
+  SegmentShape shape = rel.segment_shape();
+  EXPECT_EQ(shape.live_segments, 2u);
+  EXPECT_EQ(shape.tiers, 2u);  // 16 and 7 land in distinct size classes
+  EXPECT_EQ(shape.tail_rows, 0u);
+}
+
+// A tail big enough relative to the newest run triggers the size-tiered
+// merge (newest * ratio >= prev), and the merged run is sorted + deduped.
+TEST(RelationSegmentTest, CompactionMergesTiersInOrder) {
+  RelationInstance rel(2);
+  rel.set_storage_mode(StorageMode::kSegmented);
+  SegmentPolicy policy;
+  policy.tier_ratio = 2;
+  policy.max_runs = 6;
+  rel.set_segment_policy(policy);
+  for (std::int64_t i = 0; i < 16; ++i) rel.Insert(Row(i, 0));
+  rel.PrepareSegments();
+  for (std::int64_t i = 16; i < 23; ++i) rel.Insert(Row(i, 0));
+  rel.PrepareSegments();
+  ASSERT_EQ(rel.live_runs(), 2u);
+
+  // 6-row tail: 6*2 >= 7 merges it with the 7-row run (13 rows), and
+  // 13*2 >= 16 cascades into the base for a single 29-row run.
+  for (std::int64_t i = 30; i < 36; ++i) rel.Insert(Row(i, 0));
+  std::uint64_t compactions0 = rel.segment_stats().compactions;
+  rel.PrepareSegments();
+  EXPECT_EQ(rel.live_runs(), 1u);
+  EXPECT_EQ(rel.segment_stats().compactions, compactions0 + 2);
+  SegmentPtr merged = rel.sealed_segment();
+  ASSERT_NE(merged, nullptr);
+  ASSERT_EQ(merged->rows(), 29u);
+  // Sorted, no duplicates.
+  Tuple prev;
+  for (std::size_t r = 0; r < merged->rows(); ++r) {
+    Tuple got;
+    merged->CopyRow(r, &got);
+    if (r > 0) EXPECT_LT(prev, got) << "row " << r;
+    prev = got;
+  }
+}
+
+// Exceeding max_runs forces a merge even when no tier is oversized.
+TEST(RelationSegmentTest, MaxRunsCapTriggersCompaction) {
+  RelationInstance rel(2);
+  rel.set_storage_mode(StorageMode::kSegmented);
+  SegmentPolicy policy;
+  policy.tier_ratio = 2;
+  policy.max_runs = 2;
+  rel.set_segment_policy(policy);
+  for (std::int64_t i = 0; i < 16; ++i) rel.Insert(Row(i, 0));
+  rel.PrepareSegments();
+  for (std::int64_t i = 16; i < 23; ++i) rel.Insert(Row(i, 0));
+  rel.PrepareSegments();
+  ASSERT_EQ(rel.live_runs(), 2u);
+
+  // A 3-row tail is not oversized (3*2 < 7) but breaches max_runs=2.
+  for (std::int64_t i = 30; i < 33; ++i) rel.Insert(Row(i, 0));
+  rel.PrepareSegments();
+  EXPECT_LE(rel.live_runs(), 2u);
+  EXPECT_GE(rel.segment_stats().compactions, 1u);
+  EXPECT_EQ(rel.sealed_rows(), 26u);
+}
+
+// Prefix probes over three live runs come back in one globally sorted
+// stream, byte-identical to what a single merged segment would yield.
+TEST(RelationSegmentTest, KWayProbeSpansLiveRuns) {
+  RelationInstance rel(2);
+  rel.set_storage_mode(StorageMode::kSegmented);
+  SegmentPolicy policy;
+  policy.tier_ratio = 2;
+  policy.max_runs = 6;
+  rel.set_segment_policy(policy);
+  // Run sizes 16 / 7 / 3: each newest run is under half its predecessor,
+  // so no compaction fires and all three stay live.
+  rel.Insert(Row(1, 0));
+  rel.Insert(Row(1, 6));
+  for (std::int64_t i = 0; i < 14; ++i) rel.Insert(Row(50 + i, i));
+  rel.PrepareSegments();
+  rel.Insert(Row(1, 2));
+  rel.Insert(Row(1, 8));
+  for (std::int64_t i = 0; i < 5; ++i) rel.Insert(Row(80 + i, i));
+  rel.PrepareSegments();
+  rel.Insert(Row(1, 4));
+  rel.Insert(Row(90, 0));
+  rel.Insert(Row(91, 0));
+  rel.PrepareSegments();
+  ASSERT_EQ(rel.live_runs(), 3u);
+
+  auto ranges = rel.SegmentProbePrefix({Value::Int64(1)});
+  ASSERT_TRUE(ranges.has_value());
+  EXPECT_EQ(ranges->count, 3u);
+  EXPECT_EQ(ranges->rows, 5u);
+  std::vector<Tuple> got;
+  for (SegmentRangeCursor cursor(*ranges); !cursor.Done(); cursor.Advance()) {
+    got.push_back(cursor.Row());
+  }
+  std::vector<Tuple> expect = {Row(1, 0), Row(1, 2), Row(1, 4), Row(1, 6),
+                               Row(1, 8)};
+  EXPECT_EQ(got, expect);
+
+  // Exact membership is served across all runs too.
+  EXPECT_TRUE(rel.Contains(Row(1, 4)));
+  EXPECT_TRUE(rel.Contains(Row(91, 0)));
+  EXPECT_FALSE(rel.Contains(Row(1, 5)));
+}
+
+std::vector<Tuple> Collect(const DeltaView& view) {
+  std::vector<Tuple> rows;
+  view.ForEachRow(0, view.size(), [&](const Tuple& t) {
+    rows.push_back(t);
+    return true;
+  });
+  return rows;
+}
+
+// Insert-only epochs serve the delta as zero-copy slices over runs sealed
+// after the watermark; the view matches the log-backed delta as a set.
+TEST(RelationSegmentTest, DeltaViewSlicesMatchLogBackedDelta) {
+  RelationInstance rel(2);
+  rel.set_storage_mode(StorageMode::kSegmented);
+  SegmentPolicy policy;
+  policy.tier_ratio = 2;
+  policy.max_runs = 6;
+  rel.set_segment_policy(policy);
+  for (std::int64_t i = 0; i < 16; ++i) rel.Insert(Row(i, 0));
+  rel.PrepareSegments();
+  const std::size_t mark = rel.Watermark();
+
+  for (std::int64_t i = 100; i < 105; ++i) rel.Insert(Row(i, 0));
+  rel.PrepareSegments();          // seals a 5-row run past the watermark
+  rel.Insert(Row(200, 0));        // unsealed tail suffix
+
+  DeltaView view = rel.DeltaViewSince(mark);
+  EXPECT_TRUE(view.sliced);
+  EXPECT_EQ(view.slice_rows, 5u);
+  EXPECT_EQ(view.size(), 6u);
+
+  std::vector<const Tuple*> log_delta = rel.DeltaSince(mark);
+  ASSERT_EQ(log_delta.size(), view.size());
+  std::set<Tuple> expect;
+  for (const Tuple* t : log_delta) expect.insert(*t);
+  std::vector<Tuple> got = Collect(view);
+  EXPECT_EQ(std::set<Tuple>(got.begin(), got.end()), expect);
+  EXPECT_GE(rel.segment_stats().delta_slices, 1u);
+  EXPECT_GE(rel.segment_stats().delta_slice_rows, 5u);
+
+  // Windowed enumeration walks the same rows as a full pass.
+  std::vector<Tuple> windowed;
+  for (std::size_t i = 0; i < view.size(); i += 2) {
+    view.ForEachRow(i, std::min(i + 2, view.size()), [&](const Tuple& t) {
+      windowed.push_back(t);
+      return true;
+    });
+  }
+  EXPECT_EQ(windowed, got);
+}
+
+// An erase-containing epoch cannot trust run/log tiling: the view falls
+// back to plain log refs and still matches DeltaSince exactly.
+TEST(RelationSegmentTest, DeltaViewFallsBackAfterErase) {
+  RelationInstance rel(2);
+  rel.set_storage_mode(StorageMode::kSegmented);
+  for (std::int64_t i = 0; i < 8; ++i) rel.Insert(Row(i, 0));
+  rel.PrepareSegments();
+  const std::size_t mark = rel.Watermark();
+
+  rel.Insert(Row(100, 0));
+  rel.Erase(Row(3, 0));
+  rel.Insert(Row(101, 0));
+
+  DeltaView view = rel.DeltaViewSince(mark);
+  EXPECT_FALSE(view.sliced);
+  EXPECT_TRUE(view.slices.empty());
+  std::vector<const Tuple*> log_delta = rel.DeltaSince(mark);
+  ASSERT_EQ(view.refs.size(), log_delta.size());
+  for (std::size_t i = 0; i < log_delta.size(); ++i) {
+    EXPECT_EQ(view.refs[i], log_delta[i]);
+  }
+}
+
 TEST(StorageModeTest, ResolveAndNames) {
   EXPECT_EQ(ResolveStorageMode(StorageMode::kIndexed), StorageMode::kIndexed);
   EXPECT_EQ(ResolveStorageMode(StorageMode::kSegmented),
             StorageMode::kSegmented);
   EXPECT_STREQ(StorageModeName(StorageMode::kIndexed), "indexed");
   EXPECT_STREQ(StorageModeName(StorageMode::kSegmented), "segmented");
+}
+
+TEST(StorageModeTest, DefaultResolvesToSegmented) {
+  const char* saved = std::getenv("MM2_STORAGE");
+  std::string saved_value = saved != nullptr ? saved : "";
+  ::unsetenv("MM2_STORAGE");
+  EXPECT_EQ(ResolveStorageMode(StorageMode::kDefault),
+            StorageMode::kSegmented);
+  ::setenv("MM2_STORAGE", "indexed", 1);
+  EXPECT_EQ(ResolveStorageMode(StorageMode::kDefault), StorageMode::kIndexed);
+  ::setenv("MM2_STORAGE", "segmented", 1);
+  EXPECT_EQ(ResolveStorageMode(StorageMode::kDefault),
+            StorageMode::kSegmented);
+  if (saved != nullptr) {
+    ::setenv("MM2_STORAGE", saved_value.c_str(), 1);
+  } else {
+    ::unsetenv("MM2_STORAGE");
+  }
+}
+
+TEST(SegmentPolicyTest, ResolveArgsEnvAndClamps) {
+  const char* saved_ratio = std::getenv("MM2_SEGMENT_TIER_RATIO");
+  const char* saved_runs = std::getenv("MM2_SEGMENT_MAX_RUNS");
+  std::string ratio_value = saved_ratio != nullptr ? saved_ratio : "";
+  std::string runs_value = saved_runs != nullptr ? saved_runs : "";
+  ::unsetenv("MM2_SEGMENT_TIER_RATIO");
+  ::unsetenv("MM2_SEGMENT_MAX_RUNS");
+
+  // Defaults with nothing set.
+  SegmentPolicy policy = ResolveSegmentPolicy(0, 0);
+  EXPECT_EQ(policy.tier_ratio, 4u);
+  EXPECT_EQ(policy.max_runs, 6u);
+
+  // Explicit arguments win.
+  policy = ResolveSegmentPolicy(8, 3);
+  EXPECT_EQ(policy.tier_ratio, 8u);
+  EXPECT_EQ(policy.max_runs, 3u);
+
+  // Environment fills whatever the arguments left at zero.
+  ::setenv("MM2_SEGMENT_TIER_RATIO", "16", 1);
+  ::setenv("MM2_SEGMENT_MAX_RUNS", "2", 1);
+  policy = ResolveSegmentPolicy(0, 0);
+  EXPECT_EQ(policy.tier_ratio, 16u);
+  EXPECT_EQ(policy.max_runs, 2u);
+  policy = ResolveSegmentPolicy(5, 0);
+  EXPECT_EQ(policy.tier_ratio, 5u);
+  EXPECT_EQ(policy.max_runs, 2u);
+
+  // Clamps: ratio >= 2, max_runs within [1, kMaxRanges].
+  ::setenv("MM2_SEGMENT_TIER_RATIO", "1", 1);
+  ::setenv("MM2_SEGMENT_MAX_RUNS", "99", 1);
+  policy = ResolveSegmentPolicy(0, 0);
+  EXPECT_GE(policy.tier_ratio, 2u);
+  EXPECT_LE(policy.max_runs, SegmentRanges::kMaxRanges);
+
+  if (saved_ratio != nullptr) {
+    ::setenv("MM2_SEGMENT_TIER_RATIO", ratio_value.c_str(), 1);
+  } else {
+    ::unsetenv("MM2_SEGMENT_TIER_RATIO");
+  }
+  if (saved_runs != nullptr) {
+    ::setenv("MM2_SEGMENT_MAX_RUNS", runs_value.c_str(), 1);
+  } else {
+    ::unsetenv("MM2_SEGMENT_MAX_RUNS");
+  }
 }
 
 }  // namespace
