@@ -41,7 +41,12 @@ if [[ "${1:-}" == "--tsan" ]]; then
   # const PrepareSegments reseal under index_mu_, segment probes racing
   # the chase's parallel match fan-out, and the batched retain pass whose
   # candidate chunks are evaluated across the worker pool.
-  TEST_FILTER="ChaseDiffProperty|ClosureDiffProperty|ChaseSerializeDiffProperty|RelationInstance|InstanceTest|InternPool|ValueIntern|ThreadPool|ResolveThreadCount|ChaseParallelDiffProperty|ClosureParallelDiffProperty|ChaseStratifiedDiffProperty|ClosureStratifiedDiffProperty|AnalysisTest|WatchdogForesight|ParallelHashJoin|Parallelism|EventLog|CancelToken|Watchdog|SegmentInserterTest|SegmentMergeTest|SegmentProbeTest|RelationSegmentTest|InstanceSegmentTest|ChaseSegmentedDiffProperty|ClosureSegmentedDiffProperty"
+  # EqualsUpToNulls/TombstoneDeltaView/MaintainDRed/IncrementalSweep cover
+  # the incremental-exchange layer: tombstone-aware delta views slicing
+  # runs the (const, mutex-guarded) reseal path also mutates, and session
+  # maintenance driving Erase/Insert churn against the lazily built
+  # log-position map under the same index_mu_.
+  TEST_FILTER="ChaseDiffProperty|ClosureDiffProperty|ChaseSerializeDiffProperty|RelationInstance|InstanceTest|InternPool|ValueIntern|ThreadPool|ResolveThreadCount|ChaseParallelDiffProperty|ClosureParallelDiffProperty|ChaseStratifiedDiffProperty|ClosureStratifiedDiffProperty|AnalysisTest|WatchdogForesight|ParallelHashJoin|Parallelism|EventLog|CancelToken|Watchdog|SegmentInserterTest|SegmentMergeTest|SegmentProbeTest|RelationSegmentTest|InstanceSegmentTest|ChaseSegmentedDiffProperty|ClosureSegmentedDiffProperty|EqualsUpToNulls|TombstoneDeltaView|MaintainDRed|IncrementalSweep"
 fi
 
 cmake -B "$BUILD_DIR" -S . \
@@ -119,6 +124,55 @@ if [[ -z "$TEST_FILTER" && -x "$BUILD_DIR/examples/mm2_shell" ]]; then
     exit 1
   fi
   echo "segmented-storage smoke gate passed (demo output bit-identical under indexed, segmented, and the env-unset default)"
+fi
+
+# Incremental-exchange smoke gate (default path only): drive an exchange,
+# queue a delta (`apply`), `maintain` it, and re-chase the post-delta
+# source from scratch; the maintained target must be equal up to null
+# renaming (`eqcheck ... equal`) and the whole session byte-identical
+# under MM2_STORAGE=indexed, =segmented, and the env-unset default — the
+# incremental path must not leak storage-mode differences into results.
+if [[ -z "$TEST_FILTER" && -x "$BUILD_DIR/examples/mm2_shell" ]]; then
+  INC_SESSION="$(mktemp)"
+  INC_IDX_OUT="$(mktemp)"
+  INC_SEG_OUT="$(mktemp)"
+  INC_DEF_OUT="$(mktemp)"
+  trap 'rm -f "${LOG_TMP:-}" "$INC_SESSION" "$INC_IDX_OUT" "$INC_SEG_OUT" "$INC_DEF_OUT"' EXIT
+  {
+    echo "load-schema examples/data/school.schema"
+    echo "load-schema examples/data/school_v2.schema"
+    echo "load-instance D examples/data/school.instance"
+    echo "load-instance Dafter examples/data/school_delta.instance"
+    echo "load-mapping examples/data/split.mapping"
+    echo "exchange Dprime mapSSp D"
+    echo 'apply +Names(7, "Zed")'
+    echo 'apply +Addresses(7, "9 Elm", "US")'
+    echo 'apply -Names(2, "Bob")'
+    echo "maintain mapSSp"
+    echo "exchange Rechase mapSSp Dafter"
+    echo "eqcheck Dprime Rechase"
+    echo "show instance Dprime"
+    echo "quit"
+  } > "$INC_SESSION"
+  MM2_STORAGE=indexed "$BUILD_DIR/examples/mm2_shell" \
+    < "$INC_SESSION" > "$INC_IDX_OUT" 2> /dev/null
+  MM2_STORAGE=segmented "$BUILD_DIR/examples/mm2_shell" \
+    < "$INC_SESSION" > "$INC_SEG_OUT" 2> /dev/null
+  env -u MM2_STORAGE "$BUILD_DIR/examples/mm2_shell" \
+    < "$INC_SESSION" > "$INC_DEF_OUT" 2> /dev/null
+  if ! grep -q "eqcheck Dprime Rechase: equal" "$INC_IDX_OUT"; then
+    echo "error: maintained target diverged from the from-scratch re-chase" >&2
+    exit 1
+  fi
+  if ! diff -u "$INC_IDX_OUT" "$INC_SEG_OUT"; then
+    echo "error: incremental session output diverged under MM2_STORAGE=segmented" >&2
+    exit 1
+  fi
+  if ! diff -u "$INC_SEG_OUT" "$INC_DEF_OUT"; then
+    echo "error: incremental session output diverged under the env-unset default" >&2
+    exit 1
+  fi
+  echo "incremental smoke gate passed (maintain ≡ re-chase, byte-identical across storage modes)"
 fi
 
 # DOT-validity gate (default path only): `explain mapping --dot` over the

@@ -602,10 +602,24 @@ class ChaseRun {
   ChaseRun(const Instance* source, Instance target,
            const ChaseOptions& options)
       : source_(source), target_(std::move(target)), options_(options) {
-    std::int64_t source_max =
-        source_ == nullptr ? -1 : source_->MaxNullLabel();
-    next_label_ = std::max(options.first_null_label,
-                           std::max(source_max, target_.MaxNullLabel()) + 1);
+    if (options.trust_first_null_label) {
+      next_label_ = options.first_null_label;
+    } else {
+      std::int64_t source_max =
+          source_ == nullptr ? -1 : source_->MaxNullLabel();
+      next_label_ = std::max(options.first_null_label,
+                             std::max(source_max, target_.MaxNullLabel()) + 1);
+    }
+  }
+
+  // Arms incremental-maintenance mode: restore/export semi-naive state
+  // through `session`, seed the provenance map with the previous call's
+  // derivations, and book every target-side insert/erase into `net_change`.
+  void AttachSession(ChaseSessionState* session, Provenance provenance,
+                     FactDelta* net_change) {
+    session_ = session;
+    provenance_ = std::move(provenance);
+    net_change_ = net_change;
   }
 
   const Instance& read_db() const {
@@ -679,14 +693,18 @@ class ChaseRun {
                      instance::StorageMode::kSegmented;
     stats_.segmented = segmented_;
     instance::SegmentOpStats seg0;
+    // A resumed session pass is delta-sized: relations whose segments were
+    // dirtied by maintenance erases defer their O(n) reseal (probes decline
+    // to the index path) instead of paying a full rebuild per maintain.
+    const bool lazy_seal = session_ != nullptr && session_->initialized;
     if (segmented_) {
       seg0 = target_.SegmentStatsTotal();
       if (source_ != nullptr) seg0 += source_->SegmentStatsTotal();
       target_.SetSegmentPolicy(instance::ResolveSegmentPolicy(
           options_.segment_tier_ratio, options_.segment_max_runs));
       target_.SetStorageMode(instance::StorageMode::kSegmented);
-      target_.PrepareAllSegments();
-      if (source_ != nullptr) source_->PrepareAllSegments();
+      target_.PrepareAllSegments(lazy_seal);
+      if (source_ != nullptr) source_->PrepareAllSegments(lazy_seal);
     }
     span.SetAttribute("storage_mode", segmented_ ? "segmented" : "indexed");
     // One RuleStats slot per constraint, in iteration order: SO-clauses,
@@ -694,8 +712,21 @@ class ChaseRun {
     // never fire still show up (with zero cost) in the attribution.
     stats_.rules.clear();
     stats_.rules.resize(clauses.size() + fo_tgds.size() + egds.size());
-    watermarks_.assign(stats_.rules.size(), {});
-    matched_once_.assign(stats_.rules.size(), false);
+    // Resumed runs restore the semi-naive frontier captured by the previous
+    // call instead of resetting it: rules re-match only above their old
+    // watermarks, and Skolem terms keep resolving to the nulls they already
+    // invented. A rule-count mismatch means the session was captured for a
+    // different rule set — start fresh rather than misattribute watermarks.
+    if (session_ != nullptr && session_->initialized &&
+        session_->watermarks.size() == stats_.rules.size()) {
+      watermarks_ = std::move(session_->watermarks);
+      matched_once_ = session_->matched_once;
+      skolem_ = std::move(session_->skolem);
+      next_label_ = std::max(next_label_, session_->next_label);
+    } else {
+      watermarks_.assign(stats_.rules.size(), {});
+      matched_once_.assign(stats_.rules.size(), false);
+    }
     {
       std::size_t slot = 0;
       for (std::size_t i = 0; i < clauses.size(); ++i) {
@@ -809,8 +840,9 @@ class ChaseRun {
       if (analysis_ != nullptr) RetireStrata();
       // Re-seal at the round boundary: the tuples this round inserted merge
       // into each relation's sealed segment, so next round's prefix probes
-      // and retain batches run against current columns again.
-      if (segmented_) target_.PrepareAllSegments();
+      // and retain batches run against current columns again. Resumed
+      // passes keep deferring erase-dirtied rebuilds here too.
+      if (segmented_) target_.PrepareAllSegments(lazy_seal);
       round_span.SetAttribute("tgd_firings",
                               stats_.tgd_firings - round_firings0);
       round_span.SetAttribute("nulls_created",
@@ -898,6 +930,15 @@ class ChaseRun {
       }
     }
     if (breach_.has_value()) FinishBreach(events, &span);
+    // Re-export the resume state. A breached run stopped mid-fixpoint, so
+    // its frontier is not a safe resume point — invalidate instead.
+    if (session_ != nullptr) {
+      session_->watermarks = std::move(watermarks_);
+      session_->matched_once = matched_once_;
+      session_->skolem = std::move(skolem_);
+      session_->next_label = next_label_;
+      session_->initialized = !breach_.has_value();
+    }
     instance::IndexStats storage1 = target_.IndexStatsTotal();
     if (source_ != nullptr) storage1 += source_->IndexStatsTotal();
     stats_.index_probes = storage1.probes - storage0.probes;
@@ -1176,6 +1217,20 @@ class ChaseRun {
     return witness;
   }
 
+  // Books `witness` as a support of `fact` into the provenance map and —
+  // for session chases — the source->target dependents index. Sessions
+  // call this on every supporting trigger, fired or probe-satisfied, so
+  // the recorded derivations are complete: deletion maintenance can treat
+  // a fact whose witnesses all died as genuinely underivable.
+  void RecordWitness(const Fact& fact, Witness witness) {
+    if (session_ != nullptr) {
+      for (const Fact& s : witness) {
+        session_->dependents[s].push_back(fact);
+      }
+    }
+    provenance_.Record(fact, std::move(witness));
+  }
+
   // Consumes `facts`: tuples are moved into the target unless provenance
   // tracking still needs the fact afterwards.
   Result<bool> InsertFacts(std::vector<Fact>& facts,
@@ -1195,8 +1250,12 @@ class ChaseRun {
                           ? rel->Insert(f.tuple)
                           : rel->Insert(std::move(f.tuple));
       inserted_any |= inserted;
-      if (options_.track_provenance && inserted) {
-        provenance_.Record(f, WitnessOf(body, assignment));
+      // Sessions also record the witness for an already-present fact (a
+      // multi-atom head can be partially satisfied), keeping the support
+      // index complete.
+      if (options_.track_provenance && (inserted || session_ != nullptr)) {
+        RecordWitness(f, WitnessOf(body, assignment));
+        if (inserted && net_change_ != nullptr) ++(*net_change_)[f];
       }
     }
     if (inserted_any) ++stats_.tgd_firings;
@@ -1316,7 +1375,10 @@ class ChaseRun {
           break;
         }
       }
-      if (all) continue;
+      // Sessions fall through even when every head fact is present:
+      // InsertFacts degenerates to duplicate Inserts but still books the
+      // witnesses, keeping the support index complete.
+      if (all && session_ == nullptr) continue;
       MM2_ASSIGN_OR_RETURN(bool inserted,
                            InsertFacts(facts[i], body, assignments[i]));
       changed |= inserted;
@@ -1358,6 +1420,10 @@ class ChaseRun {
           filtered_out = true;
           break;
         }
+        if (session_ != nullptr) {
+          session_->unification_witnesses.push_back(
+              WitnessOf(clause.body, assignment));
+        }
         MM2_RETURN_IF_ERROR(UnifyValues(*lv, *rv));
         changed = true;
       }
@@ -1365,7 +1431,15 @@ class ChaseRun {
       if (options_.restricted) {
         std::optional<std::vector<Fact>> existing =
             EvalHead(clause.head, assignment, /*invent=*/false);
-        if (existing.has_value() && AllPresent(*existing)) continue;
+        if (existing.has_value() && AllPresent(*existing)) {
+          // Book the satisfied trigger for session chases (see FireTgd).
+          if (session_ != nullptr && options_.track_provenance) {
+            for (const Fact& f : *existing) {
+              RecordWitness(f, WitnessOf(clause.body, assignment));
+            }
+          }
+          continue;
+        }
       }
       std::optional<std::vector<Fact>> facts =
           EvalHead(clause.head, assignment, /*invent=*/true);
@@ -1407,7 +1481,21 @@ class ChaseRun {
         } else {
           extension = MatchAtomsIndexed(tgd.head, target_, assignment, 1);
         }
-        if (!extension.empty()) continue;
+        if (!extension.empty()) {
+          // Session chases book the satisfied trigger too: the probe's
+          // extension binds the head existentials to the satisfying
+          // values, naming the exact facts this trigger supports.
+          if (session_ != nullptr && options_.track_provenance) {
+            std::optional<std::vector<Fact>> satisfied =
+                EvalHead(tgd.head, extension.front(), /*invent=*/false);
+            if (satisfied.has_value()) {
+              for (const Fact& f : *satisfied) {
+                RecordWitness(f, WitnessOf(tgd.body, assignment));
+              }
+            }
+          }
+          continue;
+        }
       }
       for (const std::string& e : existentials) {
         assignment[e] = FreshNull();
@@ -1438,6 +1526,10 @@ class ChaseRun {
                                          egd.ToString());
         }
         if (li->second == ri->second) continue;
+        if (session_ != nullptr) {
+          session_->unification_witnesses.push_back(
+              WitnessOf(egd.body, assignment));
+        }
         MM2_RETURN_IF_ERROR(UnifyValues(li->second, ri->second));
         fired = true;
         changed = true;
@@ -1490,8 +1582,18 @@ class ChaseRun {
           rewritten.push_back(std::move(nt));
         }
       }
-      for (const Tuple& t : removed) rel.Erase(t);
-      for (Tuple& t : rewritten) rel.Insert(std::move(t));
+      for (const Tuple& t : removed) {
+        rel.Erase(t);
+        if (net_change_ != nullptr) --(*net_change_)[Fact{name, t}];
+      }
+      for (Tuple& t : rewritten) {
+        if (net_change_ != nullptr) {
+          Fact fact{name, t};
+          if (rel.Insert(std::move(t))) ++(*net_change_)[fact];
+        } else {
+          rel.Insert(std::move(t));
+        }
+      }
     }
     // Rewrite Skolem table images (and arguments).
     std::map<std::pair<std::string, std::vector<Value>>, Value> new_skolem;
@@ -1512,6 +1614,27 @@ class ChaseRun {
     }
     skolem_ = std::move(new_skolem);
     if (options_.track_provenance) provenance_.RewriteValue(from, to);
+    // Keep the unification journal in the merged vocabulary, so deletion
+    // maintenance compares its facts against current target/source facts.
+    if (session_ != nullptr) {
+      for (Witness& witness : session_->unification_witnesses) {
+        for (Fact& fact : witness) {
+          for (Value& v : fact.tuple) {
+            if (v == from) v = to;
+          }
+        }
+      }
+      // The dependents index names target facts on its value side; keep
+      // them in the merged vocabulary so deletion maintenance finds their
+      // provenance entries. (Keys are source facts — never rewritten.)
+      for (auto& [source_fact, facts] : session_->dependents) {
+        for (Fact& fact : facts) {
+          for (Value& v : fact.tuple) {
+            if (v == from) v = to;
+          }
+        }
+      }
+    }
     return Status::OK();
   }
 
@@ -1604,6 +1727,11 @@ class ChaseRun {
   std::vector<char> stratum_active_;   // eligible to match this round
   std::vector<char> stratum_ran_;      // matched during the current round
   std::vector<char> stratum_changed_;  // changed state this round
+  // Incremental-maintenance hooks, both null outside ResumeChase: the
+  // caller-owned resume state (restored at the top of Run, re-exported at
+  // the bottom) and the run's net target-side fact delta.
+  ChaseSessionState* session_ = nullptr;
+  FactDelta* net_change_ = nullptr;
   // Watchdog state. `watch_token_` is non-null only while armed (the
   // caller's external token, or own_token_ when a budget is set); the match
   // layer receives it as const and only ever polls it.
@@ -1675,6 +1803,8 @@ void MirrorStats(obs::Context* obs, const ChaseStats& stats,
     m.GetCounter("storage.segment.delta_slices").Increment(seg.delta_slices);
     m.GetCounter("storage.segment.delta_slice_rows")
         .Increment(seg.delta_slice_rows);
+    m.GetCounter("storage.segment.deferred_rebuilds")
+        .Increment(seg.deferred_rebuilds);
     const instance::SegmentShape& shape = stats.segment_shape;
     m.GetGauge("storage.segment.live_segments")
         .Set(static_cast<std::int64_t>(shape.live_segments));
@@ -1834,6 +1964,62 @@ Result<ChaseResult> RunChase(const logic::Mapping& mapping,
     setup.armed = ApplyForesight(&setup.options, source.TotalTuples());
   }
   ChaseRun run(&source, Instance::EmptyFor(mapping.target()), setup.options);
+  std::vector<logic::SoTgdClause> clauses;
+  std::vector<logic::Tgd> fo_tgds;
+  if (mapping.is_second_order()) {
+    clauses = mapping.so_tgd().clauses;
+  } else {
+    fo_tgds = mapping.tgds();
+    if (options.require_weak_acyclicity) {
+      logic::AcyclicityReport report = logic::CheckWeakAcyclicity(fo_tgds);
+      if (!report.weakly_acyclic) {
+        return Status::Unsupported("chase may not terminate: " +
+                                   report.ToString());
+      }
+    }
+  }
+  MM2_RETURN_IF_ERROR(run.Run(clauses, fo_tgds, mapping.target_egds()));
+
+  ChaseResult result;
+  result.stats = run.stats();
+  result.provenance = std::move(run.provenance());
+  result.target = std::move(run.target());
+  result.breach = std::move(run.breach());
+  StampForesight(setup, &result.stats);
+  MirrorStats(options.obs, result.stats, result.provenance.size(),
+              result.breach.has_value());
+  return result;
+}
+
+Result<ChaseResult> ResumeChase(const logic::Mapping& mapping,
+                                const instance::Instance& source,
+                                instance::Instance target,
+                                Provenance provenance,
+                                ChaseSessionState* state,
+                                FactDelta* net_change,
+                                const ChaseOptions& options) {
+  AnalysisSetup setup{options, std::nullopt, 0, false};
+  // Provenance is the DRed substrate — a session without it cannot answer
+  // deletions, so maintenance always records it.
+  setup.options.track_provenance = true;
+  // A resumed session already knows the next free null label (kept current
+  // across calls, including labels smuggled in via source deltas), so the
+  // O(|instance|) max-label sweep is skipped.
+  if (state != nullptr && state->initialized) {
+    setup.options.first_null_label =
+        std::max(setup.options.first_null_label, state->next_label);
+    setup.options.trust_first_null_label = true;
+  }
+  if (setup.options.stratified && setup.options.analysis == nullptr) {
+    setup.owned.emplace(analysis::AnalyzeMapping(mapping));
+    setup.options.analysis = &*setup.owned;
+  }
+  if (setup.options.analysis != nullptr) {
+    setup.domain = ActiveDomainSize(source);
+    setup.armed = ApplyForesight(&setup.options, source.TotalTuples());
+  }
+  ChaseRun run(&source, std::move(target), setup.options);
+  run.AttachSession(state, std::move(provenance), net_change);
   std::vector<logic::SoTgdClause> clauses;
   std::vector<logic::Tgd> fo_tgds;
   if (mapping.is_second_order()) {

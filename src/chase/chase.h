@@ -75,6 +75,12 @@ class Provenance {
   void RewriteValue(const instance::Value& from, const instance::Value& to);
   std::size_t size() const { return map_.size(); }
 
+  // Full derivation map, fact -> recorded witnesses. The mutable overload
+  // exists for incremental maintenance (DRed prunes dead witnesses and
+  // drops unsupported facts in place); everything else should read.
+  const std::map<Fact, std::vector<Witness>>& entries() const { return map_; }
+  std::map<Fact, std::vector<Witness>>& mutable_entries() { return map_; }
+
  private:
   std::map<Fact, std::vector<Witness>> map_;
 };
@@ -88,6 +94,11 @@ struct ChaseOptions {
   bool restricted = true;
   // First label to use for invented nulls.
   std::int64_t first_null_label = 0;
+  // Trust first_null_label outright instead of scanning source and target
+  // for the max existing label (an O(|instance|) sweep). Set by resumed
+  // sessions, which carry the counter across calls — the sweep would
+  // otherwise dominate a delta-sized maintenance pass.
+  bool trust_first_null_label = false;
   // Record why-provenance for every derived fact.
   bool track_provenance = false;
   // Refuse (Unsupported) first-order rule sets that are not weakly
@@ -288,6 +299,62 @@ struct ChaseResult {
 Result<ChaseResult> RunChase(const logic::Mapping& mapping,
                              const instance::Instance& source,
                              const ChaseOptions& options = {});
+
+// ---- Incremental maintenance ---------------------------------------------
+// Semi-naive chase state that survives a finished run, so a later call can
+// resume matching where the last one stopped instead of re-deriving the
+// whole target. Captured/restored by ResumeChase; owned by the caller
+// (runtime::ExchangeSession) between calls.
+struct ChaseSessionState {
+  bool initialized = false;
+  // Indexed like ChaseStats::rules (SO-clauses, then tgds, then egds): each
+  // rule's per-relation insert-log watermark as of its last committed pass,
+  // and whether its first full pass has completed.
+  std::vector<std::map<std::string, std::size_t, std::less<>>> watermarks;
+  std::vector<bool> matched_once;
+  // Complete support index: source fact -> target facts holding a recorded
+  // witness containing it. Session chases book a witness on EVERY
+  // supporting trigger — fired or probe-satisfied — so after deletion
+  // maintenance prunes dead witnesses, a target fact with zero remaining
+  // witnesses is genuinely underivable and no re-derive chase pass is
+  // needed. Egd unification rewrites the target-side fact names in place.
+  std::map<Fact, std::vector<Fact>> dependents;
+  // Skolem interpretation table: (function, args) -> labeled null. Kept so
+  // a resumed SO chase reuses the same null for the same Skolem term.
+  std::map<std::pair<std::string, std::vector<instance::Value>>,
+           instance::Value>
+      skolem;
+  // Next fresh labeled-null label; resumed runs continue the sequence.
+  std::int64_t next_label = 0;
+  // Body facts that justified each null unification (egd firings and
+  // SO-premise equalities). A deletion touching any of these could demand
+  // un-merging nulls, which DRed cannot do cheaply — MaintainExchange
+  // detects the overlap and falls back to a full re-chase.
+  std::vector<Witness> unification_witnesses;
+};
+
+// Net target-side change of a resumed run: fact -> (+inserts - erases).
+// Egd rewrite churn (erase + reinsert of untouched facts) cancels out, so
+// after a run, entries > 0 are genuine target inserts and entries < 0
+// genuine target deletes.
+using FactDelta = std::map<Fact, int>;
+
+// Runs the data-exchange chase like RunChase, but resuming from (and
+// re-exporting into) `state`: with an uninitialized state this is a full
+// first chase that additionally captures the resume state; with an
+// initialized one only assignments binding at least one tuple above the
+// per-rule watermarks are re-matched. `target` and `provenance` carry the
+// previous call's result back in. `net_change`, when non-null, accumulates
+// the run's target-side fact delta. Forces provenance tracking (the DRed
+// substrate); a breach leaves `state` uninitialized since the partial
+// fixpoint is not resumable.
+Result<ChaseResult> ResumeChase(const logic::Mapping& mapping,
+                                const instance::Instance& source,
+                                instance::Instance target,
+                                Provenance provenance,
+                                ChaseSessionState* state,
+                                FactDelta* net_change,
+                                const ChaseOptions& options = {});
 
 // Chases a set of (same-schema) tgds/egds over `database` in place-style:
 // used for closing an instance under its own constraints.

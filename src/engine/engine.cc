@@ -275,23 +275,30 @@ Status Engine::Exchange(const std::string& out_instance,
     options.tuple_budget = budget_tuples_;
     options.rss_budget_kb = budget_rss_kb_;
     options.obs = &observability();
-    MM2_ASSIGN_OR_RETURN(runtime::ExchangeResult result,
-                         runtime::Exchange(m, source, options));
-    op.SetAttribute("target_tuples", result.target.TotalTuples());
+    // Exchanges run through an incremental session so a later `maintain`
+    // can propagate source deltas without re-chasing; a one-shot exchange
+    // pays only the session bookkeeping (provenance was always on here).
+    MM2_ASSIGN_OR_RETURN(
+        runtime::ExchangeSession session,
+        runtime::BeginExchangeSession(m, std::move(source), options));
+    op.SetAttribute("target_tuples", session.target.TotalTuples());
     last_exchange_ = chase::ChaseResult{};
-    last_exchange_.stats = result.stats;
-    last_exchange_.provenance = std::move(result.provenance);
-    last_exchange_.breach = result.breach;
+    last_exchange_.stats = session.last_stats;
+    last_exchange_.provenance = session.provenance;
+    last_exchange_.breach = session.breach;
     has_last_exchange_ = true;
     // A budget stop still registers the partial instance — the telemetry
     // and the data it did derive are the whole point of a graceful stop —
     // but the command itself reports the breach.
-    MM2_RETURN_IF_ERROR(
-        repo_.PutInstance(out_instance, std::move(result.target)));
-    if (result.breach.has_value()) {
+    MM2_RETURN_IF_ERROR(repo_.PutInstance(out_instance, session.target));
+    const bool breached = session.breach.has_value();
+    const std::string diagnostic =
+        breached ? session.breach->diagnostic : std::string();
+    session_out_[mapping] = out_instance;
+    sessions_.insert_or_assign(mapping, std::move(session));
+    if (breached) {
       return Status::ResourceExhausted("exchange into '" + out_instance +
-                                       "' stopped early: " +
-                                       result.breach->diagnostic);
+                                       "' stopped early: " + diagnostic);
     }
     return Status::OK();
   }());
@@ -480,6 +487,76 @@ Result<chase::Fact> ParseFactLiteral(const std::string& text) {
 }
 
 }  // namespace
+
+Status Engine::ApplyDeltaFact(const std::string& literal) {
+  if (literal.size() < 2 || (literal[0] != '+' && literal[0] != '-')) {
+    return Status::InvalidArgument(
+        "apply wants +Rel(...) or -Rel(...), got '" + literal + "'");
+  }
+  MM2_ASSIGN_OR_RETURN(chase::Fact fact, ParseFactLiteral(literal.substr(1)));
+  instance::Instance& side =
+      literal[0] == '+' ? pending_delta_.inserts : pending_delta_.deletes;
+  if (!side.HasRelation(fact.relation)) {
+    side.DeclareRelation(fact.relation, fact.tuple.size());
+  }
+  // Checked insert so an arity clash inside the queue fails here, not
+  // deep inside the maintain.
+  return side.Insert(fact.relation, std::move(fact.tuple));
+}
+
+Result<runtime::Delta> Engine::Maintain(const std::string& mapping) {
+  obs::OpSpan op(&observability(), "maintain");
+  auto it = sessions_.find(mapping);
+  if (it == sessions_.end()) {
+    return Status::NotFound("no incremental session for mapping '" + mapping +
+                            "' (run `exchange` with it first)");
+  }
+  runtime::ExchangeSession& session = it->second;
+  // The session replays the engine's current knobs, not the ones in force
+  // when the exchange opened it.
+  session.options.threads = threads_;
+  session.options.storage = storage_;
+  session.options.wall_budget_us = budget_wall_us_;
+  session.options.tuple_budget = budget_tuples_;
+  session.options.rss_budget_kb = budget_rss_kb_;
+  session.options.obs = &observability();
+  op.SetAttribute("delta_size", pending_delta_.Size());
+  runtime::Delta delta = std::move(pending_delta_);
+  pending_delta_ = runtime::Delta{};  // consumed either way
+  Result<runtime::Delta> result = [&]() -> Result<runtime::Delta> {
+    MM2_ASSIGN_OR_RETURN(runtime::Delta target_delta,
+                         runtime::MaintainExchange(session, delta));
+    op.SetAttribute("target_inserts", target_delta.inserts.TotalTuples());
+    op.SetAttribute("target_deletes", target_delta.deletes.TotalTuples());
+    // Refresh what `why` and the repository serve.
+    last_exchange_ = chase::ChaseResult{};
+    last_exchange_.stats = session.last_stats;
+    last_exchange_.provenance = session.provenance;
+    last_exchange_.breach = session.breach;
+    has_last_exchange_ = true;
+    MM2_RETURN_IF_ERROR(
+        repo_.PutInstance(session_out_[mapping], session.target));
+    if (session.breach.has_value()) {
+      return Status::ResourceExhausted("maintain of '" + mapping +
+                                       "' stopped early: " +
+                                       session.breach->diagnostic);
+    }
+    return target_delta;
+  }();
+  op.Finish(result.ok() ? Status::OK() : result.status());
+  return result;
+}
+
+Result<std::string> Engine::EqCheck(const std::string& a,
+                                    const std::string& b) {
+  MM2_ASSIGN_OR_RETURN(instance::Instance left, repo_.GetInstance(a));
+  MM2_ASSIGN_OR_RETURN(instance::Instance right, repo_.GetInstance(b));
+  if (left.Equals(right)) return std::string("equal");
+  if (instance::InstanceEqualsUpToNulls(left, right)) {
+    return std::string("equal-up-to-nulls");
+  }
+  return std::string("different");
+}
 
 Result<std::vector<std::string>> Engine::RunScript(const std::string& script) {
   Result<std::vector<std::string>> result = RunScriptImpl(script);
@@ -768,6 +845,31 @@ Result<std::vector<std::string>> Engine::RunScriptImpl(
         for (const chase::Fact& f : lineage) sources += " " + f.ToString();
         log.push_back(std::move(sources));
       }
+    } else if (op == "apply") {
+      MM2_RETURN_IF_ERROR(need(1));
+      // Stitch the signed fact literal back together (the tokenizer split
+      // on spaces), as `why` does.
+      std::string literal = tokens[1];
+      for (std::size_t i = 2; i < tokens.size(); ++i) {
+        literal += " " + tokens[i];
+      }
+      Status applied = ApplyDeltaFact(literal);
+      if (!applied.ok()) return fail(applied.message());
+      log.push_back("queued " + literal + " (pending " +
+                    std::to_string(pending_delta_.Size()) + ")");
+    } else if (op == "maintain") {
+      MM2_RETURN_IF_ERROR(need(1));
+      MM2_ASSIGN_OR_RETURN(runtime::Delta target_delta, Maintain(tokens[1]));
+      log.push_back(
+          "maintained " + tokens[1] + " -> " + session_out_[tokens[1]] +
+          ": +" + std::to_string(target_delta.inserts.TotalTuples()) + " -" +
+          std::to_string(target_delta.deletes.TotalTuples()) + " tuples");
+    } else if (op == "eqcheck") {
+      MM2_RETURN_IF_ERROR(need(2));
+      MM2_ASSIGN_OR_RETURN(std::string verdict,
+                           EqCheck(tokens[1], tokens[2]));
+      log.push_back("eqcheck " + tokens[1] + " " + tokens[2] + ": " +
+                    verdict);
     } else {
       return fail("unknown command '" + op + "'");
     }

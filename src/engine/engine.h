@@ -133,9 +133,23 @@ class Engine {
   Status ModelGen(const std::string& out_schema,
                   const std::string& out_mapping, const std::string& er_schema,
                   modelgen::InheritanceStrategy strategy);
-  // exchange(out_instance, mapping, source_instance).
+  // exchange(out_instance, mapping, source_instance). Also opens (or
+  // replaces) the mapping's incremental session, so a later Maintain can
+  // propagate source deltas without a full re-chase.
   Status Exchange(const std::string& out_instance, const std::string& mapping,
                   const std::string& source_instance);
+  // Queues one signed fact for the next Maintain: "+Rel(...)" inserts,
+  // "-Rel(...)" deletes. The literal uses the same value syntax as `why`.
+  Status ApplyDeltaFact(const std::string& literal);
+  // Propagates the queued delta through the mapping's incremental session:
+  // mutates the session's source, maintains its target (DRed + resumed
+  // semi-naive chase), refreshes the stored output instance, and returns
+  // the induced target delta. The queue is consumed either way.
+  Result<runtime::Delta> Maintain(const std::string& mapping);
+  // Compares two stored instances: "equal" (identical tuple sets),
+  // "equal-up-to-nulls" (isomorphic modulo a labeled-null bijection), or
+  // "different".
+  Result<std::string> EqCheck(const std::string& a, const std::string& b);
   // batchload: like Exchange but through the compiled set-oriented loader
   // (Section 5 batch loading); fails for mappings outside the compilable
   // fragment (target egds, second order).
@@ -200,6 +214,15 @@ class Engine {
   //                                   the last exchange; values use the
   //                                   instance literal syntax: 42, 4.5,
   //                                   "s", #t, null, N7, d:123)
+  //   apply +Rel(...)|-Rel(...)      (queue a source insert/delete for the
+  //                                   next maintain; same literal syntax
+  //                                   as why)
+  //   maintain <m>                   (propagate the queued delta through
+  //                                   <m>'s incremental session — opened by
+  //                                   the last `exchange` via <m> — and
+  //                                   refresh the stored target instance)
+  //   eqcheck <a> <b>                (compare stored instances: equal,
+  //                                   equal-up-to-nulls, or different)
   // Blank lines and lines starting with '#' are skipped. Returns one log
   // line per executed command. When a command fails and the event log has
   // been recording, the flight-recorder dump (the last ring of events) is
@@ -221,6 +244,12 @@ class Engine {
   // target lives in the repository) — the `why` command's data source.
   chase::ChaseResult last_exchange_;
   bool has_last_exchange_ = false;
+  // Incremental sessions keyed by mapping name (opened by Exchange), the
+  // repository instance each one refreshes on Maintain, and the queued
+  // source delta the next Maintain consumes.
+  std::map<std::string, runtime::ExchangeSession> sessions_;
+  std::map<std::string, std::string> session_out_;
+  runtime::Delta pending_delta_;
 };
 
 }  // namespace mm2::engine

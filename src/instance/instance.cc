@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <functional>
 #include <mutex>
 #include <utility>
 
@@ -36,6 +37,8 @@ RelationInstance& RelationInstance::operator=(const RelationInstance& other) {
   log_.clear();
   log_.reserve(tuples_.size());
   for (const Tuple& t : tuples_) log_.push_back(&t);
+  log_pos_.clear();
+  log_pos_tracked_ = false;
   indexes_.clear();
   stats_.Store(IndexStats{});
   seg_stats_.Store(SegmentOpStats{});
@@ -54,6 +57,8 @@ RelationInstance::RelationInstance(RelationInstance&& other) noexcept
       tuples_(std::move(other.tuples_)),
       generation_(other.generation_),
       log_(std::move(other.log_)),
+      log_pos_(std::move(other.log_pos_)),
+      log_pos_tracked_(other.log_pos_tracked_),
       indexes_(std::move(other.indexes_)),
       storage_mode_(other.storage_mode_),
       policy_(other.policy_),
@@ -65,6 +70,7 @@ RelationInstance::RelationInstance(RelationInstance&& other) noexcept
   // Moving a std::set transfers its nodes, so log/index pointers survive.
   stats_.Store(other.stats_.Load());
   seg_stats_.Store(other.seg_stats_.Load());
+  other.log_pos_tracked_ = false;  // its map moved away; must not trust it
 }
 
 RelationInstance& RelationInstance::operator=(
@@ -74,6 +80,8 @@ RelationInstance& RelationInstance::operator=(
   tuples_ = std::move(other.tuples_);
   generation_ = other.generation_;
   log_ = std::move(other.log_);
+  log_pos_ = std::move(other.log_pos_);
+  log_pos_tracked_ = other.log_pos_tracked_;
   indexes_ = std::move(other.indexes_);
   stats_.Store(other.stats_.Load());
   storage_mode_ = other.storage_mode_;
@@ -84,6 +92,7 @@ RelationInstance& RelationInstance::operator=(
   segment_dirty_ = other.segment_dirty_;
   segment_generation_ = other.segment_generation_;
   seg_stats_.Store(other.seg_stats_.Load());
+  other.log_pos_tracked_ = false;  // its map moved away; must not trust it
   return *this;
 }
 
@@ -125,6 +134,7 @@ bool RelationInstance::Insert(Tuple tuple) {
   ++generation_;
   const Tuple* node = &*it;
   log_.push_back(node);
+  if (log_pos_tracked_) log_pos_.emplace(node, log_.size() - 1);
   // Segment tail: remember the insert so the next seal can merge
   // incrementally. Pointless once dirty (a full rebuild is coming anyway).
   if (storage_mode_ == StorageMode::kSegmented && !segment_dirty_) {
@@ -144,19 +154,35 @@ bool RelationInstance::Erase(const Tuple& tuple) {
     IndexErase(node);
   }
   // Tombstone rather than remove: log positions back caller watermarks.
-  for (auto log_it = log_.rbegin(); log_it != log_.rend(); ++log_it) {
-    if (*log_it == node) {
-      *log_it = nullptr;
-      break;
+  if (!log_pos_tracked_) {
+    log_pos_.clear();
+    for (std::size_t i = 0; i < log_.size(); ++i) {
+      if (log_[i] != nullptr) log_pos_.emplace(log_[i], i);
     }
+    log_pos_tracked_ = true;
+  }
+  std::size_t log_pos = log_.size();
+  auto pos_it = log_pos_.find(node);
+  if (pos_it != log_pos_.end()) {
+    log_pos = pos_it->second;
+    log_[log_pos] = nullptr;
+    log_pos_.erase(pos_it);
   }
   tuples_.erase(it);
   ++generation_;
   // Sealed runs cannot un-say a row: flag for a full rebuild at the next
-  // seal and drop the now-untrustworthy tail.
+  // seal and drop the now-untrustworthy tail. The run covering the
+  // tombstoned log position books the loss, so DeltaViewSince can keep
+  // serving the *other* runs as zero-copy slices through the erase epoch.
   if (!runs_.empty() || !tail_.empty()) {
     segment_dirty_ = true;
     tail_.clear();
+    for (SealedRun& run : runs_) {
+      if (run.log_begin <= log_pos && log_pos < run.log_end) {
+        ++run.dead;
+        break;
+      }
+    }
   }
   return true;
 }
@@ -164,10 +190,17 @@ bool RelationInstance::Erase(const Tuple& tuple) {
 void RelationInstance::Clear() {
   tuples_.clear();
   log_.clear();
+  log_pos_.clear();
+  log_pos_tracked_ = false;
   ++generation_;
   if (!runs_.empty() || !tail_.empty()) {
     segment_dirty_ = true;
     tail_.clear();
+    // The log just reset, so the old spans no longer tile it; drop the
+    // runs outright (an empty run list is trivially tiled) instead of
+    // letting DeltaViewSince trust slices over vanished rows.
+    runs_.clear();
+    runs_tiled_ = true;
   }
   std::unique_lock<std::shared_mutex> lock(index_mu_);
   indexes_.clear();
@@ -267,16 +300,35 @@ void RelationInstance::CompactLocked(SegmentOpStats* stats) const {
     merged.segment = MergeSegments({prev.segment, newest.segment}, stats);
     merged.log_begin = prev.log_begin;
     merged.log_end = newest.log_end;
+    // Compaction only runs in insert-only epochs (dead is always 0 here),
+    // but carry the counters anyway so the slice-safety invariant survives
+    // any future caller.
+    merged.dead = prev.dead + newest.dead;
     runs_.pop_back();
     runs_.back() = std::move(merged);
     if (stats != nullptr) ++stats->compactions;
   }
 }
 
-void RelationInstance::PrepareSegments() const {
+void RelationInstance::PrepareSegments(bool defer_dirty_rebuild) const {
   std::unique_lock<std::shared_mutex> lock(index_mu_);
   if (SegmentCurrent()) return;
   SegmentOpStats local;
+  if (defer_dirty_rebuild && storage_mode_ == StorageMode::kSegmented &&
+      segment_dirty_ && runs_tiled_ && !runs_.empty()) {
+    // Erase-dirtied view inside a delta-sized pass: the pass issues few
+    // probes, so the O(n) rebuild below would dominate it. Leave the view
+    // stale while tombstone debt is low — probes decline to the index path
+    // and DeltaViewSince still answers exactly (tiling stays trusted, dead
+    // rows are booked per run). Rebuild once debt passes 1/4 of live rows.
+    std::size_t dead = 0;
+    for (const SealedRun& run : runs_) dead += run.dead;
+    if (dead * 4 < tuples_.size()) {
+      ++local.deferred_rebuilds;
+      seg_stats_.Add(local);
+      return;
+    }
+  }
   if (storage_mode_ == StorageMode::kSegmented && !runs_.empty() &&
       !segment_dirty_ && runs_tiled_ && !tail_.empty()) {
     // Insert-only epoch: seal the tail into a NEW small run covering the
@@ -340,36 +392,36 @@ std::optional<SegmentRanges> RelationInstance::SegmentProbePrefix(
 
 DeltaView RelationInstance::DeltaViewSince(std::size_t watermark) const {
   DeltaView view;
-  // Slices require trustworthy run/log spans: segmented mode, no erases
-  // this epoch, spans tiling the log. Anything else is the log-backed path.
-  if (storage_mode_ != StorageMode::kSegmented || segment_dirty_ ||
-      !runs_tiled_ || runs_.empty()) {
+  // Slices require trustworthy run/log spans: segmented mode, spans tiling
+  // the log. Anything else is the log-backed path. An erase-containing
+  // epoch (segment_dirty_) does NOT force the fallback: the tiling is
+  // still exact, and tombstones are accounted per run below.
+  if (storage_mode_ != StorageMode::kSegmented || !runs_tiled_ ||
+      runs_.empty()) {
     view.refs = DeltaSince(watermark);
     return view;
   }
   const std::size_t sealed_end = runs_.back().log_end;
-  // First run lying entirely at or past the watermark; earlier runs are
-  // either fully covered by the watermark or straddle it.
-  std::size_t first_whole = runs_.size();
-  for (std::size_t i = 0; i < runs_.size(); ++i) {
-    if (runs_[i].log_begin >= watermark) {
-      first_whole = i;
-      break;
+  // Per-run walk over the tiled spans. A run is served as a zero-copy
+  // whole-run slice only when it lies entirely past the watermark AND none
+  // of its rows were tombstoned (run rows == live span entries, so
+  // view.size() stays equal to DeltaSince().size()). Runs that straddle
+  // the watermark or lost rows to erases are served through the log refs,
+  // which skip tombstones exactly.
+  for (const SealedRun& run : runs_) {
+    if (run.log_end <= watermark) continue;
+    if (run.log_begin >= watermark && run.dead == 0) {
+      const Segment* segment = run.segment.get();
+      if (segment->rows() == 0) continue;
+      view.slices.push_back(DeltaSlice{segment, 0, segment->rows()});
+      view.slice_rows += segment->rows();
+      continue;
     }
-  }
-  // Log-backed head: the tail end of a straddled run's span.
-  const std::size_t head_end =
-      first_whole < runs_.size() ? runs_[first_whole].log_begin : sealed_end;
-  for (std::size_t i = watermark; i < head_end; ++i) {
-    if (log_[i] != nullptr) view.refs.push_back(log_[i]);
-  }
-  // Zero-copy whole-run slices. Run rows == live span entries during an
-  // insert-only epoch, so view.size() stays equal to DeltaSince().size().
-  for (std::size_t i = first_whole; i < runs_.size(); ++i) {
-    const Segment* segment = runs_[i].segment.get();
-    if (segment->rows() == 0) continue;
-    view.slices.push_back(DeltaSlice{segment, 0, segment->rows()});
-    view.slice_rows += segment->rows();
+    const std::size_t begin =
+        run.log_begin > watermark ? run.log_begin : watermark;
+    for (std::size_t i = begin; i < run.log_end; ++i) {
+      if (log_[i] != nullptr) view.refs.push_back(log_[i]);
+    }
   }
   // Log-backed suffix: inserts since the last seal (the unsealed tail).
   const std::size_t suffix_begin =
@@ -622,8 +674,9 @@ void Instance::SetSegmentPolicy(const SegmentPolicy& policy) {
   for (auto& [name, rel] : relations_) rel.set_segment_policy(policy);
 }
 
-void Instance::PrepareAllSegments() const {
-  for (const auto& [name, rel] : relations_) rel.PrepareSegments();
+void Instance::PrepareAllSegments(bool defer_dirty_rebuild) const {
+  for (const auto& [name, rel] : relations_)
+    rel.PrepareSegments(defer_dirty_rebuild);
 }
 
 SegmentOpStats Instance::SegmentStatsTotal() const {
@@ -676,6 +729,141 @@ bool Instance::Equals(const Instance& other) const {
     if (rel->tuples() != it->second->tuples()) return false;
   }
   return true;
+}
+
+namespace {
+
+// Canonical constant skeleton of a null-carrying tuple: constants kept,
+// labeled nulls replaced by their local first-occurrence pattern id. Two
+// tuples can only correspond under a null bijection if their skeletons are
+// identical, so skeletons partition the matching search space.
+Tuple NullSkeleton(const Tuple& tuple) {
+  Tuple skeleton;
+  skeleton.reserve(tuple.size());
+  std::map<std::int64_t, std::int64_t> local;
+  for (const Value& v : tuple) {
+    if (v.is_labeled_null()) {
+      auto [it, fresh] =
+          local.emplace(v.label(), static_cast<std::int64_t>(local.size()));
+      (void)fresh;
+      skeleton.push_back(Value::LabeledNull(it->second));
+    } else {
+      skeleton.push_back(v);
+    }
+  }
+  return skeleton;
+}
+
+}  // namespace
+
+bool InstanceEqualsUpToNulls(const Instance& a, const Instance& b) {
+  // Same nonempty-extension convention as Equals.
+  auto nonempty = [](const Instance& instance) {
+    std::map<std::string, const RelationInstance*> out;
+    for (const auto& [name, rel] : instance.relations()) {
+      if (!rel.empty()) out[name] = &rel;
+    }
+    return out;
+  };
+  auto rels_a = nonempty(a);
+  auto rels_b = nonempty(b);
+  if (rels_a.size() != rels_b.size()) return false;
+  // Group null-carrying tuples by (relation, skeleton); ground tuples must
+  // simply be present on both sides.
+  struct Group {
+    std::vector<const Tuple*> left;
+    std::vector<const Tuple*> right;
+  };
+  std::map<std::pair<std::string, Tuple>, Group> groups;
+  for (const auto& [name, rel] : rels_a) {
+    auto it = rels_b.find(name);
+    if (it == rels_b.end()) return false;
+    const RelationInstance* other = it->second;
+    if (rel->arity() != other->arity() || rel->size() != other->size()) {
+      return false;
+    }
+    auto has_null = [](const Tuple& t) {
+      for (const Value& v : t) {
+        if (v.is_labeled_null()) return true;
+      }
+      return false;
+    };
+    for (const Tuple& t : rel->tuples()) {
+      if (has_null(t)) {
+        groups[{name, NullSkeleton(t)}].left.push_back(&t);
+      } else if (!other->Contains(t)) {
+        return false;
+      }
+    }
+    for (const Tuple& t : other->tuples()) {
+      if (has_null(t)) {
+        groups[{name, NullSkeleton(t)}].right.push_back(&t);
+      } else if (!rel->Contains(t)) {
+        return false;
+      }
+    }
+  }
+  std::vector<Group*> order;
+  order.reserve(groups.size());
+  for (auto& [key, group] : groups) {
+    if (group.left.size() != group.right.size()) return false;
+    order.push_back(&group);
+  }
+  // Backtracking search for a bijection over null labels that maps every
+  // left tuple onto a distinct right tuple of its group. The skeleton
+  // pre-partitioning keeps candidate lists small for chase-shaped
+  // instances (nulls mostly distinct per tuple pattern); the step budget
+  // bounds pathological automorphism-heavy inputs, which conservatively
+  // report "not equal".
+  std::map<std::int64_t, std::int64_t> fwd;
+  std::map<std::int64_t, std::int64_t> rev;
+  std::size_t steps = 0;
+  constexpr std::size_t kMaxSteps = 1u << 22;
+  std::vector<std::vector<char>> used(order.size());
+  for (std::size_t g = 0; g < order.size(); ++g) {
+    used[g].assign(order[g]->right.size(), 0);
+  }
+  std::function<bool(std::size_t, std::size_t)> solve =
+      [&](std::size_t g, std::size_t i) -> bool {
+    if (g == order.size()) return true;
+    if (i == order[g]->left.size()) return solve(g + 1, 0);
+    const Tuple& lt = *order[g]->left[i];
+    for (std::size_t c = 0; c < order[g]->right.size(); ++c) {
+      if (used[g][c] != 0) continue;
+      if (++steps > kMaxSteps) return false;
+      const Tuple& rt = *order[g]->right[c];
+      // Tentatively extend the bijection; identical skeletons guarantee
+      // constants already agree and null positions line up.
+      std::vector<std::pair<std::int64_t, std::int64_t>> added;
+      bool ok = true;
+      for (std::size_t k = 0; k < lt.size() && ok; ++k) {
+        if (!lt[k].is_labeled_null()) continue;
+        const std::int64_t l = lt[k].label();
+        const std::int64_t r = rt[k].label();
+        auto fit = fwd.find(l);
+        auto rit = rev.find(r);
+        if (fit != fwd.end() || rit != rev.end()) {
+          ok = fit != fwd.end() && fit->second == r && rit != rev.end() &&
+               rit->second == l;
+          continue;
+        }
+        fwd.emplace(l, r);
+        rev.emplace(r, l);
+        added.emplace_back(l, r);
+      }
+      if (ok) {
+        used[g][c] = 1;
+        if (solve(g, i + 1)) return true;
+        used[g][c] = 0;
+      }
+      for (const auto& [l, r] : added) {
+        fwd.erase(l);
+        rev.erase(r);
+      }
+    }
+    return false;
+  };
+  return solve(0, 0);
 }
 
 Instance Instance::Minus(const Instance& other) const {

@@ -198,8 +198,14 @@ class RelationInstance {
   // cache semantics like EnsureIndex, so const source instances can be
   // sealed once before a run. Works in any mode (full rebuild from the
   // set); incremental tail seal + tiered compaction only under kSegmented.
-  // No-op if current.
-  void PrepareSegments() const;
+  // No-op if current. With defer_dirty_rebuild, an erase-dirtied view with
+  // few tombstones (< 1/4 of the live rows) skips the O(n) full rebuild and
+  // stays stale: probes and retains decline to the index path (correct,
+  // counted as fallbacks) and DeltaViewSince keeps serving exactly. The
+  // rebuild still fires once tombstones pile past the threshold, so the
+  // deferral is amortized-O(1) per erase — this is what keeps delta-sized
+  // maintenance passes from paying a full reseal of every touched relation.
+  void PrepareSegments(bool defer_dirty_rebuild = false) const;
 
   // True when the sealed runs reflect the full extension (nothing changed
   // since the last PrepareSegments).
@@ -229,9 +235,12 @@ class RelationInstance {
   // The delta since `watermark` as a hybrid log/slice view: whole sealed
   // runs that lie entirely past the watermark are returned as zero-copy
   // slices, everything else (partial run coverage, the unsealed tail) as
-  // log refs. Falls back to a pure log-backed view (refs == DeltaSince)
-  // whenever run/log spans cannot be trusted — erase-containing epochs,
-  // copied relations, non-segmented modes. view.size() always equals
+  // log refs. Erase-containing epochs stay sliceable per run: only runs
+  // that actually lost rows to a tombstone (SealedRun::dead > 0) drop to
+  // the tombstone-skipping log-ref path, untouched runs keep serving
+  // zero-copy slices. Falls back to a pure log-backed view (refs ==
+  // DeltaSince) whenever run/log spans cannot be trusted — copied
+  // relations, non-segmented modes. view.size() always equals
   // DeltaSince(watermark).size().
   DeltaView DeltaViewSince(std::size_t watermark) const;
 
@@ -373,6 +382,12 @@ class RelationInstance {
   // Insertion order of live tuples; erased entries become nullptr so
   // caller-held watermark positions never shift.
   std::vector<const Tuple*> log_;
+  // Node -> log slot, built lazily on the first Erase and maintained by
+  // later Inserts: repeated erases (the incremental-maintenance write
+  // pattern) tombstone in O(log) lookups instead of an O(|log|) scan.
+  // Erase-free relations never pay for it.
+  std::map<const Tuple*, std::size_t> log_pos_;
+  bool log_pos_tracked_ = false;
   // Readers (Probe lookups) share; index construction and mutation-path
   // maintenance take it exclusively.
   mutable std::shared_mutex index_mu_;
@@ -388,6 +403,11 @@ class RelationInstance {
     SegmentPtr segment;
     std::size_t log_begin = 0;
     std::size_t log_end = 0;
+    // Rows of this run tombstoned by later erases. A run with dead == 0
+    // still answers DeltaViewSince as a zero-copy slice even in an
+    // erase-containing epoch; a run with dead > 0 is served through the
+    // (tombstone-skipping) log refs instead. Reset by the full rebuild.
+    std::size_t dead = 0;
   };
 
   // Merges the newest runs while they violate the size-tier invariant
@@ -463,7 +483,7 @@ class Instance {
 
   // Seals every relation's segment view (const cache semantics; see
   // RelationInstance::PrepareSegments).
-  void PrepareAllSegments() const;
+  void PrepareAllSegments(bool defer_dirty_rebuild = false) const;
 
   // Summed index telemetry across all relations.
   IndexStats IndexStatsTotal() const;
@@ -492,6 +512,18 @@ class Instance {
   StorageMode storage_mode_ = StorageMode::kIndexed;
   SegmentPolicy segment_policy_;
 };
+
+// Equivalence up to a bijective renaming of labeled nulls: true iff some
+// bijection over null labels maps `a` onto exactly `b` (constants fixed,
+// relation-by-relation tuple sets equal). This is instance isomorphism in
+// the data-exchange sense — incremental maintenance and a from-scratch
+// chase agree up to the names of the nulls they invent, and this is the
+// comparator that makes that testable. Ground tuples are compared by
+// membership; null-carrying tuples are matched by a backtracking search
+// over label bijections, grouped by constant skeleton so the search only
+// explores candidates that could possibly align. Relations with empty
+// extensions are ignored on both sides (same convention as Equals).
+bool InstanceEqualsUpToNulls(const Instance& a, const Instance& b);
 
 // How an entity set is laid out as a relation extension at runtime: a
 // leading hidden "$type" column holding the concrete entity type name,

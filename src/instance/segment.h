@@ -68,11 +68,12 @@ struct SegmentOpStats {
   std::uint64_t compactions = 0;        // tiered run merges (subset of merges)
   std::uint64_t delta_slices = 0;       // deltas served as segment slices
   std::uint64_t delta_slice_rows = 0;   // rows covered by zero-copy slices
+  std::uint64_t deferred_rebuilds = 0;  // dirty reseals skipped (low debt)
 
   bool any() const {
     return seals != 0 || merges != 0 || compares != 0 || probes != 0 ||
            skips != 0 || fallbacks != 0 || retain_batches != 0 ||
-           compactions != 0 || delta_slices != 0;
+           compactions != 0 || delta_slices != 0 || deferred_rebuilds != 0;
   }
 
   SegmentOpStats& operator+=(const SegmentOpStats& o) {
@@ -91,6 +92,7 @@ struct SegmentOpStats {
     compactions += o.compactions;
     delta_slices += o.delta_slices;
     delta_slice_rows += o.delta_slice_rows;
+    deferred_rebuilds += o.deferred_rebuilds;
     return *this;
   }
 
@@ -111,6 +113,7 @@ struct SegmentOpStats {
     d.compactions = compactions - o.compactions;
     d.delta_slices = delta_slices - o.delta_slices;
     d.delta_slice_rows = delta_slice_rows - o.delta_slice_rows;
+    d.deferred_rebuilds = deferred_rebuilds - o.deferred_rebuilds;
     return d;
   }
 };

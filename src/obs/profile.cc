@@ -314,6 +314,23 @@ void BuildValues(const MetricsSnapshot& metrics, ProfileReport* report) {
   v.intern_misses = gauge("value.intern.misses");
 }
 
+void BuildIncremental(const MetricsSnapshot& metrics, ProfileReport* report) {
+  IncrementalCost& i = report->incremental;
+  auto counter = [&metrics](const char* name) -> std::uint64_t {
+    const CounterSnapshot* c = metrics.FindCounter(name);
+    return c == nullptr ? 0 : c->value;
+  };
+  i.maintains = counter("chase.incremental.maintains");
+  i.fallbacks = counter("chase.incremental.fallbacks");
+  i.dred_candidates = counter("chase.incremental.dred_candidates");
+  i.dred_kept = counter("chase.incremental.dred_kept");
+  i.source_inserts = counter("chase.incremental.source_inserts");
+  i.source_deletes = counter("chase.incremental.source_deletes");
+  i.target_inserts = counter("chase.incremental.target_inserts");
+  i.target_deletes = counter("chase.incremental.target_deletes");
+  i.latency_us = counter("chase.incremental.latency_us");
+}
+
 void BuildPhases(const std::vector<SpanRecord>& spans,
                  ProfileReport* report) {
   if (spans.empty()) return;
@@ -576,6 +593,28 @@ std::vector<std::string> ProfileReport::Lines() const {
       lines.push_back(std::move(line));
     }
   }
+  if (incremental.any()) {
+    lines.push_back("incremental:");
+    double avg_us = static_cast<double>(incremental.latency_us) /
+                    static_cast<double>(incremental.maintains);
+    std::vector<std::vector<std::string>> rows;
+    rows.push_back({"maintains", std::to_string(incremental.maintains)});
+    rows.push_back({"fallbacks", std::to_string(incremental.fallbacks)});
+    rows.push_back(
+        {"dred.candidates", std::to_string(incremental.dred_candidates)});
+    rows.push_back({"dred.kept", std::to_string(incremental.dred_kept)});
+    rows.push_back({"source +/-",
+                    std::to_string(incremental.source_inserts) + " / " +
+                        std::to_string(incremental.source_deletes)});
+    rows.push_back({"target +/-",
+                    std::to_string(incremental.target_inserts) + " / " +
+                        std::to_string(incremental.target_deletes)});
+    rows.push_back({"latency_us", std::to_string(incremental.latency_us)});
+    rows.push_back({"us/maintain", Fixed1(avg_us)});
+    for (std::string& line : Tabulate(rows, "lr")) {
+      lines.push_back(std::move(line));
+    }
+  }
   lines.push_back("phases (" + std::to_string(phase_total_us) +
                   "us self-time total):");
   if (phases.empty()) {
@@ -706,6 +745,15 @@ std::string ProfileReport::ToJson() const {
      << ", \"interned_bytes\": " << values.interned_bytes
      << ", \"intern_hits\": " << values.intern_hits
      << ", \"intern_misses\": " << values.intern_misses
+     << "}, \"incremental\": {\"maintains\": " << incremental.maintains
+     << ", \"fallbacks\": " << incremental.fallbacks
+     << ", \"dred_candidates\": " << incremental.dred_candidates
+     << ", \"dred_kept\": " << incremental.dred_kept
+     << ", \"source_inserts\": " << incremental.source_inserts
+     << ", \"source_deletes\": " << incremental.source_deletes
+     << ", \"target_inserts\": " << incremental.target_inserts
+     << ", \"target_deletes\": " << incremental.target_deletes
+     << ", \"latency_us\": " << incremental.latency_us
      << "}, \"totals\": {\"operator_total_us\": "
      << FormatDouble(operator_total_us)
      << ", \"rule_total_us\": " << FormatDouble(rule_total_us)
@@ -723,6 +771,7 @@ ProfileReport Profiler::Build(const MetricsSnapshot& metrics,
   BuildStorage(metrics, &report);
   BuildParallel(metrics, &report);
   BuildValues(metrics, &report);
+  BuildIncremental(metrics, &report);
   BuildPhases(spans, &report);
   return report;
 }

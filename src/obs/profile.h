@@ -157,6 +157,23 @@ struct ValueCost {
   }
 };
 
+// Incremental-maintenance telemetry, read from the `chase.incremental.*`
+// family that runtime::MaintainExchange mirrors. All zero until a maintain
+// runs, so one-shot sessions keep their exact pre-existing report.
+struct IncrementalCost {
+  std::uint64_t maintains = 0;        // MaintainExchange calls served
+  std::uint64_t fallbacks = 0;        // of which rebuilt via full re-chase
+  std::uint64_t dred_candidates = 0;  // DRed over-estimated target facts
+  std::uint64_t dred_kept = 0;        // facts kept via surviving witnesses
+  std::uint64_t source_inserts = 0;   // source tuples inserted across deltas
+  std::uint64_t source_deletes = 0;   // source tuples deleted across deltas
+  std::uint64_t target_inserts = 0;   // induced target insertions
+  std::uint64_t target_deletes = 0;   // induced target deletions
+  std::uint64_t latency_us = 0;       // summed maintain wall time
+
+  bool any() const { return maintains != 0; }
+};
+
 // A structured cost report: "where did the time go?" answered three ways.
 // Each table is ranked most-expensive-first.
 struct ProfileReport {
@@ -167,6 +184,7 @@ struct ProfileReport {
   StorageCost storage;
   ParallelCost parallel;
   ValueCost values;
+  IncrementalCost incremental;
   ForesightCost foresight;
   double operator_total_us = 0;
   double rule_total_us = 0;

@@ -1,6 +1,7 @@
 #include "runtime/runtime.h"
 
 #include <algorithm>
+#include <chrono>
 #include <set>
 #include <utility>
 
@@ -438,6 +439,263 @@ Result<ExchangeResult> Exchange(const logic::Mapping& mapping,
     span.SetAttribute("breach", result.breach->kind);
   }
   return result;
+}
+
+// ---------------------------------------------------------------------------
+// Incremental exchange
+// ---------------------------------------------------------------------------
+
+namespace {
+
+chase::ChaseOptions SessionChaseOptions(const ExchangeOptions& options) {
+  chase::ChaseOptions copts;
+  // Provenance is the deletion substrate; sessions always record it.
+  copts.track_provenance = true;
+  copts.naive = options.naive;
+  copts.semi_naive = options.semi_naive;
+  copts.stratified = options.stratified;
+  copts.threads = options.threads;
+  copts.storage = options.storage;
+  copts.wall_budget_us = options.wall_budget_us;
+  copts.tuple_budget = options.tuple_budget;
+  copts.rss_budget_kb = options.rss_budget_kb;
+  copts.cancel = options.cancel;
+  copts.obs = options.obs;
+  return copts;
+}
+
+// True if any fact of any recorded unification witness is in `facts`.
+bool JournalTouches(const std::vector<chase::Witness>& journal,
+                    const std::set<chase::Fact>& facts) {
+  for (const chase::Witness& witness : journal) {
+    for (const chase::Fact& fact : witness) {
+      if (facts.count(fact) != 0) return true;
+    }
+  }
+  return false;
+}
+
+void AdoptChaseResult(ExchangeSession* session, chase::ChaseResult chased) {
+  session->target = std::move(chased.target);
+  session->provenance = std::move(chased.provenance);
+  session->last_stats = chased.stats;
+  session->breach = std::move(chased.breach);
+}
+
+}  // namespace
+
+Result<ExchangeSession> BeginExchangeSession(const logic::Mapping& mapping,
+                                             instance::Instance source,
+                                             const ExchangeOptions& options) {
+  if (options.compute_core) {
+    return Status::Unsupported(
+        "incremental exchange maintains the canonical universal solution; "
+        "the core is not delta-maintainable (use Exchange for one-shot core "
+        "computation)");
+  }
+  ExchangeSession session;
+  session.mapping = mapping;
+  session.source = std::move(source);
+  session.options = options;
+  session.options.track_provenance = true;
+  // Same span as Exchange: telemetry consumers see one "exchange.run" per
+  // from-scratch chase, session-opening or not.
+  obs::ObsSpan span(options.obs, "exchange.run");
+  span.SetAttribute("mapping", mapping.name());
+  span.SetAttribute("source_tuples", session.source.TotalTuples());
+  MM2_ASSIGN_OR_RETURN(
+      chase::ChaseResult chased,
+      chase::ResumeChase(session.mapping, session.source,
+                         Instance::EmptyFor(mapping.target()),
+                         chase::Provenance{}, &session.state,
+                         /*net_change=*/nullptr,
+                         SessionChaseOptions(session.options)));
+  AdoptChaseResult(&session, std::move(chased));
+  span.SetAttribute("target_tuples", session.target.TotalTuples());
+  if (session.breach.has_value()) {
+    span.SetAttribute("breach", session.breach->kind);
+  }
+  return session;
+}
+
+Result<Delta> MaintainExchange(ExchangeSession& session,
+                               const Delta& source_delta) {
+  const auto start = std::chrono::steady_clock::now();
+  obs::Context* obs = session.options.obs;
+  obs::ObsSpan span(obs, "exchange.maintain");
+  span.SetAttribute("mapping", session.mapping.name());
+  span.SetAttribute("delta_size", source_delta.Size());
+
+  // A breached session holds a partial solution and a dead frontier;
+  // resuming it would maintain the wrong baseline.
+  const bool poisoned = session.breach.has_value() || !session.state.initialized;
+
+  // Source deletions first (mirroring ApplyDelta), collecting the facts
+  // actually removed — deletes of absent tuples are no-ops.
+  std::set<chase::Fact> dead;
+  for (const auto& [name, rel] : source_delta.deletes.relations()) {
+    for (const Tuple& t : rel.tuples()) {
+      if (session.source.Erase(name, t).ok()) {
+        dead.insert(chase::Fact{name, t});
+      }
+    }
+  }
+
+  // DRed, step 1: decide whether deletions are incrementally answerable.
+  // A deleted fact that justified an egd/SO-equality unification licensed a
+  // null merge we cannot cheaply unwind — rebuild instead.
+  bool fallback = poisoned;
+  std::set<chase::Fact> candidates;  // the DRed over-estimate
+  std::size_t counting_kept = 0;
+  if (!fallback && !dead.empty()) {
+    fallback = JournalTouches(session.state.unification_witnesses, dead);
+  }
+  if (!fallback && !dead.empty()) {
+    // Step 2: prune the witnesses that used a dead fact, walking only the
+    // facts the support index names for the dead set — O(|delta| * fanout),
+    // never O(|target|). Session provenance is complete (probe-satisfied
+    // triggers record witnesses too), so a fact left with no witness is
+    // genuinely underivable and needs no re-derive chase; facts with a
+    // surviving witness are kept with zero chase work (counting shortcut).
+    // Inverted index for the prune: target fact -> the dead facts that
+    // actually point at it. A hot fact with many witnesses (think an
+    // existential head over a low-cardinality key) is then checked against
+    // its own two-or-three relevant dead facts instead of the whole dead
+    // set — the witness sweep costs equality probes, not set lookups.
+    std::map<chase::Fact, std::vector<const chase::Fact*>> affected;
+    for (const chase::Fact& d : dead) {
+      auto it = session.state.dependents.find(d);
+      if (it == session.state.dependents.end()) continue;
+      for (const chase::Fact& t : it->second) affected[t].push_back(&d);
+      session.state.dependents.erase(it);
+    }
+    auto& entries = session.provenance.mutable_entries();
+    for (const auto& [fact, relevant] : affected) {
+      auto it = entries.find(fact);
+      if (it == entries.end()) continue;  // stale index entry: already gone
+      std::vector<chase::Witness>& witnesses = it->second;
+      const std::size_t before = witnesses.size();
+      witnesses.erase(
+          std::remove_if(witnesses.begin(), witnesses.end(),
+                         [&](const chase::Witness& w) {
+                           for (const chase::Fact& f : w) {
+                             for (const chase::Fact* d : relevant) {
+                               if (f == *d) return true;
+                             }
+                           }
+                           return false;
+                         }),
+          witnesses.end());
+      if (witnesses.empty()) {
+        candidates.insert(it->first);
+        entries.erase(it);
+      } else if (witnesses.size() != before) {
+        ++counting_kept;
+      }
+    }
+    // An over-estimated fact that itself witnessed a unification forces the
+    // rebuild too: erasing it would leave merged nulls unjustified.
+    fallback = JournalTouches(session.state.unification_witnesses, candidates);
+  }
+
+  // Source insertions (idempotent: re-inserting a present tuple is a no-op
+  // and must not pollute the delta log the resumed chase reads).
+  std::size_t source_inserts = 0;
+  for (const auto& [name, rel] : source_delta.inserts.relations()) {
+    for (const Tuple& t : rel.tuples()) {
+      if (!session.source.HasRelation(name)) {
+        session.source.DeclareRelation(name, t.size());
+      }
+      const instance::RelationInstance* existing = session.source.Find(name);
+      if (existing != nullptr && existing->Contains(t)) continue;
+      // The session's null counter must stay ahead of labels arriving via
+      // the delta itself, or the resumed chase (which trusts the counter
+      // instead of rescanning the instances) could re-invent one.
+      for (const instance::Value& v : t) {
+        if (v.is_labeled_null() && v.label() >= session.state.next_label) {
+          session.state.next_label = v.label() + 1;
+        }
+      }
+      MM2_RETURN_IF_ERROR(session.source.Insert(name, t));
+      ++source_inserts;
+    }
+  }
+
+  Delta out;
+  if (fallback) {
+    // Wholesale path: re-chase the mutated source from scratch and report
+    // the instance diff. Null labels are re-invented, so the diff may pair
+    // a delete and an insert that differ only in labels.
+    Instance old_target = std::move(session.target);
+    session.state = chase::ChaseSessionState{};
+    MM2_ASSIGN_OR_RETURN(
+        chase::ChaseResult chased,
+        chase::ResumeChase(session.mapping, session.source,
+                           Instance::EmptyFor(session.mapping.target()),
+                           chase::Provenance{}, &session.state,
+                           /*net_change=*/nullptr,
+                           SessionChaseOptions(session.options)));
+    AdoptChaseResult(&session, std::move(chased));
+    out.inserts = session.target.Minus(old_target);
+    out.deletes = old_target.Minus(session.target);
+  } else {
+    // Step 3: erase the over-estimate (seeding the net delta). Complete
+    // provenance makes this a true deletion — nothing can re-derive an
+    // erased fact, so no rule re-pass is scoped. The resumed chase only
+    // matches insertions above the old watermarks (semi-naive deltas) and
+    // re-checks egds against them.
+    chase::FactDelta net;
+    for (const chase::Fact& fact : candidates) {
+      if (session.target.Erase(fact.relation, fact.tuple).ok()) {
+        --net[fact];
+      }
+    }
+    MM2_ASSIGN_OR_RETURN(
+        chase::ChaseResult chased,
+        chase::ResumeChase(session.mapping, session.source,
+                           std::move(session.target),
+                           std::move(session.provenance), &session.state,
+                           &net, SessionChaseOptions(session.options)));
+    AdoptChaseResult(&session, std::move(chased));
+    // Net counts collapse churn: a fact erased by DRed and re-derived (or
+    // rewritten away and back by an egd) sums to zero and is not reported.
+    for (const auto& [fact, count] : net) {
+      if (count == 0) continue;
+      Instance& side = count > 0 ? out.inserts : out.deletes;
+      if (!side.HasRelation(fact.relation)) {
+        side.DeclareRelation(fact.relation, fact.tuple.size());
+      }
+      side.InsertUnchecked(fact.relation, fact.tuple);
+    }
+  }
+
+  ++session.maintains;
+  if (fallback) ++session.fallbacks;
+  if (obs != nullptr) {
+    obs::MetricsRegistry& m = obs->metrics;
+    m.GetCounter("chase.incremental.maintains").Increment();
+    if (fallback) m.GetCounter("chase.incremental.fallbacks").Increment();
+    m.GetCounter("chase.incremental.dred_candidates")
+        .Increment(candidates.size());
+    m.GetCounter("chase.incremental.dred_kept").Increment(counting_kept);
+    m.GetCounter("chase.incremental.source_inserts").Increment(source_inserts);
+    m.GetCounter("chase.incremental.source_deletes").Increment(dead.size());
+    m.GetCounter("chase.incremental.target_inserts")
+        .Increment(out.inserts.TotalTuples());
+    m.GetCounter("chase.incremental.target_deletes")
+        .Increment(out.deletes.TotalTuples());
+    const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - start);
+    m.GetCounter("chase.incremental.latency_us")
+        .Increment(static_cast<std::uint64_t>(elapsed.count()));
+  }
+  span.SetAttribute("target_inserts", out.inserts.TotalTuples());
+  span.SetAttribute("target_deletes", out.deletes.TotalTuples());
+  span.SetAttribute("fallback", fallback ? 1 : 0);
+  if (session.breach.has_value()) {
+    span.SetAttribute("breach", session.breach->kind);
+  }
+  return out;
 }
 
 }  // namespace mm2::runtime

@@ -241,6 +241,66 @@ Result<ExchangeResult> Exchange(const logic::Mapping& mapping,
                                 const instance::Instance& source,
                                 const ExchangeOptions& options = {});
 
+// ---------------------------------------------------------------------------
+// Incremental exchange (delta-driven target maintenance)
+// ---------------------------------------------------------------------------
+
+// A resumable exchange: the materialized target plus everything the chase
+// needs to maintain it under source deltas without starting over — the
+// semi-naive frontier (per-rule watermarks), the Skolem memo (so re-derived
+// facts reuse the nulls they already invented), derivation witnesses (the
+// DRed substrate for deletions), and the journal of facts that justified
+// egd/SO-equality unifications (the cases incremental deletion cannot
+// unwind in place).
+struct ExchangeSession {
+  logic::Mapping mapping;
+  instance::Instance source;       // current source; deltas applied in place
+  instance::Instance target;       // maintained canonical universal solution
+  chase::Provenance provenance;    // fact -> derivation witnesses
+  chase::ChaseSessionState state;  // watermarks, skolem memo, journal
+  ExchangeOptions options;         // evaluation knobs reused per maintain
+  chase::ChaseStats last_stats;    // stats of the most recent (re)chase
+  // Set when the most recent run stopped on a budget breach or cancel; the
+  // session then holds a partial solution and the next maintain falls back
+  // to a from-scratch pass (the frontier was invalidated with it).
+  std::optional<chase::ChaseBreach> breach;
+  std::size_t maintains = 0;  // MaintainExchange calls served
+  std::size_t fallbacks = 0;  // of which rebuilt via full re-chase
+};
+
+// Chases `source` from scratch and captures the resumable state. The
+// session takes ownership of the source instance (deltas mutate it in
+// place). Provenance tracking is always on — it is what makes deletions
+// answerable — and compute_core is rejected: the core is not
+// delta-maintainable, so incremental sessions maintain the canonical
+// solution instead.
+Result<ExchangeSession> BeginExchangeSession(const logic::Mapping& mapping,
+                                             instance::Instance source,
+                                             const ExchangeOptions& options = {});
+
+// Applies a source delta to the session and maintains the target, returning
+// the induced target delta (what changed in the materialized solution).
+//
+// Insertions ride the semi-naive frontier: new source tuples land above the
+// per-rule watermarks, so the resumed chase re-matches only assignments
+// that bind at least one new tuple. Deletions prune recorded witnesses via
+// the session's source->target support index, visiting only facts the dead
+// tuples actually support — O(|delta| * fanout), never O(|target|). Session
+// provenance is complete (the chase books a witness for probe-satisfied
+// triggers too, not just firings), so a fact whose witnesses all died is
+// genuinely underivable and is erased outright — no re-derive chase pass
+// exists; facts with a surviving witness are kept without any chase work
+// (the counting shortcut — witnesses here are exactly the surviving
+// derivations). When a deleted (or over-estimated) fact justified an egd or
+// SO-equality unification, the null merge it licensed cannot be cheaply
+// unwound, so the maintain falls back to a full re-chase (counted in
+// `fallbacks`; the returned delta is then the wholesale instance diff).
+//
+// Budgets and the CancelToken in the session's options apply to the resumed
+// chase exactly as they do to Exchange.
+Result<Delta> MaintainExchange(ExchangeSession& session,
+                               const Delta& source_delta);
+
 }  // namespace mm2::runtime
 
 #endif  // MM2_RUNTIME_RUNTIME_H_

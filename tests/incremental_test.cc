@@ -1,0 +1,661 @@
+// Incremental exchange: delta-driven target maintenance (runtime layer)
+// and its two satellites — the canonical-null-renaming comparator
+// InstanceEqualsUpToNulls and tombstone-aware DeltaViewSince slices.
+//
+// The centerpiece is a 100-seed differential sweep: random head-disjoint
+// mappings, random insert/erase batches, MaintainExchange vs a full
+// re-chase of the mutated source. The maintained target must be equal to
+// the re-chased one up to a labeled-null bijection, with identical certain
+// answers (the null-free tuples), and the returned target delta must
+// replay the old target into the new one exactly.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "chase/chase.h"
+#include "instance/instance.h"
+#include "logic/formula.h"
+#include "logic/mapping.h"
+#include "model/schema.h"
+#include "runtime/runtime.h"
+#include "workload/generators.h"
+
+namespace mm2::runtime {
+namespace {
+
+using instance::Instance;
+using instance::InstanceEqualsUpToNulls;
+using instance::RelationInstance;
+using instance::StorageMode;
+using instance::Tuple;
+using instance::Value;
+using logic::Atom;
+using logic::Egd;
+using logic::Mapping;
+using logic::Term;
+using logic::Tgd;
+using workload::Rng;
+
+Term V(const std::string& name) { return Term::Var(name); }
+
+// ---------------------------------------------------------------------------
+// InstanceEqualsUpToNulls
+// ---------------------------------------------------------------------------
+
+TEST(EqualsUpToNullsTest, GroundInstancesCompareExactly) {
+  Instance a;
+  a.DeclareRelation("R", 2);
+  ASSERT_TRUE(a.Insert("R", {Value::Int64(1), Value::String("x")}).ok());
+  Instance b = a;
+  EXPECT_TRUE(InstanceEqualsUpToNulls(a, b));
+  ASSERT_TRUE(b.Insert("R", {Value::Int64(2), Value::String("y")}).ok());
+  EXPECT_FALSE(InstanceEqualsUpToNulls(a, b));
+}
+
+TEST(EqualsUpToNullsTest, RenamedNullsAreEqual) {
+  Instance a;
+  a.DeclareRelation("R", 2);
+  a.InsertUnchecked("R", {Value::Int64(1), Value::LabeledNull(10)});
+  a.InsertUnchecked("R", {Value::Int64(2), Value::LabeledNull(11)});
+  Instance b;
+  b.DeclareRelation("R", 2);
+  b.InsertUnchecked("R", {Value::Int64(1), Value::LabeledNull(77)});
+  b.InsertUnchecked("R", {Value::Int64(2), Value::LabeledNull(33)});
+  EXPECT_FALSE(a.Equals(b));
+  EXPECT_TRUE(InstanceEqualsUpToNulls(a, b));
+}
+
+TEST(EqualsUpToNullsTest, SharedNullStructureMustMatch) {
+  // Left shares one null across two rows; right uses two distinct nulls.
+  // No bijection can align them.
+  Instance a;
+  a.DeclareRelation("R", 2);
+  a.InsertUnchecked("R", {Value::Int64(1), Value::LabeledNull(5)});
+  a.InsertUnchecked("R", {Value::Int64(2), Value::LabeledNull(5)});
+  Instance b;
+  b.DeclareRelation("R", 2);
+  b.InsertUnchecked("R", {Value::Int64(1), Value::LabeledNull(8)});
+  b.InsertUnchecked("R", {Value::Int64(2), Value::LabeledNull(9)});
+  EXPECT_FALSE(InstanceEqualsUpToNulls(a, b));
+}
+
+TEST(EqualsUpToNullsTest, CrossRelationBijectionIsGlobal) {
+  // The same null appearing in two relations must map consistently.
+  Instance a;
+  a.DeclareRelation("R", 1);
+  a.DeclareRelation("S", 1);
+  a.InsertUnchecked("R", {Value::LabeledNull(1)});
+  a.InsertUnchecked("S", {Value::LabeledNull(1)});
+  Instance b;
+  b.DeclareRelation("R", 1);
+  b.DeclareRelation("S", 1);
+  b.InsertUnchecked("R", {Value::LabeledNull(2)});
+  b.InsertUnchecked("S", {Value::LabeledNull(3)});
+  EXPECT_FALSE(InstanceEqualsUpToNulls(a, b));
+  // Aligning S to the same null restores the bijection.
+  Instance c;
+  c.DeclareRelation("R", 1);
+  c.DeclareRelation("S", 1);
+  c.InsertUnchecked("R", {Value::LabeledNull(2)});
+  c.InsertUnchecked("S", {Value::LabeledNull(2)});
+  EXPECT_TRUE(InstanceEqualsUpToNulls(a, c));
+}
+
+TEST(EqualsUpToNullsTest, EmptyRelationsAreIgnored) {
+  Instance a;
+  a.DeclareRelation("R", 1);
+  a.DeclareRelation("Empty", 3);
+  a.InsertUnchecked("R", {Value::Int64(1)});
+  Instance b;
+  b.DeclareRelation("R", 1);
+  b.InsertUnchecked("R", {Value::Int64(1)});
+  EXPECT_TRUE(InstanceEqualsUpToNulls(a, b));
+}
+
+// ---------------------------------------------------------------------------
+// Tombstone-aware DeltaViewSince
+// ---------------------------------------------------------------------------
+
+Tuple Row2(std::int64_t a, std::int64_t b) {
+  return {Value::Int64(a), Value::Int64(b)};
+}
+
+// Materializes every row of a view (refs then slices).
+std::multiset<Tuple> ViewRows(const instance::DeltaView& view) {
+  std::multiset<Tuple> rows;
+  view.ForEachRow(0, view.size(), [&](const Tuple& t) {
+    rows.insert(t);
+    return true;
+  });
+  return rows;
+}
+
+TEST(TombstoneDeltaViewTest, EraseInOneRunKeepsOtherRunsSliced) {
+  RelationInstance rel(2);
+  rel.set_storage_mode(StorageMode::kSegmented);
+  // Run 0: a large sealed batch; run 1: a small later batch (sizes differ
+  // enough that tiered compaction keeps them separate).
+  for (std::int64_t i = 0; i < 16; ++i) rel.Insert(Row2(i, i));
+  rel.PrepareSegments();
+  const std::size_t run0_end = rel.Watermark();
+  rel.Insert(Row2(100, 100));
+  rel.Insert(Row2(101, 101));
+  rel.PrepareSegments();
+  ASSERT_GE(rel.segment_shape().live_segments, 2u);
+
+  // Erase a row sealed into run 0. Watermarks at run 0's end must still see
+  // run 1 as a zero-copy slice — the erase only poisons run 0.
+  ASSERT_TRUE(rel.Erase(Row2(3, 3)));
+  instance::DeltaView later = rel.DeltaViewSince(run0_end);
+  EXPECT_TRUE(later.sliced);
+  EXPECT_EQ(later.size(), rel.DeltaSince(run0_end).size());
+
+  // A watermark-0 view walks run 0 through tombstone-skipping refs: same
+  // rows as the plain delta, erased row excluded.
+  instance::DeltaView full = rel.DeltaViewSince(0);
+  EXPECT_EQ(full.size(), rel.DeltaSince(0).size());
+  std::multiset<Tuple> rows = ViewRows(full);
+  EXPECT_EQ(rows.count(Row2(3, 3)), 0u);
+  EXPECT_EQ(rows.count(Row2(100, 100)), 1u);
+  EXPECT_EQ(rows.size(), 17u);
+}
+
+TEST(TombstoneDeltaViewTest, UnsealedSuffixSkipsTombstones) {
+  RelationInstance rel(2);
+  rel.set_storage_mode(StorageMode::kSegmented);
+  for (std::int64_t i = 0; i < 8; ++i) rel.Insert(Row2(i, i));
+  rel.PrepareSegments();
+  const std::size_t mark = rel.Watermark();
+  // Post-seal epoch: inserts and an erase of one of them, all unsealed.
+  rel.Insert(Row2(50, 50));
+  rel.Insert(Row2(51, 51));
+  ASSERT_TRUE(rel.Erase(Row2(50, 50)));
+  instance::DeltaView view = rel.DeltaViewSince(mark);
+  EXPECT_EQ(view.size(), rel.DeltaSince(mark).size());
+  std::multiset<Tuple> rows = ViewRows(view);
+  EXPECT_EQ(rows.count(Row2(50, 50)), 0u);
+  EXPECT_EQ(rows.count(Row2(51, 51)), 1u);
+}
+
+TEST(TombstoneDeltaViewTest, SizeContractHoldsAcrossWatermarks) {
+  RelationInstance rel(2);
+  rel.set_storage_mode(StorageMode::kSegmented);
+  Rng rng(42);
+  for (std::int64_t i = 0; i < 12; ++i) rel.Insert(Row2(i, i));
+  rel.PrepareSegments();
+  for (std::int64_t i = 12; i < 15; ++i) rel.Insert(Row2(i, i));
+  rel.PrepareSegments();
+  ASSERT_TRUE(rel.Erase(Row2(2, 2)));
+  ASSERT_TRUE(rel.Erase(Row2(13, 13)));
+  rel.Insert(Row2(99, 99));
+  for (std::size_t mark = 0; mark <= rel.Watermark(); ++mark) {
+    instance::DeltaView view = rel.DeltaViewSince(mark);
+    auto refs = rel.DeltaSince(mark);
+    ASSERT_EQ(view.size(), refs.size()) << "watermark " << mark;
+    std::multiset<Tuple> expect;
+    for (const Tuple* t : refs) expect.insert(*t);
+    ASSERT_EQ(ViewRows(view), expect) << "watermark " << mark;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Targeted DRed cases
+// ---------------------------------------------------------------------------
+
+// R(x, y) -> T(y): T(5) is derivable from two source rows, but provenance
+// records only the first derivation (duplicate insertions are no-ops).
+// Deleting the recorded witness must over-delete T(5) and then re-derive it
+// from the surviving row — the returned delta is empty.
+TEST(MaintainDRedTest, OverDeleteThenRederiveSharedFact) {
+  model::Schema src("Src", model::Metamodel::kRelational);
+  src.AddRelation(model::Relation(
+      "R", {{"a", model::DataType::Int64(), false},
+            {"b", model::DataType::Int64(), false}}, {}));
+  model::Schema tgt("Tgt", model::Metamodel::kRelational);
+  tgt.AddRelation(
+      model::Relation("T", {{"b", model::DataType::Int64(), false}}, {}));
+  Tgd tgd;
+  tgd.body = {Atom{"R", {V("x"), V("y")}}};
+  tgd.head = {Atom{"T", {V("y")}}};
+  Mapping m = Mapping::FromTgds("m", src, tgt, {tgd});
+
+  Instance source = Instance::EmptyFor(src);
+  ASSERT_TRUE(source.Insert("R", Row2(1, 5)).ok());
+  ASSERT_TRUE(source.Insert("R", Row2(2, 5)).ok());
+  auto begun = BeginExchangeSession(m, std::move(source));
+  ASSERT_TRUE(begun.ok()) << begun.status().message();
+  ExchangeSession session = std::move(begun.value());
+  ASSERT_TRUE(session.target.Find("T")->Contains({Value::Int64(5)}));
+
+  Delta delta;
+  delta.deletes.DeclareRelation("R", 2);
+  delta.deletes.InsertUnchecked("R", Row2(1, 5));
+  auto maintained = MaintainExchange(session, delta);
+  ASSERT_TRUE(maintained.ok()) << maintained.status().message();
+  EXPECT_TRUE(maintained.value().Empty());
+  EXPECT_EQ(session.fallbacks, 0u);
+  EXPECT_TRUE(session.target.Find("T")->Contains({Value::Int64(5)}));
+
+  // Deleting the second row removes the last derivation for good.
+  Delta delta2;
+  delta2.deletes.DeclareRelation("R", 2);
+  delta2.deletes.InsertUnchecked("R", Row2(2, 5));
+  auto maintained2 = MaintainExchange(session, delta2);
+  ASSERT_TRUE(maintained2.ok()) << maintained2.status().message();
+  EXPECT_EQ(maintained2.value().deletes.TotalTuples(), 1u);
+  EXPECT_EQ(session.target.Find("T")->size(), 0u);
+  EXPECT_EQ(session.fallbacks, 0u);
+}
+
+// One deleted source row feeds two rules (a copy and a join): both derived
+// facts must go, in one maintain.
+TEST(MaintainDRedTest, CascadingDeleteAcrossRules) {
+  model::Schema src("Src", model::Metamodel::kRelational);
+  src.AddRelation(model::Relation(
+      "R", {{"a", model::DataType::Int64(), false},
+            {"b", model::DataType::Int64(), false}}, {}));
+  src.AddRelation(model::Relation(
+      "S", {{"b", model::DataType::Int64(), false},
+            {"c", model::DataType::Int64(), false}}, {}));
+  model::Schema tgt("Tgt", model::Metamodel::kRelational);
+  tgt.AddRelation(model::Relation(
+      "A", {{"a", model::DataType::Int64(), false},
+            {"b", model::DataType::Int64(), false}}, {}));
+  tgt.AddRelation(model::Relation(
+      "B", {{"a", model::DataType::Int64(), false},
+            {"c", model::DataType::Int64(), false}}, {}));
+  Tgd copy;
+  copy.body = {Atom{"R", {V("x"), V("y")}}};
+  copy.head = {Atom{"A", {V("x"), V("y")}}};
+  Tgd join;
+  join.body = {Atom{"R", {V("x"), V("y")}}, Atom{"S", {V("y"), V("z")}}};
+  join.head = {Atom{"B", {V("x"), V("z")}}};
+  Mapping m = Mapping::FromTgds("m", src, tgt, {copy, join});
+
+  Instance source = Instance::EmptyFor(src);
+  ASSERT_TRUE(source.Insert("R", Row2(1, 5)).ok());
+  ASSERT_TRUE(source.Insert("S", Row2(5, 7)).ok());
+  auto begun = BeginExchangeSession(m, std::move(source));
+  ASSERT_TRUE(begun.ok()) << begun.status().message();
+  ExchangeSession session = std::move(begun.value());
+  ASSERT_TRUE(session.target.Find("B")->Contains(Row2(1, 7)));
+
+  Delta delta;
+  delta.deletes.DeclareRelation("R", 2);
+  delta.deletes.InsertUnchecked("R", Row2(1, 5));
+  auto maintained = MaintainExchange(session, delta);
+  ASSERT_TRUE(maintained.ok()) << maintained.status().message();
+  EXPECT_EQ(maintained.value().deletes.TotalTuples(), 2u);
+  EXPECT_EQ(session.target.Find("A")->size(), 0u);
+  EXPECT_EQ(session.target.Find("B")->size(), 0u);
+  EXPECT_EQ(session.fallbacks, 0u);
+}
+
+// Egd-merged nulls: S(k) invents P(k,n) and R(k,v) copies P(k,v) in the
+// same round; the key egd then unifies the null with the ground value,
+// leaving one merged target fact holding BOTH derivations as witnesses.
+// (The existential tgd must run first — the restricted probe would see a
+// ground P(k,v) as satisfying ∃n P(k,n) and never invent the null.)
+Mapping KeyedExistentialMapping() {
+  model::Schema src("Src", model::Metamodel::kRelational);
+  src.AddRelation(model::Relation(
+      "S", {{"k", model::DataType::Int64(), false}}, {}));
+  src.AddRelation(model::Relation(
+      "R", {{"k", model::DataType::Int64(), false},
+            {"v", model::DataType::Int64(), false}}, {}));
+  model::Schema tgt("Tgt", model::Metamodel::kRelational);
+  tgt.AddRelation(model::Relation(
+      "P", {{"k", model::DataType::Int64(), false},
+            {"n", model::DataType::Int64(), false}}, {}));
+  Tgd exist;
+  exist.body = {Atom{"S", {V("k")}}};
+  exist.head = {Atom{"P", {V("k"), V("n")}}};  // n existential
+  Tgd copy;
+  copy.body = {Atom{"R", {V("k"), V("v")}}};
+  copy.head = {Atom{"P", {V("k"), V("v")}}};
+  Egd key;
+  key.body = {Atom{"P", {V("k"), V("n1")}}, Atom{"P", {V("k"), V("n2")}}};
+  key.left = "n1";
+  key.right = "n2";
+  return Mapping::FromTgds("m", src, tgt, {exist, copy}, {key});
+}
+
+// Deleting one of the two derivations keeps the merged fact through its
+// surviving witness — no fallback, no target change (the counting
+// shortcut applied to an egd-merged fact).
+TEST(MaintainDRedTest, EgdMergedFactKeptBySurvivingWitness) {
+  Mapping m = KeyedExistentialMapping();
+  Instance source;
+  source.DeclareRelation("S", 1);
+  source.DeclareRelation("R", 2);
+  ASSERT_TRUE(source.Insert("S", {Value::Int64(1)}).ok());
+  ASSERT_TRUE(source.Insert("R", Row2(1, 10)).ok());
+  auto begun = BeginExchangeSession(m, std::move(source));
+  ASSERT_TRUE(begun.ok()) << begun.status().message();
+  ExchangeSession session = std::move(begun.value());
+  // The egd merged the invented null into the ground copy.
+  ASSERT_EQ(session.target.Find("P")->size(), 1u);
+  ASSERT_TRUE(session.target.Find("P")->Contains(Row2(1, 10)));
+
+  Delta delta;
+  delta.deletes.DeclareRelation("S", 1);
+  delta.deletes.InsertUnchecked("S", {Value::Int64(1)});
+  auto maintained = MaintainExchange(session, delta);
+  ASSERT_TRUE(maintained.ok()) << maintained.status().message();
+  EXPECT_TRUE(maintained.value().Empty());
+  EXPECT_EQ(session.fallbacks, 0u);
+  EXPECT_EQ(session.target.Find("P")->size(), 1u);
+
+  // Cross-check against a from-scratch exchange of the mutated source.
+  auto full = Exchange(m, session.source, ExchangeOptions{});
+  ASSERT_TRUE(full.ok());
+  EXPECT_TRUE(InstanceEqualsUpToNulls(session.target, full.value().target));
+}
+
+// Deleting BOTH derivations over-deletes the merged fact, which witnessed
+// the unification — the maintain must fall back to a full re-chase and
+// still land on the right instance.
+TEST(MaintainDRedTest, DeletingMergedFactFallsBackToRechase) {
+  Mapping m = KeyedExistentialMapping();
+  Instance source;
+  source.DeclareRelation("S", 1);
+  source.DeclareRelation("R", 2);
+  ASSERT_TRUE(source.Insert("S", {Value::Int64(1)}).ok());
+  ASSERT_TRUE(source.Insert("R", Row2(1, 10)).ok());
+  ASSERT_TRUE(source.Insert("R", Row2(2, 30)).ok());
+  auto begun = BeginExchangeSession(m, std::move(source));
+  ASSERT_TRUE(begun.ok()) << begun.status().message();
+  ExchangeSession session = std::move(begun.value());
+  ASSERT_EQ(session.target.Find("P")->size(), 2u);
+
+  // Remove both derivations of the merged P(1,10): the DRed candidate is a
+  // unification witness, so the maintain must rebuild from scratch.
+  Delta delta;
+  delta.deletes.DeclareRelation("S", 1);
+  delta.deletes.InsertUnchecked("S", {Value::Int64(1)});
+  delta.deletes.DeclareRelation("R", 2);
+  delta.deletes.InsertUnchecked("R", Row2(1, 10));
+  auto maintained = MaintainExchange(session, delta);
+  ASSERT_TRUE(maintained.ok()) << maintained.status().message();
+  EXPECT_EQ(session.fallbacks, 1u);
+  EXPECT_EQ(session.target.Find("P")->size(), 1u);
+  auto full = Exchange(m, session.source, ExchangeOptions{});
+  ASSERT_TRUE(full.ok());
+  EXPECT_TRUE(InstanceEqualsUpToNulls(session.target, full.value().target));
+
+  // The session survives the fallback: later maintains resume normally.
+  Delta insert;
+  insert.inserts.DeclareRelation("R", 2);
+  insert.inserts.InsertUnchecked("R", Row2(3, 40));
+  auto maintained2 = MaintainExchange(session, insert);
+  ASSERT_TRUE(maintained2.ok()) << maintained2.status().message();
+  EXPECT_EQ(maintained2.value().inserts.TotalTuples(), 1u);
+  EXPECT_EQ(session.fallbacks, 1u);
+}
+
+// Insert-only maintain with an egd merge at maintain time: the null
+// invented at Begin is unified with a ground copy arriving via the delta,
+// and RewriteValue books the -null/+ground pair into the reported delta.
+TEST(MaintainDRedTest, InsertOnlyMaintainMatchesRechase) {
+  Mapping m = KeyedExistentialMapping();
+  Instance source;
+  source.DeclareRelation("S", 1);
+  source.DeclareRelation("R", 2);
+  ASSERT_TRUE(source.Insert("S", {Value::Int64(1)}).ok());
+  auto begun = BeginExchangeSession(m, std::move(source));
+  ASSERT_TRUE(begun.ok()) << begun.status().message();
+  ExchangeSession session = std::move(begun.value());
+  ASSERT_EQ(session.target.Find("P")->size(), 1u);
+  Instance before = session.target;
+
+  Delta delta;
+  delta.inserts.DeclareRelation("R", 2);
+  delta.inserts.InsertUnchecked("R", Row2(1, 30));  // same key: egd merges
+  delta.inserts.InsertUnchecked("R", Row2(2, 40));  // new key: ground copy
+  auto maintained = MaintainExchange(session, delta);
+  ASSERT_TRUE(maintained.ok()) << maintained.status().message();
+  EXPECT_EQ(session.fallbacks, 0u);
+  EXPECT_EQ(session.target.Find("P")->size(), 2u);
+  EXPECT_TRUE(session.target.Find("P")->Contains(Row2(1, 30)));
+  EXPECT_TRUE(session.target.Find("P")->Contains(Row2(2, 40)));
+  // The merge retracts the invented null: one delete, two inserts, and
+  // replaying the delta onto the pre-maintain target lands exactly on the
+  // maintained instance.
+  EXPECT_EQ(maintained.value().deletes.TotalTuples(), 1u);
+  EXPECT_EQ(maintained.value().inserts.TotalTuples(), 2u);
+  ASSERT_TRUE(ApplyDelta(maintained.value(), &before).ok());
+  EXPECT_TRUE(before.Equals(session.target));
+
+  auto full = Exchange(m, session.source, ExchangeOptions{});
+  ASSERT_TRUE(full.ok());
+  EXPECT_TRUE(InstanceEqualsUpToNulls(session.target, full.value().target));
+}
+
+TEST(MaintainDRedTest, BeginRejectsComputeCore) {
+  Mapping m = KeyedExistentialMapping();
+  ExchangeOptions options;
+  options.compute_core = true;
+  auto begun = BeginExchangeSession(m, Instance{}, options);
+  EXPECT_FALSE(begun.ok());
+}
+
+// ---------------------------------------------------------------------------
+// 100-seed differential sweep
+// ---------------------------------------------------------------------------
+
+// A random head-disjoint mapping: every tgd writes its own target relation,
+// so the resumed restricted chase and a from-scratch chase agree up to null
+// renaming (cross-rule firing-order effects need overlapping heads). Bodies
+// join on the shared key variable; heads project body variables and
+// occasionally invent an existential.
+struct SweepCase {
+  Mapping mapping;
+  Instance source;
+  std::vector<std::size_t> arity;  // per source relation
+};
+
+SweepCase MakeSweepCase(Rng* rng) {
+  const std::size_t nsrc = 2 + rng->Uniform(2);
+  model::Schema src("Src", model::Metamodel::kRelational);
+  std::vector<std::size_t> arity(nsrc);
+  for (std::size_t i = 0; i < nsrc; ++i) {
+    arity[i] = 2 + rng->Uniform(2);
+    std::vector<model::Attribute> attrs;
+    for (std::size_t c = 0; c < arity[i]; ++c) {
+      attrs.push_back(
+          {"c" + std::to_string(c), model::DataType::Int64(), false});
+    }
+    src.AddRelation(
+        model::Relation("S" + std::to_string(i), std::move(attrs), {}));
+  }
+
+  const std::size_t ntgd = 2 + rng->Uniform(3);
+  model::Schema tgt("Tgt", model::Metamodel::kRelational);
+  std::vector<Tgd> tgds;
+  for (std::size_t t = 0; t < ntgd; ++t) {
+    Tgd tgd;
+    std::vector<std::string> body_vars;
+    const std::size_t natoms = 1 + rng->Uniform(2);
+    for (std::size_t a = 0; a < natoms; ++a) {
+      const std::size_t rel = rng->Uniform(nsrc);
+      Atom atom;
+      atom.relation = "S" + std::to_string(rel);
+      for (std::size_t c = 0; c < arity[rel]; ++c) {
+        // Position 0 is the key; atoms of one body share it (the join).
+        std::string var = c == 0 ? "k"
+                                 : "v" + std::to_string(a) + "_" +
+                                       std::to_string(c);
+        if (c != 0 || a == 0) body_vars.push_back(var);
+        atom.terms.push_back(V(var));
+      }
+      tgd.body.push_back(std::move(atom));
+    }
+    const std::size_t head_arity = 1 + rng->Uniform(3);
+    Atom head;
+    head.relation = "T" + std::to_string(t);
+    std::vector<model::Attribute> attrs;
+    for (std::size_t c = 0; c < head_arity; ++c) {
+      if (rng->Chance(0.25)) {
+        head.terms.push_back(V("e" + std::to_string(c)));  // existential
+      } else {
+        head.terms.push_back(V(body_vars[rng->Uniform(body_vars.size())]));
+      }
+      attrs.push_back(
+          {"h" + std::to_string(c), model::DataType::Int64(), false});
+    }
+    tgd.head.push_back(std::move(head));
+    tgt.AddRelation(model::Relation(head.relation, std::move(attrs), {}));
+    tgds.push_back(std::move(tgd));
+  }
+
+  SweepCase out{Mapping::FromTgds("sweep", src, tgt, std::move(tgds)),
+                Instance::EmptyFor(src), std::move(arity)};
+  const std::size_t rows = 6 + rng->Uniform(10);
+  for (std::size_t i = 0; i < out.arity.size(); ++i) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      Tuple tuple;
+      tuple.push_back(Value::Int64(static_cast<std::int64_t>(r)));
+      for (std::size_t c = 1; c < out.arity[i]; ++c) {
+        tuple.push_back(
+            Value::Int64(static_cast<std::int64_t>(rng->Uniform(20))));
+      }
+      out.source.InsertUnchecked("S" + std::to_string(i), std::move(tuple));
+    }
+  }
+  return out;
+}
+
+// A random batch against the session's current source: brand-new keyed
+// rows, duplicates of existing rows (join fan-out on shared keys), and
+// erases of existing rows.
+Delta MakeRandomDelta(const SweepCase& c, const Instance& current,
+                      std::size_t epoch, Rng* rng) {
+  Delta delta;
+  for (std::size_t i = 0; i < c.arity.size(); ++i) {
+    const std::string name = "S" + std::to_string(i);
+    delta.inserts.DeclareRelation(name, c.arity[i]);
+    delta.deletes.DeclareRelation(name, c.arity[i]);
+    const std::size_t ninserts = rng->Uniform(4);
+    for (std::size_t j = 0; j < ninserts; ++j) {
+      Tuple tuple;
+      // Half the inserts reuse live key range (extending joins), half
+      // introduce fresh keys.
+      const std::int64_t key =
+          rng->Chance(0.5)
+              ? static_cast<std::int64_t>(rng->Uniform(16))
+              : static_cast<std::int64_t>(1000 + epoch * 100 + j);
+      tuple.push_back(Value::Int64(key));
+      for (std::size_t col = 1; col < c.arity[i]; ++col) {
+        tuple.push_back(
+            Value::Int64(static_cast<std::int64_t>(rng->Uniform(20))));
+      }
+      const RelationInstance* rel = current.Find(name);
+      if (rel != nullptr && rel->Contains(tuple)) continue;
+      if (delta.inserts.Find(name)->Contains(tuple)) continue;
+      delta.inserts.InsertUnchecked(name, std::move(tuple));
+    }
+    const RelationInstance* rel = current.Find(name);
+    if (rel == nullptr || rel->size() == 0) continue;
+    std::vector<Tuple> live(rel->tuples().begin(), rel->tuples().end());
+    const std::size_t nerases = rng->Uniform(3);
+    std::set<std::size_t> picked;
+    for (std::size_t j = 0; j < nerases && picked.size() < live.size(); ++j) {
+      std::size_t idx = rng->Uniform(live.size());
+      if (!picked.insert(idx).second) continue;
+      delta.deletes.InsertUnchecked(name, live[idx]);
+    }
+  }
+  return delta;
+}
+
+TEST(IncrementalSweepTest, HundredSeedsMatchFullRechase) {
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    Rng rng(seed);
+    SweepCase c = MakeSweepCase(&rng);
+    auto begun = BeginExchangeSession(c.mapping, c.source);
+    ASSERT_TRUE(begun.ok()) << "seed " << seed << ": "
+                            << begun.status().message();
+    ExchangeSession session = std::move(begun.value());
+
+    const std::size_t epochs = 2 + rng.Uniform(2);
+    for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+      Delta delta = MakeRandomDelta(c, session.source, epoch, &rng);
+      Instance before = session.target;
+      auto maintained = MaintainExchange(session, delta);
+      ASSERT_TRUE(maintained.ok())
+          << "seed " << seed << " epoch " << epoch << ": "
+          << maintained.status().message();
+
+      // The returned delta replays the old target into the new one.
+      ASSERT_TRUE(ApplyDelta(maintained.value(), &before).ok())
+          << "seed " << seed << " epoch " << epoch;
+      ASSERT_TRUE(before.Equals(session.target))
+          << "seed " << seed << " epoch " << epoch;
+
+      // Differential: a full exchange of the mutated source agrees up to
+      // null renaming.
+      auto full = Exchange(c.mapping, session.source, ExchangeOptions{});
+      ASSERT_TRUE(full.ok()) << "seed " << seed << " epoch " << epoch;
+      ASSERT_TRUE(InstanceEqualsUpToNulls(session.target, full.value().target))
+          << "seed " << seed << " epoch " << epoch << "\nmaintained:\n"
+          << session.target.ToString() << "\nrechased:\n"
+          << full.value().target.ToString();
+
+      // Certain answers (null-free rows per relation) are identical, not
+      // just isomorphic.
+      for (const auto& [name, rel] : full.value().target.relations()) {
+        std::set<Tuple> expect;
+        for (const Tuple& t : rel.tuples()) {
+          bool ground = true;
+          for (const Value& v : t) ground &= !v.is_labeled_null();
+          if (ground) expect.insert(t);
+        }
+        std::set<Tuple> got;
+        const RelationInstance* mine = session.target.Find(name);
+        if (mine != nullptr) {
+          for (const Tuple& t : mine->tuples()) {
+            bool ground = true;
+            for (const Value& v : t) ground &= !v.is_labeled_null();
+            if (ground) got.insert(t);
+          }
+        }
+        ASSERT_EQ(got, expect)
+            << "seed " << seed << " epoch " << epoch << " relation " << name;
+      }
+    }
+    // Egd-free head-disjoint sweeps never hit the unification fallback.
+    EXPECT_EQ(session.fallbacks, 0u) << "seed " << seed;
+  }
+}
+
+// The sweep again, under segmented storage: the maintain path must give
+// the same answers when deltas ride tombstone-aware segment slices.
+TEST(IncrementalSweepTest, SegmentedStorageSweep) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed * 7919);
+    SweepCase c = MakeSweepCase(&rng);
+    ExchangeOptions options;
+    options.storage = StorageMode::kSegmented;
+    auto begun = BeginExchangeSession(c.mapping, c.source, options);
+    ASSERT_TRUE(begun.ok()) << "seed " << seed;
+    ExchangeSession session = std::move(begun.value());
+    for (std::size_t epoch = 0; epoch < 2; ++epoch) {
+      Delta delta = MakeRandomDelta(c, session.source, epoch, &rng);
+      auto maintained = MaintainExchange(session, delta);
+      ASSERT_TRUE(maintained.ok())
+          << "seed " << seed << " epoch " << epoch << ": "
+          << maintained.status().message();
+      auto full = Exchange(c.mapping, session.source, options);
+      ASSERT_TRUE(full.ok());
+      ASSERT_TRUE(InstanceEqualsUpToNulls(session.target, full.value().target))
+          << "seed " << seed << " epoch " << epoch;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mm2::runtime
